@@ -1,0 +1,94 @@
+// BETA experiment (Section 3.4 analysis): the witness level is
+// ceil(log2(beta * u_hat / (1 - eps))) and the analysis derives beta = 2
+// as the value minimizing the number of sketch copies needed — the
+// valid-observation rate is ~(beta - 1)/beta^2, maximized at beta = 2.
+//
+// Protocol: strict (single-level, paper-faithful) difference estimator at
+// fixed r, sweeping beta; report valid observations and trimmed error.
+//
+// Expected shape: valid observations peak around beta = 2 and error is
+// near its minimum there; very small beta (level too close to log2 u)
+// and large beta (bucket usually empty) both waste copies.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/set_difference_estimator.h"
+#include "core/set_union_estimator.h"
+#include "core/sketch_bank.h"
+#include "stream/stream_generator.h"
+#include "util/csv_writer.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace setsketch {
+namespace {
+
+constexpr int kCopies = 512;
+
+int Run() {
+  const bench::BenchScale scale = bench::ReadBenchScale();
+  const int64_t u = scale.union_size;
+  const double ratio = 1.0 / 4.0;  // |A - B| = u/4.
+
+  std::cout << "=== BETA: witness-level overshoot ablation (strict"
+            << " Figure 6 estimator, r = " << kCopies << ") ===\n"
+            << "|A - B| = u/4, u = " << u << ", trials = " << scale.trials
+            << "\n\n";
+
+  CsvWriter csv("beta_ablation.csv",
+                {"beta", "avg_rel_error_pct", "avg_valid_observations"});
+  TablePrinter table({"beta", "avg error", "avg valid obs (of 512)"});
+
+  for (double beta : {1.25, 1.5, 2.0, 3.0, 4.0, 6.0}) {
+    std::vector<double> errors;
+    double valid_sum = 0;
+    for (int t = 0; t < scale.trials; ++t) {
+      const uint64_t seed = 60013 + static_cast<uint64_t>(t) * 131 +
+                            static_cast<uint64_t>(beta * 100);
+      VennPartitionGenerator gen(2, BinaryDifferenceProbs(ratio));
+      const PartitionedDataset data = gen.Generate(u, seed);
+      const double exact = static_cast<double>(data.regions[1].size());
+
+      SketchBank bank(
+          SketchFamily(bench::FigureParams(), kCopies, seed ^ 0xBE7A));
+      bank.AddStream("A");
+      bank.AddStream("B");
+      for (size_t mask = 1; mask < data.regions.size(); ++mask) {
+        for (uint64_t e : data.regions[mask]) {
+          if (mask & 1) bank.Apply("A", e, 1);
+          if (mask & 2) bank.Apply("B", e, 1);
+        }
+      }
+      const auto pairs = bank.Groups({"A", "B"});
+      const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+      WitnessOptions wopts;
+      wopts.beta = beta;
+      wopts.pool_all_levels = false;  // Strict: the analyzed estimator.
+      const WitnessEstimate est =
+          EstimateSetDifference(pairs, ue.estimate, wopts);
+      errors.push_back(est.ok ? RelativeError(est.estimate, exact) : 1.0);
+      valid_sum += est.valid_observations;
+    }
+    const double error =
+        TrimmedMeanDropHighest(errors, bench::kTrimFraction) * 100;
+    table.AddRow(std::vector<std::string>{
+        FormatDouble(beta, 2), FormatDouble(error, 2) + "%",
+        FormatDouble(valid_sum / scale.trials, 1)});
+    csv.AddRow(
+        std::vector<double>{beta, error, valid_sum / scale.trials});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\n(valid observations should peak near beta = 2, the"
+            << " analysis' optimum)\n"
+            << "csv written to beta_ablation.csv\n\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace setsketch
+
+int main() { return setsketch::Run(); }

@@ -1,0 +1,179 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <map>
+#include <thread>
+
+#include "core/set_expression_estimator.h"
+#include "core/set_union_estimator.h"
+#include "core/sketch_bank.h"
+#include "expr/parser.h"
+#include "stream/stream_generator.h"
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace setsketch {
+namespace bench {
+
+BenchScale ReadBenchScale() {
+  BenchScale s;
+  s.scale = EnvDouble("SETSKETCH_BENCH_SCALE", 0.25);
+  if (s.scale <= 0 || s.scale > 1.0) s.scale = 0.25;
+  s.union_size = static_cast<int64_t>(
+      std::llround(static_cast<double>(kPaperUnionSize) * s.scale));
+  s.trials = static_cast<int>(EnvInt("SETSKETCH_BENCH_TRIALS", 10));
+  if (s.trials < 1) s.trials = 1;
+  return s;
+}
+
+SketchParams FigureParams() {
+  SketchParams params;
+  params.levels = 32;
+  params.num_second_level = 32;  // The paper's fixed s.
+  params.first_level_kind = FirstLevelKind::kMix64;
+  return params;
+}
+
+namespace {
+
+// Per-trial result: relative error for each sketch count.
+struct TrialErrors {
+  std::vector<double> error_per_count;  // Aligned with kSketchCounts.
+  int64_t exact = 0;
+};
+
+TrialErrors RunOneTrial(const WitnessFigureSpec& spec, double ratio,
+                        int64_t union_size, uint64_t trial_seed,
+                        const ExprPtr& expr,
+                        const std::vector<std::string>& names) {
+  TrialErrors out;
+  VennPartitionGenerator gen(spec.num_streams, spec.probs_for_ratio(ratio));
+  const PartitionedDataset data = gen.Generate(union_size, trial_seed);
+  out.exact = data.CountWhere(spec.result_mask);
+
+  const int max_copies = kSketchCounts.back();
+  SketchBank bank(
+      SketchFamily(FigureParams(), max_copies, trial_seed ^ 0x5E75EEDULL));
+  for (const std::string& name : names) bank.AddStream(name);
+  for (size_t mask = 1; mask < data.regions.size(); ++mask) {
+    for (uint64_t e : data.regions[mask]) {
+      for (int s = 0; s < spec.num_streams; ++s) {
+        if ((mask >> s) & 1) {
+          bank.Apply(names[static_cast<size_t>(s)], e, 1);
+        }
+      }
+    }
+  }
+
+  // Pooled witness mode reproduces the error magnitudes of the paper's
+  // experiments (see WitnessOptions::pool_all_levels); the strict Figure 6
+  // single-level variant is compared in bench_pooling.
+  WitnessOptions witness_options;
+  witness_options.pool_all_levels = true;
+
+  const std::vector<SketchGroup> all_groups = bank.Groups(names);
+  for (int count : kSketchCounts) {
+    const std::vector<SketchGroup> groups(
+        all_groups.begin(), all_groups.begin() + count);
+    const ExpressionEstimate est =
+        EstimateSetExpression(*expr, names, groups, witness_options);
+    const double error =
+        est.ok ? RelativeError(est.expression.estimate,
+                               static_cast<double>(out.exact))
+               : 1.0;  // "noEstimate" counts as a full miss.
+    out.error_per_count.push_back(error);
+  }
+  return out;
+}
+
+}  // namespace
+
+int RunWitnessFigure(const WitnessFigureSpec& spec) {
+  const BenchScale scale = ReadBenchScale();
+  const ParseResult parsed = ParseExpression(spec.expression);
+  if (!parsed.ok()) {
+    std::cerr << "internal error: bad expression: " << parsed.error << "\n";
+    return 1;
+  }
+  std::vector<std::string> names;
+  for (int s = 0; s < spec.num_streams; ++s) {
+    names.push_back("S" + std::to_string(s));
+  }
+
+  std::cout << "=== " << spec.id << ": " << spec.title << " ===\n";
+  std::cout << "union size u = " << scale.union_size << " (scale "
+            << scale.scale << " of paper's 2^18; set SETSKETCH_BENCH_SCALE=1"
+            << " for full scale)\n"
+            << "trials = " << scale.trials << ", trimmed mean drops top "
+            << static_cast<int>(kTrimFraction * 100) << "%\n"
+            << "expression E = " << parsed.expression->ToString()
+            << ", s = " << FigureParams().num_second_level
+            << " second-level functions\n\n";
+
+  Stopwatch watch;
+  CsvWriter csv(spec.csv_path,
+                {"target_ratio", "target_size", "sketches",
+                 "avg_rel_error_pct", "trials"});
+
+  TablePrinter table([] {
+    std::vector<std::string> header = {"|E| target", "|E| exact(avg)"};
+    for (int count : kSketchCounts) {
+      header.push_back("r=" + std::to_string(count));
+    }
+    return header;
+  }());
+
+  for (double ratio : spec.ratios) {
+    // Trials are independent; fan them out across cores.
+    std::vector<std::future<TrialErrors>> futures;
+    for (int t = 0; t < scale.trials; ++t) {
+      const uint64_t trial_seed =
+          0x9E3779B9ULL * (static_cast<uint64_t>(t) + 1) +
+          static_cast<uint64_t>(ratio * 1e6);
+      futures.push_back(std::async(std::launch::async, RunOneTrial, spec,
+                                   ratio, scale.union_size, trial_seed,
+                                   parsed.expression, names));
+    }
+    std::vector<std::vector<double>> errors(kSketchCounts.size());
+    double exact_sum = 0;
+    for (auto& future : futures) {
+      const TrialErrors trial = future.get();
+      exact_sum += static_cast<double>(trial.exact);
+      for (size_t i = 0; i < kSketchCounts.size(); ++i) {
+        errors[i].push_back(trial.error_per_count[i]);
+      }
+    }
+    const double exact_avg = exact_sum / scale.trials;
+
+    std::vector<std::string> row = {
+        "u/" + std::to_string(static_cast<int>(std::llround(1.0 / ratio))),
+        FormatDouble(exact_avg, 0)};
+    for (size_t i = 0; i < kSketchCounts.size(); ++i) {
+      const double avg_error =
+          TrimmedMeanDropHighest(errors[i], kTrimFraction) * 100.0;
+      row.push_back(FormatDouble(avg_error, 2) + "%");
+      csv.AddRow(std::vector<std::string>{
+          FormatDouble(ratio, 6), FormatDouble(exact_avg, 0),
+          std::to_string(kSketchCounts[i]), FormatDouble(avg_error, 4),
+          std::to_string(scale.trials)});
+    }
+    table.AddRow(row);
+  }
+
+  table.Print(std::cout);
+  std::cout << "\n(avg relative error, lower is better; series should"
+            << " improve with more sketches and larger |E|)\n";
+  std::cout << "csv written to " << spec.csv_path << "\n";
+  std::cout << "elapsed: " << FormatDouble(watch.Seconds(), 1) << "s\n\n";
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace setsketch

@@ -1,0 +1,70 @@
+// Shared driver for the paper-figure reproduction benches.
+//
+// Each figure in Section 5.2 sweeps the number of 2-level hash sketches
+// (32..512, s = 32) for a few target result sizes over a fixed union of
+// u ~ 2^18 synthetic 32-bit integers, plotting the trimmed-average (30%)
+// relative error of 10-15 trials. RunWitnessFigure reproduces that
+// protocol; the workload dials with SETSKETCH_BENCH_SCALE (default 0.25,
+// 1.0 = full paper scale) and SETSKETCH_BENCH_TRIALS (default 10).
+//
+// Implementation note: each trial builds the sketch bank once at the
+// maximum sketch count and evaluates every smaller count on a prefix of
+// the copies — statistically identical to independent banks (copies are
+// i.i.d.) and ~5x cheaper.
+
+#ifndef SETSKETCH_BENCH_BENCH_COMMON_H_
+#define SETSKETCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sketch_seed.h"
+
+namespace setsketch {
+namespace bench {
+
+/// Paper-scale defaults.
+inline constexpr int64_t kPaperUnionSize = 1 << 18;
+inline const std::vector<int> kSketchCounts = {32, 64, 128, 256, 512};
+inline constexpr double kTrimFraction = 0.30;
+
+/// Global workload knobs (env-derived).
+struct BenchScale {
+  double scale = 0.25;      ///< SETSKETCH_BENCH_SCALE in (0, 1].
+  int64_t union_size = 0;   ///< scale * 2^18.
+  int trials = 10;          ///< SETSKETCH_BENCH_TRIALS.
+};
+
+/// Reads SETSKETCH_BENCH_SCALE / SETSKETCH_BENCH_TRIALS.
+BenchScale ReadBenchScale();
+
+/// Sketch shape used by all figure benches (paper: s = 32; levels sized
+/// for 32-bit elements).
+SketchParams FigureParams();
+
+/// One figure specification: which streams, which expression, which Venn
+/// regions constitute the result, and which |E|/u ratios to sweep.
+struct WitnessFigureSpec {
+  std::string id;            ///< e.g. "FIG7A".
+  std::string title;         ///< Human-readable figure caption.
+  std::string csv_path;      ///< Output CSV file name.
+  int num_streams = 2;
+  std::string expression;    ///< Over streams "S0", "S1", ... .
+  /// Region probabilities realizing a target |E|/u ratio.
+  std::function<std::vector<double>(double)> probs_for_ratio;
+  /// True iff a Venn region (bitmask over streams) belongs to E.
+  std::function<bool(uint32_t)> result_mask;
+  /// Target |E| as fractions of u (the paper labels series by |E|).
+  std::vector<double> ratios;
+};
+
+/// Runs the sweep and prints the paper-style table; also writes csv_path.
+/// Returns 0 on success (process exit code).
+int RunWitnessFigure(const WitnessFigureSpec& spec);
+
+}  // namespace bench
+}  // namespace setsketch
+
+#endif  // SETSKETCH_BENCH_BENCH_COMMON_H_

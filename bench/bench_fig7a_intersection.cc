@@ -1,0 +1,29 @@
+// Reproduces Figure 7(a): average relative error of the set-intersection
+// cardinality estimator |A n B| as a function of the number of 2-level
+// hash sketches, for three target intersection sizes.
+//
+// Paper setup: u ~ 2^18, |A n B| series in diminishing powers of two,
+// s = 32 second-level functions, 10-15 trials, 30% trimmed mean.
+// Paper result shape: errors close to or below 20% with 128-256 sketches,
+// <= 10% at 512; larger |A n B| => lower error.
+
+#include "bench_common.h"
+
+#include "stream/stream_generator.h"
+
+int main() {
+  using namespace setsketch;
+  using namespace setsketch::bench;
+
+  WitnessFigureSpec spec;
+  spec.id = "FIG7A";
+  spec.title = "set-intersection cardinality |A n B| vs #sketches";
+  spec.csv_path = "fig7a_intersection.csv";
+  spec.num_streams = 2;
+  spec.expression = "S0 & S1";
+  spec.probs_for_ratio = BinaryIntersectionProbs;
+  spec.result_mask = [](uint32_t mask) { return mask == 3; };
+  // Paper series at u = 2^18: |A n B| = 8192, 32768, 131072.
+  spec.ratios = {1.0 / 32.0, 1.0 / 8.0, 1.0 / 2.0};
+  return RunWitnessFigure(spec);
+}

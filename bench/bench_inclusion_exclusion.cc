@@ -1,0 +1,108 @@
+// IEX experiment: the witness method (the paper's contribution) versus
+// the inclusion-exclusion baseline that union-only synopses support.
+//
+// Both estimators read the *same* sketches; only the estimation strategy
+// differs. Expected shape: comparable accuracy when |E| is a large
+// fraction of the union; as |E| shrinks, inclusion-exclusion's error
+// explodes (its absolute error scales with |union|, so its relative error
+// scales with |union| / |E|), while the witness estimator degrades much
+// more gracefully — the quantitative case for the paper.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/inclusion_exclusion_estimator.h"
+#include "core/set_expression_estimator.h"
+#include "expr/parser.h"
+#include "core/sketch_bank.h"
+#include "stream/stream_generator.h"
+#include "util/csv_writer.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace setsketch {
+namespace {
+
+constexpr int kCopies = 256;
+
+int Run() {
+  const bench::BenchScale scale = bench::ReadBenchScale();
+  const int64_t u = scale.union_size;
+
+  std::cout << "=== IEX: witness method vs inclusion-exclusion baseline"
+            << " (r = " << kCopies << ") ===\n"
+            << "|A n B| sweep, u = " << u << ", trials = " << scale.trials
+            << ", both estimators read the same sketches\n\n";
+
+  const ParseResult parsed = ParseExpression("S0 & S1");
+  CsvWriter csv("inclusion_exclusion.csv",
+                {"ratio_log2", "target_size", "witness_error_pct",
+                 "ie_error_pct"});
+  TablePrinter table({"|E| target", "|E| exact(avg)", "witness err",
+                      "incl-excl err"});
+
+  for (int log2_ratio : {1, 3, 5, 7}) {
+    const double ratio = 1.0 / static_cast<double>(1 << log2_ratio);
+    std::vector<double> witness_errors, ie_errors;
+    double exact_sum = 0;
+    for (int t = 0; t < scale.trials; ++t) {
+      const uint64_t seed = 123400 + static_cast<uint64_t>(t) * 131 +
+                            static_cast<uint64_t>(log2_ratio) * 7919;
+      VennPartitionGenerator gen(2, BinaryIntersectionProbs(ratio));
+      const PartitionedDataset data = gen.Generate(u, seed);
+      const double exact = static_cast<double>(data.regions[3].size());
+      exact_sum += exact;
+
+      SketchBank bank(
+          SketchFamily(bench::FigureParams(), kCopies, seed ^ 0x1EC5));
+      bank.AddStream("S0");
+      bank.AddStream("S1");
+      for (size_t mask = 1; mask < data.regions.size(); ++mask) {
+        for (uint64_t e : data.regions[mask]) {
+          if (mask & 1) bank.Apply("S0", e, 1);
+          if (mask & 2) bank.Apply("S1", e, 1);
+        }
+      }
+      const auto groups = bank.Groups({"S0", "S1"});
+
+      WitnessOptions witness_options;
+      witness_options.pool_all_levels = true;
+      witness_options.mle_union = true;
+      const ExpressionEstimate witness = EstimateSetExpression(
+          *parsed.expression, {"S0", "S1"}, groups, witness_options);
+      witness_errors.push_back(
+          witness.ok
+              ? RelativeError(witness.expression.estimate, exact)
+              : 1.0);
+
+      const InclusionExclusionEstimate ie = EstimateByInclusionExclusion(
+          *parsed.expression, {"S0", "S1"}, groups);
+      ie_errors.push_back(ie.ok ? RelativeError(ie.estimate, exact) : 1.0);
+    }
+    const double witness_pct =
+        TrimmedMeanDropHighest(witness_errors, bench::kTrimFraction) * 100;
+    const double ie_pct =
+        TrimmedMeanDropHighest(ie_errors, bench::kTrimFraction) * 100;
+    table.AddRow(std::vector<std::string>{
+        "u/2^" + std::to_string(log2_ratio),
+        FormatDouble(exact_sum / scale.trials, 0),
+        FormatDouble(witness_pct, 2) + "%",
+        FormatDouble(ie_pct, 2) + "%"});
+    csv.AddRow(std::vector<double>{static_cast<double>(log2_ratio),
+                                   exact_sum / scale.trials, witness_pct,
+                                   ie_pct});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\n(inclusion-exclusion error should blow up as |E|"
+            << " shrinks; the witness method degrades gracefully)\n"
+            << "csv written to inclusion_exclusion.csv\n\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace setsketch
+
+int main() { return setsketch::Run(); }

@@ -1,0 +1,122 @@
+// INDEP experiment (Section 3.6): limited-independence first-level
+// hashing. The analysis shows Theta(log 1/eps)-wise independent hash
+// functions suffice; this ablation compares the idealized 64-bit mixing
+// family against t-wise polynomial families for t in {2, 4, 8} on the
+// Figure 7(a) intersection workload.
+//
+// Expected shape: t >= 4 is statistically indistinguishable from the
+// idealized mixer; pairwise-only (t = 2) first-level hashing shows
+// somewhat degraded/less stable accuracy, consistent with the theory's
+// requirement of t = Theta(log 1/eps) > 2.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/set_intersection_estimator.h"
+#include "core/set_union_estimator.h"
+#include "core/sketch_bank.h"
+#include "stream/stream_generator.h"
+#include "util/csv_writer.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace setsketch {
+namespace {
+
+struct Family {
+  std::string label;
+  SketchParams params;
+};
+
+int Run() {
+  using bench::kSketchCounts;
+  const bench::BenchScale scale = bench::ReadBenchScale();
+  const int64_t u = scale.union_size;
+  const double ratio = 1.0 / 8.0;
+
+  std::vector<Family> families;
+  {
+    Family mix;
+    mix.label = "mix64 (idealized)";
+    mix.params = bench::FigureParams();
+    families.push_back(mix);
+    for (int t : {2, 4, 8}) {
+      Family f;
+      f.label = std::to_string(t) + "-wise poly";
+      f.params = bench::FigureParams();
+      f.params.first_level_kind = FirstLevelKind::kKWisePoly;
+      f.params.independence = t;
+      families.push_back(f);
+    }
+  }
+
+  std::cout << "=== INDEP: first-level hash independence ablation ===\n"
+            << "|A n B| = u/8, u = " << u << ", trials = " << scale.trials
+            << ", 30% trimmed mean, pooled witnesses\n\n";
+
+  CsvWriter csv("independence.csv",
+                {"family", "sketches", "avg_rel_error_pct"});
+  TablePrinter table([&] {
+    std::vector<std::string> header = {"first-level family"};
+    for (int count : kSketchCounts) {
+      header.push_back("r=" + std::to_string(count));
+    }
+    return header;
+  }());
+
+  for (const Family& family : families) {
+    std::vector<std::vector<double>> errors(kSketchCounts.size());
+    for (int t = 0; t < scale.trials; ++t) {
+      const uint64_t seed = 40009 + static_cast<uint64_t>(t) * 101;
+      VennPartitionGenerator gen(2, BinaryIntersectionProbs(ratio));
+      const PartitionedDataset data = gen.Generate(u, seed);
+      const double exact = static_cast<double>(data.regions[3].size());
+
+      SketchBank bank(SketchFamily(family.params, kSketchCounts.back(),
+                                   seed ^ 0xD00D));
+      bank.AddStream("A");
+      bank.AddStream("B");
+      for (size_t mask = 1; mask < data.regions.size(); ++mask) {
+        for (uint64_t e : data.regions[mask]) {
+          if (mask & 1) bank.Apply("A", e, 1);
+          if (mask & 2) bank.Apply("B", e, 1);
+        }
+      }
+      const auto all_pairs = bank.Groups({"A", "B"});
+      for (size_t i = 0; i < kSketchCounts.size(); ++i) {
+        const std::vector<SketchGroup> pairs(
+            all_pairs.begin(), all_pairs.begin() + kSketchCounts[i]);
+        const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+        WitnessOptions wopts;
+        wopts.pool_all_levels = true;
+        const WitnessEstimate est =
+            EstimateSetIntersection(pairs, ue.estimate, wopts);
+        errors[i].push_back(est.ok ? RelativeError(est.estimate, exact)
+                                   : 1.0);
+      }
+    }
+    std::vector<std::string> row = {family.label};
+    for (size_t i = 0; i < kSketchCounts.size(); ++i) {
+      const double error =
+          TrimmedMeanDropHighest(errors[i], bench::kTrimFraction) * 100;
+      row.push_back(FormatDouble(error, 2) + "%");
+      csv.AddRow(std::vector<std::string>{
+          family.label, std::to_string(kSketchCounts[i]),
+          FormatDouble(error, 4)});
+    }
+    table.AddRow(row);
+  }
+
+  table.Print(std::cout);
+  std::cout << "\n(t >= 4 should track the idealized mixer; Section 3.6's"
+            << " Theta(log 1/eps)-wise independence in practice)\n"
+            << "csv written to independence.csv\n\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace setsketch
+
+int main() { return setsketch::Run(); }

@@ -1,0 +1,96 @@
+// INGEST experiment: sketch-maintenance throughput and its parallel
+// scaling. Per-update work is O(r * s) counter updates, independent
+// across the r copies, so copy-range parallelism should scale near
+// linearly until memory bandwidth saturates. The parallel result is
+// bit-identical to serial ingest (asserted here and tested in
+// parallel_ingest_test).
+
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sketch_bank.h"
+#include "query/parallel_ingest.h"
+#include "stream/stream_generator.h"
+#include "util/csv_writer.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace setsketch {
+namespace {
+
+constexpr int kCopies = 256;
+
+int Run() {
+  const bench::BenchScale scale = bench::ReadBenchScale();
+  const int64_t u = std::max<int64_t>(4096, scale.union_size / 4);
+
+  // Workload: 2-stream dataset with churn (inserts and deletes).
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  const PartitionedDataset data = gen.Generate(u, 4242);
+  ChurnOptions churn;
+  churn.seed = 7;
+  churn.transient_fraction = 0.3;
+  const std::vector<Update> updates =
+      InjectChurn(data.ToInsertUpdates(9), churn);
+  const std::vector<std::string> names = {"A", "B"};
+
+  std::cout << "=== INGEST: update throughput, r = " << kCopies
+            << " copies, s = " << bench::FigureParams().num_second_level
+            << " ===\n"
+            << updates.size() << " updates (" << "including deletions), "
+            << std::thread::hardware_concurrency()
+            << " hardware threads\n\n";
+
+  CsvWriter csv("parallel_ingest.csv",
+                {"threads", "seconds", "updates_per_sec", "speedup"});
+  TablePrinter table({"threads", "seconds", "updates/sec", "speedup"});
+
+  // Serial reference bank for the equality check.
+  SketchBank reference(SketchFamily(bench::FigureParams(), kCopies, 99));
+  for (const auto& name : names) reference.AddStream(name);
+  ParallelIngest(&reference, names, updates, 1);
+
+  double serial_seconds = 0;
+  for (int threads : {1, 2, 4, 8, 16}) {
+    SketchBank bank(SketchFamily(bench::FigureParams(), kCopies, 99));
+    for (const auto& name : names) bank.AddStream(name);
+    Stopwatch watch;
+    ParallelIngest(&bank, names, updates, threads);
+    const double seconds = watch.Seconds();
+    if (threads == 1) serial_seconds = seconds;
+
+    // Bit-identical to serial ingest?
+    bool identical = true;
+    for (const auto& name : names) {
+      const auto& a = bank.Sketches(name);
+      const auto& b = reference.Sketches(name);
+      for (size_t i = 0; i < a.size() && identical; ++i) {
+        identical = a[i] == b[i];
+      }
+    }
+    if (!identical) {
+      std::cerr << "ERROR: parallel ingest diverged from serial!\n";
+      return 1;
+    }
+    const double rate = static_cast<double>(updates.size()) / seconds;
+    const double speedup = serial_seconds / seconds;
+    table.AddRow(std::vector<std::string>{
+        std::to_string(threads), FormatDouble(seconds, 3),
+        FormatDouble(rate, 0), FormatDouble(speedup, 2) + "x"});
+    csv.AddRow(std::vector<double>{static_cast<double>(threads), seconds,
+                                   rate, speedup});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\n(all thread counts verified bit-identical to serial)\n"
+            << "csv written to parallel_ingest.csv\n\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace setsketch
+
+int main() { return setsketch::Run(); }

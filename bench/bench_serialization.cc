@@ -1,0 +1,65 @@
+// WIRE experiment: synopsis bytes on the wire for the distributed model —
+// fixed-width versus compact (varint + zero-run-length) sketch encoding,
+// as a function of stream size. Compact encoding approaches the sketch's
+// information content: sparse high levels collapse to run tokens.
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/two_level_hash_sketch.h"
+#include "util/csv_writer.h"
+#include "util/table_printer.h"
+
+namespace setsketch {
+namespace {
+
+int Run() {
+  std::cout << "=== WIRE: sketch encoding sizes (one sketch, levels = 32,"
+            << " s = 32) ===\n\n";
+
+  CsvWriter csv("serialization.csv",
+                {"distinct_elements", "fixed_bytes", "compact_bytes",
+                 "ratio"});
+  TablePrinter table({"distinct elements", "fixed (B)", "compact (B)",
+                      "compression"});
+
+  for (int64_t n : {0LL, 100LL, 1000LL, 10000LL, 100000LL, 1000000LL}) {
+    TwoLevelHashSketch sketch(std::make_shared<const SketchSeed>(
+        bench::FigureParams(), 0xC0FFEE));
+    for (int64_t e = 0; e < n; ++e) {
+      sketch.Update(static_cast<uint64_t>(e) * 2654435761ULL + 1, 1);
+    }
+    std::string fixed, compact;
+    sketch.SerializeTo(&fixed);
+    sketch.SerializeCompactTo(&compact);
+
+    // Round-trip sanity.
+    size_t offset = 0;
+    const auto decoded = TwoLevelHashSketch::Deserialize(compact, &offset);
+    if (!decoded || !(*decoded == sketch)) {
+      std::cerr << "ERROR: compact round trip failed at n = " << n << "\n";
+      return 1;
+    }
+
+    const double ratio = static_cast<double>(fixed.size()) /
+                         static_cast<double>(compact.size());
+    table.AddRow(std::vector<std::string>{
+        std::to_string(n), std::to_string(fixed.size()),
+        std::to_string(compact.size()), FormatDouble(ratio, 1) + "x"});
+    csv.AddRow(std::vector<double>{
+        static_cast<double>(n), static_cast<double>(fixed.size()),
+        static_cast<double>(compact.size()), ratio});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\ncsv written to serialization.csv\n\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace setsketch
+
+int main() { return setsketch::Run(); }

@@ -1,0 +1,181 @@
+// UPDATE experiment: per-update processing cost — the paper's "small
+// processing time per update" claim (google-benchmark microbenchmarks).
+//
+// Covers: single-sketch update as a function of s (the O(s) hot path) and
+// of the first-level family; full bank fan-out as a function of r;
+// property checks; estimator evaluation; and synopsis (de)serialization
+// throughput for the distributed model.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/set_expression_estimator.h"
+#include "core/set_union_estimator.h"
+#include "core/sketch_bank.h"
+#include "core/two_level_hash_sketch.h"
+#include "expr/parser.h"
+#include "hash/prng.h"
+
+namespace setsketch {
+namespace {
+
+SketchParams ParamsWithS(int s, bool kwise = false, int t = 8) {
+  SketchParams params;
+  params.levels = 32;
+  params.num_second_level = s;
+  if (kwise) {
+    params.first_level_kind = FirstLevelKind::kKWisePoly;
+    params.independence = t;
+  }
+  return params;
+}
+
+// Single-sketch update cost vs s (second-level hash count).
+void BM_SketchUpdate(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  TwoLevelHashSketch sketch(
+      std::make_shared<const SketchSeed>(ParamsWithS(s), 42));
+  Xoshiro256StarStar rng(1);
+  uint64_t e = 0;
+  for (auto _ : state) {
+    sketch.Update(e, 1);
+    e = e * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchUpdate)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Update cost with t-wise polynomial first-level hashing.
+void BM_SketchUpdateKWise(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  TwoLevelHashSketch sketch(
+      std::make_shared<const SketchSeed>(ParamsWithS(32, true, t), 42));
+  uint64_t e = 0;
+  for (auto _ : state) {
+    sketch.Update(e, 1);
+    e = e * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchUpdateKWise)->Arg(2)->Arg(4)->Arg(8);
+
+// Full bank fan-out: one logical update to all r copies of a stream.
+void BM_BankApply(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  SketchBank bank(SketchFamily(ParamsWithS(32), copies, 7));
+  bank.AddStream("A");
+  uint64_t e = 0;
+  for (auto _ : state) {
+    bank.Apply("A", e, 1);
+    e = e * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankApply)->Arg(32)->Arg(128)->Arg(512);
+
+// Deletion cost is identical to insertion (same counter path).
+void BM_SketchDelete(benchmark::State& state) {
+  TwoLevelHashSketch sketch(
+      std::make_shared<const SketchSeed>(ParamsWithS(32), 42));
+  uint64_t e = 0;
+  for (auto _ : state) {
+    sketch.Update(e, -1);
+    e = e * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchDelete);
+
+// Property check cost at one level.
+void BM_SingletonBucketCheck(benchmark::State& state) {
+  const auto seed = std::make_shared<const SketchSeed>(ParamsWithS(32), 9);
+  TwoLevelHashSketch sketch(seed);
+  for (uint64_t e = 0; e < 10000; ++e) sketch.Update(e * 2654435761u, 1);
+  int level = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SingletonBucket(sketch, level));
+    level = (level + 1) & 31;
+  }
+}
+BENCHMARK(BM_SingletonBucketCheck);
+
+// Union estimation over r copies of two streams.
+void BM_UnionEstimate(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  SketchBank bank(SketchFamily(ParamsWithS(32), copies, 11));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  for (uint64_t e = 0; e < 20000; ++e) {
+    bank.Apply("A", e * 2654435761u, 1);
+    if (e % 2 == 0) bank.Apply("B", e * 2654435761u, 1);
+  }
+  const auto groups = bank.Groups({"A", "B"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateSetUnion(groups, 0.5));
+  }
+}
+BENCHMARK(BM_UnionEstimate)->Arg(128)->Arg(512);
+
+// Full expression estimation (union stage + witness stage).
+void BM_ExpressionEstimate(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  SketchBank bank(SketchFamily(ParamsWithS(32), 256, 13));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  bank.AddStream("C");
+  for (uint64_t e = 0; e < 20000; ++e) {
+    const uint64_t elem = e * 2654435761u;
+    bank.Apply("A", elem, 1);
+    if (e % 2 == 0) bank.Apply("B", elem, 1);
+    if (e % 3 == 0) bank.Apply("C", elem, 1);
+  }
+  const ParseResult parsed = ParseExpression("(A - B) & C");
+  WitnessOptions options;
+  options.pool_all_levels = pooled;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateSetExpression(*parsed.expression, bank, options));
+  }
+}
+BENCHMARK(BM_ExpressionEstimate)->Arg(0)->Arg(1);
+
+// Synopsis serialization / deserialization throughput.
+void BM_SketchSerialize(benchmark::State& state) {
+  TwoLevelHashSketch sketch(
+      std::make_shared<const SketchSeed>(ParamsWithS(32), 17));
+  for (uint64_t e = 0; e < 5000; ++e) sketch.Update(e * 7919, 1);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string buffer;
+    sketch.SerializeTo(&buffer);
+    bytes += buffer.size();
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_SketchSerialize);
+
+void BM_SketchDeserialize(benchmark::State& state) {
+  TwoLevelHashSketch sketch(
+      std::make_shared<const SketchSeed>(ParamsWithS(32), 19));
+  for (uint64_t e = 0; e < 5000; ++e) sketch.Update(e * 7919, 1);
+  std::string buffer;
+  sketch.SerializeTo(&buffer);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    size_t offset = 0;
+    auto decoded = TwoLevelHashSketch::Deserialize(buffer, &offset);
+    benchmark::DoNotOptimize(decoded);
+    bytes += buffer.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_SketchDeserialize);
+
+}  // namespace
+}  // namespace setsketch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Distributed streams with stored coins (Gibbons-Tirthapura model).
+//
+// Four collection sites each observe a fragment of three logical streams
+// (think: regional collectors for three services). Sites share nothing but
+// a 64-bit master seed and the sketch parameters — the "stored coins".
+// Each site summarizes its local traffic into 2-level hash sketches,
+// serializes them, and ships the bytes to a central coordinator, which
+// merges per-stream sketches by counter addition and answers arbitrary
+// set-expression queries over the *global* streams.
+//
+//   $ ./distributed_sites
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "distributed/coordinator.h"
+#include "distributed/site.h"
+#include "expr/exact_evaluator.h"
+#include "expr/parser.h"
+#include "hash/prng.h"
+#include "stream/exact_set_store.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+using namespace setsketch;
+
+int main() {
+  // Deployment-wide agreement: parameters + master seed. This is ALL the
+  // coordination the model needs.
+  SketchParams params;
+  params.levels = 32;
+  params.num_second_level = 32;
+  const int kCopies = 256;
+  const uint64_t kMasterSeed = 0xC01A5EEDULL;
+
+  const std::vector<std::string> streams = {"web", "api", "cdn"};
+
+  // Spin up four sites observing all three streams.
+  std::vector<Site> sites;
+  for (int i = 0; i < 4; ++i) {
+    sites.emplace_back("collector-" + std::to_string(i), params, kCopies,
+                       kMasterSeed);
+    for (const auto& stream : streams) sites.back().ObserveStream(stream);
+  }
+
+  // Synthesize global traffic: 60,000 client ids, each hitting a subset
+  // of services; every update lands at a random site (fragments overlap
+  // arbitrarily — linear merging handles duplicates of *updates* across
+  // sites only if each update goes to exactly one site, which is the
+  // model: a physical packet is observed once).
+  ExactSetStore exact(3);
+  Xoshiro256StarStar rng(4242);
+  for (int64_t c = 0; c < 60000; ++c) {
+    const uint64_t client = rng.Next();
+    const bool web = rng.NextDouble() < 0.7;
+    const bool api = rng.NextDouble() < 0.4;
+    const bool cdn = rng.NextDouble() < 0.5;
+    auto route = [&](int stream_index, const std::string& name) {
+      Site& site = sites[rng.NextBelow(sites.size())];
+      site.Ingest(name, client, 1);
+      exact.Apply(Insert(static_cast<StreamId>(stream_index), client));
+    };
+    if (web) route(0, "web");
+    if (api) route(1, "api");
+    if (cdn) route(2, "cdn");
+    // 10% of clients churn: their web session is torn down again.
+    if (web && rng.NextDouble() < 0.1) {
+      Site& site = sites[rng.NextBelow(sites.size())];
+      site.Ingest("web", client, -1);
+      exact.Apply(Delete(0, client));
+    }
+  }
+
+  // Ship the summaries. Only these bytes cross the network.
+  Coordinator coordinator(params, kCopies, kMasterSeed);
+  size_t wire_bytes = 0;
+  for (const Site& site : sites) {
+    const std::string summary = site.EncodeSummary();
+    wire_bytes += summary.size();
+    const auto result = coordinator.AddSiteSummary(summary);
+    if (!result.ok) {
+      std::cerr << "coordinator rejected " << site.name() << ": "
+                << result.error << "\n";
+      return 1;
+    }
+    std::cout << site.name() << ": " << site.updates_processed()
+              << " local updates -> " << summary.size() / 1024
+              << " KiB summary\n";
+  }
+  std::cout << "total wire traffic: " << wire_bytes / 1024 << " KiB\n\n";
+
+  // Central queries over the merged global streams.
+  const StreamNameMap name_map = {{"web", 0}, {"api", 1}, {"cdn", 2}};
+  TablePrinter table({"query", "estimate", "exact", "rel.error"});
+  const std::vector<std::string> query_texts = {
+      "web | api | cdn", "web & api", "(web & cdn) - api",
+      "cdn - (web | api)"};
+  for (const std::string& text : query_texts) {
+    WitnessOptions witness;
+    witness.pool_all_levels = true;
+    const Coordinator::Answer answer = coordinator.Estimate(text, witness);
+    if (!answer.ok) {
+      std::cerr << "estimate failed: " << answer.error << "\n";
+      return 1;
+    }
+    const ParseResult parsed = ParseExpression(text);
+    const int64_t truth =
+        ExactCardinality(*parsed.expression, exact, name_map);
+    table.AddRow(std::vector<std::string>{
+        answer.expression, FormatDouble(answer.estimate, 0),
+        std::to_string(truth),
+        FormatDouble(RelativeError(answer.estimate,
+                                   static_cast<double>(truth)) * 100,
+                     1) + "%"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nA rogue site with different coins would be rejected:\n";
+  Site rogue("rogue", params, kCopies, /*master_seed=*/123);
+  rogue.ObserveStream("web");
+  rogue.Ingest("web", 1, 1);
+  const auto rejected = coordinator.AddSiteSummary(rogue.EncodeSummary());
+  std::cout << "  coordinator says: " << rejected.error << "\n";
+  return 0;
+}

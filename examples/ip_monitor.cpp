@@ -1,0 +1,119 @@
+// IP network monitoring — the paper's motivating scenario (Section 1).
+//
+// Three routers R1, R2, R3 observe IP sessions opening (insert) and
+// closing (delete). A monitoring station keeps 2-level hash sketches of
+// the *active* source-address sets and continuously answers:
+//
+//   "how many distinct sources are active at both R1 and R2 but not R3?"
+//           |(source(R1) n source(R2)) - source(R3)|
+//
+// The simulation runs in epochs; halfway through, a simulated DDoS floods
+// R1 and R2 with spoofed sources that bypass R3 — the monitored quantity
+// jumps, demonstrating online anomaly detection from tiny synopses over a
+// deletion-heavy stream.
+//
+//   $ ./ip_monitor
+
+#include <cstdint>
+#include <deque>
+#include <iostream>
+
+#include "hash/prng.h"
+#include "query/stream_engine.h"
+#include "util/table_printer.h"
+
+using namespace setsketch;
+
+namespace {
+
+// One active session: a source address seen at a subset of routers.
+struct Session {
+  uint64_t source;
+  bool at_r1, at_r2, at_r3;
+  int closes_at_epoch;
+};
+
+}  // namespace
+
+int main() {
+  StreamEngine::Options options;
+  options.copies = 256;
+  options.seed = 171717;
+  options.track_exact = true;  // Demo-only ground truth.
+  options.witness.pool_all_levels = true;
+  StreamEngine engine(options);
+
+  const auto query = engine.RegisterQuery("(R1 & R2) - R3");
+  if (!query.ok()) return 1;
+
+  Xoshiro256StarStar rng(99);
+  std::deque<Session> active;
+  const int kEpochs = 12;
+  const int kSessionsPerEpoch = 6000;
+
+  TablePrinter table({"epoch", "active sessions", "estimate", "exact",
+                      "note"});
+
+  auto open_session = [&](int epoch, bool ddos) {
+    Session s;
+    s.source = rng.Next();
+    if (ddos) {
+      // Spoofed flood: hits the victim-facing routers, not the backbone.
+      s.at_r1 = true;
+      s.at_r2 = true;
+      s.at_r3 = false;
+      s.closes_at_epoch = epoch + 4;  // Floods linger.
+    } else {
+      // Normal traffic: sources appear at each router independently.
+      s.at_r1 = rng.NextDouble() < 0.55;
+      s.at_r2 = rng.NextDouble() < 0.55;
+      s.at_r3 = rng.NextDouble() < 0.55;
+      if (!s.at_r1 && !s.at_r2 && !s.at_r3) s.at_r1 = true;
+      s.closes_at_epoch =
+          epoch + 1 + static_cast<int>(rng.NextBelow(3));
+    }
+    if (s.at_r1) engine.Ingest("R1", s.source, 1);
+    if (s.at_r2) engine.Ingest("R2", s.source, 1);
+    if (s.at_r3) engine.Ingest("R3", s.source, 1);
+    active.push_back(s);
+  };
+
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const bool ddos_active = epoch >= 6 && epoch <= 8;
+    // Close expired sessions: deletions against every router that saw
+    // them. The sketches absorb these exactly (no resampling, ever).
+    std::deque<Session> still_active;
+    for (const Session& s : active) {
+      if (s.closes_at_epoch <= epoch) {
+        if (s.at_r1) engine.Ingest("R1", s.source, -1);
+        if (s.at_r2) engine.Ingest("R2", s.source, -1);
+        if (s.at_r3) engine.Ingest("R3", s.source, -1);
+      } else {
+        still_active.push_back(s);
+      }
+    }
+    active = std::move(still_active);
+
+    // Open this epoch's sessions.
+    for (int i = 0; i < kSessionsPerEpoch; ++i) {
+      open_session(epoch, ddos_active && i % 2 == 0);
+    }
+
+    const StreamEngine::Answer answer = engine.AnswerQuery(query.id);
+    table.AddRow(std::vector<std::string>{
+        std::to_string(epoch), std::to_string(active.size()),
+        FormatDouble(answer.estimate, 0), std::to_string(answer.exact),
+        ddos_active ? "<-- DDoS flood at R1+R2" : ""});
+  }
+
+  std::cout << "continuous query: |(R1 & R2) - R3| — distinct active "
+               "sources at R1 and R2 but not R3\n"
+            << "synopsis memory: " << engine.SynopsisBytes() / 1024
+            << " KiB total across 3 routers ("
+            << engine.updates_processed() << " updates processed)\n\n";
+  table.Print(std::cout);
+  std::cout << "\nThe estimate tracks the flood's rise and decay purely "
+               "from sketch state,\nincluding the session-close deletions "
+               "— no rescan of past traffic.\n";
+  return 0;
+}

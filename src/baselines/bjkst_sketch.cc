@@ -1,0 +1,62 @@
+#include "baselines/bjkst_sketch.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "hash/bit_util.h"
+
+namespace setsketch {
+
+BjkstSketch::BjkstSketch(int capacity, uint64_t seed)
+    : capacity_(capacity), seed_(seed), hash_(FirstLevelHash::Mix64(seed)) {
+  assert(capacity >= 2);
+}
+
+void BjkstSketch::Insert(uint64_t element) {
+  const uint64_t h = hash_(element);
+  if (LsbClamped(h, 63) < z_) return;
+  buffer_.insert(h);
+  ShrinkIfNeeded();
+}
+
+bool BjkstSketch::Delete(uint64_t element) {
+  (void)element;
+  ++ignored_deletions_;
+  return false;
+}
+
+void BjkstSketch::ShrinkIfNeeded() {
+  while (static_cast<int>(buffer_.size()) > capacity_) {
+    ++z_;
+    std::vector<uint64_t> keep;
+    keep.reserve(buffer_.size() / 2 + 1);
+    for (uint64_t h : buffer_) {
+      if (LsbClamped(h, 63) >= z_) keep.push_back(h);
+    }
+    buffer_ = std::unordered_set<uint64_t>(keep.begin(), keep.end());
+  }
+}
+
+double BjkstSketch::Estimate() const {
+  return static_cast<double>(buffer_.size()) * std::exp2(z_);
+}
+
+bool BjkstSketch::Merge(const BjkstSketch& other) {
+  if (capacity_ != other.capacity_ || seed_ != other.seed_) return false;
+  if (other.z_ > z_) z_ = other.z_;
+  // Re-filter our buffer at the (possibly raised) level and fold in the
+  // other buffer's surviving hashes.
+  std::unordered_set<uint64_t> merged;
+  for (uint64_t h : buffer_) {
+    if (LsbClamped(h, 63) >= z_) merged.insert(h);
+  }
+  for (uint64_t h : other.buffer_) {
+    if (LsbClamped(h, 63) >= z_) merged.insert(h);
+  }
+  buffer_ = std::move(merged);
+  ShrinkIfNeeded();
+  return true;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,61 @@
+// BJKST distinct-count sketch (Bar-Yossef, Jayram, Kumar, Sivakumar,
+// Trevisan, RANDOM 2002 — reference [4] of the paper): the improved
+// insert-only distinct-count estimator the paper cites as the state of
+// the art for set union.
+//
+// Keeps the set of hash values whose LSB level is >= z; when the buffer
+// exceeds its capacity, z increments and the buffer is re-filtered. The
+// estimate is |buffer| * 2^z. Insert-only (deletions counted and
+// ignored); supports lossless union merging.
+
+#ifndef SETSKETCH_BASELINES_BJKST_SKETCH_H_
+#define SETSKETCH_BASELINES_BJKST_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+#include "hash/hash_family.h"
+
+namespace setsketch {
+
+/// One BJKST instance (callers average several for tighter accuracy).
+class BjkstSketch {
+ public:
+  /// `capacity` = buffer size (theory: O(1/eps^2)); hash from `seed`.
+  BjkstSketch(int capacity, uint64_t seed);
+
+  /// Inserts one occurrence of `element`.
+  void Insert(uint64_t element);
+
+  /// Unsupported: records the attempt, changes nothing. Returns false.
+  bool Delete(uint64_t element);
+
+  /// Distinct-count estimate |buffer| * 2^z.
+  double Estimate() const;
+
+  /// Merges another instance built with equal (capacity, seed): union of
+  /// buffers at the larger z, re-filtered. Returns false on mismatch.
+  bool Merge(const BjkstSketch& other);
+
+  int capacity() const { return capacity_; }
+  uint64_t seed() const { return seed_; }
+  int level() const { return z_; }
+  int64_t ignored_deletions() const { return ignored_deletions_; }
+
+  size_t SizeBytes() const { return buffer_.size() * sizeof(uint64_t); }
+
+ private:
+  void ShrinkIfNeeded();
+
+  int capacity_;
+  uint64_t seed_;
+  FirstLevelHash hash_;
+  int z_ = 0;                          // Current level threshold.
+  std::unordered_set<uint64_t> buffer_;  // Hashes with LSB level >= z.
+  int64_t ignored_deletions_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_BASELINES_BJKST_SKETCH_H_

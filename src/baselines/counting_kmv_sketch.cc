@@ -1,0 +1,97 @@
+#include "baselines/counting_kmv_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace setsketch {
+
+CountingKmvSketch::CountingKmvSketch(int k, uint64_t seed)
+    : k_(k), seed_(seed), hash_(FirstLevelHash::Mix64(seed)) {
+  assert(k >= 2);
+}
+
+void CountingKmvSketch::Update(uint64_t element, int64_t delta) {
+  const uint64_t h = hash_(element);
+  auto it = sample_.find(h);
+  if (it != sample_.end()) {
+    it->second += delta;
+    if (it->second <= 0) {
+      // Net frequency exhausted: the slot empties and cannot be refilled
+      // with the true next-smallest hash without rescanning.
+      sample_.erase(it);
+      ++zero_evictions_;
+    }
+    return;
+  }
+  if (delta <= 0) return;  // Deleting an unsampled element: no-op.
+  if (static_cast<int>(sample_.size()) < k_) {
+    sample_.emplace(h, delta);
+    return;
+  }
+  auto last = std::prev(sample_.end());
+  if (h < last->first) {
+    sample_.erase(last);
+    ++displacements_;
+    sample_.emplace(h, delta);
+  }
+}
+
+namespace {
+
+double EstimateFromBottomK(const std::vector<uint64_t>& sample, int k) {
+  if (static_cast<int>(sample.size()) < k) {
+    return static_cast<double>(sample.size());
+  }
+  const double kth = static_cast<double>(sample.back());
+  if (kth == 0) return static_cast<double>(sample.size());
+  return (static_cast<double>(k) - 1.0) * 0x1.0p64 / kth;
+}
+
+std::vector<uint64_t> MergedBottomK(const CountingKmvSketch& a,
+                                    const CountingKmvSketch& b, int k) {
+  std::vector<uint64_t> av = a.SampleHashes();
+  std::vector<uint64_t> bv = b.SampleHashes();
+  std::vector<uint64_t> merged;
+  merged.reserve(av.size() + bv.size());
+  std::merge(av.begin(), av.end(), bv.begin(), bv.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (static_cast<int>(merged.size()) > k) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  return merged;
+}
+
+}  // namespace
+
+double CountingKmvSketch::EstimateDistinct() const {
+  return EstimateFromBottomK(SampleHashes(), k_);
+}
+
+double CountingKmvSketch::EstimateUnion(const CountingKmvSketch& a,
+                                        const CountingKmvSketch& b) {
+  assert(a.k_ == b.k_ && a.seed_ == b.seed_);
+  return EstimateFromBottomK(MergedBottomK(a, b, a.k_), a.k_);
+}
+
+double CountingKmvSketch::EstimateIntersection(const CountingKmvSketch& a,
+                                               const CountingKmvSketch& b) {
+  assert(a.k_ == b.k_ && a.seed_ == b.seed_);
+  const std::vector<uint64_t> merged = MergedBottomK(a, b, a.k_);
+  if (merged.empty()) return 0.0;
+  int both = 0;
+  for (uint64_t h : merged) {
+    if (a.Contains(h) && b.Contains(h)) ++both;
+  }
+  return EstimateFromBottomK(merged, a.k_) * static_cast<double>(both) /
+         static_cast<double>(merged.size());
+}
+
+std::vector<uint64_t> CountingKmvSketch::SampleHashes() const {
+  std::vector<uint64_t> out;
+  out.reserve(sample_.size());
+  for (const auto& [hash, freq] : sample_) out.push_back(hash);
+  return out;
+}
+
+}  // namespace setsketch

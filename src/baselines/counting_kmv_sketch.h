@@ -1,0 +1,82 @@
+// Counting KMV: a bottom-k distinct sample extended with per-element net
+// frequencies — the strongest sampling-style baseline we can build for
+// update streams, and a foil that sharpens the paper's point.
+//
+// Keeping a counter per sampled hash fixes *multiset* churn (deleting
+// surplus copies of an element just decrements its counter; the element
+// stays sampled while its net frequency is positive). What it cannot fix
+// is the structural failure the paper identifies: when a sampled
+// element's net frequency reaches zero it must leave the sample, and when
+// a transient element momentarily evicts a real one, the evicted slot
+// cannot be refilled without rescanning the stream. bench_deletions shows
+// counting KMV surviving multiset churn but still degrading under
+// transient churn — unlike 2-level hash sketches, which are exactly
+// linear.
+
+#ifndef SETSKETCH_BASELINES_COUNTING_KMV_SKETCH_H_
+#define SETSKETCH_BASELINES_COUNTING_KMV_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace setsketch {
+
+/// Bottom-k distinct sample with net-frequency counters.
+class CountingKmvSketch {
+ public:
+  /// `k` sample slots; hash drawn from `seed`. Two sketches are
+  /// compatible iff built with equal (k, seed).
+  CountingKmvSketch(int k, uint64_t seed);
+
+  /// Applies an update of `delta` occurrences of `element`.
+  void Update(uint64_t element, int64_t delta);
+
+  /// Distinct-count estimate (k - 1) * 2^64 / kth_min over the sampled
+  /// hashes with positive net frequency; exact size below k.
+  double EstimateDistinct() const;
+
+  /// |A n B| via the union sample's coincidence fraction.
+  static double EstimateIntersection(const CountingKmvSketch& a,
+                                     const CountingKmvSketch& b);
+
+  /// |A u B| from the merged bottom-k.
+  static double EstimateUnion(const CountingKmvSketch& a,
+                              const CountingKmvSketch& b);
+
+  int k() const { return k_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Number of sampled elements whose net frequency hit zero (forced
+  /// evictions the sample cannot repair one-pass).
+  int64_t zero_evictions() const { return zero_evictions_; }
+
+  /// Number of real sample entries displaced by smaller-hash arrivals
+  /// that later disappeared again (detectable only as zero_evictions of
+  /// the displacing element; exposed for diagnostics).
+  int64_t displacements() const { return displacements_; }
+
+  /// Sampled hashes with positive net frequency, ascending.
+  std::vector<uint64_t> SampleHashes() const;
+
+  size_t SizeBytes() const {
+    return sample_.size() * (sizeof(uint64_t) + sizeof(int64_t));
+  }
+
+ private:
+  bool Contains(uint64_t hash) const { return sample_.contains(hash); }
+
+  int k_;
+  uint64_t seed_;
+  FirstLevelHash hash_;
+  std::map<uint64_t, int64_t> sample_;  // hash -> net frequency.
+  int64_t zero_evictions_ = 0;
+  int64_t displacements_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_BASELINES_COUNTING_KMV_SKETCH_H_

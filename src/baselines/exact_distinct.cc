@@ -1,0 +1,25 @@
+#include "baselines/exact_distinct.h"
+
+namespace setsketch {
+
+bool ExactDistinct::Update(uint64_t element, int64_t delta) {
+  auto it = counts_.find(element);
+  const int64_t current = it == counts_.end() ? 0 : it->second;
+  const int64_t next = current + delta;
+  if (next < 0) return false;
+  if (next == 0) {
+    if (it != counts_.end()) counts_.erase(it);
+  } else if (it != counts_.end()) {
+    it->second = next;
+  } else {
+    counts_.emplace(element, next);
+  }
+  return true;
+}
+
+int64_t ExactDistinct::Frequency(uint64_t element) const {
+  auto it = counts_.find(element);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace setsketch

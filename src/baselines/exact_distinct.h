@@ -1,0 +1,40 @@
+// Exact distinct counter over one update stream — the O(n)-memory
+// comparator every synopsis is measured against. Unlike the insert-only
+// baselines it handles deletions exactly (it simply pays full space).
+
+#ifndef SETSKETCH_BASELINES_EXACT_DISTINCT_H_
+#define SETSKETCH_BASELINES_EXACT_DISTINCT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace setsketch {
+
+/// Exact net-frequency distinct counter for a single stream.
+class ExactDistinct {
+ public:
+  ExactDistinct() = default;
+
+  /// Applies an update of `delta` to `element`. Returns false (no change)
+  /// if it would drive the net frequency negative.
+  bool Update(uint64_t element, int64_t delta);
+
+  /// Number of distinct elements with positive net frequency.
+  int64_t Distinct() const { return static_cast<int64_t>(counts_.size()); }
+
+  /// Net frequency of `element`.
+  int64_t Frequency(uint64_t element) const;
+
+  /// Memory footprint estimate in bytes.
+  size_t SizeBytes() const {
+    return counts_.size() * (sizeof(uint64_t) + sizeof(int64_t));
+  }
+
+ private:
+  std::unordered_map<uint64_t, int64_t> counts_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_BASELINES_EXACT_DISTINCT_H_

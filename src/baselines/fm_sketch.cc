@@ -1,0 +1,73 @@
+#include "baselines/fm_sketch.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "hash/bit_util.h"
+#include "hash/prng.h"
+
+namespace setsketch {
+
+namespace {
+
+/// Flajolet-Martin's bias-correction constant 1/phi.
+constexpr double kFmCorrection = 1.2928;
+
+}  // namespace
+
+FmSketch::FmSketch(int instances, int bits, uint64_t seed)
+    : bits_(bits), seed_(seed) {
+  assert(instances >= 1);
+  assert(bits >= 1 && bits <= 64);
+  SplitMix64 sm(seed);
+  hashes_.reserve(static_cast<size_t>(instances));
+  for (int i = 0; i < instances; ++i) {
+    hashes_.push_back(FirstLevelHash::Mix64(sm.Next()));
+  }
+  bitmaps_.assign(static_cast<size_t>(instances), 0);
+}
+
+void FmSketch::Insert(uint64_t element) {
+  const uint64_t mask = bits_ >= 64 ? ~0ULL : ((1ULL << bits_) - 1);
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    const int pos = LsbClamped(hashes_[i](element) & mask, bits_ - 1);
+    bitmaps_[i] |= (1ULL << pos);
+  }
+}
+
+bool FmSketch::Delete(uint64_t element) {
+  (void)element;
+  ++ignored_deletions_;
+  return false;
+}
+
+double FmSketch::Estimate() const {
+  int64_t sum = 0;
+  for (uint64_t bitmap : bitmaps_) {
+    // Leftmost zero = lowest unset bit position.
+    const uint64_t inverted = ~bitmap;
+    const int leftmost_zero =
+        inverted == 0 ? bits_ : LsbClamped(inverted, bits_);
+    sum += leftmost_zero;
+  }
+  const double avg = static_cast<double>(sum) /
+                     static_cast<double>(bitmaps_.size());
+  return kFmCorrection * std::exp2(avg);
+}
+
+bool FmSketch::Merge(const FmSketch& other) {
+  if (bits_ != other.bits_ || seed_ != other.seed_ ||
+      bitmaps_.size() != other.bitmaps_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    bitmaps_[i] |= other.bitmaps_[i];
+  }
+  return true;
+}
+
+size_t FmSketch::SizeBytes() const {
+  return (bitmaps_.size() * static_cast<size_t>(bits_) + 7) / 8;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,63 @@
+// The Flajolet-Martin distinct-count estimator (paper Section 2.2,
+// Figure 2) — the insert-only baseline that 2-level hash sketches
+// generalize.
+//
+// Each of r instances keeps a Theta(log M) bit-vector; element e turns on
+// bit LSB(h(e)). The estimate is 1.2928 * 2^(sum of leftmost-zero positions
+// / r). Deletions are NOT supported: a bit cannot be turned off without
+// knowing whether other elements also set it. Attempted deletions are
+// counted and ignored so benches can quantify the resulting bias.
+
+#ifndef SETSKETCH_BASELINES_FM_SKETCH_H_
+#define SETSKETCH_BASELINES_FM_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace setsketch {
+
+/// r-instance Flajolet-Martin synopsis.
+class FmSketch {
+ public:
+  /// `instances` = r independent bit-vectors, each `bits` wide, hash
+  /// functions derived from `seed`.
+  FmSketch(int instances, int bits, uint64_t seed);
+
+  /// Inserts one occurrence of `element` (idempotent per instance bit).
+  void Insert(uint64_t element);
+
+  /// Deletions are unsupported; records the attempt and leaves all bits
+  /// unchanged. Returns false always.
+  bool Delete(uint64_t element);
+
+  /// Figure 2's estimate R = 1.2928 * 2^(sum/r) over leftmost-zero
+  /// positions.
+  double Estimate() const;
+
+  /// Merges another FM sketch built with the same (instances, bits, seed)
+  /// by OR-ing bit-vectors (valid for set union). Returns false on
+  /// configuration mismatch.
+  bool Merge(const FmSketch& other);
+
+  int instances() const { return static_cast<int>(bitmaps_.size()); }
+  int bits() const { return bits_; }
+  uint64_t seed() const { return seed_; }
+  int64_t ignored_deletions() const { return ignored_deletions_; }
+
+  /// Synopsis size in bytes (bit-vectors only).
+  size_t SizeBytes() const;
+
+ private:
+  int bits_;
+  uint64_t seed_;
+  std::vector<FirstLevelHash> hashes_;
+  std::vector<uint64_t> bitmaps_;  // One word per instance (bits_ <= 64).
+  int64_t ignored_deletions_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_BASELINES_FM_SKETCH_H_

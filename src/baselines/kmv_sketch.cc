@@ -1,0 +1,115 @@
+#include "baselines/kmv_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace setsketch {
+
+KmvSketch::KmvSketch(int k, uint64_t seed)
+    : k_(k), seed_(seed), hash_(FirstLevelHash::Mix64(seed)) {
+  assert(k >= 2);
+}
+
+void KmvSketch::Insert(uint64_t element) {
+  const uint64_t h = hash_(element);
+  if (static_cast<int>(sample_.size()) < k_) {
+    sample_.insert(h);
+    return;
+  }
+  auto last = std::prev(sample_.end());
+  if (h < *last && !sample_.contains(h)) {
+    sample_.erase(last);
+    sample_.insert(h);
+  }
+}
+
+bool KmvSketch::Delete(uint64_t element) {
+  const uint64_t h = hash_(element);
+  auto it = sample_.find(h);
+  if (it == sample_.end()) return false;
+  // The evicted slot cannot be refilled without rescanning past items —
+  // the depletion the paper's Prior Work section describes.
+  sample_.erase(it);
+  ++depletions_;
+  return true;
+}
+
+double KmvSketch::EstimateDistinct() const {
+  if (static_cast<int>(sample_.size()) < k_) {
+    return static_cast<double>(sample_.size());
+  }
+  const double kth = static_cast<double>(*sample_.rbegin());
+  if (kth == 0) return static_cast<double>(sample_.size());
+  return (static_cast<double>(k_) - 1.0) * 0x1.0p64 / kth;
+}
+
+namespace {
+
+// Bottom-k of the union of two ascending samples.
+std::vector<uint64_t> MergedBottomK(const KmvSketch& a, const KmvSketch& b,
+                                    int k) {
+  std::vector<uint64_t> av = a.SampleHashes();
+  std::vector<uint64_t> bv = b.SampleHashes();
+  std::vector<uint64_t> merged;
+  merged.reserve(av.size() + bv.size());
+  std::merge(av.begin(), av.end(), bv.begin(), bv.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (static_cast<int>(merged.size()) > k) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  return merged;
+}
+
+double EstimateFromBottomK(const std::vector<uint64_t>& sample, int k) {
+  if (static_cast<int>(sample.size()) < k) {
+    return static_cast<double>(sample.size());
+  }
+  const double kth = static_cast<double>(sample.back());
+  if (kth == 0) return static_cast<double>(sample.size());
+  return (static_cast<double>(k) - 1.0) * 0x1.0p64 / kth;
+}
+
+}  // namespace
+
+double KmvSketch::EstimateUnion(const KmvSketch& a, const KmvSketch& b) {
+  assert(a.Compatible(b));
+  const std::vector<uint64_t> merged = MergedBottomK(a, b, a.k_);
+  return EstimateFromBottomK(merged, a.k_);
+}
+
+double KmvSketch::EstimateIntersection(const KmvSketch& a,
+                                       const KmvSketch& b) {
+  assert(a.Compatible(b));
+  const std::vector<uint64_t> merged = MergedBottomK(a, b, a.k_);
+  if (merged.empty()) return 0.0;
+  // Coincidence fraction: union sample members present in both sketches.
+  int both = 0;
+  for (uint64_t h : merged) {
+    if (a.sample_.contains(h) && b.sample_.contains(h)) ++both;
+  }
+  const double union_estimate = EstimateFromBottomK(merged, a.k_);
+  return union_estimate * static_cast<double>(both) /
+         static_cast<double>(merged.size());
+}
+
+double KmvSketch::EstimateDifference(const KmvSketch& a,
+                                     const KmvSketch& b) {
+  assert(a.Compatible(b));
+  const std::vector<uint64_t> merged = MergedBottomK(a, b, a.k_);
+  if (merged.empty()) return 0.0;
+  // Union sample members in A but not in B.
+  int only_a = 0;
+  for (uint64_t h : merged) {
+    if (a.sample_.contains(h) && !b.sample_.contains(h)) ++only_a;
+  }
+  const double union_estimate = EstimateFromBottomK(merged, a.k_);
+  return union_estimate * static_cast<double>(only_a) /
+         static_cast<double>(merged.size());
+}
+
+std::vector<uint64_t> KmvSketch::SampleHashes() const {
+  return std::vector<uint64_t>(sample_.begin(), sample_.end());
+}
+
+}  // namespace setsketch

@@ -1,0 +1,84 @@
+// KMV ("k minimum values" / bottom-k) distinct sketch — a sampling-style
+// baseline in the spirit of the distinct-sampling prior work the paper
+// contrasts against ([14, 15] in its bibliography).
+//
+// Keeps the k smallest hash values of the distinct elements seen. Supports:
+//   * distinct-count estimation:   (k - 1) * 2^64 / kth_min,
+//   * lossless union (merge),
+//   * intersection via the union sample: the fraction of the union's
+//     bottom-k that appears in both sketches, scaled by the union estimate.
+//
+// The deletion story is the paper's motivating negative result: removing a
+// sampled element depletes the synopsis and the evicted slot cannot be
+// refilled without rescanning the stream. Delete() removes the element if
+// sampled (recording the depletion); estimates afterwards are biased —
+// exactly the behavior bench_deletions quantifies against 2-level hash
+// sketches.
+
+#ifndef SETSKETCH_BASELINES_KMV_SKETCH_H_
+#define SETSKETCH_BASELINES_KMV_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace setsketch {
+
+/// Bottom-k distinct sketch.
+class KmvSketch {
+ public:
+  /// `k` sample slots; hash function derived from `seed`. Two sketches are
+  /// compatible iff built with equal (k, seed).
+  KmvSketch(int k, uint64_t seed);
+
+  /// Inserts `element` (duplicate insertions are no-ops).
+  void Insert(uint64_t element);
+
+  /// Deletes `element`. If it is in the sample it is evicted and the sketch
+  /// becomes *depleted* (the true k-th minimum may now be missing; there is
+  /// no way to recover it one-pass). Returns true iff an eviction happened.
+  bool Delete(uint64_t element);
+
+  /// Distinct-count estimate (k - 1) * 2^64 / kth_min; exact sample size
+  /// when fewer than k distinct values were seen.
+  double EstimateDistinct() const;
+
+  /// Estimates |A u B| by merging the two samples.
+  static double EstimateUnion(const KmvSketch& a, const KmvSketch& b);
+
+  /// Estimates |A n B| from the union's bottom-k coincidence fraction.
+  static double EstimateIntersection(const KmvSketch& a, const KmvSketch& b);
+
+  /// Estimates |A - B| = |A u B| - |B|.
+  static double EstimateDifference(const KmvSketch& a, const KmvSketch& b);
+
+  int k() const { return k_; }
+  uint64_t seed() const { return seed_; }
+  /// Number of sample evictions caused by deletions.
+  int64_t depletions() const { return depletions_; }
+  /// True once any deletion has evicted a sampled element.
+  bool depleted() const { return depletions_ > 0; }
+
+  /// Current sample (hash values, ascending).
+  std::vector<uint64_t> SampleHashes() const;
+
+  size_t SizeBytes() const { return sample_.size() * sizeof(uint64_t); }
+
+ private:
+  bool Compatible(const KmvSketch& other) const {
+    return k_ == other.k_ && seed_ == other.seed_;
+  }
+
+  int k_;
+  uint64_t seed_;
+  FirstLevelHash hash_;
+  std::set<uint64_t> sample_;  // Up to k smallest hash values.
+  int64_t depletions_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_BASELINES_KMV_SKETCH_H_

@@ -1,0 +1,58 @@
+#include "baselines/minwise_sketch.h"
+
+#include <cassert>
+#include <limits>
+
+#include "hash/prng.h"
+
+namespace setsketch {
+
+MinwiseSketch::MinwiseSketch(int k, uint64_t seed) : seed_(seed) {
+  assert(k >= 1);
+  SplitMix64 sm(seed);
+  hashes_.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    hashes_.push_back(FirstLevelHash::Mix64(sm.Next()));
+  }
+  mins_.assign(static_cast<size_t>(k),
+               std::numeric_limits<uint64_t>::max());
+}
+
+void MinwiseSketch::Insert(uint64_t element) {
+  empty_ = false;
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    const uint64_t h = hashes_[i](element);
+    if (h < mins_[i]) mins_[i] = h;
+  }
+}
+
+bool MinwiseSketch::Delete(uint64_t element) {
+  (void)element;
+  ++ignored_deletions_;
+  return false;
+}
+
+double MinwiseSketch::EstimateJaccard(const MinwiseSketch& a,
+                                      const MinwiseSketch& b) {
+  assert(a.Compatible(b));
+  if (a.empty_ || b.empty_) return 0.0;
+  int matches = 0;
+  for (size_t i = 0; i < a.mins_.size(); ++i) {
+    if (a.mins_[i] == b.mins_[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(a.mins_.size());
+}
+
+double MinwiseSketch::EstimateIntersection(const MinwiseSketch& a,
+                                           const MinwiseSketch& b,
+                                           double union_size) {
+  return EstimateJaccard(a, b) * union_size;
+}
+
+double MinwiseSketch::EstimateSymmetricDifference(const MinwiseSketch& a,
+                                                  const MinwiseSketch& b,
+                                                  double union_size) {
+  return (1.0 - EstimateJaccard(a, b)) * union_size;
+}
+
+}  // namespace setsketch

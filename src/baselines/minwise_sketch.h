@@ -1,0 +1,82 @@
+// Min-wise independent permutation (MIP) signatures — the paper's Prior
+// Work baseline for intersection/difference over *insert-only* streams
+// (Broder et al. / Cohen / Indyk; [5, 8, 18] in the bibliography).
+//
+// k independent hash functions; signature[i] = min over stream elements of
+// h_i(e). For two streams, the fraction of matching signature positions
+// estimates the Jaccard resemblance |A n B| / |A u B|; scaling by a union
+// estimate yields intersection and difference cardinalities.
+//
+// Deletions cannot be processed at all: if the deleted element currently
+// attains some minimum, recomputing that minimum requires rescanning the
+// stream. Delete() counts the attempt and leaves the signature stale,
+// which is exactly the failure mode the paper motivates 2-level hash
+// sketches with.
+
+#ifndef SETSKETCH_BASELINES_MINWISE_SKETCH_H_
+#define SETSKETCH_BASELINES_MINWISE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace setsketch {
+
+/// k-position min-hash signature of one stream.
+class MinwiseSketch {
+ public:
+  /// `k` signature positions, hash functions derived from `seed`.
+  /// Compatible sketches share (k, seed).
+  MinwiseSketch(int k, uint64_t seed);
+
+  /// Inserts one occurrence of `element`.
+  void Insert(uint64_t element);
+
+  /// Unsupported: records the attempt, leaves the (possibly now stale)
+  /// signature unchanged. Returns false always.
+  bool Delete(uint64_t element);
+
+  /// Estimated Jaccard resemblance |A n B| / |A u B| in [0, 1].
+  static double EstimateJaccard(const MinwiseSketch& a,
+                                const MinwiseSketch& b);
+
+  /// |A n B| ~= J(A, B) * union_size (union size supplied externally,
+  /// e.g. from a KMV or FM union estimate).
+  static double EstimateIntersection(const MinwiseSketch& a,
+                                     const MinwiseSketch& b,
+                                     double union_size);
+
+  /// |(A - B) u (B - A)| ~= (1 - J(A, B)) * union_size: positions where the
+  /// two signatures disagree approximate the symmetric-difference fraction
+  /// of the union.
+  static double EstimateSymmetricDifference(const MinwiseSketch& a,
+                                            const MinwiseSketch& b,
+                                            double union_size);
+
+  int k() const { return static_cast<int>(mins_.size()); }
+  uint64_t seed() const { return seed_; }
+  int64_t ignored_deletions() const { return ignored_deletions_; }
+  bool empty() const { return empty_; }
+
+  /// The raw signature (one min per position).
+  const std::vector<uint64_t>& signature() const { return mins_; }
+
+  size_t SizeBytes() const { return mins_.size() * sizeof(uint64_t); }
+
+ private:
+  bool Compatible(const MinwiseSketch& other) const {
+    return mins_.size() == other.mins_.size() && seed_ == other.seed_;
+  }
+
+  uint64_t seed_;
+  std::vector<FirstLevelHash> hashes_;
+  std::vector<uint64_t> mins_;
+  bool empty_ = true;
+  int64_t ignored_deletions_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_BASELINES_MINWISE_SKETCH_H_

@@ -1,0 +1,53 @@
+#include "core/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace setsketch {
+
+Interval WilsonInterval(int successes, int trials, double z) {
+  if (trials <= 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+namespace {
+
+// Inverts p = 1 - (1 - 1/R)^u for u; clamps p into [0, 1).
+double InvertOccupancy(double p, double big_r) {
+  p = std::clamp(p, 0.0, 1.0 - 1e-12);
+  return std::log1p(-p) / std::log1p(-1.0 / big_r);
+}
+
+}  // namespace
+
+Interval UnionInterval(const UnionEstimate& estimate, double z) {
+  if (!estimate.ok || estimate.level < 0) return {0.0, 0.0};
+  const Interval p =
+      WilsonInterval(estimate.nonempty_count, estimate.copies, z);
+  const double big_r = std::ldexp(1.0, estimate.level + 1);
+  return {InvertOccupancy(p.lo, big_r), InvertOccupancy(p.hi, big_r)};
+}
+
+Interval WitnessInterval(const WitnessEstimate& estimate, double z) {
+  if (!estimate.ok) return {0.0, 0.0};
+  const Interval p =
+      WilsonInterval(estimate.witnesses, estimate.valid_observations, z);
+  return {p.lo * estimate.union_estimate, p.hi * estimate.union_estimate};
+}
+
+Interval WitnessInterval(const WitnessEstimate& estimate,
+                         const Interval& union_interval, double z) {
+  if (!estimate.ok) return {0.0, 0.0};
+  const Interval p =
+      WilsonInterval(estimate.witnesses, estimate.valid_observations, z);
+  return {p.lo * union_interval.lo, p.hi * union_interval.hi};
+}
+
+}  // namespace setsketch

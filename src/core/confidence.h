@@ -1,0 +1,50 @@
+// Confidence intervals for the probabilistic estimators.
+//
+// Both estimator families reduce to a binomial proportion: the union
+// estimator observes the non-empty fraction of r buckets; the witness
+// estimators observe the witness fraction of r' union-singleton buckets.
+// Wilson score intervals on those proportions, pushed through the
+// respective inversion/scaling, give practical error bars without the
+// conservative constants of the (epsilon, delta) theory.
+
+#ifndef SETSKETCH_CORE_CONFIDENCE_H_
+#define SETSKETCH_CORE_CONFIDENCE_H_
+
+#include "core/set_union_estimator.h"
+#include "core/witness_estimate.h"
+
+namespace setsketch {
+
+/// A two-sided interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+  double Width() const { return hi - lo; }
+};
+
+/// Wilson score interval for a binomial proportion: `successes` out of
+/// `trials` at normal quantile `z` (1.96 ~ 95%). Well-behaved at 0 and
+/// `trials` successes, unlike the plain normal approximation. Returns
+/// [0, 1] for trials == 0.
+Interval WilsonInterval(int successes, int trials, double z = 1.96);
+
+/// Interval for the union cardinality |A_1 u ... u A_n| from a completed
+/// UnionEstimate: the Wilson interval of the observed non-empty fraction,
+/// inverted through p = 1 - (1 - 1/R)^u (monotone in p). Not meaningful
+/// when the estimate is not ok.
+Interval UnionInterval(const UnionEstimate& estimate, double z = 1.96);
+
+/// Interval for |E| from a completed witness estimate: the Wilson
+/// interval of the witness fraction scaled by the union estimate.
+/// Treats the union estimate as exact; pass `union_interval` (e.g. from
+/// UnionInterval) to additionally propagate union uncertainty by interval
+/// arithmetic.
+Interval WitnessInterval(const WitnessEstimate& estimate, double z = 1.96);
+Interval WitnessInterval(const WitnessEstimate& estimate,
+                         const Interval& union_interval, double z = 1.96);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_CONFIDENCE_H_

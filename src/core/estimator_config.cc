@@ -1,0 +1,66 @@
+#include "core/estimator_config.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hash/bit_util.h"
+
+namespace setsketch {
+
+int UnionCopiesNeeded(const AccuracyTarget& target) {
+  assert(target.Valid());
+  const double r =
+      256.0 * std::log(1.0 / target.delta) / (7.0 * target.epsilon *
+                                              target.epsilon);
+  return std::max(1, static_cast<int>(std::ceil(r)));
+}
+
+int WitnessCopiesNeeded(const AccuracyTarget& target,
+                        double union_to_result_ratio) {
+  assert(target.Valid());
+  assert(union_to_result_ratio >= 1.0);
+  // r' >= 2 ln(1/delta) |U| / (eps^2 |E|) valid observations, of which a
+  // (1 - eps1)(beta - 1)/beta^2 fraction of copies qualifies; with the
+  // analysis' optimal beta = 2, eps1 = (sqrt(5) - 1)/2 that fraction is
+  // (1 - eps1)/4 ~ 0.0955.
+  const double valid_fraction = (1.0 - (std::sqrt(5.0) - 1.0) / 2.0) / 4.0;
+  const double r_valid = 2.0 * std::log(1.0 / target.delta) *
+                         union_to_result_ratio /
+                         (target.epsilon * target.epsilon);
+  return std::max(1, static_cast<int>(std::ceil(r_valid / valid_fraction)));
+}
+
+int SecondLevelNeeded(double delta, int copies) {
+  assert(delta > 0 && delta < 1 && copies >= 1);
+  // 2^-s <= delta / copies  =>  s >= log2(copies / delta).
+  const double s = std::log2(static_cast<double>(copies) / delta);
+  return std::max(1, static_cast<int>(std::ceil(s)));
+}
+
+int WitnessLevel(double union_estimate, double epsilon, double beta,
+                 int levels) {
+  assert(beta > 1.0);
+  assert(epsilon > 0 && epsilon < 1);
+  if (union_estimate < 1.0) union_estimate = 1.0;
+  const double target = beta * union_estimate / (1.0 - epsilon);
+  const int level = CeilLog2(static_cast<uint64_t>(std::ceil(target)));
+  return std::clamp(level, 0, levels - 1);
+}
+
+SketchParams ParamsForTarget(const AccuracyTarget& target, int copies,
+                             int domain_bits) {
+  SketchParams params;
+  // Theta(log M) first-level buckets: hash outputs live in [M^2], but any
+  // level above log2(max distinct) is empty w.h.p.; domain_bits + a safety
+  // margin suffices.
+  params.levels = std::min(64, domain_bits + 8);
+  params.num_second_level = SecondLevelNeeded(target.delta, copies);
+  // Section 3.6: Theta(log 1/eps)-wise independence suffices.
+  params.first_level_kind = FirstLevelKind::kKWisePoly;
+  params.independence = std::max(
+      4, static_cast<int>(std::ceil(std::log2(3.0 / target.epsilon))));
+  return params;
+}
+
+}  // namespace setsketch

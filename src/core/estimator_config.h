@@ -1,0 +1,57 @@
+// Sizing rules connecting the user's accuracy target (epsilon, delta) to
+// sketch resources (r copies, s second-level functions), following the
+// analyses behind Theorems 3.3-3.5 and 4.1.
+//
+// The theoretical constants are conservative; the paper's own experiments
+// simply sweep r (32..512 copies with s = 32). Both styles are supported:
+// size from (epsilon, delta) here, or pass an explicit r to the estimators.
+
+#ifndef SETSKETCH_CORE_ESTIMATOR_CONFIG_H_
+#define SETSKETCH_CORE_ESTIMATOR_CONFIG_H_
+
+#include "core/sketch_seed.h"
+
+namespace setsketch {
+
+/// Accuracy target for an (epsilon, delta)-approximation scheme:
+/// Pr[ |X_hat - X| <= epsilon * X ] >= 1 - delta.
+struct AccuracyTarget {
+  double epsilon = 0.1;
+  double delta = 0.05;
+
+  bool Valid() const {
+    return epsilon > 0 && epsilon < 1 && delta > 0 && delta < 1;
+  }
+};
+
+/// Number of independent sketch copies r for the set-union estimator
+/// (Section 3.3 analysis: r >= 256 ln(1/delta) / (7 epsilon^2)).
+int UnionCopiesNeeded(const AccuracyTarget& target);
+
+/// Number of copies for witness-based estimators (difference,
+/// intersection, general expressions). `union_to_result_ratio` is
+/// |union| / |E|, the hardness knob of Theorems 3.4/3.5/4.1: small results
+/// inside a large union need proportionally more copies.
+int WitnessCopiesNeeded(const AccuracyTarget& target,
+                        double union_to_result_ratio);
+
+/// Number of second-level hash functions s so that all property checks
+/// across r copies succeed together with probability >= 1 - delta
+/// (union bound: per-check failure 2^-s <= delta / r).
+int SecondLevelNeeded(double delta, int copies);
+
+/// The witness level of AtomicDiffEstimator (Figure 6, step 1):
+/// ceil(log2(beta * union_estimate / (1 - epsilon))), clamped to
+/// [0, levels - 1]. beta > 1; the Section 3.4 analysis shows beta = 2
+/// minimizes the copies needed.
+int WitnessLevel(double union_estimate, double epsilon, double beta,
+                 int levels);
+
+/// Sketch parameters sized for an accuracy target over a domain of
+/// `domain_bits`-bit elements with at most 2^`domain_bits` distinct values.
+SketchParams ParamsForTarget(const AccuracyTarget& target, int copies,
+                             int domain_bits = 32);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_ESTIMATOR_CONFIG_H_

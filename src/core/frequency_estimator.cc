@@ -1,0 +1,45 @@
+#include "core/frequency_estimator.h"
+
+#include <algorithm>
+
+namespace setsketch {
+
+int64_t FrequencyUpperBound(const TwoLevelHashSketch& sketch,
+                            uint64_t element) {
+  const SketchSeed& seed = sketch.seed();
+  const int level = seed.Level(element);
+  int64_t bound = INT64_MAX;
+  for (int j = 0; j < sketch.num_second_level(); ++j) {
+    const int bit = seed.second_level(j)(element);
+    bound = std::min(bound, sketch.Count(level, j, bit));
+    if (bound == 0) break;  // Cannot get tighter.
+  }
+  return bound;
+}
+
+int64_t EstimateFrequency(
+    const std::vector<const TwoLevelHashSketch*>& sketches,
+    uint64_t element) {
+  int64_t bound = 0;
+  bool first = true;
+  for (const TwoLevelHashSketch* sketch : sketches) {
+    if (sketch == nullptr) continue;
+    const int64_t b = FrequencyUpperBound(*sketch, element);
+    bound = first ? b : std::min(bound, b);
+    first = false;
+    if (bound == 0) break;
+  }
+  return first ? 0 : bound;
+}
+
+int64_t EstimateFrequency(const std::vector<TwoLevelHashSketch>& sketches,
+                          uint64_t element) {
+  std::vector<const TwoLevelHashSketch*> pointers;
+  pointers.reserve(sketches.size());
+  for (const TwoLevelHashSketch& sketch : sketches) {
+    pointers.push_back(&sketch);
+  }
+  return EstimateFrequency(pointers, element);
+}
+
+}  // namespace setsketch

@@ -1,0 +1,41 @@
+// Net-frequency point queries over 2-level hash sketches — a free
+// extension the counter-based synopsis supports beyond the paper's
+// cardinality queries.
+//
+// Element e lands in first-level bucket Level(e) and, for each j, in the
+// second-level cell g_j(e). Every such cell holds freq(e) plus the net
+// frequencies of colliding elements, which are non-negative under legal
+// streams — so min over the s cells is an upper bound on freq(e), exactly
+// the CountMin argument. Taking the min over r independent copies
+// tightens it further; the bound is exact unless some element collides
+// with e in *every* inspected cell.
+
+#ifndef SETSKETCH_CORE_FREQUENCY_ESTIMATOR_H_
+#define SETSKETCH_CORE_FREQUENCY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/two_level_hash_sketch.h"
+
+namespace setsketch {
+
+/// Upper bound on the net frequency of `element` from one sketch:
+/// min over j of the element's second-level cells. Never below the true
+/// net frequency (for legal streams); equals it absent full collisions.
+int64_t FrequencyUpperBound(const TwoLevelHashSketch& sketch,
+                            uint64_t element);
+
+/// Tightest upper bound across r independent copies (min over sketches).
+/// Empty input returns 0.
+int64_t EstimateFrequency(
+    const std::vector<const TwoLevelHashSketch*>& sketches,
+    uint64_t element);
+
+/// Convenience overload over a bank column.
+int64_t EstimateFrequency(const std::vector<TwoLevelHashSketch>& sketches,
+                          uint64_t element);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_FREQUENCY_ESTIMATOR_H_

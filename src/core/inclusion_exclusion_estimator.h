@@ -1,0 +1,61 @@
+// Inclusion-exclusion baseline for set-expression cardinalities.
+//
+// Before the paper's witness technique, the only estimator expressible
+// with union-only synopses (FM, or 2-level hash sketches used as union
+// counters) was inclusion-exclusion: estimate |∪_{i in S} A_i| for every
+// non-empty subset S of the participating streams, recover the sizes of
+// all 2^n - 1 Venn regions by Moebius inversion, and sum the regions
+// belonging to E.
+//
+// The identity: with m_T = #elements in exactly the streams of T and
+// u_S = |∪_{i in S} A_i|,
+//   g(C) := sum_{T subseteq C} m_T = u_full - u_{complement(C)}
+// so m_T = sum_{C subseteq T} (-1)^{|T| - |C|} g(C) (subset Moebius).
+//
+// This estimator is unbiased-ish but suffers catastrophic cancellation:
+// |E| is a signed combination of O(2^n) union estimates each carrying
+// Theta(1/sqrt(r)) relative error *of the union*, so the absolute error
+// scales with |union| rather than |E|. bench_inclusion_exclusion shows it
+// losing badly to the witness method as |E| / |union| shrinks — the
+// quantitative case for the paper's contribution.
+
+#ifndef SETSKETCH_CORE_INCLUSION_EXCLUSION_ESTIMATOR_H_
+#define SETSKETCH_CORE_INCLUSION_EXCLUSION_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/property_checks.h"
+#include "expr/expression.h"
+
+namespace setsketch {
+
+/// Outcome of an inclusion-exclusion estimation.
+struct InclusionExclusionEstimate {
+  double estimate = 0.0;  ///< Estimated |E| (clamped at 0).
+  double raw = 0.0;       ///< Unclamped signed region sum.
+  int unions_estimated = 0;  ///< Union estimates computed (2^n - 1).
+  bool ok = false;
+};
+
+/// Options for the inclusion-exclusion estimator.
+struct InclusionExclusionOptions {
+  /// Epsilon knob forwarded to the union estimator.
+  double epsilon = 0.5;
+  /// Use the all-levels MLE union estimator (recommended: the baseline is
+  /// hopeless with Figure 5 variance).
+  bool mle_union = true;
+};
+
+/// Estimates |E| from r aligned sketch groups using only union
+/// estimates. `stream_names` gives the group column order (see
+/// EstimateSetExpression); all streams referenced by `expr` must appear.
+/// Practical up to ~16 streams (2^n - 1 union estimates).
+InclusionExclusionEstimate EstimateByInclusionExclusion(
+    const Expression& expr, const std::vector<std::string>& stream_names,
+    const std::vector<SketchGroup>& groups,
+    const InclusionExclusionOptions& options = {});
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_INCLUSION_EXCLUSION_ESTIMATOR_H_

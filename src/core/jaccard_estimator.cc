@@ -1,0 +1,64 @@
+#include "core/jaccard_estimator.h"
+
+#include "core/estimator_config.h"
+#include "core/set_intersection_estimator.h"
+#include "core/set_union_estimator.h"
+
+namespace setsketch {
+
+JaccardEstimate EstimateJaccard(const std::vector<SketchGroup>& pairs,
+                                const WitnessOptions& options) {
+  JaccardEstimate result;
+  if (pairs.empty() || options.beta <= 1.0 || options.epsilon <= 0 ||
+      options.epsilon >= 1) {
+    return result;
+  }
+  for (const SketchGroup& pair : pairs) {
+    if (pair.size() != 2 || !GroupSeedsMatch(pair)) return result;
+  }
+
+  const int levels = pairs[0][0]->levels();
+  int level_lo = 0, level_hi = levels;  // Pooled: every level.
+  if (!options.pool_all_levels) {
+    // Strict mode needs one level; derive it from a union estimate.
+    const UnionEstimate u = options.mle_union
+                                ? EstimateSetUnionMle(pairs, options.epsilon)
+                                : EstimateSetUnion(pairs, options.epsilon);
+    if (!u.ok) return result;
+    if (u.estimate <= 0) {
+      // Both streams empty: J is conventionally 0.
+      result.ok = true;
+      return result;
+    }
+    level_lo = WitnessLevel(u.estimate, options.epsilon, options.beta,
+                            levels);
+    level_hi = level_lo + 1;
+  }
+
+  for (const SketchGroup& pair : pairs) {
+    for (int level = level_lo; level < level_hi; ++level) {
+      const std::optional<int> atomic =
+          AtomicIntersectEstimate(*pair[0], *pair[1], level);
+      if (!atomic.has_value()) continue;
+      ++result.valid_observations;
+      result.witnesses += *atomic;
+    }
+  }
+  if (result.valid_observations == 0) {
+    // No singleton anywhere: either truly empty streams (J = 0 by
+    // convention, ok) or too few copies for this workload (not ok).
+    result.ok = pairs[0][0]->Empty() && pairs[0][1]->Empty();
+    return result;
+  }
+  result.jaccard = static_cast<double>(result.witnesses) /
+                   static_cast<double>(result.valid_observations);
+  result.ok = true;
+  return result;
+}
+
+Interval JaccardInterval(const JaccardEstimate& estimate, double z) {
+  if (!estimate.ok) return {0.0, 0.0};
+  return WilsonInterval(estimate.witnesses, estimate.valid_observations, z);
+}
+
+}  // namespace setsketch

@@ -1,0 +1,41 @@
+// Jaccard-resemblance estimation over update streams — a corollary of the
+// witness machinery the paper does not spell out: conditioned on a bucket
+// being a singleton for A u B, the singleton witnesses A n B with
+// probability exactly |A n B| / |A u B| = J(A, B). The witness *fraction*
+// therefore estimates the Jaccard coefficient directly, with no union
+// estimate and hence none of its error — unlike min-wise signatures, this
+// works under arbitrary deletions.
+
+#ifndef SETSKETCH_CORE_JACCARD_ESTIMATOR_H_
+#define SETSKETCH_CORE_JACCARD_ESTIMATOR_H_
+
+#include <vector>
+
+#include "core/confidence.h"
+#include "core/property_checks.h"
+#include "core/set_difference_estimator.h"  // WitnessOptions
+
+namespace setsketch {
+
+/// Outcome of a Jaccard estimation.
+struct JaccardEstimate {
+  double jaccard = 0.0;        ///< Estimated |A n B| / |A u B| in [0, 1].
+  int valid_observations = 0;  ///< Union-singleton buckets inspected.
+  int witnesses = 0;           ///< Of those, shared-element buckets.
+  bool ok = false;             ///< False on invalid input or zero valid
+                               ///< observations (e.g. both streams empty).
+};
+
+/// Estimates J(A, B) from r aligned sketch pairs (see
+/// SketchBank::Groups({"A","B"})). Pooled multi-level sampling is
+/// recommended (`options.pool_all_levels`); with the strict single-level
+/// variant the level is chosen from an internal Figure 5 union estimate.
+JaccardEstimate EstimateJaccard(const std::vector<SketchGroup>& pairs,
+                                const WitnessOptions& options = {});
+
+/// Wilson ~95% interval for a completed Jaccard estimate.
+Interval JaccardInterval(const JaccardEstimate& estimate, double z = 1.96);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_JACCARD_ESTIMATOR_H_

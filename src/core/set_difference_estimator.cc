@@ -1,0 +1,70 @@
+#include "core/set_difference_estimator.h"
+
+#include "core/estimator_config.h"
+
+namespace setsketch {
+
+namespace {
+
+bool ValidatePairs(const std::vector<SketchGroup>& pairs) {
+  if (pairs.empty()) return false;
+  for (const SketchGroup& pair : pairs) {
+    if (pair.size() != 2 || !GroupSeedsMatch(pair)) return false;
+    if (!(pair[0]->seed().params() == pairs[0][0]->seed().params())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<int> AtomicDiffEstimate(const TwoLevelHashSketch& a,
+                                      const TwoLevelHashSketch& b,
+                                      int level) {
+  if (!SingletonUnionBucket(a, b, level)) return std::nullopt;
+  // The single union element is a witness for A - B iff it lives in A's
+  // bucket and B's bucket is empty (Figure 6, step 5).
+  const bool witness = SingletonBucket(a, level) && BucketEmpty(b, level);
+  return witness ? 1 : 0;
+}
+
+WitnessEstimate EstimateSetDifference(const std::vector<SketchGroup>& pairs,
+                                      double union_estimate,
+                                      const WitnessOptions& options) {
+  WitnessEstimate result;
+  if (!ValidatePairs(pairs) || union_estimate < 0 || options.beta <= 1.0 ||
+      options.epsilon <= 0 || options.epsilon >= 1) {
+    return result;
+  }
+  result.copies = static_cast<int>(pairs.size());
+  result.union_estimate = union_estimate;
+  result.level = WitnessLevel(union_estimate, options.epsilon, options.beta,
+                              pairs[0][0]->levels());
+
+  const int levels = pairs[0][0]->levels();
+  for (const SketchGroup& pair : pairs) {
+    if (options.pool_all_levels) {
+      // Pooled mode: every union-singleton bucket is a valid observation.
+      for (int level = 0; level < levels; ++level) {
+        const std::optional<int> atomic =
+            AtomicDiffEstimate(*pair[0], *pair[1], level);
+        if (!atomic.has_value()) continue;
+        ++result.valid_observations;
+        result.witnesses += *atomic;
+      }
+    } else {
+      const std::optional<int> atomic =
+          AtomicDiffEstimate(*pair[0], *pair[1], result.level);
+      if (!atomic.has_value()) continue;
+      ++result.valid_observations;
+      result.witnesses += *atomic;
+    }
+  }
+  if (result.valid_observations == 0) return result;  // All "noEstimate".
+  result.estimate = result.WitnessFraction() * union_estimate;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,59 @@
+#include "core/set_intersection_estimator.h"
+
+#include "core/estimator_config.h"
+
+namespace setsketch {
+
+std::optional<int> AtomicIntersectEstimate(const TwoLevelHashSketch& a,
+                                           const TwoLevelHashSketch& b,
+                                           int level) {
+  if (!SingletonUnionBucket(a, b, level)) return std::nullopt;
+  // Witness for A n B: the union singleton occupies both buckets
+  // (Section 3.5's modified step 5).
+  const bool witness =
+      SingletonBucket(a, level) && SingletonBucket(b, level);
+  return witness ? 1 : 0;
+}
+
+WitnessEstimate EstimateSetIntersection(
+    const std::vector<SketchGroup>& pairs, double union_estimate,
+    const WitnessOptions& options) {
+  WitnessEstimate result;
+  if (pairs.empty() || union_estimate < 0 || options.beta <= 1.0 ||
+      options.epsilon <= 0 || options.epsilon >= 1) {
+    return result;
+  }
+  for (const SketchGroup& pair : pairs) {
+    if (pair.size() != 2 || !GroupSeedsMatch(pair)) return result;
+  }
+  result.copies = static_cast<int>(pairs.size());
+  result.union_estimate = union_estimate;
+  result.level = WitnessLevel(union_estimate, options.epsilon, options.beta,
+                              pairs[0][0]->levels());
+
+  const int levels = pairs[0][0]->levels();
+  for (const SketchGroup& pair : pairs) {
+    if (options.pool_all_levels) {
+      // Pooled mode: every union-singleton bucket is a valid observation.
+      for (int level = 0; level < levels; ++level) {
+        const std::optional<int> atomic =
+            AtomicIntersectEstimate(*pair[0], *pair[1], level);
+        if (!atomic.has_value()) continue;
+        ++result.valid_observations;
+        result.witnesses += *atomic;
+      }
+    } else {
+      const std::optional<int> atomic =
+          AtomicIntersectEstimate(*pair[0], *pair[1], result.level);
+      if (!atomic.has_value()) continue;
+      ++result.valid_observations;
+      result.witnesses += *atomic;
+    }
+  }
+  if (result.valid_observations == 0) return result;
+  result.estimate = result.WitnessFraction() * union_estimate;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,35 @@
+// The set-intersection cardinality estimator of Section 3.5.
+//
+// Structurally identical to the set-difference estimator; only the witness
+// condition changes: the union-singleton element witnesses A n B iff it is
+// present in both sketches' buckets (both are non-empty singletons — and,
+// conditioned on the union bucket being a singleton, necessarily the same
+// value).
+
+#ifndef SETSKETCH_CORE_SET_INTERSECTION_ESTIMATOR_H_
+#define SETSKETCH_CORE_SET_INTERSECTION_ESTIMATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/property_checks.h"
+#include "core/set_difference_estimator.h"
+#include "core/witness_estimate.h"
+
+namespace setsketch {
+
+/// One 0/1 witness observation for A n B from a single sketch-copy pair
+/// (the paper's AtomicIntersectEstimator). nullopt == "noEstimate".
+std::optional<int> AtomicIntersectEstimate(const TwoLevelHashSketch& a,
+                                           const TwoLevelHashSketch& b,
+                                           int level);
+
+/// Estimates |A n B| from r aligned sketch pairs; see
+/// EstimateSetDifference for the input contract.
+WitnessEstimate EstimateSetIntersection(
+    const std::vector<SketchGroup>& pairs, double union_estimate,
+    const WitnessOptions& options = {});
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_SET_INTERSECTION_ESTIMATOR_H_

@@ -1,0 +1,94 @@
+#include "core/sketch_bank.h"
+
+#include <cassert>
+
+namespace setsketch {
+
+SketchBank::SketchBank(SketchFamily family) : family_(std::move(family)) {}
+
+bool SketchBank::AddStream(const std::string& name) {
+  if (streams_.contains(name)) return false;
+  std::vector<TwoLevelHashSketch> copies;
+  copies.reserve(static_cast<size_t>(family_.size()));
+  for (int i = 0; i < family_.size(); ++i) {
+    copies.emplace_back(family_.seed(i));
+  }
+  streams_.emplace(name, std::move(copies));
+  return true;
+}
+
+std::vector<std::string> SketchBank::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, sketches] : streams_) names.push_back(name);
+  return names;
+}
+
+bool SketchBank::Apply(const std::string& name, uint64_t element,
+                       int64_t delta) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return false;
+  for (TwoLevelHashSketch& sketch : it->second) {
+    sketch.Update(element, delta);
+  }
+  return true;
+}
+
+const std::vector<TwoLevelHashSketch>& SketchBank::Sketches(
+    const std::string& name) const {
+  auto it = streams_.find(name);
+  assert(it != streams_.end());
+  return it->second;
+}
+
+std::vector<SketchGroup> SketchBank::Groups(
+    const std::vector<std::string>& names) const {
+  std::vector<SketchGroup> groups;
+  std::vector<const std::vector<TwoLevelHashSketch>*> columns;
+  columns.reserve(names.size());
+  for (const std::string& name : names) {
+    auto it = streams_.find(name);
+    if (it == streams_.end()) return {};
+    columns.push_back(&it->second);
+  }
+  groups.resize(static_cast<size_t>(family_.size()));
+  for (int i = 0; i < family_.size(); ++i) {
+    SketchGroup& group = groups[static_cast<size_t>(i)];
+    group.reserve(columns.size());
+    for (const auto* column : columns) {
+      group.push_back(&(*column)[static_cast<size_t>(i)]);
+    }
+  }
+  return groups;
+}
+
+std::vector<TwoLevelHashSketch>* SketchBank::MutableSketches(
+    const std::string& name) {
+  auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+bool SketchBank::AddStreamFromSketches(
+    const std::string& name, std::vector<TwoLevelHashSketch> sketches) {
+  if (streams_.contains(name)) return false;
+  if (static_cast<int>(sketches.size()) != family_.size()) return false;
+  for (int i = 0; i < family_.size(); ++i) {
+    if (!(sketches[static_cast<size_t>(i)].seed() == *family_.seed(i))) {
+      return false;
+    }
+  }
+  streams_.emplace(name, std::move(sketches));
+  return true;
+}
+
+size_t SketchBank::CounterBytes() const {
+  size_t total = 0;
+  for (const auto& [name, sketches] : streams_) {
+    for (const TwoLevelHashSketch& sketch : sketches) {
+      total += sketch.CounterBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace setsketch

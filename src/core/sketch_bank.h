@@ -1,0 +1,78 @@
+// A bank of aligned 2-level hash sketches over a set of named streams.
+//
+// The estimation architecture (Figure 1 of the paper) maintains, for every
+// input stream, r independent sketch copies where copy i of *every* stream
+// uses the same hash functions. SketchBank owns that r x streams matrix,
+// routes updates, and hands estimators the per-copy SketchGroups they
+// consume.
+
+#ifndef SETSKETCH_CORE_SKETCH_BANK_H_
+#define SETSKETCH_CORE_SKETCH_BANK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/property_checks.h"
+#include "core/sketch_seed.h"
+#include "core/two_level_hash_sketch.h"
+
+namespace setsketch {
+
+/// r aligned sketch copies per named stream.
+class SketchBank {
+ public:
+  /// Creates a bank whose copies draw hash functions from `family`.
+  explicit SketchBank(SketchFamily family);
+
+  /// Registers a stream (no-op if already present). Returns true if newly
+  /// added.
+  bool AddStream(const std::string& name);
+
+  bool HasStream(const std::string& name) const {
+    return streams_.contains(name);
+  }
+
+  std::vector<std::string> StreamNames() const;
+
+  /// Routes one update to all r sketches of `name`. Returns false if the
+  /// stream is unknown.
+  bool Apply(const std::string& name, uint64_t element, int64_t delta);
+
+  /// The r sketches of stream `name` (must exist).
+  const std::vector<TwoLevelHashSketch>& Sketches(
+      const std::string& name) const;
+
+  /// Builds the per-copy groups for `names`, i.e. groups[i] holds the i-th
+  /// sketch of each named stream, in the given order. Returns an empty
+  /// vector if any name is unknown.
+  std::vector<SketchGroup> Groups(
+      const std::vector<std::string>& names) const;
+
+  /// Mutable access to the r sketches of `name` for bulk/parallel ingest
+  /// (see query/parallel_ingest.h); nullptr if unknown. Callers must not
+  /// resize the vector.
+  std::vector<TwoLevelHashSketch>* MutableSketches(const std::string& name);
+
+  /// Installs a stream from externally produced sketches (e.g. a
+  /// deserialized snapshot). The vector must hold exactly num_copies()
+  /// sketches whose seeds match this bank's family, in copy order;
+  /// returns false (and installs nothing) otherwise or if the stream
+  /// already exists.
+  bool AddStreamFromSketches(const std::string& name,
+                             std::vector<TwoLevelHashSketch> sketches);
+
+  int num_copies() const { return family_.size(); }
+  const SketchFamily& family() const { return family_; }
+
+  /// Total bytes of counter state across all streams and copies.
+  size_t CounterBytes() const;
+
+ private:
+  SketchFamily family_;
+  std::unordered_map<std::string, std::vector<TwoLevelHashSketch>> streams_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_SKETCH_BANK_H_

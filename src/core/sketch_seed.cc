@@ -1,0 +1,52 @@
+#include "core/sketch_seed.h"
+
+#include <cassert>
+
+#include "hash/bit_util.h"
+#include "hash/prng.h"
+
+namespace setsketch {
+
+bool SketchParams::Valid() const {
+  if (levels < 1 || levels > 64) return false;
+  if (num_second_level < 1) return false;
+  if (first_level_kind == FirstLevelKind::kKWisePoly && independence < 2) {
+    return false;
+  }
+  return true;
+}
+
+SketchSeed::SketchSeed(const SketchParams& params, uint64_t seed_value)
+    : params_(params),
+      seed_value_(seed_value),
+      first_level_(FirstLevelHash::Mix64(0)) {
+  assert(params.Valid());
+  SplitMix64 sm(seed_value);
+  first_level_ = FirstLevelHash::FromIdentity(
+      params.first_level_kind, params.independence, sm.Next());
+  second_level_.reserve(static_cast<size_t>(params.num_second_level));
+  for (int j = 0; j < params.num_second_level; ++j) {
+    second_level_.push_back(PairwiseBitHash::FromSeed(sm.Next()));
+  }
+  level_mask_ =
+      params.levels >= 64 ? ~0ULL : ((1ULL << params.levels) - 1);
+}
+
+int SketchSeed::Level(uint64_t element) const {
+  // LSB of the (masked) first-level hash: level l with probability
+  // 2^-(l+1); an all-zero sample is absorbed into the last level.
+  return LsbClamped(first_level_(element) & level_mask_, params_.levels - 1);
+}
+
+SketchFamily::SketchFamily(const SketchParams& params, int num_copies,
+                           uint64_t master_seed)
+    : params_(params), master_seed_(master_seed) {
+  assert(num_copies >= 1);
+  SplitMix64 sm(master_seed);
+  seeds_.reserve(static_cast<size_t>(num_copies));
+  for (int i = 0; i < num_copies; ++i) {
+    seeds_.push_back(std::make_shared<const SketchSeed>(params, sm.Next()));
+  }
+}
+
+}  // namespace setsketch

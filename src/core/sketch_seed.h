@@ -1,0 +1,100 @@
+// Shared hash-function bundles ("stored coins") for 2-level hash sketches.
+//
+// Sketches are only comparable/combinable when they were built with the
+// exact same first- and second-level hash functions (Section 3.2). A
+// SketchSeed bundles one first-level function h and s second-level functions
+// g_1..g_s, all derived deterministically from a single 64-bit seed value —
+// so distributed sites that agree on (params, seed value) draw identical
+// "coins", exactly the stored-coins distributed-streams model of Gibbons
+// and Tirthapura that Section 4 of the paper appeals to.
+//
+// A SketchFamily derives r independent SketchSeeds from one master seed,
+// matching the paper's "r independent 2-level hash sketch pairs".
+
+#ifndef SETSKETCH_CORE_SKETCH_SEED_H_
+#define SETSKETCH_CORE_SKETCH_SEED_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace setsketch {
+
+/// Shape and hashing configuration of a 2-level hash sketch.
+struct SketchParams {
+  /// Number of first-level buckets (the paper's Theta(log M) levels).
+  int levels = 48;
+  /// Number of second-level hash functions (the paper's s; its experiments
+  /// fix s = 32).
+  int num_second_level = 32;
+  /// First-level hash family (idealized mixing vs t-wise polynomial).
+  FirstLevelKind first_level_kind = FirstLevelKind::kMix64;
+  /// Independence t for the polynomial family (ignored for kMix64).
+  int independence = 8;
+
+  friend bool operator==(const SketchParams& a,
+                         const SketchParams& b) = default;
+
+  /// True iff the configuration is usable (levels in [1,64], s >= 1, ...).
+  bool Valid() const;
+};
+
+/// One bundle of hash functions: h plus g_1..g_s.
+class SketchSeed {
+ public:
+  /// Derives all hash functions deterministically from `seed_value`.
+  SketchSeed(const SketchParams& params, uint64_t seed_value);
+
+  const SketchParams& params() const { return params_; }
+  uint64_t seed_value() const { return seed_value_; }
+
+  const FirstLevelHash& first_level() const { return first_level_; }
+  const PairwiseBitHash& second_level(int j) const {
+    return second_level_[static_cast<size_t>(j)];
+  }
+  int num_second_level() const {
+    return static_cast<int>(second_level_.size());
+  }
+
+  /// First-level bucket index of `element` in [0, levels).
+  int Level(uint64_t element) const;
+
+  /// Two seeds are interchangeable iff params and seed value match.
+  friend bool operator==(const SketchSeed& a, const SketchSeed& b) {
+    return a.params_ == b.params_ && a.seed_value_ == b.seed_value_;
+  }
+
+ private:
+  SketchParams params_;
+  uint64_t seed_value_;
+  FirstLevelHash first_level_;
+  std::vector<PairwiseBitHash> second_level_;
+  uint64_t level_mask_;
+};
+
+/// r independent SketchSeeds derived from one master seed.
+class SketchFamily {
+ public:
+  SketchFamily(const SketchParams& params, int num_copies,
+               uint64_t master_seed);
+
+  int size() const { return static_cast<int>(seeds_.size()); }
+  const SketchParams& params() const { return params_; }
+  uint64_t master_seed() const { return master_seed_; }
+
+  /// The i-th copy's seed bundle (shared, immutable).
+  const std::shared_ptr<const SketchSeed>& seed(int i) const {
+    return seeds_[static_cast<size_t>(i)];
+  }
+
+ private:
+  SketchParams params_;
+  uint64_t master_seed_;
+  std::vector<std::shared_ptr<const SketchSeed>> seeds_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_SKETCH_SEED_H_

@@ -1,0 +1,164 @@
+#include "core/two_level_hash_sketch.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/varint.h"
+
+namespace setsketch {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x534B3231;         // "SK21": fixed-width.
+constexpr uint32_t kMagicCompact = 0x534B3243;  // "SK2C": varint + RLE.
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::string& data, size_t* offset, T* value) {
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+TwoLevelHashSketch::TwoLevelHashSketch(std::shared_ptr<const SketchSeed> seed)
+    : seed_(std::move(seed)),
+      num_second_level_(seed_->params().num_second_level),
+      counters_(static_cast<size_t>(seed_->params().levels) *
+                    static_cast<size_t>(num_second_level_) * 2,
+                0) {}
+
+void TwoLevelHashSketch::Update(uint64_t element, int64_t delta) {
+  const int level = seed_->Level(element);
+  int64_t* base = counters_.data() + CellIndex(level, 0, 0);
+  for (int j = 0; j < num_second_level_; ++j) {
+    const int bit = seed_->second_level(j)(element);
+    base[2 * j + bit] += delta;
+  }
+}
+
+bool TwoLevelHashSketch::Merge(const TwoLevelHashSketch& other) {
+  if (!(*seed_ == *other.seed_)) return false;
+  assert(counters_.size() == other.counters_.size());
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  return true;
+}
+
+void TwoLevelHashSketch::Clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+bool TwoLevelHashSketch::Empty() const {
+  for (int64_t c : counters_) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void AppendHeader(std::string* out, uint32_t magic, const SketchParams& p,
+                  uint64_t seed_value) {
+  AppendPod(out, magic);
+  AppendPod(out, static_cast<int32_t>(p.levels));
+  AppendPod(out, static_cast<int32_t>(p.num_second_level));
+  AppendPod(out, static_cast<uint8_t>(p.first_level_kind));
+  AppendPod(out, static_cast<int32_t>(p.independence));
+  AppendPod(out, seed_value);
+}
+
+}  // namespace
+
+void TwoLevelHashSketch::SerializeTo(std::string* out) const {
+  AppendHeader(out, kMagic, seed_->params(), seed_->seed_value());
+  // Counters are usually sparse in high levels but dense overall; a plain
+  // dump keeps the decoder trivial and the encoding O(levels * s).
+  for (int64_t c : counters_) AppendPod(out, c);
+}
+
+void TwoLevelHashSketch::SerializeCompactTo(std::string* out) const {
+  AppendHeader(out, kMagicCompact, seed_->params(), seed_->seed_value());
+  // Token stream: a zero token is followed by a run length; any nonzero
+  // token is zigzag(counter), which is nonzero for every nonzero counter,
+  // so the two cases disambiguate.
+  size_t i = 0;
+  while (i < counters_.size()) {
+    if (counters_[i] == 0) {
+      size_t run = 1;
+      while (i + run < counters_.size() && counters_[i + run] == 0) ++run;
+      AppendVarint(out, 0);
+      AppendVarint(out, run);
+      i += run;
+    } else {
+      AppendVarint(out, ZigZagEncode(counters_[i]));
+      ++i;
+    }
+  }
+}
+
+std::unique_ptr<TwoLevelHashSketch> TwoLevelHashSketch::Deserialize(
+    const std::string& data, size_t* offset) {
+  uint32_t magic = 0;
+  if (!ReadPod(data, offset, &magic) ||
+      (magic != kMagic && magic != kMagicCompact)) {
+    return nullptr;
+  }
+  int32_t levels = 0, s = 0, independence = 0;
+  uint8_t kind = 0;
+  uint64_t seed_value = 0;
+  if (!ReadPod(data, offset, &levels) || !ReadPod(data, offset, &s) ||
+      !ReadPod(data, offset, &kind) ||
+      !ReadPod(data, offset, &independence) ||
+      !ReadPod(data, offset, &seed_value)) {
+    return nullptr;
+  }
+  SketchParams params;
+  params.levels = levels;
+  params.num_second_level = s;
+  params.first_level_kind = static_cast<FirstLevelKind>(kind);
+  params.independence = independence;
+  if (!params.Valid()) return nullptr;
+  if (params.first_level_kind != FirstLevelKind::kMix64 &&
+      params.first_level_kind != FirstLevelKind::kKWisePoly) {
+    return nullptr;
+  }
+  auto sketch = std::make_unique<TwoLevelHashSketch>(
+      std::make_shared<const SketchSeed>(params, seed_value));
+  if (magic == kMagic) {
+    for (int64_t& c : sketch->counters_) {
+      if (!ReadPod(data, offset, &c)) return nullptr;
+    }
+    return sketch;
+  }
+  // Compact decoding: zigzag varints with zero-run-length tokens.
+  size_t i = 0;
+  const size_t n = sketch->counters_.size();
+  while (i < n) {
+    uint64_t token = 0;
+    if (!ReadVarint(data, offset, &token)) return nullptr;
+    if (token == 0) {
+      uint64_t run = 0;
+      if (!ReadVarint(data, offset, &run)) return nullptr;
+      if (run == 0 || run > n - i) return nullptr;  // Corrupt run.
+      i += run;  // Cells already zero-initialized.
+    } else {
+      sketch->counters_[i] = ZigZagDecode(token);
+      ++i;
+    }
+  }
+  return sketch;
+}
+
+bool operator==(const TwoLevelHashSketch& a, const TwoLevelHashSketch& b) {
+  return *a.seed_ == *b.seed_ && a.counters_ == b.counters_;
+}
+
+}  // namespace setsketch

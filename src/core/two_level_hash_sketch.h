@@ -1,0 +1,111 @@
+// The 2-level hash sketch synopsis of Section 3.1.
+//
+// Conceptually a Theta(log M) x s x 2 array of element counters: an incoming
+// element e is routed to first-level bucket LSB(h(e)) and, within that
+// bucket, each second-level function g_j routes it to one of two counters.
+// An update <e, +/-v> adds +/-v to all s selected counters, which makes the
+// synopsis *linear* in the stream: the sketch at the end of an update stream
+// is identical to the sketch of the stream's net multiset — deletions leave
+// no trace (the paper's key robustness property), and sketches of disjoint
+// stream fragments combine by plain counter addition (used by the
+// distributed model).
+
+#ifndef SETSKETCH_CORE_TWO_LEVEL_HASH_SKETCH_H_
+#define SETSKETCH_CORE_TWO_LEVEL_HASH_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sketch_seed.h"
+#include "stream/update.h"
+
+namespace setsketch {
+
+/// One 2-level hash sketch over one update stream.
+class TwoLevelHashSketch {
+ public:
+  /// Creates an empty sketch drawing its hash functions from `seed`.
+  explicit TwoLevelHashSketch(std::shared_ptr<const SketchSeed> seed);
+
+  /// Processes one update <e, +/-v>: O(s) counter additions.
+  void Update(uint64_t element, int64_t delta);
+
+  /// Applies the element/delta part of `u` (the stream id is the caller's
+  /// concern — a sketch summarizes exactly one stream).
+  void Apply(const setsketch::Update& u) { Update(u.element, u.delta); }
+
+  /// Counter X[level, j, bit] (the paper's X[i1, i2, i3]).
+  int64_t Count(int level, int j, int bit) const {
+    return counters_[CellIndex(level, j, bit)];
+  }
+
+  /// Total element count (sum of net frequencies) mapped to `level`.
+  /// Equals Count(level, j, 0) + Count(level, j, 1) for every j.
+  int64_t LevelTotal(int level) const {
+    return Count(level, 0, 0) + Count(level, 0, 1);
+  }
+
+  /// True iff no element with nonzero net frequency maps to `level`.
+  bool LevelEmpty(int level) const { return LevelTotal(level) == 0; }
+
+  /// Adds `other`'s counters into this sketch. Both sketches must share the
+  /// same SketchSeed; the result is the sketch of the concatenated streams.
+  /// Returns false (and changes nothing) on seed/shape mismatch.
+  bool Merge(const TwoLevelHashSketch& other);
+
+  /// Resets all counters to zero.
+  void Clear();
+
+  /// True iff every counter is zero.
+  bool Empty() const;
+
+  const SketchSeed& seed() const { return *seed_; }
+  const std::shared_ptr<const SketchSeed>& shared_seed() const {
+    return seed_;
+  }
+  int levels() const { return seed_->params().levels; }
+  int num_second_level() const { return seed_->params().num_second_level; }
+
+  /// Size of the counter array in bytes (the synopsis' dominant cost).
+  size_t CounterBytes() const { return counters_.size() * sizeof(int64_t); }
+
+  /// Appends a portable binary encoding (params, seed value, counters) to
+  /// `*out`. The encoding is self-delimiting. Fixed-width counters:
+  /// simple, O(levels * s) bytes.
+  void SerializeTo(std::string* out) const;
+
+  /// Appends the compact wire encoding: zigzag varint counters with
+  /// zero-run-length. Counter arrays are mostly zeros/small values, so
+  /// this is typically 5-20x smaller than SerializeTo — what the
+  /// distributed model ships between sites and coordinator.
+  void SerializeCompactTo(std::string* out) const;
+
+  /// Decodes a sketch previously written by SerializeTo or
+  /// SerializeCompactTo starting at (*data)[*offset]; advances *offset
+  /// past it. Returns nullptr on a malformed or truncated encoding.
+  static std::unique_ptr<TwoLevelHashSketch> Deserialize(
+      const std::string& data, size_t* offset);
+
+  /// Two sketches are equal iff they share seed identity and all counters.
+  friend bool operator==(const TwoLevelHashSketch& a,
+                         const TwoLevelHashSketch& b);
+
+ private:
+  size_t CellIndex(int level, int j, int bit) const {
+    return (static_cast<size_t>(level) *
+                static_cast<size_t>(num_second_level_) +
+            static_cast<size_t>(j)) *
+               2 +
+           static_cast<size_t>(bit);
+  }
+
+  std::shared_ptr<const SketchSeed> seed_;
+  int num_second_level_;
+  std::vector<int64_t> counters_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_TWO_LEVEL_HASH_SKETCH_H_

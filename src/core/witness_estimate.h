@@ -1,0 +1,37 @@
+// Result type shared by the witness-based estimators (set difference,
+// set intersection, and general set expressions; Sections 3.4, 3.5 and 4).
+//
+// Each of the r sketch copies yields either a valid 0/1 observation of the
+// witness probability p = |E| / |union| (when its chosen bucket is a
+// singleton for the union) or no observation at all; the final estimate is
+// the observed witness fraction scaled by the union-cardinality estimate.
+
+#ifndef SETSKETCH_CORE_WITNESS_ESTIMATE_H_
+#define SETSKETCH_CORE_WITNESS_ESTIMATE_H_
+
+namespace setsketch {
+
+/// Outcome of a witness-based cardinality estimation.
+struct WitnessEstimate {
+  double estimate = 0.0;       ///< Estimated cardinality |E|.
+  int level = -1;              ///< Witness level used (Figure 6, step 1).
+  int copies = 0;              ///< Total sketch copies examined (r).
+  int valid_observations = 0;  ///< Copies whose union bucket was a
+                               ///< singleton (the paper's r').
+  int witnesses = 0;           ///< Valid observations that saw a witness.
+  double union_estimate = 0.0; ///< The u_hat the estimate was scaled by.
+  bool ok = false;             ///< False on invalid inputs or when no valid
+                               ///< observation was collected (the paper's
+                               ///< "noEstimate" outcome for every copy).
+
+  /// The observed conditional witness probability p_hat = |E| / |union|.
+  double WitnessFraction() const {
+    return valid_observations == 0
+               ? 0.0
+               : static_cast<double>(witnesses) / valid_observations;
+  }
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_WITNESS_ESTIMATE_H_

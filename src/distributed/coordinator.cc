@@ -1,0 +1,179 @@
+#include "distributed/coordinator.h"
+
+#include <cstring>
+
+#include "expr/parser.h"
+
+namespace setsketch {
+
+namespace {
+
+bool ReadU32(const std::string& data, size_t* offset, uint32_t* v) {
+  if (data.size() - *offset < sizeof(uint32_t)) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(uint32_t));
+  *offset += sizeof(uint32_t);
+  return true;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(const SketchParams& params, int copies,
+                         uint64_t master_seed)
+    : params_(params), copies_(copies), master_seed_(master_seed) {
+  const SketchFamily family(params, copies, master_seed);
+  expected_seeds_.reserve(static_cast<size_t>(copies));
+  for (int i = 0; i < copies; ++i) expected_seeds_.push_back(family.seed(i));
+}
+
+Coordinator::IngestResult Coordinator::AddSiteSummary(
+    const std::string& bytes) {
+  IngestResult result;
+  size_t offset = 0;
+  uint32_t site_name_length = 0;
+  if (!ReadU32(bytes, &offset, &site_name_length) ||
+      bytes.size() - offset < site_name_length) {
+    result.error = "truncated site name";
+    return result;
+  }
+  result.site = bytes.substr(offset, site_name_length);
+  offset += site_name_length;
+  uint32_t num_streams = 0;
+  if (!ReadU32(bytes, &offset, &num_streams)) {
+    result.error = "truncated summary header";
+    return result;
+  }
+  // Decode into a staging area first so a malformed summary merges nothing.
+  std::vector<std::pair<std::string, std::vector<TwoLevelHashSketch>>>
+      staged;
+  for (uint32_t s = 0; s < num_streams; ++s) {
+    uint32_t name_len = 0;
+    if (!ReadU32(bytes, &offset, &name_len) ||
+        bytes.size() - offset < name_len) {
+      result.error = "truncated stream name";
+      return result;
+    }
+    std::string name = bytes.substr(offset, name_len);
+    offset += name_len;
+    uint32_t copies = 0;
+    if (!ReadU32(bytes, &offset, &copies)) {
+      result.error = "truncated copy count";
+      return result;
+    }
+    if (static_cast<int>(copies) != copies_) {
+      result.error = "stream '" + name + "' carries " +
+                     std::to_string(copies) + " copies, expected " +
+                     std::to_string(copies_);
+      return result;
+    }
+    std::vector<TwoLevelHashSketch> sketches;
+    sketches.reserve(copies);
+    for (uint32_t i = 0; i < copies; ++i) {
+      std::unique_ptr<TwoLevelHashSketch> sketch =
+          TwoLevelHashSketch::Deserialize(bytes, &offset);
+      if (!sketch) {
+        result.error = "malformed sketch for stream '" + name + "'";
+        return result;
+      }
+      // Verify the agreed coins: same seed identity as our expectation.
+      if (!(sketch->seed() == *expected_seeds_[i])) {
+        result.error = "stream '" + name + "' copy " + std::to_string(i) +
+                       " uses foreign hash functions";
+        return result;
+      }
+      sketches.push_back(std::move(*sketch));
+    }
+    staged.emplace_back(std::move(name), std::move(sketches));
+  }
+  if (offset != bytes.size()) {
+    result.error = "trailing bytes after summary";
+    return result;
+  }
+
+  // Install as this site's latest summary (replacing any earlier one) and
+  // invalidate the cached global view.
+  auto& site_streams = site_summaries_[result.site];
+  result.replaced = !site_streams.empty();
+  site_streams.clear();
+  for (auto& [name, sketches] : staged) {
+    site_streams.emplace(std::move(name), std::move(sketches));
+    ++result.streams_merged;
+  }
+  merged_valid_ = false;
+  result.ok = true;
+  return result;
+}
+
+void Coordinator::EnsureMerged() const {
+  if (merged_valid_) return;
+  merged_.clear();
+  // Linearity: same-stream sketches from different sites add.
+  for (const auto& [site, streams] : site_summaries_) {
+    for (const auto& [name, sketches] : streams) {
+      auto it = merged_.find(name);
+      if (it == merged_.end()) {
+        merged_.emplace(name, sketches);
+      } else {
+        for (size_t i = 0; i < sketches.size(); ++i) {
+          it->second[i].Merge(sketches[i]);
+        }
+      }
+    }
+  }
+  merged_valid_ = true;
+}
+
+std::vector<std::string> Coordinator::SiteNames() const {
+  std::vector<std::string> names;
+  names.reserve(site_summaries_.size());
+  for (const auto& [site, streams] : site_summaries_) {
+    names.push_back(site);
+  }
+  return names;
+}
+
+std::vector<std::string> Coordinator::StreamNames() const {
+  EnsureMerged();
+  std::vector<std::string> names;
+  names.reserve(merged_.size());
+  for (const auto& [name, sketches] : merged_) names.push_back(name);
+  return names;
+}
+
+const std::vector<TwoLevelHashSketch>* Coordinator::Sketches(
+    const std::string& stream_name) const {
+  EnsureMerged();
+  auto it = merged_.find(stream_name);
+  return it == merged_.end() ? nullptr : &it->second;
+}
+
+Coordinator::Answer Coordinator::Estimate(
+    const std::string& expression_text, const WitnessOptions& options) const {
+  Answer answer;
+  ParseResult parsed = ParseExpression(expression_text);
+  if (!parsed.ok()) {
+    answer.expression = expression_text;
+    answer.error = parsed.error;
+    return answer;
+  }
+  answer.expression = parsed.expression->ToString();
+  const std::vector<std::string> names = parsed.expression->StreamNames();
+  std::vector<SketchGroup> groups(static_cast<size_t>(copies_));
+  for (const std::string& name : names) {
+    const auto* sketches = Sketches(name);
+    if (sketches == nullptr) {
+      answer.error = "unknown stream '" + name + "'";
+      return answer;
+    }
+    for (int i = 0; i < copies_; ++i) {
+      groups[static_cast<size_t>(i)].push_back(
+          &(*sketches)[static_cast<size_t>(i)]);
+    }
+  }
+  answer.detail =
+      EstimateSetExpression(*parsed.expression, names, groups, options);
+  answer.ok = answer.detail.ok;
+  answer.estimate = answer.detail.expression.estimate;
+  return answer;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,91 @@
+// Central coordinator of the distributed-streams model: collects site
+// summaries, merges same-stream sketches by counter addition (valid because
+// 2-level hash sketches are linear), and answers set-expression cardinality
+// queries over the merged synopses.
+
+#ifndef SETSKETCH_DISTRIBUTED_COORDINATOR_H_
+#define SETSKETCH_DISTRIBUTED_COORDINATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/set_difference_estimator.h"  // WitnessOptions
+#include "core/set_expression_estimator.h"
+#include "core/two_level_hash_sketch.h"
+
+namespace setsketch {
+
+/// Collects and merges site summaries; answers expression queries.
+class Coordinator {
+ public:
+  /// Must match the deployment's shared configuration; summaries whose
+  /// sketches disagree with it (wrong "coins") are rejected.
+  Coordinator(const SketchParams& params, int copies, uint64_t master_seed);
+
+  /// Outcome of ingesting one site summary.
+  struct IngestResult {
+    bool ok = false;
+    std::string error;       ///< Decode/validation failure description.
+    std::string site;        ///< Originating site name.
+    int streams_merged = 0;  ///< Streams carried by the summary.
+    bool replaced = false;   ///< True if it superseded an earlier summary
+                             ///< from the same site (retransmission).
+  };
+
+  /// Decodes one Site::EncodeSummary() buffer. A summary *replaces* any
+  /// earlier summary from the same site, so periodic retransmission of
+  /// cumulative synopses is idempotent; different sites' summaries merge
+  /// by counter addition.
+  IngestResult AddSiteSummary(const std::string& bytes);
+
+  /// Names of sites that have reported, unordered.
+  std::vector<std::string> SiteNames() const;
+
+  /// Streams known so far (from any site), unordered.
+  std::vector<std::string> StreamNames() const;
+
+  /// Merged sketches of `stream_name`; nullptr if unknown. The pointer is
+  /// into a cache that the next AddSiteSummary call rebuilds — copy what
+  /// you need to keep across ingests.
+  const std::vector<TwoLevelHashSketch>* Sketches(
+      const std::string& stream_name) const;
+
+  /// Answers a set-expression query (text form; see expr/parser.h) over
+  /// the merged synopses.
+  struct Answer {
+    std::string expression;
+    double estimate = 0.0;
+    bool ok = false;
+    std::string error;          ///< Parse/validation failure, if any.
+    ExpressionEstimate detail;
+  };
+  Answer Estimate(const std::string& expression_text,
+                  const WitnessOptions& options = {}) const;
+
+  int copies() const { return copies_; }
+
+ private:
+  SketchParams params_;
+  int copies_;
+  uint64_t master_seed_;
+  void EnsureMerged() const;
+
+  // Expected seed values per copy index, derived from the master seed —
+  // used to verify incoming sketches carry the agreed coins.
+  std::vector<std::shared_ptr<const SketchSeed>> expected_seeds_;
+  // Latest summary per site: stream name -> sketches.
+  std::unordered_map<
+      std::string,
+      std::unordered_map<std::string, std::vector<TwoLevelHashSketch>>>
+      site_summaries_;
+  // Lazily (re)built global view: stream name -> merged sketches.
+  mutable std::unordered_map<std::string, std::vector<TwoLevelHashSketch>>
+      merged_;
+  mutable bool merged_valid_ = true;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_DISTRIBUTED_COORDINATOR_H_

@@ -1,0 +1,120 @@
+#include "expr/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace setsketch {
+
+bool StructurallyEqual(const Expression& a, const Expression& b) {
+  if (a.kind() != b.kind()) return false;
+  if (a.kind() == Expression::Kind::kStream) return a.name() == b.name();
+  return StructurallyEqual(*a.left(), *b.left()) &&
+         StructurallyEqual(*a.right(), *b.right());
+}
+
+namespace {
+
+bool Subset(const ExprPtr& a, const ExprPtr& b) {
+  return a && b && ProvablySubset(*a, *b);
+}
+
+// Simplifies bottom-up; nullptr encodes the empty set.
+ExprPtr SimplifyImpl(const ExprPtr& e) {
+  if (e->kind() == Expression::Kind::kStream) return e;
+  ExprPtr l = SimplifyImpl(e->left());
+  ExprPtr r = SimplifyImpl(e->right());
+  switch (e->kind()) {
+    case Expression::Kind::kUnion:
+      if (!l) return r;
+      if (!r) return l;
+      if (Subset(l, r)) return r;  // Covers X | X and absorption.
+      if (Subset(r, l)) return l;
+      return Expression::Union(std::move(l), std::move(r));
+    case Expression::Kind::kIntersect:
+      if (!l || !r) return nullptr;  // 0 & Y = X & 0 = 0.
+      if (Subset(l, r)) return l;    // Covers X & X and absorption.
+      if (Subset(r, l)) return r;
+      return Expression::Intersect(std::move(l), std::move(r));
+    case Expression::Kind::kDifference:
+      if (!l) return nullptr;       // 0 - Y = 0.
+      if (!r) return l;             // X - 0 = X.
+      if (Subset(l, r)) return nullptr;  // Covers X - X, X - (X|Y),
+                                         // (X & Y) - X, (X - Y) - X, ...
+      return Expression::Difference(std::move(l), std::move(r));
+    case Expression::Kind::kStream:
+      break;  // Handled above.
+  }
+  return e;  // Unreachable.
+}
+
+}  // namespace
+
+bool ProvablySubset(const Expression& a, const Expression& b) {
+  std::vector<std::string> streams = a.StreamNames();
+  for (const std::string& name : b.StreamNames()) {
+    if (std::find(streams.begin(), streams.end(), name) == streams.end()) {
+      streams.push_back(name);
+    }
+  }
+  const uint32_t limit = 1u << streams.size();
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    if (RegionInResult(a, streams, mask) &&
+        !RegionInResult(b, streams, mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ExprPtr Simplify(const ExprPtr& expr) {
+  if (!expr) return nullptr;
+  return SimplifyImpl(expr);
+}
+
+bool RegionInResult(const Expression& expr,
+                    const std::vector<std::string>& stream_order,
+                    uint32_t mask) {
+  std::unordered_map<std::string, size_t> index;
+  for (size_t i = 0; i < stream_order.size(); ++i) {
+    index.emplace(stream_order[i], i);
+  }
+  return expr.Evaluate([&](const std::string& name) {
+    auto it = index.find(name);
+    if (it == index.end()) return false;
+    return ((mask >> it->second) & 1u) != 0;
+  });
+}
+
+std::vector<uint32_t> ResultRegions(
+    const Expression& expr, const std::vector<std::string>& stream_order) {
+  std::vector<uint32_t> regions;
+  const uint32_t limit = 1u << stream_order.size();
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    if (RegionInResult(expr, stream_order, mask)) regions.push_back(mask);
+  }
+  return regions;
+}
+
+bool ProvablyEmpty(const Expression& expr) {
+  return ResultRegions(expr, expr.StreamNames()).empty();
+}
+
+bool SemanticallyEqual(const Expression& a, const Expression& b) {
+  // Combined stream universe, first-occurrence order.
+  std::vector<std::string> streams = a.StreamNames();
+  for (const std::string& name : b.StreamNames()) {
+    if (std::find(streams.begin(), streams.end(), name) == streams.end()) {
+      streams.push_back(name);
+    }
+  }
+  const uint32_t limit = 1u << streams.size();
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    if (RegionInResult(a, streams, mask) !=
+        RegionInResult(b, streams, mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace setsketch

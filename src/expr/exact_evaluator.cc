@@ -1,0 +1,61 @@
+#include "expr/exact_evaluator.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace setsketch {
+
+namespace {
+
+// Resolves the stream ids used by `expr`; returns false on unknown names.
+bool ResolveStreams(const Expression& expr, const StreamNameMap& names,
+                    std::vector<std::pair<std::string, StreamId>>* out) {
+  for (const std::string& name : expr.StreamNames()) {
+    auto it = names.find(name);
+    if (it == names.end()) return false;
+    out->emplace_back(name, it->second);
+  }
+  return true;
+}
+
+// Distinct elements in the union of the resolved streams.
+std::unordered_set<uint64_t> UnionElements(
+    const ExactSetStore& store,
+    const std::vector<std::pair<std::string, StreamId>>& streams) {
+  std::unordered_set<uint64_t> elements;
+  for (const auto& [name, id] : streams) {
+    store.ForEachDistinct(id, [&elements](uint64_t e, int64_t) {
+      elements.insert(e);
+    });
+  }
+  return elements;
+}
+
+}  // namespace
+
+int64_t ExactCardinality(const Expression& expr, const ExactSetStore& store,
+                         const StreamNameMap& names) {
+  std::vector<std::pair<std::string, StreamId>> streams;
+  if (!ResolveStreams(expr, names, &streams)) return -1;
+
+  const std::unordered_set<uint64_t> universe = UnionElements(store, streams);
+  int64_t count = 0;
+  for (uint64_t e : universe) {
+    const bool member = expr.Evaluate([&](const std::string& name) {
+      auto it = names.find(name);
+      return it != names.end() && store.Contains(it->second, e);
+    });
+    if (member) ++count;
+  }
+  return count;
+}
+
+int64_t ExactUnionCardinality(const Expression& expr,
+                              const ExactSetStore& store,
+                              const StreamNameMap& names) {
+  std::vector<std::pair<std::string, StreamId>> streams;
+  if (!ResolveStreams(expr, names, &streams)) return -1;
+  return static_cast<int64_t>(UnionElements(store, streams).size());
+}
+
+}  // namespace setsketch

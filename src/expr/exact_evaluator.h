@@ -1,0 +1,36 @@
+// Exact set-expression cardinality over an ExactSetStore.
+//
+// Ground truth for tests, benches and examples: |E| is the number of
+// distinct elements with positive net frequency in the output of E
+// (Section 2.1's semantics), computed by enumerating the union of the
+// participating streams and evaluating membership per element.
+
+#ifndef SETSKETCH_EXPR_EXACT_EVALUATOR_H_
+#define SETSKETCH_EXPR_EXACT_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "expr/expression.h"
+#include "stream/exact_set_store.h"
+
+namespace setsketch {
+
+/// Maps expression stream names to ExactSetStore stream ids.
+using StreamNameMap = std::unordered_map<std::string, StreamId>;
+
+/// Exact |E|. Returns -1 if a stream name in `expr` is missing from
+/// `names` (unknown streams cannot be evaluated).
+int64_t ExactCardinality(const Expression& expr, const ExactSetStore& store,
+                         const StreamNameMap& names);
+
+/// Exact |A_1 u ... u A_n| over the streams referenced by `expr`.
+/// Returns -1 on unknown stream names.
+int64_t ExactUnionCardinality(const Expression& expr,
+                              const ExactSetStore& store,
+                              const StreamNameMap& names);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_EXPR_EXACT_EVALUATOR_H_

@@ -1,0 +1,88 @@
+#include "expr/expression.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace setsketch {
+
+ExprPtr Expression::Stream(std::string name) {
+  assert(!name.empty());
+  return ExprPtr(
+      new Expression(Kind::kStream, std::move(name), nullptr, nullptr));
+}
+
+ExprPtr Expression::Union(ExprPtr left, ExprPtr right) {
+  assert(left && right);
+  return ExprPtr(new Expression(Kind::kUnion, "", std::move(left),
+                                std::move(right)));
+}
+
+ExprPtr Expression::Intersect(ExprPtr left, ExprPtr right) {
+  assert(left && right);
+  return ExprPtr(new Expression(Kind::kIntersect, "", std::move(left),
+                                std::move(right)));
+}
+
+ExprPtr Expression::Difference(ExprPtr left, ExprPtr right) {
+  assert(left && right);
+  return ExprPtr(new Expression(Kind::kDifference, "", std::move(left),
+                                std::move(right)));
+}
+
+namespace {
+
+void CollectNames(const Expression& e,
+                  std::unordered_set<std::string>* seen,
+                  std::vector<std::string>* out) {
+  if (e.kind() == Expression::Kind::kStream) {
+    if (seen->insert(e.name()).second) out->push_back(e.name());
+    return;
+  }
+  CollectNames(*e.left(), seen, out);
+  CollectNames(*e.right(), seen, out);
+}
+
+}  // namespace
+
+std::vector<std::string> Expression::StreamNames() const {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  CollectNames(*this, &seen, &out);
+  return out;
+}
+
+int Expression::NodeCount() const {
+  if (kind_ == Kind::kStream) return 1;
+  return 1 + left_->NodeCount() + right_->NodeCount();
+}
+
+bool Expression::Evaluate(
+    const std::function<bool(const std::string&)>& occupied) const {
+  switch (kind_) {
+    case Kind::kStream:
+      return occupied(name_);
+    case Kind::kUnion:
+      return left_->Evaluate(occupied) || right_->Evaluate(occupied);
+    case Kind::kIntersect:
+      return left_->Evaluate(occupied) && right_->Evaluate(occupied);
+    case Kind::kDifference:
+      return left_->Evaluate(occupied) && !right_->Evaluate(occupied);
+  }
+  return false;  // Unreachable.
+}
+
+std::string Expression::ToString() const {
+  switch (kind_) {
+    case Kind::kStream:
+      return name_;
+    case Kind::kUnion:
+      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
+    case Kind::kIntersect:
+      return "(" + left_->ToString() + " & " + right_->ToString() + ")";
+    case Kind::kDifference:
+      return "(" + left_->ToString() + " - " + right_->ToString() + ")";
+  }
+  return "";  // Unreachable.
+}
+
+}  // namespace setsketch

@@ -1,0 +1,125 @@
+#include "expr/parser.h"
+
+#include <cctype>
+
+namespace setsketch {
+
+namespace {
+
+// Recursive-descent parser over a character cursor.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    ExprPtr expr = ParseExpr();
+    if (!expr) {
+      result.error = error_;
+      return result;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      result.error = Message("unexpected character '" +
+                             std::string(1, text_[pos_]) + "'");
+      return result;
+    }
+    result.expression = std::move(expr);
+    return result;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string Message(const std::string& what) const {
+    return "parse error at position " + std::to_string(pos_) + ": " + what;
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) error_ = Message(what);
+    return false;
+  }
+
+  // expr := term (('|' | '+' | '-') term)*
+  ExprPtr ParseExpr() {
+    ExprPtr left = ParseTerm();
+    if (!left) return nullptr;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) return left;
+      const char op = text_[pos_];
+      if (op != '|' && op != '+' && op != '-') return left;
+      ++pos_;
+      ExprPtr right = ParseTerm();
+      if (!right) return nullptr;
+      left = (op == '-') ? Expression::Difference(std::move(left),
+                                                  std::move(right))
+                         : Expression::Union(std::move(left),
+                                             std::move(right));
+    }
+  }
+
+  // term := primary ('&' primary)*
+  ExprPtr ParseTerm() {
+    ExprPtr left = ParsePrimary();
+    if (!left) return nullptr;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '&') return left;
+      ++pos_;
+      ExprPtr right = ParsePrimary();
+      if (!right) return nullptr;
+      left = Expression::Intersect(std::move(left), std::move(right));
+    }
+  }
+
+  // primary := IDENT | '(' expr ')'
+  ExprPtr ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("expected stream name or '('");
+      return nullptr;
+    }
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      ExprPtr inner = ParseExpr();
+      if (!inner) return nullptr;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        Fail("expected ')'");
+        return nullptr;
+      }
+      ++pos_;
+      return inner;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Expression::Stream(text_.substr(start, pos_ - start));
+    }
+    Fail("expected stream name or '(', got '" + std::string(1, c) + "'");
+    return nullptr;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseExpression(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace setsketch

@@ -1,0 +1,34 @@
+// Text parser for set expressions.
+//
+// Grammar (left-associative; '&' binds tighter than '|' and '-'):
+//
+//   expr    := term (('|' | '+' | '-') term)*
+//   term    := primary (('&') primary)*
+//   primary := IDENT | '(' expr ')'
+//   IDENT   := [A-Za-z_][A-Za-z0-9_]*
+//
+// '|' and '+' both denote union, '&' intersection, '-' difference.
+// Examples: "A & B", "(A - B) & C", "R1 & R2 - R3".
+
+#ifndef SETSKETCH_EXPR_PARSER_H_
+#define SETSKETCH_EXPR_PARSER_H_
+
+#include <string>
+
+#include "expr/expression.h"
+
+namespace setsketch {
+
+/// Outcome of parsing.
+struct ParseResult {
+  ExprPtr expression;  ///< Null on failure.
+  std::string error;   ///< Human-readable message with position on failure.
+  bool ok() const { return expression != nullptr; }
+};
+
+/// Parses `text` into an expression tree.
+ParseResult ParseExpression(const std::string& text);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_EXPR_PARSER_H_

@@ -1,0 +1,36 @@
+// Bit-level utilities shared by the sketching code.
+
+#ifndef SETSKETCH_HASH_BIT_UTIL_H_
+#define SETSKETCH_HASH_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace setsketch {
+
+/// Position of the least-significant 1 bit of x (0-based).
+///
+/// This is the paper's LSB(s) operator: for a uniformly random x,
+/// Pr[Lsb(x) = l] = 2^-(l+1). Precondition: x != 0.
+inline int Lsb(uint64_t x) { return std::countr_zero(x); }
+
+/// LSB clamped to the range [0, max_level]. A zero input (all sampled bits
+/// zero) is mapped to max_level, preserving the geometric distribution for
+/// all levels below max_level.
+inline int LsbClamped(uint64_t x, int max_level) {
+  if (x == 0) return max_level;
+  const int l = Lsb(x);
+  return l < max_level ? l : max_level;
+}
+
+/// True iff x is a power of two (and nonzero).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest l such that 2^l >= x (x >= 1).
+inline int CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_HASH_BIT_UTIL_H_

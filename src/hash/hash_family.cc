@@ -1,0 +1,78 @@
+#include "hash/hash_family.h"
+
+#include <cassert>
+#include <cstddef>
+
+#include "hash/prng.h"
+
+namespace setsketch {
+
+FirstLevelHash FirstLevelHash::Mix64(uint64_t seed) {
+  FirstLevelHash h;
+  h.kind_ = FirstLevelKind::kMix64;
+  h.independence_ = 0;
+  h.seed_ = seed;
+  return h;
+}
+
+FirstLevelHash FirstLevelHash::KWisePoly(int independence, uint64_t seed) {
+  assert(independence >= 2);
+  FirstLevelHash h;
+  h.kind_ = FirstLevelKind::kKWisePoly;
+  h.independence_ = independence;
+  h.seed_ = seed;
+  SplitMix64 sm(seed);
+  h.coeffs_.resize(static_cast<size_t>(independence));
+  for (auto& c : h.coeffs_) {
+    // Uniform in [0, p). Rejection keeps the polynomial family exactly
+    // t-wise independent over GF(p).
+    uint64_t v;
+    do {
+      v = sm.Next() >> 3;  // 61 bits
+    } while (v >= kMersenne61);
+    c = v;
+  }
+  // A zero leading coefficient would lose one degree of independence; any
+  // nonzero value preserves the family's uniformity.
+  if (h.coeffs_.back() == 0) h.coeffs_.back() = 1;
+  return h;
+}
+
+FirstLevelHash FirstLevelHash::FromIdentity(FirstLevelKind kind,
+                                            int independence, uint64_t seed) {
+  if (kind == FirstLevelKind::kMix64) return Mix64(seed);
+  return KWisePoly(independence, seed);
+}
+
+uint64_t FirstLevelHash::ApplyMix64(uint64_t x) const {
+  // Two rounds of the SplitMix64 finalizer keyed by the seed: statistically
+  // indistinguishable from a fully-independent mapping for our workloads.
+  uint64_t z = x + (seed_ | 1ULL) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= seed_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t FirstLevelHash::ApplyPoly(uint64_t x) const {
+  // Horner evaluation of a degree-(t-1) polynomial over GF(2^61 - 1).
+  const uint64_t xr = Reduce61(x);
+  uint64_t acc = 0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = AddMod61(MulMod61(acc, xr), coeffs_[i]);
+  }
+  return acc;
+}
+
+PairwiseBitHash PairwiseBitHash::FromSeed(uint64_t seed) {
+  PairwiseBitHash g;
+  g.seed_ = seed;
+  SplitMix64 sm(seed);
+  g.a_ = sm.Next();
+  g.b_ = static_cast<int>(sm.Next() & 1);
+  return g;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,114 @@
+// Hash-function families used by 2-level hash sketches.
+//
+// The paper (Section 3.1) requires two independent levels of hashing:
+//
+//  * First-level functions h : [M] -> [M^k] map elements onto a logarithmic
+//    range of buckets via LSB(h(e)), with k chosen so h is injective w.h.p.
+//    The analysis initially assumes fully-independent mappings and Section
+//    3.6 shows Theta(log 1/eps)-wise independence suffices. We provide both:
+//    an idealized 64-bit mixing hash, and a t-wise independent polynomial
+//    hash over GF(2^61 - 1).
+//
+//  * Second-level functions g_j : [M] -> {0, 1} need only be pairwise
+//    independent (Lemma 3.1); we use the GF(2) inner-product family
+//    parity(a & x) ^ b — exactly pairwise independent and one
+//    AND + popcount per evaluation.
+
+#ifndef SETSKETCH_HASH_HASH_FAMILY_H_
+#define SETSKETCH_HASH_HASH_FAMILY_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "hash/mersenne61.h"
+
+namespace setsketch {
+
+/// Which first-level family a hash function was drawn from.
+enum class FirstLevelKind : uint8_t {
+  kMix64 = 0,      ///< Idealized fully-mixing 64-bit hash.
+  kKWisePoly = 1,  ///< t-wise independent polynomial over GF(2^61 - 1).
+};
+
+/// A first-level hash function h : [M] -> [M^2].
+///
+/// Value type: cheap to copy, deterministic in (kind, independence, seed),
+/// so a function can be reconstructed remotely from those three fields
+/// (the "stored coins" of the distributed-streams model).
+class FirstLevelHash {
+ public:
+  /// Draws an idealized fully-mixing hash function keyed by `seed`.
+  static FirstLevelHash Mix64(uint64_t seed);
+
+  /// Draws a t-wise independent polynomial hash keyed by `seed`.
+  /// `independence` (= t) must be >= 2.
+  static FirstLevelHash KWisePoly(int independence, uint64_t seed);
+
+  /// Applies the hash. Output is uniform over a >= 61-bit range, i.e. the
+  /// paper's [M^k] with k = 2 for M = 2^32.
+  uint64_t operator()(uint64_t x) const {
+    if (kind_ == FirstLevelKind::kMix64) return ApplyMix64(x);
+    return ApplyPoly(x);
+  }
+
+  FirstLevelKind kind() const { return kind_; }
+  int independence() const { return independence_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Rebuilds a function from its serialized identity.
+  static FirstLevelHash FromIdentity(FirstLevelKind kind, int independence,
+                                     uint64_t seed);
+
+  friend bool operator==(const FirstLevelHash& a, const FirstLevelHash& b) {
+    return a.kind_ == b.kind_ && a.independence_ == b.independence_ &&
+           a.seed_ == b.seed_;
+  }
+
+ private:
+  FirstLevelHash() = default;
+
+  uint64_t ApplyMix64(uint64_t x) const;
+  uint64_t ApplyPoly(uint64_t x) const;
+
+  FirstLevelKind kind_ = FirstLevelKind::kMix64;
+  int independence_ = 0;  // t for kKWisePoly; 0 for kMix64.
+  uint64_t seed_ = 0;
+  std::vector<uint64_t> coeffs_;  // Polynomial coefficients, degree t-1.
+};
+
+/// A pairwise-independent second-level hash g : [M] -> {0, 1}.
+///
+/// GF(2) inner-product family: g(x) = parity(a & x) ^ b with a uniform
+/// 64-bit vector and b a uniform bit. Exactly pairwise independent: for
+/// x != y, g(x) ^ g(y) = parity(a & (x ^ y)) is an unbiased coin over a,
+/// and b makes each marginal uniform — all Lemma 3.1 requires. Costs one
+/// AND + popcount per evaluation, which matters in the O(s)-per-update
+/// hot path.
+class PairwiseBitHash {
+ public:
+  PairwiseBitHash() = default;
+
+  /// Draws a function keyed by `seed`.
+  static PairwiseBitHash FromSeed(uint64_t seed);
+
+  /// Returns g(x) in {0, 1}.
+  int operator()(uint64_t x) const {
+    return (std::popcount(a_ & x) & 1) ^ b_;
+  }
+
+  uint64_t seed() const { return seed_; }
+
+  friend bool operator==(const PairwiseBitHash& a, const PairwiseBitHash& b) {
+    return a.seed_ == b.seed_;
+  }
+
+ private:
+  uint64_t a_ = 1;
+  int b_ = 0;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_HASH_HASH_FAMILY_H_

@@ -1,0 +1,46 @@
+// Arithmetic in the prime field GF(p) with p = 2^61 - 1 (a Mersenne prime).
+//
+// Polynomial hash functions over this field give t-wise independent value
+// mappings for domains up to 2^61 - 1, which comfortably covers the paper's
+// element domain [M] with M = 2^32 (and the injectivity range [M^k], k = 2,
+// required of first-level hash functions; see Section 3.1 of the paper).
+//
+// Reduction mod 2^61 - 1 is branch-light: for a 122-bit product x,
+// (x & p) + (x >> 61) is congruent to x and at most one conditional
+// subtraction away from the canonical representative.
+
+#ifndef SETSKETCH_HASH_MERSENNE61_H_
+#define SETSKETCH_HASH_MERSENNE61_H_
+
+#include <cstdint>
+
+namespace setsketch {
+
+/// The Mersenne prime 2^61 - 1.
+inline constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Reduces a value < 2^62 into [0, 2^61 - 1].
+inline uint64_t Reduce61(uint64_t x) {
+  x = (x & kMersenne61) + (x >> 61);
+  if (x >= kMersenne61) x -= kMersenne61;
+  return x;
+}
+
+/// Returns (a * b) mod (2^61 - 1) for a, b < 2^61.
+inline uint64_t MulMod61(uint64_t a, uint64_t b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  const uint64_t lo = static_cast<uint64_t>(prod) & kMersenne61;
+  const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  return Reduce61(lo + hi);
+}
+
+/// Returns (a + b) mod (2^61 - 1) for a, b < 2^61 - 1.
+inline uint64_t AddMod61(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_HASH_MERSENNE61_H_

@@ -1,0 +1,71 @@
+// Deterministic, seedable pseudo-random number generators used throughout
+// setsketch. Every randomized component in the library draws its randomness
+// through these generators so that a single 64-bit master seed reproduces an
+// entire experiment (the "stored coins" requirement of the distributed
+// streams model).
+
+#ifndef SETSKETCH_HASH_PRNG_H_
+#define SETSKETCH_HASH_PRNG_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace setsketch {
+
+/// SplitMix64: a tiny, high-quality 64-bit PRNG / seed expander.
+///
+/// Used to derive independent sub-seeds from one master seed. Each call to
+/// Next() advances the internal counter by the golden-ratio increment and
+/// returns a finalizer-mixed output; distinct seeds yield statistically
+/// independent sequences for our purposes.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose PRNG with 256 bits of state.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be plugged
+/// into <random> distributions. Seeded via SplitMix64 per the xoshiro
+/// authors' recommendation.
+class Xoshiro256StarStar {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256StarStar(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t Next();
+
+  /// Returns a uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_HASH_PRNG_H_

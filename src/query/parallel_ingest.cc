@@ -1,0 +1,58 @@
+#include "query/parallel_ingest.h"
+
+#include <thread>
+
+namespace setsketch {
+
+size_t ParallelIngest(SketchBank* bank,
+                      const std::vector<std::string>& names_by_id,
+                      const std::vector<Update>& updates, int threads) {
+  // Resolve stream columns once; per-update hash lookups would dominate.
+  std::vector<std::vector<TwoLevelHashSketch>*> columns;
+  columns.reserve(names_by_id.size());
+  for (const std::string& name : names_by_id) {
+    columns.push_back(bank->MutableSketches(name));
+  }
+  size_t applied = 0;
+  for (const Update& u : updates) {
+    if (u.stream < columns.size() && columns[u.stream] != nullptr) {
+      ++applied;
+    }
+  }
+
+  const int copies = bank->num_copies();
+  if (threads <= 1 || copies == 1) {
+    for (const Update& u : updates) {
+      if (u.stream >= columns.size() || columns[u.stream] == nullptr) {
+        continue;
+      }
+      for (TwoLevelHashSketch& sketch : *columns[u.stream]) {
+        sketch.Update(u.element, u.delta);
+      }
+    }
+    return applied;
+  }
+
+  if (threads > copies) threads = copies;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const int begin = t * copies / threads;
+    const int end = (t + 1) * copies / threads;
+    workers.emplace_back([&, begin, end] {
+      for (const Update& u : updates) {
+        if (u.stream >= columns.size() || columns[u.stream] == nullptr) {
+          continue;
+        }
+        std::vector<TwoLevelHashSketch>& column = *columns[u.stream];
+        for (int i = begin; i < end; ++i) {
+          column[static_cast<size_t>(i)].Update(u.element, u.delta);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return applied;
+}
+
+}  // namespace setsketch

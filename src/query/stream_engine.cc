@@ -1,0 +1,359 @@
+#include "query/stream_engine.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "core/estimator_config.h"
+#include "expr/analysis.h"
+#include "expr/parser.h"
+#include "query/parallel_ingest.h"
+
+namespace setsketch {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x53534E31;  // "SSN1"
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::string& data, size_t* offset, T* value) {
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendPod(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadString(const std::string& data, size_t* offset, std::string* s) {
+  uint32_t length = 0;
+  if (!ReadPod(data, offset, &length)) return false;
+  if (data.size() - *offset < length) return false;
+  *s = data.substr(*offset, length);
+  *offset += length;
+  return true;
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(const Options& options)
+    : options_(options),
+      bank_(SketchFamily(options.params, options.copies, options.seed)) {
+  if (options_.track_exact) {
+    exact_ = std::make_unique<ExactSetStore>(0);
+  }
+}
+
+StreamId StreamEngine::RegisterStream(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const StreamId id = static_cast<StreamId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  bank_.AddStream(name);
+  if (exact_) exact_->AddStream();
+  return id;
+}
+
+std::optional<StreamId> StreamEngine::IdOf(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+StreamEngine::QueryHandle StreamEngine::RegisterQuery(
+    const std::string& text) {
+  ParseResult parsed = ParseExpression(text);
+  if (!parsed.ok()) {
+    QueryHandle handle;
+    handle.error = parsed.error;
+    return handle;
+  }
+  return RegisterQuery(std::move(parsed.expression));
+}
+
+StreamEngine::QueryHandle StreamEngine::RegisterQuery(ExprPtr expression) {
+  QueryHandle handle;
+  if (!expression) {
+    handle.error = "null expression";
+    return handle;
+  }
+  for (const std::string& name : expression->StreamNames()) {
+    RegisterStream(name);
+  }
+  handle.id = static_cast<int>(queries_.size());
+  queries_.push_back(std::move(expression));
+  return handle;
+}
+
+bool StreamEngine::Ingest(const std::string& stream, uint64_t element,
+                          int64_t delta) {
+  auto it = ids_.find(stream);
+  if (it == ids_.end()) return false;
+  return Ingest(Update{it->second, element, delta});
+}
+
+bool StreamEngine::Ingest(const Update& update) {
+  if (update.stream >= names_.size()) return false;
+  const std::string& name = names_[update.stream];
+  if (!bank_.Apply(name, update.element, update.delta)) return false;
+  if (exact_) exact_->Apply(update);
+  ++updates_processed_;
+  return true;
+}
+
+size_t StreamEngine::IngestAll(const std::vector<Update>& updates) {
+  size_t routed = 0;
+  for (const Update& u : updates) {
+    if (Ingest(u)) ++routed;
+  }
+  return routed;
+}
+
+size_t StreamEngine::IngestAllParallel(const std::vector<Update>& updates,
+                                       int threads) {
+  const size_t applied =
+      ParallelIngest(&bank_, names_, updates, threads);
+  if (exact_) {
+    for (const Update& u : updates) exact_->Apply(u);
+  }
+  updates_processed_ += static_cast<int64_t>(applied);
+  return applied;
+}
+
+std::string StreamEngine::SaveSnapshot() const {
+  std::string out;
+  AppendPod(&out, kSnapshotMagic);
+  const SketchParams& p = options_.params;
+  AppendPod(&out, static_cast<int32_t>(p.levels));
+  AppendPod(&out, static_cast<int32_t>(p.num_second_level));
+  AppendPod(&out, static_cast<uint8_t>(p.first_level_kind));
+  AppendPod(&out, static_cast<int32_t>(p.independence));
+  AppendPod(&out, static_cast<int32_t>(options_.copies));
+  AppendPod(&out, options_.seed);
+  AppendPod(&out, options_.witness.epsilon);
+  AppendPod(&out, options_.witness.beta);
+  AppendPod(&out, static_cast<uint8_t>(options_.witness.pool_all_levels));
+  AppendPod(&out, updates_processed_);
+  AppendPod(&out, static_cast<uint32_t>(names_.size()));
+  for (const std::string& name : names_) {
+    AppendString(&out, name);
+    for (const TwoLevelHashSketch& sketch : bank_.Sketches(name)) {
+      sketch.SerializeCompactTo(&out);
+    }
+  }
+  AppendPod(&out, static_cast<uint32_t>(queries_.size()));
+  for (const ExprPtr& query : queries_) {
+    AppendString(&out, query->ToString());
+  }
+  return out;
+}
+
+std::unique_ptr<StreamEngine> StreamEngine::LoadSnapshot(
+    const std::string& bytes) {
+  size_t offset = 0;
+  uint32_t magic = 0;
+  if (!ReadPod(bytes, &offset, &magic) || magic != kSnapshotMagic) {
+    return nullptr;
+  }
+  Options options;
+  int32_t levels = 0, s = 0, independence = 0, copies = 0;
+  uint8_t kind = 0, pooled = 0;
+  if (!ReadPod(bytes, &offset, &levels) || !ReadPod(bytes, &offset, &s) ||
+      !ReadPod(bytes, &offset, &kind) ||
+      !ReadPod(bytes, &offset, &independence) ||
+      !ReadPod(bytes, &offset, &copies) ||
+      !ReadPod(bytes, &offset, &options.seed) ||
+      !ReadPod(bytes, &offset, &options.witness.epsilon) ||
+      !ReadPod(bytes, &offset, &options.witness.beta) ||
+      !ReadPod(bytes, &offset, &pooled)) {
+    return nullptr;
+  }
+  options.params.levels = levels;
+  options.params.num_second_level = s;
+  options.params.first_level_kind = static_cast<FirstLevelKind>(kind);
+  options.params.independence = independence;
+  options.copies = copies;
+  options.witness.pool_all_levels = pooled != 0;
+  options.track_exact = false;  // Ground truth is not part of a snapshot.
+  if (!options.params.Valid() || copies < 1) return nullptr;
+
+  int64_t updates_processed = 0;
+  uint32_t num_streams = 0;
+  if (!ReadPod(bytes, &offset, &updates_processed) ||
+      !ReadPod(bytes, &offset, &num_streams)) {
+    return nullptr;
+  }
+  auto engine = std::make_unique<StreamEngine>(options);
+  for (uint32_t i = 0; i < num_streams; ++i) {
+    std::string name;
+    if (!ReadString(bytes, &offset, &name)) return nullptr;
+    std::vector<TwoLevelHashSketch> sketches;
+    sketches.reserve(static_cast<size_t>(copies));
+    for (int c = 0; c < copies; ++c) {
+      std::unique_ptr<TwoLevelHashSketch> sketch =
+          TwoLevelHashSketch::Deserialize(bytes, &offset);
+      if (!sketch) return nullptr;
+      sketches.push_back(std::move(*sketch));
+    }
+    // Register the name first (assigns the id), then swap the restored
+    // counters in over the empty sketches.
+    engine->RegisterStream(name);
+    std::vector<TwoLevelHashSketch>* column =
+        engine->bank_.MutableSketches(name);
+    if (column == nullptr) return nullptr;
+    for (int c = 0; c < copies; ++c) {
+      if (!((*column)[static_cast<size_t>(c)].seed() ==
+            sketches[static_cast<size_t>(c)].seed())) {
+        return nullptr;  // Snapshot coins disagree with derived coins.
+      }
+      (*column)[static_cast<size_t>(c)] =
+          std::move(sketches[static_cast<size_t>(c)]);
+    }
+  }
+  uint32_t num_queries = 0;
+  if (!ReadPod(bytes, &offset, &num_queries)) return nullptr;
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    std::string text;
+    if (!ReadString(bytes, &offset, &text)) return nullptr;
+    if (!engine->RegisterQuery(text).ok()) return nullptr;
+  }
+  if (offset != bytes.size()) return nullptr;
+  engine->updates_processed_ = updates_processed;
+  return engine;
+}
+
+StreamEngine::Answer StreamEngine::AnswerExpression(
+    const Expression& expr) const {
+  Answer answer;
+  answer.expression = expr.ToString();
+  if (ProvablyEmpty(expr)) {
+    // Algebraically empty (e.g. "A - A"): exactly 0, no sampling needed.
+    answer.ok = true;
+    answer.estimate = 0.0;
+    answer.detail.ok = true;
+    answer.detail.expression.ok = true;
+  } else {
+    answer.detail = EstimateSetExpression(expr, bank_, options_.witness);
+    answer.ok = answer.detail.ok;
+    answer.estimate = answer.detail.expression.estimate;
+    if (answer.ok) {
+      answer.interval = WitnessInterval(
+          answer.detail.expression, UnionInterval(answer.detail.union_part));
+    }
+  }
+  if (exact_) {
+    StreamNameMap name_map;
+    for (size_t i = 0; i < names_.size(); ++i) {
+      name_map.emplace(names_[i], static_cast<StreamId>(i));
+    }
+    answer.exact = ExactCardinality(expr, *exact_, name_map);
+  }
+  return answer;
+}
+
+StreamEngine::Answer StreamEngine::AnswerQuery(int query_id) const {
+  if (query_id < 0 || query_id >= num_queries()) {
+    Answer answer;
+    answer.expression = "<invalid query id>";
+    return answer;
+  }
+  return AnswerExpression(*queries_[static_cast<size_t>(query_id)]);
+}
+
+StreamEngine::Explanation StreamEngine::ExplainQuery(int query_id) const {
+  Explanation explanation;
+  if (query_id < 0 || query_id >= num_queries()) {
+    explanation.report = "invalid query id";
+    return explanation;
+  }
+  const ExprPtr& expr = queries_[static_cast<size_t>(query_id)];
+  explanation.ok = true;
+  explanation.expression = expr->ToString();
+  const ExprPtr simplified = Simplify(expr);
+  explanation.simplified = simplified ? simplified->ToString() : "{}";
+  explanation.provably_empty = ProvablyEmpty(*expr);
+  explanation.streams = expr->StreamNames();
+
+  std::string report = "query: " + explanation.expression + "\n";
+  if (explanation.simplified != explanation.expression) {
+    report += "simplifies to: " + explanation.simplified + "\n";
+  }
+  if (explanation.provably_empty) {
+    report += "provably empty: |E| = 0 for any stream contents; no "
+              "sampling needed\n";
+    explanation.report = std::move(report);
+    return explanation;
+  }
+
+  const std::vector<SketchGroup> groups = bank_.Groups(explanation.streams);
+  const UnionEstimate union_estimate =
+      options_.witness.mle_union
+          ? EstimateSetUnionMle(groups, options_.witness.epsilon)
+          : EstimateSetUnion(groups, options_.witness.epsilon);
+  if (union_estimate.ok && union_estimate.estimate > 0) {
+    explanation.union_estimate = union_estimate.estimate;
+    explanation.witness_level =
+        WitnessLevel(union_estimate.estimate, options_.witness.epsilon,
+                     options_.witness.beta, options_.params.levels);
+    // P[bucket singleton for the union] = (u/R)(1 - 1/R)^(u-1).
+    const double big_r =
+        std::ldexp(1.0, explanation.witness_level + 1);
+    const double u = union_estimate.estimate;
+    explanation.expected_valid_fraction =
+        (u / big_r) *
+        std::exp((u - 1.0) * std::log1p(-1.0 / big_r));
+    report += "streams: " + std::to_string(explanation.streams.size()) +
+              ", union estimate ~ " +
+              std::to_string(static_cast<int64_t>(u)) + "\n";
+    report += "witness level " +
+              std::to_string(explanation.witness_level) +
+              "; expected valid observations ~ " +
+              std::to_string(static_cast<int>(
+                  explanation.expected_valid_fraction *
+                  bank_.num_copies())) +
+              " of " + std::to_string(bank_.num_copies()) + " copies" +
+              std::string(options_.witness.pool_all_levels
+                              ? " (x ~1.4 levels each, pooled mode)\n"
+                              : "\n");
+  } else {
+    report += "streams are empty; |E| = 0\n";
+  }
+  explanation.report = std::move(report);
+  return explanation;
+}
+
+std::vector<StreamEngine::Answer> StreamEngine::AnswerAll() const {
+  std::vector<Answer> answers;
+  answers.reserve(queries_.size());
+  for (int i = 0; i < num_queries(); ++i) {
+    answers.push_back(AnswerQuery(i));
+  }
+  return answers;
+}
+
+StreamEngine::Answer StreamEngine::EstimateNow(const std::string& text) const {
+  ParseResult parsed = ParseExpression(text);
+  if (!parsed.ok()) {
+    Answer answer;
+    answer.expression = text;
+    return answer;
+  }
+  for (const std::string& name : parsed.expression->StreamNames()) {
+    if (!ids_.contains(name)) {
+      Answer answer;
+      answer.expression = parsed.expression->ToString();
+      return answer;  // Unknown stream: not ok.
+    }
+  }
+  return AnswerExpression(*parsed.expression);
+}
+
+}  // namespace setsketch

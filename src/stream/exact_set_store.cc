@@ -1,0 +1,71 @@
+#include "stream/exact_set_store.h"
+
+namespace setsketch {
+
+ExactSetStore::ExactSetStore(int num_streams)
+    : streams_(static_cast<size_t>(num_streams)) {}
+
+StreamId ExactSetStore::AddStream() {
+  streams_.emplace_back();
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+bool ExactSetStore::Apply(const Update& u) {
+  if (u.stream >= streams_.size()) return false;
+  auto& table = streams_[u.stream];
+  auto it = table.find(u.element);
+  const int64_t current = (it == table.end()) ? 0 : it->second;
+  const int64_t next = current + u.delta;
+  if (next < 0) return false;  // Illegal deletion (Section 2.1).
+  if (next == 0) {
+    if (it != table.end()) table.erase(it);
+  } else if (it != table.end()) {
+    it->second = next;
+  } else {
+    table.emplace(u.element, next);
+  }
+  return true;
+}
+
+size_t ExactSetStore::ApplyAll(const std::vector<Update>& updates) {
+  size_t applied = 0;
+  for (const Update& u : updates) {
+    if (Apply(u)) ++applied;
+  }
+  return applied;
+}
+
+int64_t ExactSetStore::NetFrequency(StreamId s, uint64_t element) const {
+  if (s >= streams_.size()) return 0;
+  const auto& table = streams_[s];
+  auto it = table.find(element);
+  return it == table.end() ? 0 : it->second;
+}
+
+int64_t ExactSetStore::DistinctCount(StreamId s) const {
+  if (s >= streams_.size()) return 0;
+  return static_cast<int64_t>(streams_[s].size());
+}
+
+int64_t ExactSetStore::TotalCount(StreamId s) const {
+  if (s >= streams_.size()) return 0;
+  int64_t total = 0;
+  for (const auto& [element, freq] : streams_[s]) total += freq;
+  return total;
+}
+
+void ExactSetStore::ForEachDistinct(
+    StreamId s, const std::function<void(uint64_t, int64_t)>& fn) const {
+  if (s >= streams_.size()) return;
+  for (const auto& [element, freq] : streams_[s]) fn(element, freq);
+}
+
+std::vector<uint64_t> ExactSetStore::DistinctElements(StreamId s) const {
+  std::vector<uint64_t> out;
+  if (s >= streams_.size()) return out;
+  out.reserve(streams_[s].size());
+  for (const auto& [element, freq] : streams_[s]) out.push_back(element);
+  return out;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,69 @@
+// Exact multi-set state for a collection of update streams.
+//
+// This is the ground-truth substrate: it applies the same <i, e, +/-v>
+// updates the sketches see, but keeps exact net frequencies. Used by tests
+// and benches to compute true set-expression cardinalities, and by the
+// examples to report estimate-vs-actual. (A real deployment would not keep
+// this — it is exactly the O(M) state the sketches avoid.)
+
+#ifndef SETSKETCH_STREAM_EXACT_SET_STORE_H_
+#define SETSKETCH_STREAM_EXACT_SET_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace setsketch {
+
+/// Exact net-frequency state per stream.
+class ExactSetStore {
+ public:
+  /// Creates a store for streams 0 .. num_streams-1.
+  explicit ExactSetStore(int num_streams);
+
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+
+  /// Appends one more (empty) stream and returns its id.
+  StreamId AddStream();
+
+  /// Applies one update. Returns false (and applies nothing) if the update
+  /// is illegal: unknown stream, or a deletion below net frequency zero
+  /// (Section 2.1 assumes all deletions are legal).
+  bool Apply(const Update& u);
+
+  /// Applies a batch; returns the number of updates applied.
+  size_t ApplyAll(const std::vector<Update>& updates);
+
+  /// Net frequency of `element` in stream `s` (0 if absent).
+  int64_t NetFrequency(StreamId s, uint64_t element) const;
+
+  /// True iff `element` has positive net frequency in stream `s`.
+  bool Contains(StreamId s, uint64_t element) const {
+    return NetFrequency(s, element) > 0;
+  }
+
+  /// Number of distinct elements with positive net frequency in stream `s`.
+  int64_t DistinctCount(StreamId s) const;
+
+  /// Total number of elements (sum of net frequencies) in stream `s`.
+  int64_t TotalCount(StreamId s) const;
+
+  /// Invokes `fn(element, net_frequency)` for every element with positive
+  /// net frequency in stream `s`.
+  void ForEachDistinct(
+      StreamId s,
+      const std::function<void(uint64_t, int64_t)>& fn) const;
+
+  /// Distinct elements (positive net frequency) of stream `s`, unordered.
+  std::vector<uint64_t> DistinctElements(StreamId s) const;
+
+ private:
+  std::vector<std::unordered_map<uint64_t, int64_t>> streams_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_STREAM_EXACT_SET_STORE_H_

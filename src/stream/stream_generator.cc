@@ -1,0 +1,196 @@
+#include "stream/stream_generator.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "hash/prng.h"
+
+namespace setsketch {
+
+int64_t PartitionedDataset::UnionSize() const {
+  int64_t n = 0;
+  for (const auto& region : regions) n += static_cast<int64_t>(region.size());
+  return n;
+}
+
+int64_t PartitionedDataset::StreamSize(int s) const {
+  return CountWhere([s](uint32_t mask) { return (mask >> s) & 1; });
+}
+
+std::vector<Update> PartitionedDataset::ToInsertUpdates(
+    uint64_t shuffle_seed) const {
+  std::vector<Update> updates;
+  for (size_t mask = 1; mask < regions.size(); ++mask) {
+    for (uint64_t e : regions[mask]) {
+      for (int s = 0; s < num_streams; ++s) {
+        if ((mask >> s) & 1) {
+          updates.push_back(Insert(static_cast<StreamId>(s), e));
+        }
+      }
+    }
+  }
+  ShuffleUpdates(&updates, shuffle_seed);
+  return updates;
+}
+
+VennPartitionGenerator::VennPartitionGenerator(int num_streams,
+                                               std::vector<double> region_probs)
+    : num_streams_(num_streams), region_probs_(std::move(region_probs)) {
+  assert(num_streams_ >= 1 && num_streams_ <= 16);
+  assert(region_probs_.size() == (1ULL << num_streams_));
+  double total = 0;
+  for (double p : region_probs_) {
+    assert(p >= 0.0);
+    total += p;
+  }
+  assert(std::abs(total - 1.0) < 1e-9);
+  (void)total;
+}
+
+PartitionedDataset VennPartitionGenerator::Generate(int64_t universe_size,
+                                                    uint64_t seed,
+                                                    int domain_bits) const {
+  assert(domain_bits >= 1 && domain_bits <= 64);
+  PartitionedDataset out;
+  out.num_streams = num_streams_;
+  out.regions.resize(region_probs_.size());
+
+  // Cumulative distribution over region masks for inverse-CDF sampling.
+  std::vector<double> cdf(region_probs_.size());
+  double acc = 0;
+  for (size_t mask = 0; mask < region_probs_.size(); ++mask) {
+    acc += region_probs_[mask];
+    cdf[mask] = acc;
+  }
+  cdf.back() = 1.0;
+
+  Xoshiro256StarStar rng(seed);
+  const uint64_t domain_mask =
+      domain_bits == 64 ? ~0ULL : ((1ULL << domain_bits) - 1);
+
+  // The paper generates `universe_size` random integers and de-duplicates,
+  // so the realized union can be slightly smaller than requested.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(universe_size) * 2);
+  for (int64_t i = 0; i < universe_size; ++i) {
+    const uint64_t e = rng.Next() & domain_mask;
+    if (!seen.insert(e).second) continue;  // Duplicate: drop, as in §5.1.
+    const double x = rng.NextDouble();
+    size_t mask = 1;
+    while (mask + 1 < cdf.size() && x >= cdf[mask]) ++mask;
+    out.regions[mask].push_back(e);
+  }
+  return out;
+}
+
+std::vector<double> BinaryIntersectionProbs(double ratio) {
+  assert(ratio >= 0.0 && ratio <= 1.0);
+  // Masks: 1 = A only, 2 = B only, 3 = both.
+  return {0.0, (1.0 - ratio) / 2.0, (1.0 - ratio) / 2.0, ratio};
+}
+
+std::vector<double> BinaryDifferenceProbs(double ratio) {
+  assert(ratio >= 0.0 && ratio <= 0.5);
+  // |A - B| = |A only| = ratio * u. Equal stream sizes force
+  // P(B only) = P(A only); the rest goes to the shared region.
+  return {0.0, ratio, ratio, 1.0 - 2.0 * ratio};
+}
+
+std::vector<double> ExprDiffIntersectProbs(double ratio) {
+  assert(ratio >= 0.0 && ratio <= 0.5);
+  // Streams A=bit0, B=bit1, C=bit2. (A - B) n C is exactly region 5
+  // (in A and C, not in B). Putting w on each of {A only, C only} and
+  // w + ratio on {B only} equalizes expected stream sizes:
+  //   |A| = |C| = (w + ratio) * u,  |B| = (w + ratio) * u.
+  const double w = (1.0 - 2.0 * ratio) / 3.0;
+  std::vector<double> probs(8, 0.0);
+  probs[1] = w;          // A only
+  probs[2] = w + ratio;  // B only
+  probs[4] = w;          // C only
+  probs[5] = ratio;      // A and C, not B  ==  (A - B) n C
+  return probs;
+}
+
+std::vector<Update> InjectChurn(const std::vector<Update>& base,
+                                const ChurnOptions& options) {
+  assert(options.max_multiplicity >= 1);
+  Xoshiro256StarStar rng(options.seed);
+  std::vector<Update> out;
+  std::vector<Update> deferred_deletes;
+  out.reserve(base.size() * 3);
+
+  for (const Update& u : base) {
+    if (u.delta <= 0) {
+      // Pass non-insertions through untouched; churn is defined for
+      // insert-only bases.
+      out.push_back(u);
+      continue;
+    }
+    // Over-insert, then schedule the surplus for deletion.
+    const int64_t extra =
+        static_cast<int64_t>(rng.NextBelow(
+            static_cast<uint64_t>(options.max_multiplicity)));
+    out.push_back(Update{u.stream, u.element, u.delta + extra});
+    if (extra > 0) {
+      deferred_deletes.push_back(Delete(u.stream, u.element, extra));
+    }
+    // Transient elements: inserted now, fully deleted later (net zero).
+    // transient_fraction may exceed 1 (multiple transients per element).
+    const double whole = std::floor(options.transient_fraction);
+    int64_t transients = static_cast<int64_t>(whole);
+    if (rng.NextDouble() < options.transient_fraction - whole) {
+      ++transients;
+    }
+    for (int64_t k = 0; k < transients; ++k) {
+      const uint64_t transient = rng.Next();
+      const int64_t copies =
+          1 + static_cast<int64_t>(rng.NextBelow(
+                  static_cast<uint64_t>(options.max_multiplicity)));
+      out.push_back(Insert(u.stream, transient, copies));
+      deferred_deletes.push_back(Delete(u.stream, transient, copies));
+    }
+  }
+  // Deletes come after their inserts, so every deletion is legal; shuffle
+  // them among themselves for an arbitrary tail order.
+  ShuffleUpdates(&deferred_deletes, options.seed ^ 0xD1CEull);
+  out.insert(out.end(), deferred_deletes.begin(), deferred_deletes.end());
+  return out;
+}
+
+std::vector<Update> GenerateZipfStream(StreamId stream, int64_t num_distinct,
+                                       int64_t total_count, double alpha,
+                                       uint64_t seed,
+                                       uint64_t element_offset) {
+  assert(num_distinct >= 1);
+  // Build the Zipf CDF: P(rank k) ~ 1 / (k+1)^alpha.
+  std::vector<double> cdf(static_cast<size_t>(num_distinct));
+  double acc = 0;
+  for (int64_t k = 0; k < num_distinct; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf[static_cast<size_t>(k)] = acc;
+  }
+  for (double& c : cdf) c /= acc;
+
+  Xoshiro256StarStar rng(seed);
+  std::vector<Update> updates;
+  updates.reserve(static_cast<size_t>(total_count));
+  for (int64_t i = 0; i < total_count; ++i) {
+    const double x = rng.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (x < cdf[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    updates.push_back(Insert(stream, element_offset + lo));
+  }
+  ShuffleUpdates(&updates, seed ^ 0x21Full);
+  return updates;
+}
+
+}  // namespace setsketch

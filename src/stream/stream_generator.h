@@ -1,0 +1,120 @@
+// Synthetic update-stream generation, reproducing Section 5.1 of the paper.
+//
+// The paper's controlled generator fixes the size u of the underlying set
+// union and assigns each generated element to one region ("partition") of
+// the Venn diagram over the n input streams, with per-region probabilities
+// chosen so the target expression cardinality |E| hits a desired ratio
+// |E|/u while all streams keep equal expected sizes.
+//
+// On top of the insert-only datasets, InjectChurn() wraps a dataset in
+// extra insert/delete traffic whose *net* effect is identity — the tool used
+// to demonstrate (and property-test) that 2-level hash sketches are
+// impervious to deletions, while sampling-style baselines are not.
+
+#ifndef SETSKETCH_STREAM_STREAM_GENERATOR_H_
+#define SETSKETCH_STREAM_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace setsketch {
+
+/// A dataset partitioned by Venn-diagram region over n streams.
+///
+/// Region `mask` (1 .. 2^n - 1) holds the elements that belong to exactly
+/// the streams whose bit is set in `mask` (bit i <=> stream i).
+struct PartitionedDataset {
+  int num_streams = 0;
+  std::vector<std::vector<uint64_t>> regions;  ///< Indexed by mask; [0] empty.
+
+  /// |A_0 u A_1 u ... | — the number of generated distinct elements.
+  int64_t UnionSize() const;
+
+  /// Number of distinct elements in stream `s`.
+  int64_t StreamSize(int s) const;
+
+  /// Number of distinct elements whose region mask satisfies `pred`.
+  template <typename Pred>
+  int64_t CountWhere(Pred pred) const {
+    int64_t n = 0;
+    for (size_t mask = 1; mask < regions.size(); ++mask) {
+      if (pred(static_cast<uint32_t>(mask))) {
+        n += static_cast<int64_t>(regions[mask].size());
+      }
+    }
+    return n;
+  }
+
+  /// One insertion per (stream, element) membership, deterministically
+  /// shuffled by `shuffle_seed` to simulate arbitrary interleaved arrival.
+  std::vector<Update> ToInsertUpdates(uint64_t shuffle_seed) const;
+};
+
+/// The controlled Venn-partition generator of Section 5.1.
+class VennPartitionGenerator {
+ public:
+  /// `region_probs[mask]` is the probability a generated element lands in
+  /// region `mask`; index 0 must be 0 and the entries must sum to ~1.
+  VennPartitionGenerator(int num_streams, std::vector<double> region_probs);
+
+  /// Generates ~`universe_size` distinct elements (random values from a
+  /// `domain_bits`-bit domain, de-duplicated exactly as in the paper, so the
+  /// realized union can be slightly smaller) and assigns each to a region.
+  PartitionedDataset Generate(int64_t universe_size, uint64_t seed,
+                              int domain_bits = 32) const;
+
+  int num_streams() const { return num_streams_; }
+  const std::vector<double>& region_probs() const { return region_probs_; }
+
+ private:
+  int num_streams_;
+  std::vector<double> region_probs_;
+};
+
+/// Region probabilities for a 2-stream dataset with |A n B| / u = ratio:
+/// an element goes to both A and B with probability `ratio`, else to only A
+/// or only B with equal probability (the paper's binary scheme).
+/// Requires 0 <= ratio <= 1.
+std::vector<double> BinaryIntersectionProbs(double ratio);
+
+/// Region probabilities for a 2-stream dataset with |A - B| / u = ratio and
+/// equal expected stream sizes. Requires 0 <= ratio <= 1/2.
+std::vector<double> BinaryDifferenceProbs(double ratio);
+
+/// Region probabilities for the paper's 3-stream expression (A - B) n C
+/// with |(A - B) n C| / u = ratio and equal expected stream sizes
+/// (streams ordered A=0, B=1, C=2). Requires 0 <= ratio <= 1/2.
+std::vector<double> ExprDiffIntersectProbs(double ratio);
+
+/// Options for InjectChurn().
+struct ChurnOptions {
+  /// Each real element is inserted with multiplicity m ~ Uniform[1, max],
+  /// and m - 1 copies are later deleted (net frequency 1).
+  int max_multiplicity = 3;
+  /// For every real element, this many *transient* elements are also
+  /// inserted and later fully deleted (net frequency 0), on average.
+  /// May exceed 1 for deletion-heavy streams.
+  double transient_fraction = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Expands per-stream insertions into a deletion-heavy update stream whose
+/// net multiset equals inserting each element of `base` exactly once.
+/// All deletions are legal (each delete follows its matching inserts).
+std::vector<Update> InjectChurn(const std::vector<Update>& base,
+                                const ChurnOptions& options);
+
+/// Generates a multi-set stream with Zipf(alpha)-distributed frequencies
+/// over elements {0 .. num_distinct-1} (element ids offset by
+/// `element_offset`), as one insertion per occurrence, shuffled. Used by
+/// examples and benches to exercise multi-set (frequency > 1) semantics.
+std::vector<Update> GenerateZipfStream(StreamId stream, int64_t num_distinct,
+                                       int64_t total_count, double alpha,
+                                       uint64_t seed,
+                                       uint64_t element_offset = 0);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_STREAM_STREAM_GENERATOR_H_

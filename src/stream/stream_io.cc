@@ -1,0 +1,72 @@
+#include "stream/stream_io.h"
+
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+namespace setsketch {
+
+namespace {
+
+// Skips whitespace starting at `pos`; returns the next non-space index.
+size_t SkipSpace(const std::string& s, size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Parses one integer token of type T at `pos`, advancing `pos` past it.
+template <typename T>
+bool ParseToken(const std::string& s, size_t* pos, T* out) {
+  *pos = SkipSpace(s, *pos);
+  if (*pos >= s.size()) return false;
+  const char* begin = s.data() + *pos;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  if (ec != std::errc() || ptr == begin) return false;
+  *pos += static_cast<size_t>(ptr - begin);
+  return true;
+}
+
+}  // namespace
+
+void WriteUpdates(std::ostream& out, const std::vector<Update>& updates) {
+  for (const Update& u : updates) {
+    out << u.stream << ' ' << u.element << ' ' << u.delta << '\n';
+  }
+}
+
+bool ParseUpdateLine(const std::string& line, Update* out) {
+  size_t pos = 0;
+  Update u;
+  if (!ParseToken(line, &pos, &u.stream)) return false;
+  if (!ParseToken(line, &pos, &u.element)) return false;
+  if (!ParseToken(line, &pos, &u.delta)) return false;
+  if (SkipSpace(line, pos) != line.size()) return false;  // Trailing junk.
+  *out = u;
+  return true;
+}
+
+ParsedUpdates ReadUpdates(std::istream& in) {
+  ParsedUpdates result;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t first = SkipSpace(line, 0);
+    if (first == line.size() || line[first] == '#') continue;
+    Update u;
+    if (ParseUpdateLine(line, &u)) {
+      result.updates.push_back(u);
+    } else {
+      result.errors.push_back("line " + std::to_string(line_number) +
+                              ": malformed update: " + line);
+    }
+  }
+  return result;
+}
+
+}  // namespace setsketch

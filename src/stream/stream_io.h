@@ -1,0 +1,37 @@
+// Plain-text serialization of update streams.
+//
+// Format: one update per line, "stream element delta", '#' comments and
+// blank lines ignored. Used by the examples and by tests to replay recorded
+// update streams.
+
+#ifndef SETSKETCH_STREAM_STREAM_IO_H_
+#define SETSKETCH_STREAM_STREAM_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace setsketch {
+
+/// Writes `updates` to `out`, one per line.
+void WriteUpdates(std::ostream& out, const std::vector<Update>& updates);
+
+/// Result of parsing an update-stream text.
+struct ParsedUpdates {
+  std::vector<Update> updates;
+  std::vector<std::string> errors;  ///< One message per malformed line.
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses updates from `in`. Malformed lines are reported (with line
+/// numbers) in `errors` and skipped; well-formed lines are still returned.
+ParsedUpdates ReadUpdates(std::istream& in);
+
+/// Parses a single "stream element delta" line. Returns false on failure.
+bool ParseUpdateLine(const std::string& line, Update* out);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_STREAM_STREAM_IO_H_

@@ -1,0 +1,27 @@
+#include "stream/update.h"
+
+#include "hash/prng.h"
+
+namespace setsketch {
+
+std::string ToString(const Update& u) {
+  std::string s = "<";
+  s += std::to_string(u.stream);
+  s += ", ";
+  s += std::to_string(u.element);
+  s += ", ";
+  if (u.delta >= 0) s += "+";
+  s += std::to_string(u.delta);
+  s += ">";
+  return s;
+}
+
+void ShuffleUpdates(std::vector<Update>* updates, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  for (size_t i = updates->size(); i > 1; --i) {
+    const size_t j = rng.NextBelow(i);
+    std::swap((*updates)[i - 1], (*updates)[j]);
+  }
+}
+
+}  // namespace setsketch

@@ -1,0 +1,47 @@
+// The update-stream data model of Section 2.1.
+//
+// Each input stream renders a multi-set A_i of elements from an integer
+// domain as a continuous sequence of updates <i, e, +/-v>: "+v" denotes v
+// insertions of element e into A_i, "-v" denotes v deletions. Deletions are
+// assumed legal (net frequencies never go negative).
+
+#ifndef SETSKETCH_STREAM_UPDATE_H_
+#define SETSKETCH_STREAM_UPDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace setsketch {
+
+/// Identifies one of the multi-set streams A_i.
+using StreamId = uint32_t;
+
+/// One stream update <i, e, +/-v>.
+struct Update {
+  StreamId stream = 0;   ///< Which multi-set A_i is updated.
+  uint64_t element = 0;  ///< The element e whose net frequency changes.
+  int64_t delta = 0;     ///< +v for v insertions, -v for v deletions.
+
+  friend bool operator==(const Update& a, const Update& b) = default;
+};
+
+/// Convenience constructors.
+inline Update Insert(StreamId stream, uint64_t element, int64_t count = 1) {
+  return Update{stream, element, count};
+}
+inline Update Delete(StreamId stream, uint64_t element, int64_t count = 1) {
+  return Update{stream, element, -count};
+}
+
+/// Human-readable rendering, e.g. "<2, 17, -3>".
+std::string ToString(const Update& u);
+
+/// Deterministically shuffles a batch of updates in place (Fisher-Yates
+/// driven by `seed`). Stream synopses must be order-insensitive; tests and
+/// benches use this to exercise arbitrary arrival orders.
+void ShuffleUpdates(std::vector<Update>* updates, uint64_t seed);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_STREAM_UPDATE_H_

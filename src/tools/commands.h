@@ -1,0 +1,52 @@
+// sketchtool command implementations, factored out of the CLI binary so
+// they can be unit-tested. Each command reads/writes files, returns a
+// status, and renders human-readable output into `output`.
+
+#ifndef SETSKETCH_TOOLS_COMMANDS_H_
+#define SETSKETCH_TOOLS_COMMANDS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sketch_seed.h"
+
+namespace setsketch {
+
+/// Outcome of one sketchtool command.
+struct CommandResult {
+  bool ok = false;
+  std::string error;   ///< Failure description when !ok.
+  std::string output;  ///< Human-readable report (printed to stdout).
+};
+
+/// `sketchtool build`: reads an update-stream text file ("stream element
+/// delta" lines; see stream/stream_io.h), sketches it, writes a bank file.
+/// Update stream id i is named stream_names[i] (default "S<i>").
+struct BuildSpec {
+  std::string updates_path;
+  std::string output_path;
+  std::vector<std::string> stream_names;  ///< Optional explicit names.
+  SketchParams params;
+  int copies = 128;
+  uint64_t seed = 42;
+};
+CommandResult RunBuild(const BuildSpec& spec);
+
+/// `sketchtool info`: prints a bank's configuration, per-stream distinct
+/// estimates and synopsis sizes.
+CommandResult RunInfo(const std::string& bank_path);
+
+/// `sketchtool merge`: folds several bank files (identical configuration
+/// and master seed required) into one; same-named streams merge by
+/// counter addition, distinct names are unioned into the output bank.
+CommandResult RunMerge(const std::vector<std::string>& input_paths,
+                       const std::string& output_path);
+
+/// `sketchtool estimate`: evaluates a set expression against a bank.
+CommandResult RunEstimate(const std::string& bank_path,
+                          const std::string& expression_text,
+                          bool pool_all_levels = true);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_TOOLS_COMMANDS_H_

@@ -1,0 +1,42 @@
+#include "util/csv_writer.h"
+
+#include <sstream>
+
+namespace setsketch {
+
+namespace {
+
+std::string JoinCells(const std::vector<std::string>& cells) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += cells[i];
+  }
+  return line;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path) {
+  if (out_) out_ << JoinCells(header) << '\n';
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  if (out_) out_ << JoinCells(cells) << '\n';
+}
+
+void CsvWriter::AddRow(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream ss;
+    ss.precision(12);
+    ss << v;
+    text.push_back(ss.str());
+  }
+  AddRow(text);
+}
+
+}  // namespace setsketch

@@ -1,0 +1,36 @@
+// Minimal CSV emission for bench outputs.
+
+#ifndef SETSKETCH_UTIL_CSV_WRITER_H_
+#define SETSKETCH_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace setsketch {
+
+/// Writes one CSV file: header row at construction, one row per AddRow.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Check ok() afterwards.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True iff the file opened and all writes so far succeeded.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Emits one row; the cell count should match the header.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience: formats numeric cells with full precision.
+  void AddRow(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_CSV_WRITER_H_

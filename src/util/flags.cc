@@ -1,0 +1,81 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace setsketch {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.error_ = "unexpected positional argument: " + arg;
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "true";  // Bare boolean flag.
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return default_value;
+  }
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return default_value;
+  }
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+double EnvDouble(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  try {
+    return std::stod(value);
+  } catch (...) {
+    return default_value;
+  }
+}
+
+int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  try {
+    return std::stoll(value);
+  } catch (...) {
+    return default_value;
+  }
+}
+
+}  // namespace setsketch

@@ -1,0 +1,49 @@
+// Tiny command-line / environment configuration helper for bench and
+// example binaries. Supports "--name=value" and "--name value" syntax plus
+// environment-variable overrides (used, e.g., by SETSKETCH_BENCH_SCALE to
+// dial experiment sizes between quick-run and full paper scale).
+
+#ifndef SETSKETCH_UTIL_FLAGS_H_
+#define SETSKETCH_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace setsketch {
+
+/// Parsed flag set.
+class Flags {
+ public:
+  /// Parses argv; unrecognized positional arguments are recorded as errors.
+  static Flags Parse(int argc, char** argv);
+
+  /// True iff --name was present.
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  /// Typed getters with defaults; a present-but-malformed value returns the
+  /// default.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::string& error() const { return error_; }
+  bool ok() const { return error_.empty(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+/// Reads a double from environment variable `name`; `default_value` when
+/// unset or malformed.
+double EnvDouble(const char* name, double default_value);
+
+/// Reads an int64 from environment variable `name`.
+int64_t EnvInt(const char* name, int64_t default_value);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_FLAGS_H_

@@ -1,0 +1,59 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace setsketch {
+
+double RelativeError(double estimate, double actual) {
+  if (actual == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(estimate - actual) / std::abs(actual);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(values.size() - 1));
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double TrimmedMeanDropHighest(std::vector<double> values,
+                              double trim_fraction) {
+  if (values.empty()) return 0.0;
+  assert(trim_fraction >= 0.0 && trim_fraction < 1.0);
+  std::sort(values.begin(), values.end());
+  size_t drop = static_cast<size_t>(
+      std::ceil(trim_fraction * static_cast<double>(values.size())));
+  if (drop >= values.size()) drop = values.size() - 1;
+  values.resize(values.size() - drop);
+  return Mean(values);
+}
+
+}  // namespace setsketch

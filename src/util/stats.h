@@ -1,0 +1,39 @@
+// Statistics helpers for the experimental methodology of Section 5.1.
+//
+// The paper's headline metric is the absolute relative error
+// |estimate - actual| / actual, averaged over 10-15 trials after trimming
+// away the 30% highest errors ("trimmed-average" metric).
+
+#ifndef SETSKETCH_UTIL_STATS_H_
+#define SETSKETCH_UTIL_STATS_H_
+
+#include <vector>
+
+namespace setsketch {
+
+/// |estimate - actual| / actual. An actual of 0 returns 0 when the estimate
+/// is also 0, and +infinity otherwise.
+double RelativeError(double estimate, double actual);
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+/// Median (average of the middle pair for even sizes); 0 for empty input.
+double Median(std::vector<double> values);
+
+/// The q-quantile (0 <= q <= 1) by linear interpolation; 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// The paper's trimmed average: drop the ceil(trim_fraction * n) largest
+/// values, average the rest. trim_fraction in [0, 1); an input that would
+/// be fully trimmed returns the plain mean of what remains (at least one
+/// value is always kept).
+double TrimmedMeanDropHighest(std::vector<double> values,
+                              double trim_fraction);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_STATS_H_

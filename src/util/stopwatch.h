@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for throughput reporting.
+
+#ifndef SETSKETCH_UTIL_STOPWATCH_H_
+#define SETSKETCH_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace setsketch {
+
+/// Measures elapsed wall time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_STOPWATCH_H_

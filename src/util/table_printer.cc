@@ -1,0 +1,54 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace setsketch {
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(FormatDouble(v, precision));
+  AddRow(std::move(text));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::string sep;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep += std::string(widths[c], '-') + "  ";
+  }
+  out << sep << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace setsketch

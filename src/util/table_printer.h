@@ -1,0 +1,35 @@
+// Fixed-width plain-text tables for bench/example stdout output.
+
+#ifndef SETSKETCH_UTIL_TABLE_PRINTER_H_
+#define SETSKETCH_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace setsketch {
+
+/// Collects rows, then prints them with columns padded to their widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: numeric row rendered with `precision` decimals.
+  void AddRow(const std::vector<double>& cells, int precision = 4);
+
+  /// Prints header, separator, and all rows to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` decimals.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_TABLE_PRINTER_H_

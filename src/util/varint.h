@@ -1,0 +1,59 @@
+// LEB128 variable-length integers with zigzag signed mapping — the
+// building block of the compact sketch wire encoding. 2-level hash sketch
+// counter arrays are dominated by zeros and small values (level l holds a
+// ~2^-(l+1) fraction of the stream), so fixed 8-byte cells waste most of
+// the wire; varints plus zero-run-length get within a small factor of
+// entropy without a compressor dependency.
+
+#ifndef SETSKETCH_UTIL_VARINT_H_
+#define SETSKETCH_UTIL_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace setsketch {
+
+/// Maps signed to unsigned so small magnitudes stay small:
+/// 0,-1,1,-2,2 ... -> 0,1,2,3,4 ...
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Appends v as LEB128 (7 bits per byte, high bit = continuation).
+inline void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Reads a varint at (*data)[*offset], advancing *offset. Returns false on
+/// truncation or overlong (> 10 byte) encodings.
+inline bool ReadVarint(const std::string& data, size_t* offset,
+                       uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*offset < data.size() && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(data[*offset]);
+    ++*offset;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_VARINT_H_

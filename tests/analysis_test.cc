@@ -1,0 +1,157 @@
+// Tests for expression static analysis: simplification, structural and
+// semantic equality, Venn-region evaluation.
+
+#include <gtest/gtest.h>
+
+#include "expr/analysis.h"
+#include "expr/parser.h"
+
+namespace setsketch {
+namespace {
+
+ExprPtr P(const std::string& text) {
+  const ParseResult result = ParseExpression(text);
+  EXPECT_TRUE(result.ok()) << result.error;
+  return result.expression;
+}
+
+std::string SimplifyText(const std::string& text) {
+  const ExprPtr simplified = Simplify(P(text));
+  return simplified ? simplified->ToString() : "{}";
+}
+
+// ---------------------------------------------------------------------------
+// Structural equality
+
+TEST(StructuralEqualityTest, MatchesShapeAndNames) {
+  EXPECT_TRUE(StructurallyEqual(*P("A & B"), *P("A & B")));
+  EXPECT_FALSE(StructurallyEqual(*P("A & B"), *P("B & A")));
+  EXPECT_FALSE(StructurallyEqual(*P("A & B"), *P("A | B")));
+  EXPECT_FALSE(StructurallyEqual(*P("A"), *P("B")));
+  EXPECT_TRUE(StructurallyEqual(*P("(A - B) & C"), *P("(A - B) & C")));
+}
+
+// ---------------------------------------------------------------------------
+// Simplification
+
+TEST(SimplifyTest, Idempotents) {
+  EXPECT_EQ(SimplifyText("A | A"), "A");
+  EXPECT_EQ(SimplifyText("A & A"), "A");
+  EXPECT_EQ(SimplifyText("A - A"), "{}");
+}
+
+TEST(SimplifyTest, Absorption) {
+  EXPECT_EQ(SimplifyText("A | (A & B)"), "A");
+  EXPECT_EQ(SimplifyText("(A & B) | A"), "A");
+  EXPECT_EQ(SimplifyText("A & (A | B)"), "A");
+  EXPECT_EQ(SimplifyText("(A | B) & A"), "A");
+}
+
+TEST(SimplifyTest, DifferenceIdentities) {
+  EXPECT_EQ(SimplifyText("A - (A | B)"), "{}");
+  EXPECT_EQ(SimplifyText("A - (B | A)"), "{}");
+  EXPECT_EQ(SimplifyText("(A - B) - A"), "{}");
+}
+
+TEST(SimplifyTest, EmptySetPropagation) {
+  // (A - A) vanishes and the enclosing operators fold it away.
+  EXPECT_EQ(SimplifyText("(A - A) | B"), "B");
+  EXPECT_EQ(SimplifyText("B | (A - A)"), "B");
+  EXPECT_EQ(SimplifyText("(A - A) & B"), "{}");
+  EXPECT_EQ(SimplifyText("B - (A - A)"), "B");
+  EXPECT_EQ(SimplifyText("(A - A) - B"), "{}");
+}
+
+TEST(SimplifyTest, NestedCascades) {
+  EXPECT_EQ(SimplifyText("((A | A) & (A | B))"), "A");
+  EXPECT_EQ(SimplifyText("(A & A) - (A | B)"), "{}");
+}
+
+TEST(SimplifyTest, LeavesIrreducibleExpressionsAlone) {
+  EXPECT_EQ(SimplifyText("A & B"), "(A & B)");
+  EXPECT_EQ(SimplifyText("(A - B) & C"), "((A - B) & C)");
+}
+
+TEST(SimplifyTest, PreservesSemantics) {
+  // Every rewrite must agree with the original on all Venn regions.
+  const std::vector<std::string> cases = {
+      "A | (A & B)", "A & (A | B)", "A - (A | B)", "(A - B) - A",
+      "((A | A) & (A | B)) - (C - C)", "(A & B) | (B & A)"};
+  for (const std::string& text : cases) {
+    const ExprPtr original = P(text);
+    const ExprPtr simplified = Simplify(original);
+    if (!simplified) {
+      EXPECT_TRUE(ProvablyEmpty(*original)) << text;
+    } else {
+      EXPECT_TRUE(SemanticallyEqual(*original, *simplified)) << text;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Semantic equality / emptiness
+
+TEST(SemanticEqualityTest, CommutativityAndDeMorganStyle) {
+  EXPECT_TRUE(SemanticallyEqual(*P("A & B"), *P("B & A")));
+  EXPECT_TRUE(SemanticallyEqual(*P("A | B"), *P("B | A")));
+  EXPECT_TRUE(SemanticallyEqual(*P("A - B"), *P("A - (A & B)")));
+  EXPECT_TRUE(SemanticallyEqual(*P("(A | B) - B"), *P("A - B")));
+  EXPECT_FALSE(SemanticallyEqual(*P("A - B"), *P("B - A")));
+  EXPECT_FALSE(SemanticallyEqual(*P("A & B"), *P("A | B")));
+}
+
+TEST(SemanticEqualityTest, DisjointStreamUniverses) {
+  EXPECT_FALSE(SemanticallyEqual(*P("A"), *P("B")));
+  EXPECT_TRUE(SemanticallyEqual(*P("A | A"), *P("A")));
+}
+
+TEST(ProvablyEmptyTest, DetectsContradictions) {
+  EXPECT_TRUE(ProvablyEmpty(*P("A - A")));
+  EXPECT_TRUE(ProvablyEmpty(*P("(A & B) - A")));
+  EXPECT_TRUE(ProvablyEmpty(*P("(A & B) - (A | C)")));
+  EXPECT_FALSE(ProvablyEmpty(*P("A - B")));
+  EXPECT_FALSE(ProvablyEmpty(*P("A & B")));
+}
+
+// ---------------------------------------------------------------------------
+// Venn regions
+
+TEST(RegionTest, BinaryOperators) {
+  const std::vector<std::string> order = {"A", "B"};
+  // A & B: only region 3 (both bits).
+  EXPECT_EQ(ResultRegions(*P("A & B"), order),
+            (std::vector<uint32_t>{3}));
+  // A - B: only region 1.
+  EXPECT_EQ(ResultRegions(*P("A - B"), order),
+            (std::vector<uint32_t>{1}));
+  // A | B: regions 1, 2, 3.
+  EXPECT_EQ(ResultRegions(*P("A | B"), order),
+            (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(RegionTest, PaperExpression) {
+  // (A - B) & C over A=bit0, B=bit1, C=bit2 is exactly region 5.
+  const std::vector<std::string> order = {"A", "B", "C"};
+  EXPECT_EQ(ResultRegions(*P("(A - B) & C"), order),
+            (std::vector<uint32_t>{5}));
+}
+
+TEST(RegionTest, NamesAbsentFromOrderAreEmptyStreams) {
+  // With only A in the order, B is always empty: A - B == A.
+  const std::vector<std::string> order = {"A"};
+  EXPECT_EQ(ResultRegions(*P("A - B"), order),
+            (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(ResultRegions(*P("A & B"), order).empty());
+}
+
+TEST(RegionTest, RegionCountMatchesTruthTable) {
+  // |regions(A | B | C)| = 7 (every non-empty region).
+  const std::vector<std::string> order = {"A", "B", "C"};
+  EXPECT_EQ(ResultRegions(*P("A | B | C"), order).size(), 7u);
+  // A & B & C: the single all-ones region.
+  EXPECT_EQ(ResultRegions(*P("A & B & C"), order),
+            (std::vector<uint32_t>{7}));
+}
+
+}  // namespace
+}  // namespace setsketch

@@ -1,0 +1,132 @@
+// Tests for Wilson confidence intervals over the estimators.
+
+#include <gtest/gtest.h>
+
+#include "core/confidence.h"
+#include "core/set_intersection_estimator.h"
+#include "core/set_union_estimator.h"
+#include "stream/stream_generator.h"
+#include "test_helpers.h"
+
+namespace setsketch {
+namespace {
+
+TEST(WilsonIntervalTest, DegenerateInputs) {
+  const Interval empty = WilsonInterval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+}
+
+TEST(WilsonIntervalTest, ContainsInteriorPointEstimates) {
+  for (int successes : {1, 13, 50, 87, 99}) {
+    const Interval interval = WilsonInterval(successes, 100);
+    const double p = successes / 100.0;
+    EXPECT_TRUE(interval.Contains(p)) << successes;
+    EXPECT_GE(interval.lo, 0.0);
+    EXPECT_LE(interval.hi, 1.0);
+  }
+  // At the extremes Wilson deliberately pulls toward 1/2 (the interval
+  // need not contain the degenerate MLE), but must stay near it.
+  EXPECT_LT(WilsonInterval(0, 100).lo, 0.01);
+  EXPECT_GT(WilsonInterval(100, 100).hi, 0.99);
+}
+
+TEST(WilsonIntervalTest, BoundaryCasesStayOpen) {
+  // 0/n must not collapse to [0, 0]; n/n must not collapse to [1, 1].
+  const Interval zero = WilsonInterval(0, 50);
+  EXPECT_GT(zero.hi, 0.0);
+  const Interval all = WilsonInterval(50, 50);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+TEST(WilsonIntervalTest, ShrinksWithMoreTrials) {
+  const Interval small = WilsonInterval(5, 10);
+  const Interval large = WilsonInterval(500, 1000);
+  EXPECT_LT(large.Width(), small.Width());
+}
+
+TEST(WilsonIntervalTest, WidensWithHigherConfidence) {
+  const Interval z95 = WilsonInterval(30, 100, 1.96);
+  const Interval z99 = WilsonInterval(30, 100, 2.58);
+  EXPECT_GT(z99.Width(), z95.Width());
+}
+
+TEST(UnionIntervalTest, CoversTruthAtReasonableRate) {
+  int covered = 0;
+  const int trials = 20;
+  for (uint64_t t = 0; t < trials; ++t) {
+    VennPartitionGenerator gen(1, {0.0, 1.0});
+    const PartitionedDataset data = gen.Generate(4096, 300 + t);
+    const auto bank = BankFromDataset(data, 128, 400 + t * 3);
+    const UnionEstimate estimate =
+        EstimateSetUnion(bank->Groups({"S0"}), 0.5);
+    ASSERT_TRUE(estimate.ok);
+    const Interval interval = UnionInterval(estimate);
+    EXPECT_LE(interval.lo, interval.hi);
+    EXPECT_TRUE(interval.Contains(estimate.estimate));
+    if (interval.Contains(static_cast<double>(data.UnionSize()))) {
+      ++covered;
+    }
+  }
+  // Nominal 95%; allow sampling slack (and the stopping-rule bias).
+  EXPECT_GE(covered, 14) << covered << "/" << trials;
+}
+
+TEST(UnionIntervalTest, NotOkEstimateGivesNullInterval) {
+  UnionEstimate bad;
+  const Interval interval = UnionInterval(bad);
+  EXPECT_DOUBLE_EQ(interval.lo, 0.0);
+  EXPECT_DOUBLE_EQ(interval.hi, 0.0);
+}
+
+TEST(WitnessIntervalTest, ScalesWitnessFractionByUnion) {
+  WitnessEstimate estimate;
+  estimate.ok = true;
+  estimate.witnesses = 25;
+  estimate.valid_observations = 100;
+  estimate.union_estimate = 1000;
+  estimate.estimate = 250;
+  const Interval interval = WitnessInterval(estimate);
+  EXPECT_TRUE(interval.Contains(250.0));
+  EXPECT_GT(interval.lo, 100.0);
+  EXPECT_LT(interval.hi, 450.0);
+}
+
+TEST(WitnessIntervalTest, UnionUncertaintyWidensInterval) {
+  WitnessEstimate estimate;
+  estimate.ok = true;
+  estimate.witnesses = 25;
+  estimate.valid_observations = 100;
+  estimate.union_estimate = 1000;
+  estimate.estimate = 250;
+  const Interval tight = WitnessInterval(estimate);
+  const Interval wide = WitnessInterval(estimate, Interval{800, 1200});
+  EXPECT_GT(wide.Width(), tight.Width());
+  EXPECT_LE(wide.lo, tight.lo);
+  EXPECT_GE(wide.hi, tight.hi);
+}
+
+TEST(WitnessIntervalTest, EndToEndCoverage) {
+  int covered = 0;
+  const int trials = 15;
+  for (uint64_t t = 0; t < trials; ++t) {
+    VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+    const PartitionedDataset data = gen.Generate(4096, 500 + t * 7);
+    const auto bank = BankFromDataset(data, 192, 600 + t * 11);
+    const auto pairs = bank->Groups({"S0", "S1"});
+    const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+    WitnessOptions options;
+    options.pool_all_levels = true;
+    const WitnessEstimate est =
+        EstimateSetIntersection(pairs, ue.estimate, options);
+    ASSERT_TRUE(est.ok);
+    const Interval interval = WitnessInterval(est, UnionInterval(ue));
+    if (interval.Contains(static_cast<double>(data.regions[3].size()))) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, 10) << covered << "/" << trials;
+}
+
+}  // namespace
+}  // namespace setsketch

@@ -1,0 +1,252 @@
+// Tests for the distributed-streams model with stored coins: Site summary
+// encoding, Coordinator merging, and the equivalence "distributed == one
+// central observer" that counter linearity guarantees.
+
+#include <gtest/gtest.h>
+
+#include "distributed/coordinator.h"
+#include "distributed/site.h"
+#include "stream/stream_generator.h"
+#include "util/stats.h"
+
+namespace setsketch {
+namespace {
+
+SketchParams TestParams() {
+  SketchParams params;
+  params.levels = 24;
+  params.num_second_level = 16;
+  return params;
+}
+
+constexpr int kCopies = 128;
+constexpr uint64_t kMasterSeed = 20030609;  // Deployment-wide coins.
+
+TEST(SiteTest, IngestRequiresDeclaredStream) {
+  Site site("s1", TestParams(), 4, kMasterSeed);
+  EXPECT_FALSE(site.Ingest("A", 1, 1));
+  site.ObserveStream("A");
+  EXPECT_TRUE(site.Ingest("A", 1, 1));
+  EXPECT_EQ(site.updates_processed(), 1);
+}
+
+TEST(SiteTest, SummaryRoundTripsThroughCoordinator) {
+  Site site("s1", TestParams(), 4, kMasterSeed);
+  site.ObserveStream("A");
+  for (int e = 0; e < 100; ++e) {
+    site.Ingest("A", static_cast<uint64_t>(e) * 7919, 1);
+  }
+  Coordinator coordinator(TestParams(), 4, kMasterSeed);
+  const auto result = coordinator.AddSiteSummary(site.EncodeSummary());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.streams_merged, 1);
+  const auto* sketches = coordinator.Sketches("A");
+  ASSERT_NE(sketches, nullptr);
+  EXPECT_EQ(sketches->size(), 4u);
+  EXPECT_TRUE((*sketches)[0] == site.bank().Sketches("A")[0]);
+}
+
+TEST(CoordinatorTest, RejectsForeignCoins) {
+  Site site("rogue", TestParams(), 4, /*master_seed=*/999);
+  site.ObserveStream("A");
+  site.Ingest("A", 1, 1);
+  Coordinator coordinator(TestParams(), 4, kMasterSeed);
+  const auto result = coordinator.AddSiteSummary(site.EncodeSummary());
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("foreign"), std::string::npos);
+}
+
+TEST(CoordinatorTest, RejectsWrongCopyCount) {
+  Site site("s1", TestParams(), 8, kMasterSeed);
+  site.ObserveStream("A");
+  Coordinator coordinator(TestParams(), 4, kMasterSeed);
+  EXPECT_FALSE(coordinator.AddSiteSummary(site.EncodeSummary()).ok);
+}
+
+TEST(CoordinatorTest, RejectsTruncatedAndTrailingBytes) {
+  Site site("s1", TestParams(), 2, kMasterSeed);
+  site.ObserveStream("A");
+  site.Ingest("A", 42, 1);
+  const std::string bytes = site.EncodeSummary();
+  Coordinator coordinator(TestParams(), 2, kMasterSeed);
+  EXPECT_FALSE(
+      coordinator.AddSiteSummary(bytes.substr(0, bytes.size() - 4)).ok);
+  EXPECT_FALSE(coordinator.AddSiteSummary(bytes + "xx").ok);
+  EXPECT_FALSE(coordinator.AddSiteSummary("").ok);
+  // A failed ingest merges nothing.
+  EXPECT_EQ(coordinator.StreamNames().size(), 0u);
+  // The pristine buffer still works.
+  EXPECT_TRUE(coordinator.AddSiteSummary(bytes).ok);
+}
+
+// Core guarantee: sketches merged across sites equal the sketches a single
+// central observer would have built from the full streams.
+TEST(DistributedTest, MergedSketchesEqualCentralizedSketches) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.3));
+  const PartitionedDataset data = gen.Generate(2048, 7);
+  const std::vector<Update> updates = data.ToInsertUpdates(3);
+
+  // Central observer sees everything.
+  Site central("central", TestParams(), 8, kMasterSeed);
+  central.ObserveStream("A");
+  central.ObserveStream("B");
+
+  // Three sites each see a third of the updates (round-robin split), for
+  // both streams.
+  std::vector<Site> sites;
+  for (int i = 0; i < 3; ++i) {
+    sites.emplace_back("site" + std::to_string(i), TestParams(), 8,
+                       kMasterSeed);
+    sites.back().ObserveStream("A");
+    sites.back().ObserveStream("B");
+  }
+  const std::vector<std::string> names = {"A", "B"};
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const Update& u = updates[i];
+    central.Ingest(names[u.stream], u.element, u.delta);
+    sites[i % 3].Ingest(names[u.stream], u.element, u.delta);
+  }
+
+  Coordinator coordinator(TestParams(), 8, kMasterSeed);
+  for (const Site& site : sites) {
+    ASSERT_TRUE(coordinator.AddSiteSummary(site.EncodeSummary()).ok);
+  }
+  for (const std::string& name : names) {
+    const auto* merged = coordinator.Sketches(name);
+    ASSERT_NE(merged, nullptr);
+    const auto& reference = central.bank().Sketches(name);
+    for (size_t i = 0; i < merged->size(); ++i) {
+      EXPECT_TRUE((*merged)[i] == reference[i])
+          << "stream " << name << " copy " << i;
+    }
+  }
+}
+
+TEST(DistributedTest, EndToEndExpressionEstimate) {
+  VennPartitionGenerator gen(3, ExprDiffIntersectProbs(0.25));
+  const PartitionedDataset data = gen.Generate(4096, 11);
+  const std::vector<Update> updates = data.ToInsertUpdates(5);
+  const std::vector<std::string> names = {"A", "B", "C"};
+
+  std::vector<Site> sites;
+  for (int i = 0; i < 4; ++i) {
+    sites.emplace_back("site" + std::to_string(i), TestParams(), 256,
+                       kMasterSeed);
+    for (const auto& name : names) sites.back().ObserveStream(name);
+  }
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const Update& u = updates[i];
+    sites[i % 4].Ingest(names[u.stream], u.element, u.delta);
+  }
+
+  Coordinator coordinator(TestParams(), 256, kMasterSeed);
+  for (const Site& site : sites) {
+    ASSERT_TRUE(coordinator.AddSiteSummary(site.EncodeSummary()).ok);
+  }
+  const auto answer = coordinator.Estimate("(A - B) & C");
+  ASSERT_TRUE(answer.ok) << answer.error;
+  const int64_t exact = static_cast<int64_t>(data.regions[5].size());
+  EXPECT_LT(RelativeError(answer.estimate, static_cast<double>(exact)),
+            0.7);
+}
+
+TEST(SiteTest, CompactAndFixedSummariesDecodeIdentically) {
+  Site site("s1", TestParams(), 16, kMasterSeed);
+  site.ObserveStream("A");
+  for (int e = 0; e < 500; ++e) {
+    site.Ingest("A", static_cast<uint64_t>(e) * 31337 + 5, 1 + e % 2);
+  }
+  const std::string compact = site.EncodeSummary(/*compact=*/true);
+  const std::string fixed = site.EncodeSummary(/*compact=*/false);
+  EXPECT_LT(compact.size() * 2, fixed.size());
+
+  Coordinator c1(TestParams(), 16, kMasterSeed);
+  Coordinator c2(TestParams(), 16, kMasterSeed);
+  ASSERT_TRUE(c1.AddSiteSummary(compact).ok);
+  ASSERT_TRUE(c2.AddSiteSummary(fixed).ok);
+  const auto* s1 = c1.Sketches("A");
+  const auto* s2 = c2.Sketches("A");
+  ASSERT_TRUE(s1 && s2);
+  for (size_t i = 0; i < s1->size(); ++i) {
+    EXPECT_TRUE((*s1)[i] == (*s2)[i]);
+  }
+}
+
+TEST(CoordinatorTest, RetransmissionReplacesInsteadOfDoubleCounting) {
+  Site site("s1", TestParams(), 64, kMasterSeed);
+  site.ObserveStream("A");
+  for (int e = 0; e < 1000; ++e) {
+    site.Ingest("A", static_cast<uint64_t>(e) * 7919 + 1, 1);
+  }
+  Coordinator coordinator(TestParams(), 64, kMasterSeed);
+  const auto first = coordinator.AddSiteSummary(site.EncodeSummary());
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.site, "s1");
+  EXPECT_FALSE(first.replaced);
+  // Copy: the merged view is a cache that later summaries rebuild.
+  const std::vector<TwoLevelHashSketch> reference =
+      *coordinator.Sketches("A");
+
+  // The same cumulative summary arrives again (periodic collection):
+  // the merged view must be unchanged, not doubled.
+  const auto second = coordinator.AddSiteSummary(site.EncodeSummary());
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.replaced);
+  EXPECT_TRUE((*coordinator.Sketches("A"))[0] == reference[0]);
+  EXPECT_EQ(coordinator.SiteNames(),
+            (std::vector<std::string>{"s1"}));
+
+  // An *updated* cumulative summary supersedes the old one.
+  site.Ingest("A", 999999, 1);
+  ASSERT_TRUE(coordinator.AddSiteSummary(site.EncodeSummary()).ok);
+  EXPECT_TRUE((*coordinator.Sketches("A"))[0] ==
+              site.bank().Sketches("A")[0]);
+}
+
+TEST(CoordinatorTest, FailedRetransmissionKeepsPriorSummary) {
+  Site site("s1", TestParams(), 8, kMasterSeed);
+  site.ObserveStream("A");
+  site.Ingest("A", 42, 1);
+  Coordinator coordinator(TestParams(), 8, kMasterSeed);
+  const std::string good = site.EncodeSummary();
+  ASSERT_TRUE(coordinator.AddSiteSummary(good).ok);
+  ASSERT_FALSE(
+      coordinator.AddSiteSummary(good.substr(0, good.size() - 3)).ok);
+  // The first summary is still in force.
+  ASSERT_NE(coordinator.Sketches("A"), nullptr);
+  EXPECT_TRUE((*coordinator.Sketches("A"))[0] ==
+              site.bank().Sketches("A")[0]);
+}
+
+TEST(CoordinatorTest, EstimateErrorsAreInformative) {
+  Coordinator coordinator(TestParams(), 4, kMasterSeed);
+  const auto bad_parse = coordinator.Estimate("A &");
+  EXPECT_FALSE(bad_parse.ok);
+  EXPECT_NE(bad_parse.error.find("parse error"), std::string::npos);
+  const auto unknown = coordinator.Estimate("A & B");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("unknown stream"), std::string::npos);
+}
+
+TEST(DistributedTest, SitesCanCoverDisjointStreams) {
+  // Site 1 only observes A, site 2 only observes B; the coordinator can
+  // still answer cross-stream queries.
+  Site s1("s1", TestParams(), 192, kMasterSeed);
+  Site s2("s2", TestParams(), 192, kMasterSeed);
+  s1.ObserveStream("A");
+  s2.ObserveStream("B");
+  for (int e = 0; e < 2000; ++e) {
+    const uint64_t elem = static_cast<uint64_t>(e) * 2654435761u;
+    s1.Ingest("A", elem, 1);
+    if (e % 2 == 0) s2.Ingest("B", elem, 1);
+  }
+  Coordinator coordinator(TestParams(), 192, kMasterSeed);
+  ASSERT_TRUE(coordinator.AddSiteSummary(s1.EncodeSummary()).ok);
+  ASSERT_TRUE(coordinator.AddSiteSummary(s2.EncodeSummary()).ok);
+  const auto answer = coordinator.Estimate("A & B");
+  ASSERT_TRUE(answer.ok);
+  EXPECT_LT(RelativeError(answer.estimate, 1000), 0.6);
+}
+
+}  // namespace
+}  // namespace setsketch

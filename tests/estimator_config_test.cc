@@ -1,0 +1,81 @@
+// Tests for the (epsilon, delta) -> resource sizing rules of
+// estimator_config (Theorems 3.3-3.5, 4.1 constants).
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/estimator_config.h"
+
+namespace setsketch {
+namespace {
+
+TEST(AccuracyTargetTest, Validity) {
+  EXPECT_TRUE((AccuracyTarget{0.1, 0.05}.Valid()));
+  EXPECT_FALSE((AccuracyTarget{0.0, 0.05}.Valid()));
+  EXPECT_FALSE((AccuracyTarget{1.0, 0.05}.Valid()));
+  EXPECT_FALSE((AccuracyTarget{0.1, 0.0}.Valid()));
+  EXPECT_FALSE((AccuracyTarget{0.1, 1.0}.Valid()));
+}
+
+TEST(UnionCopiesTest, MatchesFormula) {
+  // r = 256 ln(1/delta) / (7 eps^2).
+  const AccuracyTarget target{0.5, 0.1};
+  const double expected = 256.0 * std::log(10.0) / (7.0 * 0.25);
+  EXPECT_EQ(UnionCopiesNeeded(target),
+            static_cast<int>(std::ceil(expected)));
+}
+
+TEST(UnionCopiesTest, MonotoneInAccuracy) {
+  EXPECT_GT(UnionCopiesNeeded({0.05, 0.05}),
+            UnionCopiesNeeded({0.1, 0.05}));
+  EXPECT_GT(UnionCopiesNeeded({0.1, 0.01}),
+            UnionCopiesNeeded({0.1, 0.1}));
+}
+
+TEST(WitnessCopiesTest, ScalesWithUnionToResultRatio) {
+  const AccuracyTarget target{0.2, 0.05};
+  const int easy = WitnessCopiesNeeded(target, 2.0);
+  const int hard = WitnessCopiesNeeded(target, 32.0);
+  EXPECT_GT(hard, easy);
+  // Linear scaling in the ratio (Theorems 3.4/3.5).
+  EXPECT_NEAR(static_cast<double>(hard) / easy, 16.0, 1.0);
+}
+
+TEST(SecondLevelTest, UnionBoundSizing) {
+  // 2^-s <= delta / r.
+  EXPECT_EQ(SecondLevelNeeded(0.5, 1), 1);
+  EXPECT_EQ(SecondLevelNeeded(0.001, 1000), 20);  // log2(1e6) ~ 19.93.
+  EXPECT_GE(SecondLevelNeeded(0.01, 512), 16);    // log2(51200) ~ 15.6.
+}
+
+TEST(WitnessLevelTest, FormulaAndClamping) {
+  // ceil(log2(2 * 100 / 0.5)) = ceil(log2(400)) = 9.
+  EXPECT_EQ(WitnessLevel(100, 0.5, 2.0, 48), 9);
+  // Larger beta raises the level.
+  EXPECT_GT(WitnessLevel(100, 0.5, 8.0, 48), WitnessLevel(100, 0.5, 2.0, 48));
+  // Clamped into [0, levels-1].
+  EXPECT_EQ(WitnessLevel(1e15, 0.5, 2.0, 10), 9);
+  EXPECT_GE(WitnessLevel(0.0, 0.5, 2.0, 10), 0);
+}
+
+TEST(ParamsForTargetTest, ProducesValidParams) {
+  const AccuracyTarget target{0.1, 0.05};
+  const SketchParams params = ParamsForTarget(target, 256);
+  EXPECT_TRUE(params.Valid());
+  EXPECT_EQ(params.first_level_kind, FirstLevelKind::kKWisePoly);
+  // Theta(log 1/eps)-wise independence: log2(3/0.1) ~ 4.9 -> >= 5.
+  EXPECT_GE(params.independence, 5);
+  // s sized for 256 copies at delta = 0.05: log2(256/0.05) ~ 12.3 -> 13.
+  EXPECT_EQ(params.num_second_level, 13);
+  EXPECT_GE(params.levels, 32);
+}
+
+TEST(ParamsForTargetTest, DomainBitsControlLevels) {
+  const AccuracyTarget target{0.2, 0.1};
+  EXPECT_LT(ParamsForTarget(target, 64, 16).levels,
+            ParamsForTarget(target, 64, 48).levels);
+  EXPECT_LE(ParamsForTarget(target, 64, 62).levels, 64);
+}
+
+}  // namespace
+}  // namespace setsketch

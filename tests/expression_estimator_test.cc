@@ -1,0 +1,180 @@
+// Tests for the Section 4 general set-expression estimator.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/set_difference_estimator.h"
+#include "core/set_expression_estimator.h"
+#include "core/set_intersection_estimator.h"
+#include "core/set_union_estimator.h"
+#include "expr/parser.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace setsketch {
+namespace {
+
+ExprPtr Parse(const std::string& text) {
+  ParseResult p = ParseExpression(text);
+  EXPECT_TRUE(p.ok()) << p.error;
+  return p.expression;
+}
+
+TEST(ExpressionEstimatorTest, RejectsUnknownStreams) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  const auto bank = BankFromDataset(gen.Generate(512, 1), 32, 2);
+  const ExprPtr expr = Parse("S0 & Missing");
+  const ExpressionEstimate est = EstimateSetExpression(
+      *expr, {"S0", "S1"}, bank->Groups({"S0", "S1"}));
+  EXPECT_FALSE(est.ok);
+}
+
+TEST(ExpressionEstimatorTest, RejectsEmptyGroups) {
+  const ExprPtr expr = Parse("A");
+  EXPECT_FALSE(EstimateSetExpression(*expr, {"A"}, {}).ok);
+}
+
+TEST(ExpressionEstimatorTest, EmptyStreamsGiveZero) {
+  SketchBank bank(SketchFamily(TestParams(), 32, 5));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  const ExprPtr expr = Parse("A & B");
+  const ExpressionEstimate est = EstimateSetExpression(*expr, bank);
+  ASSERT_TRUE(est.ok);
+  EXPECT_DOUBLE_EQ(est.expression.estimate, 0.0);
+}
+
+TEST(ExpressionEstimatorTest, SingleStreamMatchesUnionEstimator) {
+  VennPartitionGenerator gen(1, {0.0, 1.0});
+  const PartitionedDataset data = gen.Generate(4096, 7);
+  const auto bank = BankFromDataset(data, 256, 9);
+  const ExprPtr expr = Parse("S0");
+  const ExpressionEstimate est = EstimateSetExpression(*expr, *bank);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(RelativeError(est.expression.estimate,
+                          static_cast<double>(data.UnionSize())),
+            0.3);
+}
+
+// The expression estimator must agree with the specialized binary
+// estimators on two-stream inputs (same witness machinery).
+TEST(ExpressionEstimatorTest, MatchesBinaryIntersectionEstimator) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+  const PartitionedDataset data = gen.Generate(8192, 11);
+  const auto bank = BankFromDataset(data, 384, 13);
+  const auto pairs = bank->Groups({"S0", "S1"});
+
+  const ExpressionEstimate expr_est =
+      EstimateSetExpression(*Parse("S0 & S1"), *bank);
+  ASSERT_TRUE(expr_est.ok);
+
+  const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+  const WitnessEstimate bin_est = EstimateSetIntersection(pairs, ue.estimate);
+  ASSERT_TRUE(bin_est.ok);
+
+  // Same level, same valid-observation count, same witness count.
+  EXPECT_EQ(expr_est.expression.level, bin_est.level);
+  EXPECT_EQ(expr_est.expression.valid_observations,
+            bin_est.valid_observations);
+  EXPECT_EQ(expr_est.expression.witnesses, bin_est.witnesses);
+}
+
+TEST(ExpressionEstimatorTest, MatchesBinaryDifferenceEstimator) {
+  VennPartitionGenerator gen(2, BinaryDifferenceProbs(0.25));
+  const PartitionedDataset data = gen.Generate(8192, 15);
+  const auto bank = BankFromDataset(data, 384, 17);
+  const auto pairs = bank->Groups({"S0", "S1"});
+
+  const ExpressionEstimate expr_est =
+      EstimateSetExpression(*Parse("S0 - S1"), *bank);
+  ASSERT_TRUE(expr_est.ok);
+  const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+  const WitnessEstimate bin_est = EstimateSetDifference(pairs, ue.estimate);
+  ASSERT_TRUE(bin_est.ok);
+  EXPECT_EQ(expr_est.expression.witnesses, bin_est.witnesses);
+  EXPECT_EQ(expr_est.expression.valid_observations,
+            bin_est.valid_observations);
+}
+
+// The paper's three-stream experiment: (A - B) n C.
+TEST(ExpressionEstimatorTest, ThreeStreamExpressionAccuracy) {
+  VennPartitionGenerator gen(3, ExprDiffIntersectProbs(0.25));
+  const PartitionedDataset data = gen.Generate(8192, 19);
+  const auto bank = BankFromDataset(data, 512, 21);
+  const int64_t exact = static_cast<int64_t>(data.regions[5].size());
+  const ExpressionEstimate est =
+      EstimateSetExpression(*Parse("(S0 - S1) & S2"), *bank);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(RelativeError(est.expression.estimate,
+                          static_cast<double>(exact)),
+            0.55);
+}
+
+TEST(ExpressionEstimatorTest, UnionOnlyExpression) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  const PartitionedDataset data = gen.Generate(4096, 23);
+  const auto bank = BankFromDataset(data, 256, 25);
+  const ExpressionEstimate est =
+      EstimateSetExpression(*Parse("S0 | S1"), *bank);
+  ASSERT_TRUE(est.ok);
+  // |S0 u S1| = union size; every valid witness satisfies B(E).
+  EXPECT_DOUBLE_EQ(est.expression.WitnessFraction(), 1.0);
+  EXPECT_LT(RelativeError(est.expression.estimate,
+                          static_cast<double>(data.UnionSize())),
+            0.4);
+}
+
+TEST(ExpressionEstimatorTest, SelfDifferenceIsZero) {
+  VennPartitionGenerator gen(1, {0.0, 1.0});
+  const auto bank = BankFromDataset(gen.Generate(2048, 27), 128, 29);
+  const ExpressionEstimate est =
+      EstimateSetExpression(*Parse("S0 - S0"), *bank);
+  ASSERT_TRUE(est.ok);
+  EXPECT_DOUBLE_EQ(est.expression.estimate, 0.0);
+}
+
+TEST(ExpressionEstimatorTest, ComplementWithinUnionSums) {
+  // |A - B| + |A & B| should approximately equal |A|.
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.4));
+  const PartitionedDataset data = gen.Generate(8192, 31);
+  const auto bank = BankFromDataset(data, 512, 33);
+  const ExpressionEstimate diff =
+      EstimateSetExpression(*Parse("S0 - S1"), *bank);
+  const ExpressionEstimate inter =
+      EstimateSetExpression(*Parse("S0 & S1"), *bank);
+  const ExpressionEstimate a_only =
+      EstimateSetExpression(*Parse("S0"), *bank);
+  ASSERT_TRUE(diff.ok);
+  ASSERT_TRUE(inter.ok);
+  ASSERT_TRUE(a_only.ok);
+  const double sum = diff.expression.estimate + inter.expression.estimate;
+  EXPECT_LT(RelativeError(sum, a_only.expression.estimate), 0.5);
+}
+
+// Deeper expressions still produce sane estimates.
+TEST(ExpressionEstimatorTest, FourStreamNestedExpression) {
+  // Streams: A=0, B=1, C=2, D=3 with explicit region probabilities.
+  // Make D = A u B u C's complement slice plus overlap with A.
+  std::vector<double> probs(16, 0.0);
+  probs[1] = 0.2;   // A only
+  probs[2] = 0.2;   // B only
+  probs[4] = 0.2;   // C only
+  probs[8] = 0.2;   // D only
+  probs[9] = 0.1;   // A and D
+  probs[15] = 0.1;  // all four
+  VennPartitionGenerator gen(4, probs);
+  const PartitionedDataset data = gen.Generate(8192, 35);
+  const auto bank = BankFromDataset(data, 512, 37);
+  // E = (A & D) - (B | C): regions with bits A,D set, B,C clear -> mask 9.
+  const int64_t exact = static_cast<int64_t>(data.regions[9].size());
+  const ExpressionEstimate est =
+      EstimateSetExpression(*Parse("(S0 & S3) - (S1 | S2)"), *bank);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(RelativeError(est.expression.estimate,
+                          static_cast<double>(exact)),
+            0.8);
+}
+
+}  // namespace
+}  // namespace setsketch

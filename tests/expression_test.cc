@@ -1,0 +1,215 @@
+// Tests for the set-expression AST, the text parser, and the exact
+// evaluator.
+
+#include <gtest/gtest.h>
+
+#include "expr/exact_evaluator.h"
+#include "expr/expression.h"
+#include "expr/parser.h"
+
+namespace setsketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST construction and rendering
+
+TEST(ExpressionTest, LeafProperties) {
+  const ExprPtr a = Expression::Stream("A");
+  EXPECT_EQ(a->kind(), Expression::Kind::kStream);
+  EXPECT_EQ(a->name(), "A");
+  EXPECT_EQ(a->NodeCount(), 1);
+  EXPECT_EQ(a->ToString(), "A");
+}
+
+TEST(ExpressionTest, ConnectivesRender) {
+  const ExprPtr a = Expression::Stream("A");
+  const ExprPtr b = Expression::Stream("B");
+  const ExprPtr c = Expression::Stream("C");
+  const ExprPtr e =
+      Expression::Intersect(Expression::Difference(a, b), c);
+  EXPECT_EQ(e->ToString(), "((A - B) & C)");
+  EXPECT_EQ(e->NodeCount(), 5);
+  EXPECT_EQ(Expression::Union(a, b)->ToString(), "(A | B)");
+}
+
+TEST(ExpressionTest, StreamNamesDeDupInOrder) {
+  const ParseResult p = ParseExpression("(A - B) & (C | A) & B");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.expression->StreamNames(),
+            (std::vector<std::string>{"A", "B", "C"}));
+}
+
+// ---------------------------------------------------------------------------
+// Boolean evaluation (witness condition B(E) / membership)
+
+TEST(ExpressionTest, EvaluateMatchesSetSemantics) {
+  const ParseResult p = ParseExpression("(A - B) & C");
+  ASSERT_TRUE(p.ok());
+  auto eval = [&](bool a, bool b, bool c) {
+    return p.expression->Evaluate([&](const std::string& name) {
+      if (name == "A") return a;
+      if (name == "B") return b;
+      return c;
+    });
+  };
+  EXPECT_TRUE(eval(true, false, true));
+  EXPECT_FALSE(eval(true, true, true));    // In B: excluded.
+  EXPECT_FALSE(eval(true, false, false));  // Not in C.
+  EXPECT_FALSE(eval(false, false, true));  // Not in A.
+}
+
+TEST(ExpressionTest, UnionEvaluatesAsOr) {
+  const ParseResult p = ParseExpression("A | B");
+  ASSERT_TRUE(p.ok());
+  int truths = 0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      if (p.expression->Evaluate([&](const std::string& n) {
+            return n == "A" ? a != 0 : b != 0;
+          })) {
+        ++truths;
+      }
+    }
+  }
+  EXPECT_EQ(truths, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+TEST(ParserTest, PrecedenceIntersectionBindsTighter) {
+  // A | B & C  ==  A | (B & C)
+  const ParseResult p = ParseExpression("A | B & C");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.expression->ToString(), "(A | (B & C))");
+  // A - B & C  ==  A - (B & C)
+  const ParseResult q = ParseExpression("A - B & C");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.expression->ToString(), "(A - (B & C))");
+}
+
+TEST(ParserTest, LeftAssociativity) {
+  const ParseResult p = ParseExpression("A - B - C");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.expression->ToString(), "((A - B) - C)");
+  const ParseResult q = ParseExpression("A & B & C");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.expression->ToString(), "((A & B) & C)");
+}
+
+TEST(ParserTest, ParensOverridePrecedence) {
+  const ParseResult p = ParseExpression("(A | B) & C");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.expression->ToString(), "((A | B) & C)");
+}
+
+TEST(ParserTest, PlusIsUnion) {
+  const ParseResult p = ParseExpression("A + B");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.expression->ToString(), "(A | B)");
+}
+
+TEST(ParserTest, IdentifiersWithDigitsAndUnderscores) {
+  const ParseResult p = ParseExpression("router_1 & _r2");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.expression->StreamNames(),
+            (std::vector<std::string>{"router_1", "_r2"}));
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  const ParseResult a = ParseExpression("(A-B)&C");
+  const ParseResult b = ParseExpression("  ( A - B )   &  C ");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.expression->ToString(), b.expression->ToString());
+}
+
+TEST(ParserTest, NestedParens) {
+  const ParseResult p = ParseExpression("(((A)))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.expression->ToString(), "A");
+}
+
+class ParserErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrorTest, RejectsMalformedInput) {
+  const ParseResult p = ParseExpression(GetParam());
+  EXPECT_FALSE(p.ok()) << GetParam();
+  EXPECT_FALSE(p.error.empty());
+  EXPECT_NE(p.error.find("position"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedInputs, ParserErrorTest,
+    ::testing::Values("", "   ", "A &", "& B", "A | | B", "(A - B",
+                      "A - B)", "A B", "123", "A & (B |)", "A -", "()",
+                      "A # B"));
+
+// ---------------------------------------------------------------------------
+// Exact evaluator
+
+class ExactEvaluatorTest : public ::testing::Test {
+ protected:
+  ExactEvaluatorTest() : store_(3) {
+    names_ = {{"A", 0}, {"B", 1}, {"C", 2}};
+    // A = {1,2,3,4}, B = {3,4,5}, C = {1,3,5,7}.
+    for (uint64_t e : {1, 2, 3, 4}) store_.Apply(Insert(0, e));
+    for (uint64_t e : {3, 4, 5}) store_.Apply(Insert(1, e));
+    for (uint64_t e : {1, 3, 5, 7}) store_.Apply(Insert(2, e));
+  }
+
+  int64_t Eval(const std::string& text) {
+    const ParseResult p = ParseExpression(text);
+    EXPECT_TRUE(p.ok()) << p.error;
+    return ExactCardinality(*p.expression, store_, names_);
+  }
+
+  ExactSetStore store_;
+  StreamNameMap names_;
+};
+
+TEST_F(ExactEvaluatorTest, SingleStream) {
+  EXPECT_EQ(Eval("A"), 4);
+  EXPECT_EQ(Eval("B"), 3);
+  EXPECT_EQ(Eval("C"), 4);
+}
+
+TEST_F(ExactEvaluatorTest, BinaryOperators) {
+  EXPECT_EQ(Eval("A | B"), 5);   // {1,2,3,4,5}
+  EXPECT_EQ(Eval("A & B"), 2);   // {3,4}
+  EXPECT_EQ(Eval("A - B"), 2);   // {1,2}
+  EXPECT_EQ(Eval("B - A"), 1);   // {5}
+}
+
+TEST_F(ExactEvaluatorTest, CompoundExpressions) {
+  EXPECT_EQ(Eval("(A - B) & C"), 1);        // {1}
+  EXPECT_EQ(Eval("(A & B) | (C - A)"), 4);  // {3,4} u {5,7}
+  EXPECT_EQ(Eval("A | B | C"), 6);          // {1,2,3,4,5,7}
+  EXPECT_EQ(Eval("A & B & C"), 1);          // {3}
+  EXPECT_EQ(Eval("(A | B) - C"), 2);        // {2,4}
+}
+
+TEST_F(ExactEvaluatorTest, DeletionsChangeResults) {
+  EXPECT_EQ(Eval("A & B"), 2);
+  store_.Apply(Delete(0, 3));  // Remove 3 from A.
+  EXPECT_EQ(Eval("A & B"), 1);
+  EXPECT_EQ(Eval("B - A"), 2);  // {3,5} now.
+}
+
+TEST_F(ExactEvaluatorTest, UnknownStreamReturnsMinusOne) {
+  EXPECT_EQ(Eval("A & Z"), -1);
+}
+
+TEST_F(ExactEvaluatorTest, UnionCardinalityHelper) {
+  const ParseResult p = ParseExpression("(A - B) & C");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(ExactUnionCardinality(*p.expression, store_, names_), 6);
+}
+
+TEST_F(ExactEvaluatorTest, EmptyResultExpression) {
+  EXPECT_EQ(Eval("A - A"), 0);
+  EXPECT_EQ(Eval("(A & B) - A"), 0);
+}
+
+}  // namespace
+}  // namespace setsketch

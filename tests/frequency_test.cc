@@ -1,0 +1,106 @@
+// Tests for CountMin-style frequency point queries over 2-level hash
+// sketches.
+
+#include <gtest/gtest.h>
+
+#include "core/frequency_estimator.h"
+#include "core/sketch_bank.h"
+#include "stream/exact_set_store.h"
+#include "hash/prng.h"
+#include "test_helpers.h"
+
+namespace setsketch {
+namespace {
+
+TEST(FrequencyTest, ExactOnSparseSketch) {
+  const auto seed = std::make_shared<const SketchSeed>(TestParams(), 3);
+  TwoLevelHashSketch sketch(seed);
+  sketch.Update(42, 7);
+  sketch.Update(43, 2);
+  EXPECT_EQ(FrequencyUpperBound(sketch, 42), 7);
+  EXPECT_EQ(FrequencyUpperBound(sketch, 43), 2);
+}
+
+TEST(FrequencyTest, AbsentElementWithEmptyBucketIsZero) {
+  const auto seed = std::make_shared<const SketchSeed>(TestParams(), 5);
+  TwoLevelHashSketch sketch(seed);
+  std::vector<uint64_t> present;
+  for (uint64_t e = 0; e < 3; ++e) {
+    present.push_back(e * 7919 + 1);
+    sketch.Update(present.back(), 1);
+  }
+  // Find an absent element whose first-level bucket holds none of the
+  // present ones: its bound must be exactly 0.
+  for (uint64_t candidate = 1000; candidate < 1100; ++candidate) {
+    bool shares_level = false;
+    for (uint64_t e : present) {
+      shares_level |= seed->Level(e) == seed->Level(candidate);
+    }
+    if (!shares_level) {
+      EXPECT_EQ(FrequencyUpperBound(sketch, candidate), 0);
+      return;
+    }
+  }
+  FAIL() << "no candidate with a private bucket found";
+}
+
+TEST(FrequencyTest, NeverUnderestimates) {
+  const auto seed = std::make_shared<const SketchSeed>(TestParams(), 7);
+  TwoLevelHashSketch sketch(seed);
+  ExactSetStore exact(1);
+  Xoshiro256StarStar rng(9);
+  std::vector<uint64_t> elements;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t e = rng.Next() & 0xFFFF;  // Small domain: collisions.
+    const int64_t delta = 1 + static_cast<int64_t>(rng.NextBelow(3));
+    elements.push_back(e);
+    sketch.Update(e, delta);
+    exact.Apply(Insert(0, e, delta));
+  }
+  for (uint64_t e : elements) {
+    EXPECT_GE(FrequencyUpperBound(sketch, e), exact.NetFrequency(0, e));
+  }
+}
+
+TEST(FrequencyTest, DeletionsLowerTheBound) {
+  const auto seed = std::make_shared<const SketchSeed>(TestParams(), 11);
+  TwoLevelHashSketch sketch(seed);
+  sketch.Update(100, 10);
+  EXPECT_EQ(FrequencyUpperBound(sketch, 100), 10);
+  sketch.Update(100, -6);
+  EXPECT_EQ(FrequencyUpperBound(sketch, 100), 4);
+  sketch.Update(100, -4);
+  EXPECT_EQ(FrequencyUpperBound(sketch, 100), 0);
+}
+
+TEST(FrequencyTest, MoreCopiesTightenTheBound) {
+  // Dense single sketch overestimates a hot element less often when the
+  // min runs across many copies.
+  SketchParams params = TestParams(/*levels=*/8, /*s=*/4);
+  SketchBank bank(SketchFamily(params, 32, 13));
+  bank.AddStream("A");
+  ExactSetStore exact(1);
+  Xoshiro256StarStar rng(15);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t e = rng.NextBelow(256);
+    bank.Apply("A", e, 1);
+    exact.Apply(Insert(0, e));
+  }
+  const auto& sketches = bank.Sketches("A");
+  int64_t single_excess = 0, multi_excess = 0;
+  for (uint64_t e = 0; e < 256; ++e) {
+    const int64_t truth = exact.NetFrequency(0, e);
+    single_excess += FrequencyUpperBound(sketches[0], e) - truth;
+    multi_excess += EstimateFrequency(sketches, e) - truth;
+    EXPECT_GE(EstimateFrequency(sketches, e), truth);
+  }
+  EXPECT_LE(multi_excess, single_excess);
+}
+
+TEST(FrequencyTest, EmptyInputsGiveZero) {
+  EXPECT_EQ(EstimateFrequency(std::vector<const TwoLevelHashSketch*>{}, 5),
+            0);
+}
+
+}  // namespace
+}  // namespace setsketch

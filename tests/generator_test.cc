@@ -1,0 +1,184 @@
+// Tests for the Section 5.1 synthetic data generators: Venn-partition
+// assignment, target-ratio probability helpers, churn injection, Zipf.
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_set_store.h"
+#include "stream/stream_generator.h"
+
+namespace setsketch {
+namespace {
+
+TEST(ProbHelpersTest, BinaryIntersectionSumsToOne) {
+  for (double ratio : {0.0, 0.1, 0.5, 1.0}) {
+    const std::vector<double> probs = BinaryIntersectionProbs(ratio);
+    ASSERT_EQ(probs.size(), 4u);
+    EXPECT_DOUBLE_EQ(probs[0], 0.0);
+    EXPECT_NEAR(probs[1] + probs[2] + probs[3], 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(probs[3], ratio);
+    EXPECT_DOUBLE_EQ(probs[1], probs[2]);  // Equal stream sizes.
+  }
+}
+
+TEST(ProbHelpersTest, BinaryDifferenceTargetsRegionOne) {
+  const std::vector<double> probs = BinaryDifferenceProbs(0.25);
+  ASSERT_EQ(probs.size(), 4u);
+  EXPECT_DOUBLE_EQ(probs[1], 0.25);        // A only == A - B.
+  EXPECT_DOUBLE_EQ(probs[2], 0.25);        // Equal sizes.
+  EXPECT_DOUBLE_EQ(probs[3], 0.5);
+}
+
+TEST(ProbHelpersTest, ExprProbsEqualizeStreamSizes) {
+  for (double ratio : {0.05, 0.2, 0.5}) {
+    const std::vector<double> probs = ExprDiffIntersectProbs(ratio);
+    ASSERT_EQ(probs.size(), 8u);
+    double total = 0;
+    for (double p : probs) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(probs[5], ratio);  // (A - B) n C region.
+    // Expected relative sizes of A, B, C.
+    double a = 0, b = 0, c = 0;
+    for (int mask = 1; mask < 8; ++mask) {
+      if (mask & 1) a += probs[static_cast<size_t>(mask)];
+      if (mask & 2) b += probs[static_cast<size_t>(mask)];
+      if (mask & 4) c += probs[static_cast<size_t>(mask)];
+    }
+    EXPECT_NEAR(a, b, 1e-12);
+    EXPECT_NEAR(b, c, 1e-12);
+  }
+}
+
+TEST(VennGeneratorTest, RealizedRegionSizesMatchProbabilities) {
+  const int64_t u = 1 << 16;
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+  const PartitionedDataset data = gen.Generate(u, /*seed=*/7);
+  // De-dup can shave a little off u (32-bit domain, 2^16 draws).
+  EXPECT_GT(data.UnionSize(), u - 200);
+  EXPECT_LE(data.UnionSize(), u);
+  const double n = static_cast<double>(data.UnionSize());
+  EXPECT_NEAR(static_cast<double>(data.regions[3].size()) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(data.regions[1].size()) / n, 0.375, 0.02);
+  EXPECT_NEAR(static_cast<double>(data.regions[2].size()) / n, 0.375, 0.02);
+}
+
+TEST(VennGeneratorTest, ElementsAreDistinctAcrossRegions) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  const PartitionedDataset data = gen.Generate(1 << 14, 9);
+  std::set<uint64_t> all;
+  for (const auto& region : data.regions) {
+    for (uint64_t e : region) {
+      EXPECT_TRUE(all.insert(e).second) << "duplicate element " << e;
+    }
+  }
+}
+
+TEST(VennGeneratorTest, DeterministicPerSeed) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.3));
+  const PartitionedDataset a = gen.Generate(4096, 11);
+  const PartitionedDataset b = gen.Generate(4096, 11);
+  for (size_t mask = 0; mask < a.regions.size(); ++mask) {
+    EXPECT_EQ(a.regions[mask], b.regions[mask]);
+  }
+  const PartitionedDataset c = gen.Generate(4096, 12);
+  EXPECT_NE(a.regions[3], c.regions[3]);
+}
+
+TEST(VennGeneratorTest, CountWhereMatchesExpressionSemantics) {
+  VennPartitionGenerator gen(3, ExprDiffIntersectProbs(0.2));
+  const PartitionedDataset data = gen.Generate(1 << 14, 13);
+  // (A - B) n C == region mask 5 exactly.
+  const int64_t expr = data.CountWhere([](uint32_t mask) {
+    const bool in_a = mask & 1, in_b = mask & 2, in_c = mask & 4;
+    return in_a && !in_b && in_c;
+  });
+  EXPECT_EQ(expr, static_cast<int64_t>(data.regions[5].size()));
+  const double ratio =
+      static_cast<double>(expr) / static_cast<double>(data.UnionSize());
+  EXPECT_NEAR(ratio, 0.2, 0.02);
+}
+
+TEST(VennGeneratorTest, ToInsertUpdatesMatchesMembership) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.4));
+  const PartitionedDataset data = gen.Generate(2048, 17);
+  const std::vector<Update> updates = data.ToInsertUpdates(3);
+  ExactSetStore store(2);
+  store.ApplyAll(updates);
+  EXPECT_EQ(store.DistinctCount(0), data.StreamSize(0));
+  EXPECT_EQ(store.DistinctCount(1), data.StreamSize(1));
+  // Every "both" element must be in both streams.
+  for (uint64_t e : data.regions[3]) {
+    EXPECT_TRUE(store.Contains(0, e));
+    EXPECT_TRUE(store.Contains(1, e));
+  }
+  for (uint64_t e : data.regions[1]) {
+    EXPECT_TRUE(store.Contains(0, e));
+    EXPECT_FALSE(store.Contains(1, e));
+  }
+}
+
+// Churn injection must preserve the net multiset exactly.
+TEST(ChurnTest, NetEffectIsIdentity) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  const PartitionedDataset data = gen.Generate(2048, 19);
+  const std::vector<Update> base = data.ToInsertUpdates(5);
+
+  ChurnOptions churn;
+  churn.max_multiplicity = 4;
+  churn.transient_fraction = 0.7;
+  churn.seed = 23;
+  const std::vector<Update> churned = InjectChurn(base, churn);
+  EXPECT_GT(churned.size(), base.size());
+
+  ExactSetStore plain(2), noisy(2);
+  EXPECT_EQ(plain.ApplyAll(base), base.size());
+  EXPECT_EQ(noisy.ApplyAll(churned), churned.size());  // All legal.
+  for (StreamId s = 0; s < 2; ++s) {
+    EXPECT_EQ(plain.DistinctCount(s), noisy.DistinctCount(s));
+    plain.ForEachDistinct(s, [&](uint64_t e, int64_t freq) {
+      EXPECT_EQ(noisy.NetFrequency(s, e), freq);
+    });
+  }
+}
+
+TEST(ChurnTest, ContainsDeletions) {
+  const std::vector<Update> base = {Insert(0, 1), Insert(0, 2),
+                                    Insert(0, 3), Insert(0, 4)};
+  ChurnOptions churn;
+  churn.transient_fraction = 1.0;
+  churn.max_multiplicity = 3;
+  const std::vector<Update> churned = InjectChurn(base, churn);
+  bool has_delete = false;
+  for (const Update& u : churned) has_delete |= u.delta < 0;
+  EXPECT_TRUE(has_delete);
+}
+
+TEST(ZipfTest, TotalAndSkew) {
+  const std::vector<Update> updates =
+      GenerateZipfStream(0, /*num_distinct=*/100, /*total_count=*/20000,
+                         /*alpha=*/1.2, /*seed=*/29);
+  EXPECT_EQ(updates.size(), 20000u);
+  std::unordered_map<uint64_t, int64_t> freq;
+  for (const Update& u : updates) {
+    EXPECT_EQ(u.stream, 0u);
+    EXPECT_LT(u.element, 100u);
+    freq[u.element] += u.delta;
+  }
+  // Rank 0 should dominate rank 50 heavily under alpha = 1.2.
+  EXPECT_GT(freq[0], 10 * std::max<int64_t>(freq[50], 1));
+}
+
+TEST(ZipfTest, ElementOffsetShiftsDomain) {
+  const std::vector<Update> updates =
+      GenerateZipfStream(1, 10, 100, 1.0, 31, /*element_offset=*/1000);
+  for (const Update& u : updates) {
+    EXPECT_GE(u.element, 1000u);
+    EXPECT_LT(u.element, 1010u);
+  }
+}
+
+}  // namespace
+}  // namespace setsketch

@@ -1,0 +1,319 @@
+// Tests for the hashing substrate: PRNGs, GF(2^61-1) arithmetic, bit
+// utilities, and the first-/second-level hash families.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hash/bit_util.h"
+#include "hash/hash_family.h"
+#include "hash/mersenne61.h"
+#include "hash/prng.h"
+
+namespace setsketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PRNG
+
+TEST(SplitMix64Test, IsDeterministicPerSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, KnownFirstValueForSeedZero) {
+  // Reference value of the published SplitMix64 algorithm.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Xoshiro256Test, IsDeterministicPerSeed) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, NextBelowStaysInRange) {
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(37), 37u);
+  }
+}
+
+TEST(Xoshiro256Test, NextBelowCoversAllResidues) {
+  Xoshiro256StarStar rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBelow(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleMeanIsCentered) {
+  Xoshiro256StarStar rng(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// GF(2^61 - 1)
+
+TEST(Mersenne61Test, ReduceIdentityBelowPrime) {
+  EXPECT_EQ(Reduce61(0), 0u);
+  EXPECT_EQ(Reduce61(1), 1u);
+  EXPECT_EQ(Reduce61(kMersenne61 - 1), kMersenne61 - 1);
+}
+
+TEST(Mersenne61Test, ReduceWrapsAtPrime) {
+  EXPECT_EQ(Reduce61(kMersenne61), 0u);
+  EXPECT_EQ(Reduce61(kMersenne61 + 5), 5u);
+}
+
+TEST(Mersenne61Test, MulModMatchesSmallCases) {
+  EXPECT_EQ(MulMod61(3, 7), 21u);
+  EXPECT_EQ(MulMod61(0, 12345), 0u);
+  EXPECT_EQ(MulMod61(1, kMersenne61 - 1), kMersenne61 - 1);
+}
+
+TEST(Mersenne61Test, MulModMatches128BitReference) {
+  Xoshiro256StarStar rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.Next() % kMersenne61;
+    const uint64_t b = rng.Next() % kMersenne61;
+    const __uint128_t ref =
+        (static_cast<__uint128_t>(a) * b) % kMersenne61;
+    EXPECT_EQ(MulMod61(a, b), static_cast<uint64_t>(ref));
+  }
+}
+
+TEST(Mersenne61Test, AddModWraps) {
+  EXPECT_EQ(AddMod61(kMersenne61 - 1, 1), 0u);
+  EXPECT_EQ(AddMod61(kMersenne61 - 2, 1), kMersenne61 - 1);
+  EXPECT_EQ(AddMod61(5, 6), 11u);
+}
+
+TEST(Mersenne61Test, FieldDistributivity) {
+  Xoshiro256StarStar rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng.Next() % kMersenne61;
+    const uint64_t b = rng.Next() % kMersenne61;
+    const uint64_t c = rng.Next() % kMersenne61;
+    EXPECT_EQ(MulMod61(a, AddMod61(b, c)),
+              AddMod61(MulMod61(a, b), MulMod61(a, c)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit utilities
+
+TEST(BitUtilTest, LsbBasics) {
+  EXPECT_EQ(Lsb(1), 0);
+  EXPECT_EQ(Lsb(2), 1);
+  EXPECT_EQ(Lsb(0x8000000000000000ULL), 63);
+  EXPECT_EQ(Lsb(12), 2);  // 0b1100
+}
+
+TEST(BitUtilTest, LsbClampedHandlesZeroAndOverflow) {
+  EXPECT_EQ(LsbClamped(0, 10), 10);
+  EXPECT_EQ(LsbClamped(1ULL << 20, 10), 10);
+  EXPECT_EQ(LsbClamped(1ULL << 5, 10), 5);
+}
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+}
+
+TEST(BitUtilTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1ULL << 40), 40);
+  EXPECT_EQ(CeilLog2((1ULL << 40) + 1), 41);
+}
+
+// ---------------------------------------------------------------------------
+// First-level hash families
+
+TEST(FirstLevelHashTest, Mix64IsDeterministic) {
+  const FirstLevelHash h1 = FirstLevelHash::Mix64(99);
+  const FirstLevelHash h2 = FirstLevelHash::Mix64(99);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(FirstLevelHashTest, Mix64SeedsAreIndependent) {
+  const FirstLevelHash h1 = FirstLevelHash::Mix64(1);
+  const FirstLevelHash h2 = FirstLevelHash::Mix64(2);
+  int same = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    if (h1(x) == h2(x)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(FirstLevelHashTest, KWisePolyIsDeterministic) {
+  const FirstLevelHash h1 = FirstLevelHash::KWisePoly(4, 7);
+  const FirstLevelHash h2 = FirstLevelHash::KWisePoly(4, 7);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(FirstLevelHashTest, KWisePolyOutputsBelowPrime) {
+  const FirstLevelHash h = FirstLevelHash::KWisePoly(4, 3);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h(x), kMersenne61);
+}
+
+TEST(FirstLevelHashTest, FromIdentityRoundTrips) {
+  const FirstLevelHash original = FirstLevelHash::KWisePoly(6, 12345);
+  const FirstLevelHash rebuilt = FirstLevelHash::FromIdentity(
+      original.kind(), original.independence(), original.seed());
+  EXPECT_EQ(original, rebuilt);
+  for (uint64_t x = 0; x < 200; ++x) EXPECT_EQ(original(x), rebuilt(x));
+}
+
+TEST(FirstLevelHashTest, InjectiveOnLargeDomainSample) {
+  // h maps [M] into [M^2]; collisions on a 2^17 sample should not occur.
+  const FirstLevelHash h = FirstLevelHash::Mix64(31);
+  std::set<uint64_t> outputs;
+  const int n = 1 << 17;
+  for (int x = 0; x < n; ++x) outputs.insert(h(static_cast<uint64_t>(x)));
+  EXPECT_EQ(outputs.size(), static_cast<size_t>(n));
+}
+
+// The LSB of the hash must be geometrically distributed:
+// Pr[level = l] = 2^-(l+1). Checked for both families.
+class FirstLevelGeometricTest
+    : public ::testing::TestWithParam<FirstLevelKind> {};
+
+TEST_P(FirstLevelGeometricTest, LsbLevelsAreGeometric) {
+  const FirstLevelHash h =
+      GetParam() == FirstLevelKind::kMix64
+          ? FirstLevelHash::Mix64(41)
+          : FirstLevelHash::KWisePoly(8, 41);
+  const int n = 1 << 16;
+  std::map<int, int> level_counts;
+  for (int x = 0; x < n; ++x) {
+    ++level_counts[LsbClamped(h(static_cast<uint64_t>(x)), 63)];
+  }
+  for (int level = 0; level < 6; ++level) {
+    const double expected = n / std::exp2(level + 1);
+    const double got = level_counts[level];
+    // 6 sigma tolerance on a binomial(n, 2^-(l+1)).
+    const double p = 1.0 / std::exp2(level + 1);
+    const double sigma = std::sqrt(n * p * (1 - p));
+    EXPECT_NEAR(got, expected, 6 * sigma)
+        << "level " << level << " for kind "
+        << static_cast<int>(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFamilies, FirstLevelGeometricTest,
+                         ::testing::Values(FirstLevelKind::kMix64,
+                                           FirstLevelKind::kKWisePoly));
+
+// t-wise polynomial family sweep: different independence degrees all give
+// deterministic, distinct functions.
+class KWiseIndependenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KWiseIndependenceTest, DistinctSeedsGiveDistinctFunctions) {
+  const int t = GetParam();
+  const FirstLevelHash h1 = FirstLevelHash::KWisePoly(t, 100);
+  const FirstLevelHash h2 = FirstLevelHash::KWisePoly(t, 101);
+  int same = 0;
+  for (uint64_t x = 0; x < 500; ++x) {
+    if (h1(x) == h2(x)) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST_P(KWiseIndependenceTest, OutputsLookUniform) {
+  const int t = GetParam();
+  const FirstLevelHash h = FirstLevelHash::KWisePoly(t, 55);
+  // Bucket into 16 ranges of the 61-bit output; expect near-uniform fill.
+  std::vector<int> buckets(16, 0);
+  const int n = 1 << 14;
+  for (int x = 0; x < n; ++x) {
+    ++buckets[static_cast<size_t>(h(static_cast<uint64_t>(x)) >> 57)];
+  }
+  const double expected = n / 16.0;
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_NEAR(buckets[static_cast<size_t>(b)], expected, 6 * std::sqrt(expected))
+        << "bucket " << b << " at t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IndependenceDegrees, KWiseIndependenceTest,
+                         ::testing::Values(2, 3, 4, 8, 12));
+
+// ---------------------------------------------------------------------------
+// Second-level (pairwise bit) hashes
+
+TEST(PairwiseBitHashTest, OutputsAreBits) {
+  const PairwiseBitHash g = PairwiseBitHash::FromSeed(5);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    const int bit = g(x);
+    EXPECT_TRUE(bit == 0 || bit == 1);
+  }
+}
+
+TEST(PairwiseBitHashTest, IsDeterministicPerSeed) {
+  const PairwiseBitHash g1 = PairwiseBitHash::FromSeed(77);
+  const PairwiseBitHash g2 = PairwiseBitHash::FromSeed(77);
+  for (uint64_t x = 0; x < 500; ++x) EXPECT_EQ(g1(x), g2(x));
+}
+
+TEST(PairwiseBitHashTest, BitsAreBalanced) {
+  const PairwiseBitHash g = PairwiseBitHash::FromSeed(123);
+  int ones = 0;
+  const int n = 1 << 15;
+  for (int x = 0; x < n; ++x) ones += g(static_cast<uint64_t>(x));
+  EXPECT_NEAR(ones, n / 2, 6 * std::sqrt(n / 4.0));
+}
+
+TEST(PairwiseBitHashTest, PairsSplitWithProbabilityHalf) {
+  // For two fixed distinct elements, the family splits them for ~half the
+  // seeds — the property Lemma 3.1's singleton check relies on.
+  int split = 0;
+  const int trials = 4000;
+  for (int seed = 0; seed < trials; ++seed) {
+    const PairwiseBitHash g =
+        PairwiseBitHash::FromSeed(static_cast<uint64_t>(seed));
+    if (g(1234567) != g(89101112)) ++split;
+  }
+  EXPECT_NEAR(split, trials / 2, 6 * std::sqrt(trials / 4.0));
+}
+
+TEST(PairwiseBitHashTest, DifferentSeedsDisagreeSomewhere) {
+  const PairwiseBitHash g1 = PairwiseBitHash::FromSeed(1);
+  const PairwiseBitHash g2 = PairwiseBitHash::FromSeed(2);
+  bool differ = false;
+  for (uint64_t x = 0; x < 200 && !differ; ++x) differ = g1(x) != g2(x);
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace setsketch

@@ -1,0 +1,124 @@
+// Tests for the deletion-robust Jaccard estimator.
+
+#include <gtest/gtest.h>
+
+#include "core/jaccard_estimator.h"
+#include "core/sketch_bank.h"
+#include "stream/stream_generator.h"
+#include "test_helpers.h"
+
+namespace setsketch {
+namespace {
+
+WitnessOptions Pooled() {
+  WitnessOptions options;
+  options.pool_all_levels = true;
+  return options;
+}
+
+TEST(JaccardTest, RejectsBadInputs) {
+  EXPECT_FALSE(EstimateJaccard({}).ok);
+  SketchBank bank(SketchFamily(TestParams(), 4, 1));
+  bank.AddStream("A");
+  // Groups of size 1 are not pairs.
+  EXPECT_FALSE(EstimateJaccard(bank.Groups({"A"})).ok);
+}
+
+TEST(JaccardTest, EmptyStreamsGiveZero) {
+  SketchBank bank(SketchFamily(TestParams(), 32, 3));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  const JaccardEstimate est =
+      EstimateJaccard(bank.Groups({"A", "B"}), Pooled());
+  ASSERT_TRUE(est.ok);
+  EXPECT_DOUBLE_EQ(est.jaccard, 0.0);
+}
+
+TEST(JaccardTest, IdenticalStreamsGiveOne) {
+  SketchBank bank(SketchFamily(TestParams(), 128, 5));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  for (int e = 0; e < 2000; ++e) {
+    const uint64_t elem = static_cast<uint64_t>(e) * 2654435761ULL;
+    bank.Apply("A", elem, 1);
+    bank.Apply("B", elem, 2);  // Frequencies differ; sets match.
+  }
+  const JaccardEstimate est =
+      EstimateJaccard(bank.Groups({"A", "B"}), Pooled());
+  ASSERT_TRUE(est.ok);
+  EXPECT_DOUBLE_EQ(est.jaccard, 1.0);
+}
+
+TEST(JaccardTest, DisjointStreamsGiveZero) {
+  SketchBank bank(SketchFamily(TestParams(), 128, 7));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  for (int e = 0; e < 1000; ++e) {
+    bank.Apply("A", static_cast<uint64_t>(e) * 7919 + 1, 1);
+    bank.Apply("B", static_cast<uint64_t>(e) * 104729 + (1ULL << 50), 1);
+  }
+  const JaccardEstimate est =
+      EstimateJaccard(bank.Groups({"A", "B"}), Pooled());
+  ASSERT_TRUE(est.ok);
+  EXPECT_DOUBLE_EQ(est.jaccard, 0.0);
+}
+
+class JaccardAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(JaccardAccuracyTest, TracksTargetOverlap) {
+  const double ratio = GetParam();  // J = ratio (intersection probs).
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(ratio));
+  const PartitionedDataset data = gen.Generate(8192, 11);
+  const auto bank = BankFromDataset(data, 256, 13);
+  const JaccardEstimate est =
+      EstimateJaccard(bank->Groups({"S0", "S1"}), Pooled());
+  ASSERT_TRUE(est.ok);
+  const double truth = static_cast<double>(data.regions[3].size()) /
+                       static_cast<double>(data.UnionSize());
+  // ~360 pooled observations: sd ~ sqrt(J(1-J)/360) <= 0.027.
+  EXPECT_NEAR(est.jaccard, truth, 0.1) << "target " << ratio;
+  // Interval sanity.
+  const Interval interval = JaccardInterval(est);
+  EXPECT_TRUE(interval.Contains(est.jaccard));
+  EXPECT_LT(interval.Width(), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, JaccardAccuracyTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75));
+
+TEST(JaccardTest, RobustToDeletions) {
+  // A == B, then delete half of B: J drops from 1 to 1/2 / 1 = 0.5.
+  SketchBank bank(SketchFamily(TestParams(), 256, 17));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  const int n = 4000;
+  for (int e = 0; e < n; ++e) {
+    const uint64_t elem = static_cast<uint64_t>(e) * 31337 + 3;
+    bank.Apply("A", elem, 1);
+    bank.Apply("B", elem, 1);
+  }
+  for (int e = 0; e < n; e += 2) {
+    bank.Apply("B", static_cast<uint64_t>(e) * 31337 + 3, -1);
+  }
+  const JaccardEstimate est =
+      EstimateJaccard(bank.Groups({"A", "B"}), Pooled());
+  ASSERT_TRUE(est.ok);
+  EXPECT_NEAR(est.jaccard, 0.5, 0.1);
+}
+
+TEST(JaccardTest, StrictModeAlsoWorks) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  const PartitionedDataset data = gen.Generate(8192, 19);
+  const auto bank = BankFromDataset(data, 512, 21);
+  WitnessOptions strict;  // Single-level, Figure 6 geometry.
+  const JaccardEstimate est =
+      EstimateJaccard(bank->Groups({"S0", "S1"}), strict);
+  ASSERT_TRUE(est.ok);
+  EXPECT_GT(est.valid_observations, 10);
+  const double truth = static_cast<double>(data.regions[3].size()) /
+                       static_cast<double>(data.UnionSize());
+  EXPECT_NEAR(est.jaccard, truth, 0.25);
+}
+
+}  // namespace
+}  // namespace setsketch

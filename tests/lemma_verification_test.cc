@@ -1,0 +1,190 @@
+// Monte-Carlo verification of the paper's statistical building blocks:
+// the property-check confidence of Lemma 3.1, the witness-probability
+// identities of Sections 3.4/3.5/4, and the limited-independence
+// approximations of Section 3.6 (Corollary 3.7 / Lemma 3.8 in spirit).
+//
+// These tests simulate the randomized quantities across many seeds and
+// check the empirical frequencies against the closed forms the analysis
+// derives. Tolerances are several sigma wide; seeds are fixed, so the
+// tests are deterministic.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/property_checks.h"
+#include "core/sketch_seed.h"
+#include "hash/prng.h"
+
+namespace setsketch {
+namespace {
+
+// Lemma 3.1: SingletonBucket errs (declares a 2-element bucket a
+// singleton) with probability 2^-s.
+TEST(Lemma31Test, SingletonFalsePositiveRateIsTwoToMinusS) {
+  const int s = 4;  // Small s so errors are observable: rate 1/16.
+  SketchParams params;
+  params.levels = 8;
+  params.num_second_level = s;
+  int trials = 0, errors = 0;
+  for (uint64_t seed = 0; seed < 4000; ++seed) {
+    const auto sketch_seed =
+        std::make_shared<const SketchSeed>(params, seed);
+    // Two fixed distinct elements; force them into one bucket by finding
+    // a pair that shares a level under this seed.
+    uint64_t e1 = 1, e2 = 2;
+    bool found = false;
+    for (uint64_t probe = 2; probe < 40 && !found; ++probe) {
+      if (sketch_seed->Level(probe) == sketch_seed->Level(1)) {
+        e2 = probe;
+        found = true;
+      }
+    }
+    if (!found) continue;
+    TwoLevelHashSketch sketch(sketch_seed);
+    sketch.Update(e1, 1);
+    sketch.Update(e2, 1);
+    ++trials;
+    if (SingletonBucket(sketch, sketch_seed->Level(1))) ++errors;
+  }
+  ASSERT_GT(trials, 2000);
+  const double rate = static_cast<double>(errors) / trials;
+  const double expected = std::exp2(-s);
+  const double sigma = std::sqrt(expected * (1 - expected) / trials);
+  EXPECT_NEAR(rate, expected, 6 * sigma)
+      << errors << "/" << trials;
+}
+
+// Section 3.4's witness identity: conditioned on a bucket being a
+// singleton for A u B, the probability it witnesses A - B is exactly
+// |A - B| / |A u B| — at ANY level (the fact pooled sampling relies on).
+TEST(WitnessIdentityTest, ConditionalWitnessProbabilityIsRatio) {
+  SketchParams params;
+  params.levels = 16;
+  params.num_second_level = 16;
+  // Fixed sets: |A u B| = 64, |A - B| = 16.
+  const int total = 64, only_a = 16;
+  int valid = 0, witnesses = 0;
+  for (uint64_t seed = 0; seed < 6000; ++seed) {
+    const auto sketch_seed =
+        std::make_shared<const SketchSeed>(params, 777000 + seed);
+    TwoLevelHashSketch a(sketch_seed), b(sketch_seed);
+    for (int e = 0; e < total; ++e) {
+      const uint64_t elem = static_cast<uint64_t>(e) * 2654435761ULL + 9;
+      if (e < only_a) {
+        a.Update(elem, 1);
+      } else {
+        // Shared or B-only; membership of A does not matter for the
+        // denominator, put half in both and half only in B.
+        if (e % 2 == 0) a.Update(elem, 1);
+        b.Update(elem, 1);
+      }
+    }
+    // Examine one mid-range level per trial.
+    const int level = 3 + static_cast<int>(seed % 4);
+    if (!SingletonUnionBucket(a, b, level)) continue;
+    ++valid;
+    if (SingletonBucket(a, level) && BucketEmpty(b, level)) ++witnesses;
+  }
+  ASSERT_GT(valid, 500);
+  const double rate = static_cast<double>(witnesses) / valid;
+  const double expected = static_cast<double>(only_a) / total;
+  const double sigma = std::sqrt(expected * (1 - expected) / valid);
+  EXPECT_NEAR(rate, expected, 6 * sigma) << witnesses << "/" << valid;
+}
+
+// Section 3.3's occupancy law: P[bucket j non-empty] = 1 - (1 - 1/R)^u
+// with R = 2^(j+1), for both hash families.
+class OccupancyLawTest : public ::testing::TestWithParam<FirstLevelKind> {};
+
+TEST_P(OccupancyLawTest, NonEmptyProbabilityMatchesClosedForm) {
+  SketchParams params;
+  params.levels = 16;
+  params.num_second_level = 4;
+  params.first_level_kind = GetParam();
+  params.independence = 8;
+  const int u = 96;
+  const int level = 6;  // R = 128, p ~ 0.53.
+  int nonempty = 0;
+  const int trials = 3000;
+  for (uint64_t seed = 0; seed < trials; ++seed) {
+    const auto sketch_seed =
+        std::make_shared<const SketchSeed>(params, 31000 + seed);
+    TwoLevelHashSketch sketch(sketch_seed);
+    for (int e = 0; e < u; ++e) {
+      sketch.Update(static_cast<uint64_t>(e) * 48271 + 5, 1);
+    }
+    if (!sketch.LevelEmpty(level)) ++nonempty;
+  }
+  const double big_r = std::exp2(level + 1);
+  const double expected = 1.0 - std::pow(1.0 - 1.0 / big_r, u);
+  const double rate = static_cast<double>(nonempty) / trials;
+  const double sigma = std::sqrt(expected * (1 - expected) / trials);
+  EXPECT_NEAR(rate, expected, 6 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFamilies, OccupancyLawTest,
+                         ::testing::Values(FirstLevelKind::kMix64,
+                                           FirstLevelKind::kKWisePoly));
+
+// Section 3.6 in spirit: the occupancy probability under t-wise
+// independent hashing matches the fully-independent closed form to within
+// small relative error for t >= 4 (Corollary 3.7's regime).
+TEST(LimitedIndependenceTest, TWiseOccupancyTracksClosedForm) {
+  for (int t : {4, 8}) {
+    SketchParams params;
+    params.levels = 16;
+    params.num_second_level = 4;
+    params.first_level_kind = FirstLevelKind::kKWisePoly;
+    params.independence = t;
+    const int u = 48;
+    const int level = 7;  // R = 256: u/R ~ 0.19 < 1/4 (small-p regime).
+    int nonempty = 0;
+    const int trials = 3000;
+    for (uint64_t seed = 0; seed < trials; ++seed) {
+      const auto sketch_seed =
+          std::make_shared<const SketchSeed>(params, 91000 + seed);
+      TwoLevelHashSketch sketch(sketch_seed);
+      for (int e = 0; e < u; ++e) {
+        sketch.Update(static_cast<uint64_t>(e) * 16807 + 3, 1);
+      }
+      if (!sketch.LevelEmpty(level)) ++nonempty;
+    }
+    const double big_r = std::exp2(level + 1);
+    const double expected = 1.0 - std::pow(1.0 - 1.0 / big_r, u);
+    const double rate = static_cast<double>(nonempty) / trials;
+    const double sigma = std::sqrt(expected * (1 - expected) / trials);
+    EXPECT_NEAR(rate, expected, 6 * sigma) << "t = " << t;
+  }
+}
+
+// The singleton probability (u/R)(1 - 1/R)^(u-1) underlying the witness
+// estimators' valid-observation analysis.
+TEST(SingletonLawTest, UnionSingletonProbabilityMatchesClosedForm) {
+  SketchParams params;
+  params.levels = 16;
+  params.num_second_level = 16;
+  const int u = 32;
+  const int level = 7;  // R = 256.
+  int singletons = 0;
+  const int trials = 4000;
+  for (uint64_t seed = 0; seed < trials; ++seed) {
+    const auto sketch_seed =
+        std::make_shared<const SketchSeed>(params, 52000 + seed);
+    TwoLevelHashSketch sketch(sketch_seed);
+    for (int e = 0; e < u; ++e) {
+      sketch.Update(static_cast<uint64_t>(e) * 104729 + 1, 1);
+    }
+    if (SingletonBucket(sketch, level)) ++singletons;
+  }
+  const double big_r = std::exp2(level + 1);
+  const double expected =
+      (u / big_r) * std::pow(1.0 - 1.0 / big_r, u - 1);
+  const double rate = static_cast<double>(singletons) / trials;
+  const double sigma = std::sqrt(expected * (1 - expected) / trials);
+  EXPECT_NEAR(rate, expected, 6 * sigma);
+}
+
+}  // namespace
+}  // namespace setsketch

@@ -1,0 +1,109 @@
+// Tests for the all-levels maximum-likelihood union estimator (extension
+// beyond the paper; see EstimateSetUnionMle).
+
+#include <gtest/gtest.h>
+
+#include "core/set_expression_estimator.h"
+#include "core/set_union_estimator.h"
+#include "expr/parser.h"
+#include "stream/stream_generator.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace setsketch {
+namespace {
+
+TEST(MleUnionTest, RejectsBadInputsLikeFigure5) {
+  EXPECT_FALSE(EstimateSetUnionMle({}, 0.5).ok);
+}
+
+TEST(MleUnionTest, EmptyStreamsGiveZero) {
+  SketchBank bank(SketchFamily(TestParams(), 16, 1));
+  bank.AddStream("A");
+  const UnionEstimate est = EstimateSetUnionMle(bank.Groups({"A"}), 0.5);
+  ASSERT_TRUE(est.ok);
+  EXPECT_DOUBLE_EQ(est.estimate, 0.0);
+}
+
+TEST(MleUnionTest, SingleTrialAccuracy) {
+  VennPartitionGenerator gen(1, {0.0, 1.0});
+  const PartitionedDataset data = gen.Generate(8192, 3);
+  const auto bank = BankFromDataset(data, 128, 5);
+  const UnionEstimate est = EstimateSetUnionMle(bank->Groups({"S0"}), 0.5);
+  ASSERT_TRUE(est.ok);
+  // MLE at r = 128 has ~4% mean error; 15% is a generous envelope.
+  EXPECT_LT(RelativeError(est.estimate,
+                          static_cast<double>(data.UnionSize())),
+            0.15);
+}
+
+TEST(MleUnionTest, DominatesFigure5OnAverage) {
+  std::vector<double> fig5_errors, mle_errors;
+  for (uint64_t t = 0; t < 8; ++t) {
+    VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+    const PartitionedDataset data = gen.Generate(4096, 700 + t * 3);
+    const auto bank = BankFromDataset(data, 128, 800 + t * 7);
+    const auto groups = bank->Groups({"S0", "S1"});
+    const double exact = static_cast<double>(data.UnionSize());
+    fig5_errors.push_back(
+        RelativeError(EstimateSetUnion(groups, 0.5).estimate, exact));
+    mle_errors.push_back(
+        RelativeError(EstimateSetUnionMle(groups, 0.5).estimate, exact));
+  }
+  EXPECT_LT(Mean(mle_errors), Mean(fig5_errors));
+  EXPECT_LT(Mean(mle_errors), 0.1);
+}
+
+TEST(MleUnionTest, TracksDeletions) {
+  SketchBank bank(SketchFamily(TestParams(), 128, 9));
+  bank.AddStream("A");
+  const int n = 4000;
+  for (int e = 0; e < n; ++e) {
+    bank.Apply("A", static_cast<uint64_t>(e) * 31337 + 1, 1);
+  }
+  for (int e = 0; e < n; e += 2) {
+    bank.Apply("A", static_cast<uint64_t>(e) * 31337 + 1, -1);
+  }
+  const UnionEstimate est = EstimateSetUnionMle(bank.Groups({"A"}), 0.5);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(RelativeError(est.estimate, n / 2.0), 0.15);
+}
+
+TEST(MleUnionTest, SmallSetsStayCalibrated) {
+  for (int n : {1, 3, 10, 50}) {
+    SketchBank bank(SketchFamily(TestParams(), 128, 100 + n));
+    bank.AddStream("A");
+    for (int e = 0; e < n; ++e) {
+      bank.Apply("A", static_cast<uint64_t>(e) * 48271 + 7, 1);
+    }
+    const UnionEstimate est = EstimateSetUnionMle(bank.Groups({"A"}), 0.5);
+    ASSERT_TRUE(est.ok) << n;
+    EXPECT_GT(est.estimate, 0.5 * n) << n;
+    EXPECT_LT(est.estimate, 2.0 * n + 2) << n;
+  }
+}
+
+TEST(MleUnionTest, ExpressionEstimatorCanUseIt) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+  const PartitionedDataset data = gen.Generate(8192, 11);
+  const auto bank = BankFromDataset(data, 192, 13);
+  const ParseResult parsed = ParseExpression("S0 & S1");
+  ASSERT_TRUE(parsed.ok());
+
+  WitnessOptions options;
+  options.pool_all_levels = true;
+  options.mle_union = true;
+  const ExpressionEstimate est =
+      EstimateSetExpression(*parsed.expression, *bank, options);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(
+      RelativeError(est.union_part.estimate,
+                    static_cast<double>(data.UnionSize())),
+      0.15);
+  EXPECT_LT(RelativeError(est.expression.estimate,
+                          static_cast<double>(data.regions[3].size())),
+            0.4);
+}
+
+}  // namespace
+}  // namespace setsketch

@@ -1,0 +1,171 @@
+// Tests for the counting-KMV and BJKST baselines.
+
+#include <gtest/gtest.h>
+
+#include "baselines/bjkst_sketch.h"
+#include "baselines/counting_kmv_sketch.h"
+#include "util/stats.h"
+
+namespace setsketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counting KMV
+
+TEST(CountingKmvTest, EstimatesDistinctCount) {
+  CountingKmvSketch kmv(256, 1);
+  const int n = 20000;
+  for (int e = 0; e < n; ++e) {
+    kmv.Update(static_cast<uint64_t>(e) * 48271 + 11, 1);
+  }
+  EXPECT_LT(RelativeError(kmv.EstimateDistinct(), n), 0.2);
+}
+
+TEST(CountingKmvTest, SurvivesMultisetChurn) {
+  // Insert every element 3x, delete 2x: net distinct count unchanged, and
+  // unlike plain KMV no sampled element is lost.
+  CountingKmvSketch kmv(256, 3);
+  const int n = 10000;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int e = 0; e < n; ++e) {
+      kmv.Update(static_cast<uint64_t>(e) * 7919 + 1, 1);
+    }
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int e = 0; e < n; ++e) {
+      kmv.Update(static_cast<uint64_t>(e) * 7919 + 1, -1);
+    }
+  }
+  EXPECT_EQ(kmv.zero_evictions(), 0);
+  EXPECT_LT(RelativeError(kmv.EstimateDistinct(), n), 0.2);
+}
+
+TEST(CountingKmvTest, ZeroEvictionOnFullDeletion) {
+  CountingKmvSketch kmv(64, 5);
+  for (int e = 0; e < 32; ++e) kmv.Update(static_cast<uint64_t>(e), 2);
+  for (int e = 0; e < 16; ++e) kmv.Update(static_cast<uint64_t>(e), -2);
+  EXPECT_EQ(kmv.zero_evictions(), 16);
+  EXPECT_DOUBLE_EQ(kmv.EstimateDistinct(), 16.0);  // Below k: exact.
+}
+
+TEST(CountingKmvTest, TransientChurnStillDepletes) {
+  // The structural failure: a transient with a small hash displaces a real
+  // sample entry; its later deletion leaves a hole.
+  CountingKmvSketch kmv(128, 7);
+  const int n = 4096;
+  for (int e = 0; e < n; ++e) {
+    kmv.Update(static_cast<uint64_t>(e) * 104729 + 3, 1);
+  }
+  const double before = kmv.EstimateDistinct();
+  // Many transients inserted then fully deleted (net set unchanged).
+  for (int t = 0; t < 100000; ++t) {
+    const uint64_t transient =
+        (static_cast<uint64_t>(t) + 1) * 6364136223846793005ULL;
+    kmv.Update(transient, 1);
+    kmv.Update(transient, -1);
+  }
+  EXPECT_GT(kmv.zero_evictions(), 0);
+  EXPECT_GT(kmv.displacements(), 0);
+  // Estimate degraded relative to before (fewer than k sampled).
+  EXPECT_LT(kmv.EstimateDistinct(), before);
+}
+
+TEST(CountingKmvTest, IntersectionInsertOnly) {
+  CountingKmvSketch a(512, 9), b(512, 9);
+  const int n = 8192;
+  for (int e = 0; e < n; ++e) {
+    const uint64_t elem = static_cast<uint64_t>(e) * 2654435761ULL + 7;
+    a.Update(elem, 1);
+    if (e < n / 4) b.Update(elem, 1);
+  }
+  for (int e = 0; e < 3 * n / 4; ++e) {
+    b.Update(static_cast<uint64_t>(e) * 16807 + (1ULL << 50), 1);
+  }
+  EXPECT_LT(RelativeError(CountingKmvSketch::EstimateUnion(a, b), 1.75 * n),
+            0.2);
+  EXPECT_LT(
+      RelativeError(CountingKmvSketch::EstimateIntersection(a, b), n / 4.0),
+      0.35);
+}
+
+TEST(CountingKmvTest, DeleteOfUnsampledElementIsNoOp) {
+  CountingKmvSketch kmv(4, 11);
+  for (int e = 0; e < 100; ++e) kmv.Update(static_cast<uint64_t>(e), 1);
+  const double before = kmv.EstimateDistinct();
+  kmv.Update(9999999, -1);  // Never inserted.
+  EXPECT_DOUBLE_EQ(kmv.EstimateDistinct(), before);
+}
+
+// ---------------------------------------------------------------------------
+// BJKST
+
+TEST(BjkstTest, EstimatesDistinctCount) {
+  BjkstSketch bjkst(1024, 1);
+  const int n = 50000;
+  for (int e = 0; e < n; ++e) {
+    bjkst.Insert(static_cast<uint64_t>(e) * 2654435761ULL);
+  }
+  EXPECT_GT(bjkst.level(), 0);  // Buffer must have shrunk at least once.
+  EXPECT_LT(RelativeError(bjkst.Estimate(), n), 0.15);
+}
+
+TEST(BjkstTest, ExactWhileBelowCapacity) {
+  BjkstSketch bjkst(256, 3);
+  for (int e = 0; e < 100; ++e) bjkst.Insert(static_cast<uint64_t>(e));
+  EXPECT_EQ(bjkst.level(), 0);
+  EXPECT_DOUBLE_EQ(bjkst.Estimate(), 100.0);
+  // Duplicates are free.
+  for (int e = 0; e < 100; ++e) bjkst.Insert(static_cast<uint64_t>(e));
+  EXPECT_DOUBLE_EQ(bjkst.Estimate(), 100.0);
+}
+
+TEST(BjkstTest, DeletionsRefused) {
+  BjkstSketch bjkst(64, 5);
+  bjkst.Insert(1);
+  const double before = bjkst.Estimate();
+  EXPECT_FALSE(bjkst.Delete(1));
+  EXPECT_EQ(bjkst.ignored_deletions(), 1);
+  EXPECT_DOUBLE_EQ(bjkst.Estimate(), before);
+}
+
+TEST(BjkstTest, MergeEstimatesUnion) {
+  BjkstSketch a(512, 7), b(512, 7);
+  const int n = 20000;
+  for (int e = 0; e < n; ++e) {
+    a.Insert(static_cast<uint64_t>(e) * 104729);
+    b.Insert(static_cast<uint64_t>(e + n / 2) * 104729);  // 50% overlap.
+  }
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_LT(RelativeError(a.Estimate(), 1.5 * n), 0.2);
+}
+
+TEST(BjkstTest, MergeRejectsMismatch) {
+  BjkstSketch a(64, 1), b(64, 2), c(128, 1);
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_FALSE(a.Merge(c));
+}
+
+TEST(BjkstTest, MergeAcrossDifferentLevels) {
+  BjkstSketch small(64, 9), large(64, 9);
+  for (int e = 0; e < 30; ++e) {
+    small.Insert(static_cast<uint64_t>(e) * 31337);
+  }
+  for (int e = 0; e < 30000; ++e) {
+    large.Insert(static_cast<uint64_t>(e) * 7919);
+  }
+  ASSERT_GT(large.level(), small.level());
+  ASSERT_TRUE(small.Merge(large));
+  // Union ~ 30030; small's contribution is negligible.
+  EXPECT_LT(RelativeError(small.Estimate(), 30030), 0.35);
+}
+
+TEST(BjkstTest, SizeStaysBounded) {
+  BjkstSketch bjkst(128, 11);
+  for (int e = 0; e < 100000; ++e) {
+    bjkst.Insert(static_cast<uint64_t>(e) * 48271 + 5);
+  }
+  EXPECT_LE(bjkst.SizeBytes(), 128u * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace setsketch

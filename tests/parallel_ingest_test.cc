@@ -1,0 +1,98 @@
+// Tests for multi-threaded sketch ingest: the parallel result must be
+// bit-identical to serial ingest for any thread count.
+
+#include <gtest/gtest.h>
+
+#include "query/parallel_ingest.h"
+#include "query/stream_engine.h"
+#include "stream/stream_generator.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace setsketch {
+namespace {
+
+std::vector<Update> MakeWorkload(uint64_t seed) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.4));
+  const PartitionedDataset data = gen.Generate(4096, seed);
+  ChurnOptions churn;
+  churn.seed = seed ^ 1;
+  churn.transient_fraction = 0.4;
+  return InjectChurn(data.ToInsertUpdates(seed ^ 2), churn);
+}
+
+class ParallelIngestThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelIngestThreadsTest, MatchesSerialBitForBit) {
+  const int threads = GetParam();
+  const std::vector<Update> updates = MakeWorkload(77);
+  const std::vector<std::string> names = {"A", "B"};
+
+  SketchBank serial(SketchFamily(TestParams(), 64, 5));
+  SketchBank parallel(SketchFamily(TestParams(), 64, 5));
+  for (const std::string& name : names) {
+    serial.AddStream(name);
+    parallel.AddStream(name);
+  }
+  const size_t serial_applied = ParallelIngest(&serial, names, updates, 1);
+  const size_t parallel_applied =
+      ParallelIngest(&parallel, names, updates, threads);
+  EXPECT_EQ(serial_applied, parallel_applied);
+  EXPECT_EQ(serial_applied, updates.size());
+  for (const std::string& name : names) {
+    const auto& a = serial.Sketches(name);
+    const auto& b = parallel.Sketches(name);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i] == b[i]) << name << " copy " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelIngestThreadsTest,
+                         ::testing::Values(2, 3, 4, 8, 64, 100));
+
+TEST(ParallelIngestTest, SkipsUnknownStreams) {
+  SketchBank bank(SketchFamily(TestParams(), 8, 7));
+  bank.AddStream("A");
+  const std::vector<std::string> names = {"A", "Missing"};
+  const std::vector<Update> updates = {Insert(0, 1), Insert(1, 2),
+                                       Insert(7, 3)};
+  EXPECT_EQ(ParallelIngest(&bank, names, updates, 4), 1u);
+  EXPECT_FALSE(bank.Sketches("A")[0].Empty());
+}
+
+TEST(ParallelIngestTest, EmptyBatchIsFine) {
+  SketchBank bank(SketchFamily(TestParams(), 4, 9));
+  bank.AddStream("A");
+  EXPECT_EQ(ParallelIngest(&bank, {"A"}, {}, 8), 0u);
+}
+
+TEST(StreamEngineParallelTest, ParallelEqualsSerialEngine) {
+  const std::vector<Update> updates = MakeWorkload(99);
+
+  StreamEngine::Options options;
+  options.params = TestParams();
+  options.copies = 96;
+  options.seed = 1234;
+  options.track_exact = true;
+
+  StreamEngine serial(options), parallel(options);
+  for (StreamEngine* engine : {&serial, &parallel}) {
+    engine->RegisterStream("A");
+    engine->RegisterStream("B");
+    engine->RegisterQuery("A & B");
+  }
+  EXPECT_EQ(serial.IngestAll(updates), updates.size());
+  EXPECT_EQ(parallel.IngestAllParallel(updates, 4), updates.size());
+  EXPECT_EQ(serial.updates_processed(), parallel.updates_processed());
+
+  const auto serial_answer = serial.AnswerQuery(0);
+  const auto parallel_answer = parallel.AnswerQuery(0);
+  ASSERT_TRUE(serial_answer.ok);
+  ASSERT_TRUE(parallel_answer.ok);
+  EXPECT_DOUBLE_EQ(serial_answer.estimate, parallel_answer.estimate);
+  EXPECT_EQ(serial_answer.exact, parallel_answer.exact);
+}
+
+}  // namespace
+}  // namespace setsketch

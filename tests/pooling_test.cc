@@ -1,0 +1,136 @@
+// Tests for pooled multi-level witness sampling
+// (WitnessOptions::pool_all_levels): unbiasedness sanity, variance
+// dominance over the strict Figure 6 estimator, and agreement between the
+// binary and general-expression pooled paths.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/set_difference_estimator.h"
+#include "core/set_expression_estimator.h"
+#include "core/set_intersection_estimator.h"
+#include "core/set_union_estimator.h"
+#include "expr/parser.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace setsketch {
+namespace {
+
+TEST(PooledWitnessTest, CollectsManyMoreObservations) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+  const PartitionedDataset data = gen.Generate(8192, 3);
+  const auto bank = BankFromDataset(data, 256, 5);
+  const auto pairs = bank->Groups({"S0", "S1"});
+  const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+  ASSERT_TRUE(ue.ok);
+
+  WitnessOptions strict;
+  WitnessOptions pooled;
+  pooled.pool_all_levels = true;
+  const WitnessEstimate strict_est =
+      EstimateSetIntersection(pairs, ue.estimate, strict);
+  const WitnessEstimate pooled_est =
+      EstimateSetIntersection(pairs, ue.estimate, pooled);
+  ASSERT_TRUE(pooled_est.ok);
+  // Pooling harvests ~1.4 observations per copy vs ~0.1 for strict.
+  EXPECT_GT(pooled_est.valid_observations,
+            4 * std::max(1, strict_est.valid_observations));
+  EXPECT_GT(pooled_est.valid_observations, 200);
+}
+
+TEST(PooledWitnessTest, IntersectionAccuracyTightens) {
+  // Average over several trials: pooled error should be clearly below
+  // strict error at the same (modest) number of copies.
+  std::vector<double> strict_errors, pooled_errors;
+  for (uint64_t t = 0; t < 5; ++t) {
+    VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+    const PartitionedDataset data = gen.Generate(8192, 100 + t * 13);
+    const auto bank = BankFromDataset(data, 128, 200 + t * 17);
+    const auto pairs = bank->Groups({"S0", "S1"});
+    const double exact = static_cast<double>(data.regions[3].size());
+    const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+    ASSERT_TRUE(ue.ok);
+
+    WitnessOptions strict;
+    WitnessOptions pooled;
+    pooled.pool_all_levels = true;
+    const WitnessEstimate s =
+        EstimateSetIntersection(pairs, ue.estimate, strict);
+    const WitnessEstimate p =
+        EstimateSetIntersection(pairs, ue.estimate, pooled);
+    strict_errors.push_back(s.ok ? RelativeError(s.estimate, exact) : 1.0);
+    pooled_errors.push_back(p.ok ? RelativeError(p.estimate, exact) : 1.0);
+  }
+  EXPECT_LT(Mean(pooled_errors), Mean(strict_errors));
+  EXPECT_LT(Mean(pooled_errors), 0.3);
+}
+
+TEST(PooledWitnessTest, DifferenceAccuracy) {
+  VennPartitionGenerator gen(2, BinaryDifferenceProbs(0.25));
+  const PartitionedDataset data = gen.Generate(8192, 7);
+  const auto bank = BankFromDataset(data, 256, 9);
+  const auto pairs = bank->Groups({"S0", "S1"});
+  const double exact = static_cast<double>(data.regions[1].size());
+  const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+  WitnessOptions pooled;
+  pooled.pool_all_levels = true;
+  const WitnessEstimate est =
+      EstimateSetDifference(pairs, ue.estimate, pooled);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(RelativeError(est.estimate, exact), 0.3);
+}
+
+TEST(PooledWitnessTest, ExpressionMatchesBinaryCounts) {
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+  const PartitionedDataset data = gen.Generate(4096, 11);
+  const auto bank = BankFromDataset(data, 128, 13);
+  const auto pairs = bank->Groups({"S0", "S1"});
+  const ParseResult parsed = ParseExpression("S0 & S1");
+  ASSERT_TRUE(parsed.ok());
+
+  WitnessOptions pooled;
+  pooled.pool_all_levels = true;
+  const ExpressionEstimate expr_est = EstimateSetExpression(
+      *parsed.expression, {"S0", "S1"}, pairs, pooled);
+  ASSERT_TRUE(expr_est.ok);
+  const WitnessEstimate bin_est = EstimateSetIntersection(
+      pairs, expr_est.union_part.estimate, pooled);
+  ASSERT_TRUE(bin_est.ok);
+  EXPECT_EQ(expr_est.expression.valid_observations,
+            bin_est.valid_observations);
+  EXPECT_EQ(expr_est.expression.witnesses, bin_est.witnesses);
+}
+
+TEST(PooledWitnessTest, ZeroAndFullResultsStayExact) {
+  // Disjoint streams: pooled intersection estimate must still be 0;
+  // identical streams: witness fraction must still be 1.
+  {
+    VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.0));
+    const auto bank = BankFromDataset(gen.Generate(2048, 17), 128, 19);
+    const auto pairs = bank->Groups({"S0", "S1"});
+    const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+    WitnessOptions pooled;
+    pooled.pool_all_levels = true;
+    const WitnessEstimate est =
+        EstimateSetIntersection(pairs, ue.estimate, pooled);
+    ASSERT_TRUE(est.ok);
+    EXPECT_DOUBLE_EQ(est.estimate, 0.0);
+  }
+  {
+    VennPartitionGenerator gen(2, BinaryIntersectionProbs(1.0));
+    const auto bank = BankFromDataset(gen.Generate(2048, 21), 128, 23);
+    const auto pairs = bank->Groups({"S0", "S1"});
+    const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+    WitnessOptions pooled;
+    pooled.pool_all_levels = true;
+    const WitnessEstimate est =
+        EstimateSetIntersection(pairs, ue.estimate, pooled);
+    ASSERT_TRUE(est.ok);
+    EXPECT_DOUBLE_EQ(est.WitnessFraction(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace setsketch

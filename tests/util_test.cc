@@ -1,0 +1,168 @@
+// Tests for utility helpers: statistics, CSV, table printing, flags.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace setsketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stats
+
+TEST(StatsTest, RelativeErrorBasics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeError(1, 0)));
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 6}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> v = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.125), 5.0);
+}
+
+TEST(StatsTest, TrimmedMeanDropsHighest) {
+  // 10 values; trimming 30% drops the top 3.
+  const std::vector<double> v = {1, 1, 1, 1, 1, 1, 1, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(TrimmedMeanDropHighest(v, 0.3), 1.0);
+  // No trim = plain mean.
+  EXPECT_NEAR(TrimmedMeanDropHighest(v, 0.0), 30.7, 1e-9);
+}
+
+TEST(StatsTest, TrimmedMeanKeepsAtLeastOne) {
+  EXPECT_DOUBLE_EQ(TrimmedMeanDropHighest({7.0}, 0.9), 7.0);
+  EXPECT_DOUBLE_EQ(TrimmedMeanDropHighest({}, 0.3), 0.0);
+}
+
+TEST(StatsTest, TrimmedMeanMatchesPaperUsage) {
+  // The paper trims 30% of the highest relative errors from 10-15 trials.
+  std::vector<double> errors = {0.05, 0.07, 0.04, 0.06, 0.05,
+                                0.9,  0.08, 0.05, 0.07, 0.06};
+  const double trimmed = TrimmedMeanDropHighest(errors, 0.3);
+  EXPECT_LT(trimmed, 0.1);  // The 0.9 outlier must be gone.
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.AddRow(std::vector<std::string>{"1", "x"});
+    csv.AddRow(std::vector<double>{2.5, 3.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,x");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "2.5,3");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, BadPathReportsNotOk) {
+  CsvWriter csv("/nonexistent-dir-xyz/file.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+}
+
+// ---------------------------------------------------------------------------
+// TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow(std::vector<std::string>{"x", "1"});
+  table.AddRow(std::vector<std::string>{"longer_name", "2"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer_name"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  TablePrinter table({"v"});
+  table.AddRow(std::vector<double>{1.23456}, 3);
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("1.235"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--name", "hello",
+                        "--verbose"};
+  Flags flags = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0), 1.5);
+  EXPECT_EQ(flags.GetString("name", ""), "hello");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, DefaultsApplyWhenAbsentOrMalformed) {
+  const char* argv[] = {"prog", "--n=notanumber"};
+  Flags flags = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 2.5), 2.5);
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  const char* argv[] = {"prog", "oops"};
+  Flags flags = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("oops"), std::string::npos);
+}
+
+TEST(FlagsTest, EnvHelpersReadVariables) {
+  setenv("SETSKETCH_TEST_ENV_D", "0.75", 1);
+  setenv("SETSKETCH_TEST_ENV_I", "123", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("SETSKETCH_TEST_ENV_D", 0), 0.75);
+  EXPECT_EQ(EnvInt("SETSKETCH_TEST_ENV_I", 0), 123);
+  EXPECT_DOUBLE_EQ(EnvDouble("SETSKETCH_TEST_ENV_MISSING", 1.5), 1.5);
+  setenv("SETSKETCH_TEST_ENV_D", "garbage", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("SETSKETCH_TEST_ENV_D", 9.0), 9.0);
+  unsetenv("SETSKETCH_TEST_ENV_D");
+  unsetenv("SETSKETCH_TEST_ENV_I");
+}
+
+}  // namespace
+}  // namespace setsketch

@@ -1,0 +1,256 @@
+// Tests for the Figure 6 witness-based estimators: set difference
+// (Section 3.4) and set intersection (Section 3.5).
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator_config.h"
+#include "core/set_difference_estimator.h"
+#include "core/set_intersection_estimator.h"
+#include "core/set_union_estimator.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace setsketch {
+namespace {
+
+// Shared scenario: a controlled 2-stream dataset plus its sketch bank.
+struct Scenario {
+  PartitionedDataset data;
+  std::unique_ptr<SketchBank> bank;
+  std::vector<SketchGroup> pairs;
+  double union_estimate = 0;
+  int64_t exact_union = 0;
+};
+
+Scenario MakeScenario(const std::vector<double>& probs, int64_t u,
+                      int copies, uint64_t seed) {
+  Scenario s;
+  VennPartitionGenerator gen(2, probs);
+  s.data = gen.Generate(u, seed);
+  s.bank = BankFromDataset(s.data, copies, seed ^ 0xABCD);
+  s.pairs = s.bank->Groups({"S0", "S1"});
+  s.exact_union = s.data.UnionSize();
+  const UnionEstimate ue = EstimateSetUnion(s.pairs, 0.5);
+  EXPECT_TRUE(ue.ok);
+  s.union_estimate = ue.estimate;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Input validation
+
+TEST(SetDifferenceEstimatorTest, RejectsBadInputs) {
+  EXPECT_FALSE(EstimateSetDifference({}, 100).ok);
+
+  Scenario s = MakeScenario(BinaryDifferenceProbs(0.25), 512, 16, 1);
+  WitnessOptions bad;
+  bad.beta = 1.0;  // Must be > 1.
+  EXPECT_FALSE(EstimateSetDifference(s.pairs, s.union_estimate, bad).ok);
+  bad = WitnessOptions{};
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(EstimateSetDifference(s.pairs, s.union_estimate, bad).ok);
+  EXPECT_FALSE(EstimateSetDifference(s.pairs, -5.0).ok);
+
+  // Groups must be pairs.
+  std::vector<SketchGroup> triples = s.bank->Groups({"S0", "S1", "S0"});
+  EXPECT_FALSE(EstimateSetDifference(triples, s.union_estimate).ok);
+}
+
+TEST(SetIntersectionEstimatorTest, RejectsBadInputs) {
+  EXPECT_FALSE(EstimateSetIntersection({}, 100).ok);
+  Scenario s = MakeScenario(BinaryIntersectionProbs(0.25), 512, 16, 2);
+  WitnessOptions bad;
+  bad.beta = 0.5;
+  EXPECT_FALSE(EstimateSetIntersection(s.pairs, s.union_estimate, bad).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic estimators
+
+TEST(AtomicEstimatorTest, WitnessAndNonWitnessPaths) {
+  const auto seed = std::make_shared<const SketchSeed>(TestParams(), 777);
+  TwoLevelHashSketch a(seed), b(seed);
+  // Find an element and its level-? bucket: use level of element directly.
+  const uint64_t e1 = 12345;
+  const int level = seed->Level(e1);
+  a.Update(e1, 1);
+
+  // A-only singleton: a difference witness and not an intersection witness.
+  EXPECT_EQ(AtomicDiffEstimate(a, b, level), std::optional<int>(1));
+  EXPECT_EQ(AtomicIntersectEstimate(a, b, level), std::optional<int>(0));
+
+  // Shared value: intersection witness, not difference witness.
+  b.Update(e1, 2);
+  EXPECT_EQ(AtomicDiffEstimate(a, b, level), std::optional<int>(0));
+  EXPECT_EQ(AtomicIntersectEstimate(a, b, level), std::optional<int>(1));
+
+  // Empty union bucket: noEstimate.
+  int empty_level = -1;
+  for (int l = 0; l < a.levels(); ++l) {
+    if (BucketEmpty(a, l) && BucketEmpty(b, l)) {
+      empty_level = l;
+      break;
+    }
+  }
+  ASSERT_GE(empty_level, 0);
+  EXPECT_EQ(AtomicDiffEstimate(a, b, empty_level), std::nullopt);
+  EXPECT_EQ(AtomicIntersectEstimate(a, b, empty_level), std::nullopt);
+}
+
+TEST(AtomicEstimatorTest, NonSingletonUnionGivesNoEstimate) {
+  const auto seed = std::make_shared<const SketchSeed>(TestParams(), 888);
+  TwoLevelHashSketch a(seed), b(seed);
+  // Two distinct elements in the same level-0 bucket.
+  std::vector<uint64_t> in_level0;
+  for (uint64_t e = 1; in_level0.size() < 2; ++e) {
+    if (seed->Level(e) == 0) in_level0.push_back(e);
+  }
+  a.Update(in_level0[0], 1);
+  b.Update(in_level0[1], 1);
+  EXPECT_EQ(AtomicDiffEstimate(a, b, 0), std::nullopt);
+  EXPECT_EQ(AtomicIntersectEstimate(a, b, 0), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy (fixed seeds keep these deterministic)
+
+TEST(SetDifferenceEstimatorTest, AccuracyAtModerateRatio) {
+  // |A - B| = u/4.
+  Scenario s = MakeScenario(BinaryDifferenceProbs(0.25), 8192, 512, 3);
+  const int64_t exact = static_cast<int64_t>(s.data.regions[1].size());
+  const WitnessEstimate est =
+      EstimateSetDifference(s.pairs, s.union_estimate);
+  ASSERT_TRUE(est.ok);
+  EXPECT_GT(est.valid_observations, 20);
+  // ~46 valid observations at r = 512 carry ~26% 1-sigma relative error
+  // on the witness fraction alone; 0.55 is a ~2-sigma envelope.
+  EXPECT_LT(RelativeError(est.estimate, static_cast<double>(exact)), 0.55);
+}
+
+TEST(SetIntersectionEstimatorTest, AccuracyAtModerateRatio) {
+  Scenario s = MakeScenario(BinaryIntersectionProbs(0.25), 8192, 512, 4);
+  const int64_t exact = static_cast<int64_t>(s.data.regions[3].size());
+  const WitnessEstimate est =
+      EstimateSetIntersection(s.pairs, s.union_estimate);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(RelativeError(est.estimate, static_cast<double>(exact)), 0.55);
+}
+
+TEST(SetIntersectionEstimatorTest, IdenticalStreamsGiveFullIntersection) {
+  Scenario s = MakeScenario(BinaryIntersectionProbs(1.0), 4096, 384, 5);
+  const WitnessEstimate est =
+      EstimateSetIntersection(s.pairs, s.union_estimate);
+  ASSERT_TRUE(est.ok);
+  // Every witness is an intersection witness: p_hat = 1.
+  EXPECT_DOUBLE_EQ(est.WitnessFraction(), 1.0);
+  EXPECT_LT(RelativeError(est.estimate,
+                          static_cast<double>(s.exact_union)),
+            0.4);
+}
+
+TEST(SetDifferenceEstimatorTest, IdenticalStreamsGiveZeroDifference) {
+  Scenario s = MakeScenario(BinaryIntersectionProbs(1.0), 4096, 384, 6);
+  const WitnessEstimate est =
+      EstimateSetDifference(s.pairs, s.union_estimate);
+  ASSERT_TRUE(est.ok);
+  EXPECT_DOUBLE_EQ(est.estimate, 0.0);
+}
+
+TEST(SetIntersectionEstimatorTest, DisjointStreamsGiveZeroIntersection) {
+  Scenario s = MakeScenario(BinaryIntersectionProbs(0.0), 4096, 384, 7);
+  const WitnessEstimate est =
+      EstimateSetIntersection(s.pairs, s.union_estimate);
+  ASSERT_TRUE(est.ok);
+  EXPECT_DOUBLE_EQ(est.estimate, 0.0);
+}
+
+TEST(SetDifferenceEstimatorTest, DisjointEqualStreamsGiveHalfUnion) {
+  Scenario s = MakeScenario(BinaryDifferenceProbs(0.5), 8192, 512, 8);
+  const int64_t exact = static_cast<int64_t>(s.data.regions[1].size());
+  const WitnessEstimate est =
+      EstimateSetDifference(s.pairs, s.union_estimate);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(RelativeError(est.estimate, static_cast<double>(exact)), 0.45);
+}
+
+// Deletions: B's elements removed again must move the difference estimate.
+TEST(SetDifferenceEstimatorTest, ReactsToDeletions) {
+  // Start with A == B (difference 0), then delete half of B.
+  SketchBank bank(SketchFamily(TestParams(), 512, 99));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  const int n = 4096;
+  for (int e = 0; e < n; ++e) {
+    const uint64_t elem = static_cast<uint64_t>(e) * 2654435761u + 17;
+    bank.Apply("A", elem, 1);
+    bank.Apply("B", elem, 1);
+  }
+  for (int e = 0; e < n; e += 2) {
+    const uint64_t elem = static_cast<uint64_t>(e) * 2654435761u + 17;
+    bank.Apply("B", elem, -1);
+  }
+  const auto pairs = bank.Groups({"A", "B"});
+  const UnionEstimate ue = EstimateSetUnion(pairs, 0.5);
+  ASSERT_TRUE(ue.ok);
+  const WitnessEstimate est = EstimateSetDifference(pairs, ue.estimate);
+  ASSERT_TRUE(est.ok);
+  // True |A - B| = n/2 now.
+  EXPECT_LT(RelativeError(est.estimate, n / 2.0), 0.5);
+}
+
+// The valid-observation rate should be near the analysis' (beta-1)/beta^2
+// lower bound at beta = 2 (~ e^{-1/beta}/beta ~ 0.30 actual singleton rate).
+TEST(WitnessEstimatorTest, ValidObservationRateMatchesTheory) {
+  Scenario s = MakeScenario(BinaryIntersectionProbs(0.5), 8192, 512, 10);
+  const WitnessEstimate est =
+      EstimateSetIntersection(s.pairs, s.union_estimate);
+  ASSERT_TRUE(est.ok);
+  const double rate = static_cast<double>(est.valid_observations) /
+                      static_cast<double>(est.copies);
+  // Theory: the witness level puts u/R in (1/16, 1/8], so
+  // P[singleton] = (u/R)(1 - 1/R)^(u-1) lies in ~(0.059, 0.110];
+  // accept a sampling envelope around that band.
+  EXPECT_GT(rate, 0.04);
+  EXPECT_LT(rate, 0.16);
+}
+
+// Witness level honors beta and the union estimate.
+TEST(WitnessEstimatorTest, WitnessLevelMatchesFormula) {
+  // beta * u / (1 - eps) = 2 * 1000 / 0.5 = 4000 -> ceil(log2) = 12.
+  EXPECT_EQ(WitnessLevel(1000, 0.5, 2.0, 48), 12);
+  // Clamped to the available levels.
+  EXPECT_EQ(WitnessLevel(1e12, 0.5, 2.0, 16), 15);
+  // Tiny unions floor at level 1 (log2(2/0.5)=2 ... ) — just bounds.
+  EXPECT_GE(WitnessLevel(0.5, 0.5, 2.0, 48), 0);
+}
+
+// Hardness scaling (Theorems 3.4/3.5): with fixed r, smaller |E|/|U|
+// ratios carry larger error. We check the coarse trend over a 16x ratio
+// range using a fixed seed ensemble.
+TEST(WitnessEstimatorTest, ErrorGrowsAsResultShrinks) {
+  auto avg_error = [](double ratio, uint64_t seed_base) {
+    std::vector<double> errors;
+    for (uint64_t t = 0; t < 6; ++t) {
+      Scenario s = MakeScenario(BinaryIntersectionProbs(ratio), 8192, 256,
+                                seed_base + t * 131);
+      const int64_t exact = static_cast<int64_t>(s.data.regions[3].size());
+      const WitnessEstimate est =
+          EstimateSetIntersection(s.pairs, s.union_estimate);
+      if (est.ok && exact > 0) {
+        errors.push_back(
+            RelativeError(est.estimate, static_cast<double>(exact)));
+      }
+    }
+    return Mean(errors);
+  };
+  const double easy = avg_error(0.5, 1000);
+  const double hard = avg_error(1.0 / 32.0, 2000);
+  EXPECT_LT(easy, hard + 0.05)
+      << "easy=" << easy << " hard=" << hard;
+}
+
+}  // namespace
+}  // namespace setsketch

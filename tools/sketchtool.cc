@@ -1,0 +1,105 @@
+// sketchtool: command-line front end for building, inspecting, merging
+// and querying 2-level hash sketch banks.
+//
+//   sketchtool build    --updates u.txt --out bank.bin
+//                       [--streams A,B,C] [--copies 128] [--seed 42]
+//                       [--levels 32] [--second-level 32]
+//                       [--kwise t]           (t-wise poly first level)
+//   sketchtool info     --bank bank.bin
+//   sketchtool merge    --inputs a.bin,b.bin[,...] --out merged.bin
+//   sketchtool estimate --bank bank.bin --expr "(A - B) & C"
+//                       [--strict]            (single-level witnesses)
+//
+// Update files are plain text: "stream element delta" per line, '#'
+// comments allowed. Banks built with the same seed and parameters can be
+// merged across machines (the stored-coins model).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/commands.h"
+#include "util/flags.h"
+
+namespace {
+
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < text.size()) parts.push_back(text.substr(start));
+      break;
+    }
+    if (comma > start) parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+int Usage() {
+  std::cerr << "usage: sketchtool <build|info|merge|estimate> [flags]\n"
+               "  build    --updates FILE --out FILE [--streams A,B,..]\n"
+               "           [--copies N] [--seed N] [--levels N]\n"
+               "           [--second-level N] [--kwise T]\n"
+               "  info     --bank FILE\n"
+               "  merge    --inputs A,B[,..] --out FILE\n"
+               "  estimate --bank FILE --expr EXPRESSION [--strict]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace setsketch;
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags = Flags::Parse(argc - 1, argv + 1);
+
+  CommandResult result;
+  if (command == "build") {
+    BuildSpec spec;
+    spec.updates_path = flags.GetString("updates", "");
+    spec.output_path = flags.GetString("out", "");
+    if (spec.updates_path.empty() || spec.output_path.empty()) {
+      return Usage();
+    }
+    spec.stream_names = SplitCommaList(flags.GetString("streams", ""));
+    spec.copies = static_cast<int>(flags.GetInt("copies", 128));
+    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    spec.params.levels = static_cast<int>(flags.GetInt("levels", 32));
+    spec.params.num_second_level =
+        static_cast<int>(flags.GetInt("second-level", 32));
+    if (flags.Has("kwise")) {
+      spec.params.first_level_kind = FirstLevelKind::kKWisePoly;
+      spec.params.independence =
+          static_cast<int>(flags.GetInt("kwise", 8));
+    }
+    result = RunBuild(spec);
+  } else if (command == "info") {
+    const std::string bank = flags.GetString("bank", "");
+    if (bank.empty()) return Usage();
+    result = RunInfo(bank);
+  } else if (command == "merge") {
+    const std::vector<std::string> inputs =
+        SplitCommaList(flags.GetString("inputs", ""));
+    const std::string out = flags.GetString("out", "");
+    if (inputs.empty() || out.empty()) return Usage();
+    result = RunMerge(inputs, out);
+  } else if (command == "estimate") {
+    const std::string bank = flags.GetString("bank", "");
+    const std::string expr = flags.GetString("expr", "");
+    if (bank.empty() || expr.empty()) return Usage();
+    result = RunEstimate(bank, expr, !flags.GetBool("strict", false));
+  } else {
+    return Usage();
+  }
+
+  if (!result.ok) {
+    std::cerr << "sketchtool " << command << ": " << result.error << "\n";
+    return 1;
+  }
+  std::cout << result.output;
+  return 0;
+}
