@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beta_ablation.dir/bench_beta_ablation.cc.o"
+  "CMakeFiles/bench_beta_ablation.dir/bench_beta_ablation.cc.o.d"
+  "bench_beta_ablation"
+  "bench_beta_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beta_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_difference.dir/bench_fig7b_difference.cc.o"
+  "CMakeFiles/bench_fig7b_difference.dir/bench_fig7b_difference.cc.o.d"
+  "bench_fig7b_difference"
+  "bench_fig7b_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_expression.dir/bench_fig8_expression.cc.o"
+  "CMakeFiles/bench_fig8_expression.dir/bench_fig8_expression.cc.o.d"
+  "bench_fig8_expression"
+  "bench_fig8_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inclusion_exclusion.dir/bench_inclusion_exclusion.cc.o"
+  "CMakeFiles/bench_inclusion_exclusion.dir/bench_inclusion_exclusion.cc.o.d"
+  "bench_inclusion_exclusion"
+  "bench_inclusion_exclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inclusion_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

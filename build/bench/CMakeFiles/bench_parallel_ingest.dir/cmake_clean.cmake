@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_ingest.dir/bench_parallel_ingest.cc.o"
+  "CMakeFiles/bench_parallel_ingest.dir/bench_parallel_ingest.cc.o.d"
+  "bench_parallel_ingest"
+  "bench_parallel_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ratio_scaling.dir/bench_ratio_scaling.cc.o"
+  "CMakeFiles/bench_ratio_scaling.dir/bench_ratio_scaling.cc.o.d"
+  "bench_ratio_scaling"
+  "bench_ratio_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratio_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

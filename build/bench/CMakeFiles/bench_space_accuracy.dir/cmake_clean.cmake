@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_accuracy.dir/bench_space_accuracy.cc.o"
+  "CMakeFiles/bench_space_accuracy.dir/bench_space_accuracy.cc.o.d"
+  "bench_space_accuracy"
+  "bench_space_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

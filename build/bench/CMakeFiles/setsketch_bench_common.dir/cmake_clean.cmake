@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setsketch_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/setsketch_bench_common.dir/bench_common.cc.o.d"
+  "lib/libsetsketch_bench_common.a"
+  "lib/libsetsketch_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setsketch_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libsetsketch_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sites.dir/distributed_sites.cpp.o"
+  "CMakeFiles/distributed_sites.dir/distributed_sites.cpp.o.d"
+  "distributed_sites"
+  "distributed_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_monitor.dir/ip_monitor.cpp.o"
+  "CMakeFiles/ip_monitor.dir/ip_monitor.cpp.o.d"
+  "ip_monitor"
+  "ip_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

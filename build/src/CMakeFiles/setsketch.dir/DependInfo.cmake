@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bjkst_sketch.cc" "src/CMakeFiles/setsketch.dir/baselines/bjkst_sketch.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/baselines/bjkst_sketch.cc.o.d"
+  "/root/repo/src/baselines/counting_kmv_sketch.cc" "src/CMakeFiles/setsketch.dir/baselines/counting_kmv_sketch.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/baselines/counting_kmv_sketch.cc.o.d"
+  "/root/repo/src/baselines/exact_distinct.cc" "src/CMakeFiles/setsketch.dir/baselines/exact_distinct.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/baselines/exact_distinct.cc.o.d"
+  "/root/repo/src/baselines/fm_sketch.cc" "src/CMakeFiles/setsketch.dir/baselines/fm_sketch.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/baselines/fm_sketch.cc.o.d"
+  "/root/repo/src/baselines/kmv_sketch.cc" "src/CMakeFiles/setsketch.dir/baselines/kmv_sketch.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/baselines/kmv_sketch.cc.o.d"
+  "/root/repo/src/baselines/minwise_sketch.cc" "src/CMakeFiles/setsketch.dir/baselines/minwise_sketch.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/baselines/minwise_sketch.cc.o.d"
+  "/root/repo/src/core/confidence.cc" "src/CMakeFiles/setsketch.dir/core/confidence.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/confidence.cc.o.d"
+  "/root/repo/src/core/estimator_config.cc" "src/CMakeFiles/setsketch.dir/core/estimator_config.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/estimator_config.cc.o.d"
+  "/root/repo/src/core/frequency_estimator.cc" "src/CMakeFiles/setsketch.dir/core/frequency_estimator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/frequency_estimator.cc.o.d"
+  "/root/repo/src/core/inclusion_exclusion_estimator.cc" "src/CMakeFiles/setsketch.dir/core/inclusion_exclusion_estimator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/inclusion_exclusion_estimator.cc.o.d"
+  "/root/repo/src/core/jaccard_estimator.cc" "src/CMakeFiles/setsketch.dir/core/jaccard_estimator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/jaccard_estimator.cc.o.d"
+  "/root/repo/src/core/property_checks.cc" "src/CMakeFiles/setsketch.dir/core/property_checks.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/property_checks.cc.o.d"
+  "/root/repo/src/core/set_difference_estimator.cc" "src/CMakeFiles/setsketch.dir/core/set_difference_estimator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/set_difference_estimator.cc.o.d"
+  "/root/repo/src/core/set_expression_estimator.cc" "src/CMakeFiles/setsketch.dir/core/set_expression_estimator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/set_expression_estimator.cc.o.d"
+  "/root/repo/src/core/set_intersection_estimator.cc" "src/CMakeFiles/setsketch.dir/core/set_intersection_estimator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/set_intersection_estimator.cc.o.d"
+  "/root/repo/src/core/set_union_estimator.cc" "src/CMakeFiles/setsketch.dir/core/set_union_estimator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/set_union_estimator.cc.o.d"
+  "/root/repo/src/core/sketch_bank.cc" "src/CMakeFiles/setsketch.dir/core/sketch_bank.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/sketch_bank.cc.o.d"
+  "/root/repo/src/core/sketch_seed.cc" "src/CMakeFiles/setsketch.dir/core/sketch_seed.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/sketch_seed.cc.o.d"
+  "/root/repo/src/core/two_level_hash_sketch.cc" "src/CMakeFiles/setsketch.dir/core/two_level_hash_sketch.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/core/two_level_hash_sketch.cc.o.d"
+  "/root/repo/src/distributed/coordinator.cc" "src/CMakeFiles/setsketch.dir/distributed/coordinator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/distributed/coordinator.cc.o.d"
+  "/root/repo/src/distributed/site.cc" "src/CMakeFiles/setsketch.dir/distributed/site.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/distributed/site.cc.o.d"
+  "/root/repo/src/expr/analysis.cc" "src/CMakeFiles/setsketch.dir/expr/analysis.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/expr/analysis.cc.o.d"
+  "/root/repo/src/expr/exact_evaluator.cc" "src/CMakeFiles/setsketch.dir/expr/exact_evaluator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/expr/exact_evaluator.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/setsketch.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/CMakeFiles/setsketch.dir/expr/parser.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/expr/parser.cc.o.d"
+  "/root/repo/src/hash/hash_family.cc" "src/CMakeFiles/setsketch.dir/hash/hash_family.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/hash/hash_family.cc.o.d"
+  "/root/repo/src/hash/prng.cc" "src/CMakeFiles/setsketch.dir/hash/prng.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/hash/prng.cc.o.d"
+  "/root/repo/src/query/parallel_ingest.cc" "src/CMakeFiles/setsketch.dir/query/parallel_ingest.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/query/parallel_ingest.cc.o.d"
+  "/root/repo/src/query/stream_engine.cc" "src/CMakeFiles/setsketch.dir/query/stream_engine.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/query/stream_engine.cc.o.d"
+  "/root/repo/src/stream/exact_set_store.cc" "src/CMakeFiles/setsketch.dir/stream/exact_set_store.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/stream/exact_set_store.cc.o.d"
+  "/root/repo/src/stream/stream_generator.cc" "src/CMakeFiles/setsketch.dir/stream/stream_generator.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/stream/stream_generator.cc.o.d"
+  "/root/repo/src/stream/stream_io.cc" "src/CMakeFiles/setsketch.dir/stream/stream_io.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/stream/stream_io.cc.o.d"
+  "/root/repo/src/stream/update.cc" "src/CMakeFiles/setsketch.dir/stream/update.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/stream/update.cc.o.d"
+  "/root/repo/src/tools/bank_io.cc" "src/CMakeFiles/setsketch.dir/tools/bank_io.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/tools/bank_io.cc.o.d"
+  "/root/repo/src/tools/commands.cc" "src/CMakeFiles/setsketch.dir/tools/commands.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/tools/commands.cc.o.d"
+  "/root/repo/src/util/csv_writer.cc" "src/CMakeFiles/setsketch.dir/util/csv_writer.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/util/csv_writer.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/setsketch.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/setsketch.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/setsketch.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/setsketch.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

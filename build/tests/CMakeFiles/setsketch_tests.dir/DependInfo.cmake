@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/setsketch_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/setsketch_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/compact_encoding_test.cc" "tests/CMakeFiles/setsketch_tests.dir/compact_encoding_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/compact_encoding_test.cc.o.d"
+  "/root/repo/tests/confidence_test.cc" "tests/CMakeFiles/setsketch_tests.dir/confidence_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/confidence_test.cc.o.d"
+  "/root/repo/tests/distributed_test.cc" "tests/CMakeFiles/setsketch_tests.dir/distributed_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/distributed_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/setsketch_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/estimator_config_test.cc" "tests/CMakeFiles/setsketch_tests.dir/estimator_config_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/estimator_config_test.cc.o.d"
+  "/root/repo/tests/expression_estimator_test.cc" "tests/CMakeFiles/setsketch_tests.dir/expression_estimator_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/expression_estimator_test.cc.o.d"
+  "/root/repo/tests/expression_test.cc" "tests/CMakeFiles/setsketch_tests.dir/expression_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/expression_test.cc.o.d"
+  "/root/repo/tests/frequency_test.cc" "tests/CMakeFiles/setsketch_tests.dir/frequency_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/frequency_test.cc.o.d"
+  "/root/repo/tests/generator_test.cc" "tests/CMakeFiles/setsketch_tests.dir/generator_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/generator_test.cc.o.d"
+  "/root/repo/tests/hash_test.cc" "tests/CMakeFiles/setsketch_tests.dir/hash_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/hash_test.cc.o.d"
+  "/root/repo/tests/inclusion_exclusion_test.cc" "tests/CMakeFiles/setsketch_tests.dir/inclusion_exclusion_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/inclusion_exclusion_test.cc.o.d"
+  "/root/repo/tests/jaccard_test.cc" "tests/CMakeFiles/setsketch_tests.dir/jaccard_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/jaccard_test.cc.o.d"
+  "/root/repo/tests/lemma_verification_test.cc" "tests/CMakeFiles/setsketch_tests.dir/lemma_verification_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/lemma_verification_test.cc.o.d"
+  "/root/repo/tests/mle_union_test.cc" "tests/CMakeFiles/setsketch_tests.dir/mle_union_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/mle_union_test.cc.o.d"
+  "/root/repo/tests/new_baselines_test.cc" "tests/CMakeFiles/setsketch_tests.dir/new_baselines_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/new_baselines_test.cc.o.d"
+  "/root/repo/tests/parallel_ingest_test.cc" "tests/CMakeFiles/setsketch_tests.dir/parallel_ingest_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/parallel_ingest_test.cc.o.d"
+  "/root/repo/tests/pooling_test.cc" "tests/CMakeFiles/setsketch_tests.dir/pooling_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/pooling_test.cc.o.d"
+  "/root/repo/tests/property_checks_test.cc" "tests/CMakeFiles/setsketch_tests.dir/property_checks_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/property_checks_test.cc.o.d"
+  "/root/repo/tests/query_explain_test.cc" "tests/CMakeFiles/setsketch_tests.dir/query_explain_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/query_explain_test.cc.o.d"
+  "/root/repo/tests/random_property_test.cc" "tests/CMakeFiles/setsketch_tests.dir/random_property_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/random_property_test.cc.o.d"
+  "/root/repo/tests/sketch_test.cc" "tests/CMakeFiles/setsketch_tests.dir/sketch_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/sketch_test.cc.o.d"
+  "/root/repo/tests/snapshot_test.cc" "tests/CMakeFiles/setsketch_tests.dir/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/snapshot_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/setsketch_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/setsketch_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/tools_test.cc" "tests/CMakeFiles/setsketch_tests.dir/tools_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/tools_test.cc.o.d"
+  "/root/repo/tests/union_estimator_test.cc" "tests/CMakeFiles/setsketch_tests.dir/union_estimator_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/union_estimator_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/setsketch_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/witness_estimator_test.cc" "tests/CMakeFiles/setsketch_tests.dir/witness_estimator_test.cc.o" "gcc" "tests/CMakeFiles/setsketch_tests.dir/witness_estimator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/setsketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

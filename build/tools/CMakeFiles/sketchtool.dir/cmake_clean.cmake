@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchtool.dir/sketchtool.cc.o"
+  "CMakeFiles/sketchtool.dir/sketchtool.cc.o.d"
+  "sketchtool"
+  "sketchtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

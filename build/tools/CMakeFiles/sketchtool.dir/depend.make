@@ -1,0 +1,2 @@
+# Empty dependencies file for sketchtool.
+# This may be replaced when dependencies are built.

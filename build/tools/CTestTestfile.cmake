@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sketchtool_usage "/root/repo/build/tools/sketchtool")
+set_tests_properties(sketchtool_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sketchtool_unknown_command "/root/repo/build/tools/sketchtool" "frobnicate")
+set_tests_properties(sketchtool_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sketchtool_estimate_missing_bank "/root/repo/build/tools/sketchtool" "estimate" "--bank" "/no/such/bank.bin" "--expr" "A")
+set_tests_properties(sketchtool_estimate_missing_bank PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
