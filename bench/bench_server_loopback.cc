@@ -1,0 +1,100 @@
+// End-to-end loopback throughput of the TCP serving subsystem: a
+// SketchServer on an ephemeral 127.0.0.1 port, one client pushing a
+// churned two-stream workload in batches, then a remote query. Sweeps
+// the batch size (the protocol's unit of acknowledgement and
+// backpressure) and reports wall-clock update throughput, including
+// whatever RETRY_LATER bounces the bounded shard queues produced.
+//
+// Honors SETSKETCH_BENCH_SCALE (0 < scale <= 1, default 0.25).
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "server/sketch_client.h"
+#include "server/sketch_server.h"
+#include "stream/stream_generator.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace setsketch;
+
+int main() {
+  const double scale = EnvDouble("SETSKETCH_BENCH_SCALE", 0.25);
+  const int64_t total_updates =
+      static_cast<int64_t>(400000 * scale) < 20000
+          ? 20000
+          : static_cast<int64_t>(400000 * scale);
+
+  // Workload: two overlapping streams with churn, like the engine tests.
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+  const PartitionedDataset data =
+      gen.Generate(static_cast<int64_t>(total_updates / 8), 99);
+  std::vector<Update> updates = data.ToInsertUpdates(4);
+  ChurnOptions churn;
+  churn.seed = 7;
+  updates = InjectChurn(updates, churn);
+  const std::vector<std::string> names = {"A", "B"};
+
+  std::cout << "loopback server bench: " << updates.size()
+            << " updates, 2 streams (scale=" << scale << ")\n\n";
+
+  TablePrinter table({"batch", "copies", "shards", "secs", "updates/s",
+                      "retries", "est |A&B|"});
+  for (const size_t batch_size : {size_t{512}, size_t{4096}, size_t{16384}}) {
+    SketchServer::Options options;
+    options.params.levels = 24;
+    options.params.num_second_level = 16;
+    options.copies = 128;
+    options.seed = 20030609;
+    options.shards = 2;
+    options.queue_capacity = 16;
+    options.witness.pool_all_levels = true;
+    SketchServer server(options);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::cerr << "server start failed: " << error << "\n";
+      return 1;
+    }
+    auto client = SketchClient::Connect("127.0.0.1", server.port(), &error);
+    if (client == nullptr) {
+      std::cerr << "connect failed: " << error << "\n";
+      return 1;
+    }
+
+    Stopwatch watch;
+    uint64_t retries_total = 0;
+    for (size_t begin = 0; begin < updates.size(); begin += batch_size) {
+      UpdateBatch batch;
+      batch.stream_names = names;
+      const size_t end = std::min(updates.size(), begin + batch_size);
+      batch.updates.assign(updates.begin() + begin, updates.begin() + end);
+      uint64_t retries = 0;
+      const SketchClient::Status status =
+          client->PushUpdatesWithRetry(batch, 10000, 1, &retries);
+      retries_total += retries;
+      if (!status.ok) {
+        std::cerr << "push failed: " << status.error << "\n";
+        return 1;
+      }
+    }
+    const QueryResultInfo answer = client->Query("A & B");
+    const double seconds = watch.Seconds();
+    if (!answer.ok) {
+      std::cerr << "query failed: " << answer.error << "\n";
+      return 1;
+    }
+    client->Shutdown();
+    server.Wait();
+
+    table.AddRow(std::vector<std::string>{
+        std::to_string(batch_size), std::to_string(options.copies),
+        std::to_string(options.shards), FormatDouble(seconds, 2),
+        FormatDouble(static_cast<double>(updates.size()) / seconds, 0),
+        std::to_string(retries_total), FormatDouble(answer.estimate, 0)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,24 +1,28 @@
-// Distributed streams with stored coins (Gibbons-Tirthapura model).
+// Distributed streams with stored coins — over a real network.
 //
-// Four collection sites each observe a fragment of three logical streams
-// (think: regional collectors for three services). Sites share nothing but
-// a 64-bit master seed and the sketch parameters — the "stored coins".
-// Each site summarizes its local traffic into 2-level hash sketches,
-// serializes them, and ships the bytes to a central coordinator, which
-// merges per-stream sketches by counter addition and answers arbitrary
-// set-expression queries over the *global* streams.
+// The earlier version of this example simulated the paper's Figure 1
+// architecture in-process: sites handed summary byte buffers to a
+// coordinator through function calls. This version runs the actual
+// transport (src/server/): a SketchServer listens on a loopback TCP
+// port, four collection sites connect as SketchClients and PUSH their
+// update fragments in batches (absorbing RETRY_LATER backpressure), a
+// fifth legacy site ships a serialized Site summary via PUSH_SUMMARY,
+// and set-expression queries are answered remotely over the merged
+// global streams.
 //
 //   $ ./distributed_sites
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <vector>
 
-#include "distributed/coordinator.h"
 #include "distributed/site.h"
 #include "expr/exact_evaluator.h"
 #include "expr/parser.h"
 #include "hash/prng.h"
+#include "server/sketch_client.h"
+#include "server/sketch_server.h"
 #include "stream/exact_set_store.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -27,81 +31,126 @@ using namespace setsketch;
 
 int main() {
   // Deployment-wide agreement: parameters + master seed. This is ALL the
-  // coordination the model needs.
+  // coordination the model needs — and the only thing the server and the
+  // summary-pushing site share out of band.
   SketchParams params;
   params.levels = 32;
   params.num_second_level = 32;
   const int kCopies = 256;
   const uint64_t kMasterSeed = 0xC01A5EEDULL;
 
+  SketchServer::Options options;
+  options.params = params;
+  options.copies = kCopies;
+  options.seed = kMasterSeed;
+  options.shards = 2;
+  options.queue_capacity = 8;
+  options.witness.pool_all_levels = true;
+  SketchServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "server start failed: " << error << "\n";
+    return 1;
+  }
+  std::cout << "sketch server listening on 127.0.0.1:" << server.port()
+            << "\n\n";
+
   const std::vector<std::string> streams = {"web", "api", "cdn"};
 
-  // Spin up four sites observing all three streams.
-  std::vector<Site> sites;
+  // Four collection sites connect as plain TCP clients.
+  std::vector<std::unique_ptr<SketchClient>> collectors;
   for (int i = 0; i < 4; ++i) {
-    sites.emplace_back("collector-" + std::to_string(i), params, kCopies,
-                       kMasterSeed);
-    for (const auto& stream : streams) sites.back().ObserveStream(stream);
+    auto client = SketchClient::Connect("127.0.0.1", server.port(), &error);
+    if (client == nullptr) {
+      std::cerr << "connect failed: " << error << "\n";
+      return 1;
+    }
+    collectors.push_back(std::move(client));
   }
 
   // Synthesize global traffic: 60,000 client ids, each hitting a subset
-  // of services; every update lands at a random site (fragments overlap
-  // arbitrarily — linear merging handles duplicates of *updates* across
-  // sites only if each update goes to exactly one site, which is the
-  // model: a physical packet is observed once).
+  // of services; every update lands at a random collection site (a
+  // physical packet is observed exactly once).
   ExactSetStore exact(3);
   Xoshiro256StarStar rng(4242);
+  std::vector<UpdateBatch> fragments(collectors.size());
+  for (auto& fragment : fragments) fragment.stream_names = streams;
+  auto route = [&](StreamId stream, uint64_t client, int64_t delta) {
+    fragments[rng.NextBelow(fragments.size())].updates.push_back(
+        Update{stream, client, delta});
+    exact.Apply(Update{stream, client, delta});
+  };
   for (int64_t c = 0; c < 60000; ++c) {
     const uint64_t client = rng.Next();
     const bool web = rng.NextDouble() < 0.7;
-    const bool api = rng.NextDouble() < 0.4;
-    const bool cdn = rng.NextDouble() < 0.5;
-    auto route = [&](int stream_index, const std::string& name) {
-      Site& site = sites[rng.NextBelow(sites.size())];
-      site.Ingest(name, client, 1);
-      exact.Apply(Insert(static_cast<StreamId>(stream_index), client));
-    };
-    if (web) route(0, "web");
-    if (api) route(1, "api");
-    if (cdn) route(2, "cdn");
-    // 10% of clients churn: their web session is torn down again.
-    if (web && rng.NextDouble() < 0.1) {
-      Site& site = sites[rng.NextBelow(sites.size())];
-      site.Ingest("web", client, -1);
-      exact.Apply(Delete(0, client));
-    }
+    if (web) route(0, client, 1);
+    if (rng.NextDouble() < 0.4) route(1, client, 1);
+    if (rng.NextDouble() < 0.5) route(2, client, 1);
+    // 10% of web clients churn: their session is torn down again.
+    if (web && rng.NextDouble() < 0.1) route(0, client, -1);
   }
 
-  // Ship the summaries. Only these bytes cross the network.
-  Coordinator coordinator(params, kCopies, kMasterSeed);
-  size_t wire_bytes = 0;
-  for (const Site& site : sites) {
-    const std::string summary = site.EncodeSummary();
-    wire_bytes += summary.size();
-    const auto result = coordinator.AddSiteSummary(summary);
-    if (!result.ok) {
-      std::cerr << "coordinator rejected " << site.name() << ": "
-                << result.error << "\n";
-      return 1;
+  // Ship the fragments in batches; RETRY_LATER bounces are retried.
+  const size_t kBatch = 4096;
+  uint64_t wire_updates = 0;
+  uint64_t backpressure_retries = 0;
+  for (size_t s = 0; s < collectors.size(); ++s) {
+    const UpdateBatch& fragment = fragments[s];
+    for (size_t begin = 0; begin < fragment.updates.size();
+         begin += kBatch) {
+      UpdateBatch batch;
+      batch.stream_names = streams;
+      const size_t end =
+          std::min(fragment.updates.size(), begin + kBatch);
+      batch.updates.assign(fragment.updates.begin() + begin,
+                           fragment.updates.begin() + end);
+      uint64_t retries = 0;
+      const SketchClient::Status status =
+          collectors[s]->PushUpdatesWithRetry(batch, 1000, 1, &retries);
+      backpressure_retries += retries;
+      if (!status.ok) {
+        std::cerr << "push failed: " << status.error << "\n";
+        return 1;
+      }
+      wire_updates += status.accepted;
     }
-    std::cout << site.name() << ": " << site.updates_processed()
-              << " local updates -> " << summary.size() / 1024
-              << " KiB summary\n";
+    std::cout << "collector-" << s << ": pushed "
+              << fragment.updates.size() << " updates\n";
   }
-  std::cout << "total wire traffic: " << wire_bytes / 1024 << " KiB\n\n";
+  std::cout << "total: " << wire_updates << " updates over TCP, "
+            << backpressure_retries << " backpressure retries\n\n";
 
-  // Central queries over the merged global streams.
+  // A legacy site that still batches locally ships one compact summary —
+  // the coordinator path. Its elements extend the global "web" stream.
+  Site legacy("legacy-dc", params, kCopies, kMasterSeed);
+  legacy.ObserveStream("web");
+  for (int64_t c = 0; c < 5000; ++c) {
+    const uint64_t client = rng.Next();
+    legacy.Ingest("web", client, 1);
+    exact.Apply(Insert(0, client));
+  }
+  const std::string summary = legacy.EncodeSummary();
+  const SketchClient::Status summary_status =
+      collectors[0]->PushSummary(summary);
+  if (!summary_status.ok) {
+    std::cerr << "summary rejected: " << summary_status.error << "\n";
+    return 1;
+  }
+  std::cout << "legacy-dc: " << legacy.updates_processed()
+            << " local updates -> " << summary.size() / 1024
+            << " KiB summary, merged " << summary_status.accepted
+            << " stream(s)\n\n";
+
+  // Remote queries over the merged global streams.
   const StreamNameMap name_map = {{"web", 0}, {"api", 1}, {"cdn", 2}};
   TablePrinter table({"query", "estimate", "exact", "rel.error"});
   const std::vector<std::string> query_texts = {
       "web | api | cdn", "web & api", "(web & cdn) - api",
       "cdn - (web | api)"};
   for (const std::string& text : query_texts) {
-    WitnessOptions witness;
-    witness.pool_all_levels = true;
-    const Coordinator::Answer answer = coordinator.Estimate(text, witness);
+    const QueryResultInfo answer = collectors[1]->Query(text);
     if (!answer.ok) {
-      std::cerr << "estimate failed: " << answer.error << "\n";
+      std::cerr << "query failed: " << answer.error << "\n";
       return 1;
     }
     const ParseResult parsed = ParseExpression(text);
@@ -115,11 +164,22 @@ int main() {
                      1) + "%"});
   }
   table.Print(std::cout);
+
+  // A rogue site with different coins is rejected at the protocol level.
   std::cout << "\nA rogue site with different coins would be rejected:\n";
   Site rogue("rogue", params, kCopies, /*master_seed=*/123);
   rogue.ObserveStream("web");
   rogue.Ingest("web", 1, 1);
-  const auto rejected = coordinator.AddSiteSummary(rogue.EncodeSummary());
-  std::cout << "  coordinator says: " << rejected.error << "\n";
+  const SketchClient::Status rejected =
+      collectors[2]->PushSummary(rogue.EncodeSummary());
+  std::cout << "  server says: " << rejected.error << "\n";
+
+  // Graceful shutdown: drain the shard queues, then exit.
+  collectors[3]->Shutdown();
+  server.Wait();
+  const SketchServer::StatsSnapshot stats = server.stats();
+  std::cout << "\nserver drained: " << stats.updates_applied << " of "
+            << stats.updates_enqueued << " acknowledged updates applied, "
+            << stats.queries_answered << " queries answered\n";
   return 0;
 }

@@ -1,0 +1,293 @@
+#include "server/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/varint.h"
+
+namespace setsketch {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t ReadU32At(const std::string& data, size_t offset) {
+  uint32_t v = 0;
+  std::memcpy(&v, data.data() + offset, sizeof(v));
+  return v;
+}
+
+void AppendF64(std::string* out, double v) {
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  out->append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+bool ReadF64(const std::string& data, size_t* offset, double* v) {
+  if (data.size() - *offset < sizeof(uint64_t)) return false;
+  uint64_t bits = 0;
+  std::memcpy(&bits, data.data() + *offset, sizeof(bits));
+  *offset += sizeof(bits);
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+/// Reads a varint-length-prefixed string, enforcing `max_bytes`.
+bool ReadLengthPrefixed(const std::string& data, size_t* offset,
+                        size_t max_bytes, std::string* out) {
+  uint64_t length = 0;
+  if (!ReadVarint(data, offset, &length)) return false;
+  if (length > max_bytes || data.size() - *offset < length) return false;
+  out->assign(data, *offset, static_cast<size_t>(length));
+  *offset += static_cast<size_t>(length);
+  return true;
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing: return "PING";
+    case Opcode::kPushUpdates: return "PUSH_UPDATES";
+    case Opcode::kPushSummary: return "PUSH_SUMMARY";
+    case Opcode::kQuery: return "QUERY";
+    case Opcode::kStats: return "STATS";
+    case Opcode::kShutdown: return "SHUTDOWN";
+    case Opcode::kPong: return "PONG";
+    case Opcode::kAck: return "ACK";
+    case Opcode::kRetryLater: return "RETRY_LATER";
+    case Opcode::kQueryResult: return "QUERY_RESULT";
+    case Opcode::kStatsResult: return "STATS_RESULT";
+    case Opcode::kError: return "ERROR";
+  }
+  return "?";
+}
+
+bool IsKnownOpcode(uint8_t value) {
+  return std::string_view(OpcodeName(static_cast<Opcode>(value))) != "?";
+}
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kNone: return "NONE";
+    case WireError::kBadMagic: return "BAD_MAGIC";
+    case WireError::kBadVersion: return "BAD_VERSION";
+    case WireError::kBadHeader: return "BAD_HEADER";
+    case WireError::kOversizedPayload: return "OVERSIZED_PAYLOAD";
+    case WireError::kUnknownOpcode: return "UNKNOWN_OPCODE";
+    case WireError::kBadPayload: return "BAD_PAYLOAD";
+    case WireError::kRejectedSummary: return "REJECTED_SUMMARY";
+    case WireError::kShuttingDown: return "SHUTTING_DOWN";
+    case WireError::kTooManyErrors: return "TOO_MANY_ERRORS";
+  }
+  return "?";
+}
+
+std::string EncodeFrame(Opcode opcode, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(&out, kProtocolMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(opcode));
+  out.push_back(0);
+  out.push_back(0);
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const char* data, size_t size) {
+  if (error_ != WireError::kNone) return;
+  // Drop the already-consumed prefix before it grows unboundedly.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 4096)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Status FrameDecoder::Fail(WireError error,
+                                        std::string message) {
+  error_ = error;
+  error_message_ = std::move(message);
+  return Status::kError;
+}
+
+FrameDecoder::Status FrameDecoder::Next(Frame* frame) {
+  if (error_ != WireError::kNone) return Status::kError;
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes) {
+    return Status::kNeedMore;
+  }
+  const size_t base = consumed_;
+  const uint32_t magic = ReadU32At(buffer_, base);
+  if (magic != kProtocolMagic) {
+    return Fail(WireError::kBadMagic, "bad frame magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(buffer_[base + 4]);
+  if (version != kProtocolVersion) {
+    return Fail(WireError::kBadVersion,
+                "unsupported protocol version " + std::to_string(version));
+  }
+  if (buffer_[base + 6] != 0 || buffer_[base + 7] != 0) {
+    return Fail(WireError::kBadHeader, "nonzero reserved header bits");
+  }
+  const uint32_t payload_size = ReadU32At(buffer_, base + 8);
+  if (payload_size > kMaxPayloadBytes) {
+    return Fail(WireError::kOversizedPayload,
+                "payload of " + std::to_string(payload_size) +
+                    " bytes exceeds the frame limit");
+  }
+  if (buffer_.size() - base - kFrameHeaderBytes < payload_size) {
+    return Status::kNeedMore;
+  }
+  frame->opcode = static_cast<Opcode>(buffer_[base + 5]);
+  frame->payload.assign(buffer_, base + kFrameHeaderBytes, payload_size);
+  consumed_ = base + kFrameHeaderBytes + payload_size;
+  return Status::kFrame;
+}
+
+std::string EncodePushUpdates(const UpdateBatch& batch) {
+  std::string out;
+  AppendVarint(&out, batch.stream_names.size());
+  for (const std::string& name : batch.stream_names) {
+    AppendVarint(&out, name.size());
+    out.append(name);
+  }
+  AppendVarint(&out, batch.updates.size());
+  for (const Update& u : batch.updates) {
+    AppendVarint(&out, u.stream);
+    AppendVarint(&out, u.element);
+    AppendVarint(&out, ZigZagEncode(u.delta));
+  }
+  return out;
+}
+
+bool DecodePushUpdates(const std::string& payload, UpdateBatch* out,
+                       std::string* error) {
+  out->stream_names.clear();
+  out->updates.clear();
+  size_t offset = 0;
+  uint64_t num_names = 0;
+  if (!ReadVarint(payload, &offset, &num_names)) {
+    *error = "truncated stream-name count";
+    return false;
+  }
+  // An empty batch header with updates could not address any stream, and a
+  // name count beyond the remaining bytes is certainly malformed.
+  if (num_names > payload.size() - offset) {
+    *error = "stream-name count exceeds payload";
+    return false;
+  }
+  out->stream_names.reserve(static_cast<size_t>(num_names));
+  for (uint64_t i = 0; i < num_names; ++i) {
+    std::string name;
+    if (!ReadLengthPrefixed(payload, &offset, kMaxStreamNameBytes, &name)) {
+      *error = "malformed stream name " + std::to_string(i);
+      return false;
+    }
+    if (name.empty()) {
+      *error = "empty stream name";
+      return false;
+    }
+    out->stream_names.push_back(std::move(name));
+  }
+  uint64_t num_updates = 0;
+  if (!ReadVarint(payload, &offset, &num_updates)) {
+    *error = "truncated update count";
+    return false;
+  }
+  // Each update costs at least 3 payload bytes; reject absurd counts
+  // before reserving memory for them.
+  if (num_updates > (payload.size() - offset + 2) / 3) {
+    *error = "update count exceeds payload";
+    return false;
+  }
+  out->updates.reserve(static_cast<size_t>(num_updates));
+  for (uint64_t i = 0; i < num_updates; ++i) {
+    uint64_t stream = 0, element = 0, zigzag_delta = 0;
+    if (!ReadVarint(payload, &offset, &stream) ||
+        !ReadVarint(payload, &offset, &element) ||
+        !ReadVarint(payload, &offset, &zigzag_delta)) {
+      *error = "truncated update " + std::to_string(i);
+      return false;
+    }
+    if (stream >= num_names) {
+      *error = "update " + std::to_string(i) +
+               " addresses undeclared stream index " + std::to_string(stream);
+      return false;
+    }
+    out->updates.push_back(Update{static_cast<StreamId>(stream), element,
+                                  ZigZagDecode(zigzag_delta)});
+  }
+  if (offset != payload.size()) {
+    *error = "trailing bytes after update batch";
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeError(WireError error, std::string_view message) {
+  std::string out;
+  AppendVarint(&out, static_cast<uint64_t>(error));
+  out.append(message);
+  return out;
+}
+
+bool DecodeError(const std::string& payload, ErrorInfo* out) {
+  size_t offset = 0;
+  uint64_t code = 0;
+  if (!ReadVarint(payload, &offset, &code) || code > 255) return false;
+  out->code = static_cast<WireError>(code);
+  out->message = payload.substr(offset);
+  return true;
+}
+
+std::string EncodeAck(const AckInfo& ack) {
+  std::string out;
+  AppendVarint(&out, ack.accepted);
+  out.push_back(ack.replaced ? 1 : 0);
+  return out;
+}
+
+bool DecodeAck(const std::string& payload, AckInfo* out) {
+  size_t offset = 0;
+  if (!ReadVarint(payload, &offset, &out->accepted)) return false;
+  if (offset + 1 != payload.size()) return false;
+  out->replaced = payload[offset] != 0;
+  return true;
+}
+
+std::string EncodeQueryResult(const QueryResultInfo& result) {
+  std::string out;
+  out.push_back(result.ok ? 1 : 0);
+  if (result.ok) {
+    AppendF64(&out, result.estimate);
+    AppendF64(&out, result.lo);
+    AppendF64(&out, result.hi);
+    out.append(result.expression);
+  } else {
+    out.append(result.error);
+  }
+  return out;
+}
+
+bool DecodeQueryResult(const std::string& payload, QueryResultInfo* out) {
+  *out = QueryResultInfo{};
+  if (payload.empty()) return false;
+  out->ok = payload[0] != 0;
+  size_t offset = 1;
+  if (!out->ok) {
+    out->error = payload.substr(offset);
+    return true;
+  }
+  if (!ReadF64(payload, &offset, &out->estimate) ||
+      !ReadF64(payload, &offset, &out->lo) ||
+      !ReadF64(payload, &offset, &out->hi)) {
+    return false;
+  }
+  out->expression = payload.substr(offset);
+  return true;
+}
+
+}  // namespace setsketch

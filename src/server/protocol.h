@@ -1,0 +1,181 @@
+// Wire protocol of the sketch-serving subsystem.
+//
+// Every message is one length-prefixed binary frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     4  magic 0x534B4348 ("SKCH"), little-endian
+//        4     1  protocol version (currently 1)
+//        5     1  opcode
+//        6     2  reserved, must be zero
+//        8     4  payload size in bytes, little-endian (<= 64 MiB)
+//       12     n  payload
+//
+// Requests (client -> server): PING, PUSH_UPDATES (a batch of Update
+// triples addressed by stream *name*), PUSH_SUMMARY (a Site::EncodeSummary
+// buffer, merged idempotently), QUERY (text set expression), STATS,
+// SHUTDOWN. Responses (server -> client): PONG, ACK, RETRY_LATER (ingest
+// backpressure — resend the same batch later), QUERY_RESULT, STATS_RESULT,
+// and ERROR (a code plus a human-readable message).
+//
+// Frames are self-delimiting, so a connection is a plain byte stream of
+// concatenated frames; FrameDecoder below reassembles them incrementally
+// from arbitrary read() chunk boundaries. Header-level corruption (bad
+// magic/version/reserved bits, oversized payload) poisons the stream —
+// there is no resynchronization — while payload-level problems are
+// reported per frame and leave the connection usable.
+
+#ifndef SETSKETCH_SERVER_PROTOCOL_H_
+#define SETSKETCH_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace setsketch {
+
+inline constexpr uint32_t kProtocolMagic = 0x534B4348u;  // "SKCH".
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+/// Stream names on the wire are bounded to keep hostile payloads cheap.
+inline constexpr size_t kMaxStreamNameBytes = 256;
+
+/// Frame type. Requests are < 128, responses >= 128.
+enum class Opcode : uint8_t {
+  kPing = 1,
+  kPushUpdates = 2,
+  kPushSummary = 3,
+  kQuery = 4,
+  kStats = 5,
+  kShutdown = 6,
+
+  kPong = 129,
+  kAck = 130,
+  kRetryLater = 131,
+  kQueryResult = 132,
+  kStatsResult = 133,
+  kError = 192,
+};
+
+/// Human-readable opcode name ("PUSH_UPDATES"), "?" for unknown values.
+const char* OpcodeName(Opcode opcode);
+
+/// True iff `value` is one of the Opcode enumerators.
+bool IsKnownOpcode(uint8_t value);
+
+/// Error codes carried by ERROR frames.
+enum class WireError : uint8_t {
+  kNone = 0,
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kBadHeader = 3,        ///< Nonzero reserved bits.
+  kOversizedPayload = 4,
+  kUnknownOpcode = 5,
+  kBadPayload = 6,       ///< Frame ok, payload failed to decode.
+  kRejectedSummary = 7,  ///< Coordinator refused the site summary.
+  kShuttingDown = 8,     ///< Server is draining; no new work accepted.
+  kTooManyErrors = 9,    ///< Per-connection error budget exhausted.
+};
+
+/// Human-readable error-code name ("BAD_PAYLOAD").
+const char* WireErrorName(WireError error);
+
+/// One decoded frame.
+struct Frame {
+  Opcode opcode = Opcode::kPing;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload). `payload` must not exceed
+/// kMaxPayloadBytes.
+std::string EncodeFrame(Opcode opcode, std::string_view payload);
+
+/// Incremental frame reassembler. Feed() raw socket bytes in any chunking;
+/// Next() yields complete frames. A header-level error is terminal: the
+/// decoder stays in the error state and the connection should be closed.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  ///< No complete frame buffered yet.
+    kFrame,     ///< *frame was filled with the next frame.
+    kError,     ///< Stream poisoned; see error()/error_message().
+  };
+
+  /// Appends raw bytes to the reassembly buffer.
+  void Feed(const char* data, size_t size);
+
+  /// Extracts the next complete frame, if any.
+  Status Next(Frame* frame);
+
+  WireError error() const { return error_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Bytes buffered but not yet consumed as frames.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Status Fail(WireError error, std::string message);
+
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already handed out as frames.
+  WireError error_ = WireError::kNone;
+  std::string error_message_;
+};
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Integers are LEB128 varints (util/varint.h), deltas are
+// zigzag-mapped, doubles travel as their IEEE-754 bit pattern in a fixed
+// 8-byte little-endian field.
+
+/// PUSH_UPDATES payload: a batch of updates whose `stream` field indexes
+/// `stream_names` (a batch-local id space; the server maps names to its
+/// own dense ids). Layout: varint #names, then each name as varint length
+/// + bytes; varint #updates, then each update as varint local stream
+/// index, varint element, varint zigzag(delta).
+struct UpdateBatch {
+  std::vector<std::string> stream_names;
+  std::vector<Update> updates;
+};
+std::string EncodePushUpdates(const UpdateBatch& batch);
+bool DecodePushUpdates(const std::string& payload, UpdateBatch* out,
+                       std::string* error);
+
+/// ERROR payload: varint code + message bytes (rest of payload).
+std::string EncodeError(WireError error, std::string_view message);
+struct ErrorInfo {
+  WireError code = WireError::kNone;
+  std::string message;
+};
+bool DecodeError(const std::string& payload, ErrorInfo* out);
+
+/// ACK payload: varint accepted count (updates for PUSH_UPDATES, streams
+/// merged for PUSH_SUMMARY) + u8 replaced flag (summary retransmission).
+struct AckInfo {
+  uint64_t accepted = 0;
+  bool replaced = false;
+};
+std::string EncodeAck(const AckInfo& ack);
+bool DecodeAck(const std::string& payload, AckInfo* out);
+
+/// QUERY_RESULT payload: u8 ok; if ok, three 8-byte doubles (estimate,
+/// interval lo, interval hi) + rendered expression text; else the error
+/// message text.
+struct QueryResultInfo {
+  bool ok = false;
+  std::string expression;  ///< Rendered form when ok.
+  std::string error;       ///< Failure description when !ok.
+  double estimate = 0.0;
+  double lo = 0.0;  ///< ~95% confidence interval.
+  double hi = 0.0;
+};
+std::string EncodeQueryResult(const QueryResultInfo& result);
+bool DecodeQueryResult(const std::string& payload, QueryResultInfo* out);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_SERVER_PROTOCOL_H_

@@ -1,0 +1,175 @@
+#include "server/server_commands.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "server/sketch_client.h"
+#include "stream/stream_io.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace setsketch {
+
+namespace {
+
+CommandResult Fail(const std::string& message) {
+  CommandResult result;
+  result.error = message;
+  return result;
+}
+
+std::unique_ptr<SketchClient> Dial(const std::string& host, int port,
+                                   CommandResult* failure) {
+  std::string error;
+  std::unique_ptr<SketchClient> client =
+      SketchClient::Connect(host, port, &error);
+  if (client == nullptr) {
+    *failure = Fail("cannot connect to " + host + ":" +
+                    std::to_string(port) + " (" + error + ")");
+  }
+  return client;
+}
+
+}  // namespace
+
+CommandResult RunServe(const SketchServer::Options& options,
+                       std::ostream* announce) {
+  if (!options.params.Valid()) return Fail("invalid sketch parameters");
+  if (options.copies < 1) return Fail("--copies must be >= 1");
+  SketchServer server(options);
+  std::string error;
+  if (!server.Start(&error)) return Fail("cannot start server: " + error);
+  if (announce != nullptr) {
+    *announce << "listening on " << options.bind_address << ":"
+              << server.port() << "\n"
+              << std::flush;
+  }
+  server.Wait();
+
+  const SketchServer::StatsSnapshot stats = server.stats();
+  CommandResult result;
+  result.ok = true;
+  std::ostringstream out;
+  out << "served " << stats.connections_accepted << " connections, "
+      << stats.batches_accepted << " batches (" << stats.updates_applied
+      << " updates, " << stats.batches_rejected << " backpressure bounces), "
+      << stats.summaries_accepted << " summaries, " << stats.queries_answered
+      << " queries over " << stats.streams << " streams\n";
+  result.output = out.str();
+  return result;
+}
+
+CommandResult RunServerPush(const PushSpec& spec) {
+  std::ifstream in(spec.updates_path);
+  if (!in) return Fail("cannot open updates file: " + spec.updates_path);
+  const ParsedUpdates parsed = ReadUpdates(in);
+  if (!parsed.ok()) {
+    return Fail("malformed updates (" +
+                std::to_string(parsed.errors.size()) +
+                " bad lines; first: " + parsed.errors.front() + ")");
+  }
+  if (parsed.updates.empty()) return Fail("no updates in input");
+
+  StreamId max_stream = 0;
+  for (const Update& u : parsed.updates) {
+    max_stream = std::max(max_stream, u.stream);
+  }
+  std::vector<std::string> names = spec.stream_names;
+  if (!names.empty() && names.size() <= max_stream) {
+    return Fail("updates reference stream id " +
+                std::to_string(max_stream) + " but only " +
+                std::to_string(names.size()) + " names were given");
+  }
+  for (StreamId i = static_cast<StreamId>(names.size()); i <= max_stream;
+       ++i) {
+    std::string name = "S";
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
+
+  CommandResult failure;
+  std::unique_ptr<SketchClient> client =
+      Dial(spec.host, spec.port, &failure);
+  if (client == nullptr) return failure;
+
+  const size_t batch_size = spec.batch_size == 0 ? 4096 : spec.batch_size;
+  uint64_t pushed = 0;
+  uint64_t retries = 0;
+  size_t batches = 0;
+  for (size_t begin = 0; begin < parsed.updates.size();
+       begin += batch_size) {
+    const size_t end =
+        std::min(parsed.updates.size(), begin + batch_size);
+    UpdateBatch batch;
+    batch.stream_names = names;
+    batch.updates.assign(parsed.updates.begin() + begin,
+                         parsed.updates.begin() + end);
+    uint64_t batch_retries = 0;
+    const SketchClient::Status status =
+        client->PushUpdatesWithRetry(batch, /*max_attempts=*/1000,
+                                     /*backoff_ms=*/1, &batch_retries);
+    retries += batch_retries;
+    if (!status.ok) {
+      return Fail("push failed after " + std::to_string(pushed) +
+                  " updates: " + status.error);
+    }
+    pushed += status.accepted;
+    ++batches;
+  }
+
+  CommandResult result;
+  result.ok = true;
+  std::ostringstream out;
+  out << "pushed " << pushed << " updates in " << batches << " batches ("
+      << retries << " backpressure retries) across " << names.size()
+      << " streams\n";
+  result.output = out.str();
+  return result;
+}
+
+CommandResult RunServerQuery(const std::string& host, int port,
+                             const std::string& expression_text) {
+  CommandResult failure;
+  std::unique_ptr<SketchClient> client = Dial(host, port, &failure);
+  if (client == nullptr) return failure;
+  const QueryResultInfo answer = client->Query(expression_text);
+  if (!answer.ok) return Fail("query failed: " + answer.error);
+  CommandResult result;
+  result.ok = true;
+  std::ostringstream out;
+  out << "|" << answer.expression << "| ~= "
+      << FormatDouble(answer.estimate, 1) << "  (~95% interval ["
+      << FormatDouble(answer.lo, 1) << ", " << FormatDouble(answer.hi, 1)
+      << "])\n";
+  result.output = out.str();
+  return result;
+}
+
+CommandResult RunServerStats(const std::string& host, int port) {
+  CommandResult failure;
+  std::unique_ptr<SketchClient> client = Dial(host, port, &failure);
+  if (client == nullptr) return failure;
+  std::string text;
+  const SketchClient::Status status = client->Stats(&text);
+  if (!status.ok) return Fail("stats failed: " + status.error);
+  CommandResult result;
+  result.ok = true;
+  result.output = text;
+  return result;
+}
+
+CommandResult RunServerShutdown(const std::string& host, int port) {
+  CommandResult failure;
+  std::unique_ptr<SketchClient> client = Dial(host, port, &failure);
+  if (client == nullptr) return failure;
+  const SketchClient::Status status = client->Shutdown();
+  if (!status.ok) return Fail("shutdown failed: " + status.error);
+  CommandResult result;
+  result.ok = true;
+  result.output = "server is draining and will exit\n";
+  return result;
+}
+
+}  // namespace setsketch

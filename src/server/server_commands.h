@@ -1,0 +1,47 @@
+// sketchtool subcommands for the TCP serving subsystem, factored out of
+// the CLI binary so they can be unit-tested (mirrors tools/commands.h).
+
+#ifndef SETSKETCH_SERVER_SERVER_COMMANDS_H_
+#define SETSKETCH_SERVER_SERVER_COMMANDS_H_
+
+#include <string>
+#include <vector>
+
+#include "server/sketch_server.h"
+#include "tools/commands.h"  // CommandResult
+
+namespace setsketch {
+
+/// `sketchtool serve`: runs a SketchServer until a SHUTDOWN frame
+/// arrives, then reports final serving stats. `announce`, if non-null,
+/// receives "listening on <address>:<port>" right after the bind — tests
+/// and scripts use it to learn an ephemeral port.
+CommandResult RunServe(const SketchServer::Options& options,
+                       std::ostream* announce = nullptr);
+
+/// `sketchtool push`: replays an update text file ("stream element delta"
+/// lines; see stream/stream_io.h) to a server in batches, absorbing
+/// RETRY_LATER backpressure. Stream id i is named stream_names[i]
+/// (default "S<i>").
+struct PushSpec {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string updates_path;
+  std::vector<std::string> stream_names;
+  size_t batch_size = 4096;
+};
+CommandResult RunServerPush(const PushSpec& spec);
+
+/// `sketchtool query`: evaluates a set expression on a server.
+CommandResult RunServerQuery(const std::string& host, int port,
+                             const std::string& expression_text);
+
+/// `sketchtool stats`: fetches a server's serving counters.
+CommandResult RunServerStats(const std::string& host, int port);
+
+/// `sketchtool shutdown`: asks a server to drain and exit.
+CommandResult RunServerShutdown(const std::string& host, int port);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_SERVER_SERVER_COMMANDS_H_

@@ -1,0 +1,67 @@
+#include "server/shard_queue.h"
+
+namespace setsketch {
+
+ShardQueue::ShardQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool ShardQueue::CanAccept() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !stopped_ && in_flight_ < capacity_;
+}
+
+bool ShardQueue::Push(std::shared_ptr<const IngestBatch> batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return false;
+    queue_.push_back(std::move(batch));
+    ++in_flight_;
+    ++pushed_;
+  }
+  pop_cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<const IngestBatch> ShardQueue::PopOrWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  pop_cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;  // Stopped and drained.
+  std::shared_ptr<const IngestBatch> batch = std::move(queue_.front());
+  queue_.pop_front();
+  return batch;
+}
+
+void ShardQueue::TaskDone() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    if (in_flight_ > 0) return;
+  }
+  drain_cv_.notify_all();
+}
+
+void ShardQueue::WaitDrained() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ShardQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  pop_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+ShardQueue::Stats ShardQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{pushed_, rejected_, in_flight_, capacity_};
+}
+
+void ShardQueue::CountRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,97 @@
+// Bounded MPSC batch queues for the server's sharded ingest pipeline.
+//
+// The server shards ingest the way query/parallel_ingest.h does: by sketch
+// *copy range*. Every accepted batch is enqueued to all shards; shard t
+// applies each update only to copies [t*r/S, (t+1)*r/S) of the addressed
+// stream, so every counter is owned by exactly one worker and the merged
+// result is bit-identical to serial ingest. Connection handlers are the
+// (multiple) producers, one worker thread per shard is the consumer.
+//
+// The queue is explicitly bounded: a batch counts against the capacity
+// from Push() until the worker's TaskDone(), so capacity limits *work in
+// flight*, not just queued buffers. When any shard is full the server
+// answers RETRY_LATER instead of blocking the socket — backpressure is a
+// protocol-visible event, never a stalled connection.
+
+#ifndef SETSKETCH_SERVER_SHARD_QUEUE_H_
+#define SETSKETCH_SERVER_SHARD_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/two_level_hash_sketch.h"
+#include "stream/update.h"
+
+namespace setsketch {
+
+/// One accepted PUSH_UPDATES batch, resolved against the server's stream
+/// registry: `updates[i].stream` is a server-global dense id indexing
+/// `columns`, and `columns[id]` points at the bank's sketch-copy vector
+/// for that stream (stable storage — SketchBank's map is node-based, so
+/// later stream registrations never move it).
+struct IngestBatch {
+  std::vector<Update> updates;
+  std::vector<std::vector<TwoLevelHashSketch>*> columns;
+};
+
+/// Bounded FIFO of shared batches for one ingest shard.
+class ShardQueue {
+ public:
+  explicit ShardQueue(size_t capacity);
+
+  /// True iff a Push would currently be admitted. The server checks all
+  /// shards under one producer-side mutex before pushing to any, so a
+  /// batch is enqueued to every shard or to none.
+  bool CanAccept() const;
+
+  /// Enqueues unconditionally (caller checked CanAccept under its producer
+  /// mutex). Returns false only after Stop().
+  bool Push(std::shared_ptr<const IngestBatch> batch);
+
+  /// Blocks for the next batch. Returns nullptr once the queue was
+  /// Stop()ped AND fully drained — pending batches are always delivered,
+  /// which is what makes shutdown lose nothing that was acknowledged.
+  std::shared_ptr<const IngestBatch> PopOrWait();
+
+  /// Worker signals that the batch from the last PopOrWait is fully
+  /// applied; releases its capacity slot.
+  void TaskDone();
+
+  /// Blocks until no batch is queued or being applied. Producers must be
+  /// quiesced by the caller (the server holds its push mutex), otherwise
+  /// this is only a momentary truth.
+  void WaitDrained();
+
+  /// No further pushes; wakes the worker so it can drain and exit.
+  void Stop();
+
+  struct Stats {
+    uint64_t pushed = 0;    ///< Batches admitted.
+    uint64_t rejected = 0;  ///< CanAccept==false observations (by server).
+    size_t depth = 0;       ///< Batches in flight right now.
+    size_t capacity = 0;
+  };
+  Stats stats() const;
+
+  /// Server-side accounting hook for a batch bounced with RETRY_LATER.
+  void CountRejected();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable pop_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::shared_ptr<const IngestBatch>> queue_;
+  size_t in_flight_ = 0;  // Queued + popped-but-not-TaskDone.
+  bool stopped_ = false;
+  uint64_t pushed_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_SERVER_SHARD_QUEUE_H_

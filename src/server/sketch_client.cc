@@ -1,0 +1,222 @@
+#include "server/sketch_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace setsketch {
+
+namespace {
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SketchClient::SketchClient(int fd) : fd_(fd) {}
+
+SketchClient::~SketchClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<SketchClient> SketchClient::Connect(const std::string& host,
+                                                    int port,
+                                                    std::string* error) {
+  auto fail = [&](const std::string& what, int fd) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    return nullptr;
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket", -1);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "invalid host '" + host + "' (IPv4 address expected)";
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return fail("connect", fd);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<SketchClient>(new SketchClient(fd));
+}
+
+SketchClient::Status SketchClient::RoundTrip(Opcode opcode,
+                                             std::string_view payload,
+                                             Frame* reply) {
+  Status status;
+  if (fd_ < 0) {
+    status.error = "connection closed";
+    return status;
+  }
+  if (!SendAll(fd_, EncodeFrame(opcode, payload))) {
+    status.error = std::string("send: ") + std::strerror(errno);
+    return status;
+  }
+  char buffer[1 << 16];
+  while (true) {
+    const FrameDecoder::Status decoded = decoder_.Next(reply);
+    if (decoded == FrameDecoder::Status::kFrame) break;
+    if (decoded == FrameDecoder::Status::kError) {
+      status.error = "protocol error: " + decoder_.error_message();
+      return status;
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      status.error = "server closed the connection";
+      return status;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status.error = std::string("recv: ") + std::strerror(errno);
+      return status;
+    }
+    decoder_.Feed(buffer, static_cast<size_t>(n));
+  }
+  // Map the generic failure responses here; callers only see successes
+  // and their op-specific payloads.
+  if (reply->opcode == Opcode::kError) {
+    ErrorInfo info;
+    if (DecodeError(reply->payload, &info)) {
+      status.error = std::string(WireErrorName(info.code)) + ": " +
+                     info.message;
+    } else {
+      status.error = "malformed error frame";
+    }
+    return status;
+  }
+  if (reply->opcode == Opcode::kRetryLater) {
+    status.retry = true;
+    status.error = "server backpressure (RETRY_LATER)";
+    return status;
+  }
+  status.ok = true;
+  return status;
+}
+
+SketchClient::Status SketchClient::Ping() {
+  Frame reply;
+  Status status = RoundTrip(Opcode::kPing, "ping", &reply);
+  if (status.ok && reply.opcode != Opcode::kPong) {
+    status.ok = false;
+    status.error = std::string("unexpected reply ") +
+                   OpcodeName(reply.opcode);
+  }
+  return status;
+}
+
+SketchClient::Status SketchClient::PushUpdates(const UpdateBatch& batch) {
+  Frame reply;
+  Status status =
+      RoundTrip(Opcode::kPushUpdates, EncodePushUpdates(batch), &reply);
+  if (!status.ok) return status;
+  AckInfo ack;
+  if (reply.opcode != Opcode::kAck || !DecodeAck(reply.payload, &ack)) {
+    status.ok = false;
+    status.error = "malformed ACK";
+    return status;
+  }
+  status.accepted = ack.accepted;
+  return status;
+}
+
+SketchClient::Status SketchClient::PushUpdatesWithRetry(
+    const UpdateBatch& batch, int max_attempts, int backoff_ms,
+    uint64_t* retries_out) {
+  Status status;
+  uint64_t retries = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    status = PushUpdates(batch);
+    if (status.ok || !status.retry) break;
+    ++retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+  if (retries_out != nullptr) *retries_out = retries;
+  return status;
+}
+
+SketchClient::Status SketchClient::PushSummary(
+    const std::string& summary_bytes) {
+  Frame reply;
+  Status status = RoundTrip(Opcode::kPushSummary, summary_bytes, &reply);
+  if (!status.ok) return status;
+  AckInfo ack;
+  if (reply.opcode != Opcode::kAck || !DecodeAck(reply.payload, &ack)) {
+    status.ok = false;
+    status.error = "malformed ACK";
+    return status;
+  }
+  status.accepted = ack.accepted;
+  status.replaced = ack.replaced;
+  return status;
+}
+
+QueryResultInfo SketchClient::Query(const std::string& expression_text) {
+  Frame reply;
+  const Status status = RoundTrip(Opcode::kQuery, expression_text, &reply);
+  QueryResultInfo result;
+  if (!status.ok) {
+    result.error = status.error;
+    return result;
+  }
+  if (reply.opcode != Opcode::kQueryResult ||
+      !DecodeQueryResult(reply.payload, &result)) {
+    result.ok = false;
+    result.error = "malformed QUERY_RESULT";
+  }
+  return result;
+}
+
+SketchClient::Status SketchClient::Stats(std::string* text) {
+  Frame reply;
+  Status status = RoundTrip(Opcode::kStats, "", &reply);
+  if (!status.ok) return status;
+  if (reply.opcode != Opcode::kStatsResult) {
+    status.ok = false;
+    status.error = std::string("unexpected reply ") +
+                   OpcodeName(reply.opcode);
+    return status;
+  }
+  if (text != nullptr) *text = reply.payload;
+  return status;
+}
+
+SketchClient::Status SketchClient::Shutdown() {
+  Frame reply;
+  Status status = RoundTrip(Opcode::kShutdown, "", &reply);
+  if (status.ok && reply.opcode != Opcode::kAck) {
+    status.ok = false;
+    status.error = std::string("unexpected reply ") +
+                   OpcodeName(reply.opcode);
+  }
+  return status;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,87 @@
+// Blocking TCP client for SketchServer: one connection, strict
+// request-response framing (server/protocol.h). Dependency-free POSIX
+// sockets, suitable for collection sites, CLI tools and tests.
+//
+// Backpressure is surfaced, not hidden: PushUpdates returns with
+// `.retry == true` when the server answered RETRY_LATER, and
+// PushUpdatesWithRetry wraps the resend-with-backoff loop for callers
+// that just want the batch delivered.
+
+#ifndef SETSKETCH_SERVER_SKETCH_CLIENT_H_
+#define SETSKETCH_SERVER_SKETCH_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "stream/update.h"
+
+namespace setsketch {
+
+/// One blocking client connection.
+class SketchClient {
+ public:
+  /// Outcome of one request-response round trip.
+  struct Status {
+    bool ok = false;
+    bool retry = false;      ///< Server said RETRY_LATER (backpressure).
+    std::string error;       ///< Transport or server error when !ok.
+    uint64_t accepted = 0;   ///< ACK payload: updates/streams accepted.
+    bool replaced = false;   ///< ACK payload: summary superseded an
+                             ///< earlier one from the same site.
+  };
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost"). Returns
+  /// nullptr with *error filled on failure.
+  static std::unique_ptr<SketchClient> Connect(const std::string& host,
+                                               int port,
+                                               std::string* error = nullptr);
+
+  ~SketchClient();
+  SketchClient(const SketchClient&) = delete;
+  SketchClient& operator=(const SketchClient&) = delete;
+
+  /// PING round trip (payload echoed through PONG).
+  Status Ping();
+
+  /// Pushes one batch of updates; `batch.updates[i].stream` indexes
+  /// `batch.stream_names`. Unknown streams are auto-registered by the
+  /// server. Check `.retry` on failure.
+  Status PushUpdates(const UpdateBatch& batch);
+
+  /// PushUpdates + bounded retry loop with linear backoff for
+  /// RETRY_LATER responses. `retries_out`, if non-null, receives the
+  /// number of RETRY_LATER bounces absorbed.
+  Status PushUpdatesWithRetry(const UpdateBatch& batch,
+                              int max_attempts = 1000,
+                              int backoff_ms = 1,
+                              uint64_t* retries_out = nullptr);
+
+  /// Ships a Site::EncodeSummary buffer; the server merges it through its
+  /// Coordinator (idempotent per site).
+  Status PushSummary(const std::string& summary_bytes);
+
+  /// Evaluates a text set expression server-side.
+  QueryResultInfo Query(const std::string& expression_text);
+
+  /// Fetches the server's "key value" stats text.
+  Status Stats(std::string* text);
+
+  /// Requests a graceful server shutdown (drain, then exit).
+  Status Shutdown();
+
+ private:
+  SketchClient(int fd);
+
+  /// Sends one frame and reads exactly one response frame.
+  Status RoundTrip(Opcode opcode, std::string_view payload, Frame* reply);
+
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_SERVER_SKETCH_CLIENT_H_

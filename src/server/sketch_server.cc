@@ -1,0 +1,497 @@
+#include "server/sketch_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "core/confidence.h"
+#include "core/set_expression_estimator.h"
+#include "expr/analysis.h"
+#include "expr/parser.h"
+
+namespace setsketch {
+
+namespace {
+
+/// Writes all of `bytes`, riding out EINTR. MSG_NOSIGNAL: a vanished peer
+/// must fail the call, not raise SIGPIPE.
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string ErrorFrame(WireError code, std::string_view message) {
+  return EncodeFrame(Opcode::kError, EncodeError(code, message));
+}
+
+}  // namespace
+
+SketchServer::SketchServer(const Options& options)
+    : options_(options),
+      bank_(SketchFamily(options.params, options.copies, options.seed)),
+      coordinator_(options.params, options.copies, options.seed) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+SketchServer::~SketchServer() { Stop(); }
+
+bool SketchServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error != nullptr) {
+      *error = "invalid bind address '" + options_.bind_address + "'";
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    return fail("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  queues_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    queues_.push_back(std::make_unique<ShardQueue>(options_.queue_capacity));
+  }
+  workers_.reserve(queues_.size());
+  for (int i = 0; i < options_.shards; ++i) {
+    workers_.emplace_back(&SketchServer::WorkerLoop, this, i);
+  }
+  acceptor_ = std::thread(&SketchServer::AcceptLoop, this);
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    started_ = true;
+  }
+  return true;
+}
+
+void SketchServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listen socket was shut down: we are stopping.
+    }
+    if (draining_.load()) {
+      ::close(fd);
+      continue;
+    }
+    ++connections_accepted_;
+    ++connections_active_;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    open_fds_.push_back(fd);
+    handler_threads_.emplace_back(&SketchServer::HandleConnection, this, fd);
+  }
+}
+
+void SketchServer::HandleConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  FrameDecoder decoder;
+  Connection connection;
+  connection.fd = fd;
+  std::vector<char> buffer(1 << 16);
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    decoder.Feed(buffer.data(), static_cast<size_t>(n));
+    Frame frame;
+    while (open) {
+      const FrameDecoder::Status status = decoder.Next(&frame);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        // Header-level corruption: no resync is possible. Report & close.
+        ++protocol_errors_;
+        SendAll(fd, ErrorFrame(decoder.error(), decoder.error_message()));
+        open = false;
+        break;
+      }
+      ++frames_received_;
+      ++connection.frames;
+      bool keep_open = true;
+      const std::string response = HandleFrame(frame, &connection,
+                                               &keep_open);
+      if (!SendAll(fd, response)) {
+        open = false;
+        break;
+      }
+      if (connection.errors >= options_.max_connection_errors) {
+        SendAll(fd, ErrorFrame(WireError::kTooManyErrors,
+                               "connection error budget exhausted"));
+        open = false;
+        break;
+      }
+      if (!keep_open) open = false;
+    }
+  }
+  {
+    // Deregister before close so Stop() never shutdown()s a recycled fd.
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    std::erase(open_fds_, fd);
+  }
+  ::close(fd);
+  --connections_active_;
+}
+
+std::string SketchServer::HandleFrame(const Frame& frame,
+                                      Connection* connection,
+                                      bool* keep_open) {
+  *keep_open = true;
+  switch (frame.opcode) {
+    case Opcode::kPing:
+      return EncodeFrame(Opcode::kPong, frame.payload);
+    case Opcode::kPushUpdates:
+      return HandlePushUpdates(frame, connection);
+    case Opcode::kPushSummary:
+      return HandlePushSummary(frame, connection);
+    case Opcode::kQuery:
+      return EncodeFrame(Opcode::kQueryResult,
+                         EncodeQueryResult(Answer(frame.payload)));
+    case Opcode::kStats:
+      return EncodeFrame(Opcode::kStatsResult, RenderStats());
+    case Opcode::kShutdown: {
+      draining_.store(true);
+      {
+        std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+        shutdown_requested_ = true;
+      }
+      lifecycle_cv_.notify_all();
+      return EncodeFrame(Opcode::kAck, EncodeAck(AckInfo{}));
+    }
+    default:
+      ++connection->errors;
+      ++protocol_errors_;
+      return ErrorFrame(WireError::kUnknownOpcode,
+                        std::string("unexpected opcode ") +
+                            OpcodeName(frame.opcode));
+  }
+}
+
+std::shared_ptr<IngestBatch> SketchServer::ResolveBatchLocked(
+    UpdateBatch&& batch) {
+  std::vector<StreamId> global_ids;
+  global_ids.reserve(batch.stream_names.size());
+  for (std::string& name : batch.stream_names) {
+    auto it = ids_.find(name);
+    if (it == ids_.end()) {
+      const StreamId id = static_cast<StreamId>(names_by_id_.size());
+      bank_.AddStream(name);
+      names_by_id_.push_back(name);
+      it = ids_.emplace(std::move(name), id).first;
+    }
+    global_ids.push_back(it->second);
+  }
+  auto resolved = std::make_shared<IngestBatch>();
+  resolved->columns.resize(names_by_id_.size(), nullptr);
+  for (const StreamId id : global_ids) {
+    resolved->columns[id] = bank_.MutableSketches(names_by_id_[id]);
+  }
+  resolved->updates.reserve(batch.updates.size());
+  for (const Update& u : batch.updates) {
+    resolved->updates.push_back(
+        Update{global_ids[u.stream], u.element, u.delta});
+  }
+  return resolved;
+}
+
+std::string SketchServer::HandlePushUpdates(const Frame& frame,
+                                            Connection* connection) {
+  UpdateBatch batch;
+  std::string decode_error;
+  if (!DecodePushUpdates(frame.payload, &batch, &decode_error)) {
+    ++connection->errors;
+    ++protocol_errors_;
+    return ErrorFrame(WireError::kBadPayload, decode_error);
+  }
+  if (draining_.load()) {
+    return ErrorFrame(WireError::kShuttingDown, "server is draining");
+  }
+  std::shared_ptr<IngestBatch> resolved;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    resolved = ResolveBatchLocked(std::move(batch));
+  }
+  const uint64_t num_updates = resolved->updates.size();
+  {
+    std::lock_guard<std::mutex> lock(push_mutex_);
+    if (draining_.load()) {
+      return ErrorFrame(WireError::kShuttingDown, "server is draining");
+    }
+    bool all_accept = true;
+    for (const auto& queue : queues_) {
+      if (!queue->CanAccept()) {
+        queue->CountRejected();
+        all_accept = false;
+      }
+    }
+    if (!all_accept) {
+      // Backpressure is a frame, not a blocked socket: the client owns
+      // the retry policy.
+      ++batches_rejected_;
+      return EncodeFrame(Opcode::kRetryLater, "");
+    }
+    for (const auto& queue : queues_) queue->Push(resolved);
+    ++batches_accepted_;
+    updates_enqueued_ += num_updates;
+  }
+  return EncodeFrame(Opcode::kAck, EncodeAck(AckInfo{num_updates, false}));
+}
+
+std::string SketchServer::HandlePushSummary(const Frame& frame,
+                                            Connection* connection) {
+  if (draining_.load()) {
+    return ErrorFrame(WireError::kShuttingDown, "server is draining");
+  }
+  Coordinator::IngestResult result;
+  {
+    std::lock_guard<std::mutex> lock(coordinator_mutex_);
+    result = coordinator_.AddSiteSummary(frame.payload);
+  }
+  if (!result.ok) {
+    ++summaries_rejected_;
+    ++connection->errors;
+    ++protocol_errors_;
+    return ErrorFrame(WireError::kRejectedSummary, result.error);
+  }
+  ++summaries_accepted_;
+  return EncodeFrame(
+      Opcode::kAck,
+      EncodeAck(AckInfo{static_cast<uint64_t>(result.streams_merged),
+                        result.replaced}));
+}
+
+void SketchServer::WorkerLoop(int shard_index) {
+  const int copies = options_.copies;
+  const int shards = options_.shards;
+  const int begin = shard_index * copies / shards;
+  const int end = (shard_index + 1) * copies / shards;
+  ShardQueue& queue = *queues_[static_cast<size_t>(shard_index)];
+  while (std::shared_ptr<const IngestBatch> batch = queue.PopOrWait()) {
+    for (const Update& u : batch->updates) {
+      std::vector<TwoLevelHashSketch>& column = *batch->columns[u.stream];
+      for (int i = begin; i < end; ++i) {
+        column[static_cast<size_t>(i)].Update(u.element, u.delta);
+      }
+    }
+    shard_updates_applied_ += batch->updates.size();
+    queue.TaskDone();
+  }
+}
+
+QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
+  ++queries_answered_;
+  QueryResultInfo result;
+  ParseResult parsed = ParseExpression(expression_text);
+  if (!parsed.ok()) {
+    result.error = parsed.error;
+    return result;
+  }
+  result.expression = parsed.expression->ToString();
+  if (ProvablyEmpty(*parsed.expression)) {
+    result.ok = true;  // Exactly zero for any data; no sampling needed.
+    return result;
+  }
+  const std::vector<std::string> names = parsed.expression->StreamNames();
+
+  // Snapshot a combined view per stream: directly pushed counters plus
+  // site-summary counters merge by linearity. Copying under the quiesced
+  // locks keeps the (possibly slow) estimation outside them.
+  std::vector<std::vector<TwoLevelHashSketch>> combined;
+  combined.reserve(names.size());
+  {
+    std::lock_guard<std::mutex> push_lock(push_mutex_);
+    for (const auto& queue : queues_) queue->WaitDrained();
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    std::lock_guard<std::mutex> coordinator_lock(coordinator_mutex_);
+    for (const std::string& name : names) {
+      const bool in_bank = bank_.HasStream(name);
+      const std::vector<TwoLevelHashSketch>* from_sites =
+          coordinator_.Sketches(name);
+      if (!in_bank && from_sites == nullptr) {
+        result.error = "unknown stream '" + name + "'";
+        return result;
+      }
+      std::vector<TwoLevelHashSketch> sketches =
+          in_bank ? bank_.Sketches(name) : *from_sites;
+      if (in_bank && from_sites != nullptr) {
+        for (size_t i = 0; i < sketches.size(); ++i) {
+          sketches[i].Merge((*from_sites)[i]);
+        }
+      }
+      combined.push_back(std::move(sketches));
+    }
+  }
+
+  const size_t copies = static_cast<size_t>(options_.copies);
+  std::vector<SketchGroup> groups(copies);
+  for (size_t i = 0; i < copies; ++i) {
+    groups[i].reserve(names.size());
+    for (size_t k = 0; k < names.size(); ++k) {
+      groups[i].push_back(&combined[k][i]);
+    }
+  }
+  const ExpressionEstimate detail = EstimateSetExpression(
+      *parsed.expression, names, groups, options_.witness);
+  result.ok = detail.ok;
+  result.estimate = detail.expression.estimate;
+  if (!detail.ok) {
+    result.error = "estimation failed (no valid witness observations)";
+    return result;
+  }
+  const Interval interval =
+      WitnessInterval(detail.expression, UnionInterval(detail.union_part));
+  result.lo = interval.lo;
+  result.hi = interval.hi;
+  return result;
+}
+
+std::string SketchServer::RenderStats() const {
+  const StatsSnapshot s = stats();
+  std::ostringstream out;
+  out << "connections_accepted " << s.connections_accepted << "\n"
+      << "connections_active " << s.connections_active << "\n"
+      << "frames_received " << s.frames_received << "\n"
+      << "protocol_errors " << s.protocol_errors << "\n"
+      << "batches_accepted " << s.batches_accepted << "\n"
+      << "batches_rejected " << s.batches_rejected << "\n"
+      << "updates_enqueued " << s.updates_enqueued << "\n"
+      << "updates_applied " << s.updates_applied << "\n"
+      << "summaries_accepted " << s.summaries_accepted << "\n"
+      << "summaries_rejected " << s.summaries_rejected << "\n"
+      << "queries_answered " << s.queries_answered << "\n"
+      << "streams " << s.streams << "\n"
+      << "shards " << s.shards << "\n"
+      << "queue_capacity " << s.queue_capacity << "\n";
+  return out.str();
+}
+
+SketchServer::StatsSnapshot SketchServer::stats() const {
+  StatsSnapshot s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_active = connections_active_.load();
+  s.frames_received = frames_received_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.batches_accepted = batches_accepted_.load();
+  s.batches_rejected = batches_rejected_.load();
+  s.updates_enqueued = updates_enqueued_.load();
+  // Each shard counts every batch it applied; a batch is fully applied
+  // once all shards processed it.
+  s.updates_applied =
+      shard_updates_applied_.load() / static_cast<uint64_t>(options_.shards);
+  s.summaries_accepted = summaries_accepted_.load();
+  s.summaries_rejected = summaries_rejected_.load();
+  s.queries_answered = queries_answered_.load();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    s.streams = names_by_id_.size();
+  }
+  s.shards = options_.shards;
+  s.queue_capacity = options_.queue_capacity;
+  return s;
+}
+
+void SketchServer::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    if (!started_ || stopped_) {
+      stopped_ = true;
+      return;
+    }
+    if (stop_started_) {
+      // Another thread is stopping; wait for it to finish.
+      lifecycle_cv_.wait(lock, [this] { return stopped_; });
+      return;
+    }
+    stop_started_ = true;
+  }
+  draining_.store(true);
+
+  // 1. Stop accepting: wake the blocked accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. Unblock and join connection handlers. handler_threads_ only grows
+  // from the (joined) acceptor, so swapping it out is safe.
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    handlers.swap(handler_threads_);
+  }
+  for (std::thread& handler : handlers) handler.join();
+
+  // 3. Drain: workers finish every queued batch, then exit. Nothing that
+  // was acknowledged is lost.
+  for (const auto& queue : queues_) queue->Stop();
+  for (std::thread& worker : workers_) worker.join();
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void SketchServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    lifecycle_cv_.wait(lock,
+                       [this] { return shutdown_requested_ || stopped_; });
+  }
+  Stop();
+}
+
+}  // namespace setsketch

@@ -1,0 +1,210 @@
+// SketchServer: a dependency-free POSIX TCP server that turns the
+// in-process estimation architecture (Figure 1 of the paper) into a
+// network service — the missing transport of the distributed-streams
+// model, where sites *transmit* synopses and updates to a coordinator.
+//
+// Threading model:
+//
+//   acceptor thread ──▶ one handler thread per connection
+//                          │  decodes frames (server/protocol.h)
+//                          │  resolves stream names to dense ids
+//                          ▼
+//                       bounded ShardQueues (one per ingest shard)
+//                          │  full queue => RETRY_LATER frame
+//                          ▼
+//                       worker threads, copy-range sharded: shard t owns
+//                       sketch copies [t*r/S, (t+1)*r/S) of every stream
+//
+// Counters are therefore single-writer (lock-free ingest, bit-identical
+// to serial), queries quiesce ingest by draining the queues while holding
+// the producer mutex, and graceful shutdown drains everything that was
+// acknowledged before workers exit.
+//
+// Site summaries (PUSH_SUMMARY) are merged idempotently through the
+// existing Coordinator; queries answer over the union of directly pushed
+// streams and summary-carried streams (same-name streams merge by counter
+// linearity).
+
+#ifndef SETSKETCH_SERVER_SKETCH_SERVER_H_
+#define SETSKETCH_SERVER_SKETCH_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/set_difference_estimator.h"  // WitnessOptions
+#include "core/sketch_bank.h"
+#include "distributed/coordinator.h"
+#include "server/protocol.h"
+#include "server/shard_queue.h"
+
+namespace setsketch {
+
+/// TCP sketch-serving endpoint. Start() spawns the threads; Stop() (or a
+/// SHUTDOWN frame followed by Wait()) drains and joins them.
+class SketchServer {
+ public:
+  struct Options {
+    /// Sketch configuration — the deployment-wide "stored coins". Clients
+    /// pushing summaries must have been built with the same triple.
+    SketchParams params;
+    int copies = 128;
+    uint64_t seed = 42;
+
+    /// Ingest shards (worker threads); each owns a copy range.
+    int shards = 2;
+    /// Max batches in flight per shard before RETRY_LATER.
+    size_t queue_capacity = 64;
+
+    /// TCP endpoint. Port 0 binds an ephemeral port (see port()).
+    std::string bind_address = "127.0.0.1";
+    int port = 0;
+    int listen_backlog = 64;
+
+    /// Recoverable (payload-level) protocol errors tolerated per
+    /// connection before it is dropped with TOO_MANY_ERRORS.
+    int max_connection_errors = 8;
+
+    /// Estimator tuning for QUERY answers.
+    WitnessOptions witness;
+  };
+
+  explicit SketchServer(const Options& options);
+  ~SketchServer();
+
+  SketchServer(const SketchServer&) = delete;
+  SketchServer& operator=(const SketchServer&) = delete;
+
+  /// Binds, listens and spawns acceptor + shard workers. Returns false
+  /// (with *error filled) if the socket setup fails.
+  bool Start(std::string* error = nullptr);
+
+  /// Port actually bound (resolves ephemeral port 0); -1 before Start.
+  int port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, unblock connections, drain every
+  /// shard queue, join all threads. Idempotent; safe from any thread
+  /// except the server's own handlers (those request shutdown via the
+  /// SHUTDOWN opcode instead, which Wait() executes).
+  void Stop();
+
+  /// Blocks until a SHUTDOWN frame (or Stop from another thread) and
+  /// completes the shutdown.
+  void Wait();
+
+  /// Point-in-time serving counters (all monotonic except depths).
+  struct StatsSnapshot {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_active = 0;
+    uint64_t frames_received = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t batches_accepted = 0;
+    uint64_t batches_rejected = 0;  ///< RETRY_LATER responses.
+    uint64_t updates_enqueued = 0;
+    uint64_t updates_applied = 0;   ///< Fully applied across all shards.
+    uint64_t summaries_accepted = 0;
+    uint64_t summaries_rejected = 0;
+    uint64_t queries_answered = 0;
+    uint64_t streams = 0;
+    int shards = 0;
+    size_t queue_capacity = 0;
+  };
+  StatsSnapshot stats() const;
+
+  /// Answers a set-expression query over everything the server holds
+  /// (pushed updates + merged site summaries). Public for in-process use
+  /// and tests; QUERY frames route here.
+  QueryResultInfo Answer(const std::string& expression_text);
+
+  /// The direct-ingest bank. Only safe to inspect when ingest is quiesced
+  /// (after Stop, or from tests that know no pushes are in flight).
+  const SketchBank& bank() const { return bank_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    int errors = 0;  ///< Recoverable protocol errors so far.
+    uint64_t frames = 0;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void WorkerLoop(int shard_index);
+
+  /// Dispatches one decoded frame; returns the response frame and whether
+  /// the connection should stay open.
+  std::string HandleFrame(const Frame& frame, Connection* connection,
+                          bool* keep_open);
+
+  std::string HandlePushUpdates(const Frame& frame, Connection* connection);
+  std::string HandlePushSummary(const Frame& frame, Connection* connection);
+  std::string RenderStats() const;
+
+  /// Registers unseen names and resolves the batch to dense ids +
+  /// column pointers. Called with registry_mutex_ held.
+  std::shared_ptr<IngestBatch> ResolveBatchLocked(UpdateBatch&& batch);
+
+  Options options_;
+
+  // Stream registry + direct-ingest bank. registry_mutex_ guards the
+  // name/id maps and stream registration; the counter cells themselves
+  // are written only by shard workers (copy-range ownership).
+  mutable std::mutex registry_mutex_;
+  SketchBank bank_;
+  std::vector<std::string> names_by_id_;
+  std::unordered_map<std::string, StreamId> ids_;
+
+  // Site summaries, merged idempotently.
+  mutable std::mutex coordinator_mutex_;
+  Coordinator coordinator_;
+
+  // Ingest pipeline. push_mutex_ serializes the all-or-nothing enqueue
+  // across shards and is held (with drained queues) during queries.
+  std::mutex push_mutex_;
+  std::vector<std::unique_ptr<ShardQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sockets and connection handlers.
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> handler_threads_;
+  std::vector<int> open_fds_;
+
+  // Lifecycle.
+  std::mutex lifecycle_mutex_;
+  std::condition_variable lifecycle_cv_;
+  bool started_ = false;
+  bool shutdown_requested_ = false;
+  bool stop_started_ = false;
+  bool stopped_ = false;
+  /// Set on SHUTDOWN: new batches/summaries are refused while the
+  /// already-acknowledged ones drain.
+  std::atomic<bool> draining_{false};
+
+  // Counters (atomics: touched from many threads).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> batches_accepted_{0};
+  std::atomic<uint64_t> batches_rejected_{0};
+  std::atomic<uint64_t> updates_enqueued_{0};
+  std::atomic<uint64_t> shard_updates_applied_{0};  // Per-shard sum.
+  std::atomic<uint64_t> summaries_accepted_{0};
+  std::atomic<uint64_t> summaries_rejected_{0};
+  std::atomic<uint64_t> queries_answered_{0};
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_SERVER_SKETCH_SERVER_H_

@@ -228,6 +228,110 @@ TEST(CoordinatorTest, EstimateErrorsAreInformative) {
   EXPECT_NE(unknown.error.find("unknown stream"), std::string::npos);
 }
 
+TEST(CoordinatorTest, TruncationSweepMergesNothing) {
+  // Cutting the summary at *any* byte boundary must fail atomically:
+  // no site registered, no stream merged, no partial sketch state.
+  Site site("s1", TestParams(), 4, kMasterSeed);
+  site.ObserveStream("A");
+  site.ObserveStream("B");
+  for (int e = 0; e < 200; ++e) {
+    site.Ingest(e % 2 == 0 ? "A" : "B", static_cast<uint64_t>(e) * 31 + 7,
+                1);
+  }
+  const std::string bytes = site.EncodeSummary();
+  Coordinator coordinator(TestParams(), 4, kMasterSeed);
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    const auto result = coordinator.AddSiteSummary(bytes.substr(0, cut));
+    ASSERT_FALSE(result.ok) << "cut at " << cut;
+    ASSERT_FALSE(result.error.empty()) << "cut at " << cut;
+  }
+  EXPECT_TRUE(coordinator.SiteNames().empty());
+  EXPECT_TRUE(coordinator.StreamNames().empty());
+  EXPECT_TRUE(coordinator.AddSiteSummary(bytes).ok);
+}
+
+TEST(CoordinatorTest, EmptySummaryIsAcceptedAndReplacesWholesale) {
+  // A site that has observed no streams yet sends a legal, empty summary.
+  Site idle("s1", TestParams(), 4, kMasterSeed);
+  Coordinator coordinator(TestParams(), 4, kMasterSeed);
+  const auto first = coordinator.AddSiteSummary(idle.EncodeSummary());
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.streams_merged, 0);
+  EXPECT_FALSE(first.replaced);
+  EXPECT_EQ(coordinator.SiteNames(), (std::vector<std::string>{"s1"}));
+
+  // Later the same site (same name — replacement is keyed by it) reports
+  // actual data...
+  Site active("s1", TestParams(), 4, kMasterSeed);
+  active.ObserveStream("A");
+  active.Ingest("A", 42, 1);
+  ASSERT_TRUE(coordinator.AddSiteSummary(active.EncodeSummary()).ok);
+  ASSERT_NE(coordinator.Sketches("A"), nullptr);
+
+  // ...and an empty retransmission (a site reset) wipes its contribution
+  // instead of leaving stale sketches behind.
+  const auto reset = coordinator.AddSiteSummary(idle.EncodeSummary());
+  ASSERT_TRUE(reset.ok) << reset.error;
+  EXPECT_TRUE(reset.replaced);
+  EXPECT_EQ(coordinator.Sketches("A"), nullptr);
+}
+
+TEST(CoordinatorTest, RetransmissionWithAddedStreamReplacesWholesale) {
+  Site site("s1", TestParams(), 8, kMasterSeed);
+  site.ObserveStream("A");
+  for (int e = 0; e < 300; ++e) {
+    site.Ingest("A", static_cast<uint64_t>(e) * 101 + 3, 1);
+  }
+  Coordinator coordinator(TestParams(), 8, kMasterSeed);
+  ASSERT_TRUE(coordinator.AddSiteSummary(site.EncodeSummary()).ok);
+
+  // The site later starts observing B and keeps ingesting A, then ships
+  // its next cumulative summary.
+  site.ObserveStream("B");
+  for (int e = 0; e < 300; ++e) {
+    site.Ingest("A", static_cast<uint64_t>(e) * 7919 + 11, 1);
+    site.Ingest("B", static_cast<uint64_t>(e) * 6007 + 13, 1);
+  }
+  const auto second = coordinator.AddSiteSummary(site.EncodeSummary());
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.replaced);
+  EXPECT_EQ(second.streams_merged, 2);
+  // A reflects the latest cumulative state — not first + second summed.
+  ASSERT_NE(coordinator.Sketches("A"), nullptr);
+  EXPECT_TRUE((*coordinator.Sketches("A"))[0] ==
+              site.bank().Sketches("A")[0]);
+  ASSERT_NE(coordinator.Sketches("B"), nullptr);
+  EXPECT_TRUE((*coordinator.Sketches("B"))[0] ==
+              site.bank().Sketches("B")[0]);
+}
+
+TEST(CoordinatorTest, MismatchedSketchParamsAreRejected) {
+  // Same master seed and copy count, but the site draws differently
+  // shaped sketches (fewer levels) — its coins cannot match.
+  SketchParams narrow = TestParams();
+  narrow.levels = 16;
+  Site site("s1", narrow, 4, kMasterSeed);
+  site.ObserveStream("A");
+  site.Ingest("A", 1, 1);
+  Coordinator coordinator(TestParams(), 4, kMasterSeed);
+  const auto result = coordinator.AddSiteSummary(site.EncodeSummary());
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(CoordinatorTest, HugeDeclaredLengthFailsFast) {
+  // A summary declaring a ~4 GiB site name must be rejected by bounds
+  // checks, not by attempting the allocation.
+  std::string hostile;
+  const uint32_t absurd = 0xFFFFFFFFu;
+  hostile.append(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  hostile += "abc";
+  Coordinator coordinator(TestParams(), 4, kMasterSeed);
+  const auto result = coordinator.AddSiteSummary(hostile);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("truncated"), std::string::npos);
+}
+
 TEST(DistributedTest, SitesCanCoverDisjointStreams) {
   // Site 1 only observes A, site 2 only observes B; the coordinator can
   // still answer cross-stream queries.

@@ -1,0 +1,308 @@
+// Randomized robustness tests for the wire protocol (src/server/protocol):
+// the frame decoder and payload codecs must survive arbitrary byte soup,
+// arbitrary read()-chunk boundaries, truncations, and single-byte header
+// corruption without crashing, and must report the documented error codes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hash/prng.h"
+#include "server/protocol.h"
+#include "util/varint.h"
+
+namespace setsketch {
+namespace {
+
+/// Feeds `bytes` into `decoder` in random-sized chunks.
+void FeedInChunks(FrameDecoder* decoder, const std::string& bytes,
+                  Xoshiro256StarStar* rng) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const size_t chunk =
+        1 + rng->NextBelow(std::min<size_t>(bytes.size() - offset, 97));
+    decoder->Feed(bytes.data() + offset, chunk);
+    offset += chunk;
+  }
+}
+
+UpdateBatch SampleBatch(Xoshiro256StarStar* rng) {
+  UpdateBatch batch;
+  const size_t num_names = 1 + rng->NextBelow(4);
+  for (size_t i = 0; i < num_names; ++i) {
+    std::string name = "stream-";
+    name.push_back(static_cast<char>('a' + i));
+    // Occasionally exercise long (but legal) names.
+    if (rng->NextBelow(8) == 0) name.append(rng->NextBelow(200), 'x');
+    batch.stream_names.push_back(std::move(name));
+  }
+  const size_t num_updates = rng->NextBelow(64);
+  for (size_t i = 0; i < num_updates; ++i) {
+    batch.updates.push_back(
+        Update{static_cast<StreamId>(rng->NextBelow(num_names)), rng->Next(),
+               rng->NextBelow(2) == 0 ? int64_t{1} : int64_t{-1}});
+  }
+  return batch;
+}
+
+TEST(ProtocolFuzzTest, RandomByteSoupNeverCrashesAndErrorIsSticky) {
+  Xoshiro256StarStar rng(0xF00DF00D);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    std::string soup(1 + rng.NextBelow(2048), '\0');
+    for (char& c : soup) c = static_cast<char>(rng.Next() & 0xff);
+    FeedInChunks(&decoder, soup, &rng);
+    Frame frame;
+    FrameDecoder::Status status;
+    while ((status = decoder.Next(&frame)) == FrameDecoder::Status::kFrame) {
+    }
+    if (status == FrameDecoder::Status::kError) {
+      EXPECT_NE(decoder.error(), WireError::kNone);
+      // Poisoned decoders stay poisoned, even when fed valid frames.
+      const std::string valid = EncodeFrame(Opcode::kPing, "hello");
+      decoder.Feed(valid.data(), valid.size());
+      EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kError);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, ValidFramesSurviveAnyChunking) {
+  Xoshiro256StarStar rng(0xC0FFEE);
+  for (int round = 0; round < 50; ++round) {
+    // A back-to-back stream of 1..8 frames with random payloads.
+    std::string wire;
+    std::vector<std::string> payloads;
+    const size_t num_frames = 1 + rng.NextBelow(8);
+    for (size_t i = 0; i < num_frames; ++i) {
+      std::string payload(rng.NextBelow(300), '\0');
+      for (char& c : payload) c = static_cast<char>(rng.Next() & 0xff);
+      wire += EncodeFrame(Opcode::kPing, payload);
+      payloads.push_back(std::move(payload));
+    }
+    FrameDecoder decoder;
+    FeedInChunks(&decoder, wire, &rng);
+    Frame frame;
+    for (size_t i = 0; i < num_frames; ++i) {
+      ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame)
+          << "frame " << i << " of " << num_frames;
+      EXPECT_EQ(frame.opcode, Opcode::kPing);
+      EXPECT_EQ(frame.payload, payloads[i]);
+    }
+    EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kNeedMore);
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST(ProtocolFuzzTest, EveryHeaderPrefixIsNeedMoreNotError) {
+  const std::string wire = EncodeFrame(Opcode::kQuery, "A & B");
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), cut);
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kNeedMore)
+        << "cut at " << cut;
+    // The remainder completes the frame.
+    decoder.Feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame)
+        << "cut at " << cut;
+    EXPECT_EQ(frame.payload, "A & B");
+  }
+}
+
+TEST(ProtocolFuzzTest, SingleByteHeaderCorruptionYieldsDocumentedError) {
+  const std::string valid = EncodeFrame(Opcode::kPing, "x");
+  for (size_t pos = 0; pos < kFrameHeaderBytes; ++pos) {
+    for (int flip = 1; flip < 256; flip += 37) {
+      std::string wire = valid;
+      wire[pos] = static_cast<char>(wire[pos] ^ flip);
+      FrameDecoder decoder;
+      decoder.Feed(wire.data(), wire.size());
+      Frame frame;
+      const FrameDecoder::Status status = decoder.Next(&frame);
+      if (pos < 4) {
+        ASSERT_EQ(status, FrameDecoder::Status::kError);
+        EXPECT_EQ(decoder.error(), WireError::kBadMagic);
+      } else if (pos == 4) {
+        ASSERT_EQ(status, FrameDecoder::Status::kError);
+        EXPECT_EQ(decoder.error(), WireError::kBadVersion);
+      } else if (pos == 5) {
+        // Opcode corruption is not a framing error: the frame decodes and
+        // the server replies UNKNOWN_OPCODE (or treats it as a request).
+        EXPECT_EQ(status, FrameDecoder::Status::kFrame);
+      } else if (pos < 8) {
+        ASSERT_EQ(status, FrameDecoder::Status::kError);
+        EXPECT_EQ(decoder.error(), WireError::kBadHeader);
+      } else {
+        // Payload-size corruption: a larger declared size pends
+        // (kNeedMore), an absurd one errors with OVERSIZED_PAYLOAD, and a
+        // shrunken size completes early (kFrame) with the leftover bytes
+        // pending as the next header.
+        if (status == FrameDecoder::Status::kError) {
+          EXPECT_EQ(decoder.error(), WireError::kOversizedPayload);
+        }
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, OversizedDeclaredPayloadIsRejectedImmediately) {
+  std::string header(kFrameHeaderBytes, '\0');
+  const uint32_t magic = kProtocolMagic;
+  std::memcpy(header.data(), &magic, 4);
+  header[4] = static_cast<char>(kProtocolVersion);
+  header[5] = static_cast<char>(Opcode::kPing);
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(header.data() + 8, &huge, 4);
+  FrameDecoder decoder;
+  decoder.Feed(header.data(), header.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kError);
+  EXPECT_EQ(decoder.error(), WireError::kOversizedPayload);
+}
+
+TEST(ProtocolFuzzTest, PushUpdatesRoundTripsRandomBatches) {
+  Xoshiro256StarStar rng(0xBA7C4);
+  for (int round = 0; round < 100; ++round) {
+    const UpdateBatch batch = SampleBatch(&rng);
+    UpdateBatch decoded;
+    std::string error;
+    ASSERT_TRUE(
+        DecodePushUpdates(EncodePushUpdates(batch), &decoded, &error))
+        << error;
+    ASSERT_EQ(decoded.stream_names, batch.stream_names);
+    ASSERT_EQ(decoded.updates.size(), batch.updates.size());
+    for (size_t i = 0; i < batch.updates.size(); ++i) {
+      EXPECT_EQ(decoded.updates[i].stream, batch.updates[i].stream);
+      EXPECT_EQ(decoded.updates[i].element, batch.updates[i].element);
+      EXPECT_EQ(decoded.updates[i].delta, batch.updates[i].delta);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, PushUpdatesRejectsEveryTruncation) {
+  Xoshiro256StarStar rng(0x7A0BC);
+  for (int round = 0; round < 20; ++round) {
+    UpdateBatch batch = SampleBatch(&rng);
+    if (batch.updates.empty()) {
+      batch.updates.push_back(Insert(0, 42));
+    }
+    const std::string payload = EncodePushUpdates(batch);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      UpdateBatch decoded;
+      std::string error;
+      EXPECT_FALSE(
+          DecodePushUpdates(payload.substr(0, cut), &decoded, &error))
+          << "round " << round << " cut " << cut;
+    }
+    // ...and every extension (trailing garbage) too.
+    UpdateBatch decoded;
+    std::string error;
+    EXPECT_FALSE(DecodePushUpdates(payload + "!", &decoded, &error));
+  }
+}
+
+TEST(ProtocolFuzzTest, PushUpdatesSurvivesRandomPayloads) {
+  Xoshiro256StarStar rng(0xD15EA5E);
+  size_t decoded_ok = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string payload(rng.NextBelow(512), '\0');
+    for (char& c : payload) c = static_cast<char>(rng.Next() & 0xff);
+    UpdateBatch decoded;
+    std::string error;
+    if (DecodePushUpdates(payload, &decoded, &error)) {
+      ++decoded_ok;  // Fine, as long as it did not crash or overflow.
+      for (const Update& u : decoded.updates) {
+        ASSERT_LT(static_cast<size_t>(u.stream),
+                  decoded.stream_names.size());
+      }
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+  // Random bytes essentially never form a valid batch.
+  EXPECT_LT(decoded_ok, 5u);
+}
+
+TEST(ProtocolFuzzTest, PushUpdatesRejectsHostileDeclaredCounts) {
+  // A payload declaring 2^40 names in 3 bytes must fail fast (bounded
+  // sanity checks), not attempt a gigantic reserve.
+  std::string payload;
+  AppendVarint(&payload, uint64_t{1} << 40);
+  UpdateBatch decoded;
+  std::string error;
+  EXPECT_FALSE(DecodePushUpdates(payload, &decoded, &error));
+
+  // One name, then an absurd update count with no bytes behind it.
+  payload.clear();
+  AppendVarint(&payload, 1);
+  AppendVarint(&payload, 1);
+  payload.push_back('A');
+  AppendVarint(&payload, uint64_t{1} << 50);
+  EXPECT_FALSE(DecodePushUpdates(payload, &decoded, &error));
+
+  // A name longer than kMaxStreamNameBytes is rejected even when the
+  // bytes are all present.
+  payload.clear();
+  AppendVarint(&payload, 1);
+  AppendVarint(&payload, kMaxStreamNameBytes + 1);
+  payload.append(kMaxStreamNameBytes + 1, 'n');
+  AppendVarint(&payload, 0);
+  EXPECT_FALSE(DecodePushUpdates(payload, &decoded, &error));
+}
+
+TEST(ProtocolFuzzTest, AuxiliaryCodecsSurviveTruncationAndSoup) {
+  Xoshiro256StarStar rng(0xAB1E);
+  // Ack round trip + truncation never crashes.
+  AckInfo ack;
+  ack.accepted = 123456789;
+  ack.replaced = true;
+  const std::string ack_payload = EncodeAck(ack);
+  AckInfo ack_out;
+  ASSERT_TRUE(DecodeAck(ack_payload, &ack_out));
+  EXPECT_EQ(ack_out.accepted, ack.accepted);
+  EXPECT_TRUE(ack_out.replaced);
+  for (size_t cut = 0; cut < ack_payload.size(); ++cut) {
+    DecodeAck(ack_payload.substr(0, cut), &ack_out);  // Must not crash.
+  }
+
+  // Query-result round trip (both arms) + random soup.
+  QueryResultInfo ok_result;
+  ok_result.ok = true;
+  ok_result.expression = "(A | B) - C";
+  ok_result.estimate = 1234.5;
+  ok_result.lo = 1000.25;
+  ok_result.hi = 1500.75;
+  QueryResultInfo out;
+  ASSERT_TRUE(DecodeQueryResult(EncodeQueryResult(ok_result), &out));
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.expression, ok_result.expression);
+  EXPECT_DOUBLE_EQ(out.estimate, ok_result.estimate);
+  EXPECT_DOUBLE_EQ(out.lo, ok_result.lo);
+  EXPECT_DOUBLE_EQ(out.hi, ok_result.hi);
+
+  QueryResultInfo error_result;
+  error_result.ok = false;
+  error_result.error = "parse error: unexpected end of input";
+  ASSERT_TRUE(DecodeQueryResult(EncodeQueryResult(error_result), &out));
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, error_result.error);
+
+  EXPECT_FALSE(DecodeQueryResult("", &out));
+  std::string empty_ok(1, '\x01');
+  EXPECT_FALSE(DecodeQueryResult(empty_ok, &out));  // ok but no doubles.
+
+  for (int round = 0; round < 200; ++round) {
+    std::string soup(rng.NextBelow(64), '\0');
+    for (char& c : soup) c = static_cast<char>(rng.Next() & 0xff);
+    DecodeAck(soup, &ack_out);           // Must not crash.
+    DecodeQueryResult(soup, &out);       // Must not crash.
+    ErrorInfo error_info;
+    DecodeError(soup, &error_info);      // Must not crash.
+  }
+}
+
+}  // namespace
+}  // namespace setsketch

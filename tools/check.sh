@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: a Release build + tests, then an AddressSanitizer
+# build + tests. The server library (src/server/) compiles with -Werror in
+# both, so warnings there fail the gate.
+#
+#   tools/check.sh [build-dir-prefix]
+#
+# Build trees land in <prefix>-release/ and <prefix>-asan/ (default
+# prefix: build-check). Pass SETSKETCH_CHECK_JOBS to override the build
+# parallelism (default: nproc).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-check}"
+jobs="${SETSKETCH_CHECK_JOBS:-$(nproc)}"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== test ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure
+}
+
+run_config "${prefix}-release" -DCMAKE_BUILD_TYPE=Release
+run_config "${prefix}-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSETSKETCH_SANITIZE=address
+
+echo "=== all checks passed ==="

@@ -1,5 +1,5 @@
-// sketchtool: command-line front end for building, inspecting, merging
-// and querying 2-level hash sketch banks.
+// sketchtool: command-line front end for building, inspecting, merging,
+// querying and *serving* 2-level hash sketch banks.
 //
 //   sketchtool build    --updates u.txt --out bank.bin
 //                       [--streams A,B,C] [--copies 128] [--seed 42]
@@ -10,6 +10,19 @@
 //   sketchtool estimate --bank bank.bin --expr "(A - B) & C"
 //                       [--strict]            (single-level witnesses)
 //
+// TCP serving (see src/server/):
+//
+//   sketchtool serve    [--port 0] [--bind 127.0.0.1] [--copies 128]
+//                       [--seed 42] [--levels 32] [--second-level 32]
+//                       [--shards 2] [--queue-capacity 64]
+//                       (prints "listening on <addr>:<port>", runs until
+//                        `sketchtool shutdown`)
+//   sketchtool push     --port P --updates u.txt [--host 127.0.0.1]
+//                       [--streams A,B,C] [--batch 4096]
+//   sketchtool query    --port P --expr "(A - B) & C" [--host ...]
+//   sketchtool stats    --port P [--host ...]
+//   sketchtool shutdown --port P [--host ...]
+//
 // Update files are plain text: "stream element delta" per line, '#'
 // comments allowed. Banks built with the same seed and parameters can be
 // merged across machines (the stored-coins model).
@@ -18,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "server/server_commands.h"
 #include "tools/commands.h"
 #include "util/flags.h"
 
@@ -39,13 +53,23 @@ std::vector<std::string> SplitCommaList(const std::string& text) {
 }
 
 int Usage() {
-  std::cerr << "usage: sketchtool <build|info|merge|estimate> [flags]\n"
+  std::cerr << "usage: sketchtool "
+               "<build|info|merge|estimate|serve|push|query|stats|shutdown>"
+               " [flags]\n"
                "  build    --updates FILE --out FILE [--streams A,B,..]\n"
                "           [--copies N] [--seed N] [--levels N]\n"
                "           [--second-level N] [--kwise T]\n"
                "  info     --bank FILE\n"
                "  merge    --inputs A,B[,..] --out FILE\n"
-               "  estimate --bank FILE --expr EXPRESSION [--strict]\n";
+               "  estimate --bank FILE --expr EXPRESSION [--strict]\n"
+               "  serve    [--port N] [--bind ADDR] [--copies N] [--seed N]\n"
+               "           [--levels N] [--second-level N] [--shards N]\n"
+               "           [--queue-capacity N]\n"
+               "  push     --port N --updates FILE [--host ADDR]\n"
+               "           [--streams A,B,..] [--batch N]\n"
+               "  query    --port N --expr EXPRESSION [--host ADDR]\n"
+               "  stats    --port N [--host ADDR]\n"
+               "  shutdown --port N [--host ADDR]\n";
   return 2;
 }
 
@@ -92,6 +116,45 @@ int main(int argc, char** argv) {
     const std::string expr = flags.GetString("expr", "");
     if (bank.empty() || expr.empty()) return Usage();
     result = RunEstimate(bank, expr, !flags.GetBool("strict", false));
+  } else if (command == "serve") {
+    SketchServer::Options options;
+    options.port = static_cast<int>(flags.GetInt("port", 0));
+    options.bind_address = flags.GetString("bind", "127.0.0.1");
+    options.copies = static_cast<int>(flags.GetInt("copies", 128));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    options.params.levels = static_cast<int>(flags.GetInt("levels", 32));
+    options.params.num_second_level =
+        static_cast<int>(flags.GetInt("second-level", 32));
+    options.shards = static_cast<int>(flags.GetInt("shards", 2));
+    options.queue_capacity =
+        static_cast<size_t>(flags.GetInt("queue-capacity", 64));
+    options.witness.pool_all_levels = true;
+    result = RunServe(options, &std::cout);
+  } else if (command == "push") {
+    PushSpec spec;
+    spec.host = flags.GetString("host", "127.0.0.1");
+    spec.port = static_cast<int>(flags.GetInt("port", 0));
+    spec.updates_path = flags.GetString("updates", "");
+    if (spec.port == 0 || spec.updates_path.empty()) return Usage();
+    spec.stream_names = SplitCommaList(flags.GetString("streams", ""));
+    spec.batch_size = static_cast<size_t>(flags.GetInt("batch", 4096));
+    result = RunServerPush(spec);
+  } else if (command == "query") {
+    const std::string host = flags.GetString("host", "127.0.0.1");
+    const int port = static_cast<int>(flags.GetInt("port", 0));
+    const std::string expr = flags.GetString("expr", "");
+    if (port == 0 || expr.empty()) return Usage();
+    result = RunServerQuery(host, port, expr);
+  } else if (command == "stats") {
+    const std::string host = flags.GetString("host", "127.0.0.1");
+    const int port = static_cast<int>(flags.GetInt("port", 0));
+    if (port == 0) return Usage();
+    result = RunServerStats(host, port);
+  } else if (command == "shutdown") {
+    const std::string host = flags.GetString("host", "127.0.0.1");
+    const int port = static_cast<int>(flags.GetInt("port", 0));
+    if (port == 0) return Usage();
+    result = RunServerShutdown(host, port);
   } else {
     return Usage();
   }
