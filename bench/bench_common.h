@@ -40,6 +40,22 @@ struct BenchScale {
 /// Reads SETSKETCH_BENCH_SCALE / SETSKETCH_BENCH_TRIALS.
 BenchScale ReadBenchScale();
 
+/// The deterministic element walk every ingest bench shares: a full-period
+/// 64-bit LCG (Knuth's MMIX constants), so scalar/sliced/batched kernels
+/// and all per-update benches stress an identical element distribution.
+class ElementWalk {
+ public:
+  explicit ElementWalk(uint64_t start = 0) : state_(start) {}
+  uint64_t Next() {
+    const uint64_t e = state_;
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return e;
+  }
+
+ private:
+  uint64_t state_;
+};
+
 /// Sketch shape used by all figure benches (paper: s = 32; levels sized
 /// for 32-bit elements).
 SketchParams FigureParams();

@@ -1,0 +1,190 @@
+// KERNEL experiment: ingest hot-path kernels head to head — scalar
+// per-function second-level evaluation vs the bit-sliced GF(2) transpose
+// (SecondLevelSlice) vs the batched paths (UpdateBatch / ApplyBatch) —
+// swept over s (second-level hash count) and r (bank copies).
+//
+// Besides the console table, the run writes a machine-readable perf
+// trajectory to BENCH_update_kernel.json (override the path with
+// SETSKETCH_BENCH_JSON) so successive PRs can compare ns/op per config.
+// tools/check.sh smoke-runs this binary and validates the JSON.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sketch_bank.h"
+#include "core/two_level_hash_sketch.h"
+#include "stream/update.h"
+
+namespace setsketch {
+namespace {
+
+constexpr size_t kBatch = 256;   ///< Updates per batched call.
+constexpr size_t kPool = 16384;  ///< Prebuilt element pool (cycled).
+
+SketchParams ParamsWithS(int s) {
+  SketchParams params;
+  params.levels = 32;
+  params.num_second_level = s;
+  return params;
+}
+
+std::vector<ElementDelta> BuildPool(uint64_t walk_start) {
+  bench::ElementWalk walk(walk_start);
+  std::vector<ElementDelta> pool(kPool);
+  for (ElementDelta& u : pool) u = ElementDelta{walk.Next(), 1};
+  return pool;
+}
+
+// --- Single-sketch second-level kernels, swept over s -------------------
+
+void BM_UpdateScalar(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  TwoLevelHashSketch sketch(
+      std::make_shared<const SketchSeed>(ParamsWithS(s), 42));
+  bench::ElementWalk walk(1);
+  for (auto _ : state) {
+    sketch.UpdateScalar(walk.Next(), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateScalar)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_UpdateSliced(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  TwoLevelHashSketch sketch(
+      std::make_shared<const SketchSeed>(ParamsWithS(s), 42));
+  bench::ElementWalk walk(1);
+  for (auto _ : state) {
+    sketch.Update(walk.Next(), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateSliced)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_UpdateBatched(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  TwoLevelHashSketch sketch(
+      std::make_shared<const SketchSeed>(ParamsWithS(s), 42));
+  const std::vector<ElementDelta> pool = BuildPool(1);
+  size_t pos = 0;
+  for (auto _ : state) {
+    sketch.UpdateBatch(std::span(pool).subspan(pos, kBatch));
+    pos = (pos + kBatch) % kPool;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_UpdateBatched)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// --- Bank fan-out (all r copies of one stream), swept over r ------------
+//
+// Per-update Apply walks all r copies per element (r * s counter lines per
+// element); ApplyBatch walks elements per copy, so each copy's counters
+// stay cache-hot across the whole batch.
+
+void BM_BankApplyPerUpdate(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  SketchBank bank(SketchFamily(ParamsWithS(32), copies, 7));
+  bank.AddStream("A");
+  bench::ElementWalk walk(3);
+  for (auto _ : state) {
+    bank.Apply("A", walk.Next(), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankApplyPerUpdate)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_BankApplyBatch(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  SketchBank bank(SketchFamily(ParamsWithS(32), copies, 7));
+  bank.AddStream("A");
+  const std::vector<ElementDelta> pool = BuildPool(3);
+  size_t pos = 0;
+  for (auto _ : state) {
+    bank.ApplyBatch("A", std::span(pool).subspan(pos, kBatch));
+    pos = (pos + kBatch) % kPool;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_BankApplyBatch)->Arg(64)->Arg(256)->Arg(512);
+
+// --- JSON trajectory reporter -------------------------------------------
+
+/// Console output as usual, plus a flat JSON results file: one entry per
+/// benchmark run with ns_per_op (per benchmark iteration) and
+/// items_per_second (per logical update — comparable across per-update
+/// and batched kernels).
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = run.iterations;
+      entry.ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e9 /
+                    static_cast<double>(run.iterations)
+              : 0.0;
+      auto it = run.counters.find("items_per_second");
+      entry.items_per_second =
+          it != run.counters.end() ? it->second.value : 0.0;
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << "{\n  \"bench\": \"update_kernel\",\n  \"results\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "    {\"name\": \"" << e.name << "\", \"iterations\": "
+          << e.iterations << ", \"ns_per_op\": " << e.ns_per_op
+          << ", \"items_per_second\": " << e.items_per_second << "}"
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Entry {
+    std::string name;  // Only [A-Za-z0-9_/:] — safe to emit unescaped.
+    int64_t iterations = 0;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+}  // namespace setsketch
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* env = std::getenv("SETSKETCH_BENCH_JSON");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : "BENCH_update_kernel.json";
+  setsketch::JsonTrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!reporter.WriteJson(path)) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

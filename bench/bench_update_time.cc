@@ -16,8 +16,8 @@
 #include "core/set_union_estimator.h"
 #include "core/sketch_bank.h"
 #include "core/two_level_hash_sketch.h"
+#include "bench_common.h"
 #include "expr/parser.h"
-#include "hash/prng.h"
 
 namespace setsketch {
 namespace {
@@ -38,11 +38,9 @@ void BM_SketchUpdate(benchmark::State& state) {
   const int s = static_cast<int>(state.range(0));
   TwoLevelHashSketch sketch(
       std::make_shared<const SketchSeed>(ParamsWithS(s), 42));
-  Xoshiro256StarStar rng(1);
-  uint64_t e = 0;
+  bench::ElementWalk walk;
   for (auto _ : state) {
-    sketch.Update(e, 1);
-    e = e * 6364136223846793005ULL + 1442695040888963407ULL;
+    sketch.Update(walk.Next(), 1);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -53,10 +51,9 @@ void BM_SketchUpdateKWise(benchmark::State& state) {
   const int t = static_cast<int>(state.range(0));
   TwoLevelHashSketch sketch(
       std::make_shared<const SketchSeed>(ParamsWithS(32, true, t), 42));
-  uint64_t e = 0;
+  bench::ElementWalk walk;
   for (auto _ : state) {
-    sketch.Update(e, 1);
-    e = e * 6364136223846793005ULL + 1442695040888963407ULL;
+    sketch.Update(walk.Next(), 1);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -67,10 +64,9 @@ void BM_BankApply(benchmark::State& state) {
   const int copies = static_cast<int>(state.range(0));
   SketchBank bank(SketchFamily(ParamsWithS(32), copies, 7));
   bank.AddStream("A");
-  uint64_t e = 0;
+  bench::ElementWalk walk;
   for (auto _ : state) {
-    bank.Apply("A", e, 1);
-    e = e * 6364136223846793005ULL + 1442695040888963407ULL;
+    bank.Apply("A", walk.Next(), 1);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -80,10 +76,9 @@ BENCHMARK(BM_BankApply)->Arg(32)->Arg(128)->Arg(512);
 void BM_SketchDelete(benchmark::State& state) {
   TwoLevelHashSketch sketch(
       std::make_shared<const SketchSeed>(ParamsWithS(32), 42));
-  uint64_t e = 0;
+  bench::ElementWalk walk;
   for (auto _ : state) {
-    sketch.Update(e, -1);
-    e = e * 6364136223846793005ULL + 1442695040888963407ULL;
+    sketch.Update(walk.Next(), -1);
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -34,6 +34,57 @@ bool SketchBank::Apply(const std::string& name, uint64_t element,
   return true;
 }
 
+bool SketchBank::ApplyBatch(const std::string& name,
+                            std::span<const ElementDelta> items) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return false;
+  for (TwoLevelHashSketch& sketch : it->second) {
+    sketch.UpdateBatch(items);
+  }
+  return true;
+}
+
+std::vector<StreamBatch> SketchBank::GroupUpdates(
+    const std::vector<std::string>& names_by_id,
+    const std::vector<Update>& updates, size_t* applied) {
+  // Resolve stream columns once; per-update hash lookups would dominate.
+  std::vector<std::vector<TwoLevelHashSketch>*> columns;
+  columns.reserve(names_by_id.size());
+  for (const std::string& name : names_by_id) {
+    columns.push_back(MutableSketches(name));
+  }
+  std::vector<int> group_of(names_by_id.size(), -1);
+  std::vector<StreamBatch> groups;
+  size_t count = 0;
+  for (const Update& u : updates) {
+    if (u.stream >= columns.size() || columns[u.stream] == nullptr) {
+      continue;
+    }
+    int& g = group_of[u.stream];
+    if (g < 0) {
+      g = static_cast<int>(groups.size());
+      groups.push_back(StreamBatch{columns[u.stream], {}});
+    }
+    groups[static_cast<size_t>(g)].items.push_back(
+        ElementDelta{u.element, u.delta});
+    ++count;
+  }
+  if (applied != nullptr) *applied += count;
+  return groups;
+}
+
+size_t SketchBank::ApplyBatch(const std::vector<std::string>& names_by_id,
+                              const std::vector<Update>& updates) {
+  size_t applied = 0;
+  for (const StreamBatch& group : GroupUpdates(names_by_id, updates,
+                                               &applied)) {
+    for (TwoLevelHashSketch& sketch : *group.column) {
+      sketch.UpdateBatch(group.items);
+    }
+  }
+  return applied;
+}
+
 const std::vector<TwoLevelHashSketch>& SketchBank::Sketches(
     const std::string& name) const {
   auto it = streams_.find(name);

@@ -9,6 +9,7 @@
 #ifndef SETSKETCH_CORE_SKETCH_BANK_H_
 #define SETSKETCH_CORE_SKETCH_BANK_H_
 
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,8 +17,19 @@
 #include "core/property_checks.h"
 #include "core/sketch_seed.h"
 #include "core/two_level_hash_sketch.h"
+#include "stream/update.h"
 
 namespace setsketch {
+
+/// One stream's share of a mixed update batch: the bank's sketch-copy
+/// column for the stream plus the element/delta items addressed to it, in
+/// arrival order. Produced by SketchBank::GroupUpdates; consumed by the
+/// batched ingest paths (ApplyBatch, ParallelIngest, the server's shard
+/// workers).
+struct StreamBatch {
+  std::vector<TwoLevelHashSketch>* column = nullptr;
+  std::vector<ElementDelta> items;
+};
 
 /// r aligned sketch copies per named stream.
 class SketchBank {
@@ -38,6 +50,29 @@ class SketchBank {
   /// Routes one update to all r sketches of `name`. Returns false if the
   /// stream is unknown.
   bool Apply(const std::string& name, uint64_t element, int64_t delta);
+
+  /// Routes a homogeneous batch to all r sketches of `name` through the
+  /// batched kernel (one UpdateBatch per copy, so each copy's counters
+  /// stay hot across the whole run). Returns false if the stream is
+  /// unknown.
+  bool ApplyBatch(const std::string& name,
+                  std::span<const ElementDelta> items);
+
+  /// Groups a mixed batch by stream once (update ids index `names_by_id`)
+  /// and fans each group to all r copies via the batched kernel. Updates
+  /// addressing unknown ids/streams are skipped. Returns the number of
+  /// updates applied (per logical update, not per copy).
+  size_t ApplyBatch(const std::vector<std::string>& names_by_id,
+                    const std::vector<Update>& updates);
+
+  /// Groups `updates` by resolved stream column (groups ordered by first
+  /// appearance; per-stream arrival order preserved), dropping updates
+  /// that address unknown ids/streams. Adds the number of grouped updates
+  /// to *applied when non-null. The shared grouping step of every batched
+  /// ingest route.
+  std::vector<StreamBatch> GroupUpdates(
+      const std::vector<std::string>& names_by_id,
+      const std::vector<Update>& updates, size_t* applied = nullptr);
 
   /// The r sketches of stream `name` (must exist).
   const std::vector<TwoLevelHashSketch>& Sketches(

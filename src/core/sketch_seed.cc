@@ -32,6 +32,40 @@ SketchSeed::SketchSeed(const SketchParams& params, uint64_t seed_value)
       params.levels >= 64 ? ~0ULL : ((1ULL << params.levels) - 1);
 }
 
+SecondLevelSlice SecondLevelSlice::Build(
+    const std::vector<PairwiseBitHash>& gs) {
+  assert(gs.size() <= 64);
+  // Transpose: bit j of columns[k] = bit k of a_j.
+  std::array<uint64_t, 64> columns{};
+  SecondLevelSlice slice;
+  for (size_t j = 0; j < gs.size(); ++j) {
+    const uint64_t a = gs[j].a();
+    for (size_t k = 0; k < 64; ++k) {
+      columns[k] |= ((a >> k) & 1ULL) << j;
+    }
+    slice.bias_ |= static_cast<uint64_t>(gs[j].b()) << j;
+  }
+  // Memoize every 8-column subset fold: entry b extends the fold of b with
+  // its lowest set bit cleared by that bit's column.
+  for (size_t t = 0; t < 8; ++t) {
+    slice.fold_[t][0] = 0;
+    for (size_t b = 1; b < 256; ++b) {
+      const size_t k = static_cast<size_t>(std::countr_zero(b));
+      slice.fold_[t][b] = slice.fold_[t][b & (b - 1)] ^ columns[8 * t + k];
+    }
+  }
+  return slice;
+}
+
+const SecondLevelSlice* SketchSeed::slice() const {
+  if (params_.num_second_level > 64) return nullptr;
+  std::call_once(slice_once_, [this] {
+    slice_ = std::make_unique<const SecondLevelSlice>(
+        SecondLevelSlice::Build(second_level_));
+  });
+  return slice_.get();
+}
+
 int SketchSeed::Level(uint64_t element) const {
   // LSB of the (masked) first-level hash: level l with probability
   // 2^-(l+1); an all-zero sample is absorbed into the last level.

@@ -14,13 +14,54 @@
 #ifndef SETSKETCH_CORE_SKETCH_SEED_H_
 #define SETSKETCH_CORE_SKETCH_SEED_H_
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "hash/hash_family.h"
 
 namespace setsketch {
+
+/// Bit-sliced ("transposed") evaluator of a whole second-level family
+/// g_1..g_s at once, for s <= 64.
+///
+/// Each g_j(x) = parity(a_j & x) ^ b_j is linear over GF(2), so the family
+/// is an s x 64 bit matrix A (row j = a_j) plus a bias vector b, and
+/// evaluating all s functions is the GF(2) matrix-vector product A·x ^ b.
+/// Storing A transposed — column k packs bit k of every a_j into one
+/// 64-bit word — turns that product into an XOR-fold of the <= 64 columns
+/// selected by x's set bits. Same functions, different evaluation order
+/// (GF(2) addition is commutative), so the result is bit-identical to
+/// calling each g_j — with no per-function popcounts in the hot path.
+///
+/// The fold itself is memoized a byte at a time (the classic
+/// "method of four Russians"): fold_[t][b] precomputes the XOR of the 8
+/// columns for byte t selected by b, so evaluating all s functions is 8
+/// table loads + 7 XORs per element, independent and pipelineable. The 8
+/// tables cost 16 KiB per SketchSeed and are built lazily on first use.
+class SecondLevelSlice {
+ public:
+  /// Builds the transposed fold tables of `gs` (requires gs.size() <= 64).
+  static SecondLevelSlice Build(const std::vector<PairwiseBitHash>& gs);
+
+  /// All s second-level bits of `x`: bit j of the result is g_j(x).
+  uint64_t Bits(uint64_t x) const {
+    uint64_t fold = bias_;
+    for (size_t t = 0; t < 8; ++t) {
+      fold ^= fold_[t][(x >> (8 * t)) & 0xffULL];
+    }
+    return fold;
+  }
+
+ private:
+  /// fold_[t][b] = XOR of the columns {8t + k : bit k of b set}, where
+  /// bit j of column k is bit k of a_j.
+  std::array<std::array<uint64_t, 256>, 8> fold_{};
+  uint64_t bias_ = 0;  ///< Bit j = b_j.
+};
 
 /// Shape and hashing configuration of a 2-level hash sketch.
 struct SketchParams {
@@ -61,6 +102,12 @@ class SketchSeed {
   /// First-level bucket index of `element` in [0, levels).
   int Level(uint64_t element) const;
 
+  /// Bit-sliced evaluator of the whole second-level family, built lazily on
+  /// first use and cached (thread-safe). Returns nullptr when s > 64;
+  /// callers then keep the per-function scalar path, which the slice is
+  /// bit-identical to by construction.
+  const SecondLevelSlice* slice() const;
+
   /// Two seeds are interchangeable iff params and seed value match.
   friend bool operator==(const SketchSeed& a, const SketchSeed& b) {
     return a.params_ == b.params_ && a.seed_value_ == b.seed_value_;
@@ -72,6 +119,8 @@ class SketchSeed {
   FirstLevelHash first_level_;
   std::vector<PairwiseBitHash> second_level_;
   uint64_t level_mask_;
+  mutable std::once_flag slice_once_;
+  mutable std::unique_ptr<const SecondLevelSlice> slice_;
 };
 
 /// r independent SketchSeeds derived from one master seed.

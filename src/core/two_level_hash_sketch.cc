@@ -1,7 +1,13 @@
 #include "core/two_level_hash_sketch.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SETSKETCH_SCATTER_AVX2 1
+#include <immintrin.h>
+#endif
 
 #include "util/varint.h"
 
@@ -25,21 +31,170 @@ bool ReadPod(const std::string& data, size_t* offset, T* value) {
   return true;
 }
 
+/// Portable counter-scatter kernel for the sliced update paths (the AVX2
+/// variant below takes over when the CPU supports it): adds `delta` to
+/// the cell selected by bit j of `mask` for each of `s` second-level
+/// pairs, maintaining the nonzero-cell count. Zero transitions are rare
+/// once counters are warm, so a predicted not-taken branch beats updating
+/// the count branchlessly every cell. Templated on the pair count so the
+/// common widths get a fully unrolled loop (a runtime trip count costs
+/// ~2x here); `kAnyWidth` keeps one shared instantiation for the rest.
+constexpr int kAnyWidth = -1;
+
+template <int kWidth>
+void ScatterMask(int64_t* base, uint64_t mask, int64_t delta, int s,
+                 int64_t* nonzero_cells) {
+  const int count = kWidth == kAnyWidth ? s : kWidth;
+  for (int j = 0; j < count; ++j) {
+    int64_t& cell = base[2 * j + static_cast<int>((mask >> j) & 1ULL)];
+    const int64_t before = cell;
+    cell = before + delta;
+    if (before == 0) [[unlikely]] ++*nonzero_cells;
+    if (cell == 0) [[unlikely]] --*nonzero_cells;
+  }
+}
+
+#ifdef SETSKETCH_SCATTER_AVX2
+/// AVX2 variant of the scatter (compiled for every x86-64 build, entered
+/// only behind a __builtin_cpu_supports check): two counter pairs per
+/// 256-bit lane, with the touched cell of each pair selected by adding a
+/// precomputed addend row — (delta, 0) or (0, delta) per pair, indexed by
+/// two mask bits at a time. Zero transitions are detected branchlessly in
+/// the same pass (zero-ness of a lane changed <=> that cell transitioned;
+/// untouched cells never change), so the common case runs with a single
+/// predicted not-taken branch per update, and the rare slow path recovers
+/// each `before` as `cell - addend`.
+__attribute__((target("avx2"))) void ScatterMaskAvx2(int64_t* base,
+                                                     uint64_t mask,
+                                                     int64_t delta, int s,
+                                                     int64_t* nonzero_cells) {
+  // rows[p] is the addend quad for mask bit pair p = (b1 b0):
+  // (b0 ? (0, d) : (d, 0), b1 ? (0, d) : (d, 0)).
+  alignas(32) int64_t rows[4][4];
+  for (int p = 0; p < 4; ++p) {
+    rows[p][0] = (p & 1) ? 0 : delta;
+    rows[p][1] = (p & 1) ? delta : 0;
+    rows[p][2] = (p & 2) ? 0 : delta;
+    rows[p][3] = (p & 2) ? delta : 0;
+  }
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i transitioned = zero;
+  int j = 0;
+  for (; j + 2 <= s; j += 2) {
+    __m256i* quad = reinterpret_cast<__m256i*>(base + 2 * j);
+    const __m256i before = _mm256_loadu_si256(quad);
+    const __m256i add = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(rows[(mask >> j) & 3ULL]));
+    const __m256i after = _mm256_add_epi64(before, add);
+    _mm256_storeu_si256(quad, after);
+    const __m256i before_zero = _mm256_cmpeq_epi64(before, zero);
+    const __m256i after_zero = _mm256_cmpeq_epi64(after, zero);
+    transitioned = _mm256_or_si256(
+        transitioned, _mm256_xor_si256(before_zero, after_zero));
+  }
+  const bool any = _mm256_movemask_epi8(transitioned) != 0;
+  if (j < s) {  // odd s: last pair takes the scalar path.
+    int64_t& cell = base[2 * j + static_cast<int>((mask >> j) & 1ULL)];
+    const int64_t before = cell;
+    cell = before + delta;
+    if (before == 0) [[unlikely]] ++*nonzero_cells;
+    if (cell == 0) [[unlikely]] --*nonzero_cells;
+  }
+  if (any) [[unlikely]] {
+    const int vectored = s & ~1;
+    for (int k = 0; k < vectored; ++k) {
+      const int64_t cell = base[2 * k + static_cast<int>((mask >> k) & 1ULL)];
+      const int64_t before = cell - delta;
+      *nonzero_cells += static_cast<int>(before == 0) -
+                        static_cast<int>(cell == 0);
+    }
+  }
+}
+
+bool ScatterHasAvx2() { return __builtin_cpu_supports("avx2"); }
+#endif  // SETSKETCH_SCATTER_AVX2
+
 }  // namespace
 
 TwoLevelHashSketch::TwoLevelHashSketch(std::shared_ptr<const SketchSeed> seed)
     : seed_(std::move(seed)),
       num_second_level_(seed_->params().num_second_level),
+      slice_(seed_->slice()),
       counters_(static_cast<size_t>(seed_->params().levels) *
                     static_cast<size_t>(num_second_level_) * 2,
                 0) {}
 
+void TwoLevelHashSketch::ApplyMask(int level, uint64_t mask, int64_t delta) {
+  int64_t* base = counters_.data() + CellIndex(level, 0, 0);
+  const int s = num_second_level_;
+#ifdef SETSKETCH_SCATTER_AVX2
+  static const bool use_avx2 = ScatterHasAvx2();
+  if (use_avx2) {
+    ScatterMaskAvx2(base, mask, delta, s, &nonzero_cells_);
+    return;
+  }
+#endif
+  switch (s) {
+    case 8:
+      ScatterMask<8>(base, mask, delta, s, &nonzero_cells_);
+      break;
+    case 16:
+      ScatterMask<16>(base, mask, delta, s, &nonzero_cells_);
+      break;
+    case 32:
+      ScatterMask<32>(base, mask, delta, s, &nonzero_cells_);
+      break;
+    case 64:
+      ScatterMask<64>(base, mask, delta, s, &nonzero_cells_);
+      break;
+    default:
+      ScatterMask<kAnyWidth>(base, mask, delta, s, &nonzero_cells_);
+      break;
+  }
+}
+
 void TwoLevelHashSketch::Update(uint64_t element, int64_t delta) {
+  if (slice_ == nullptr) {  // s > 64: per-function evaluation.
+    UpdateScalar(element, delta);
+    return;
+  }
+  ApplyMask(seed_->Level(element), slice_->Bits(element), delta);
+}
+
+void TwoLevelHashSketch::UpdateScalar(uint64_t element, int64_t delta) {
   const int level = seed_->Level(element);
   int64_t* base = counters_.data() + CellIndex(level, 0, 0);
   for (int j = 0; j < num_second_level_; ++j) {
     const int bit = seed_->second_level(j)(element);
-    base[2 * j + bit] += delta;
+    int64_t& cell = base[2 * j + bit];
+    const int64_t before = cell;
+    cell = before + delta;
+    if (before == 0) [[unlikely]] ++nonzero_cells_;
+    if (cell == 0) [[unlikely]] --nonzero_cells_;
+  }
+}
+
+void TwoLevelHashSketch::UpdateBatch(std::span<const ElementDelta> batch) {
+  if (slice_ == nullptr) {
+    for (const ElementDelta& u : batch) UpdateScalar(u.element, u.delta);
+    return;
+  }
+  // Hash a block ahead of the counter scatter: the (level, mask) loop is
+  // pure computation, the scatter loop is mostly memory traffic, and
+  // splitting them keeps both pipelines full.
+  constexpr size_t kBlock = 64;
+  int level[kBlock];
+  uint64_t mask[kBlock];
+  const SketchSeed& seed = *seed_;
+  for (size_t i = 0; i < batch.size(); i += kBlock) {
+    const size_t n = std::min(kBlock, batch.size() - i);
+    for (size_t k = 0; k < n; ++k) {
+      level[k] = seed.Level(batch[i + k].element);
+      mask[k] = slice_->Bits(batch[i + k].element);
+    }
+    for (size_t k = 0; k < n; ++k) {
+      ApplyMask(level[k], mask[k], batch[i + k].delta);
+    }
   }
 }
 
@@ -47,23 +202,25 @@ bool TwoLevelHashSketch::Merge(const TwoLevelHashSketch& other) {
   if (!(*seed_ == *other.seed_)) return false;
   assert(counters_.size() == other.counters_.size());
   for (size_t i = 0; i < counters_.size(); ++i) {
+    const int64_t before = counters_[i];
     counters_[i] += other.counters_[i];
+    nonzero_cells_ +=
+        static_cast<int>(before == 0 && counters_[i] != 0) -
+        static_cast<int>(before != 0 && counters_[i] == 0);
   }
   return true;
 }
 
 void TwoLevelHashSketch::Clear() {
   std::fill(counters_.begin(), counters_.end(), 0);
-}
-
-bool TwoLevelHashSketch::Empty() const {
-  for (int64_t c : counters_) {
-    if (c != 0) return false;
-  }
-  return true;
+  nonzero_cells_ = 0;
 }
 
 namespace {
+
+/// Encoded size of AppendHeader's fields.
+constexpr size_t kHeaderBytes = sizeof(uint32_t) + 3 * sizeof(int32_t) +
+                                sizeof(uint8_t) + sizeof(uint64_t);
 
 void AppendHeader(std::string* out, uint32_t magic, const SketchParams& p,
                   uint64_t seed_value) {
@@ -78,6 +235,10 @@ void AppendHeader(std::string* out, uint32_t magic, const SketchParams& p,
 }  // namespace
 
 void TwoLevelHashSketch::SerializeTo(std::string* out) const {
+  // Exact output size up front: every PUSH_SUMMARY otherwise grows the
+  // buffer through repeated reallocation.
+  out->reserve(out->size() + kHeaderBytes +
+               counters_.size() * sizeof(int64_t));
   AppendHeader(out, kMagic, seed_->params(), seed_->seed_value());
   // Counters are usually sparse in high levels but dense overall; a plain
   // dump keeps the decoder trivial and the encoding O(levels * s).
@@ -85,6 +246,11 @@ void TwoLevelHashSketch::SerializeTo(std::string* out) const {
 }
 
 void TwoLevelHashSketch::SerializeCompactTo(std::string* out) const {
+  // Upper bound on the token stream: <= 10 varint bytes per nonzero cell
+  // and <= nonzero + 1 zero runs of <= 11 bytes (token + run length).
+  const size_t nonzero = static_cast<size_t>(nonzero_cells_);
+  out->reserve(out->size() + kHeaderBytes + 10 * nonzero +
+               11 * (nonzero + 1));
   AppendHeader(out, kMagicCompact, seed_->params(), seed_->seed_value());
   // Token stream: a zero token is followed by a run length; any nonzero
   // token is zigzag(counter), which is nonzero for every nonzero counter,
@@ -135,6 +301,7 @@ std::unique_ptr<TwoLevelHashSketch> TwoLevelHashSketch::Deserialize(
   if (magic == kMagic) {
     for (int64_t& c : sketch->counters_) {
       if (!ReadPod(data, offset, &c)) return nullptr;
+      sketch->nonzero_cells_ += static_cast<int>(c != 0);
     }
     return sketch;
   }
@@ -150,7 +317,10 @@ std::unique_ptr<TwoLevelHashSketch> TwoLevelHashSketch::Deserialize(
       if (run == 0 || run > n - i) return nullptr;  // Corrupt run.
       i += run;  // Cells already zero-initialized.
     } else {
+      // ZigZagDecode(token) != 0 whenever token != 0, so every non-run
+      // token is one nonzero cell.
       sketch->counters_[i] = ZigZagDecode(token);
+      ++sketch->nonzero_cells_;
       ++i;
     }
   }

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,22 @@ class TwoLevelHashSketch {
   /// Creates an empty sketch drawing its hash functions from `seed`.
   explicit TwoLevelHashSketch(std::shared_ptr<const SketchSeed> seed);
 
-  /// Processes one update <e, +/-v>: O(s) counter additions.
+  /// Processes one update <e, +/-v>: O(s) counter additions. The s
+  /// second-level bits come from the seed's bit-sliced transpose (one
+  /// XOR-fold, no popcounts) when s <= 64, from the per-function scalar
+  /// path otherwise — bit-identical either way.
   void Update(uint64_t element, int64_t delta);
+
+  /// Reference implementation of Update that always evaluates the s
+  /// second-level functions one popcount at a time. Kept public so the
+  /// equivalence tests and kernel benches can pin the sliced path against
+  /// it; production callers should use Update.
+  void UpdateScalar(uint64_t element, int64_t delta);
+
+  /// Applies a run of updates addressed to this sketch's stream. Same
+  /// result as calling Update per item; amortizes the per-call setup and
+  /// separates hashing from counter scatter for better pipelining.
+  void UpdateBatch(std::span<const ElementDelta> batch);
 
   /// Applies the element/delta part of `u` (the stream id is the caller's
   /// concern — a sketch summarizes exactly one stream).
@@ -58,8 +73,14 @@ class TwoLevelHashSketch {
   /// Resets all counters to zero.
   void Clear();
 
-  /// True iff every counter is zero.
-  bool Empty() const;
+  /// True iff every counter is zero. O(1): Update/Merge/Clear/Deserialize
+  /// maintain the nonzero-cell count (the coordinator and property checks
+  /// call this per query).
+  bool Empty() const { return nonzero_cells_ == 0; }
+
+  /// Number of counter cells currently nonzero (the invariant behind
+  /// Empty(); exposed for tests).
+  int64_t NonzeroCells() const { return nonzero_cells_; }
 
   const SketchSeed& seed() const { return *seed_; }
   const std::shared_ptr<const SketchSeed>& shared_seed() const {
@@ -101,9 +122,17 @@ class TwoLevelHashSketch {
            static_cast<size_t>(bit);
   }
 
+  /// Scatters one update whose second-level bits are already evaluated
+  /// (bit j of `mask` selects the counter of pair j), tracking zero/nonzero
+  /// cell transitions.
+  void ApplyMask(int level, uint64_t mask, int64_t delta);
+
   std::shared_ptr<const SketchSeed> seed_;
   int num_second_level_;
+  /// Cached seed_->slice(); nullptr iff s > 64 (scalar fallback).
+  const SecondLevelSlice* slice_;
   std::vector<int64_t> counters_;
+  int64_t nonzero_cells_ = 0;
 };
 
 }  // namespace setsketch

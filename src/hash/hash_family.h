@@ -99,6 +99,11 @@ class PairwiseBitHash {
 
   uint64_t seed() const { return seed_; }
 
+  /// The GF(2) row vector `a` and bias bit `b` — exposed so a whole family
+  /// can be transposed into a bit-sliced evaluator (core/sketch_seed.h).
+  uint64_t a() const { return a_; }
+  int b() const { return b_; }
+
   friend bool operator==(const PairwiseBitHash& a, const PairwiseBitHash& b) {
     return a.seed_ == b.seed_;
   }

@@ -7,27 +7,20 @@ namespace setsketch {
 size_t ParallelIngest(SketchBank* bank,
                       const std::vector<std::string>& names_by_id,
                       const std::vector<Update>& updates, int threads) {
-  // Resolve stream columns once; per-update hash lookups would dominate.
-  std::vector<std::vector<TwoLevelHashSketch>*> columns;
-  columns.reserve(names_by_id.size());
-  for (const std::string& name : names_by_id) {
-    columns.push_back(bank->MutableSketches(name));
-  }
+  // Group by stream once (shared by all workers), then fan out by copy
+  // range: per sketch the group is applied through the bit-sliced batch
+  // kernel, so each copy's counters stay hot for the whole run. Counters
+  // of different streams are disjoint and per-stream order is preserved,
+  // so the result is bit-identical to the per-update loop.
   size_t applied = 0;
-  for (const Update& u : updates) {
-    if (u.stream < columns.size() && columns[u.stream] != nullptr) {
-      ++applied;
-    }
-  }
+  const std::vector<StreamBatch> groups =
+      bank->GroupUpdates(names_by_id, updates, &applied);
 
-  const int copies = bank->num_copies();
+  int copies = bank->num_copies();
   if (threads <= 1 || copies == 1) {
-    for (const Update& u : updates) {
-      if (u.stream >= columns.size() || columns[u.stream] == nullptr) {
-        continue;
-      }
-      for (TwoLevelHashSketch& sketch : *columns[u.stream]) {
-        sketch.Update(u.element, u.delta);
+    for (const StreamBatch& group : groups) {
+      for (TwoLevelHashSketch& sketch : *group.column) {
+        sketch.UpdateBatch(group.items);
       }
     }
     return applied;
@@ -39,14 +32,11 @@ size_t ParallelIngest(SketchBank* bank,
   for (int t = 0; t < threads; ++t) {
     const int begin = t * copies / threads;
     const int end = (t + 1) * copies / threads;
-    workers.emplace_back([&, begin, end] {
-      for (const Update& u : updates) {
-        if (u.stream >= columns.size() || columns[u.stream] == nullptr) {
-          continue;
-        }
-        std::vector<TwoLevelHashSketch>& column = *columns[u.stream];
+    workers.emplace_back([&groups, begin, end] {
+      for (const StreamBatch& group : groups) {
+        std::vector<TwoLevelHashSketch>& column = *group.column;
         for (int i = begin; i < end; ++i) {
-          column[static_cast<size_t>(i)].Update(u.element, u.delta);
+          column[static_cast<size_t>(i)].UpdateBatch(group.items);
         }
       }
     });

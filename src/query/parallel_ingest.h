@@ -5,7 +5,9 @@
 // by *copy range*: worker t applies every update to copies
 // [t*r/T, (t+1)*r/T) of the addressed stream. No locks, no atomics — each
 // counter is owned by exactly one worker — and the result is bit-identical
-// to serial ingest (verified by tests).
+// to serial ingest (verified by tests). The batch is grouped by stream
+// once up front and each copy consumes its groups through the bit-sliced
+// batch kernel (TwoLevelHashSketch::UpdateBatch).
 //
 // This matters because per-update work is O(r * s): at the paper's
 // r = 512, s = 32 a single stream costs ~16k counter updates per element,

@@ -29,13 +29,19 @@
 namespace setsketch {
 
 /// One accepted PUSH_UPDATES batch, resolved against the server's stream
-/// registry: `updates[i].stream` is a server-global dense id indexing
-/// `columns`, and `columns[id]` points at the bank's sketch-copy vector
-/// for that stream (stable storage — SketchBank's map is node-based, so
-/// later stream registrations never move it).
+/// registry and grouped by stream: each group pairs the bank's sketch-copy
+/// vector for one stream (stable storage — SketchBank's map is node-based,
+/// so later stream registrations never move it) with the batch's updates
+/// addressed to it, in arrival order. Grouping happens once at resolve
+/// time; every shard worker then streams each group through the batched
+/// kernel over its copy range.
 struct IngestBatch {
-  std::vector<Update> updates;
-  std::vector<std::vector<TwoLevelHashSketch>*> columns;
+  struct Group {
+    std::vector<TwoLevelHashSketch>* column = nullptr;
+    std::vector<ElementDelta> items;
+  };
+  std::vector<Group> groups;
+  size_t num_updates = 0;  ///< Total items across groups.
 };
 
 /// Bounded FIFO of shared batches for one ingest shard.

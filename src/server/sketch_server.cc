@@ -231,16 +231,22 @@ std::shared_ptr<IngestBatch> SketchServer::ResolveBatchLocked(
     }
     global_ids.push_back(it->second);
   }
+  // Group by (batch-local) stream id once; the decoder guarantees
+  // u.stream < stream_names.size(). Shard workers then apply each group
+  // through the batched kernel without any per-update resolution.
   auto resolved = std::make_shared<IngestBatch>();
-  resolved->columns.resize(names_by_id_.size(), nullptr);
-  for (const StreamId id : global_ids) {
-    resolved->columns[id] = bank_.MutableSketches(names_by_id_[id]);
-  }
-  resolved->updates.reserve(batch.updates.size());
+  std::vector<int> group_of(global_ids.size(), -1);
   for (const Update& u : batch.updates) {
-    resolved->updates.push_back(
-        Update{global_ids[u.stream], u.element, u.delta});
+    int& g = group_of[u.stream];
+    if (g < 0) {
+      g = static_cast<int>(resolved->groups.size());
+      resolved->groups.push_back(IngestBatch::Group{
+          bank_.MutableSketches(names_by_id_[global_ids[u.stream]]), {}});
+    }
+    resolved->groups[static_cast<size_t>(g)].items.push_back(
+        ElementDelta{u.element, u.delta});
   }
+  resolved->num_updates = batch.updates.size();
   return resolved;
 }
 
@@ -261,7 +267,7 @@ std::string SketchServer::HandlePushUpdates(const Frame& frame,
     std::lock_guard<std::mutex> lock(registry_mutex_);
     resolved = ResolveBatchLocked(std::move(batch));
   }
-  const uint64_t num_updates = resolved->updates.size();
+  const uint64_t num_updates = resolved->num_updates;
   {
     std::lock_guard<std::mutex> lock(push_mutex_);
     if (draining_.load()) {
@@ -317,13 +323,13 @@ void SketchServer::WorkerLoop(int shard_index) {
   const int end = (shard_index + 1) * copies / shards;
   ShardQueue& queue = *queues_[static_cast<size_t>(shard_index)];
   while (std::shared_ptr<const IngestBatch> batch = queue.PopOrWait()) {
-    for (const Update& u : batch->updates) {
-      std::vector<TwoLevelHashSketch>& column = *batch->columns[u.stream];
+    for (const IngestBatch::Group& group : batch->groups) {
+      std::vector<TwoLevelHashSketch>& column = *group.column;
       for (int i = begin; i < end; ++i) {
-        column[static_cast<size_t>(i)].Update(u.element, u.delta);
+        column[static_cast<size_t>(i)].UpdateBatch(group.items);
       }
     }
-    shard_updates_applied_ += batch->updates.size();
+    shard_updates_applied_ += batch->num_updates;
     queue.TaskDone();
   }
 }

@@ -148,8 +148,9 @@ class SketchServer {
   std::string HandlePushSummary(const Frame& frame, Connection* connection);
   std::string RenderStats() const;
 
-  /// Registers unseen names and resolves the batch to dense ids +
-  /// column pointers. Called with registry_mutex_ held.
+  /// Registers unseen names and resolves the batch to per-stream groups
+  /// of column pointer + element/delta items (the shard workers' batched
+  /// ingest unit). Called with registry_mutex_ held.
   std::shared_ptr<IngestBatch> ResolveBatchLocked(UpdateBatch&& batch);
 
   Options options_;

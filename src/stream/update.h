@@ -26,6 +26,17 @@ struct Update {
   friend bool operator==(const Update& a, const Update& b) = default;
 };
 
+/// One element/delta pair whose stream is already resolved — the unit of
+/// batched sketch ingest (TwoLevelHashSketch::UpdateBatch and
+/// SketchBank::ApplyBatch group Updates into per-stream ElementDelta runs).
+struct ElementDelta {
+  uint64_t element = 0;  ///< The element e whose net frequency changes.
+  int64_t delta = 0;     ///< +v for v insertions, -v for v deletions.
+
+  friend bool operator==(const ElementDelta& a,
+                         const ElementDelta& b) = default;
+};
+
 /// Convenience constructors.
 inline Update Insert(StreamId stream, uint64_t element, int64_t count = 1) {
   return Update{stream, element, count};

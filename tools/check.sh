@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: a Release build + tests, then an AddressSanitizer
+# Full pre-merge gate: a Release build + tests + a bench smoke stage that
+# validates the update-kernel JSON perf reporting, then an AddressSanitizer
 # build + tests. The server library (src/server/) compiles with -Werror in
 # both, so warnings there fail the gate.
 #
@@ -27,6 +28,17 @@ run_config() {
 }
 
 run_config "${prefix}-release" -DCMAKE_BUILD_TYPE=Release
+
+# Bench smoke: a short bench_update_kernel run must produce a JSON perf
+# trajectory that parses and covers every configured sweep point, so the
+# BENCH_update_kernel.json reporting can't silently rot.
+echo "=== bench smoke (update-kernel JSON trajectory) ==="
+smoke_json="${prefix}-release/BENCH_update_kernel.smoke.json"
+SETSKETCH_BENCH_JSON="${smoke_json}" \
+  "${prefix}-release/bench/bench_update_kernel" \
+  --benchmark_min_time=0.01 >/dev/null
+python3 tools/validate_bench_json.py "${smoke_json}"
+
 run_config "${prefix}-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSETSKETCH_SANITIZE=address
 

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_update_kernel.json perf-trajectory file.
+
+Usage: validate_bench_json.py <path>
+
+Checks that the file parses as JSON, identifies itself as the
+update-kernel bench, and contains a positive ns_per_op result for every
+configured sweep point (scalar/sliced/batched x s, per-update/batched
+bank x r). tools/check.sh runs this after a smoke run of
+bench_update_kernel so the perf reporting cannot silently rot.
+"""
+
+import json
+import sys
+
+S_SWEEP = (8, 16, 32, 64)
+R_SWEEP = (64, 256, 512)
+
+EXPECTED = (
+    [f"BM_UpdateScalar/{s}" for s in S_SWEEP]
+    + [f"BM_UpdateSliced/{s}" for s in S_SWEEP]
+    + [f"BM_UpdateBatched/{s}" for s in S_SWEEP]
+    + [f"BM_BankApplyPerUpdate/{r}" for r in R_SWEEP]
+    + [f"BM_BankApplyBatch/{r}" for r in R_SWEEP]
+)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{path}: unreadable or invalid JSON: {err}", file=sys.stderr)
+        return 1
+    if doc.get("bench") != "update_kernel":
+        print(f"{path}: missing bench=update_kernel marker", file=sys.stderr)
+        return 1
+    results = {r.get("name"): r for r in doc.get("results", [])}
+    failures = []
+    for name in EXPECTED:
+        entry = results.get(name)
+        if entry is None:
+            failures.append(f"missing result {name}")
+        elif not (
+            isinstance(entry.get("ns_per_op"), (int, float))
+            and entry["ns_per_op"] > 0
+        ):
+            failures.append(f"{name}: ns_per_op not a positive number")
+    if failures:
+        for failure in failures:
+            print(f"{path}: {failure}", file=sys.stderr)
+        return 1
+    print(f"{path}: ok ({len(EXPECTED)} sweep points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
