@@ -1,16 +1,16 @@
 #include "baselines/bjkst_sketch.h"
 
-#include <cassert>
 #include <cmath>
 #include <vector>
 
 #include "hash/bit_util.h"
+#include "util/check.h"
 
 namespace setsketch {
 
 BjkstSketch::BjkstSketch(int capacity, uint64_t seed)
     : capacity_(capacity), seed_(seed), hash_(FirstLevelHash::Mix64(seed)) {
-  assert(capacity >= 2);
+  SETSKETCH_CHECK(capacity >= 2);
 }
 
 void BjkstSketch::Insert(uint64_t element) {

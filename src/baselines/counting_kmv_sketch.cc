@@ -1,13 +1,14 @@
 #include "baselines/counting_kmv_sketch.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace setsketch {
 
 CountingKmvSketch::CountingKmvSketch(int k, uint64_t seed)
     : k_(k), seed_(seed), hash_(FirstLevelHash::Mix64(seed)) {
-  assert(k >= 2);
+  SETSKETCH_CHECK(k >= 2);
 }
 
 void CountingKmvSketch::Update(uint64_t element, int64_t delta) {
@@ -70,13 +71,13 @@ double CountingKmvSketch::EstimateDistinct() const {
 
 double CountingKmvSketch::EstimateUnion(const CountingKmvSketch& a,
                                         const CountingKmvSketch& b) {
-  assert(a.k_ == b.k_ && a.seed_ == b.seed_);
+  SETSKETCH_CHECK(a.k_ == b.k_ && a.seed_ == b.seed_);
   return EstimateFromBottomK(MergedBottomK(a, b, a.k_), a.k_);
 }
 
 double CountingKmvSketch::EstimateIntersection(const CountingKmvSketch& a,
                                                const CountingKmvSketch& b) {
-  assert(a.k_ == b.k_ && a.seed_ == b.seed_);
+  SETSKETCH_CHECK(a.k_ == b.k_ && a.seed_ == b.seed_);
   const std::vector<uint64_t> merged = MergedBottomK(a, b, a.k_);
   if (merged.empty()) return 0.0;
   int both = 0;

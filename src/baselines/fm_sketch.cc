@@ -1,10 +1,10 @@
 #include "baselines/fm_sketch.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "hash/bit_util.h"
 #include "hash/prng.h"
+#include "util/check.h"
 
 namespace setsketch {
 
@@ -17,8 +17,8 @@ constexpr double kFmCorrection = 1.2928;
 
 FmSketch::FmSketch(int instances, int bits, uint64_t seed)
     : bits_(bits), seed_(seed) {
-  assert(instances >= 1);
-  assert(bits >= 1 && bits <= 64);
+  SETSKETCH_CHECK(instances >= 1);
+  SETSKETCH_CHECK(bits >= 1 && bits <= 64);
   SplitMix64 sm(seed);
   hashes_.reserve(static_cast<size_t>(instances));
   for (int i = 0; i < instances; ++i) {

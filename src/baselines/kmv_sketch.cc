@@ -1,13 +1,14 @@
 #include "baselines/kmv_sketch.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace setsketch {
 
 KmvSketch::KmvSketch(int k, uint64_t seed)
     : k_(k), seed_(seed), hash_(FirstLevelHash::Mix64(seed)) {
-  assert(k >= 2);
+  SETSKETCH_CHECK(k >= 2);
 }
 
 void KmvSketch::Insert(uint64_t element) {
@@ -73,14 +74,14 @@ double EstimateFromBottomK(const std::vector<uint64_t>& sample, int k) {
 }  // namespace
 
 double KmvSketch::EstimateUnion(const KmvSketch& a, const KmvSketch& b) {
-  assert(a.Compatible(b));
+  SETSKETCH_CHECK(a.Compatible(b));
   const std::vector<uint64_t> merged = MergedBottomK(a, b, a.k_);
   return EstimateFromBottomK(merged, a.k_);
 }
 
 double KmvSketch::EstimateIntersection(const KmvSketch& a,
                                        const KmvSketch& b) {
-  assert(a.Compatible(b));
+  SETSKETCH_CHECK(a.Compatible(b));
   const std::vector<uint64_t> merged = MergedBottomK(a, b, a.k_);
   if (merged.empty()) return 0.0;
   // Coincidence fraction: union sample members present in both sketches.
@@ -95,7 +96,7 @@ double KmvSketch::EstimateIntersection(const KmvSketch& a,
 
 double KmvSketch::EstimateDifference(const KmvSketch& a,
                                      const KmvSketch& b) {
-  assert(a.Compatible(b));
+  SETSKETCH_CHECK(a.Compatible(b));
   const std::vector<uint64_t> merged = MergedBottomK(a, b, a.k_);
   if (merged.empty()) return 0.0;
   // Union sample members in A but not in B.

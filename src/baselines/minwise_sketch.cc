@@ -1,14 +1,14 @@
 #include "baselines/minwise_sketch.h"
 
-#include <cassert>
 #include <limits>
 
 #include "hash/prng.h"
+#include "util/check.h"
 
 namespace setsketch {
 
 MinwiseSketch::MinwiseSketch(int k, uint64_t seed) : seed_(seed) {
-  assert(k >= 1);
+  SETSKETCH_CHECK(k >= 1);
   SplitMix64 sm(seed);
   hashes_.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {
@@ -34,7 +34,7 @@ bool MinwiseSketch::Delete(uint64_t element) {
 
 double MinwiseSketch::EstimateJaccard(const MinwiseSketch& a,
                                       const MinwiseSketch& b) {
-  assert(a.Compatible(b));
+  SETSKETCH_CHECK(a.Compatible(b));
   if (a.empty_ || b.empty_) return 0.0;
   int matches = 0;
   for (size_t i = 0; i < a.mins_.size(); ++i) {

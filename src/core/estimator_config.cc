@@ -1,15 +1,15 @@
 #include "core/estimator_config.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "hash/bit_util.h"
+#include "util/check.h"
 
 namespace setsketch {
 
 int UnionCopiesNeeded(const AccuracyTarget& target) {
-  assert(target.Valid());
+  SETSKETCH_CHECK(target.Valid());
   const double r =
       256.0 * std::log(1.0 / target.delta) / (7.0 * target.epsilon *
                                               target.epsilon);
@@ -18,8 +18,8 @@ int UnionCopiesNeeded(const AccuracyTarget& target) {
 
 int WitnessCopiesNeeded(const AccuracyTarget& target,
                         double union_to_result_ratio) {
-  assert(target.Valid());
-  assert(union_to_result_ratio >= 1.0);
+  SETSKETCH_CHECK(target.Valid());
+  SETSKETCH_CHECK(union_to_result_ratio >= 1.0);
   // r' >= 2 ln(1/delta) |U| / (eps^2 |E|) valid observations, of which a
   // (1 - eps1)(beta - 1)/beta^2 fraction of copies qualifies; with the
   // analysis' optimal beta = 2, eps1 = (sqrt(5) - 1)/2 that fraction is
@@ -32,7 +32,7 @@ int WitnessCopiesNeeded(const AccuracyTarget& target,
 }
 
 int SecondLevelNeeded(double delta, int copies) {
-  assert(delta > 0 && delta < 1 && copies >= 1);
+  SETSKETCH_CHECK(delta > 0 && delta < 1 && copies >= 1);
   // 2^-s <= delta / copies  =>  s >= log2(copies / delta).
   const double s = std::log2(static_cast<double>(copies) / delta);
   return std::max(1, static_cast<int>(std::ceil(s)));
@@ -40,8 +40,8 @@ int SecondLevelNeeded(double delta, int copies) {
 
 int WitnessLevel(double union_estimate, double epsilon, double beta,
                  int levels) {
-  assert(beta > 1.0);
-  assert(epsilon > 0 && epsilon < 1);
+  SETSKETCH_CHECK(beta > 1.0);
+  SETSKETCH_CHECK(epsilon > 0 && epsilon < 1);
   if (union_estimate < 1.0) union_estimate = 1.0;
   const double target = beta * union_estimate / (1.0 - epsilon);
   const int level = CeilLog2(static_cast<uint64_t>(std::ceil(target)));

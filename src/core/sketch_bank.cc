@@ -1,6 +1,7 @@
 #include "core/sketch_bank.h"
 
-#include <cassert>
+#include "util/check.h"
+
 
 namespace setsketch {
 
@@ -88,7 +89,8 @@ size_t SketchBank::ApplyBatch(const std::vector<std::string>& names_by_id,
 const std::vector<TwoLevelHashSketch>& SketchBank::Sketches(
     const std::string& name) const {
   auto it = streams_.find(name);
-  assert(it != streams_.end());
+  SETSKETCH_CHECK(it != streams_.end())
+      << "Sketches() for unregistered stream '" << name << "'";
   return it->second;
 }
 

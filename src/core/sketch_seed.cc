@@ -1,9 +1,9 @@
 #include "core/sketch_seed.h"
 
-#include <cassert>
 
 #include "hash/bit_util.h"
 #include "hash/prng.h"
+#include "util/check.h"
 
 namespace setsketch {
 
@@ -20,7 +20,7 @@ SketchSeed::SketchSeed(const SketchParams& params, uint64_t seed_value)
     : params_(params),
       seed_value_(seed_value),
       first_level_(FirstLevelHash::Mix64(0)) {
-  assert(params.Valid());
+  SETSKETCH_CHECK(params.Valid());
   SplitMix64 sm(seed_value);
   first_level_ = FirstLevelHash::FromIdentity(
       params.first_level_kind, params.independence, sm.Next());
@@ -34,7 +34,7 @@ SketchSeed::SketchSeed(const SketchParams& params, uint64_t seed_value)
 
 SecondLevelSlice SecondLevelSlice::Build(
     const std::vector<PairwiseBitHash>& gs) {
-  assert(gs.size() <= 64);
+  SETSKETCH_CHECK(gs.size() <= 64);
   // Transpose: bit j of columns[k] = bit k of a_j.
   std::array<uint64_t, 64> columns{};
   SecondLevelSlice slice;
@@ -75,7 +75,7 @@ int SketchSeed::Level(uint64_t element) const {
 SketchFamily::SketchFamily(const SketchParams& params, int num_copies,
                            uint64_t master_seed)
     : params_(params), master_seed_(master_seed) {
-  assert(num_copies >= 1);
+  SETSKETCH_CHECK(num_copies >= 1);
   SplitMix64 sm(master_seed);
   seeds_.reserve(static_cast<size_t>(num_copies));
   for (int i = 0; i < num_copies; ++i) {

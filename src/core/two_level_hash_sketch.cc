@@ -1,7 +1,6 @@
 #include "core/two_level_hash_sketch.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 #if defined(__x86_64__) && defined(__GNUC__)
@@ -9,6 +8,7 @@
 #include <immintrin.h>
 #endif
 
+#include "util/check.h"
 #include "util/varint.h"
 
 namespace setsketch {
@@ -125,6 +125,8 @@ TwoLevelHashSketch::TwoLevelHashSketch(std::shared_ptr<const SketchSeed> seed)
                 0) {}
 
 void TwoLevelHashSketch::ApplyMask(int level, uint64_t mask, int64_t delta) {
+  SETSKETCH_DCHECK(level >= 0 && level < seed_->params().levels)
+      << "level out of range";
   int64_t* base = counters_.data() + CellIndex(level, 0, 0);
   const int s = num_second_level_;
 #ifdef SETSKETCH_SCATTER_AVX2
@@ -200,7 +202,11 @@ void TwoLevelHashSketch::UpdateBatch(std::span<const ElementDelta> batch) {
 
 bool TwoLevelHashSketch::Merge(const TwoLevelHashSketch& other) {
   if (!(*seed_ == *other.seed_)) return false;
-  assert(counters_.size() == other.counters_.size());
+  // Equal seeds imply equal params, hence equal counter shapes; anything
+  // else means a sketch was corrupted after construction.
+  SETSKETCH_CHECK(counters_.size() == other.counters_.size())
+      << "seed-compatible sketches with mismatched counter arrays:"
+      << counters_.size() << "vs" << other.counters_.size();
   for (size_t i = 0; i < counters_.size(); ++i) {
     const int64_t before = counters_[i];
     counters_[i] += other.counters_[i];
@@ -208,6 +214,8 @@ bool TwoLevelHashSketch::Merge(const TwoLevelHashSketch& other) {
         static_cast<int>(before == 0 && counters_[i] != 0) -
         static_cast<int>(before != 0 && counters_[i] == 0);
   }
+  SETSKETCH_DCHECK(nonzero_cells_ == RecountNonzeroCells())
+      << "nonzero-cell count diverged from counters after Merge";
   return true;
 }
 
@@ -324,7 +332,15 @@ std::unique_ptr<TwoLevelHashSketch> TwoLevelHashSketch::Deserialize(
       ++i;
     }
   }
+  SETSKETCH_DCHECK(sketch->nonzero_cells_ == sketch->RecountNonzeroCells())
+      << "nonzero-cell count diverged after compact decode";
   return sketch;
+}
+
+int64_t TwoLevelHashSketch::RecountNonzeroCells() const {
+  int64_t nonzero = 0;
+  for (const int64_t c : counters_) nonzero += static_cast<int>(c != 0);
+  return nonzero;
 }
 
 bool operator==(const TwoLevelHashSketch& a, const TwoLevelHashSketch& b) {

@@ -127,6 +127,11 @@ class TwoLevelHashSketch {
   /// cell transitions.
   void ApplyMask(int level, uint64_t mask, int64_t delta);
 
+  /// O(cells) ground-truth recount of nonzero counters — the invariant
+  /// behind Empty(); compared against nonzero_cells_ by debug checks
+  /// after bulk operations (Merge, compact decode).
+  int64_t RecountNonzeroCells() const;
+
   std::shared_ptr<const SketchSeed> seed_;
   int num_second_level_;
   /// Cached seed_->slice(); nullptr iff s > 64 (scalar fallback).

@@ -1,30 +1,31 @@
 #include "expr/expression.h"
 
-#include <cassert>
 #include <unordered_set>
+
+#include "util/check.h"
 
 namespace setsketch {
 
 ExprPtr Expression::Stream(std::string name) {
-  assert(!name.empty());
+  SETSKETCH_CHECK(!name.empty());
   return ExprPtr(
       new Expression(Kind::kStream, std::move(name), nullptr, nullptr));
 }
 
 ExprPtr Expression::Union(ExprPtr left, ExprPtr right) {
-  assert(left && right);
+  SETSKETCH_CHECK(left && right);
   return ExprPtr(new Expression(Kind::kUnion, "", std::move(left),
                                 std::move(right)));
 }
 
 ExprPtr Expression::Intersect(ExprPtr left, ExprPtr right) {
-  assert(left && right);
+  SETSKETCH_CHECK(left && right);
   return ExprPtr(new Expression(Kind::kIntersect, "", std::move(left),
                                 std::move(right)));
 }
 
 ExprPtr Expression::Difference(ExprPtr left, ExprPtr right) {
-  assert(left && right);
+  SETSKETCH_CHECK(left && right);
   return ExprPtr(new Expression(Kind::kDifference, "", std::move(left),
                                 std::move(right)));
 }
@@ -72,17 +73,18 @@ bool Expression::Evaluate(
 }
 
 std::string Expression::ToString() const {
-  switch (kind_) {
-    case Kind::kStream:
-      return name_;
-    case Kind::kUnion:
-      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
-    case Kind::kIntersect:
-      return "(" + left_->ToString() + " & " + right_->ToString() + ")";
-    case Kind::kDifference:
-      return "(" + left_->ToString() + " - " + right_->ToString() + ")";
-  }
-  return "";  // Unreachable.
+  if (kind_ == Kind::kStream) return name_;
+  // Built via += : `"(" + left_->ToString()` trips GCC 12's -Wrestrict
+  // false positive (PR 105329) under -O2 -Werror.
+  const char* op = " | ";
+  if (kind_ == Kind::kIntersect) op = " & ";
+  if (kind_ == Kind::kDifference) op = " - ";
+  std::string text = "(";
+  text += left_->ToString();
+  text += op;
+  text += right_->ToString();
+  text += ")";
+  return text;
 }
 
 }  // namespace setsketch

@@ -1,9 +1,9 @@
 #include "hash/hash_family.h"
 
-#include <cassert>
 #include <cstddef>
 
 #include "hash/prng.h"
+#include "util/check.h"
 
 namespace setsketch {
 
@@ -16,7 +16,7 @@ FirstLevelHash FirstLevelHash::Mix64(uint64_t seed) {
 }
 
 FirstLevelHash FirstLevelHash::KWisePoly(int independence, uint64_t seed) {
-  assert(independence >= 2);
+  SETSKETCH_CHECK(independence >= 2);
   FirstLevelHash h;
   h.kind_ = FirstLevelKind::kKWisePoly;
   h.independence_ = independence;

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "util/check.h"
 #include "util/varint.h"
 
 namespace setsketch {
@@ -85,6 +86,13 @@ const char* WireErrorName(WireError error) {
 }
 
 std::string EncodeFrame(Opcode opcode, std::string_view payload) {
+  // An oversized or unknown frame would be rejected (and poison the
+  // stream) on the receiving side, so emitting one is always a local bug.
+  SETSKETCH_CHECK(payload.size() <= kMaxPayloadBytes)
+      << "encoding a frame larger than the protocol cap:" << payload.size();
+  SETSKETCH_DCHECK(IsKnownOpcode(static_cast<uint8_t>(opcode)))
+      << "encoding unknown opcode"
+      << static_cast<int>(static_cast<uint8_t>(opcode));
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
   AppendU32(&out, kProtocolMagic);

@@ -1,5 +1,7 @@
 #include "server/shard_queue.h"
 
+#include "util/check.h"
+
 namespace setsketch {
 
 ShardQueue::ShardQueue(size_t capacity)
@@ -14,6 +16,11 @@ bool ShardQueue::Push(std::shared_ptr<const IngestBatch> batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return false;
+    // Producers admit batches only after CanAccept() under their own
+    // mutex, so exceeding capacity means that protocol was broken and
+    // the queue no longer bounds work in flight.
+    SETSKETCH_DCHECK(in_flight_ < capacity_)
+        << "Push past capacity:" << in_flight_ << "of" << capacity_;
     queue_.push_back(std::move(batch));
     ++in_flight_;
     ++pushed_;
@@ -34,6 +41,9 @@ std::shared_ptr<const IngestBatch> ShardQueue::PopOrWait() {
 void ShardQueue::TaskDone() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // An unmatched TaskDone would free a capacity slot that was never
+    // held, silently unbounding the queue — and underflowing the size_t.
+    SETSKETCH_CHECK(in_flight_ > 0) << "TaskDone without a popped batch";
     --in_flight_;
     if (in_flight_ > 0) return;
   }

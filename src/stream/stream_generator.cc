@@ -1,10 +1,10 @@
 #include "stream/stream_generator.h"
 
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
 
 #include "hash/prng.h"
+#include "util/check.h"
 
 namespace setsketch {
 
@@ -37,21 +37,21 @@ std::vector<Update> PartitionedDataset::ToInsertUpdates(
 VennPartitionGenerator::VennPartitionGenerator(int num_streams,
                                                std::vector<double> region_probs)
     : num_streams_(num_streams), region_probs_(std::move(region_probs)) {
-  assert(num_streams_ >= 1 && num_streams_ <= 16);
-  assert(region_probs_.size() == (1ULL << num_streams_));
+  SETSKETCH_CHECK(num_streams_ >= 1 && num_streams_ <= 16);
+  SETSKETCH_CHECK(region_probs_.size() == (1ULL << num_streams_));
   double total = 0;
   for (double p : region_probs_) {
-    assert(p >= 0.0);
+    SETSKETCH_CHECK(p >= 0.0);
     total += p;
   }
-  assert(std::abs(total - 1.0) < 1e-9);
+  SETSKETCH_CHECK(std::abs(total - 1.0) < 1e-9);
   (void)total;
 }
 
 PartitionedDataset VennPartitionGenerator::Generate(int64_t universe_size,
                                                     uint64_t seed,
                                                     int domain_bits) const {
-  assert(domain_bits >= 1 && domain_bits <= 64);
+  SETSKETCH_CHECK(domain_bits >= 1 && domain_bits <= 64);
   PartitionedDataset out;
   out.num_streams = num_streams_;
   out.regions.resize(region_probs_.size());
@@ -85,20 +85,20 @@ PartitionedDataset VennPartitionGenerator::Generate(int64_t universe_size,
 }
 
 std::vector<double> BinaryIntersectionProbs(double ratio) {
-  assert(ratio >= 0.0 && ratio <= 1.0);
+  SETSKETCH_CHECK(ratio >= 0.0 && ratio <= 1.0);
   // Masks: 1 = A only, 2 = B only, 3 = both.
   return {0.0, (1.0 - ratio) / 2.0, (1.0 - ratio) / 2.0, ratio};
 }
 
 std::vector<double> BinaryDifferenceProbs(double ratio) {
-  assert(ratio >= 0.0 && ratio <= 0.5);
+  SETSKETCH_CHECK(ratio >= 0.0 && ratio <= 0.5);
   // |A - B| = |A only| = ratio * u. Equal stream sizes force
   // P(B only) = P(A only); the rest goes to the shared region.
   return {0.0, ratio, ratio, 1.0 - 2.0 * ratio};
 }
 
 std::vector<double> ExprDiffIntersectProbs(double ratio) {
-  assert(ratio >= 0.0 && ratio <= 0.5);
+  SETSKETCH_CHECK(ratio >= 0.0 && ratio <= 0.5);
   // Streams A=bit0, B=bit1, C=bit2. (A - B) n C is exactly region 5
   // (in A and C, not in B). Putting w on each of {A only, C only} and
   // w + ratio on {B only} equalizes expected stream sizes:
@@ -114,7 +114,7 @@ std::vector<double> ExprDiffIntersectProbs(double ratio) {
 
 std::vector<Update> InjectChurn(const std::vector<Update>& base,
                                 const ChurnOptions& options) {
-  assert(options.max_multiplicity >= 1);
+  SETSKETCH_CHECK(options.max_multiplicity >= 1);
   Xoshiro256StarStar rng(options.seed);
   std::vector<Update> out;
   std::vector<Update> deferred_deletes;
@@ -162,7 +162,7 @@ std::vector<Update> GenerateZipfStream(StreamId stream, int64_t num_distinct,
                                        int64_t total_count, double alpha,
                                        uint64_t seed,
                                        uint64_t element_offset) {
-  assert(num_distinct >= 1);
+  SETSKETCH_CHECK(num_distinct >= 1);
   // Build the Zipf CDF: P(rank k) ~ 1 / (k+1)^alpha.
   std::vector<double> cdf(static_cast<size_t>(num_distinct));
   double acc = 0;

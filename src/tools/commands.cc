@@ -70,7 +70,11 @@ CommandResult RunBuild(const BuildSpec& spec) {
   }
   for (StreamId i = static_cast<StreamId>(names.size()); i <= max_stream;
        ++i) {
-    names.push_back("S" + std::to_string(i));
+    // Built via += : `"S" + std::to_string(i)` trips GCC 12's -Wrestrict
+    // false positive (PR 105329) under -O2 -Werror.
+    std::string name = "S";
+    name += std::to_string(i);
+    names.push_back(std::move(name));
   }
 
   SketchBank bank(SketchFamily(spec.params, spec.copies, spec.seed));
@@ -108,11 +112,17 @@ CommandResult RunInfo(const std::string& bank_path) {
     const UnionEstimate estimate =
         EstimateSetUnion(bank->Groups({name}), 0.5);
     const Interval interval = UnionInterval(estimate);
+    // Built via += : `"[" + FormatDouble(...)` trips GCC 12's -Wrestrict
+    // false positive (PR 105329) under -O2 -Werror.
+    std::string interval_text = "[";
+    interval_text += FormatDouble(interval.lo, 0);
+    interval_text += ", ";
+    interval_text += FormatDouble(interval.hi, 0);
+    interval_text += "]";
     table.AddRow(std::vector<std::string>{
         name,
         estimate.ok ? FormatDouble(estimate.estimate, 0) : "(failed)",
-        "[" + FormatDouble(interval.lo, 0) + ", " +
-            FormatDouble(interval.hi, 0) + "]"});
+        std::move(interval_text)});
   }
   std::ostringstream table_text;
   table.Print(table_text);

@@ -1,0 +1,127 @@
+// Runtime invariant checks — the debug/production counterpart of the
+// paper's analytical guarantees. The estimators' error bounds assume the
+// sketch state is *exactly* what the update algebra says it is; a silently
+// corrupted counter or a mismatched seed voids them without any visible
+// failure. These macros turn such states into immediate, attributable
+// aborts instead.
+//
+//   SETSKETCH_CHECK(cond)   always on, in every build type. For cheap,
+//                           load-bearing invariants (seed compatibility,
+//                           wire-format bounds, queue accounting) whose
+//                           violation means the process state is already
+//                           wrong.
+//   SETSKETCH_DCHECK(cond)  compiled in debug and sanitizer builds
+//                           (NDEBUG unset, or any -fsanitize build); free
+//                           in optimized production builds. For hot-path
+//                           invariants too expensive to verify per update
+//                           in production.
+//
+// Both accept an optional stream-style message:
+//   SETSKETCH_CHECK(a == b) << "seed mismatch: " << a << " vs " << b;
+//
+// On failure the process prints file:line, the failed expression and the
+// message to stderr and calls std::abort() — so sanitizer runs, CI and
+// core dumps all attribute the violation to its source, not to whatever
+// downstream code tripped over the corruption later.
+//
+// Unlike <cassert>, SETSKETCH_CHECK never vanishes under NDEBUG, and a
+// compiled-out DCHECK still type-checks its condition (inside an
+// unevaluated short-circuit) so it cannot rot. tools/lint.py bans raw
+// assert( in src/ in favor of these.
+
+#ifndef SETSKETCH_UTIL_CHECK_H_
+#define SETSKETCH_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace setsketch {
+namespace internal {
+
+/// Collects the failure report; Abort() prints it and ends the process.
+/// The macro arranges for Abort() to run after the trailing `<< message`
+/// operators, at the end of the full expression.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expression) {
+    stream_ << file << ":" << line
+            << ": SETSKETCH_CHECK failed: " << expression;
+  }
+
+  [[noreturn]] void Abort() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+  /// Lvalue view of a freshly constructed temporary, so the macro's
+  /// `Voidify() & ...` works with and without a streamed message.
+  CheckFailureStream& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed message operands of a compiled-out DCHECK.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+
+  NullStream& self() { return *this; }
+};
+
+/// Lower-precedence-than-<< adapter: makes the whole
+/// `Voidify() & stream << a << b` expression void so it can sit in the
+/// false branch of the check ternary.
+class Voidify {
+ public:
+  [[noreturn]] void operator&(CheckFailureStream& failure) {
+    failure.Abort();
+  }
+  void operator&(NullStream&) {}
+};
+
+}  // namespace internal
+}  // namespace setsketch
+
+/// Always-on invariant: aborts with file:line + expression + streamed
+/// message when `condition` is false.
+#define SETSKETCH_CHECK(condition)                             \
+  (condition) ? (void)0                                        \
+              : ::setsketch::internal::Voidify() &             \
+                    ::setsketch::internal::CheckFailureStream( \
+                        __FILE__, __LINE__, #condition)        \
+                        .self()
+
+// Debug-only checks stay on in every sanitizer build: ASan/TSan/UBSan
+// runs are exactly where invariant violations should be loudest. CMake
+// defines SETSKETCH_SANITIZE_BUILD whenever SETSKETCH_SANITIZE is set;
+// the __SANITIZE_* macros cover direct -fsanitize builds.
+#if !defined(NDEBUG) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__) || defined(SETSKETCH_SANITIZE_BUILD)
+#define SETSKETCH_DCHECK_IS_ON 1
+#else
+#define SETSKETCH_DCHECK_IS_ON 0
+#endif
+
+#if SETSKETCH_DCHECK_IS_ON
+#define SETSKETCH_DCHECK(condition) SETSKETCH_CHECK(condition)
+#else
+/// Compiled out: `condition` still type-checks but is never evaluated
+/// (short-circuited), and message operands are swallowed by NullStream.
+#define SETSKETCH_DCHECK(condition)                          \
+  (true || (condition)) ? (void)0                            \
+                        : ::setsketch::internal::Voidify() & \
+                              ::setsketch::internal::NullStream().self()
+#endif
+
+#endif  // SETSKETCH_UTIL_CHECK_H_

@@ -1,9 +1,10 @@
 #include "util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "util/check.h"
 
 namespace setsketch {
 
@@ -35,7 +36,7 @@ double Median(std::vector<double> values) {
 
 double Quantile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
-  assert(q >= 0.0 && q <= 1.0);
+  SETSKETCH_CHECK(q >= 0.0 && q <= 1.0);
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
@@ -47,7 +48,7 @@ double Quantile(std::vector<double> values, double q) {
 double TrimmedMeanDropHighest(std::vector<double> values,
                               double trim_fraction) {
   if (values.empty()) return 0.0;
-  assert(trim_fraction >= 0.0 && trim_fraction < 1.0);
+  SETSKETCH_CHECK(trim_fraction >= 0.0 && trim_fraction < 1.0);
   std::sort(values.begin(), values.end());
   size_t drop = static_cast<size_t>(
       std::ceil(trim_fraction * static_cast<double>(values.size())));

@@ -203,7 +203,9 @@ TEST_F(CompactEncodingTest, FuzzRandomCorruption) {
     // Must either fail cleanly or produce *some* sketch (flips can be
     // semantically valid); the requirement is no crash/overrun.
     const auto decoded = TwoLevelHashSketch::Deserialize(corrupted, &offset);
-    if (decoded) EXPECT_LE(offset, corrupted.size());
+    if (decoded) {
+      EXPECT_LE(offset, corrupted.size());
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <thread>
 
@@ -92,6 +93,54 @@ TEST(ShardQueueTest, StopDrainsQueuedBatchesBeforeNull) {
     queue.TaskDone();
   }
   EXPECT_EQ(queue.PopOrWait(), nullptr);
+}
+
+TEST(ShardQueueTest, ShutdownWhileFullDeliversEveryQueuedBatch) {
+  // Stop() on a queue at capacity: nothing queued is dropped, the stats
+  // stay coherent, and a blocked worker drains to completion.
+  constexpr size_t kCapacity = 4;
+  ShardQueue queue(kCapacity);
+  for (size_t i = 0; i < kCapacity; ++i) {
+    ASSERT_TRUE(queue.CanAccept()) << "slot " << i;
+    ASSERT_TRUE(queue.Push(std::make_shared<IngestBatch>()));
+  }
+  ASSERT_FALSE(queue.CanAccept());  // Full.
+  EXPECT_EQ(queue.stats().depth, kCapacity);
+
+  std::atomic<uint64_t> drained{0};
+  std::thread worker([&queue, &drained] {
+    while (queue.PopOrWait() != nullptr) {
+      ++drained;
+      queue.TaskDone();
+    }
+  });
+  queue.Stop();  // While full, with the worker mid-drain.
+  worker.join();
+  EXPECT_EQ(drained.load(), kCapacity);
+  const ShardQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.pushed, kCapacity);
+  EXPECT_EQ(stats.depth, 0u);
+  // WaitDrained after full drain returns immediately instead of hanging.
+  queue.WaitDrained();
+}
+
+TEST(ShardQueueTest, DrainAfterShutdownReturnsNullForever) {
+  ShardQueue queue(2);
+  ASSERT_TRUE(queue.Push(std::make_shared<IngestBatch>()));
+  queue.Stop();
+  // The queued batch is still handed out once, then the queue stays
+  // terminally empty: repeated PopOrWait calls keep returning nullptr
+  // without blocking (a worker re-polling after shutdown must not hang).
+  ASSERT_NE(queue.PopOrWait(), nullptr);
+  queue.TaskDone();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(queue.PopOrWait(), nullptr) << "poll " << i;
+  }
+  // Push after shutdown is refused and does not disturb accounting.
+  EXPECT_FALSE(queue.Push(std::make_shared<IngestBatch>()));
+  const ShardQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.pushed, 1u);
+  EXPECT_EQ(stats.depth, 0u);
 }
 
 // --- Acceptance: end-to-end loopback flow ------------------------------

@@ -132,7 +132,9 @@ TEST(TwoLevelHashSketchTest, SingleInsertLandsInOneLevelOneCellPerJ) {
   }
   // All other levels untouched.
   for (int l = 0; l < sketch.levels(); ++l) {
-    if (l != level) EXPECT_TRUE(sketch.LevelEmpty(l));
+    if (l != level) {
+      EXPECT_TRUE(sketch.LevelEmpty(l));
+    }
   }
 }
 

@@ -59,7 +59,7 @@ TEST_F(ToolsTest, BankEncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded->num_copies(), 8);
   EXPECT_TRUE(decoded->HasStream("A"));
   EXPECT_TRUE(decoded->HasStream("B"));
-  for (const std::string& name : {"A", "B"}) {
+  for (const std::string name : {"A", "B"}) {
     const auto& a = bank.Sketches(name);
     const auto& b = decoded->Sketches(name);
     for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);

@@ -1,45 +1,113 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: a Release build + tests + a bench smoke stage that
-# validates the update-kernel JSON perf reporting, then an AddressSanitizer
-# build + tests. The server library (src/server/) compiles with -Werror in
-# both, so warnings there fail the gate.
+# Full pre-merge correctness gate, five stages:
 #
-#   tools/check.sh [build-dir-prefix]
+#   1. release   Release build + full test suite + bench smoke (the
+#                update-kernel JSON perf trajectory must validate).
+#   2. asan      AddressSanitizer build + full test suite.
+#   3. tsan      ThreadSanitizer build + the concurrency-sensitive tests
+#                (race detection over the server, shard queues, parallel
+#                ingest and lazy slice publication).
+#   4. ubsan     UndefinedBehaviorSanitizer build (-fno-sanitize-recover,
+#                so any UB fails the run) + full test suite.
+#   5. tidy      tools/lint.py source hygiene + validate_bench_json.py
+#                --schema-only + clang-tidy over the library (skipped
+#                with a notice when clang-tidy is not installed).
 #
-# Build trees land in <prefix>-release/ and <prefix>-asan/ (default
-# prefix: build-check). Pass SETSKETCH_CHECK_JOBS to override the build
-# parallelism (default: nproc).
+# The whole tree builds with -Wall -Wextra -Werror in every stage.
+#
+#   tools/check.sh [build-dir-prefix] [stage ...]
+#
+# With no stage arguments every stage runs. Build trees land in
+# <prefix>-<stage>/ (default prefix: build-check). Pass
+# SETSKETCH_CHECK_JOBS to override the build parallelism (default:
+# nproc).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-prefix="${1:-build-check}"
+prefix="build-check"
+if [[ $# -gt 0 ]]; then
+  case "$1" in
+    release|asan|tsan|ubsan|tidy) ;;  # First arg is a stage name.
+    *) prefix="$1"; shift ;;
+  esac
+fi
+stages=("$@")
+if [[ ${#stages[@]} -eq 0 ]]; then
+  stages=(release asan tsan ubsan tidy)
+fi
 jobs="${SETSKETCH_CHECK_JOBS:-$(nproc)}"
 
-run_config() {
+build_and_test() {
   local dir="$1"
-  shift
+  local ctest_filter="$2"
+  shift 2
   echo "=== configure ${dir} ($*) ==="
   cmake -B "${dir}" -S . "$@" >/dev/null
   echo "=== build ${dir} ==="
   cmake --build "${dir}" -j "${jobs}"
   echo "=== test ${dir} ==="
-  ctest --test-dir "${dir}" --output-on-failure
+  if [[ -n "${ctest_filter}" ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -R "${ctest_filter}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure
+  fi
 }
 
-run_config "${prefix}-release" -DCMAKE_BUILD_TYPE=Release
+stage_release() {
+  build_and_test "${prefix}-release" "" -DCMAKE_BUILD_TYPE=Release
 
-# Bench smoke: a short bench_update_kernel run must produce a JSON perf
-# trajectory that parses and covers every configured sweep point, so the
-# BENCH_update_kernel.json reporting can't silently rot.
-echo "=== bench smoke (update-kernel JSON trajectory) ==="
-smoke_json="${prefix}-release/BENCH_update_kernel.smoke.json"
-SETSKETCH_BENCH_JSON="${smoke_json}" \
-  "${prefix}-release/bench/bench_update_kernel" \
-  --benchmark_min_time=0.01 >/dev/null
-python3 tools/validate_bench_json.py "${smoke_json}"
+  # Bench smoke: a short bench_update_kernel run must produce a JSON perf
+  # trajectory that parses and covers every configured sweep point, so
+  # the BENCH_update_kernel.json reporting can't silently rot.
+  echo "=== bench smoke (update-kernel JSON trajectory) ==="
+  local smoke_json="${prefix}-release/BENCH_update_kernel.smoke.json"
+  SETSKETCH_BENCH_JSON="${smoke_json}" \
+    "${prefix}-release/bench/bench_update_kernel" \
+    --benchmark_min_time=0.01 >/dev/null
+  python3 tools/validate_bench_json.py "${smoke_json}"
+}
 
-run_config "${prefix}-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSETSKETCH_SANITIZE=address
+stage_asan() {
+  build_and_test "${prefix}-asan" "" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSETSKETCH_SANITIZE=address
+}
 
-echo "=== all checks passed ==="
+stage_tsan() {
+  # TSAN_OPTIONS: any reported race fails the test run. No suppressions
+  # file — the gate requires the tree to be race-free as written.
+  TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    build_and_test "${prefix}-tsan" \
+      "TsanConcurrencyTest|ShardQueueTest|SketchServerTest|ParallelIngest" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSETSKETCH_SANITIZE=thread
+}
+
+stage_ubsan() {
+  # -fno-sanitize-recover=all is added by CMake for the undefined
+  # sanitizer, so any flagged UB aborts the offending test.
+  build_and_test "${prefix}-ubsan" "" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSETSKETCH_SANITIZE=undefined
+}
+
+stage_tidy() {
+  echo "=== lint (tools/lint.py) ==="
+  python3 tools/lint.py
+  echo "=== bench-json schema (tools/validate_bench_json.py) ==="
+  python3 tools/validate_bench_json.py --schema-only
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== clang-tidy (SETSKETCH_TIDY=ON) ==="
+    cmake -B "${prefix}-tidy" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DSETSKETCH_TIDY=ON >/dev/null
+    cmake --build "${prefix}-tidy" -j "${jobs}" \
+      --target setsketch setsketch_server
+  else
+    echo "=== clang-tidy not installed; skipping the tidy build ==="
+    echo "    (install clang-tidy and re-run tools/check.sh tidy)"
+  fi
+}
+
+for stage in "${stages[@]}"; do
+  "stage_${stage}"
+done
+
+echo "=== all checks passed (${stages[*]}) ==="

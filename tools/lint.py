@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Source-hygiene lint for the setsketch tree (stage 5 of tools/check.sh).
+
+Checks, over src/ (and where noted, the whole C++ tree):
+
+  * banned calls in src/: rand(), srand(), time( — sketches are "stored
+    coins" whose determinism the correctness argument depends on; all
+    randomness must flow through hash/prng.h seeding.
+  * banned raw assert( in src/: invariants go through SETSKETCH_CHECK /
+    SETSKETCH_DCHECK (src/util/check.h) so they survive NDEBUG and abort
+    with attribution.
+  * header guards: every header uses #ifndef SETSKETCH_..._H_ include
+    guards (the codebase's convention; flags accidental #pragma once
+    drift or missing guards).
+  * include hygiene: no quoted-relative ("../foo.h" or "./foo.h")
+    includes — all project includes are root-relative like
+    "core/sketch_seed.h"; and no <assert.h>/<cassert> includes in src/.
+
+Exit status: 0 clean, 1 findings (each printed as path:line: message),
+2 usage error. Pure stdlib; safe for CI stages with no build tree.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cc", ".h"}
+
+# (regex, message) applied per line of src/ files.
+BANNED_IN_SRC = [
+    (
+        re.compile(r"(?<![\w:.])s?rand\s*\("),
+        "banned rand()/srand(): derive randomness from hash/prng.h seeds",
+    ),
+    (
+        re.compile(r"(?<![\w:.])time\s*\("),
+        "banned time(): sketch state must be reproducible from seeds",
+    ),
+    (
+        re.compile(r"(?<![\w:.])assert\s*\("),
+        "raw assert(): use SETSKETCH_CHECK/SETSKETCH_DCHECK (util/check.h)",
+    ),
+    (
+        re.compile(r'#\s*include\s*(<cassert>|<assert\.h>)'),
+        "<cassert> include: use util/check.h instead",
+    ),
+]
+
+RELATIVE_INCLUDE = re.compile(r'#\s*include\s*"\.\.?/')
+GUARD_IFNDEF = re.compile(r"#ifndef\s+(SETSKETCH_[A-Z0-9_]+_H_)")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_comment(line: str) -> str:
+    """Removes // comments so commented-out code can't trip the bans."""
+    return LINE_COMMENT.sub("", line)
+
+
+def lint_file(path: Path, in_src: bool, findings: list) -> None:
+    text = path.read_text(encoding="utf-8")
+    lines = text.split("\n")
+    for lineno, raw in enumerate(lines, start=1):
+        line = strip_comment(raw)
+        if in_src:
+            for pattern, message in BANNED_IN_SRC:
+                if pattern.search(line):
+                    findings.append(f"{path}:{lineno}: {message}")
+        if RELATIVE_INCLUDE.search(line):
+            findings.append(
+                f"{path}:{lineno}: relative include: use a root-relative "
+                'path like "core/sketch_seed.h"'
+            )
+    if path.suffix == ".h" and in_src:
+        match = GUARD_IFNDEF.search(text)
+        if match is None:
+            findings.append(
+                f"{path}:1: missing SETSKETCH_..._H_ include guard"
+            )
+        elif f"#define {match.group(1)}" not in text:
+            findings.append(
+                f"{path}:1: include guard {match.group(1)} never #defined"
+            )
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="repository root (default: this script's parent repo)",
+    )
+    args = parser.parse_args(argv[1:])
+    root = Path(args.root)
+    src = root / "src"
+    if not src.is_dir():
+        print(f"{src}: not a directory (wrong root?)", file=sys.stderr)
+        return 2
+
+    findings = []
+    checked = 0
+    for directory, in_src in ((src, True), (root / "tests", False),
+                              (root / "bench", False),
+                              (root / "tools", False),
+                              (root / "examples", False)):
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*")):
+            if path.suffix in CXX_SUFFIXES | {".cpp"} and path.is_file():
+                lint_file(path, in_src, findings)
+                checked += 1
+
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if findings:
+        print(f"lint: {len(findings)} finding(s) in {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"lint: ok ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

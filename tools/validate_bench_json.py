@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
 """Validates a BENCH_update_kernel.json perf-trajectory file.
 
-Usage: validate_bench_json.py <path>
+Usage: validate_bench_json.py [--schema-only] <path>
 
-Checks that the file parses as JSON, identifies itself as the
+Checks that the file exists and parses as JSON, identifies itself as the
 update-kernel bench, and contains a positive ns_per_op result for every
 configured sweep point (scalar/sliced/batched x s, per-update/batched
 bank x r). tools/check.sh runs this after a smoke run of
 bench_update_kernel so the perf reporting cannot silently rot.
+
+--schema-only validates the expected-sweep table itself (names well
+formed, no duplicates) without reading any file, so lint/tidy CI stages
+can exercise this script without building a bench binary.
+
+Exit status: 0 valid, 1 invalid or unreadable input, 2 usage error.
 """
 
-import json
+import argparse
 import sys
 
 S_SWEEP = (8, 16, 32, 64)
@@ -25,21 +31,41 @@ EXPECTED = (
 )
 
 
-def main(argv):
-    if len(argv) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    path = argv[1]
+def check_schema():
+    """Validates the EXPECTED table itself; returns a list of problems."""
+    problems = []
+    if not EXPECTED:
+        problems.append("EXPECTED sweep table is empty")
+    if len(set(EXPECTED)) != len(EXPECTED):
+        problems.append("EXPECTED sweep table has duplicate names")
+    for name in EXPECTED:
+        base, _, arg = name.partition("/")
+        if not base.startswith("BM_") or not arg.isdigit():
+            problems.append(f"malformed sweep name {name!r}")
+    return problems
+
+
+def validate_file(path):
+    """Validates one trajectory file; returns a list of failures."""
+    import json
+
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"{path}: unreadable or invalid JSON: {err}", file=sys.stderr)
-        return 1
+    except OSError as err:
+        return [f"cannot read file: {err}"]
+    except json.JSONDecodeError as err:
+        return [f"invalid JSON: {err}"]
+    if not isinstance(doc, dict):
+        return ["top-level JSON value is not an object"]
     if doc.get("bench") != "update_kernel":
-        print(f"{path}: missing bench=update_kernel marker", file=sys.stderr)
-        return 1
-    results = {r.get("name"): r for r in doc.get("results", [])}
+        return ["missing bench=update_kernel marker"]
+    raw_results = doc.get("results", [])
+    if not isinstance(raw_results, list) or not raw_results:
+        return ["empty or missing results sweep"]
+    results = {
+        r.get("name"): r for r in raw_results if isinstance(r, dict)
+    }
     failures = []
     for name in EXPECTED:
         entry = results.get(name)
@@ -50,11 +76,45 @@ def main(argv):
             and entry["ns_per_op"] > 0
         ):
             failures.append(f"{name}: ns_per_op not a positive number")
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        usage="validate_bench_json.py [--schema-only] [path]",
+    )
+    parser.add_argument(
+        "--schema-only",
+        action="store_true",
+        help="validate the expected-sweep table only; no file needed",
+    )
+    parser.add_argument("path", nargs="?", help="trajectory JSON to check")
+    args = parser.parse_args(argv[1:])
+
+    problems = check_schema()
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 1
+    if args.schema_only:
+        print(f"schema: ok ({len(EXPECTED)} sweep points)")
+        return 0
+
+    if args.path is None:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: a trajectory file path is required "
+            "(or pass --schema-only)",
+            file=sys.stderr,
+        )
+        return 2
+    failures = validate_file(args.path)
     if failures:
         for failure in failures:
-            print(f"{path}: {failure}", file=sys.stderr)
+            print(f"{args.path}: {failure}", file=sys.stderr)
         return 1
-    print(f"{path}: ok ({len(EXPECTED)} sweep points)")
+    print(f"{args.path}: ok ({len(EXPECTED)} sweep points)")
     return 0
 
 
