@@ -128,42 +128,46 @@ size_t StreamEngine::IngestAllParallel(const std::vector<Update>& updates,
   return applied;
 }
 
-std::string StreamEngine::SaveSnapshot() const {
+std::string EncodeEngineSnapshot(const StreamEngine::Options& options,
+                                 int64_t updates_processed,
+                                 const std::vector<std::string>& names,
+                                 const SketchBank& bank,
+                                 const std::vector<std::string>& query_texts) {
   std::string out;
   AppendPod(&out, kSnapshotMagic);
-  const SketchParams& p = options_.params;
+  const SketchParams& p = options.params;
   AppendPod(&out, static_cast<int32_t>(p.levels));
   AppendPod(&out, static_cast<int32_t>(p.num_second_level));
   AppendPod(&out, static_cast<uint8_t>(p.first_level_kind));
   AppendPod(&out, static_cast<int32_t>(p.independence));
-  AppendPod(&out, static_cast<int32_t>(options_.copies));
-  AppendPod(&out, options_.seed);
-  AppendPod(&out, options_.witness.epsilon);
-  AppendPod(&out, options_.witness.beta);
-  AppendPod(&out, static_cast<uint8_t>(options_.witness.pool_all_levels));
-  AppendPod(&out, updates_processed_);
-  AppendPod(&out, static_cast<uint32_t>(names_.size()));
-  for (const std::string& name : names_) {
+  AppendPod(&out, static_cast<int32_t>(options.copies));
+  AppendPod(&out, options.seed);
+  AppendPod(&out, options.witness.epsilon);
+  AppendPod(&out, options.witness.beta);
+  AppendPod(&out, static_cast<uint8_t>(options.witness.pool_all_levels));
+  AppendPod(&out, updates_processed);
+  AppendPod(&out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
     AppendString(&out, name);
-    for (const TwoLevelHashSketch& sketch : bank_.Sketches(name)) {
+    for (const TwoLevelHashSketch& sketch : bank.Sketches(name)) {
       sketch.SerializeCompactTo(&out);
     }
   }
-  AppendPod(&out, static_cast<uint32_t>(queries_.size()));
-  for (const ExprPtr& query : queries_) {
-    AppendString(&out, query->ToString());
+  AppendPod(&out, static_cast<uint32_t>(query_texts.size()));
+  for (const std::string& text : query_texts) {
+    AppendString(&out, text);
   }
   return out;
 }
 
-std::unique_ptr<StreamEngine> StreamEngine::LoadSnapshot(
-    const std::string& bytes) {
+bool DecodeEngineSnapshot(const std::string& bytes, EngineSnapshotData* out) {
+  *out = EngineSnapshotData{};
   size_t offset = 0;
   uint32_t magic = 0;
   if (!ReadPod(bytes, &offset, &magic) || magic != kSnapshotMagic) {
-    return nullptr;
+    return false;
   }
-  Options options;
+  StreamEngine::Options& options = out->options;
   int32_t levels = 0, s = 0, independence = 0, copies = 0;
   uint8_t kind = 0, pooled = 0;
   if (!ReadPod(bytes, &offset, &levels) || !ReadPod(bytes, &offset, &s) ||
@@ -174,7 +178,7 @@ std::unique_ptr<StreamEngine> StreamEngine::LoadSnapshot(
       !ReadPod(bytes, &offset, &options.witness.epsilon) ||
       !ReadPod(bytes, &offset, &options.witness.beta) ||
       !ReadPod(bytes, &offset, &pooled)) {
-    return nullptr;
+    return false;
   }
   options.params.levels = levels;
   options.params.num_second_level = s;
@@ -183,26 +187,56 @@ std::unique_ptr<StreamEngine> StreamEngine::LoadSnapshot(
   options.copies = copies;
   options.witness.pool_all_levels = pooled != 0;
   options.track_exact = false;  // Ground truth is not part of a snapshot.
-  if (!options.params.Valid() || copies < 1) return nullptr;
+  if (!options.params.Valid() || copies < 1) return false;
 
-  int64_t updates_processed = 0;
   uint32_t num_streams = 0;
-  if (!ReadPod(bytes, &offset, &updates_processed) ||
+  if (!ReadPod(bytes, &offset, &out->updates_processed) ||
       !ReadPod(bytes, &offset, &num_streams)) {
-    return nullptr;
+    return false;
   }
-  auto engine = std::make_unique<StreamEngine>(options);
   for (uint32_t i = 0; i < num_streams; ++i) {
     std::string name;
-    if (!ReadString(bytes, &offset, &name)) return nullptr;
+    if (!ReadString(bytes, &offset, &name)) return false;
     std::vector<TwoLevelHashSketch> sketches;
     sketches.reserve(static_cast<size_t>(copies));
     for (int c = 0; c < copies; ++c) {
       std::unique_ptr<TwoLevelHashSketch> sketch =
           TwoLevelHashSketch::Deserialize(bytes, &offset);
-      if (!sketch) return nullptr;
+      if (!sketch) return false;
       sketches.push_back(std::move(*sketch));
     }
+    out->stream_names.push_back(std::move(name));
+    out->sketches.push_back(std::move(sketches));
+  }
+  uint32_t num_queries = 0;
+  if (!ReadPod(bytes, &offset, &num_queries)) return false;
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    std::string text;
+    if (!ReadString(bytes, &offset, &text)) return false;
+    out->query_texts.push_back(std::move(text));
+  }
+  return offset == bytes.size();
+}
+
+std::string StreamEngine::SaveSnapshot() const {
+  std::vector<std::string> query_texts;
+  query_texts.reserve(queries_.size());
+  for (const ExprPtr& query : queries_) {
+    query_texts.push_back(query->ToString());
+  }
+  return EncodeEngineSnapshot(options_, updates_processed_, names_, bank_,
+                              query_texts);
+}
+
+std::unique_ptr<StreamEngine> StreamEngine::LoadSnapshot(
+    const std::string& bytes) {
+  EngineSnapshotData data;
+  if (!DecodeEngineSnapshot(bytes, &data)) return nullptr;
+  auto engine = std::make_unique<StreamEngine>(data.options);
+  const int copies = data.options.copies;
+  for (size_t i = 0; i < data.stream_names.size(); ++i) {
+    const std::string& name = data.stream_names[i];
+    std::vector<TwoLevelHashSketch>& sketches = data.sketches[i];
     // Register the name first (assigns the id), then swap the restored
     // counters in over the empty sketches.
     engine->RegisterStream(name);
@@ -218,15 +252,10 @@ std::unique_ptr<StreamEngine> StreamEngine::LoadSnapshot(
           std::move(sketches[static_cast<size_t>(c)]);
     }
   }
-  uint32_t num_queries = 0;
-  if (!ReadPod(bytes, &offset, &num_queries)) return nullptr;
-  for (uint32_t i = 0; i < num_queries; ++i) {
-    std::string text;
-    if (!ReadString(bytes, &offset, &text)) return nullptr;
+  for (const std::string& text : data.query_texts) {
     if (!engine->RegisterQuery(text).ok()) return nullptr;
   }
-  if (offset != bytes.size()) return nullptr;
-  engine->updates_processed_ = updates_processed;
+  engine->updates_processed_ = data.updates_processed;
   return engine;
 }
 

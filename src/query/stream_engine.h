@@ -154,6 +154,35 @@ class StreamEngine {
   std::unique_ptr<ExactSetStore> exact_;  // Null unless track_exact.
 };
 
+// ---------------------------------------------------------------------------
+// Snapshot codec, exposed standalone so other synopsis holders (the sketch
+// server's crash-recovery checkpoints embed exactly this byte format) can
+// persist and restore without owning a StreamEngine.
+
+/// Decoded form of a snapshot: everything needed to rebuild a synopsis.
+struct EngineSnapshotData {
+  StreamEngine::Options options;  // track_exact always false.
+  int64_t updates_processed = 0;
+  std::vector<std::string> stream_names;  // Id order.
+  /// Per stream (parallel to stream_names), the r restored sketch copies.
+  std::vector<std::vector<TwoLevelHashSketch>> sketches;
+  std::vector<std::string> query_texts;
+};
+
+/// Serializes a synopsis: configuration, seed, every stream's sketches in
+/// `names` order (each name must exist in `bank`), and query texts. The
+/// byte format is StreamEngine::SaveSnapshot's.
+std::string EncodeEngineSnapshot(const StreamEngine::Options& options,
+                                 int64_t updates_processed,
+                                 const std::vector<std::string>& names,
+                                 const SketchBank& bank,
+                                 const std::vector<std::string>& query_texts);
+
+/// Parses EncodeEngineSnapshot bytes. False on malformed input; performs
+/// no seed-compatibility checks (restorers validate against their own
+/// derived coins when installing the sketches).
+bool DecodeEngineSnapshot(const std::string& bytes, EngineSnapshotData* out);
+
 }  // namespace setsketch
 
 #endif  // SETSKETCH_QUERY_STREAM_ENGINE_H_

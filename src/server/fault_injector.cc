@@ -1,0 +1,60 @@
+#include "server/fault_injector.h"
+
+#include <algorithm>
+
+namespace setsketch {
+
+FaultInjector::FaultInjector(const Options& options)
+    : options_(options), rng_(options.seed) {}
+
+SendPlan FaultInjector::PlanSend(size_t num_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++sends_planned_;
+
+  // Fixed draw count per call keeps the schedule a function of the call
+  // index alone; short-circuiting draws would shift every later decision
+  // whenever one probability changes.
+  const double roll = rng_.NextDouble();
+  const uint64_t cut_draw = rng_.Next();
+  const uint64_t chunk_draw = rng_.Next();
+
+  SendPlan plan;
+  const bool budget_spent =
+      options_.max_faults != 0 && faults_injected_ >= options_.max_faults;
+  if (budget_spent) return plan;
+
+  const Options& o = options_;
+  double threshold = o.drop_probability;
+  if (roll < threshold) {
+    plan.kind = SendPlan::Kind::kDrop;
+  } else if (roll < (threshold += o.reset_probability)) {
+    plan.kind = SendPlan::Kind::kReset;
+  } else if (roll < (threshold += o.truncate_probability)) {
+    plan.kind = SendPlan::Kind::kTruncate;
+    // Cut strictly inside the frame when there is anything to cut; a
+    // zero-byte truncation is just a reset and is planned as one above.
+    plan.truncate_at =
+        num_bytes > 1 ? 1 + static_cast<size_t>(cut_draw % (num_bytes - 1))
+                      : 0;
+  } else if (roll < (threshold += o.delay_probability)) {
+    plan.kind = SendPlan::Kind::kDelay;
+    plan.delay_ms = o.delay_ms;
+  } else if (roll < threshold + o.partial_probability) {
+    plan.kind = SendPlan::Kind::kPartial;
+    plan.chunk_bytes = 1 + static_cast<size_t>(chunk_draw % 7);
+  }
+  if (plan.kind != SendPlan::Kind::kPass) ++faults_injected_;
+  return plan;
+}
+
+uint64_t FaultInjector::sends_planned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sends_planned_;
+}
+
+uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_injected_;
+}
+
+}  // namespace setsketch

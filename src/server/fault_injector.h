@@ -1,0 +1,85 @@
+// Deterministic transport-fault schedule for chaos testing.
+//
+// The injector sits in front of every socket send in src/server/socket_io.h
+// (both client and server sides take an optional FaultInjector*). For each
+// send it draws from a seeded xoshiro256** stream and returns a SendPlan:
+// pass the bytes through, drop them silently, delay before sending, truncate
+// mid-frame and reset, reset immediately, or dribble the bytes out in tiny
+// partial writes. Because the schedule is a pure function of (seed, send
+// index), a chaos test that fixes the seed sees the exact same fault
+// sequence on every run — failures reproduce.
+//
+// All probabilities are per-send and independent; the first category that
+// fires wins (drop > reset > truncate > delay > partial). `max_faults`
+// bounds the total number of non-pass plans so a test's retry loops are
+// guaranteed to terminate: once the budget is spent the injector passes
+// everything through.
+
+#ifndef SETSKETCH_SERVER_FAULT_INJECTOR_H_
+#define SETSKETCH_SERVER_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "hash/prng.h"
+
+namespace setsketch {
+
+/// What socket_io should do with one send() worth of bytes.
+struct SendPlan {
+  enum class Kind {
+    kPass,      // send everything normally
+    kDrop,      // report success without sending anything
+    kDelay,     // sleep delay_ms, then send everything
+    kTruncate,  // send the first truncate_at bytes, then reset the socket
+    kReset,     // reset the socket immediately (no bytes sent)
+    kPartial,   // send everything, but in chunk_bytes-sized writes
+  };
+
+  Kind kind = Kind::kPass;
+  size_t truncate_at = 0;  // kTruncate: bytes actually written first
+  int delay_ms = 0;        // kDelay: sleep before sending
+  size_t chunk_bytes = 0;  // kPartial: max bytes per write
+};
+
+/// Seeded per-send fault scheduler. Thread-safe: connection handlers on
+/// multiple threads may share one injector; the draw order is then
+/// interleaving-dependent, so fully deterministic tests use one injector
+/// per single-threaded client.
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    double drop_probability = 0.0;
+    double reset_probability = 0.0;
+    double truncate_probability = 0.0;
+    double delay_probability = 0.0;
+    double partial_probability = 0.0;
+    int delay_ms = 5;
+    // Stop injecting after this many faults (0 = unlimited). Retry loops
+    // with a finite fault budget always make progress eventually.
+    uint64_t max_faults = 0;
+  };
+
+  explicit FaultInjector(const Options& options);
+
+  /// Plans the fate of one send of `num_bytes`. Always advances the PRNG by
+  /// a fixed number of draws per call so the schedule depends only on the
+  /// call index, not on which faults fired earlier.
+  SendPlan PlanSend(size_t num_bytes);
+
+  uint64_t sends_planned() const;
+  uint64_t faults_injected() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  Xoshiro256StarStar rng_;
+  uint64_t sends_planned_ = 0;
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_SERVER_FAULT_INJECTOR_H_

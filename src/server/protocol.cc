@@ -34,17 +34,6 @@ bool ReadF64(const std::string& data, size_t* offset, double* v) {
   return true;
 }
 
-/// Reads a varint-length-prefixed string, enforcing `max_bytes`.
-bool ReadLengthPrefixed(const std::string& data, size_t* offset,
-                        size_t max_bytes, std::string* out) {
-  uint64_t length = 0;
-  if (!ReadVarint(data, offset, &length)) return false;
-  if (length > max_bytes || data.size() - *offset < length) return false;
-  out->assign(data, *offset, static_cast<size_t>(length));
-  *offset += static_cast<size_t>(length);
-  return true;
-}
-
 }  // namespace
 
 const char* OpcodeName(Opcode opcode) {
@@ -81,6 +70,7 @@ const char* WireErrorName(WireError error) {
     case WireError::kRejectedSummary: return "REJECTED_SUMMARY";
     case WireError::kShuttingDown: return "SHUTTING_DOWN";
     case WireError::kTooManyErrors: return "TOO_MANY_ERRORS";
+    case WireError::kWalFailure: return "WAL_FAILURE";
   }
   return "?";
 }
@@ -156,7 +146,16 @@ FrameDecoder::Status FrameDecoder::Next(Frame* frame) {
 }
 
 std::string EncodePushUpdates(const UpdateBatch& batch) {
+  return EncodePushUpdates(batch, batch.site_id, batch.sequence);
+}
+
+std::string EncodePushUpdates(const UpdateBatch& batch,
+                              std::string_view site_id, uint64_t sequence) {
+  SETSKETCH_CHECK(site_id.size() <= kMaxSiteIdBytes)
+      << "site id of " << site_id.size() << " bytes exceeds the wire bound";
   std::string out;
+  AppendVarintString(&out, site_id);
+  AppendVarint(&out, sequence);
   AppendVarint(&out, batch.stream_names.size());
   for (const std::string& name : batch.stream_names) {
     AppendVarint(&out, name.size());
@@ -176,6 +175,14 @@ bool DecodePushUpdates(const std::string& payload, UpdateBatch* out,
   out->stream_names.clear();
   out->updates.clear();
   size_t offset = 0;
+  if (!ReadVarintString(payload, &offset, kMaxSiteIdBytes, &out->site_id)) {
+    *error = "malformed site id";
+    return false;
+  }
+  if (!ReadVarint(payload, &offset, &out->sequence)) {
+    *error = "truncated sequence number";
+    return false;
+  }
   uint64_t num_names = 0;
   if (!ReadVarint(payload, &offset, &num_names)) {
     *error = "truncated stream-name count";
@@ -190,7 +197,7 @@ bool DecodePushUpdates(const std::string& payload, UpdateBatch* out,
   out->stream_names.reserve(static_cast<size_t>(num_names));
   for (uint64_t i = 0; i < num_names; ++i) {
     std::string name;
-    if (!ReadLengthPrefixed(payload, &offset, kMaxStreamNameBytes, &name)) {
+    if (!ReadVarintString(payload, &offset, kMaxStreamNameBytes, &name)) {
       *error = "malformed stream name " + std::to_string(i);
       return false;
     }
@@ -255,14 +262,16 @@ std::string EncodeAck(const AckInfo& ack) {
   std::string out;
   AppendVarint(&out, ack.accepted);
   out.push_back(ack.replaced ? 1 : 0);
+  out.push_back(ack.duplicate ? 1 : 0);
   return out;
 }
 
 bool DecodeAck(const std::string& payload, AckInfo* out) {
   size_t offset = 0;
   if (!ReadVarint(payload, &offset, &out->accepted)) return false;
-  if (offset + 1 != payload.size()) return false;
+  if (offset + 2 != payload.size()) return false;
   out->replaced = payload[offset] != 0;
+  out->duplicate = payload[offset + 1] != 0;
   return true;
 }
 

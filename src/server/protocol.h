@@ -44,6 +44,8 @@ inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
 /// Stream names on the wire are bounded to keep hostile payloads cheap.
 inline constexpr size_t kMaxStreamNameBytes = 256;
+/// Site identifiers (the idempotency key space) share the same bound.
+inline constexpr size_t kMaxSiteIdBytes = 256;
 
 /// Frame type. Requests are < 128, responses >= 128.
 enum class Opcode : uint8_t {
@@ -80,6 +82,7 @@ enum class WireError : uint8_t {
   kRejectedSummary = 7,  ///< Coordinator refused the site summary.
   kShuttingDown = 8,     ///< Server is draining; no new work accepted.
   kTooManyErrors = 9,    ///< Per-connection error budget exhausted.
+  kWalFailure = 10,      ///< Write-ahead log append failed; batch refused.
 };
 
 /// Human-readable error-code name ("BAD_PAYLOAD").
@@ -134,14 +137,27 @@ class FrameDecoder {
 
 /// PUSH_UPDATES payload: a batch of updates whose `stream` field indexes
 /// `stream_names` (a batch-local id space; the server maps names to its
-/// own dense ids). Layout: varint #names, then each name as varint length
-/// + bytes; varint #updates, then each update as varint local stream
-/// index, varint element, varint zigzag(delta).
+/// own dense ids). Layout: idempotency header (site id as varint length +
+/// bytes, varint sequence), then varint #names, then each name as varint
+/// length + bytes; varint #updates, then each update as varint local
+/// stream index, varint element, varint zigzag(delta).
+///
+/// The (site_id, sequence) pair is the exactly-once key: a client stamps
+/// every batch with its site id and a per-site monotone sequence, and the
+/// server's dedup window re-ACKs an already-applied sequence without
+/// re-applying it, so retrying after a lost ACK is always safe. An empty
+/// site id opts out of deduplication (anonymous pushes, e.g. fuzzers).
 struct UpdateBatch {
+  std::string site_id;
+  uint64_t sequence = 0;
   std::vector<std::string> stream_names;
   std::vector<Update> updates;
 };
 std::string EncodePushUpdates(const UpdateBatch& batch);
+/// Encodes `batch`'s streams/updates under a caller-supplied idempotency
+/// header, so a retry loop can restamp without copying the batch.
+std::string EncodePushUpdates(const UpdateBatch& batch,
+                              std::string_view site_id, uint64_t sequence);
 bool DecodePushUpdates(const std::string& payload, UpdateBatch* out,
                        std::string* error);
 
@@ -154,10 +170,13 @@ struct ErrorInfo {
 bool DecodeError(const std::string& payload, ErrorInfo* out);
 
 /// ACK payload: varint accepted count (updates for PUSH_UPDATES, streams
-/// merged for PUSH_SUMMARY) + u8 replaced flag (summary retransmission).
+/// merged for PUSH_SUMMARY) + u8 replaced flag (summary retransmission) +
+/// u8 duplicate flag (the batch's (site, sequence) was already applied;
+/// the server re-ACKed without re-applying).
 struct AckInfo {
   uint64_t accepted = 0;
   bool replaced = false;
+  bool duplicate = false;
 };
 std::string EncodeAck(const AckInfo& ack);
 bool DecodeAck(const std::string& payload, AckInfo* out);

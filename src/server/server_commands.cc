@@ -54,9 +54,16 @@ CommandResult RunServe(const SketchServer::Options& options,
   std::ostringstream out;
   out << "served " << stats.connections_accepted << " connections, "
       << stats.batches_accepted << " batches (" << stats.updates_applied
-      << " updates, " << stats.batches_rejected << " backpressure bounces), "
+      << " updates, " << stats.batches_rejected << " backpressure bounces, "
+      << stats.duplicates_dropped << " duplicates dropped), "
       << stats.summaries_accepted << " summaries, " << stats.queries_answered
-      << " queries over " << stats.streams << " streams\n";
+      << " queries over " << stats.streams << " streams";
+  if (!options.wal_dir.empty()) {
+    out << "; wal " << stats.wal_records << " records / " << stats.wal_bytes
+        << " bytes, " << stats.snapshots_written << " checkpoints, "
+        << stats.recovered_batches << " batches recovered";
+  }
+  out << "\n";
   result.output = out.str();
   return result;
 }
@@ -89,14 +96,23 @@ CommandResult RunServerPush(const PushSpec& spec) {
     names.push_back(std::move(name));
   }
 
-  CommandResult failure;
+  SketchClient::Options client_options;
+  client_options.host = spec.host;
+  client_options.port = spec.port;
+  client_options.site_id = spec.site_id;
+  client_options.first_sequence = spec.first_sequence;
+  client_options.io_timeout_ms = spec.io_timeout_ms;
+  client_options.connect_timeout_ms = spec.connect_timeout_ms;
+  std::string dial_error;
   std::unique_ptr<SketchClient> client =
-      Dial(spec.host, spec.port, &failure);
-  if (client == nullptr) return failure;
+      SketchClient::Connect(client_options, &dial_error);
+  if (client == nullptr) {
+    return Fail("cannot connect to " + spec.host + ":" +
+                std::to_string(spec.port) + " (" + dial_error + ")");
+  }
 
   const size_t batch_size = spec.batch_size == 0 ? 4096 : spec.batch_size;
   uint64_t pushed = 0;
-  uint64_t retries = 0;
   size_t batches = 0;
   for (size_t begin = 0; begin < parsed.updates.size();
        begin += batch_size) {
@@ -106,11 +122,9 @@ CommandResult RunServerPush(const PushSpec& spec) {
     batch.stream_names = names;
     batch.updates.assign(parsed.updates.begin() + begin,
                          parsed.updates.begin() + end);
-    uint64_t batch_retries = 0;
     const SketchClient::Status status =
         client->PushUpdatesWithRetry(batch, /*max_attempts=*/1000,
-                                     /*backoff_ms=*/1, &batch_retries);
-    retries += batch_retries;
+                                     /*backoff_ms=*/1);
     if (!status.ok) {
       return Fail("push failed after " + std::to_string(pushed) +
                   " updates: " + status.error);
@@ -119,12 +133,15 @@ CommandResult RunServerPush(const PushSpec& spec) {
     ++batches;
   }
 
+  const SketchClient::Counters& counters = client->counters();
   CommandResult result;
   result.ok = true;
   std::ostringstream out;
   out << "pushed " << pushed << " updates in " << batches << " batches ("
-      << retries << " backpressure retries) across " << names.size()
-      << " streams\n";
+      << counters.retries << " backpressure retries, "
+      << counters.reconnects << " reconnects, " << counters.timeouts
+      << " timeouts, " << counters.duplicate_acks
+      << " duplicate acks) across " << names.size() << " streams\n";
   result.output = out.str();
   return result;
 }

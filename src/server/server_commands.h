@@ -21,14 +21,21 @@ CommandResult RunServe(const SketchServer::Options& options,
 
 /// `sketchtool push`: replays an update text file ("stream element delta"
 /// lines; see stream/stream_io.h) to a server in batches, absorbing
-/// RETRY_LATER backpressure. Stream id i is named stream_names[i]
-/// (default "S<i>").
+/// RETRY_LATER backpressure and transport failures (reconnect + capped
+/// exponential backoff). Stream id i is named stream_names[i] (default
+/// "S<i>"). A non-empty site id makes the push idempotent: re-running
+/// the same file with the same site and first_sequence is deduplicated
+/// server-side instead of double-counted.
 struct PushSpec {
   std::string host = "127.0.0.1";
   int port = 0;
   std::string updates_path;
   std::vector<std::string> stream_names;
   size_t batch_size = 4096;
+  std::string site_id;          ///< Empty = anonymous (no dedup).
+  uint64_t first_sequence = 1;  ///< Sequence stamped on the first batch.
+  int io_timeout_ms = 30000;
+  int connect_timeout_ms = 5000;
 };
 CommandResult RunServerPush(const PushSpec& spec);
 

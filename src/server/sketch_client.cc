@@ -6,66 +6,102 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
+#include "server/fault_injector.h"
+#include "server/socket_io.h"
+
 namespace setsketch {
 
 namespace {
 
-bool SendAll(int fd, const std::string& bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
+/// Deterministic jitter seed: distinct (site, port) pairs sleep on
+/// distinct schedules, and a fixed pair reproduces its schedule exactly.
+uint64_t DeriveBackoffSeed(const std::string& site_id, int port) {
+  SplitMix64 mix(0x736B636C69656E74ULL);  // "skclient"
+  uint64_t seed = mix.Next() ^ static_cast<uint64_t>(port);
+  for (const char c : site_id) {
+    seed = (seed ^ static_cast<uint8_t>(c)) * 0x100000001B3ULL;
   }
-  return true;
+  return seed;
 }
 
 }  // namespace
 
-SketchClient::SketchClient(int fd) : fd_(fd) {}
+SketchClient::SketchClient(const Options& options)
+    : options_(options),
+      next_sequence_(options.first_sequence),
+      backoff_rng_(options.backoff_seed != 0
+                       ? options.backoff_seed
+                       : DeriveBackoffSeed(options.site_id, options.port)) {}
 
 SketchClient::~SketchClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+std::unique_ptr<SketchClient> SketchClient::Connect(const Options& options,
+                                                    std::string* error) {
+  std::unique_ptr<SketchClient> client(new SketchClient(options));
+  std::string dial_error;
+  if (!client->Dial(&dial_error)) {
+    if (error != nullptr) *error = dial_error;
+    return nullptr;
+  }
+  return client;
+}
+
 std::unique_ptr<SketchClient> SketchClient::Connect(const std::string& host,
                                                     int port,
                                                     std::string* error) {
-  auto fail = [&](const std::string& what, int fd) {
-    if (error != nullptr) *error = what + ": " + std::strerror(errno);
-    if (fd >= 0) ::close(fd);
-    return nullptr;
-  };
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return fail("socket", -1);
+  Options options;
+  options.host = host;
+  options.port = port;
+  return Connect(options, error);
+}
 
+bool SketchClient::Dial(std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  const std::string resolved =
+      options_.host == "localhost" ? "127.0.0.1" : options_.host;
   if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
-    if (error != nullptr) {
-      *error = "invalid host '" + host + "' (IPv4 address expected)";
-    }
+    *error = "invalid host '" + options_.host + "' (IPv4 address expected)";
     ::close(fd);
-    return nullptr;
+    return false;
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    return fail("connect", fd);
+  const IoResult connected =
+      ConnectWithTimeout(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr), options_.connect_timeout_ms);
+  if (!connected.ok()) {
+    if (connected.status == IoStatus::kTimeout) ++counters_.timeouts;
+    *error = DescribeIoResult(connected, "connect",
+                              options_.connect_timeout_ms);
+    ::close(fd);
+    return false;
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<SketchClient>(new SketchClient(fd));
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+  return true;
+}
+
+void SketchClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
 }
 
 SketchClient::Status SketchClient::RoundTrip(Opcode opcode,
@@ -73,32 +109,73 @@ SketchClient::Status SketchClient::RoundTrip(Opcode opcode,
                                              Frame* reply) {
   Status status;
   if (fd_ < 0) {
-    status.error = "connection closed";
+    // Lazy redial: a prior failure closed the socket.
+    std::string dial_error;
+    if (!Dial(&dial_error)) {
+      status.error = dial_error;
+      return status;
+    }
+    ++counters_.reconnects;
+  }
+
+  // One deadline bounds the whole round trip: the frame must be sent AND
+  // answered within io_timeout_ms.
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  const auto remaining_ms = [&]() -> int {
+    if (options_.io_timeout_ms <= 0) return 0;  // 0 = no deadline below.
+    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           Clock::now() - started)
+                           .count();
+    const long long left = options_.io_timeout_ms - spent;
+    return left > 0 ? static_cast<int>(left) : -1;  // -1 = expired.
+  };
+
+  const IoResult sent =
+      SendAllWithDeadline(fd_, EncodeFrame(opcode, payload),
+                          options_.io_timeout_ms, options_.fault_injector);
+  if (!sent.ok()) {
+    if (sent.status == IoStatus::kTimeout) {
+      status.timed_out = true;
+      ++counters_.timeouts;
+    }
+    status.error = DescribeIoResult(sent, "send", options_.io_timeout_ms);
+    Disconnect();
     return status;
   }
-  if (!SendAll(fd_, EncodeFrame(opcode, payload))) {
-    status.error = std::string("send: ") + std::strerror(errno);
-    return status;
-  }
+
   char buffer[1 << 16];
   while (true) {
     const FrameDecoder::Status decoded = decoder_.Next(reply);
     if (decoded == FrameDecoder::Status::kFrame) break;
     if (decoded == FrameDecoder::Status::kError) {
       status.error = "protocol error: " + decoder_.error_message();
+      Disconnect();
       return status;
     }
-    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
-    if (n == 0) {
-      status.error = "server closed the connection";
+    const int budget = remaining_ms();
+    if (budget < 0) {
+      status.timed_out = true;
+      ++counters_.timeouts;
+      status.error =
+          "recv: timeout after " + std::to_string(options_.io_timeout_ms) +
+          " ms";
+      Disconnect();
       return status;
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      status.error = std::string("recv: ") + std::strerror(errno);
+    size_t received = 0;
+    const IoResult got =
+        RecvSomeWithDeadline(fd_, buffer, sizeof(buffer), budget, &received);
+    if (!got.ok()) {
+      if (got.status == IoStatus::kTimeout) {
+        status.timed_out = true;
+        ++counters_.timeouts;
+      }
+      status.error = DescribeIoResult(got, "recv", options_.io_timeout_ms);
+      Disconnect();
       return status;
     }
-    decoder_.Feed(buffer, static_cast<size_t>(n));
+    decoder_.Feed(buffer, received);
   }
   // Map the generic failure responses here; callers only see successes
   // and their op-specific payloads.
@@ -132,40 +209,8 @@ SketchClient::Status SketchClient::Ping() {
   return status;
 }
 
-SketchClient::Status SketchClient::PushUpdates(const UpdateBatch& batch) {
-  Frame reply;
-  Status status =
-      RoundTrip(Opcode::kPushUpdates, EncodePushUpdates(batch), &reply);
-  if (!status.ok) return status;
-  AckInfo ack;
-  if (reply.opcode != Opcode::kAck || !DecodeAck(reply.payload, &ack)) {
-    status.ok = false;
-    status.error = "malformed ACK";
-    return status;
-  }
-  status.accepted = ack.accepted;
-  return status;
-}
-
-SketchClient::Status SketchClient::PushUpdatesWithRetry(
-    const UpdateBatch& batch, int max_attempts, int backoff_ms,
-    uint64_t* retries_out) {
-  Status status;
-  uint64_t retries = 0;
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    status = PushUpdates(batch);
-    if (status.ok || !status.retry) break;
-    ++retries;
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-  }
-  if (retries_out != nullptr) *retries_out = retries;
-  return status;
-}
-
-SketchClient::Status SketchClient::PushSummary(
-    const std::string& summary_bytes) {
-  Frame reply;
-  Status status = RoundTrip(Opcode::kPushSummary, summary_bytes, &reply);
+SketchClient::Status SketchClient::DecodePushAck(Status status,
+                                                 const Frame& reply) {
   if (!status.ok) return status;
   AckInfo ack;
   if (reply.opcode != Opcode::kAck || !DecodeAck(reply.payload, &ack)) {
@@ -175,7 +220,84 @@ SketchClient::Status SketchClient::PushSummary(
   }
   status.accepted = ack.accepted;
   status.replaced = ack.replaced;
+  status.duplicate = ack.duplicate;
+  if (ack.duplicate) ++counters_.duplicate_acks;
   return status;
+}
+
+SketchClient::Status SketchClient::PushUpdates(const UpdateBatch& batch) {
+  const uint64_t sequence = next_sequence_;
+  Status status = PushUpdatesAt(batch, sequence);
+  // The sequence is consumed by the send attempt, acknowledged or not: a
+  // lost ACK may still have been applied server-side, and reusing the
+  // number for *different* data would make dedup drop real updates.
+  if (!options_.site_id.empty()) next_sequence_ = sequence + 1;
+  return status;
+}
+
+SketchClient::Status SketchClient::PushUpdatesAt(const UpdateBatch& batch,
+                                                 uint64_t sequence) {
+  Frame reply;
+  const std::string payload =
+      EncodePushUpdates(batch, options_.site_id, sequence);
+  return DecodePushAck(RoundTrip(Opcode::kPushUpdates, payload, &reply),
+                       reply);
+}
+
+void SketchClient::BackoffSleep(int consecutive_failures) {
+  // initial * 2^(failures-1), capped, then jittered by [0.5, 1.5).
+  long long base_ms = options_.backoff_initial_ms > 0
+                          ? options_.backoff_initial_ms
+                          : 1;
+  const int doublings = std::min(consecutive_failures - 1, 20);
+  base_ms = std::min<long long>(base_ms << doublings,
+                                std::max(options_.backoff_cap_ms, 1));
+  const double jitter = 0.5 + backoff_rng_.NextDouble();
+  const auto sleep_us = static_cast<long long>(
+      static_cast<double>(base_ms) * 1000.0 * jitter);
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+}
+
+SketchClient::Status SketchClient::PushUpdatesWithRetry(
+    const UpdateBatch& batch, int max_attempts, int backoff_ms,
+    uint64_t* retries_out, uint64_t* reconnects_out) {
+  // One sequence for the whole loop: every resend is byte-identical, so
+  // the server's dedup window converts at-least-once into exactly-once.
+  const uint64_t sequence = next_sequence_;
+  if (!options_.site_id.empty()) ++next_sequence_;
+
+  // Callers pick the backoff floor per call (legacy signature); cap and
+  // jitter come from Options.
+  const int saved_initial = options_.backoff_initial_ms;
+  options_.backoff_initial_ms = backoff_ms;
+
+  const uint64_t reconnects_before = counters_.reconnects;
+  Status status;
+  uint64_t retries = 0;
+  int consecutive_failures = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    status = PushUpdatesAt(batch, sequence);
+    if (status.ok) break;
+    ++consecutive_failures;
+    if (status.retry) ++retries;
+    // Transport failures closed the socket; the next attempt redials
+    // after the same capped backoff.
+    if (attempt + 1 < max_attempts) BackoffSleep(consecutive_failures);
+  }
+  options_.backoff_initial_ms = saved_initial;
+  if (retries_out != nullptr) *retries_out = retries;
+  if (reconnects_out != nullptr) {
+    *reconnects_out = counters_.reconnects - reconnects_before;
+  }
+  counters_.retries += retries;
+  return status;
+}
+
+SketchClient::Status SketchClient::PushSummary(
+    const std::string& summary_bytes) {
+  Frame reply;
+  return DecodePushAck(
+      RoundTrip(Opcode::kPushSummary, summary_bytes, &reply), reply);
 }
 
 QueryResultInfo SketchClient::Query(const std::string& expression_text) {

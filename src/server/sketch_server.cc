@@ -14,26 +14,13 @@
 #include "core/set_expression_estimator.h"
 #include "expr/analysis.h"
 #include "expr/parser.h"
+#include "query/stream_engine.h"
+#include "server/fault_injector.h"
+#include "server/socket_io.h"
 
 namespace setsketch {
 
 namespace {
-
-/// Writes all of `bytes`, riding out EINTR. MSG_NOSIGNAL: a vanished peer
-/// must fail the call, not raise SIGPIPE.
-bool SendAll(int fd, const std::string& bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
 
 std::string ErrorFrame(WireError code, std::string_view message) {
   return EncodeFrame(Opcode::kError, EncodeError(code, message));
@@ -60,6 +47,10 @@ bool SketchServer::Start(std::string* error) {
     }
     return false;
   };
+
+  // Recover persisted state BEFORE opening the listen socket: no client
+  // can observe (or push into) a partially restored server.
+  if (!options_.wal_dir.empty() && !RecoverAndOpenWal(error)) return false;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return fail("socket");
@@ -131,6 +122,15 @@ void SketchServer::AcceptLoop() {
 void SketchServer::HandleConnection(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetNonBlocking(fd);  // All I/O below is poll-gated (deadlines).
+
+  // Sends honor the per-response deadline and route through the fault
+  // injector (the chaos tests' drop/truncate/reset seam).
+  const auto send_response = [&](const std::string& bytes) {
+    return SendAllWithDeadline(fd, bytes, options_.io_timeout_ms,
+                               options_.fault_injector)
+        .ok();
+  };
 
   FrameDecoder decoder;
   Connection connection;
@@ -138,13 +138,12 @@ void SketchServer::HandleConnection(int fd) {
   std::vector<char> buffer(1 << 16);
   bool open = true;
   while (open) {
-    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
-    if (n == 0) break;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    decoder.Feed(buffer.data(), static_cast<size_t>(n));
+    size_t received = 0;
+    const IoResult got =
+        RecvSomeWithDeadline(fd, buffer.data(), buffer.size(),
+                             options_.idle_timeout_ms, &received);
+    if (!got.ok()) break;  // EOF, error, or idle deadline: drop the peer.
+    decoder.Feed(buffer.data(), received);
     Frame frame;
     while (open) {
       const FrameDecoder::Status status = decoder.Next(&frame);
@@ -152,7 +151,7 @@ void SketchServer::HandleConnection(int fd) {
       if (status == FrameDecoder::Status::kError) {
         // Header-level corruption: no resync is possible. Report & close.
         ++protocol_errors_;
-        SendAll(fd, ErrorFrame(decoder.error(), decoder.error_message()));
+        send_response(ErrorFrame(decoder.error(), decoder.error_message()));
         open = false;
         break;
       }
@@ -161,13 +160,13 @@ void SketchServer::HandleConnection(int fd) {
       bool keep_open = true;
       const std::string response = HandleFrame(frame, &connection,
                                                &keep_open);
-      if (!SendAll(fd, response)) {
+      if (!send_response(response)) {
         open = false;
         break;
       }
       if (connection.errors >= options_.max_connection_errors) {
-        SendAll(fd, ErrorFrame(WireError::kTooManyErrors,
-                               "connection error budget exhausted"));
+        send_response(ErrorFrame(WireError::kTooManyErrors,
+                                 "connection error budget exhausted"));
         open = false;
         break;
       }
@@ -262,6 +261,8 @@ std::string SketchServer::HandlePushUpdates(const Frame& frame,
   if (draining_.load()) {
     return ErrorFrame(WireError::kShuttingDown, "server is draining");
   }
+  const std::string site_id = batch.site_id;
+  const uint64_t sequence = batch.sequence;
   std::shared_ptr<IngestBatch> resolved;
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
@@ -273,6 +274,14 @@ std::string SketchServer::HandlePushUpdates(const Frame& frame,
     if (draining_.load()) {
       return ErrorFrame(WireError::kShuttingDown, "server is draining");
     }
+    // Exactly-once admission: the seen-check, the durable append and the
+    // enqueue are one atomic step under push_mutex_, so two connections
+    // retransmitting the same (site, sequence) cannot both apply it.
+    if (!site_id.empty() && dedup_.Seen(site_id, sequence)) {
+      ++duplicates_dropped_;
+      return EncodeFrame(Opcode::kAck,
+                         EncodeAck(AckInfo{num_updates, false, true}));
+    }
     bool all_accept = true;
     for (const auto& queue : queues_) {
       if (!queue->CanAccept()) {
@@ -282,15 +291,29 @@ std::string SketchServer::HandlePushUpdates(const Frame& frame,
     }
     if (!all_accept) {
       // Backpressure is a frame, not a blocked socket: the client owns
-      // the retry policy.
+      // the retry policy. Nothing was applied or recorded: the retry is
+      // a fresh admission attempt, not a duplicate.
       ++batches_rejected_;
       return EncodeFrame(Opcode::kRetryLater, "");
     }
+    if (wal_ != nullptr) {
+      // Durability before acknowledgment: the raw payload hits fsync'd
+      // storage before the client can learn the batch was accepted.
+      std::string wal_error;
+      if (!wal_->Append(WalRecord{site_id, sequence, frame.payload},
+                        &wal_error)) {
+        return ErrorFrame(WireError::kWalFailure, wal_error);
+      }
+    }
+    if (!site_id.empty()) dedup_.Record(site_id, sequence);
     for (const auto& queue : queues_) queue->Push(resolved);
     ++batches_accepted_;
     updates_enqueued_ += num_updates;
+    persisted_updates_ += static_cast<int64_t>(num_updates);
+    MaybeCompactLocked();
   }
-  return EncodeFrame(Opcode::kAck, EncodeAck(AckInfo{num_updates, false}));
+  return EncodeFrame(Opcode::kAck,
+                     EncodeAck(AckInfo{num_updates, false, false}));
 }
 
 std::string SketchServer::HandlePushSummary(const Frame& frame,
@@ -314,6 +337,137 @@ std::string SketchServer::HandlePushSummary(const Frame& frame,
       Opcode::kAck,
       EncodeAck(AckInfo{static_cast<uint64_t>(result.streams_merged),
                         result.replaced}));
+}
+
+std::string SketchServer::EncodeBankSnapshot() {
+  StreamEngine::Options engine_options;
+  engine_options.params = options_.params;
+  engine_options.copies = options_.copies;
+  engine_options.seed = options_.seed;
+  engine_options.witness = options_.witness;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return EncodeEngineSnapshot(engine_options, persisted_updates_,
+                              names_by_id_, bank_, {});
+}
+
+bool SketchServer::RecoverAndOpenWal(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+
+  Checkpoint checkpoint;
+  std::string checkpoint_error;
+  const bool have_checkpoint =
+      ReadCheckpoint(options_.wal_dir, &checkpoint, &checkpoint_error);
+  if (!have_checkpoint && !checkpoint_error.empty()) {
+    // A corrupt checkpoint is unrecoverable (the WAL it covered is
+    // compacted away); refusing to serve beats silently diverging.
+    return fail(checkpoint_error);
+  }
+  if (have_checkpoint) {
+    EngineSnapshotData data;
+    if (!DecodeEngineSnapshot(checkpoint.engine_snapshot, &data)) {
+      return fail("checkpoint engine snapshot is malformed");
+    }
+    const SketchParams& p = data.options.params;
+    if (p.levels != options_.params.levels ||
+        p.num_second_level != options_.params.num_second_level ||
+        p.first_level_kind != options_.params.first_level_kind ||
+        p.independence != options_.params.independence ||
+        data.options.copies != options_.copies ||
+        data.options.seed != options_.seed) {
+      return fail(
+          "checkpoint was written with a different sketch configuration "
+          "(params/copies/seed); refusing to mix incompatible synopses");
+    }
+    for (size_t i = 0; i < data.stream_names.size(); ++i) {
+      const std::string& name = data.stream_names[i];
+      if (!bank_.AddStreamFromSketches(name, std::move(data.sketches[i]))) {
+        return fail("checkpoint sketches for stream '" + name +
+                    "' are incompatible with this server's seeds");
+      }
+      ids_.emplace(name, static_cast<StreamId>(names_by_id_.size()));
+      names_by_id_.push_back(name);
+    }
+    dedup_ = checkpoint.dedup;
+    persisted_updates_ = data.updates_processed;
+  }
+
+  // Replay the tail: every generation the checkpoint does not cover.
+  // Linearity makes replay exact — re-applying the surviving batches
+  // reproduces the pre-crash counters bit for bit.
+  WalReplayStats replay_stats;
+  std::string replay_error;
+  const bool replayed = Wal::Replay(
+      options_.wal_dir, checkpoint.covered_generation,
+      [this](const WalRecord& record) {
+        UpdateBatch batch;
+        std::string decode_error;
+        if (!DecodePushUpdates(record.payload, &batch, &decode_error)) {
+          return;  // CRC-valid but undecodable: skip, keep replaying.
+        }
+        for (const std::string& name : batch.stream_names) {
+          if (!ids_.contains(name)) {
+            bank_.AddStream(name);
+            ids_.emplace(name, static_cast<StreamId>(names_by_id_.size()));
+            names_by_id_.push_back(name);
+          }
+        }
+        const size_t applied =
+            bank_.ApplyBatch(batch.stream_names, batch.updates);
+        if (!record.site_id.empty()) {
+          dedup_.Record(record.site_id, record.sequence);
+        }
+        ++recovered_batches_;
+        recovered_updates_ += applied;
+        persisted_updates_ += static_cast<int64_t>(applied);
+      },
+      &replay_stats, &replay_error);
+  if (!replayed) return fail(replay_error);
+  if (have_checkpoint || replay_stats.records_replayed > 0) {
+    recoveries_.store(1);
+  }
+
+  Wal::Options wal_options;
+  wal_options.dir = options_.wal_dir;
+  wal_options.shards =
+      static_cast<size_t>(options_.wal_shards > 0 ? options_.wal_shards : 1);
+  wal_options.fsync = options_.wal_fsync;
+  std::string open_error;
+  wal_ = Wal::Open(wal_options, checkpoint.covered_generation, &open_error);
+  if (wal_ == nullptr) return fail(open_error);
+  return true;
+}
+
+void SketchServer::MaybeCompactLocked() {
+  if (wal_ == nullptr || options_.snapshot_every_bytes == 0) return;
+  if (wal_->bytes_appended() - bytes_at_last_checkpoint_ <
+      options_.snapshot_every_bytes) {
+    return;
+  }
+  // push_mutex_ is held: no new batches can enter, so draining the
+  // queues gives a bank that exactly reflects every WAL record up to the
+  // rotation point.
+  for (const auto& queue : queues_) queue->WaitDrained();
+  uint64_t covered_generation = 0;
+  std::string wal_error;
+  if (!wal_->Rotate(&covered_generation, &wal_error)) {
+    return;  // Keep serving on the old generation; retry next threshold.
+  }
+  Checkpoint checkpoint;
+  checkpoint.covered_generation = covered_generation;
+  checkpoint.dedup = dedup_;
+  checkpoint.engine_snapshot = EncodeBankSnapshot();
+  if (WriteCheckpoint(options_.wal_dir, checkpoint, options_.wal_fsync,
+                      &wal_error)) {
+    wal_->Compact(covered_generation);
+    ++snapshots_written_;
+  }
+  // On write failure the old segments stay; recovery replays them plus
+  // the new generation (dedup makes the overlap harmless: the checkpoint
+  // that failed was never relied upon).
+  bytes_at_last_checkpoint_ = wal_->bytes_appended();
 }
 
 void SketchServer::WorkerLoop(int shard_index) {
@@ -415,6 +569,13 @@ std::string SketchServer::RenderStats() const {
       << "summaries_accepted " << s.summaries_accepted << "\n"
       << "summaries_rejected " << s.summaries_rejected << "\n"
       << "queries_answered " << s.queries_answered << "\n"
+      << "duplicates_dropped " << s.duplicates_dropped << "\n"
+      << "wal_records " << s.wal_records << "\n"
+      << "wal_bytes " << s.wal_bytes << "\n"
+      << "snapshots_written " << s.snapshots_written << "\n"
+      << "recoveries " << s.recoveries << "\n"
+      << "recovered_batches " << s.recovered_batches << "\n"
+      << "recovered_updates " << s.recovered_updates << "\n"
       << "streams " << s.streams << "\n"
       << "shards " << s.shards << "\n"
       << "queue_capacity " << s.queue_capacity << "\n";
@@ -437,6 +598,15 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
   s.summaries_accepted = summaries_accepted_.load();
   s.summaries_rejected = summaries_rejected_.load();
   s.queries_answered = queries_answered_.load();
+  s.duplicates_dropped = duplicates_dropped_.load();
+  s.snapshots_written = snapshots_written_.load();
+  s.recoveries = recoveries_.load();
+  s.recovered_batches = recovered_batches_.load();
+  s.recovered_updates = recovered_updates_.load();
+  if (wal_ != nullptr) {
+    s.wal_records = wal_->records_appended();
+    s.wal_bytes = wal_->bytes_appended();
+  }
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     s.streams = names_by_id_.size();
@@ -480,6 +650,23 @@ void SketchServer::Stop() {
   // was acknowledged is lost.
   for (const auto& queue : queues_) queue->Stop();
   for (std::thread& worker : workers_) worker.join();
+
+  // 4. Fold the whole log into a final checkpoint: restarts after a
+  // graceful stop recover from the snapshot alone, replaying nothing.
+  if (wal_ != nullptr) {
+    Checkpoint checkpoint;
+    checkpoint.covered_generation = wal_->generation();
+    checkpoint.dedup = dedup_;
+    checkpoint.engine_snapshot = EncodeBankSnapshot();
+    std::string wal_error;
+    if (WriteCheckpoint(options_.wal_dir, checkpoint, options_.wal_fsync,
+                        &wal_error)) {
+      wal_->Compact(checkpoint.covered_generation);
+      ++snapshots_written_;
+    }
+    // wal_ stays alive (it only holds closed-over counters and fds to
+    // already-compacted files) so post-Stop stats keep their totals.
+  }
 
   ::close(listen_fd_);
   listen_fd_ = -1;

@@ -24,6 +24,28 @@
 // existing Coordinator; queries answer over the union of directly pushed
 // streams and summary-carried streams (same-name streams merge by counter
 // linearity).
+//
+// Fault tolerance (all opt-in via Options):
+//
+//   * Exactly-once ingest: each PUSH_UPDATES carries a (site_id,
+//     sequence) key; a per-site dedup window (server/wal.h) re-ACKs
+//     already-applied sequences without re-applying them. The seen-check,
+//     WAL append and enqueue happen in one push_mutex_ critical section,
+//     so concurrent retransmissions cannot double-apply.
+//   * Durability: with Options::wal_dir set, accepted batches are
+//     appended to a CRC-checked write-ahead log and fsync'd BEFORE the
+//     ACK goes out; Start() replays the WAL tail (and restores the dedup
+//     index) after a crash, rebuilding bit-identical sketch state by
+//     counter linearity. snapshot_every_bytes compacts the log into
+//     engine-snapshot checkpoints.
+//   * Deadlines: connection sends honor io_timeout_ms and reads honor
+//     idle_timeout_ms (poll-based, src/server/socket_io.h), so a stalled
+//     peer costs a connection, never a wedged handler thread.
+//
+// Coordinator summaries are NOT written to the WAL: PUSH_SUMMARY is
+// already idempotent per site (latest summary wins), so a site that
+// outlives the server re-pushes its summary after a restart. Only the
+// update-ingest path carries exactly-once state.
 
 #ifndef SETSKETCH_SERVER_SKETCH_SERVER_H_
 #define SETSKETCH_SERVER_SKETCH_SERVER_H_
@@ -43,8 +65,11 @@
 #include "distributed/coordinator.h"
 #include "server/protocol.h"
 #include "server/shard_queue.h"
+#include "server/wal.h"
 
 namespace setsketch {
+
+class FaultInjector;
 
 /// TCP sketch-serving endpoint. Start() spawns the threads; Stop() (or a
 /// SHUTDOWN frame followed by Wait()) drains and joins them.
@@ -73,6 +98,28 @@ class SketchServer {
 
     /// Estimator tuning for QUERY answers.
     WitnessOptions witness;
+
+    /// Write-ahead log directory. Empty disables durability; non-empty
+    /// makes every ACKed batch crash-safe (fsync before ACK) and enables
+    /// recovery-on-startup from checkpoint + WAL tail.
+    std::string wal_dir;
+    /// WAL segment files per generation (spreads append + fsync load).
+    int wal_shards = 2;
+    /// fsync WAL appends and checkpoints (tests/benches may disable to
+    /// measure the pure logging cost; a crash then loses recent ACKs).
+    bool wal_fsync = true;
+    /// Compact the WAL into a checkpoint roughly every this many logged
+    /// bytes. 0 = only the final checkpoint at graceful Stop().
+    uint64_t snapshot_every_bytes = 0;
+
+    /// Deadline for sending any response frame; <= 0 = no deadline.
+    int io_timeout_ms = 30000;
+    /// Idle-connection deadline: a connection with no complete frame for
+    /// this long is dropped. <= 0 = never.
+    int idle_timeout_ms = 0;
+
+    /// Test seam: injects faults into this server's response sends.
+    FaultInjector* fault_injector = nullptr;
   };
 
   explicit SketchServer(const Options& options);
@@ -111,6 +158,13 @@ class SketchServer {
     uint64_t summaries_accepted = 0;
     uint64_t summaries_rejected = 0;
     uint64_t queries_answered = 0;
+    uint64_t duplicates_dropped = 0;  ///< Dedup re-ACKs (not re-applied).
+    uint64_t wal_records = 0;         ///< Batches appended this run.
+    uint64_t wal_bytes = 0;           ///< Bytes appended this run.
+    uint64_t snapshots_written = 0;   ///< Checkpoint compactions.
+    uint64_t recoveries = 0;          ///< 1 if Start() restored state.
+    uint64_t recovered_batches = 0;   ///< WAL-tail batches replayed.
+    uint64_t recovered_updates = 0;   ///< Updates inside those batches.
     uint64_t streams = 0;
     int shards = 0;
     size_t queue_capacity = 0;
@@ -148,6 +202,21 @@ class SketchServer {
   std::string HandlePushSummary(const Frame& frame, Connection* connection);
   std::string RenderStats() const;
 
+  /// Restores checkpoint + WAL tail from options_.wal_dir and opens a
+  /// fresh WAL generation. Called by Start() before listening. False +
+  /// *error if persisted state is unusable (mismatched configuration,
+  /// corrupt checkpoint) — refusing to serve beats silently diverging.
+  bool RecoverAndOpenWal(std::string* error);
+
+  /// Checkpoint + compact when enough WAL bytes accumulated. Requires
+  /// push_mutex_ held; drains the shard queues for a consistent bank.
+  void MaybeCompactLocked();
+
+  /// Builds the engine-snapshot bytes for a checkpoint. Requires a
+  /// quiesced bank (push_mutex_ held + queues drained, or threads
+  /// joined); takes registry_mutex_ itself.
+  std::string EncodeBankSnapshot();
+
   /// Registers unseen names and resolves the batch to per-stream groups
   /// of column pointer + element/delta items (the shard workers' batched
   /// ingest unit). Called with registry_mutex_ held.
@@ -172,6 +241,13 @@ class SketchServer {
   std::mutex push_mutex_;
   std::vector<std::unique_ptr<ShardQueue>> queues_;
   std::vector<std::thread> workers_;
+
+  // Durability + exactly-once state, guarded by push_mutex_ (the dedup
+  // decision, WAL append and enqueue must be one atomic admission step).
+  std::unique_ptr<Wal> wal_;
+  DedupIndex dedup_;
+  int64_t persisted_updates_ = 0;       // Lifetime total, survives crashes.
+  uint64_t bytes_at_last_checkpoint_ = 0;
 
   // Sockets and connection handlers.
   int listen_fd_ = -1;
@@ -204,6 +280,11 @@ class SketchServer {
   std::atomic<uint64_t> summaries_accepted_{0};
   std::atomic<uint64_t> summaries_rejected_{0};
   std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> duplicates_dropped_{0};
+  std::atomic<uint64_t> snapshots_written_{0};
+  std::atomic<uint64_t> recoveries_{0};
+  std::atomic<uint64_t> recovered_batches_{0};
+  std::atomic<uint64_t> recovered_updates_{0};
 };
 
 }  // namespace setsketch

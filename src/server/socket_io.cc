@@ -1,0 +1,187 @@
+#include "server/socket_io.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/fault_injector.h"
+
+namespace setsketch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Deadline bookkeeping: computed once per SendAll/RecvSome call so the whole
+// operation — not each poll round — is bounded by timeout_ms.
+struct Deadline {
+  bool bounded = false;
+  Clock::time_point at;
+
+  static Deadline After(int timeout_ms) {
+    Deadline d;
+    if (timeout_ms > 0) {
+      d.bounded = true;
+      d.at = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+    return d;
+  }
+
+  // Remaining budget in ms for poll(): -1 = wait forever, 0 = expired.
+  int RemainingMs() const {
+    if (!bounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at - Clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  }
+};
+
+IoResult WaitReady(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    const int budget = deadline.RemainingMs();
+    if (deadline.bounded && budget == 0) return {IoStatus::kTimeout, 0};
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, budget);
+    if (rc > 0) return {IoStatus::kOk, 0};
+    if (rc == 0) return {IoStatus::kTimeout, 0};
+    if (errno == EINTR) continue;
+    return {IoStatus::kError, errno};
+  }
+}
+
+// Sends exactly bytes[0, limit) in writes of at most chunk_bytes (0 = no
+// chunk limit), waiting for writability under the shared deadline.
+IoResult SendRange(int fd, std::string_view bytes, size_t limit,
+                   size_t chunk_bytes, const Deadline& deadline) {
+  size_t sent = 0;
+  while (sent < limit) {
+    size_t want = limit - sent;
+    if (chunk_bytes > 0 && want > chunk_bytes) want = chunk_bytes;
+    const ssize_t n = send(fd, bytes.data() + sent, want, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const IoResult wait = WaitReady(fd, POLLOUT, deadline);
+      if (!wait.ok()) return wait;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return {IoStatus::kError, n < 0 ? errno : EPIPE};
+  }
+  return {IoStatus::kOk, 0};
+}
+
+}  // namespace
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+IoResult SendAllWithDeadline(int fd, std::string_view bytes, int timeout_ms,
+                             FaultInjector* injector) {
+  const Deadline deadline = Deadline::After(timeout_ms);
+  SendPlan plan;  // defaults to kPass
+  if (injector != nullptr) plan = injector->PlanSend(bytes.size());
+
+  switch (plan.kind) {
+    case SendPlan::Kind::kDrop:
+      // Pretend the bytes went out; the peer simply never sees the frame.
+      return {IoStatus::kOk, 0};
+    case SendPlan::Kind::kReset:
+      shutdown(fd, SHUT_RDWR);
+      return {IoStatus::kError, ECONNRESET};
+    case SendPlan::Kind::kTruncate: {
+      const IoResult head =
+          SendRange(fd, bytes, plan.truncate_at, 0, deadline);
+      shutdown(fd, SHUT_RDWR);
+      return head.ok() ? IoResult{IoStatus::kError, EPIPE} : head;
+    }
+    case SendPlan::Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+      return SendRange(fd, bytes, bytes.size(), 0, deadline);
+    case SendPlan::Kind::kPartial:
+      return SendRange(fd, bytes, bytes.size(), plan.chunk_bytes, deadline);
+    case SendPlan::Kind::kPass:
+      break;
+  }
+  return SendRange(fd, bytes, bytes.size(), 0, deadline);
+}
+
+IoResult RecvSomeWithDeadline(int fd, char* buffer, size_t capacity,
+                              int timeout_ms, size_t* received) {
+  *received = 0;
+  const Deadline deadline = Deadline::After(timeout_ms);
+  for (;;) {
+    const ssize_t n = recv(fd, buffer, capacity, 0);
+    if (n > 0) {
+      *received = static_cast<size_t>(n);
+      return {IoStatus::kOk, 0};
+    }
+    if (n == 0) return {IoStatus::kClosed, 0};
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const IoResult wait = WaitReady(fd, POLLIN, deadline);
+      if (!wait.ok()) return wait;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return {IoStatus::kError, errno};
+  }
+}
+
+IoResult ConnectWithTimeout(int fd, const struct sockaddr* address,
+                            size_t address_length, int timeout_ms) {
+  if (!SetNonBlocking(fd)) return {IoStatus::kError, errno};
+  if (connect(fd, address, static_cast<socklen_t>(address_length)) == 0) {
+    return {IoStatus::kOk, 0};
+  }
+  if (errno != EINPROGRESS) return {IoStatus::kError, errno};
+
+  const Deadline deadline = Deadline::After(timeout_ms);
+  const IoResult wait = WaitReady(fd, POLLOUT, deadline);
+  if (!wait.ok()) return wait;
+
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    return {IoStatus::kError, errno};
+  }
+  if (so_error != 0) return {IoStatus::kError, so_error};
+  return {IoStatus::kOk, 0};
+}
+
+std::string DescribeIoResult(const IoResult& result, std::string_view verb,
+                             int timeout_ms) {
+  std::string out(verb);
+  switch (result.status) {
+    case IoStatus::kOk:
+      out += ": ok";
+      break;
+    case IoStatus::kTimeout:
+      out += ": timeout after " + std::to_string(timeout_ms) + " ms";
+      break;
+    case IoStatus::kClosed:
+      out += ": connection closed by peer";
+      break;
+    case IoStatus::kError:
+      out += ": ";
+      out += std::strerror(result.error_number);
+      break;
+  }
+  return out;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,70 @@
+// Deadline-honoring socket I/O shared by SketchClient and SketchServer.
+//
+// Every file descriptor that goes through this layer is non-blocking;
+// progress is gated on poll() with a deadline computed once per call, so a
+// peer that stops reading or writing surfaces as a typed kTimeout instead
+// of a thread parked forever in recv()/send(). (A blocking send() can stall
+// past any deadline once the kernel buffer fills — non-blocking + poll is
+// the only shape that actually bounds both directions.)
+//
+// Sends optionally route through a FaultInjector, which is how the chaos
+// tests produce drops, resets, truncations and partial writes without
+// touching kernel state or real networks.
+
+#ifndef SETSKETCH_SERVER_SOCKET_IO_H_
+#define SETSKETCH_SERVER_SOCKET_IO_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+struct sockaddr;  // <sys/socket.h>; kept out of this header on purpose.
+
+namespace setsketch {
+
+class FaultInjector;
+
+enum class IoStatus {
+  kOk,
+  kTimeout,  // deadline expired before the operation completed
+  kClosed,   // orderly EOF from the peer
+  kError,    // socket error; see error_number
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  int error_number = 0;  // errno when status == kError
+
+  bool ok() const { return status == IoStatus::kOk; }
+};
+
+/// Puts `fd` into non-blocking mode. Returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// Sends all of `bytes`, honoring `timeout_ms` (<= 0 means no deadline).
+/// With an injector, the bytes may be dropped (reported as success),
+/// delayed, truncated + reset, reset, or dribbled in small chunks per the
+/// injector's seeded schedule.
+IoResult SendAllWithDeadline(int fd, std::string_view bytes, int timeout_ms,
+                             FaultInjector* injector = nullptr);
+
+/// Receives up to `capacity` bytes into `buffer`, returning as soon as any
+/// bytes arrive. `*received` is the byte count (0 only on non-kOk status).
+/// timeout_ms <= 0 means no deadline.
+IoResult RecvSomeWithDeadline(int fd, char* buffer, size_t capacity,
+                              int timeout_ms, size_t* received);
+
+/// connect() with a deadline: non-blocking connect, poll for writability,
+/// then SO_ERROR to pick up the real result. On success the fd remains
+/// non-blocking. Returns kTimeout if the peer doesn't answer in time.
+IoResult ConnectWithTimeout(int fd, const ::sockaddr* address,
+                            size_t address_length, int timeout_ms);
+
+/// Human-readable rendering ("timeout after 250 ms", "connection closed",
+/// "send: Connection reset by peer") for error strings.
+std::string DescribeIoResult(const IoResult& result, std::string_view verb,
+                             int timeout_ms);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_SERVER_SOCKET_IO_H_

@@ -1,0 +1,46 @@
+// CRC-32C (Castagnoli polynomial, reflected) — the integrity check of the
+// server's write-ahead log and checkpoint files. A software table suffices:
+// WAL records are batch-sized (KBs), so checksum cost is noise next to the
+// fsync that follows it.
+
+#ifndef SETSKETCH_UTIL_CRC32_H_
+#define SETSKETCH_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace setsketch {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+
+}  // namespace internal
+
+/// CRC-32C of `data`; chain calls by passing the previous result as `seed`.
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = (crc >> 8) ^
+          internal::kCrc32cTable[(crc ^ static_cast<uint8_t>(c)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_CRC32_H_

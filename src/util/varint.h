@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace setsketch {
 
@@ -52,6 +53,25 @@ inline bool ReadVarint(const std::string& data, size_t* offset,
     shift += 7;
   }
   return false;
+}
+
+/// Appends a varint-length-prefixed string.
+inline void AppendVarintString(std::string* out, std::string_view s) {
+  AppendVarint(out, s.size());
+  out->append(s);
+}
+
+/// Reads a varint-length-prefixed string, enforcing `max_bytes`. Shared by
+/// the wire protocol (stream names, site ids) and the WAL record codec.
+inline bool ReadVarintString(const std::string& data, size_t* offset,
+                             size_t max_bytes, std::string* out) {
+  uint64_t length = 0;
+  if (!ReadVarint(data, offset, &length)) return false;
+  if (length > max_bytes) return false;
+  if (length > data.size() - *offset) return false;
+  out->assign(data, *offset, static_cast<size_t>(length));
+  *offset += static_cast<size_t>(length);
+  return true;
 }
 
 }  // namespace setsketch

@@ -2,6 +2,9 @@
 // the frame decoder and payload codecs must survive arbitrary byte soup,
 // arbitrary read()-chunk boundaries, truncations, and single-byte header
 // corruption without crashing, and must report the documented error codes.
+// A FaultInjector-driven section replays the chaos harness's send plans
+// (drops, partial writes, mid-frame truncation + reset) against the
+// decoder to prove framing state never leaks across a reconnect.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "hash/prng.h"
+#include "server/fault_injector.h"
 #include "server/protocol.h"
 #include "util/varint.h"
 
@@ -44,6 +48,13 @@ UpdateBatch SampleBatch(Xoshiro256StarStar* rng) {
     batch.updates.push_back(
         Update{static_cast<StreamId>(rng->NextBelow(num_names)), rng->Next(),
                rng->NextBelow(2) == 0 ? int64_t{1} : int64_t{-1}});
+  }
+  // Half the batches carry an idempotency key (site + sequence), so the
+  // fuzz corpus covers both the anonymous and the exactly-once prefix.
+  if (rng->NextBelow(2) == 0) {
+    batch.site_id = "site-";
+    batch.site_id.append(1 + rng->NextBelow(kMaxSiteIdBytes - 5), 's');
+    batch.sequence = rng->Next();
   }
   return batch;
 }
@@ -172,6 +183,8 @@ TEST(ProtocolFuzzTest, PushUpdatesRoundTripsRandomBatches) {
     ASSERT_TRUE(
         DecodePushUpdates(EncodePushUpdates(batch), &decoded, &error))
         << error;
+    ASSERT_EQ(decoded.site_id, batch.site_id);
+    ASSERT_EQ(decoded.sequence, batch.sequence);
     ASSERT_EQ(decoded.stream_names, batch.stream_names);
     ASSERT_EQ(decoded.updates.size(), batch.updates.size());
     for (size_t i = 0; i < batch.updates.size(); ++i) {
@@ -253,19 +266,161 @@ TEST(ProtocolFuzzTest, PushUpdatesRejectsHostileDeclaredCounts) {
   EXPECT_FALSE(DecodePushUpdates(payload, &decoded, &error));
 }
 
+TEST(ProtocolFuzzTest, PushUpdatesRejectsHostileIdempotencyPrefix) {
+  // A site id longer than kMaxSiteIdBytes is rejected even when all its
+  // bytes are present.
+  std::string payload;
+  AppendVarint(&payload, kMaxSiteIdBytes + 1);
+  payload.append(kMaxSiteIdBytes + 1, 's');
+  UpdateBatch decoded;
+  std::string error;
+  EXPECT_FALSE(DecodePushUpdates(payload, &decoded, &error));
+  EXPECT_FALSE(error.empty());
+
+  // A valid site id with the sequence varint cut off mid-continuation.
+  payload.clear();
+  AppendVarint(&payload, 4);
+  payload.append("site");
+  payload.push_back('\x80');  // Continuation bit set, no next byte.
+  EXPECT_FALSE(DecodePushUpdates(payload, &decoded, &error));
+
+  // A site id whose declared length points past the end of the payload.
+  payload.clear();
+  AppendVarint(&payload, 200);
+  payload.append("short", 5);
+  EXPECT_FALSE(DecodePushUpdates(payload, &decoded, &error));
+}
+
+// --- FaultInjector-driven transport chaos against the decoder -----------
+
+/// Applies one injector SendPlan to `wire`, feeding the decoder what a
+/// real socket peer would actually observe. Returns false when the plan
+/// severed the connection (the caller must start a fresh decoder, exactly
+/// like a real handler would for a fresh accept()).
+bool DeliverPerPlan(const SendPlan& plan, const std::string& wire,
+                    FrameDecoder* decoder) {
+  switch (plan.kind) {
+    case SendPlan::Kind::kDrop:
+      return true;  // Bytes vanished; the connection itself is fine.
+    case SendPlan::Kind::kReset:
+      return false;  // Nothing delivered, connection torn down.
+    case SendPlan::Kind::kTruncate:
+      decoder->Feed(wire.data(), std::min(plan.truncate_at, wire.size()));
+      return false;  // Prefix delivered, then torn down.
+    case SendPlan::Kind::kPartial: {
+      size_t offset = 0;
+      while (offset < wire.size()) {
+        const size_t chunk =
+            std::min(wire.size() - offset,
+                     plan.chunk_bytes == 0 ? size_t{1} : plan.chunk_bytes);
+        decoder->Feed(wire.data() + offset, chunk);
+        offset += chunk;
+      }
+      return true;
+    }
+    case SendPlan::Kind::kPass:
+    case SendPlan::Kind::kDelay:
+      decoder->Feed(wire.data(), wire.size());
+      return true;
+  }
+  return true;
+}
+
+TEST(ProtocolFuzzTest, InjectedFaultsNeverConfuseTheDecoder) {
+  Xoshiro256StarStar rng(0x5EED);
+  FaultInjector::Options fault_options;
+  fault_options.seed = 0x5EED;
+  fault_options.drop_probability = 0.15;
+  fault_options.reset_probability = 0.15;
+  fault_options.truncate_probability = 0.2;
+  fault_options.partial_probability = 0.25;
+  FaultInjector injector(fault_options);
+
+  FrameDecoder decoder;
+  uint64_t frames_delivered = 0;
+  uint64_t frames_decoded = 0;
+  for (int round = 0; round < 400; ++round) {
+    UpdateBatch batch = SampleBatch(&rng);
+    const std::string wire =
+        EncodeFrame(Opcode::kPushUpdates, EncodePushUpdates(batch));
+    const SendPlan plan = injector.PlanSend(wire.size());
+    const bool intact = DeliverPerPlan(plan, wire, &decoder);
+    if (plan.kind == SendPlan::Kind::kPass ||
+        plan.kind == SendPlan::Kind::kDelay ||
+        plan.kind == SendPlan::Kind::kPartial) {
+      ++frames_delivered;
+    }
+    Frame frame;
+    FrameDecoder::Status status;
+    while ((status = decoder.Next(&frame)) == FrameDecoder::Status::kFrame) {
+      ++frames_decoded;
+      // Whatever survived transport must decode as the exact batch shape
+      // (truncations never produce a complete frame, so every complete
+      // frame is a fully intact one).
+      UpdateBatch decoded;
+      std::string error;
+      ASSERT_TRUE(DecodePushUpdates(frame.payload, &decoded, &error))
+          << error;
+    }
+    // Intact deliveries leave the decoder healthy and frame-aligned; a
+    // truncated-then-reset connection gets a fresh decoder, like a fresh
+    // accept() on the server.
+    if (intact) {
+      ASSERT_EQ(status, FrameDecoder::Status::kNeedMore);
+      ASSERT_EQ(decoder.buffered_bytes(), 0u);
+    } else {
+      decoder = FrameDecoder();
+    }
+  }
+  EXPECT_GT(injector.faults_injected(), 0u);
+  EXPECT_EQ(frames_decoded, frames_delivered);
+}
+
+TEST(ProtocolFuzzTest, MidFrameResetLeavesNoStateForNextConnection) {
+  // Every possible truncation point of a frame, followed by a "reset" and
+  // a fresh decoder: the next connection's first frame always decodes.
+  UpdateBatch batch;
+  batch.site_id = "site";
+  batch.sequence = 3;
+  batch.stream_names = {"A"};
+  batch.updates = {Insert(0, 7)};
+  const std::string wire =
+      EncodeFrame(Opcode::kPushUpdates, EncodePushUpdates(batch));
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder torn;
+    torn.Feed(wire.data(), cut);
+    Frame frame;
+    EXPECT_NE(torn.Next(&frame), FrameDecoder::Status::kFrame)
+        << "cut " << cut;
+    FrameDecoder fresh;  // Reconnect.
+    fresh.Feed(wire.data(), wire.size());
+    ASSERT_EQ(fresh.Next(&frame), FrameDecoder::Status::kFrame)
+        << "cut " << cut;
+    UpdateBatch decoded;
+    std::string error;
+    ASSERT_TRUE(DecodePushUpdates(frame.payload, &decoded, &error)) << error;
+    EXPECT_EQ(decoded.site_id, "site");
+    EXPECT_EQ(decoded.sequence, 3u);
+  }
+}
+
 TEST(ProtocolFuzzTest, AuxiliaryCodecsSurviveTruncationAndSoup) {
   Xoshiro256StarStar rng(0xAB1E);
   // Ack round trip + truncation never crashes.
   AckInfo ack;
   ack.accepted = 123456789;
   ack.replaced = true;
+  ack.duplicate = true;
   const std::string ack_payload = EncodeAck(ack);
   AckInfo ack_out;
   ASSERT_TRUE(DecodeAck(ack_payload, &ack_out));
   EXPECT_EQ(ack_out.accepted, ack.accepted);
   EXPECT_TRUE(ack_out.replaced);
+  EXPECT_TRUE(ack_out.duplicate);
   for (size_t cut = 0; cut < ack_payload.size(); ++cut) {
-    DecodeAck(ack_payload.substr(0, cut), &ack_out);  // Must not crash.
+    // A truncated ACK (e.g. a duplicate flag cut off mid-frame) must be
+    // rejected, never silently defaulted.
+    EXPECT_FALSE(DecodeAck(ack_payload.substr(0, cut), &ack_out));
   }
 
   // Query-result round trip (both arms) + random soup.

@@ -12,12 +12,15 @@
 //   * ShardQueue push/drain/shutdown from concurrent producers and a
 //     consumer, including Stop() racing active pushes;
 //   * ParallelIngest fanning one update batch over a shared SketchBank;
-//   * SketchServer serving PUSH/QUERY/STATS from concurrent clients.
+//   * SketchServer serving PUSH/QUERY/STATS from concurrent clients;
+//   * Wal appends from many threads racing a rotation (the shard-mutex
+//     seam the fault-tolerance PR introduced).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,6 +33,7 @@
 #include "server/shard_queue.h"
 #include "server/sketch_client.h"
 #include "server/sketch_server.h"
+#include "server/wal.h"
 #include "stream/update.h"
 
 namespace setsketch {
@@ -237,6 +241,80 @@ TEST(TsanConcurrencyTest, ParallelIngestSharedBankMatchesSerial) {
     for (size_t i = 0; i < got.size(); ++i) {
       ASSERT_TRUE(got[i] == want[i]) << name << " copy " << i;
     }
+  }
+}
+
+// --- WAL appends racing rotation ----------------------------------------
+
+TEST(TsanConcurrencyTest, WalConcurrentAppendsAndRotationLoseNoRecord) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "tsan_wal_stress";
+  std::filesystem::remove_all(dir);
+
+  Wal::Options options;
+  options.dir = dir.string();
+  options.shards = 2;
+  options.fsync = false;  // Contention is the point here, not durability.
+  std::string open_error;
+  std::unique_ptr<Wal> wal = Wal::Open(options, 0, &open_error);
+  ASSERT_NE(wal, nullptr) << open_error;
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 150;
+  SpinBarrier barrier(kWriters + 1);
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&wal, &barrier, w] {
+      barrier.ArriveAndWait();
+      for (int i = 0; i < kPerWriter; ++i) {
+        WalRecord record;
+        record.site_id = "writer-" + std::to_string(w);
+        record.sequence = static_cast<uint64_t>(i) + 1;
+        record.payload = "payload";
+        std::string error;
+        ASSERT_TRUE(wal->Append(record, &error)) << error;
+      }
+    });
+  }
+  // Rotations race the appends: each append lands entirely in one
+  // generation or the next, never torn across the boundary.
+  std::thread rotator([&wal, &barrier] {
+    barrier.ArriveAndWait();
+    for (int r = 0; r < 5; ++r) {
+      uint64_t previous = 0;
+      std::string error;
+      ASSERT_TRUE(wal->Rotate(&previous, &error)) << error;
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  rotator.join();
+  EXPECT_EQ(wal->records_appended(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  wal.reset();
+
+  // Every appended record replays exactly once across all generations.
+  std::vector<uint64_t> per_writer_sum(kWriters, 0);
+  WalReplayStats stats;
+  std::string replay_error;
+  ASSERT_TRUE(Wal::Replay(
+      options.dir, 0,
+      [&per_writer_sum](const WalRecord& record) {
+        const int writer = record.site_id.back() - '0';
+        ASSERT_GE(writer, 0);
+        ASSERT_LT(writer, static_cast<int>(per_writer_sum.size()));
+        per_writer_sum[static_cast<size_t>(writer)] += record.sequence;
+      },
+      &stats, &replay_error))
+      << replay_error;
+  EXPECT_EQ(stats.records_replayed,
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(stats.torn_segments, 0u);
+  constexpr uint64_t kExpectedSum =
+      static_cast<uint64_t>(kPerWriter) * (kPerWriter + 1) / 2;
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(per_writer_sum[static_cast<size_t>(w)], kExpectedSum)
+        << "writer " << w;
   }
 }
 

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Full pre-merge correctness gate, five stages:
+# Full pre-merge correctness gate, six stages:
 #
 #   1. release   Release build + full test suite + bench smoke (the
-#                update-kernel JSON perf trajectory must validate).
+#                update-kernel and fault-tolerance JSON perf
+#                trajectories must validate).
 #   2. asan      AddressSanitizer build + full test suite.
 #   3. tsan      ThreadSanitizer build + the concurrency-sensitive tests
-#                (race detection over the server, shard queues, parallel
-#                ingest and lazy slice publication).
-#   4. ubsan     UndefinedBehaviorSanitizer build (-fno-sanitize-recover,
+#                (race detection over the server, shard queues, WAL
+#                writer, parallel ingest and lazy slice publication).
+#   4. ubsan    UndefinedBehaviorSanitizer build (-fno-sanitize-recover,
 #                so any UB fails the run) + full test suite.
-#   5. tidy      tools/lint.py source hygiene + validate_bench_json.py
+#   5. chaos     AddressSanitizer build + the fault-tolerance suite
+#                (seeded fault injection, WAL corruption, crash
+#                recovery), then a real kill -9 crash/recover/dedup
+#                cycle driven end-to-end through the sketchtool CLI.
+#   6. tidy      tools/lint.py source hygiene + validate_bench_json.py
 #                --schema-only + clang-tidy over the library (skipped
 #                with a notice when clang-tidy is not installed).
 #
@@ -28,13 +33,13 @@ cd "$(dirname "$0")/.."
 prefix="build-check"
 if [[ $# -gt 0 ]]; then
   case "$1" in
-    release|asan|tsan|ubsan|tidy) ;;  # First arg is a stage name.
+    release|asan|tsan|ubsan|chaos|tidy) ;;  # First arg is a stage name.
     *) prefix="$1"; shift ;;
   esac
 fi
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(release asan tsan ubsan tidy)
+  stages=(release asan tsan ubsan chaos tidy)
 fi
 jobs="${SETSKETCH_CHECK_JOBS:-$(nproc)}"
 
@@ -66,6 +71,12 @@ stage_release() {
     "${prefix}-release/bench/bench_update_kernel" \
     --benchmark_min_time=0.01 >/dev/null
   python3 tools/validate_bench_json.py "${smoke_json}"
+
+  echo "=== bench smoke (fault-tolerance JSON trajectory) ==="
+  local ft_json="${prefix}-release/BENCH_fault_tolerance.smoke.json"
+  SETSKETCH_BENCH_JSON="${ft_json}" SETSKETCH_BENCH_SCALE=0.05 \
+    "${prefix}-release/bench/bench_fault_tolerance" >/dev/null
+  python3 tools/validate_bench_json.py "${ft_json}"
 }
 
 stage_asan() {
@@ -87,6 +98,80 @@ stage_ubsan() {
   # sanitizer, so any flagged UB aborts the offending test.
   build_and_test "${prefix}-ubsan" "" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSETSKETCH_SANITIZE=undefined
+}
+
+stage_chaos() {
+  # Fault-injected end-to-end flow under AddressSanitizer: the seeded
+  # chaos/recovery suite first, then a real kill -9 against a live
+  # WAL-backed server, a restart on the same directory, and an
+  # idempotent re-push that must be deduplicated, not double-counted.
+  build_and_test "${prefix}-chaos" \
+    "FaultToleranceTest|FaultInjectorTest|WalTest|DedupWindowTest|DedupIndexTest" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSETSKETCH_SANITIZE=address
+
+  echo "=== chaos e2e (kill -9 + WAL recovery via sketchtool) ==="
+  local tool="${prefix}-chaos/tools/sketchtool"
+  local dir
+  dir="$(mktemp -d)"
+  local wal="${dir}/wal"
+  local updates="${dir}/updates.txt"
+  local i
+  for ((i = 0; i < 2000; ++i)); do
+    echo "0 $((i * 7919 + 1)) 1"
+    echo "1 $((i * 104729 + 3)) 1"
+  done > "${updates}"
+
+  wait_for_port() {
+    local log="$1"
+    local tries
+    for ((tries = 0; tries < 300; ++tries)); do
+      if grep -q "listening on" "${log}"; then
+        sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "${log}"
+        return 0
+      fi
+      sleep 0.1
+    done
+    echo "server never announced its port; log:" >&2
+    cat "${log}" >&2
+    return 1
+  }
+
+  "${tool}" serve --port 0 --copies 32 --wal-dir "${wal}" \
+    > "${dir}/serve1.log" &
+  local server_pid=$!
+  local port
+  port="$(wait_for_port "${dir}/serve1.log")"
+  "${tool}" push --port "${port}" --updates "${updates}" \
+    --streams A,B --site chaos --batch 500 > "${dir}/push1.log"
+  cat "${dir}/push1.log"
+  # Crash: every ACKed batch above is already fsync'd in the WAL.
+  kill -9 "${server_pid}"
+  wait "${server_pid}" 2>/dev/null || true
+
+  "${tool}" serve --port 0 --copies 32 --wal-dir "${wal}" \
+    > "${dir}/serve2.log" &
+  server_pid=$!
+  port="$(wait_for_port "${dir}/serve2.log")"
+  # Recovery restored the dedup index too: re-running the exact same
+  # push is all duplicate ACKs, never double-counted.
+  "${tool}" push --port "${port}" --updates "${updates}" \
+    --streams A,B --site chaos --batch 500 > "${dir}/push2.log"
+  cat "${dir}/push2.log"
+  if ! grep -q "8 duplicate acks" "${dir}/push2.log"; then
+    echo "chaos e2e: re-push was not fully deduplicated" >&2
+    exit 1
+  fi
+  "${tool}" stats --port "${port}" > "${dir}/stats.log"
+  grep -q "recoveries 1" "${dir}/stats.log"
+  grep -q "recovered_batches 8" "${dir}/stats.log"
+  grep -q "recovered_updates 4000" "${dir}/stats.log"
+  grep -q "duplicates_dropped 8" "${dir}/stats.log"
+  "${tool}" query --port "${port}" --expr "A | B"
+  "${tool}" shutdown --port "${port}"
+  wait "${server_pid}"
+  grep -q "batches recovered" "${dir}/serve2.log"
+  rm -rf "${dir}"
+  echo "=== chaos e2e passed ==="
 }
 
 stage_tidy() {

@@ -15,10 +15,20 @@
 //   sketchtool serve    [--port 0] [--bind 127.0.0.1] [--copies 128]
 //                       [--seed 42] [--levels 32] [--second-level 32]
 //                       [--shards 2] [--queue-capacity 64]
+//                       [--wal-dir DIR] [--wal-shards 2] [--no-wal-fsync]
+//                       [--snapshot-bytes N] [--io-timeout-ms 30000]
+//                       [--idle-timeout-ms 0]
 //                       (prints "listening on <addr>:<port>", runs until
-//                        `sketchtool shutdown`)
+//                        `sketchtool shutdown`; with --wal-dir, accepted
+//                        batches are crash-safe and a restart pointing at
+//                        the same directory recovers them)
 //   sketchtool push     --port P --updates u.txt [--host 127.0.0.1]
-//                       [--streams A,B,C] [--batch 4096]
+//                       [--streams A,B,C] [--batch 4096] [--site ID]
+//                       [--seq-start 1] [--io-timeout-ms 30000]
+//                       [--connect-timeout-ms 5000]
+//                       (--site makes the push idempotent: a retried or
+//                        re-run push with the same site and seq-start is
+//                        deduplicated, never double-counted)
 //   sketchtool query    --port P --expr "(A - B) & C" [--host ...]
 //   sketchtool stats    --port P [--host ...]
 //   sketchtool shutdown --port P [--host ...]
@@ -64,9 +74,14 @@ int Usage() {
                "  estimate --bank FILE --expr EXPRESSION [--strict]\n"
                "  serve    [--port N] [--bind ADDR] [--copies N] [--seed N]\n"
                "           [--levels N] [--second-level N] [--shards N]\n"
-               "           [--queue-capacity N]\n"
+               "           [--queue-capacity N] [--wal-dir DIR]\n"
+               "           [--wal-shards N] [--no-wal-fsync]\n"
+               "           [--snapshot-bytes N] [--io-timeout-ms N]\n"
+               "           [--idle-timeout-ms N]\n"
                "  push     --port N --updates FILE [--host ADDR]\n"
-               "           [--streams A,B,..] [--batch N]\n"
+               "           [--streams A,B,..] [--batch N] [--site ID]\n"
+               "           [--seq-start N] [--io-timeout-ms N]\n"
+               "           [--connect-timeout-ms N]\n"
                "  query    --port N --expr EXPRESSION [--host ADDR]\n"
                "  stats    --port N [--host ADDR]\n"
                "  shutdown --port N [--host ADDR]\n";
@@ -129,6 +144,15 @@ int main(int argc, char** argv) {
     options.queue_capacity =
         static_cast<size_t>(flags.GetInt("queue-capacity", 64));
     options.witness.pool_all_levels = true;
+    options.wal_dir = flags.GetString("wal-dir", "");
+    options.wal_shards = static_cast<int>(flags.GetInt("wal-shards", 2));
+    options.wal_fsync = !flags.GetBool("no-wal-fsync", false);
+    options.snapshot_every_bytes =
+        static_cast<uint64_t>(flags.GetInt("snapshot-bytes", 0));
+    options.io_timeout_ms =
+        static_cast<int>(flags.GetInt("io-timeout-ms", 30000));
+    options.idle_timeout_ms =
+        static_cast<int>(flags.GetInt("idle-timeout-ms", 0));
     result = RunServe(options, &std::cout);
   } else if (command == "push") {
     PushSpec spec;
@@ -138,6 +162,13 @@ int main(int argc, char** argv) {
     if (spec.port == 0 || spec.updates_path.empty()) return Usage();
     spec.stream_names = SplitCommaList(flags.GetString("streams", ""));
     spec.batch_size = static_cast<size_t>(flags.GetInt("batch", 4096));
+    spec.site_id = flags.GetString("site", "");
+    spec.first_sequence =
+        static_cast<uint64_t>(flags.GetInt("seq-start", 1));
+    spec.io_timeout_ms =
+        static_cast<int>(flags.GetInt("io-timeout-ms", 30000));
+    spec.connect_timeout_ms =
+        static_cast<int>(flags.GetInt("connect-timeout-ms", 5000));
     result = RunServerPush(spec);
   } else if (command == "query") {
     const std::string host = flags.GetString("host", "127.0.0.1");

@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Validates a BENCH_update_kernel.json perf-trajectory file.
+"""Validates a setsketch BENCH_*.json perf-trajectory file.
 
 Usage: validate_bench_json.py [--schema-only] <path>
 
-Checks that the file exists and parses as JSON, identifies itself as the
-update-kernel bench, and contains a positive ns_per_op result for every
-configured sweep point (scalar/sliced/batched x s, per-update/batched
-bank x r). tools/check.sh runs this after a smoke run of
-bench_update_kernel so the perf reporting cannot silently rot.
+The file must parse as JSON, identify itself via its "bench" marker, and
+contain a positive ns_per_op result for every sweep point that bench is
+configured to emit. Benches are keyed by the marker:
 
---schema-only validates the expected-sweep table itself (names well
+  update_kernel     bench_update_kernel (scalar/sliced/batched x s,
+                    per-update/batched bank x r)
+  fault_tolerance   bench_fault_tolerance (loopback ingest with the WAL
+                    off / on without fsync / on with fsync)
+
+tools/check.sh smoke-runs each bench and validates its trajectory here,
+so the perf reporting cannot silently rot.
+
+--schema-only validates the expected-sweep tables themselves (names well
 formed, no duplicates) without reading any file, so lint/tidy CI stages
 can exercise this script without building a bench binary.
 
@@ -17,31 +23,43 @@ Exit status: 0 valid, 1 invalid or unreadable input, 2 usage error.
 """
 
 import argparse
+import re
 import sys
 
 S_SWEEP = (8, 16, 32, 64)
 R_SWEEP = (64, 256, 512)
 
-EXPECTED = (
-    [f"BM_UpdateScalar/{s}" for s in S_SWEEP]
-    + [f"BM_UpdateSliced/{s}" for s in S_SWEEP]
-    + [f"BM_UpdateBatched/{s}" for s in S_SWEEP]
-    + [f"BM_BankApplyPerUpdate/{r}" for r in R_SWEEP]
-    + [f"BM_BankApplyBatch/{r}" for r in R_SWEEP]
-)
+EXPECTED_BY_BENCH = {
+    "update_kernel": (
+        [f"BM_UpdateScalar/{s}" for s in S_SWEEP]
+        + [f"BM_UpdateSliced/{s}" for s in S_SWEEP]
+        + [f"BM_UpdateBatched/{s}" for s in S_SWEEP]
+        + [f"BM_BankApplyPerUpdate/{r}" for r in R_SWEEP]
+        + [f"BM_BankApplyBatch/{r}" for r in R_SWEEP]
+    ),
+    "fault_tolerance": [
+        "LoopbackIngest/wal_off",
+        "LoopbackIngest/wal_nofsync",
+        "LoopbackIngest/wal_fsync",
+    ],
+}
+
+_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]*/[A-Za-z0-9_]+$")
 
 
 def check_schema():
-    """Validates the EXPECTED table itself; returns a list of problems."""
+    """Validates the EXPECTED tables themselves; returns problem list."""
     problems = []
-    if not EXPECTED:
-        problems.append("EXPECTED sweep table is empty")
-    if len(set(EXPECTED)) != len(EXPECTED):
-        problems.append("EXPECTED sweep table has duplicate names")
-    for name in EXPECTED:
-        base, _, arg = name.partition("/")
-        if not base.startswith("BM_") or not arg.isdigit():
-            problems.append(f"malformed sweep name {name!r}")
+    if not EXPECTED_BY_BENCH:
+        problems.append("no benches configured")
+    for bench, expected in EXPECTED_BY_BENCH.items():
+        if not expected:
+            problems.append(f"{bench}: expected sweep table is empty")
+        if len(set(expected)) != len(expected):
+            problems.append(f"{bench}: duplicate sweep names")
+        for name in expected:
+            if not _NAME_RE.match(name):
+                problems.append(f"{bench}: malformed sweep name {name!r}")
     return problems
 
 
@@ -58,8 +76,11 @@ def validate_file(path):
         return [f"invalid JSON: {err}"]
     if not isinstance(doc, dict):
         return ["top-level JSON value is not an object"]
-    if doc.get("bench") != "update_kernel":
-        return ["missing bench=update_kernel marker"]
+    bench = doc.get("bench")
+    expected = EXPECTED_BY_BENCH.get(bench)
+    if expected is None:
+        known = ", ".join(sorted(EXPECTED_BY_BENCH))
+        return [f"unknown bench marker {bench!r} (known: {known})"]
     raw_results = doc.get("results", [])
     if not isinstance(raw_results, list) or not raw_results:
         return ["empty or missing results sweep"]
@@ -67,7 +88,7 @@ def validate_file(path):
         r.get("name"): r for r in raw_results if isinstance(r, dict)
     }
     failures = []
-    for name in EXPECTED:
+    for name in expected:
         entry = results.get(name)
         if entry is None:
             failures.append(f"missing result {name}")
@@ -87,7 +108,7 @@ def main(argv):
     parser.add_argument(
         "--schema-only",
         action="store_true",
-        help="validate the expected-sweep table only; no file needed",
+        help="validate the expected-sweep tables only; no file needed",
     )
     parser.add_argument("path", nargs="?", help="trajectory JSON to check")
     args = parser.parse_args(argv[1:])
@@ -97,8 +118,12 @@ def main(argv):
         for problem in problems:
             print(f"schema: {problem}", file=sys.stderr)
         return 1
+    total = sum(len(v) for v in EXPECTED_BY_BENCH.values())
     if args.schema_only:
-        print(f"schema: ok ({len(EXPECTED)} sweep points)")
+        print(
+            f"schema: ok ({len(EXPECTED_BY_BENCH)} benches, "
+            f"{total} sweep points)"
+        )
         return 0
 
     if args.path is None:
@@ -114,7 +139,7 @@ def main(argv):
         for failure in failures:
             print(f"{args.path}: {failure}", file=sys.stderr)
         return 1
-    print(f"{args.path}: ok ({len(EXPECTED)} sweep points)")
+    print(f"{args.path}: ok")
     return 0
 
 
