@@ -33,6 +33,10 @@ InclusionExclusionEstimate EstimateByInclusionExclusion(
   }
 
   // Estimate u_S for every non-empty subset S of the expression streams.
+  // Each subset rides the shared estimator kernel's union strategy
+  // (EstimateSetUnion[Mle] is a thin wrapper over KernelEstimateUnion);
+  // inclusion-exclusion only contributes the subset structure and the
+  // Moebius transform below.
   const uint32_t full = (1u << n) - 1;
   std::vector<double> u(static_cast<size_t>(full) + 1, 0.0);
   for (uint32_t subset = 1; subset <= full; ++subset) {

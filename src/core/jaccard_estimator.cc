@@ -1,7 +1,6 @@
 #include "core/jaccard_estimator.h"
 
-#include "core/estimator_config.h"
-#include "core/set_intersection_estimator.h"
+#include "core/estimator_kernel.h"
 #include "core/set_union_estimator.h"
 
 namespace setsketch {
@@ -17,10 +16,11 @@ JaccardEstimate EstimateJaccard(const std::vector<SketchGroup>& pairs,
     if (pair.size() != 2 || !GroupSeedsMatch(pair)) return result;
   }
 
-  const int levels = pairs[0][0]->levels();
-  int level_lo = 0, level_hi = levels;  // Pooled: every level.
+  // Thin strategy over the shared kernel. Strict mode needs a union
+  // estimate to pick its single witness level; pooled mode scans every
+  // level, so the (unused) union estimate is pinned to 0.
+  double union_estimate = 0.0;
   if (!options.pool_all_levels) {
-    // Strict mode needs one level; derive it from a union estimate.
     const UnionEstimate u = options.mle_union
                                 ? EstimateSetUnionMle(pairs, options.epsilon)
                                 : EstimateSetUnion(pairs, options.epsilon);
@@ -30,20 +30,20 @@ JaccardEstimate EstimateJaccard(const std::vector<SketchGroup>& pairs,
       result.ok = true;
       return result;
     }
-    level_lo = WitnessLevel(u.estimate, options.epsilon, options.beta,
-                            levels);
-    level_hi = level_lo + 1;
+    union_estimate = u.estimate;
   }
 
-  for (const SketchGroup& pair : pairs) {
-    for (int level = level_lo; level < level_hi; ++level) {
-      const std::optional<int> atomic =
-          AtomicIntersectEstimate(*pair[0], *pair[1], level);
-      if (!atomic.has_value()) continue;
-      ++result.valid_observations;
-      result.witnesses += *atomic;
-    }
-  }
+  const GroupUnionView view(pairs, /*pairwise=*/true);
+  const WitnessEstimate counted = KernelCountWitnesses(
+      view,
+      [&pairs](int copy, int level) {
+        const SketchGroup& pair = pairs[static_cast<size_t>(copy)];
+        return SingletonBucket(*pair[0], level) &&
+               SingletonBucket(*pair[1], level);
+      },
+      union_estimate, options);
+  result.valid_observations = counted.valid_observations;
+  result.witnesses = counted.witnesses;
   if (result.valid_observations == 0) {
     // No singleton anywhere: either truly empty streams (J = 0 by
     // convention, ok) or too few copies for this workload (not ok).

@@ -1,6 +1,6 @@
 #include "core/set_difference_estimator.h"
 
-#include "core/estimator_config.h"
+#include "core/estimator_kernel.h"
 
 namespace setsketch {
 
@@ -32,39 +32,18 @@ std::optional<int> AtomicDiffEstimate(const TwoLevelHashSketch& a,
 WitnessEstimate EstimateSetDifference(const std::vector<SketchGroup>& pairs,
                                       double union_estimate,
                                       const WitnessOptions& options) {
-  WitnessEstimate result;
-  if (!ValidatePairs(pairs) || union_estimate < 0 || options.beta <= 1.0 ||
-      options.epsilon <= 0 || options.epsilon >= 1) {
-    return result;
-  }
-  result.copies = static_cast<int>(pairs.size());
-  result.union_estimate = union_estimate;
-  result.level = WitnessLevel(union_estimate, options.epsilon, options.beta,
-                              pairs[0][0]->levels());
-
-  const int levels = pairs[0][0]->levels();
-  for (const SketchGroup& pair : pairs) {
-    if (options.pool_all_levels) {
-      // Pooled mode: every union-singleton bucket is a valid observation.
-      for (int level = 0; level < levels; ++level) {
-        const std::optional<int> atomic =
-            AtomicDiffEstimate(*pair[0], *pair[1], level);
-        if (!atomic.has_value()) continue;
-        ++result.valid_observations;
-        result.witnesses += *atomic;
-      }
-    } else {
-      const std::optional<int> atomic =
-          AtomicDiffEstimate(*pair[0], *pair[1], result.level);
-      if (!atomic.has_value()) continue;
-      ++result.valid_observations;
-      result.witnesses += *atomic;
-    }
-  }
-  if (result.valid_observations == 0) return result;  // All "noEstimate".
-  result.estimate = result.WitnessFraction() * union_estimate;
-  result.ok = true;
-  return result;
+  if (!ValidatePairs(pairs)) return WitnessEstimate{};
+  // Thin strategy over the shared kernel: the pairwise view reproduces
+  // AtomicDiffEstimate's SingletonUnionBucket gate; the predicate is
+  // Figure 6, step 5.
+  const GroupUnionView view(pairs, /*pairwise=*/true);
+  return KernelCountWitnesses(
+      view,
+      [&pairs](int copy, int level) {
+        const SketchGroup& pair = pairs[static_cast<size_t>(copy)];
+        return SingletonBucket(*pair[0], level) && BucketEmpty(*pair[1], level);
+      },
+      union_estimate, options);
 }
 
 }  // namespace setsketch

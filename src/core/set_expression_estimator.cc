@@ -2,7 +2,6 @@
 
 #include <unordered_map>
 
-#include "core/estimator_config.h"
 #include "core/sketch_bank.h"
 
 namespace setsketch {
@@ -23,13 +22,46 @@ bool ValidateGroups(const std::vector<SketchGroup>& groups,
 
 }  // namespace
 
+ExpressionEstimate EstimateExpressionWithKernel(
+    const UnionView& view, const WitnessPredicate& witness,
+    const WitnessOptions& options) {
+  ExpressionEstimate result;
+  if (options.beta <= 1.0 || options.epsilon <= 0 || options.epsilon >= 1) {
+    return result;
+  }
+
+  // Stage 1: estimate |U| over all participating streams (Figure 5, or
+  // the all-levels MLE extension when requested).
+  result.union_part =
+      KernelEstimateUnion(view, options.epsilon, options.mle_union);
+  if (!result.union_part.ok) return result;
+
+  WitnessEstimate& w = result.expression;
+  if (result.union_part.estimate <= 0) {
+    // Empty union: |E| is exactly 0 and no witness sampling is needed.
+    w.copies = view.copies();
+    w.union_estimate = result.union_part.estimate;
+    w.estimate = 0;
+    w.level = 0;
+    w.ok = true;
+    result.ok = true;
+    return result;
+  }
+
+  // Stage 2: collect 0/1 witness observations from union-singleton buckets
+  // (Section 4) — one bucket per copy in paper-faithful mode, every
+  // singleton bucket in pooled mode.
+  result.expression = KernelCountWitnesses(
+      view, witness, result.union_part.estimate, options);
+  result.ok = result.expression.ok;
+  return result;
+}
+
 ExpressionEstimate EstimateSetExpression(
     const Expression& expr, const std::vector<std::string>& stream_names,
     const std::vector<SketchGroup>& groups, const WitnessOptions& options) {
-  ExpressionEstimate result;
-  if (!ValidateGroups(groups, stream_names.size()) || options.beta <= 1.0 ||
-      options.epsilon <= 0 || options.epsilon >= 1) {
-    return result;
+  if (!ValidateGroups(groups, stream_names.size())) {
+    return ExpressionEstimate{};
   }
 
   // Column lookup: expression stream name -> group index.
@@ -38,55 +70,23 @@ ExpressionEstimate EstimateSetExpression(
     column.emplace(stream_names[k], k);
   }
   for (const std::string& name : expr.StreamNames()) {
-    if (!column.contains(name)) return result;  // Unknown stream.
+    if (!column.contains(name)) return ExpressionEstimate{};  // Unknown.
   }
 
-  // Stage 1: estimate |U| over all participating streams (Figure 5, or
-  // the all-levels MLE extension when requested).
-  result.union_part = options.mle_union
-                          ? EstimateSetUnionMle(groups, options.epsilon)
-                          : EstimateSetUnion(groups, options.epsilon);
-  if (!result.union_part.ok) return result;
-
-  WitnessEstimate& w = result.expression;
-  w.copies = static_cast<int>(groups.size());
-  w.union_estimate = result.union_part.estimate;
-  if (result.union_part.estimate <= 0) {
-    // Empty union: |E| is exactly 0 and no witness sampling is needed.
-    w.estimate = 0;
-    w.level = 0;
-    w.ok = true;
-    result.ok = true;
-    return result;
-  }
-  w.level = WitnessLevel(result.union_part.estimate, options.epsilon,
-                         options.beta, groups[0][0]->levels());
-
-  // Stage 2: collect 0/1 witness observations from union-singleton buckets
-  // (Section 4) — one bucket per copy in paper-faithful mode, every
-  // singleton bucket in pooled mode.
-  const int levels = groups[0][0]->levels();
-  auto observe = [&](const SketchGroup& group, int level) {
-    if (!UnionSingletonBucket(group, level)) return;  // "noEstimate".
-    ++w.valid_observations;
-    const bool witness = expr.Evaluate([&](const std::string& name) {
-      const TwoLevelHashSketch* sketch = group[column.at(name)];
-      return !BucketEmpty(*sketch, level);
-    });
-    if (witness) ++w.witnesses;
-  };
-  for (const SketchGroup& group : groups) {
-    if (options.pool_all_levels) {
-      for (int level = 0; level < levels; ++level) observe(group, level);
-    } else {
-      observe(group, w.level);
-    }
-  }
-  if (w.valid_observations == 0) return result;
-  w.estimate = w.WitnessFraction() * w.union_estimate;
-  w.ok = true;
-  result.ok = true;
-  return result;
+  // Thin strategy: the direct (unmerged) view plus the AST's witness
+  // condition B(E) — "bucket non-empty in the stream's sketch" at the
+  // leaves, OR / AND / AND-NOT at the connectives.
+  const GroupUnionView view(groups);
+  return EstimateExpressionWithKernel(
+      view,
+      [&](int copy, int level) {
+        const SketchGroup& group = groups[static_cast<size_t>(copy)];
+        return expr.Evaluate([&](const std::string& name) {
+          const TwoLevelHashSketch* sketch = group[column.at(name)];
+          return !BucketEmpty(*sketch, level);
+        });
+      },
+      options);
 }
 
 ExpressionEstimate EstimateSetExpression(const Expression& expr,

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/estimator_kernel.h"
 #include "core/property_checks.h"
 #include "core/set_difference_estimator.h"  // WitnessOptions
 #include "core/set_union_estimator.h"
@@ -47,6 +48,16 @@ ExpressionEstimate EstimateSetExpression(
 ExpressionEstimate EstimateSetExpression(
     const Expression& expr, const SketchBank& bank,
     const WitnessOptions& options = {});
+
+/// The expression strategy over an abstract kernel view: stage-1 union
+/// estimate from `view`, stage-2 witness counting with `witness`. This is
+/// the engine both EstimateSetExpression and the plan cache's compiled
+/// plans run on — given bit-identical views and predicates it produces
+/// bit-identical estimates. Callers validate their own inputs; the witness
+/// predicate is only consulted at union-singleton buckets.
+ExpressionEstimate EstimateExpressionWithKernel(
+    const UnionView& view, const WitnessPredicate& witness,
+    const WitnessOptions& options);
 
 }  // namespace setsketch
 

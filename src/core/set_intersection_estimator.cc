@@ -1,6 +1,6 @@
 #include "core/set_intersection_estimator.h"
 
-#include "core/estimator_config.h"
+#include "core/estimator_kernel.h"
 
 namespace setsketch {
 
@@ -18,42 +18,21 @@ std::optional<int> AtomicIntersectEstimate(const TwoLevelHashSketch& a,
 WitnessEstimate EstimateSetIntersection(
     const std::vector<SketchGroup>& pairs, double union_estimate,
     const WitnessOptions& options) {
-  WitnessEstimate result;
-  if (pairs.empty() || union_estimate < 0 || options.beta <= 1.0 ||
-      options.epsilon <= 0 || options.epsilon >= 1) {
-    return result;
-  }
+  if (pairs.empty()) return WitnessEstimate{};
   for (const SketchGroup& pair : pairs) {
-    if (pair.size() != 2 || !GroupSeedsMatch(pair)) return result;
+    if (pair.size() != 2 || !GroupSeedsMatch(pair)) return WitnessEstimate{};
   }
-  result.copies = static_cast<int>(pairs.size());
-  result.union_estimate = union_estimate;
-  result.level = WitnessLevel(union_estimate, options.epsilon, options.beta,
-                              pairs[0][0]->levels());
-
-  const int levels = pairs[0][0]->levels();
-  for (const SketchGroup& pair : pairs) {
-    if (options.pool_all_levels) {
-      // Pooled mode: every union-singleton bucket is a valid observation.
-      for (int level = 0; level < levels; ++level) {
-        const std::optional<int> atomic =
-            AtomicIntersectEstimate(*pair[0], *pair[1], level);
-        if (!atomic.has_value()) continue;
-        ++result.valid_observations;
-        result.witnesses += *atomic;
-      }
-    } else {
-      const std::optional<int> atomic =
-          AtomicIntersectEstimate(*pair[0], *pair[1], result.level);
-      if (!atomic.has_value()) continue;
-      ++result.valid_observations;
-      result.witnesses += *atomic;
-    }
-  }
-  if (result.valid_observations == 0) return result;
-  result.estimate = result.WitnessFraction() * union_estimate;
-  result.ok = true;
-  return result;
+  // Thin strategy over the shared kernel; the predicate is Section 3.5's
+  // modified step 5 (the union singleton occupies both buckets).
+  const GroupUnionView view(pairs, /*pairwise=*/true);
+  return KernelCountWitnesses(
+      view,
+      [&pairs](int copy, int level) {
+        const SketchGroup& pair = pairs[static_cast<size_t>(copy)];
+        return SingletonBucket(*pair[0], level) &&
+               SingletonBucket(*pair[1], level);
+      },
+      union_estimate, options);
 }
 
 }  // namespace setsketch

@@ -1,6 +1,6 @@
 #include "core/set_union_estimator.h"
 
-#include <cmath>
+#include "core/estimator_kernel.h"
 
 namespace setsketch {
 
@@ -24,116 +24,14 @@ bool ValidateGroups(const std::vector<SketchGroup>& groups) {
 
 UnionEstimate EstimateSetUnion(const std::vector<SketchGroup>& groups,
                                double epsilon) {
-  UnionEstimate result;
-  if (!ValidateGroups(groups) || epsilon <= 0) return result;
-
-  const int r = static_cast<int>(groups.size());
-  const int levels = groups[0][0]->levels();
-  const double threshold = (1.0 + epsilon) * r / 8.0;
-
-  // Find the smallest level whose non-empty count drops to the target
-  // fraction (Figure 5, steps 3-11).
-  int index = 0;
-  int count = 0;
-  for (index = 0; index < levels; ++index) {
-    count = 0;
-    for (const SketchGroup& group : groups) {
-      if (!UnionBucketEmpty(group, index)) ++count;
-    }
-    if (static_cast<double>(count) <= threshold) break;
-  }
-  if (index == levels) {
-    // Every level stayed dense: the union is far too large for this sketch
-    // shape. Report the last level and flag saturation.
-    index = levels - 1;
-    result.saturated = true;
-  }
-
-  result.level = index;
-  result.copies = r;
-  result.nonempty_count = count;
-  double p_hat = static_cast<double>(count) / r;
-  result.p_hat = p_hat;
-
-  if (count == 0) {
-    // No copy saw an element at this level; with index = 0 this means all
-    // streams are empty. The estimator formula also yields 0.
-    result.estimate = 0.0;
-    result.ok = true;
-    return result;
-  }
-  if (p_hat >= 1.0) {
-    // Only reachable when saturated; clamp so the inversion stays finite.
-    p_hat = 1.0 - 0.5 / r;
-  }
-
-  // Invert p = 1 - (1 - 1/R)^u at R = 2^(index+1) (Figure 5, step 13).
-  const double big_r = std::ldexp(1.0, index + 1);
-  result.estimate = std::log1p(-p_hat) / std::log1p(-1.0 / big_r);
-  result.ok = true;
-  return result;
+  if (!ValidateGroups(groups)) return UnionEstimate{};
+  return KernelEstimateUnion(GroupUnionView(groups), epsilon, /*mle=*/false);
 }
 
 UnionEstimate EstimateSetUnionMle(const std::vector<SketchGroup>& groups,
                                   double epsilon) {
-  // Start from the Figure 5 estimate: validates inputs and provides the
-  // diagnostic level/p_hat fields plus a search bracket.
-  UnionEstimate result = EstimateSetUnion(groups, epsilon);
-  if (!result.ok || result.estimate <= 0.0) return result;
-
-  const int r = static_cast<int>(groups.size());
-  const int levels = groups[0][0]->levels();
-  std::vector<int> nonempty(static_cast<size_t>(levels), 0);
-  for (const SketchGroup& group : groups) {
-    for (int level = 0; level < levels; ++level) {
-      if (!UnionBucketEmpty(group, level)) {
-        ++nonempty[static_cast<size_t>(level)];
-      }
-    }
-  }
-
-  // log p_j(u) and log(1 - p_j(u)) with p_j(u) = 1 - (1 - 2^-(j+1))^u.
-  auto log_likelihood = [&](double u) {
-    double total = 0.0;
-    for (int j = 0; j < levels; ++j) {
-      const int k = nonempty[static_cast<size_t>(j)];
-      // q = (1 - 1/R)^u = P[bucket empty]; p = 1 - q.
-      const double log_q = u * std::log1p(-std::ldexp(1.0, -(j + 1)));
-      if (k > 0) {
-        const double p = -std::expm1(log_q);  // 1 - q, accurately.
-        if (p <= 0.0) return -1e300;          // k>0 impossible at p=0.
-        total += k * std::log(p);
-      }
-      if (k < r) total += (r - k) * log_q;
-    }
-    return total;
-  };
-
-  // Golden-section search on t = log2(u); the likelihood is unimodal.
-  const double golden = (std::sqrt(5.0) - 1.0) / 2.0;
-  double lo = 0.0;
-  double hi = static_cast<double>(levels);
-  double x1 = hi - golden * (hi - lo);
-  double x2 = lo + golden * (hi - lo);
-  double f1 = log_likelihood(std::exp2(x1));
-  double f2 = log_likelihood(std::exp2(x2));
-  for (int iteration = 0; iteration < 100; ++iteration) {
-    if (f1 < f2) {
-      lo = x1;
-      x1 = x2;
-      f1 = f2;
-      x2 = lo + golden * (hi - lo);
-      f2 = log_likelihood(std::exp2(x2));
-    } else {
-      hi = x2;
-      x2 = x1;
-      f2 = f1;
-      x1 = hi - golden * (hi - lo);
-      f1 = log_likelihood(std::exp2(x1));
-    }
-  }
-  result.estimate = std::exp2((lo + hi) / 2.0);
-  return result;
+  if (!ValidateGroups(groups)) return UnionEstimate{};
+  return KernelEstimateUnion(GroupUnionView(groups), epsilon, /*mle=*/true);
 }
 
 }  // namespace setsketch

@@ -1,11 +1,25 @@
 #include "core/sketch_bank.h"
 
+#include <atomic>
+
 #include "util/check.h"
 
 
 namespace setsketch {
 
-SketchBank::SketchBank(SketchFamily family) : family_(std::move(family)) {}
+namespace {
+
+// Bank ids are handed out from one process-wide counter so no two
+// SketchBank instances (live or not) ever share one.
+uint64_t NextBankId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+SketchBank::SketchBank(SketchFamily family)
+    : family_(std::move(family)), bank_id_(NextBankId()) {}
 
 bool SketchBank::AddStream(const std::string& name) {
   if (streams_.contains(name)) return false;
@@ -15,6 +29,7 @@ bool SketchBank::AddStream(const std::string& name) {
     copies.emplace_back(family_.seed(i));
   }
   streams_.emplace(name, std::move(copies));
+  epochs_[name] = 1;
   return true;
 }
 
@@ -29,6 +44,7 @@ bool SketchBank::Apply(const std::string& name, uint64_t element,
                        int64_t delta) {
   auto it = streams_.find(name);
   if (it == streams_.end()) return false;
+  ++epochs_[name];
   for (TwoLevelHashSketch& sketch : it->second) {
     sketch.Update(element, delta);
   }
@@ -39,6 +55,7 @@ bool SketchBank::ApplyBatch(const std::string& name,
                             std::span<const ElementDelta> items) {
   auto it = streams_.find(name);
   if (it == streams_.end()) return false;
+  ++epochs_[name];
   for (TwoLevelHashSketch& sketch : it->second) {
     sketch.UpdateBatch(items);
   }
@@ -118,7 +135,11 @@ std::vector<SketchGroup> SketchBank::Groups(
 std::vector<TwoLevelHashSketch>* SketchBank::MutableSketches(
     const std::string& name) {
   auto it = streams_.find(name);
-  return it == streams_.end() ? nullptr : &it->second;
+  if (it == streams_.end()) return nullptr;
+  // The caller may write through this pointer; conservatively treat every
+  // hand-out as a mutation so cached merges can never go stale.
+  ++epochs_[name];
+  return &it->second;
 }
 
 bool SketchBank::AddStreamFromSketches(
@@ -131,7 +152,13 @@ bool SketchBank::AddStreamFromSketches(
     }
   }
   streams_.emplace(name, std::move(sketches));
+  epochs_[name] = 1;
   return true;
+}
+
+uint64_t SketchBank::StreamEpoch(const std::string& name) const {
+  auto it = epochs_.find(name);
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 size_t SketchBank::CounterBytes() const {

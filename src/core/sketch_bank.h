@@ -32,6 +32,13 @@ struct StreamBatch {
 };
 
 /// r aligned sketch copies per named stream.
+///
+/// Every stream carries an ingest *epoch counter* that is bumped whenever
+/// its counters may have changed (Apply/ApplyBatch, and any MutableSketches
+/// hand-out). Cached derived state — notably query/plan_cache.h's memoized
+/// merges — is valid exactly as long as the epochs it was built under are
+/// unchanged. Spurious bumps (mutable access that ends up writing nothing)
+/// only cost a rebuild, never a stale answer.
 class SketchBank {
  public:
   /// Creates a bank whose copies draw hash functions from `family`.
@@ -100,12 +107,25 @@ class SketchBank {
   int num_copies() const { return family_.size(); }
   const SketchFamily& family() const { return family_; }
 
+  /// Ingest epoch of stream `name`: starts at 1 on registration and is
+  /// bumped on every (potential) counter mutation. Returns 0 for unknown
+  /// streams, so "epoch changed" also covers stream (re)creation.
+  uint64_t StreamEpoch(const std::string& name) const;
+
+  /// Process-unique identity of this bank instance. Two banks never share
+  /// an id (even across destruction/recreation within one process), so
+  /// (bank_id, stream epochs) keys derived state unambiguously — a
+  /// recovered or reloaded bank can never satisfy a stale cache entry.
+  uint64_t bank_id() const { return bank_id_; }
+
   /// Total bytes of counter state across all streams and copies.
   size_t CounterBytes() const;
 
  private:
   SketchFamily family_;
+  uint64_t bank_id_;
   std::unordered_map<std::string, std::vector<TwoLevelHashSketch>> streams_;
+  std::unordered_map<std::string, uint64_t> epochs_;
 };
 
 }  // namespace setsketch

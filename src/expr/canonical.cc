@@ -1,0 +1,344 @@
+#include "expr/canonical.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "hash/prng.h"
+#include "util/check.h"
+
+namespace setsketch {
+
+namespace {
+
+// Structural hashing: one salt per node kind, children folded in canonical
+// order through the SplitMix64 finalizer (order-sensitive, which is what we
+// want — union children are pre-sorted, difference children are not
+// commutative).
+constexpr uint64_t kSaltStream = 0x73747265616d5f31ULL;
+constexpr uint64_t kSaltUnion = 0x756e696f6e5f5f31ULL;
+constexpr uint64_t kSaltIntersect = 0x696e746572735f31ULL;
+constexpr uint64_t kSaltDifference = 0x646966665f5f5f31ULL;
+
+uint64_t MixHash(uint64_t h, uint64_t value) {
+  return SplitMix64(h ^ (value + 0x9e3779b97f4a7c15ULL)).Next();
+}
+
+uint64_t KindSalt(Expression::Kind kind) {
+  switch (kind) {
+    case Expression::Kind::kStream: return kSaltStream;
+    case Expression::Kind::kUnion: return kSaltUnion;
+    case Expression::Kind::kIntersect: return kSaltIntersect;
+    case Expression::Kind::kDifference: return kSaltDifference;
+  }
+  return 0;
+}
+
+// Builds the hash-consed DAG bottom-up. Structurally equal sub-expressions
+// intern to the same node id, so "same id" == "same canonical subtree".
+class Builder {
+ public:
+  int Build(const Expression& expr) {
+    switch (expr.kind()) {
+      case Expression::Kind::kStream: {
+        CanonicalNode node;
+        node.kind = Expression::Kind::kStream;
+        node.name = expr.name();
+        return Intern(std::move(node));
+      }
+      case Expression::Kind::kUnion:
+      case Expression::Kind::kIntersect: {
+        std::vector<int> children;
+        CollectNary(expr, expr.kind(), &children);
+        return MakeNary(expr.kind(), std::move(children));
+      }
+      case Expression::Kind::kDifference: {
+        const int left = Build(*expr.left());
+        const int right = Build(*expr.right());
+        return MakeDifference(left, right);
+      }
+    }
+    SETSKETCH_CHECK(false) << "unreachable expression kind";
+    return -1;
+  }
+
+  CanonicalPlan Finish(int root) {
+    CanonicalPlan plan;
+    plan.nodes = std::move(nodes_);
+    plan.root = root;
+    // Assign sorted leaf columns.
+    for (const CanonicalNode& node : plan.nodes) {
+      if (node.kind == Expression::Kind::kStream) {
+        plan.streams.push_back(node.name);
+      }
+    }
+    std::sort(plan.streams.begin(), plan.streams.end());
+    for (CanonicalNode& node : plan.nodes) {
+      if (node.kind == Expression::Kind::kStream) {
+        const auto it = std::lower_bound(plan.streams.begin(),
+                                         plan.streams.end(), node.name);
+        node.column = static_cast<int>(it - plan.streams.begin());
+      }
+    }
+    // `uses` counts parents among nodes reachable from the root only;
+    // nodes orphaned by a rewrite (e.g. the inner node of a collapsed
+    // difference chain) must not inflate sharing.
+    if (root >= 0) {
+      std::vector<unsigned char> live(plan.nodes.size(), 0);
+      std::vector<int> stack = {root};
+      live[static_cast<size_t>(root)] = 1;
+      while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        for (const int child : plan.nodes[static_cast<size_t>(id)].children) {
+          ++plan.nodes[static_cast<size_t>(child)].uses;
+          if (live[static_cast<size_t>(child)] == 0) {
+            live[static_cast<size_t>(child)] = 1;
+            stack.push_back(child);
+          }
+        }
+      }
+    }
+    return plan;
+  }
+
+ private:
+  // Flattens a left/right tree of `kind` nodes into its n-ary child list
+  // (recursing into sub-expressions of any other kind).
+  void CollectNary(const Expression& expr, Expression::Kind kind,
+                   std::vector<int>* children) {
+    if (expr.kind() == kind) {
+      CollectNary(*expr.left(), kind, children);
+      CollectNary(*expr.right(), kind, children);
+      return;
+    }
+    const int id = Build(expr);
+    // A freshly built child can itself be an n-ary node of the same kind
+    // (e.g. the base of a rewritten difference): splice its children too.
+    AppendFlattened(id, kind, children);
+  }
+
+  void AppendFlattened(int id, Expression::Kind kind,
+                       std::vector<int>* children) {
+    const CanonicalNode& node = nodes_[static_cast<size_t>(id)];
+    if (node.kind == kind && kind != Expression::Kind::kDifference) {
+      children->insert(children->end(), node.children.begin(),
+                       node.children.end());
+    } else {
+      children->push_back(id);
+    }
+  }
+
+  // Sorts, dedupes, and interns an n-ary union/intersection; a single
+  // distinct child collapses to that child (X u X = X, X n X = X).
+  int MakeNary(Expression::Kind kind, std::vector<int> children) {
+    std::sort(children.begin(), children.end(),
+              [this](int a, int b) { return NodeLess(a, b); });
+    children.erase(std::unique(children.begin(), children.end()),
+                   children.end());
+    if (children.size() == 1) return children[0];
+    CanonicalNode node;
+    node.kind = kind;
+    node.children = std::move(children);
+    return Intern(std::move(node));
+  }
+
+  // (X - Y) - Z -> X - (Y u Z): collect every subtracted term against the
+  // innermost base, then subtract their (canonical) union once.
+  int MakeDifference(int left, int right) {
+    std::vector<int> subtracted;
+    int base = left;
+    if (nodes_[static_cast<size_t>(base)].kind ==
+        Expression::Kind::kDifference) {
+      const std::vector<int>& pair =
+          nodes_[static_cast<size_t>(base)].children;
+      AppendFlattened(pair[1], Expression::Kind::kUnion, &subtracted);
+      base = pair[0];
+    }
+    AppendFlattened(right, Expression::Kind::kUnion, &subtracted);
+    const int subtrahend =
+        MakeNary(Expression::Kind::kUnion, std::move(subtracted));
+    CanonicalNode node;
+    node.kind = Expression::Kind::kDifference;
+    node.children = {base, subtrahend};
+    return Intern(std::move(node));
+  }
+
+  int Intern(CanonicalNode node) {
+    std::string key(1, static_cast<char>(node.kind));
+    if (node.kind == Expression::Kind::kStream) {
+      key += node.name;
+    } else {
+      for (const int child : node.children) {
+        key.append(reinterpret_cast<const char*>(&child), sizeof(child));
+      }
+    }
+    const auto it = interned_.find(key);
+    if (it != interned_.end()) return it->second;
+
+    uint64_t h = KindSalt(node.kind);
+    if (node.kind == Expression::Kind::kStream) {
+      for (const char c : node.name) {
+        h = MixHash(h, static_cast<unsigned char>(c));
+      }
+    } else {
+      for (const int child : node.children) {
+        h = MixHash(h, nodes_[static_cast<size_t>(child)].hash);
+      }
+    }
+    node.hash = h;
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    interned_.emplace(std::move(key), id);
+    return id;
+  }
+
+  // Deterministic child order: structural hash first, full structural
+  // comparison only on the (astronomically rare) hash tie between
+  // distinct subtrees. Equal ids are equal subtrees by hash-consing.
+  bool NodeLess(int a, int b) const {
+    if (a == b) return false;
+    const CanonicalNode& na = nodes_[static_cast<size_t>(a)];
+    const CanonicalNode& nb = nodes_[static_cast<size_t>(b)];
+    if (na.hash != nb.hash) return na.hash < nb.hash;
+    return StructuralLess(a, b);
+  }
+
+  bool StructuralLess(int a, int b) const {
+    if (a == b) return false;
+    const CanonicalNode& na = nodes_[static_cast<size_t>(a)];
+    const CanonicalNode& nb = nodes_[static_cast<size_t>(b)];
+    if (na.kind != nb.kind) return na.kind < nb.kind;
+    if (na.kind == Expression::Kind::kStream) return na.name < nb.name;
+    if (na.children.size() != nb.children.size()) {
+      return na.children.size() < nb.children.size();
+    }
+    for (size_t i = 0; i < na.children.size(); ++i) {
+      if (na.children[i] == nb.children[i]) continue;
+      if (StructuralLess(na.children[i], nb.children[i])) return true;
+      if (StructuralLess(nb.children[i], na.children[i])) return false;
+    }
+    return false;
+  }
+
+  std::vector<CanonicalNode> nodes_;
+  std::unordered_map<std::string, int> interned_;
+};
+
+const char* Separator(Expression::Kind kind) {
+  switch (kind) {
+    case Expression::Kind::kUnion: return " | ";
+    case Expression::Kind::kIntersect: return " & ";
+    case Expression::Kind::kDifference: return " - ";
+    case Expression::Kind::kStream: break;
+  }
+  return " ? ";
+}
+
+}  // namespace
+
+uint64_t CanonicalPlan::hash() const {
+  return ok() ? nodes[static_cast<size_t>(root)].hash : 0;
+}
+
+std::string CanonicalPlan::NodeToString(int node) const {
+  const CanonicalNode& n = nodes[static_cast<size_t>(node)];
+  if (n.kind == Expression::Kind::kStream) return n.name;
+  std::string out = "(";
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    if (i > 0) out += Separator(n.kind);
+    out += NodeToString(n.children[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string CanonicalPlan::ToString() const {
+  return ok() ? NodeToString(root) : "<invalid>";
+}
+
+int CanonicalPlan::SharedNodeCount() const {
+  int shared = 0;
+  for (const CanonicalNode& node : nodes) {
+    if (node.kind != Expression::Kind::kStream && node.uses > 1) ++shared;
+  }
+  return shared;
+}
+
+CanonicalPlan Canonicalize(const Expression& expr) {
+  Builder builder;
+  const int root = builder.Build(expr);
+  return builder.Finish(root);
+}
+
+ExprPtr CanonicalToExpression(const CanonicalPlan& plan) {
+  if (!plan.ok()) return nullptr;
+  std::vector<ExprPtr> built(plan.nodes.size());
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const CanonicalNode& node = plan.nodes[i];
+    if (node.kind == Expression::Kind::kStream) {
+      built[i] = Expression::Stream(node.name);
+      continue;
+    }
+    ExprPtr acc = built[static_cast<size_t>(node.children[0])];
+    for (size_t c = 1; c < node.children.size(); ++c) {
+      ExprPtr rhs = built[static_cast<size_t>(node.children[c])];
+      switch (node.kind) {
+        case Expression::Kind::kUnion:
+          acc = Expression::Union(std::move(acc), std::move(rhs));
+          break;
+        case Expression::Kind::kIntersect:
+          acc = Expression::Intersect(std::move(acc), std::move(rhs));
+          break;
+        case Expression::Kind::kDifference:
+          acc = Expression::Difference(std::move(acc), std::move(rhs));
+          break;
+        case Expression::Kind::kStream:
+          break;
+      }
+    }
+    built[i] = std::move(acc);
+  }
+  return built[static_cast<size_t>(plan.root)];
+}
+
+bool EvaluatePlan(const CanonicalPlan& plan,
+                  const std::function<bool(int)>& occupied,
+                  std::vector<unsigned char>* scratch) {
+  if (!plan.ok()) return false;
+  std::vector<unsigned char>& values = *scratch;
+  values.assign(plan.nodes.size(), 0);
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const CanonicalNode& node = plan.nodes[i];
+    bool value = false;
+    switch (node.kind) {
+      case Expression::Kind::kStream:
+        value = occupied(node.column);
+        break;
+      case Expression::Kind::kUnion:
+        for (const int child : node.children) {
+          if (values[static_cast<size_t>(child)] != 0) {
+            value = true;
+            break;
+          }
+        }
+        break;
+      case Expression::Kind::kIntersect:
+        value = true;
+        for (const int child : node.children) {
+          if (values[static_cast<size_t>(child)] == 0) {
+            value = false;
+            break;
+          }
+        }
+        break;
+      case Expression::Kind::kDifference:
+        value = values[static_cast<size_t>(node.children[0])] != 0 &&
+                values[static_cast<size_t>(node.children[1])] == 0;
+        break;
+    }
+    values[i] = value ? 1 : 0;
+  }
+  return values[static_cast<size_t>(plan.root)] != 0;
+}
+
+}  // namespace setsketch

@@ -6,6 +6,11 @@ namespace setsketch {
 
 namespace {
 
+// Hostile inputs can nest parentheses arbitrarily deep; cap the
+// recursive-descent depth well below any stack limit so the parser fails
+// with a typed error instead of overflowing.
+constexpr int kMaxDepth = 256;
+
 // Recursive-descent parser over a character cursor.
 class Parser {
  public:
@@ -13,15 +18,27 @@ class Parser {
 
   ParseResult Run() {
     ParseResult result;
-    ExprPtr expr = ParseExpr();
+    SkipSpace();
+    if (pos_ == text_.size()) {
+      result.error = Message("empty expression");
+      result.code = ParseErrorCode::kEmptyInput;
+      return result;
+    }
+    ExprPtr expr = ParseExpr(0);
     if (!expr) {
       result.error = error_;
+      result.code = code_;
       return result;
     }
     SkipSpace();
     if (pos_ != text_.size()) {
-      result.error = Message("unexpected character '" +
-                             std::string(1, text_[pos_]) + "'");
+      const char c = text_[pos_];
+      result.error =
+          Message("unexpected character '" + std::string(1, c) + "'");
+      // A stray ')' here means the input closed more groups than it
+      // opened; everything else is trailing junk after a valid prefix.
+      result.code = c == ')' ? ParseErrorCode::kUnbalancedParens
+                             : ParseErrorCode::kTrailingInput;
       return result;
     }
     result.expression = std::move(expr);
@@ -40,14 +57,17 @@ class Parser {
     return "parse error at position " + std::to_string(pos_) + ": " + what;
   }
 
-  bool Fail(const std::string& what) {
-    if (error_.empty()) error_ = Message(what);
+  bool Fail(ParseErrorCode code, const std::string& what) {
+    if (error_.empty()) {
+      error_ = Message(what);
+      code_ = code;
+    }
     return false;
   }
 
   // expr := term (('|' | '+' | '-') term)*
-  ExprPtr ParseExpr() {
-    ExprPtr left = ParseTerm();
+  ExprPtr ParseExpr(int depth) {
+    ExprPtr left = ParseTerm(depth);
     if (!left) return nullptr;
     for (;;) {
       SkipSpace();
@@ -55,7 +75,7 @@ class Parser {
       const char op = text_[pos_];
       if (op != '|' && op != '+' && op != '-') return left;
       ++pos_;
-      ExprPtr right = ParseTerm();
+      ExprPtr right = ParseTerm(depth);
       if (!right) return nullptr;
       left = (op == '-') ? Expression::Difference(std::move(left),
                                                   std::move(right))
@@ -65,34 +85,38 @@ class Parser {
   }
 
   // term := primary ('&' primary)*
-  ExprPtr ParseTerm() {
-    ExprPtr left = ParsePrimary();
+  ExprPtr ParseTerm(int depth) {
+    ExprPtr left = ParsePrimary(depth);
     if (!left) return nullptr;
     for (;;) {
       SkipSpace();
       if (pos_ >= text_.size() || text_[pos_] != '&') return left;
       ++pos_;
-      ExprPtr right = ParsePrimary();
+      ExprPtr right = ParsePrimary(depth);
       if (!right) return nullptr;
       left = Expression::Intersect(std::move(left), std::move(right));
     }
   }
 
   // primary := IDENT | '(' expr ')'
-  ExprPtr ParsePrimary() {
+  ExprPtr ParsePrimary(int depth) {
     SkipSpace();
     if (pos_ >= text_.size()) {
-      Fail("expected stream name or '('");
+      Fail(ParseErrorCode::kUnexpectedToken, "expected stream name or '('");
       return nullptr;
     }
     const char c = text_[pos_];
     if (c == '(') {
+      if (depth >= kMaxDepth) {
+        Fail(ParseErrorCode::kTooDeep, "expression nested too deeply");
+        return nullptr;
+      }
       ++pos_;
-      ExprPtr inner = ParseExpr();
+      ExprPtr inner = ParseExpr(depth + 1);
       if (!inner) return nullptr;
       SkipSpace();
       if (pos_ >= text_.size() || text_[pos_] != ')') {
-        Fail("expected ')'");
+        Fail(ParseErrorCode::kUnbalancedParens, "expected ')'");
         return nullptr;
       }
       ++pos_;
@@ -107,13 +131,15 @@ class Parser {
       }
       return Expression::Stream(text_.substr(start, pos_ - start));
     }
-    Fail("expected stream name or '(', got '" + std::string(1, c) + "'");
+    Fail(ParseErrorCode::kUnexpectedToken,
+         "expected stream name or '(', got '" + std::string(1, c) + "'");
     return nullptr;
   }
 
   const std::string& text_;
   size_t pos_ = 0;
   std::string error_;
+  ParseErrorCode code_ = ParseErrorCode::kNone;
 };
 
 }  // namespace

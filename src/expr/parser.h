@@ -19,10 +19,23 @@
 
 namespace setsketch {
 
+/// Machine-readable classification of a parse failure. Hostile or
+/// malformed query text (empty frames, unbalanced parens, junk bytes,
+/// pathological nesting) must map to one of these — never a crash.
+enum class ParseErrorCode {
+  kNone = 0,          ///< Parse succeeded.
+  kEmptyInput,        ///< Empty or whitespace-only text.
+  kUnbalancedParens,  ///< Missing ')' or stray ')'.
+  kUnexpectedToken,   ///< Operator/operand out of place or bad character.
+  kTrailingInput,     ///< Well-formed prefix followed by junk.
+  kTooDeep,           ///< Nesting beyond the recursion-depth cap.
+};
+
 /// Outcome of parsing.
 struct ParseResult {
   ExprPtr expression;  ///< Null on failure.
   std::string error;   ///< Human-readable message with position on failure.
+  ParseErrorCode code = ParseErrorCode::kNone;  ///< Typed failure cause.
   bool ok() const { return expression != nullptr; }
 };
 

@@ -1,0 +1,155 @@
+// Compiled, epoch-invalidated query plans for set-expression estimation
+// (DESIGN.md section 3.3).
+//
+// Every query is canonicalized (expr/canonical.h) and compiled once into a
+// cached plan keyed by its structural hash, so "A | (B & C)" and
+// "(C & B) | A" share one entry. A plan holds
+//   * the canonical DAG plus a reusable scratch arena for witness
+//     evaluation,
+//   * the memoized stage-1 union merge (per-copy merged sketches and
+//     occupancy bits over all participating streams), and
+//   * per-sub-expression occupancy memos for leaf-only union nodes, each
+//     tracking only its own streams' epochs,
+// together with the fully memoized answer. Validity is governed by
+// SketchBank's per-stream ingest epochs plus its process-unique bank id:
+// a repeated query over an unchanged bank is answered from the memo with
+// no sketch access at all; after ingest, only the merges whose streams
+// actually changed are rebuilt. A recovered / reloaded bank always carries
+// a fresh bank id, so stale plans can never answer for it.
+//
+// Planned evaluation is bit-identical to direct EstimateSetExpression over
+// the same bank: the merged view's occupancy and singleton probes equal
+// the lazy group probes by counter linearity, and canonicalization
+// preserves the Boolean witness function pointwise
+// (tests/plan_cache_test.cc asserts exact equality, including through
+// ingest -> invalidation -> re-query cycles).
+//
+// Thread safety: all public methods are serialized on an internal mutex,
+// but the caller must keep `bank` quiescent (no concurrent mutation) for
+// the duration of each call — the server holds its ingest locks, the
+// engine is externally synchronized.
+
+#ifndef SETSKETCH_QUERY_PLAN_CACHE_H_
+#define SETSKETCH_QUERY_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/confidence.h"
+#include "core/set_expression_estimator.h"
+#include "core/sketch_bank.h"
+#include "expr/canonical.h"
+#include "expr/expression.h"
+
+namespace setsketch {
+
+/// Compiles, caches, and answers set-expression queries over a SketchBank.
+class PlanCache {
+ public:
+  struct Options {
+    /// Witness-estimator tuning shared by every plan.
+    WitnessOptions witness;
+    /// Maximum cached plans; least-recently-used entries are evicted.
+    size_t max_entries = 128;
+  };
+
+  /// Monotonic counters (see server STATS `plan_cache_*` lines).
+  struct Stats {
+    uint64_t hits = 0;           ///< Answered from the memoized result.
+    uint64_t misses = 0;         ///< No cached plan: compile + evaluate.
+    uint64_t invalidations = 0;  ///< Cached plan, stale epochs: re-evaluate.
+    uint64_t compiles = 0;       ///< Canonical plans built.
+    uint64_t evictions = 0;      ///< LRU evictions.
+    uint64_t merge_builds = 0;   ///< Union-merge memos (re)built.
+    uint64_t bypasses = 0;       ///< EstimateUncached calls.
+    uint64_t entries = 0;        ///< Current cached plans.
+    uint64_t memo_bytes = 0;     ///< Bytes held by memoized merges.
+  };
+
+  /// Outcome of a planned query.
+  struct Result {
+    bool ok = false;           ///< Estimation succeeded.
+    bool cache_hit = false;    ///< Answered from the memo, nothing rebuilt.
+    double estimate = 0.0;     ///< Estimated |E|.
+    Interval interval;         ///< ~95% interval (witness + union).
+    ExpressionEstimate detail; ///< Full estimator diagnostics.
+    std::string canonical;     ///< Canonical plan rendering.
+    std::string error;         ///< Parse / unknown-stream error, if any.
+  };
+
+  explicit PlanCache(const Options& options);
+
+  /// Plans (or reuses the cached plan for) `expr` and answers it against
+  /// `bank`. Provably-empty expressions short-circuit to an exact 0.
+  Result Query(const Expression& expr, const SketchBank& bank);
+
+  /// Parses `text` first; parse failures surface in Result::error.
+  Result Query(const std::string& text, const SketchBank& bank);
+
+  /// Direct (uncached) estimation for callers whose sketch groups are not
+  /// a plain bank view — e.g. the server's coordinator-merged snapshot.
+  /// Counted in Stats::bypasses; never touches the cache.
+  Result EstimateUncached(const Expression& expr,
+                          const std::vector<std::string>& stream_names,
+                          const std::vector<SketchGroup>& groups);
+
+  /// Human-readable EXPLAIN report: canonical plan, CSE sharing, merge
+  /// tasks, and the cache/epoch state of the matching entry (read-only —
+  /// does not compile or promote anything).
+  std::string Explain(const Expression& expr, const SketchBank& bank) const;
+  std::string Explain(const std::string& text, const SketchBank& bank) const;
+
+  Stats stats() const;
+
+  /// Drops every cached plan (counters are retained).
+  void Clear();
+
+ private:
+  // Occupancy memo for one leaf-only union sub-expression: the per-copy,
+  // per-level "union bucket non-empty" bits, valid while its own streams'
+  // epochs are unchanged.
+  struct SubUnionMemo {
+    int node = -1;                ///< Canonical DAG node id.
+    std::vector<int> columns;     ///< Leaf columns under the node.
+    std::vector<uint64_t> epochs; ///< Per column, epoch at build time.
+    std::vector<std::vector<unsigned char>> nonempty;  ///< [copy][level].
+    bool built = false;
+  };
+
+  struct Entry {
+    CanonicalPlan plan;
+    std::string canonical;            ///< plan.ToString() (collision guard).
+    std::vector<std::string> streams; ///< == plan.streams (sorted).
+
+    uint64_t bank_id = 0;             ///< Bank the memos below belong to.
+    std::vector<uint64_t> epochs;     ///< Stage-1/result epochs per stream.
+    MergedUnion union_memo;           ///< Stage-1 merge over all streams.
+    bool union_built = false;
+    std::vector<SubUnionMemo> sub_memos;
+
+    Result result;                    ///< Memoized full answer.
+    bool result_built = false;
+
+    std::vector<unsigned char> scratch;  ///< Witness-DAG eval arena.
+    uint64_t last_used = 0;           ///< LRU tick.
+  };
+
+  Entry* FindOrCompileLocked(const CanonicalPlan& plan,
+                             const std::string& canonical);
+  Result EvaluateLocked(Entry* entry, const SketchBank& bank);
+  void EvictIfNeededLocked();
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  Stats stats_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_QUERY_PLAN_CACHE_H_

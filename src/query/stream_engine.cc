@@ -45,7 +45,9 @@ bool ReadString(const std::string& data, size_t* offset, std::string* s) {
 
 StreamEngine::StreamEngine(const Options& options)
     : options_(options),
-      bank_(SketchFamily(options.params, options.copies, options.seed)) {
+      bank_(SketchFamily(options.params, options.copies, options.seed)),
+      plan_cache_(std::make_unique<PlanCache>(
+          PlanCache::Options{options.witness, /*max_entries=*/128})) {
   if (options_.track_exact) {
     exact_ = std::make_unique<ExactSetStore>(0);
   }
@@ -263,21 +265,15 @@ StreamEngine::Answer StreamEngine::AnswerExpression(
     const Expression& expr) const {
   Answer answer;
   answer.expression = expr.ToString();
-  if (ProvablyEmpty(expr)) {
-    // Algebraically empty (e.g. "A - A"): exactly 0, no sampling needed.
-    answer.ok = true;
-    answer.estimate = 0.0;
-    answer.detail.ok = true;
-    answer.detail.expression.ok = true;
-  } else {
-    answer.detail = EstimateSetExpression(expr, bank_, options_.witness);
-    answer.ok = answer.detail.ok;
-    answer.estimate = answer.detail.expression.estimate;
-    if (answer.ok) {
-      answer.interval = WitnessInterval(
-          answer.detail.expression, UnionInterval(answer.detail.union_part));
-    }
-  }
+  // Compiled path: canonicalize, reuse the cached plan + memoized merges
+  // when this bank's stream epochs are unchanged, re-merge only what
+  // moved otherwise. Bit-identical to direct estimation (the provably-
+  // empty shortcut lives inside the cache too).
+  const PlanCache::Result planned = plan_cache_->Query(expr, bank_);
+  answer.ok = planned.ok;
+  answer.estimate = planned.estimate;
+  answer.interval = planned.interval;
+  answer.detail = planned.detail;
   if (exact_) {
     StreamNameMap name_map;
     for (size_t i = 0; i < names_.size(); ++i) {
@@ -355,6 +351,10 @@ StreamEngine::Explanation StreamEngine::ExplainQuery(int query_id) const {
   } else {
     report += "streams are empty; |E| = 0\n";
   }
+  // Planner view: canonical form, CSE sharing, merge tasks and the plan
+  // cache's epoch state for this query.
+  report += "-- planner --\n";
+  report += plan_cache_->Explain(*expr, bank_);
   explanation.report = std::move(report);
   return explanation;
 }

@@ -21,6 +21,7 @@
 #include "core/sketch_bank.h"
 #include "expr/exact_evaluator.h"
 #include "expr/expression.h"
+#include "query/plan_cache.h"
 #include "stream/exact_set_store.h"
 
 namespace setsketch {
@@ -137,6 +138,14 @@ class StreamEngine {
   /// Total updates ingested.
   int64_t updates_processed() const { return updates_processed_; }
 
+  /// Plan-cache counters for the compiled-query path every answer runs
+  /// through (hits / misses / epoch invalidations / merge builds / ...).
+  PlanCache::Stats plan_cache_stats() const { return plan_cache_->stats(); }
+
+  /// The engine's plan cache (mutable: answering caches plans). Exposed
+  /// for EXPLAIN-style tooling; ingest epochs keep it consistent.
+  PlanCache& plan_cache() const { return *plan_cache_; }
+
   /// Synopsis memory across all streams and copies, in bytes.
   size_t SynopsisBytes() const { return bank_.CounterBytes(); }
 
@@ -147,6 +156,11 @@ class StreamEngine {
 
   Options options_;
   SketchBank bank_;
+  // All query answering funnels through the plan cache: canonicalized,
+  // compiled once, memoized merges invalidated by the bank's stream
+  // epochs. Behind a unique_ptr so the engine stays movable (PlanCache
+  // owns a mutex); never null after construction.
+  std::unique_ptr<PlanCache> plan_cache_;
   std::vector<std::string> names_;  // Id -> name.
   std::unordered_map<std::string, StreamId> ids_;
   std::vector<ExprPtr> queries_;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <unordered_set>
 
 #include "util/check.h"
 #include "util/varint.h"
@@ -44,11 +45,13 @@ const char* OpcodeName(Opcode opcode) {
     case Opcode::kQuery: return "QUERY";
     case Opcode::kStats: return "STATS";
     case Opcode::kShutdown: return "SHUTDOWN";
+    case Opcode::kExplain: return "EXPLAIN";
     case Opcode::kPong: return "PONG";
     case Opcode::kAck: return "ACK";
     case Opcode::kRetryLater: return "RETRY_LATER";
     case Opcode::kQueryResult: return "QUERY_RESULT";
     case Opcode::kStatsResult: return "STATS_RESULT";
+    case Opcode::kExplainResult: return "EXPLAIN_RESULT";
     case Opcode::kError: return "ERROR";
   }
   return "?";
@@ -195,6 +198,7 @@ bool DecodePushUpdates(const std::string& payload, UpdateBatch* out,
     return false;
   }
   out->stream_names.reserve(static_cast<size_t>(num_names));
+  std::unordered_set<std::string> seen_names;
   for (uint64_t i = 0; i < num_names; ++i) {
     std::string name;
     if (!ReadVarintString(payload, &offset, kMaxStreamNameBytes, &name)) {
@@ -203,6 +207,13 @@ bool DecodePushUpdates(const std::string& payload, UpdateBatch* out,
     }
     if (name.empty()) {
       *error = "empty stream name";
+      return false;
+    }
+    // Duplicate ids in the batch-local table would make two local indexes
+    // alias one stream — a client-side bug (or hostile payload) that must
+    // be rejected, not silently double-applied.
+    if (!seen_names.insert(name).second) {
+      *error = "duplicate stream name '" + name + "' in batch";
       return false;
     }
     out->stream_names.push_back(std::move(name));

@@ -14,9 +14,11 @@
 // Requests (client -> server): PING, PUSH_UPDATES (a batch of Update
 // triples addressed by stream *name*), PUSH_SUMMARY (a Site::EncodeSummary
 // buffer, merged idempotently), QUERY (text set expression), STATS,
-// SHUTDOWN. Responses (server -> client): PONG, ACK, RETRY_LATER (ingest
-// backpressure — resend the same batch later), QUERY_RESULT, STATS_RESULT,
-// and ERROR (a code plus a human-readable message).
+// SHUTDOWN, EXPLAIN (text set expression; answered with the query
+// planner's plain-text plan/cache report). Responses (server -> client):
+// PONG, ACK, RETRY_LATER (ingest backpressure — resend the same batch
+// later), QUERY_RESULT, STATS_RESULT, EXPLAIN_RESULT, and ERROR (a code
+// plus a human-readable message).
 //
 // Frames are self-delimiting, so a connection is a plain byte stream of
 // concatenated frames; FrameDecoder below reassembles them incrementally
@@ -55,12 +57,14 @@ enum class Opcode : uint8_t {
   kQuery = 4,
   kStats = 5,
   kShutdown = 6,
+  kExplain = 7,
 
   kPong = 129,
   kAck = 130,
   kRetryLater = 131,
   kQueryResult = 132,
   kStatsResult = 133,
+  kExplainResult = 134,
   kError = 192,
 };
 

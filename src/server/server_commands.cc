@@ -177,6 +177,21 @@ CommandResult RunServerStats(const std::string& host, int port) {
   return result;
 }
 
+CommandResult RunServerExplain(const std::string& host, int port,
+                               const std::string& expression_text) {
+  CommandResult failure;
+  std::unique_ptr<SketchClient> client = Dial(host, port, &failure);
+  if (client == nullptr) return failure;
+  std::string report;
+  const SketchClient::Status status =
+      client->Explain(expression_text, &report);
+  if (!status.ok) return Fail("explain failed: " + status.error);
+  CommandResult result;
+  result.ok = true;
+  result.output = report;
+  return result;
+}
+
 CommandResult RunServerShutdown(const std::string& host, int port) {
   CommandResult failure;
   std::unique_ptr<SketchClient> client = Dial(host, port, &failure);

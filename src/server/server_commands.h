@@ -46,6 +46,12 @@ CommandResult RunServerQuery(const std::string& host, int port,
 /// `sketchtool stats`: fetches a server's serving counters.
 CommandResult RunServerStats(const std::string& host, int port);
 
+/// `sketchtool explain`: fetches the server's query-planner EXPLAIN
+/// report for a set expression (canonical plan, CSE sharing, plan-cache
+/// state).
+CommandResult RunServerExplain(const std::string& host, int port,
+                               const std::string& expression_text);
+
 /// `sketchtool shutdown`: asks a server to drain and exit.
 CommandResult RunServerShutdown(const std::string& host, int port);
 

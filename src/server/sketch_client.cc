@@ -330,6 +330,21 @@ SketchClient::Status SketchClient::Stats(std::string* text) {
   return status;
 }
 
+SketchClient::Status SketchClient::Explain(
+    const std::string& expression_text, std::string* report) {
+  Frame reply;
+  Status status = RoundTrip(Opcode::kExplain, expression_text, &reply);
+  if (!status.ok) return status;
+  if (reply.opcode != Opcode::kExplainResult) {
+    status.ok = false;
+    status.error = std::string("unexpected reply ") +
+                   OpcodeName(reply.opcode);
+    return status;
+  }
+  if (report != nullptr) *report = reply.payload;
+  return status;
+}
+
 SketchClient::Status SketchClient::Shutdown() {
   Frame reply;
   Status status = RoundTrip(Opcode::kShutdown, "", &reply);

@@ -133,6 +133,10 @@ class SketchClient {
   /// Fetches the server's "key value" stats text.
   Status Stats(std::string* text);
 
+  /// Fetches the query planner's EXPLAIN report for a text expression
+  /// (canonical plan, CSE sharing, plan-cache state).
+  Status Explain(const std::string& expression_text, std::string* report);
+
   /// Requests a graceful server shutdown (drain, then exit).
   Status Shutdown();
 

@@ -31,7 +31,8 @@ std::string ErrorFrame(WireError code, std::string_view message) {
 SketchServer::SketchServer(const Options& options)
     : options_(options),
       bank_(SketchFamily(options.params, options.copies, options.seed)),
-      coordinator_(options.params, options.copies, options.seed) {
+      coordinator_(options.params, options.copies, options.seed),
+      plan_cache_(PlanCache::Options{options.witness, /*max_entries=*/128}) {
   if (options_.shards < 1) options_.shards = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
 }
@@ -198,6 +199,8 @@ std::string SketchServer::HandleFrame(const Frame& frame,
                          EncodeQueryResult(Answer(frame.payload)));
     case Opcode::kStats:
       return EncodeFrame(Opcode::kStatsResult, RenderStats());
+    case Opcode::kExplain:
+      return EncodeFrame(Opcode::kExplainResult, Explain(frame.payload));
     case Opcode::kShutdown: {
       draining_.store(true);
       {
@@ -503,9 +506,11 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
   }
   const std::vector<std::string> names = parsed.expression->StreamNames();
 
-  // Snapshot a combined view per stream: directly pushed counters plus
-  // site-summary counters merge by linearity. Copying under the quiesced
-  // locks keeps the (possibly slow) estimation outside them.
+  // Queries whose streams live wholly in the direct-ingest bank run the
+  // compiled-plan path: under the quiesced locks the bank is stable, so
+  // the plan cache can reuse (or epoch-rebuild) its memoized merges.
+  // Streams carried by site summaries need a coordinator-merged snapshot
+  // per query; those copy the combined view out and estimate uncached.
   std::vector<std::vector<TwoLevelHashSketch>> combined;
   combined.reserve(names.size());
   {
@@ -513,6 +518,7 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
     for (const auto& queue : queues_) queue->WaitDrained();
     std::lock_guard<std::mutex> registry_lock(registry_mutex_);
     std::lock_guard<std::mutex> coordinator_lock(coordinator_mutex_);
+    bool any_summaries = false;
     for (const std::string& name : names) {
       const bool in_bank = bank_.HasStream(name);
       const std::vector<TwoLevelHashSketch>* from_sites =
@@ -521,6 +527,31 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
         result.error = "unknown stream '" + name + "'";
         return result;
       }
+      if (from_sites != nullptr) any_summaries = true;
+    }
+    if (!any_summaries) {
+      const PlanCache::Result planned =
+          plan_cache_.Query(*parsed.expression, bank_);
+      result.ok = planned.ok;
+      result.estimate = planned.estimate;
+      if (!planned.ok) {
+        result.error =
+            planned.error.empty()
+                ? "estimation failed (no valid witness observations)"
+                : planned.error;
+        return result;
+      }
+      result.lo = planned.interval.lo;
+      result.hi = planned.interval.hi;
+      return result;
+    }
+    // Snapshot a combined view per stream: directly pushed counters plus
+    // site-summary counters merge by linearity. Copying under the
+    // quiesced locks keeps the (possibly slow) estimation outside them.
+    for (const std::string& name : names) {
+      const bool in_bank = bank_.HasStream(name);
+      const std::vector<TwoLevelHashSketch>* from_sites =
+          coordinator_.Sketches(name);
       std::vector<TwoLevelHashSketch> sketches =
           in_bank ? bank_.Sketches(name) : *from_sites;
       if (in_bank && from_sites != nullptr) {
@@ -540,19 +571,27 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
       groups[i].push_back(&combined[k][i]);
     }
   }
-  const ExpressionEstimate detail = EstimateSetExpression(
-      *parsed.expression, names, groups, options_.witness);
-  result.ok = detail.ok;
-  result.estimate = detail.expression.estimate;
-  if (!detail.ok) {
+  const PlanCache::Result direct =
+      plan_cache_.EstimateUncached(*parsed.expression, names, groups);
+  result.ok = direct.ok;
+  result.estimate = direct.estimate;
+  if (!direct.ok) {
     result.error = "estimation failed (no valid witness observations)";
     return result;
   }
-  const Interval interval =
-      WitnessInterval(detail.expression, UnionInterval(detail.union_part));
-  result.lo = interval.lo;
-  result.hi = interval.hi;
+  result.lo = direct.interval.lo;
+  result.hi = direct.interval.hi;
   return result;
+}
+
+std::string SketchServer::Explain(const std::string& expression_text) {
+  const ParseResult parsed = ParseExpression(expression_text);
+  if (!parsed.ok()) return "error: " + parsed.error + "\n";
+  // Same quiesce as Answer: the report reads bank membership and epochs.
+  std::lock_guard<std::mutex> push_lock(push_mutex_);
+  for (const auto& queue : queues_) queue->WaitDrained();
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  return plan_cache_.Explain(*parsed.expression, bank_);
 }
 
 std::string SketchServer::RenderStats() const {
@@ -578,7 +617,14 @@ std::string SketchServer::RenderStats() const {
       << "recovered_updates " << s.recovered_updates << "\n"
       << "streams " << s.streams << "\n"
       << "shards " << s.shards << "\n"
-      << "queue_capacity " << s.queue_capacity << "\n";
+      << "queue_capacity " << s.queue_capacity << "\n"
+      << "plan_cache_hits " << s.plan_cache_hits << "\n"
+      << "plan_cache_misses " << s.plan_cache_misses << "\n"
+      << "plan_cache_invalidations " << s.plan_cache_invalidations << "\n"
+      << "plan_cache_merge_builds " << s.plan_cache_merge_builds << "\n"
+      << "plan_cache_bypasses " << s.plan_cache_bypasses << "\n"
+      << "plan_cache_entries " << s.plan_cache_entries << "\n"
+      << "plan_cache_memo_bytes " << s.plan_cache_memo_bytes << "\n";
   return out.str();
 }
 
@@ -613,6 +659,14 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
   }
   s.shards = options_.shards;
   s.queue_capacity = options_.queue_capacity;
+  const PlanCache::Stats plan = plan_cache_.stats();
+  s.plan_cache_hits = plan.hits;
+  s.plan_cache_misses = plan.misses;
+  s.plan_cache_invalidations = plan.invalidations;
+  s.plan_cache_merge_builds = plan.merge_builds;
+  s.plan_cache_bypasses = plan.bypasses;
+  s.plan_cache_entries = plan.entries;
+  s.plan_cache_memo_bytes = plan.memo_bytes;
   return s;
 }
 

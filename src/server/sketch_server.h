@@ -63,6 +63,7 @@
 #include "core/set_difference_estimator.h"  // WitnessOptions
 #include "core/sketch_bank.h"
 #include "distributed/coordinator.h"
+#include "query/plan_cache.h"
 #include "server/protocol.h"
 #include "server/shard_queue.h"
 #include "server/wal.h"
@@ -168,6 +169,14 @@ class SketchServer {
     uint64_t streams = 0;
     int shards = 0;
     size_t queue_capacity = 0;
+    // Query-planner counters (see query/plan_cache.h).
+    uint64_t plan_cache_hits = 0;
+    uint64_t plan_cache_misses = 0;
+    uint64_t plan_cache_invalidations = 0;
+    uint64_t plan_cache_merge_builds = 0;
+    uint64_t plan_cache_bypasses = 0;   ///< Coordinator-merged queries.
+    uint64_t plan_cache_entries = 0;
+    uint64_t plan_cache_memo_bytes = 0;
   };
   StatsSnapshot stats() const;
 
@@ -175,6 +184,11 @@ class SketchServer {
   /// (pushed updates + merged site summaries). Public for in-process use
   /// and tests; QUERY frames route here.
   QueryResultInfo Answer(const std::string& expression_text);
+
+  /// Renders the query planner's EXPLAIN report for a text expression:
+  /// canonical plan, CSE sharing, merge tasks and plan-cache state.
+  /// EXPLAIN frames route here; parse failures yield an "error: ..." line.
+  std::string Explain(const std::string& expression_text);
 
   /// The direct-ingest bank. Only safe to inspect when ingest is quiesced
   /// (after Stop, or from tests that know no pushes are in flight).
@@ -235,6 +249,12 @@ class SketchServer {
   // Site summaries, merged idempotently.
   mutable std::mutex coordinator_mutex_;
   Coordinator coordinator_;
+
+  // Query planner: QUERY frames whose streams live wholly in bank_
+  // compile into cached, epoch-invalidated plans here; queries touching
+  // coordinator-merged streams fall back to EstimateUncached (counted as
+  // bypasses). Internally synchronized; callers still quiesce ingest.
+  PlanCache plan_cache_;
 
   // Ingest pipeline. push_mutex_ serializes the all-or-nothing enqueue
   // across shards and is held (with drained queues) during queries.

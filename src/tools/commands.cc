@@ -8,6 +8,7 @@
 #include "core/set_expression_estimator.h"
 #include "core/set_union_estimator.h"
 #include "expr/parser.h"
+#include "query/plan_cache.h"
 #include "stream/stream_io.h"
 #include "tools/bank_io.h"
 #include "util/table_printer.h"
@@ -193,14 +194,17 @@ CommandResult RunEstimate(const std::string& bank_path,
       return Fail("bank has no stream named '" + name + "'");
     }
   }
-  WitnessOptions options;
-  options.pool_all_levels = pool_all_levels;
-  const ExpressionEstimate estimate =
-      EstimateSetExpression(*parsed.expression, *bank, options);
-  if (!estimate.ok) {
+  // One-shot queries still run the planner path (canonicalization +
+  // kernel), so the CLI answers match the engine/server bit for bit.
+  PlanCache::Options cache_options;
+  cache_options.witness.pool_all_levels = pool_all_levels;
+  PlanCache planner(cache_options);
+  const PlanCache::Result planned = planner.Query(*parsed.expression, *bank);
+  if (!planned.ok) {
     return Fail("estimation failed (no valid witness observations; "
                 "increase --copies when building)");
   }
+  const ExpressionEstimate& estimate = planned.detail;
   const Interval interval = WitnessInterval(estimate.expression);
   std::ostringstream out;
   out << "|" << parsed.expression->ToString()

@@ -808,5 +808,109 @@ TEST(FaultToleranceTest, IdleConnectionsAreDroppedAfterDeadline) {
   server.Stop();
 }
 
+TEST(FaultToleranceTest, RecoveredServerNeverServesStaleCachedPlans) {
+  const std::filesystem::path live = FreshDir("ft_plan_live");
+  const std::filesystem::path image =
+      std::filesystem::path(::testing::TempDir()) / "ft_plan_image";
+  std::filesystem::remove_all(image);
+
+  SketchServer::Options options = WalServerOptions(live.string());
+  constexpr int kImagedBatches = 4;
+  constexpr int kPerBatch = 400;
+  const std::string query_text = "(A | B) - (A & B)";
+  std::vector<Update> imaged;
+  {
+    SketchServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    SketchClient::Options client_options;
+    client_options.port = server.port();
+    client_options.site_id = "pusher";
+    std::unique_ptr<SketchClient> client =
+        SketchClient::Connect(client_options, &error);
+    ASSERT_NE(client, nullptr) << error;
+    for (int b = 0; b < kImagedBatches; ++b) {
+      const UpdateBatch batch = MakeBatch(b, kPerBatch);
+      ASSERT_TRUE(client->PushUpdatesWithRetry(batch).ok);
+      imaged.insert(imaged.end(), batch.updates.begin(),
+                    batch.updates.end());
+    }
+    // Warm the plan cache: the repeat answer comes from the memo.
+    const QueryResultInfo warm = client->Query(query_text);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    ASSERT_TRUE(client->Query(query_text).ok);
+    EXPECT_GE(server.stats().plan_cache_hits, 1u);
+
+    // Crash image: exactly the fsync'd disk state at this instant, taken
+    // while the cache above is hot.
+    std::filesystem::copy(live, image,
+                          std::filesystem::copy_options::recursive);
+
+    // The live server keeps ingesting past the image point, so any plan
+    // memo warmed after this divergence describes data the recovered
+    // process never saw — the exact staleness hazard under test.
+    ASSERT_TRUE(
+        client->PushUpdatesWithRetry(MakeBatch(kImagedBatches, kPerBatch))
+            .ok);
+    ASSERT_TRUE(client->Query(query_text).ok);
+  }  // kill -9 equivalent for the cache: the process state is gone.
+
+  options.wal_dir = image.string();
+  SketchServer recovered(options);
+  std::string error;
+  ASSERT_TRUE(recovered.Start(&error)) << error;
+  EXPECT_EQ(recovered.stats().recoveries, 1u);
+
+  // A recovered process starts with an empty plan cache: no hit, miss, or
+  // memo can survive the crash, by construction.
+  const SketchServer::StatsSnapshot fresh = recovered.stats();
+  EXPECT_EQ(fresh.plan_cache_hits, 0u);
+  EXPECT_EQ(fresh.plan_cache_misses, 0u);
+  EXPECT_EQ(fresh.plan_cache_entries, 0u);
+
+  SketchClient::Options client_options;
+  client_options.port = recovered.port();
+  std::unique_ptr<SketchClient> client =
+      SketchClient::Connect(client_options, &error);
+  ASSERT_NE(client, nullptr) << error;
+  const QueryResultInfo answer = client->Query(query_text);
+  ASSERT_TRUE(answer.ok) << answer.error;
+
+  // The chaos assertion: the recovered answer must equal a fresh planner
+  // run over a reference bank holding exactly the imaged updates — i.e.
+  // the replayed WAL state, not the pre-crash server's (which had diverged
+  // past the image point before dying).
+  SketchBank reference(
+      SketchFamily(options.params, options.copies, options.seed));
+  reference.AddStream("A");
+  reference.AddStream("B");
+  const std::vector<std::string> names = {"A", "B"};
+  for (const Update& u : imaged) {
+    reference.Apply(names[u.stream], u.element, u.delta);
+  }
+  PlanCache::Options planner_options;
+  planner_options.witness = options.witness;
+  PlanCache planner(planner_options);
+  const PlanCache::Result expected =
+      planner.Query(query_text, reference);
+  ASSERT_TRUE(expected.ok) << expected.error;
+  EXPECT_EQ(answer.estimate, expected.estimate);
+  EXPECT_EQ(answer.lo, expected.interval.lo);
+  EXPECT_EQ(answer.hi, expected.interval.hi);
+
+  // Post-recovery the cache behaves normally: the first query was a miss,
+  // its repeat is a hit with the identical answer.
+  const SketchServer::StatsSnapshot after_first = recovered.stats();
+  EXPECT_EQ(after_first.plan_cache_misses, 1u);
+  EXPECT_EQ(after_first.plan_cache_hits, 0u);
+  const QueryResultInfo repeat = client->Query(query_text);
+  ASSERT_TRUE(repeat.ok);
+  EXPECT_EQ(repeat.estimate, answer.estimate);
+  EXPECT_EQ(recovered.stats().plan_cache_hits, 1u);
+
+  ASSERT_TRUE(client->Shutdown().ok);
+  recovered.Wait();
+}
+
 }  // namespace
 }  // namespace setsketch

@@ -13,7 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "core/sketch_bank.h"
+#include "expr/canonical.h"
+#include "expr/parser.h"
 #include "hash/prng.h"
+#include "query/plan_cache.h"
 #include "server/fault_injector.h"
 #include "server/protocol.h"
 #include "util/varint.h"
@@ -456,6 +460,89 @@ TEST(ProtocolFuzzTest, AuxiliaryCodecsSurviveTruncationAndSoup) {
     DecodeQueryResult(soup, &out);       // Must not crash.
     ErrorInfo error_info;
     DecodeError(soup, &error_info);      // Must not crash.
+  }
+}
+
+TEST(ProtocolFuzzTest, PushUpdatesRejectsDuplicateStreamNames) {
+  // A batch naming the same stream twice is ambiguous (updates index
+  // streams by position) and must be refused at decode time with a typed
+  // message, not silently double-routed.
+  UpdateBatch batch;
+  batch.stream_names = {"A", "B", "A"};
+  batch.updates.push_back(Update{0, 42, 1});
+  UpdateBatch decoded;
+  std::string error;
+  EXPECT_FALSE(DecodePushUpdates(EncodePushUpdates(batch), &decoded, &error));
+  EXPECT_NE(error.find("duplicate stream name"), std::string::npos) << error;
+  EXPECT_NE(error.find("'A'"), std::string::npos) << error;
+
+  // Distinct names with a shared prefix stay legal.
+  batch.stream_names = {"A", "B", "AA"};
+  EXPECT_TRUE(DecodePushUpdates(EncodePushUpdates(batch), &decoded, &error))
+      << error;
+}
+
+// --- Planner robustness against hostile QUERY payloads ------------------
+
+/// Runs one hostile QUERY payload through the full planner path: parse ->
+/// canonicalize -> plan-cache query against a small live bank. The
+/// invariant is "typed error or valid answer", never a crash or hang.
+void ExerciseHostileQuery(const std::string& text, PlanCache* cache,
+                          const SketchBank& bank) {
+  const ParseResult parsed = ParseExpression(text);
+  if (!parsed.ok()) {
+    EXPECT_NE(parsed.code, ParseErrorCode::kNone) << text;
+    EXPECT_FALSE(parsed.error.empty());
+    return;
+  }
+  const CanonicalPlan plan = Canonicalize(*parsed.expression);
+  EXPECT_TRUE(plan.ok());
+  const PlanCache::Result result = cache->Query(*parsed.expression, bank);
+  if (!result.ok) {
+    EXPECT_FALSE(result.error.empty()) << text;
+  }
+}
+
+TEST(ProtocolFuzzTest, HostileQueryPayloadsNeverCrashThePlanner) {
+  SketchParams params;
+  params.levels = 16;
+  params.num_second_level = 8;
+  SketchBank bank(SketchFamily(params, 8, 99));
+  bank.AddStream("A");
+  bank.AddStream("B");
+  for (uint64_t e = 1; e <= 64; ++e) bank.Apply("A", e, 1);
+
+  PlanCache cache(PlanCache::Options{});
+  std::vector<std::string> corpus = {
+      "", "   ", "\t\n", "(", ")", "((((", "))))", "()",
+      "A &", "& A", "A | | B", "A - - B", "A B", "A $ B", "A\x01(",
+      std::string(1, '\0'), std::string(3, '\xff'),
+      "A & " + std::string(5000, 'x'),  // Pathologically long name.
+      std::string(100000, '('),         // Unterminated deep nesting.
+  };
+  // Balanced but beyond the recursion cap: must be a typed kTooDeep, not
+  // a stack overflow.
+  std::string deep(100000, '(');
+  deep += "A";
+  deep.append(100000, ')');
+  corpus.push_back(deep);
+  for (const std::string& text : corpus) {
+    ExerciseHostileQuery(text, &cache, bank);
+  }
+  EXPECT_EQ(ParseExpression(deep).code, ParseErrorCode::kTooDeep);
+
+  // Random printable soup biased toward grammar characters, so a fair
+  // fraction parses and exercises the canonicalizer too.
+  Xoshiro256StarStar rng(0xFACADE);
+  const std::string alphabet = "AB()|&-  ";
+  for (int round = 0; round < 500; ++round) {
+    std::string soup(rng.NextBelow(40), ' ');
+    for (char& c : soup) {
+      c = rng.NextBelow(4) == 0
+              ? static_cast<char>(rng.Next() & 0xff)
+              : alphabet[rng.NextBelow(alphabet.size())];
+    }
+    ExerciseHostileQuery(soup, &cache, bank);
   }
 }
 

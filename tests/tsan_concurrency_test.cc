@@ -401,5 +401,113 @@ TEST(TsanConcurrencyTest, ServerConcurrentPushQueryStats) {
             static_cast<uint64_t>(kPushers) * kBatches * kPerBatch);
 }
 
+// --- Plan cache under concurrent QUERY vs PUSH_UPDATES ------------------
+
+TEST(TsanConcurrencyTest, ServerPlanCacheConcurrentQueryVsPush) {
+  // Queriers hammer one logical query in two equivalent spellings (plus
+  // EXPLAIN) while pushers mutate the very streams it reads. The plan
+  // cache memoizes, invalidates on ingest epochs, and rebuilds merges
+  // concurrently with admission — TSan proves the locking; the functional
+  // assertions prove answers stay sane and the counters stay coherent.
+  SketchServer::Options options;
+  options.params = SmallParams();
+  options.copies = 32;
+  options.seed = 777;
+  options.shards = 2;
+  options.queue_capacity = 4;
+  options.witness.pool_all_levels = true;
+  SketchServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kPushers = 2;
+  constexpr int kQueriers = 2;
+  constexpr int kBatches = 20;
+  constexpr int kPerBatch = 150;
+  SpinBarrier barrier(kPushers + kQueriers);
+
+  std::vector<std::thread> pushers;
+  pushers.reserve(kPushers);
+  for (int p = 0; p < kPushers; ++p) {
+    pushers.emplace_back([&server, &barrier, p] {
+      std::string connect_error;
+      auto client =
+          SketchClient::Connect("127.0.0.1", server.port(), &connect_error);
+      ASSERT_NE(client, nullptr) << connect_error;
+      barrier.ArriveAndWait();
+      for (int b = 0; b < kBatches; ++b) {
+        UpdateBatch batch;
+        batch.stream_names = {"A", "B", "C"};
+        batch.updates.reserve(kPerBatch);
+        for (int i = 0; i < kPerBatch; ++i) {
+          const uint64_t element = static_cast<uint64_t>(
+              (p * kBatches + b) * kPerBatch + i) * 0x9E3779B97F4A7C15ULL;
+          batch.updates.push_back(
+              Update{static_cast<StreamId>(i % 3), element | 1, 1});
+        }
+        ASSERT_TRUE(client->PushUpdatesWithRetry(batch).ok);
+      }
+    });
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> queriers;
+  queriers.reserve(kQueriers);
+  for (int q = 0; q < kQueriers; ++q) {
+    queriers.emplace_back([&server, &barrier, &done, q] {
+      std::string connect_error;
+      auto client =
+          SketchClient::Connect("127.0.0.1", server.port(), &connect_error);
+      ASSERT_NE(client, nullptr) << connect_error;
+      // Equivalent spellings: both canonicalize to one cached plan, so
+      // the queriers contend on the same entry from both sides.
+      const std::string spelling =
+          q % 2 == 0 ? "A | (B & C)" : "(C & B) | A";
+      barrier.ArriveAndWait();
+      while (!done.load()) {
+        const QueryResultInfo answer = client->Query(spelling);
+        if (answer.ok) {
+          EXPECT_GE(answer.estimate, 0.0);
+          EXPECT_LE(answer.lo, answer.hi);
+        }
+        std::string report;
+        ASSERT_TRUE(client->Explain(spelling, &report).ok);
+        EXPECT_NE(report.find("canonical plan"), std::string::npos);
+      }
+    });
+  }
+
+  for (std::thread& pusher : pushers) pusher.join();
+  done.store(true);
+  for (std::thread& querier : queriers) querier.join();
+
+  // Quiescent now: one query warms (or reuses) the plan, the repeat must
+  // be a pure cache hit with a bit-identical answer.
+  {
+    std::string connect_error;
+    auto client =
+        SketchClient::Connect("127.0.0.1", server.port(), &connect_error);
+    ASSERT_NE(client, nullptr) << connect_error;
+    const QueryResultInfo warm = client->Query("A | (B & C)");
+    ASSERT_TRUE(warm.ok) << warm.error;
+    const SketchServer::StatsSnapshot before = server.stats();
+    const QueryResultInfo repeat = client->Query("(C & B) | A");
+    ASSERT_TRUE(repeat.ok) << repeat.error;
+    EXPECT_EQ(repeat.estimate, warm.estimate);
+    const SketchServer::StatsSnapshot after = server.stats();
+    EXPECT_EQ(after.plan_cache_hits, before.plan_cache_hits + 1);
+    EXPECT_EQ(after.plan_cache_misses, before.plan_cache_misses);
+  }
+
+  server.Stop();
+  const SketchServer::StatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.updates_applied,
+            static_cast<uint64_t>(kPushers) * kBatches * kPerBatch);
+  // Every planned query is accounted as hit, miss, or invalidation.
+  EXPECT_GT(stats.plan_cache_hits + stats.plan_cache_misses +
+                stats.plan_cache_invalidations,
+            0u);
+}
+
 }  // namespace
 }  // namespace setsketch

@@ -77,6 +77,14 @@ stage_release() {
   SETSKETCH_BENCH_JSON="${ft_json}" SETSKETCH_BENCH_SCALE=0.05 \
     "${prefix}-release/bench/bench_fault_tolerance" >/dev/null
   python3 tools/validate_bench_json.py "${ft_json}"
+
+  # Plan-cache smoke: also enforces the >= 5x hot-vs-cold repeated-query
+  # speedup floor (the bench exits nonzero below it).
+  echo "=== bench smoke (plan-cache JSON trajectory) ==="
+  local pc_json="${prefix}-release/BENCH_plan_cache.smoke.json"
+  SETSKETCH_BENCH_JSON="${pc_json}" SETSKETCH_BENCH_SCALE=0.05 \
+    "${prefix}-release/bench/bench_plan_cache" >/dev/null
+  python3 tools/validate_bench_json.py "${pc_json}"
 }
 
 stage_asan() {

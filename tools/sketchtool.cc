@@ -30,6 +30,9 @@
 //                        re-run push with the same site and seq-start is
 //                        deduplicated, never double-counted)
 //   sketchtool query    --port P --expr "(A - B) & C" [--host ...]
+//   sketchtool explain  --port P --expr "(A - B) & C" [--host ...]
+//                       (the planner's report: canonical plan, shared
+//                        sub-expressions, plan-cache/epoch state)
 //   sketchtool stats    --port P [--host ...]
 //   sketchtool shutdown --port P [--host ...]
 //
@@ -64,8 +67,8 @@ std::vector<std::string> SplitCommaList(const std::string& text) {
 
 int Usage() {
   std::cerr << "usage: sketchtool "
-               "<build|info|merge|estimate|serve|push|query|stats|shutdown>"
-               " [flags]\n"
+               "<build|info|merge|estimate|serve|push|query|explain|stats|"
+               "shutdown> [flags]\n"
                "  build    --updates FILE --out FILE [--streams A,B,..]\n"
                "           [--copies N] [--seed N] [--levels N]\n"
                "           [--second-level N] [--kwise T]\n"
@@ -83,6 +86,7 @@ int Usage() {
                "           [--seq-start N] [--io-timeout-ms N]\n"
                "           [--connect-timeout-ms N]\n"
                "  query    --port N --expr EXPRESSION [--host ADDR]\n"
+               "  explain  --port N --expr EXPRESSION [--host ADDR]\n"
                "  stats    --port N [--host ADDR]\n"
                "  shutdown --port N [--host ADDR]\n";
   return 2;
@@ -176,6 +180,12 @@ int main(int argc, char** argv) {
     const std::string expr = flags.GetString("expr", "");
     if (port == 0 || expr.empty()) return Usage();
     result = RunServerQuery(host, port, expr);
+  } else if (command == "explain") {
+    const std::string host = flags.GetString("host", "127.0.0.1");
+    const int port = static_cast<int>(flags.GetInt("port", 0));
+    const std::string expr = flags.GetString("expr", "");
+    if (port == 0 || expr.empty()) return Usage();
+    result = RunServerExplain(host, port, expr);
   } else if (command == "stats") {
     const std::string host = flags.GetString("host", "127.0.0.1");
     const int port = static_cast<int>(flags.GetInt("port", 0));

@@ -11,6 +11,9 @@ configured to emit. Benches are keyed by the marker:
                     per-update/batched bank x r)
   fault_tolerance   bench_fault_tolerance (loopback ingest with the WAL
                     off / on without fsync / on with fsync)
+  plan_cache        bench_plan_cache (repeated-query throughput: cold
+                    direct/replan vs hot/equivalent cache hits, epoch
+                    invalidation re-merge, served loopback QUERY path)
 
 tools/check.sh smoke-runs each bench and validates its trajectory here,
 so the perf reporting cannot silently rot.
@@ -41,6 +44,14 @@ EXPECTED_BY_BENCH = {
         "LoopbackIngest/wal_off",
         "LoopbackIngest/wal_nofsync",
         "LoopbackIngest/wal_fsync",
+    ],
+    "plan_cache": [
+        "PlanCacheQuery/cold_direct",
+        "PlanCacheQuery/cold_replan",
+        "PlanCacheQuery/hot_hit",
+        "PlanCacheQuery/equivalent_hit",
+        "PlanCacheQuery/invalidate_requery",
+        "PlanCacheQuery/served_hot",
     ],
 }
 
