@@ -34,9 +34,17 @@ std::string HashToHex(uint64_t hash) {
   return out;
 }
 
+// A zero-capacity cache would evict the entry FindOrCompileLocked just
+// inserted and hand back a dangling pointer; one entry is the usable
+// minimum.
+PlanCache::Options Sanitize(PlanCache::Options options) {
+  if (options.max_entries == 0) options.max_entries = 1;
+  return options;
+}
+
 }  // namespace
 
-PlanCache::PlanCache(const Options& options) : options_(options) {}
+PlanCache::PlanCache(const Options& options) : options_(Sanitize(options)) {}
 
 PlanCache::Result PlanCache::Query(const std::string& text,
                                    const SketchBank& bank) {
@@ -49,62 +57,168 @@ PlanCache::Result PlanCache::Query(const std::string& text,
   return Query(*parsed.expression, bank);
 }
 
+namespace {
+
+// Algebraically empty expressions (A - A, ...) are answered exactly,
+// with no sketch access and no cache entry: the estimate is 0 for every
+// possible stream contents. Mirrors StreamEngine's historical shortcut.
+PlanCache::Result ExactEmptyResult(std::string canonical) {
+  PlanCache::Result result;
+  result.ok = true;
+  result.cache_hit = true;
+  result.estimate = 0.0;
+  result.canonical = std::move(canonical);
+  result.detail.ok = true;
+  result.detail.expression.ok = true;
+  return result;
+}
+
+}  // namespace
+
 PlanCache::Result PlanCache::Query(const Expression& expr,
                                    const SketchBank& bank) {
   CanonicalPlan plan = Canonicalize(expr);
   std::string canonical = plan.ToString();
-
-  // Algebraically empty expressions (A - A, ...) are answered exactly,
-  // with no sketch access and no cache entry: the estimate is 0 for every
-  // possible stream contents. Mirrors StreamEngine's historical shortcut.
-  if (ProvablyEmpty(expr)) {
-    Result result;
-    result.ok = true;
-    result.cache_hit = true;
-    result.estimate = 0.0;
-    result.canonical = std::move(canonical);
-    result.detail.ok = true;
-    result.detail.expression.ok = true;
-    return result;
-  }
+  if (ProvablyEmpty(expr)) return ExactEmptyResult(std::move(canonical));
 
   std::lock_guard<std::mutex> lock(mutex_);
   Entry* entry = FindOrCompileLocked(plan, canonical);
+  Entry scratch_entry;
   if (entry == nullptr) {
     // Structural-hash collision with a different canonical form (never
     // observed in practice; SplitMix64-mixed 64-bit hashes). Answer
     // correctly without caching.
     ++stats_.misses;
-    Entry scratch_entry;
     scratch_entry.plan = std::move(plan);
     scratch_entry.canonical = std::move(canonical);
     scratch_entry.streams = scratch_entry.plan.streams;
-    return EvaluateLocked(&scratch_entry, bank);
+    entry = &scratch_entry;
+  } else {
+    if (FreshLocked(*entry, bank)) {
+      ++stats_.hits;
+      Result result = entry->result;
+      result.cache_hit = true;
+      return result;
+    }
+    if (entry->result_built) {
+      ++stats_.invalidations;
+    } else {
+      ++stats_.misses;
+    }
   }
 
-  const uint64_t bank_id = bank.bank_id();
-  bool fresh = entry->result_built && entry->bank_id == bank_id;
-  if (fresh) {
-    for (size_t k = 0; k < entry->streams.size(); ++k) {
-      if (bank.StreamEpoch(entry->streams[k]) != entry->epochs[k]) {
-        fresh = false;
+  const std::vector<SketchGroup> groups = bank.Groups(entry->streams);
+  if (groups.empty()) {
+    Result result;
+    result.canonical = entry->canonical;
+    result.error = "unknown stream in expression";
+    entry->result_built = false;
+    return result;
+  }
+  std::vector<uint64_t> epochs(entry->streams.size(), 0);
+  for (size_t k = 0; k < entry->streams.size(); ++k) {
+    epochs[k] = bank.StreamEpoch(entry->streams[k]);
+  }
+  return EvaluateLocked(entry, groups, bank.bank_id(), std::move(epochs));
+}
+
+bool PlanCache::BeginQuery(const Expression& expr, const SketchBank& bank,
+                           Result* hit, SnapshotRequest* request) {
+  CanonicalPlan plan = Canonicalize(expr);
+  std::string canonical = plan.ToString();
+  if (ProvablyEmpty(expr)) {
+    *hit = ExactEmptyResult(std::move(canonical));
+    return true;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = FindOrCompileLocked(plan, canonical);
+  if (entry != nullptr) {
+    if (FreshLocked(*entry, bank)) {
+      ++stats_.hits;
+      *hit = entry->result;
+      hit->cache_hit = true;
+      return true;
+    }
+    if (entry->result_built) {
+      ++stats_.invalidations;
+    } else {
+      ++stats_.misses;
+    }
+    request->streams = entry->streams;
+  } else {
+    // Structural-hash collision: FinishQuery will answer from a scratch
+    // entry; the caller still snapshots the plan's streams.
+    ++stats_.misses;
+    request->streams = plan.streams;
+  }
+  request->bank_id = bank.bank_id();
+  request->epochs.assign(request->streams.size(), 0);
+  for (size_t k = 0; k < request->streams.size(); ++k) {
+    request->epochs[k] = bank.StreamEpoch(request->streams[k]);
+  }
+  return false;
+}
+
+PlanCache::Result PlanCache::FinishQuery(
+    const Expression& expr, const SnapshotRequest& request,
+    const std::vector<std::vector<TwoLevelHashSketch>>& sketches) {
+  CanonicalPlan plan = Canonicalize(expr);
+  std::string canonical = plan.ToString();
+
+  // Per-copy groups over the snapshot: sketches[k] is the copy column of
+  // request.streams[k], so groups[i][k] is copy i of stream k.
+  const size_t copies = sketches.empty() ? 0 : sketches[0].size();
+  std::vector<SketchGroup> groups(copies);
+  for (size_t i = 0; i < copies; ++i) {
+    groups[i].reserve(sketches.size());
+    for (size_t k = 0; k < sketches.size(); ++k) {
+      groups[i].push_back(&sketches[k][i]);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The entry may have been evicted (or evaluated by a concurrent
+  // FinishQuery) between the two phases; re-resolve it.
+  Entry* entry = FindOrCompileLocked(plan, canonical);
+  if (entry != nullptr && entry->result_built &&
+      entry->bank_id == request.bank_id &&
+      entry->epochs.size() == request.epochs.size()) {
+    if (entry->epochs == request.epochs) {
+      // A concurrent FinishQuery already landed this snapshot's answer.
+      Result result = entry->result;
+      result.cache_hit = true;
+      return result;
+    }
+    for (size_t k = 0; k < request.epochs.size(); ++k) {
+      if (entry->epochs[k] > request.epochs[k]) {
+        // The installed memo is for newer epochs than this snapshot
+        // (epochs are monotonic): answer the snapshot without regressing
+        // the entry to older state.
+        entry = nullptr;
         break;
       }
     }
   }
-  if (fresh) {
-    ++stats_.hits;
-    Result result = entry->result;
-    result.cache_hit = true;
-    return result;
+  Entry scratch_entry;
+  if (entry == nullptr) {
+    // Hash collision, or a newer-epoch memo to preserve: evaluate on a
+    // scratch entry without touching the cache.
+    scratch_entry.plan = std::move(plan);
+    scratch_entry.canonical = std::move(canonical);
+    scratch_entry.streams = scratch_entry.plan.streams;
+    entry = &scratch_entry;
   }
+  return EvaluateLocked(entry, groups, request.bank_id, request.epochs);
+}
 
-  if (entry->result_built) {
-    ++stats_.invalidations;
-  } else {
-    ++stats_.misses;
+bool PlanCache::FreshLocked(const Entry& entry,
+                            const SketchBank& bank) const {
+  if (!entry.result_built || entry.bank_id != bank.bank_id()) return false;
+  for (size_t k = 0; k < entry.streams.size(); ++k) {
+    if (bank.StreamEpoch(entry.streams[k]) != entry.epochs[k]) return false;
   }
-  return EvaluateLocked(entry, bank);
+  return true;
 }
 
 PlanCache::Entry* PlanCache::FindOrCompileLocked(const CanonicalPlan& plan,
@@ -143,30 +257,19 @@ PlanCache::Entry* PlanCache::FindOrCompileLocked(const CanonicalPlan& plan,
   return inserted;
 }
 
-PlanCache::Result PlanCache::EvaluateLocked(Entry* entry,
-                                            const SketchBank& bank) {
+PlanCache::Result PlanCache::EvaluateLocked(
+    Entry* entry, const std::vector<SketchGroup>& groups, uint64_t bank_id,
+    std::vector<uint64_t> epochs) {
   Result result;
   result.canonical = entry->canonical;
 
-  const std::vector<SketchGroup> groups = bank.Groups(entry->streams);
-  if (groups.empty()) {
-    result.error = "unknown stream in expression";
-    entry->result_built = false;
-    return result;
-  }
-
   // A different bank instance invalidates every memo wholesale: epochs from
   // another bank are meaningless here, and bank ids are process-unique.
-  if (entry->bank_id != bank.bank_id()) {
-    entry->bank_id = bank.bank_id();
+  if (entry->bank_id != bank_id) {
+    entry->bank_id = bank_id;
     entry->union_built = false;
     for (SubUnionMemo& memo : entry->sub_memos) memo.built = false;
     entry->result_built = false;
-  }
-
-  std::vector<uint64_t> epochs(entry->streams.size(), 0);
-  for (size_t k = 0; k < entry->streams.size(); ++k) {
-    epochs[k] = bank.StreamEpoch(entry->streams[k]);
   }
 
   // Stage-1 memo: the full-union merge feeding occupancy + singleton

@@ -26,8 +26,10 @@
 //
 // Thread safety: all public methods are serialized on an internal mutex,
 // but the caller must keep `bank` quiescent (no concurrent mutation) for
-// the duration of each call — the server holds its ingest locks, the
-// engine is externally synchronized.
+// the duration of any call that takes one — the server holds its ingest
+// locks, the engine is externally synchronized. FinishQuery takes no
+// bank (only caller-owned sketch copies), so cold evaluation can run
+// after the caller released its ingest locks; see BeginQuery.
 
 #ifndef SETSKETCH_QUERY_PLAN_CACHE_H_
 #define SETSKETCH_QUERY_PLAN_CACHE_H_
@@ -90,6 +92,38 @@ class PlanCache {
   /// Parses `text` first; parse failures surface in Result::error.
   Result Query(const std::string& text, const SketchBank& bank);
 
+  /// A BeginQuery miss: everything FinishQuery needs to evaluate on a
+  /// caller-taken snapshot — the plan's stream list (canonical, sorted
+  /// order), the bank identity, and the per-stream epochs at snapshot
+  /// time.
+  struct SnapshotRequest {
+    std::vector<std::string> streams;
+    uint64_t bank_id = 0;
+    std::vector<uint64_t> epochs;
+  };
+
+  /// Two-phase query for callers that must not run a cold evaluation
+  /// while holding their ingest locks (the server: a burst of cold
+  /// expressions would otherwise stall PUSH admission for the duration
+  /// of each merge + estimate).
+  ///
+  /// BeginQuery runs under the caller's quiesced locks and is cheap: on
+  /// a fresh memoized result it fills *hit and returns true; otherwise
+  /// it fills *request and returns false, and the caller copies the
+  /// requested streams' sketches out (still under its locks), releases
+  /// them, and calls FinishQuery with the copies (sketches[k] = the
+  /// per-copy column of request->streams[k]). FinishQuery evaluates on
+  /// the snapshot, reusing/rebuilding the plan's memoized merges, and
+  /// installs the result under the snapshot's epochs — unless a
+  /// concurrent FinishQuery already installed a result under newer
+  /// epochs, in which case the snapshot's (still point-in-time-correct)
+  /// answer is returned without regressing the newer memo.
+  bool BeginQuery(const Expression& expr, const SketchBank& bank,
+                  Result* hit, SnapshotRequest* request);
+  Result FinishQuery(
+      const Expression& expr, const SnapshotRequest& request,
+      const std::vector<std::vector<TwoLevelHashSketch>>& sketches);
+
   /// Direct (uncached) estimation for callers whose sketch groups are not
   /// a plain bank view — e.g. the server's coordinator-merged snapshot.
   /// Counted in Stats::bypasses; never touches the cache.
@@ -140,7 +174,14 @@ class PlanCache {
 
   Entry* FindOrCompileLocked(const CanonicalPlan& plan,
                              const std::string& canonical);
-  Result EvaluateLocked(Entry* entry, const SketchBank& bank);
+  /// True iff the entry's memoized result is valid for `bank`'s current
+  /// (bank_id, epochs).
+  bool FreshLocked(const Entry& entry, const SketchBank& bank) const;
+  /// Evaluates the entry's plan over `groups` (per-copy columns aligned
+  /// with entry->streams) and installs the memoized result keyed by
+  /// (bank_id, epochs).
+  Result EvaluateLocked(Entry* entry, const std::vector<SketchGroup>& groups,
+                        uint64_t bank_id, std::vector<uint64_t> epochs);
   void EvictIfNeededLocked();
 
   const Options options_;

@@ -266,12 +266,7 @@ std::string SketchServer::HandlePushUpdates(const Frame& frame,
   }
   const std::string site_id = batch.site_id;
   const uint64_t sequence = batch.sequence;
-  std::shared_ptr<IngestBatch> resolved;
-  {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
-    resolved = ResolveBatchLocked(std::move(batch));
-  }
-  const uint64_t num_updates = resolved->num_updates;
+  const uint64_t num_updates = batch.updates.size();
   {
     std::lock_guard<std::mutex> lock(push_mutex_);
     if (draining_.load()) {
@@ -298,6 +293,20 @@ std::string SketchServer::HandlePushUpdates(const Frame& frame,
       // a fresh admission attempt, not a duplicate.
       ++batches_rejected_;
       return EncodeFrame(Opcode::kRetryLater, "");
+    }
+    // Resolve inside the push_mutex_ critical section: ResolveBatchLocked
+    // bumps the touched streams' ingest epochs (MutableSketches), and
+    // queries read epochs + counters under push_mutex_ with drained
+    // queues. Keeping the bump and the enqueue atomic w.r.t. queries
+    // means no query can observe a post-batch epoch over pre-batch
+    // counters — which the plan cache would otherwise memoize as a stale
+    // answer for the entire post-batch epoch. Resolving after the
+    // dedup/backpressure gates also keeps rejected batches from bumping
+    // epochs or registering streams.
+    std::shared_ptr<IngestBatch> resolved;
+    {
+      std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+      resolved = ResolveBatchLocked(std::move(batch));
     }
     if (wal_ != nullptr) {
       // Durability before acknowledgment: the raw payload hits fsync'd
@@ -507,10 +516,27 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
   const std::vector<std::string> names = parsed.expression->StreamNames();
 
   // Queries whose streams live wholly in the direct-ingest bank run the
-  // compiled-plan path: under the quiesced locks the bank is stable, so
-  // the plan cache can reuse (or epoch-rebuild) its memoized merges.
+  // compiled-plan path: the memoized-answer check is cheap and happens
+  // under the quiesced locks; a cold/stale plan only snapshots its
+  // streams' sketches there, and the (possibly slow) merge + estimation
+  // runs after the locks are released so it never stalls PUSH admission.
   // Streams carried by site summaries need a coordinator-merged snapshot
   // per query; those copy the combined view out and estimate uncached.
+  const auto fill = [&result](const PlanCache::Result& planned) {
+    result.ok = planned.ok;
+    result.estimate = planned.estimate;
+    if (!planned.ok) {
+      result.error =
+          planned.error.empty()
+              ? "estimation failed (no valid witness observations)"
+              : planned.error;
+      return;
+    }
+    result.lo = planned.interval.lo;
+    result.hi = planned.interval.hi;
+  };
+  bool bank_only = false;
+  PlanCache::SnapshotRequest request;
   std::vector<std::vector<TwoLevelHashSketch>> combined;
   combined.reserve(names.size());
   {
@@ -530,37 +556,42 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
       if (from_sites != nullptr) any_summaries = true;
     }
     if (!any_summaries) {
-      const PlanCache::Result planned =
-          plan_cache_.Query(*parsed.expression, bank_);
-      result.ok = planned.ok;
-      result.estimate = planned.estimate;
-      if (!planned.ok) {
-        result.error =
-            planned.error.empty()
-                ? "estimation failed (no valid witness observations)"
-                : planned.error;
+      PlanCache::Result hit;
+      if (plan_cache_.BeginQuery(*parsed.expression, bank_, &hit,
+                                 &request)) {
+        fill(hit);
         return result;
       }
-      result.lo = planned.interval.lo;
-      result.hi = planned.interval.hi;
-      return result;
-    }
-    // Snapshot a combined view per stream: directly pushed counters plus
-    // site-summary counters merge by linearity. Copying under the
-    // quiesced locks keeps the (possibly slow) estimation outside them.
-    for (const std::string& name : names) {
-      const bool in_bank = bank_.HasStream(name);
-      const std::vector<TwoLevelHashSketch>* from_sites =
-          coordinator_.Sketches(name);
-      std::vector<TwoLevelHashSketch> sketches =
-          in_bank ? bank_.Sketches(name) : *from_sites;
-      if (in_bank && from_sites != nullptr) {
-        for (size_t i = 0; i < sketches.size(); ++i) {
-          sketches[i].Merge((*from_sites)[i]);
-        }
+      // Cache miss or stale epochs: snapshot just the plan's streams
+      // (every name is in the bank here) and finish outside the locks.
+      bank_only = true;
+      for (const std::string& name : request.streams) {
+        combined.push_back(bank_.Sketches(name));
       }
-      combined.push_back(std::move(sketches));
+    } else {
+      // Snapshot a combined view per stream: directly pushed counters
+      // plus site-summary counters merge by linearity. Copying under the
+      // quiesced locks keeps the (possibly slow) estimation outside
+      // them.
+      for (const std::string& name : names) {
+        const bool in_bank = bank_.HasStream(name);
+        const std::vector<TwoLevelHashSketch>* from_sites =
+            coordinator_.Sketches(name);
+        std::vector<TwoLevelHashSketch> sketches =
+            in_bank ? bank_.Sketches(name) : *from_sites;
+        if (in_bank && from_sites != nullptr) {
+          for (size_t i = 0; i < sketches.size(); ++i) {
+            sketches[i].Merge((*from_sites)[i]);
+          }
+        }
+        combined.push_back(std::move(sketches));
+      }
     }
+  }
+
+  if (bank_only) {
+    fill(plan_cache_.FinishQuery(*parsed.expression, request, combined));
+    return result;
   }
 
   const size_t copies = static_cast<size_t>(options_.copies);

@@ -233,7 +233,12 @@ class SketchServer {
 
   /// Registers unseen names and resolves the batch to per-stream groups
   /// of column pointer + element/delta items (the shard workers' batched
-  /// ingest unit). Called with registry_mutex_ held.
+  /// ingest unit). Called with push_mutex_ AND registry_mutex_ held: the
+  /// MutableSketches hand-outs bump the streams' ingest epochs, and that
+  /// bump must be atomic with the enqueue w.r.t. queries (which read
+  /// epochs + counters under push_mutex_ with drained queues), or a
+  /// query in the gap would memoize pre-batch counters under the
+  /// post-batch epoch.
   std::shared_ptr<IngestBatch> ResolveBatchLocked(UpdateBatch&& batch);
 
   Options options_;

@@ -268,6 +268,127 @@ TEST(PlanCacheTest, LruEvictionBoundsTheCache) {
   EXPECT_EQ(cache.stats().compiles, 4u);
 }
 
+TEST(PlanCacheTest, ZeroCapacityClampsToOneUsableEntry) {
+  // max_entries = 0 would otherwise evict the entry FindOrCompile just
+  // inserted and leave a dangling pointer; the cache clamps to 1.
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  const auto bank = BankFromDataset(gen.Generate(512, 77), 16, 77);
+  PlanCache::Options options;
+  options.max_entries = 0;
+  PlanCache cache(options);
+
+  ASSERT_TRUE(cache.Query("S0 | S1", *bank).ok);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_TRUE(cache.Query("S0 | S1", *bank).cache_hit);
+  // A second distinct plan evicts the first (capacity one), never itself.
+  ASSERT_TRUE(cache.Query("S0 & S1", *bank).ok);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_TRUE(cache.Query("S0 & S1", *bank).cache_hit);
+}
+
+// --- Two-phase (snapshot) queries ----------------------------------------
+
+/// Copies the requested streams' sketch columns out of the bank — what the
+/// server does under its quiesced ingest locks between Begin and Finish.
+std::vector<std::vector<TwoLevelHashSketch>> SnapshotStreams(
+    const SketchBank& bank, const PlanCache::SnapshotRequest& request) {
+  std::vector<std::vector<TwoLevelHashSketch>> copies;
+  copies.reserve(request.streams.size());
+  for (const std::string& name : request.streams) {
+    copies.push_back(bank.Sketches(name));
+  }
+  return copies;
+}
+
+TEST(PlanCacheTest, TwoPhaseQueryMatchesInlineAndInstallsTheMemo) {
+  VennPartitionGenerator gen(3, UniformRegionProbs(3));
+  const auto bank = BankFromDataset(gen.Generate(2048, 17), 32, 17);
+  PlanCache cache(PlanCache::Options{});
+  const ExprPtr expr = Parse("S0 | (S1 & S2)");
+  const ExpressionEstimate direct = EstimateSetExpression(*expr, *bank);
+
+  PlanCache::Result hit;
+  PlanCache::SnapshotRequest request;
+  ASSERT_FALSE(cache.BeginQuery(*expr, *bank, &hit, &request));
+  EXPECT_EQ(request.bank_id, bank->bank_id());
+  ASSERT_EQ(request.streams.size(), 3u);
+  const auto snapshot = SnapshotStreams(*bank, request);
+
+  const PlanCache::Result finished =
+      cache.FinishQuery(*expr, request, snapshot);
+  ExpectBitIdentical(finished, direct, "two-phase cold");
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The finished result is installed: the next Begin is a pure hit, and
+  // an equivalent spelling shares it.
+  ASSERT_TRUE(cache.BeginQuery(*expr, *bank, &hit, &request));
+  ExpectBitIdentical(hit, direct, "two-phase hot");
+  EXPECT_TRUE(hit.cache_hit);
+  ASSERT_TRUE(cache.BeginQuery(*Parse("(S2 & S1) | S0"), *bank, &hit,
+                               &request));
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(PlanCacheTest, StaleSnapshotAnswersItselfWithoutRegressingNewerMemo) {
+  // A FinishQuery racing behind an ingest + newer-epoch evaluation must
+  // return its own (point-in-time correct) answer but leave the newer
+  // memo installed: epochs only move forward, so the older snapshot can
+  // never satisfy a future freshness check.
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  auto bank = BankFromDataset(gen.Generate(2048, 27), 32, 27);
+  PlanCache cache(PlanCache::Options{});
+  const ExprPtr expr = Parse("S0 | S1");
+  const ExpressionEstimate old_direct = EstimateSetExpression(*expr, *bank);
+
+  PlanCache::Result hit;
+  PlanCache::SnapshotRequest request;
+  ASSERT_FALSE(cache.BeginQuery(*expr, *bank, &hit, &request));
+  const auto snapshot = SnapshotStreams(*bank, request);
+
+  // Ingest + inline evaluation land first (newer epochs).
+  for (uint64_t e = 0; e < 512; ++e) bank->Apply("S0", 1u << 20 | e, 1);
+  const PlanCache::Result newer = cache.Query(*expr, *bank);
+  ASSERT_TRUE(newer.ok);
+
+  // The stale snapshot still answers its own point in time...
+  const PlanCache::Result stale = cache.FinishQuery(*expr, request, snapshot);
+  ExpectBitIdentical(stale, old_direct, "stale snapshot");
+
+  // ...and the newer memo survives: the next query is a hit on it.
+  const PlanCache::Result after = cache.Query(*expr, *bank);
+  ASSERT_TRUE(after.ok);
+  EXPECT_TRUE(after.cache_hit);
+  EXPECT_EQ(after.estimate, newer.estimate);
+}
+
+TEST(PlanCacheTest, SameEpochFinishReusesTheConcurrentlyInstalledAnswer) {
+  // Two cold queries of one expression race: whichever FinishQuery lands
+  // second finds the identical-epoch memo already installed and reuses it
+  // instead of re-evaluating.
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
+  const auto bank = BankFromDataset(gen.Generate(1024, 37), 32, 37);
+  PlanCache cache(PlanCache::Options{});
+  const ExprPtr expr = Parse("S0 - S1");
+
+  PlanCache::Result hit;
+  PlanCache::SnapshotRequest first_request, second_request;
+  ASSERT_FALSE(cache.BeginQuery(*expr, *bank, &hit, &first_request));
+  ASSERT_FALSE(cache.BeginQuery(*expr, *bank, &hit, &second_request));
+  const auto snapshot = SnapshotStreams(*bank, first_request);
+
+  const PlanCache::Result first =
+      cache.FinishQuery(*expr, first_request, snapshot);
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.cache_hit);
+  const uint64_t builds = cache.stats().merge_builds;
+  const PlanCache::Result second =
+      cache.FinishQuery(*expr, second_request, snapshot);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.cache_hit);  // Reused, nothing rebuilt.
+  EXPECT_EQ(cache.stats().merge_builds, builds);
+  EXPECT_EQ(second.estimate, first.estimate);
+}
+
 TEST(PlanCacheTest, ClearDropsPlansButKeepsCounters) {
   VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.5));
   const auto bank = BankFromDataset(gen.Generate(512, 81), 16, 81);
