@@ -1,0 +1,295 @@
+// Cluster-mode overhead: what routing costs on top of a single node, and
+// what the router's epoch-aware summary cache buys back. Six sweeps:
+//   ClusterIngest/single_node        loopback pushes straight to one server,
+//   ClusterIngest/router_fanout      the same pushes through the router
+//                                    (3 shards, no replication),
+//   ClusterIngest/router_replicated  through the router with one replica
+//                                    (every update lands on two shards),
+//   ClusterQuery/single_node         hot repeated queries on one server,
+//   ClusterQuery/federated_cold      federated queries with a write between
+//                                    each (every summary re-pulled in full),
+//   ClusterQuery/federated_hot       federated repeated queries (summaries
+//                                    answered kUnchanged from the router's
+//                                    epoch cache).
+//
+// Emits a JSON perf trajectory (BENCH_cluster.json, or the path in
+// SETSKETCH_BENCH_JSON) validated by tools/validate_bench_json.py.
+// Honors SETSKETCH_BENCH_SCALE (0 < scale <= 1, default 0.25).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_router.h"
+#include "server/sketch_client.h"
+#include "server/sketch_server.h"
+#include "stream/update.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace setsketch;
+
+namespace {
+
+constexpr uint64_t kMasterSeed = 20030609;
+constexpr int kCopies = 64;
+
+struct BenchResult {
+  std::string name;
+  double seconds = 0.0;
+  double ns_per_op = 0.0;
+  int64_t operations = 0;
+};
+
+std::string FormatJsonDouble(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << value;
+  return out.str();
+}
+
+SketchParams BenchParams() {
+  SketchParams params;
+  params.levels = 24;
+  params.num_second_level = 16;
+  return params;
+}
+
+SketchServer::Options ShardOptions() {
+  SketchServer::Options options;
+  options.params = BenchParams();
+  options.copies = kCopies;
+  options.seed = kMasterSeed;
+  options.shards = 2;
+  options.witness.pool_all_levels = true;
+  return options;
+}
+
+UpdateBatch MakeBatch(int index, int per_batch) {
+  UpdateBatch batch;
+  batch.stream_names = {"A", "B", "C"};
+  batch.updates.reserve(static_cast<size_t>(per_batch));
+  for (int i = 0; i < per_batch; ++i) {
+    const uint64_t element =
+        static_cast<uint64_t>(index * per_batch + i) * 2654435761ULL + 3;
+    batch.updates.push_back(
+        Update{static_cast<StreamId>((index + i) % 3), element, 1});
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvDouble("SETSKETCH_BENCH_SCALE", 0.25);
+  const int64_t batches =
+      std::max<int64_t>(16, static_cast<int64_t>(256 * scale));
+  const int per_batch = 512;
+  const int64_t hot_queries =
+      std::max<int64_t>(50, static_cast<int64_t>(2000 * scale));
+  const int64_t cold_queries =
+      std::max<int64_t>(10, static_cast<int64_t>(100 * scale));
+  const std::string query_text = "(A - B) & C";
+
+  std::cout << "cluster bench: " << batches << " batches x " << per_batch
+            << " updates, " << kCopies << " copies (scale=" << scale
+            << ")\n\n";
+
+  std::vector<BenchResult> results;
+  const auto record = [&results](const std::string& name, double seconds,
+                                 int64_t operations) {
+    BenchResult result;
+    result.name = name;
+    result.seconds = seconds;
+    result.operations = operations;
+    result.ns_per_op = seconds * 1e9 / static_cast<double>(operations);
+    results.push_back(result);
+  };
+
+  const auto push_all = [&](SketchClient& client) -> bool {
+    for (int64_t i = 0; i < batches; ++i) {
+      if (!client.PushUpdatesWithRetry(MakeBatch(static_cast<int>(i),
+                                                 per_batch))
+               .ok) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // --- single node: the baseline both router modes are measured against.
+  SketchServer single(ShardOptions());
+  std::string error;
+  if (!single.Start(&error)) {
+    std::cerr << "single-node start failed: " << error << "\n";
+    return 1;
+  }
+  {
+    auto client =
+        SketchClient::Connect("127.0.0.1", single.port(), &error);
+    if (client == nullptr) {
+      std::cerr << "connect failed: " << error << "\n";
+      return 1;
+    }
+    Stopwatch watch;
+    if (!push_all(*client)) {
+      std::cerr << "single-node push failed\n";
+      return 1;
+    }
+    record("ClusterIngest/single_node", watch.Seconds(),
+           batches * per_batch);
+
+    if (!client->Query(query_text).ok) {
+      std::cerr << "single-node warm-up query failed\n";
+      return 1;
+    }
+    Stopwatch query_watch;
+    for (int64_t i = 0; i < hot_queries; ++i) {
+      if (!client->Query(query_text).ok) {
+        std::cerr << "single-node query failed\n";
+        return 1;
+      }
+    }
+    record("ClusterQuery/single_node", query_watch.Seconds(), hot_queries);
+  }
+
+  // --- routed: 3 shards behind a router, without and with replication.
+  std::vector<std::unique_ptr<SketchServer>> shards;
+  for (int i = 0; i < 3; ++i) {
+    shards.push_back(std::make_unique<SketchServer>(ShardOptions()));
+    if (!shards.back()->Start(&error)) {
+      std::cerr << "shard start failed: " << error << "\n";
+      return 1;
+    }
+  }
+  const auto route = [&shards](int replicas) {
+    ClusterRouter::Options options;
+    for (size_t i = 0; i < shards.size(); ++i) {
+      ClusterShard shard;
+      shard.name = "s" + std::to_string(i);
+      shard.port = shards[i]->port();
+      options.shards.push_back(shard);
+    }
+    options.replicas = replicas;
+    options.params = BenchParams();
+    options.copies = kCopies;
+    options.seed = kMasterSeed;
+    options.witness.pool_all_levels = true;
+    return options;
+  };
+
+  for (const int replicas : {0, 1}) {
+    ClusterRouter router(route(replicas));
+    if (!router.Start(&error)) {
+      std::cerr << "router start failed: " << error << "\n";
+      return 1;
+    }
+    if (router.ProbeAll() != shards.size()) {
+      std::cerr << "not every shard is healthy\n";
+      return 1;
+    }
+    SketchClient::Options client_options;
+    client_options.port = router.port();
+    client_options.site_id = "bench-r" + std::to_string(replicas);
+    auto client = SketchClient::Connect(client_options, &error);
+    if (client == nullptr) {
+      std::cerr << "router connect failed: " << error << "\n";
+      return 1;
+    }
+    Stopwatch watch;
+    if (!push_all(*client)) {
+      std::cerr << "routed push failed\n";
+      return 1;
+    }
+    record(replicas == 0 ? "ClusterIngest/router_fanout"
+                         : "ClusterIngest/router_replicated",
+           watch.Seconds(), batches * per_batch);
+
+    if (replicas == 1) {
+      // Federated query cost against the replicated deployment. Cold: a
+      // one-element write between queries bumps an epoch, forcing a full
+      // summary re-pull. Hot: nothing changes, the router's epoch cache
+      // answers with three one-byte kUnchanged states per query.
+      uint64_t element = 1;
+      Stopwatch cold_watch;
+      for (int64_t i = 0; i < cold_queries; ++i) {
+        UpdateBatch poke;
+        poke.stream_names = {"A"};
+        poke.updates.push_back(
+            Update{0, element++ * 0x9E3779B97F4A7C15ULL, 1});
+        if (!client->PushUpdatesWithRetry(poke).ok ||
+            !client->Query(query_text).ok) {
+          std::cerr << "federated cold query failed\n";
+          return 1;
+        }
+      }
+      record("ClusterQuery/federated_cold", cold_watch.Seconds(),
+             cold_queries);
+
+      Stopwatch hot_watch;
+      for (int64_t i = 0; i < hot_queries; ++i) {
+        if (!client->Query(query_text).ok) {
+          std::cerr << "federated hot query failed\n";
+          return 1;
+        }
+      }
+      record("ClusterQuery/federated_hot", hot_watch.Seconds(),
+             hot_queries);
+
+      const ClusterRouter::StatsSnapshot stats = router.stats();
+      std::cout << "router STATS counters: pushes_forwarded="
+                << stats.pushes_forwarded
+                << " updates_forwarded=" << stats.updates_forwarded
+                << " summary_pulls=" << stats.summary_pulls
+                << " summary_streams_full=" << stats.summary_streams_full
+                << " summary_streams_unchanged="
+                << stats.summary_streams_unchanged << "\n\n";
+    }
+    router.Stop();
+  }
+
+  TablePrinter table({"mode", "ops", "secs", "ops/s", "ns/op"});
+  for (const BenchResult& result : results) {
+    table.AddRow(std::vector<std::string>{
+        result.name, std::to_string(result.operations),
+        FormatDouble(result.seconds, 3),
+        FormatDouble(static_cast<double>(result.operations) /
+                         result.seconds,
+                     0),
+        FormatDouble(result.ns_per_op, 1)});
+  }
+  table.Print(std::cout);
+
+  const char* env = std::getenv("SETSKETCH_BENCH_JSON");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : "BENCH_cluster.json";
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"cluster\",\n";
+  out << "  \"scale\": " << FormatJsonDouble(scale) << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& result = results[i];
+    out << "    {\"name\": \"" << result.name << "\", \"ns_per_op\": "
+        << FormatJsonDouble(result.ns_per_op) << ", \"seconds\": "
+        << FormatJsonDouble(result.seconds) << ", \"operations\": "
+        << result.operations << "}" << (i + 1 < results.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+
+  for (const auto& shard : shards) shard->Stop();
+  single.Stop();
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "cluster/cluster_commands.h"
+
+#include <sstream>
+
+namespace setsketch {
+
+namespace {
+
+CommandResult Fail(const std::string& message) {
+  CommandResult result;
+  result.error = message;
+  return result;
+}
+
+}  // namespace
+
+bool ParseShardList(const std::string& text,
+                    std::vector<ClusterShard>* shards, std::string* error) {
+  shards->clear();
+  std::stringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == item.size()) {
+      *error = "malformed shard '" + item + "' (expected host:port)";
+      return false;
+    }
+    ClusterShard shard;
+    shard.host = item.substr(0, colon);
+    try {
+      shard.port = std::stoi(item.substr(colon + 1));
+    } catch (...) {
+      *error = "malformed shard port in '" + item + "'";
+      return false;
+    }
+    if (shard.port <= 0 || shard.port > 65535) {
+      *error = "shard port out of range in '" + item + "'";
+      return false;
+    }
+    shard.name = item;
+    shards->push_back(std::move(shard));
+  }
+  if (shards->empty()) {
+    *error = "no shards given (--shards host:port[,host:port...])";
+    return false;
+  }
+  return true;
+}
+
+CommandResult RunRoute(const ClusterRouter::Options& options,
+                       std::ostream* announce) {
+  if (!options.params.Valid()) return Fail("invalid sketch parameters");
+  if (options.copies < 1) return Fail("--copies must be >= 1");
+  if (options.shards.empty()) return Fail("no shards given");
+  if (options.replicas >= static_cast<int>(options.shards.size())) {
+    return Fail("--replicas must be < the number of shards");
+  }
+  ClusterRouter router(options);
+  std::string error;
+  if (!router.Start(&error)) return Fail("cannot start router: " + error);
+  const size_t healthy = router.ProbeAll();
+  if (announce != nullptr) {
+    *announce << "routing on " << options.bind_address << ":"
+              << router.port() << " (" << options.shards.size()
+              << " shards, " << healthy << " healthy, replicas="
+              << options.replicas << ")\n"
+              << std::flush;
+  }
+  router.Wait();
+
+  const ClusterRouter::StatsSnapshot stats = router.stats();
+  CommandResult result;
+  result.ok = true;
+  std::ostringstream out;
+  out << "routed " << stats.pushes_forwarded << " batches ("
+      << stats.updates_forwarded << " forwarded updates, "
+      << stats.push_bounces << " bounces, " << stats.forward_failures
+      << " forward failures), " << stats.queries_answered << " queries ("
+      << stats.failovers << " failovers) across " << stats.shards
+      << " shards\n";
+  result.output = out.str();
+  return result;
+}
+
+}  // namespace setsketch

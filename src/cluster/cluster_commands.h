@@ -1,0 +1,30 @@
+// sketchtool subcommands for the cluster subsystem, factored out of the
+// CLI binary so they can be unit-tested (mirrors server/server_commands.h).
+
+#ifndef SETSKETCH_CLUSTER_CLUSTER_COMMANDS_H_
+#define SETSKETCH_CLUSTER_CLUSTER_COMMANDS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_router.h"
+#include "tools/commands.h"  // CommandResult
+
+namespace setsketch {
+
+/// Parses "host:port[,host:port...]" into shard descriptors (names
+/// default to "host:port"). False + *error on malformed input.
+bool ParseShardList(const std::string& text,
+                    std::vector<ClusterShard>* shards, std::string* error);
+
+/// `sketchtool route`: runs a ClusterRouter until a SHUTDOWN frame
+/// arrives, then reports final routing stats. `announce`, if non-null,
+/// receives "routing on <address>:<port> (N shards, ...)" right after
+/// the bind — tests and scripts use it to learn an ephemeral port.
+CommandResult RunRoute(const ClusterRouter::Options& options,
+                       std::ostream* announce = nullptr);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CLUSTER_CLUSTER_COMMANDS_H_

@@ -1,0 +1,775 @@
+#include "cluster/cluster_router.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "expr/analysis.h"
+#include "expr/parser.h"
+#include "server/fault_injector.h"
+#include "server/socket_io.h"
+
+namespace setsketch {
+
+namespace {
+
+std::string ErrorFrame(WireError code, std::string_view message) {
+  return EncodeFrame(Opcode::kError, EncodeError(code, message));
+}
+
+}  // namespace
+
+ClusterRouter::ClusterRouter(const Options& options)
+    : options_(options),
+      family_(options.params, options.copies, options.seed),
+      placement_(options.static_placement ? Placement::Mode::kStatic
+                                          : Placement::Mode::kRing,
+                 [&options] {
+                   std::vector<std::string> names;
+                   names.reserve(options.shards.size());
+                   for (const ClusterShard& shard : options.shards) {
+                     names.push_back(shard.name.empty()
+                                         ? shard.host + ":" +
+                                               std::to_string(shard.port)
+                                         : shard.name);
+                   }
+                   return names;
+                 }(),
+                 options.placement_seed, options.virtual_nodes),
+      plan_cache_(PlanCache::Options{options.witness, /*max_entries=*/1}) {
+  if (options_.replicas < 0) options_.replicas = 0;
+  shards_.reserve(options_.shards.size());
+  for (const ClusterShard& shard : options_.shards) {
+    auto state = std::make_unique<ShardState>();
+    state->shard = shard;
+    if (state->shard.name.empty()) {
+      state->shard.name =
+          state->shard.host + ":" + std::to_string(state->shard.port);
+    }
+    shard_index_by_name_.emplace(state->shard.name, shards_.size());
+    shards_.push_back(std::move(state));
+  }
+}
+
+ClusterRouter::~ClusterRouter() { Stop(); }
+
+bool ClusterRouter::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (shards_.empty()) {
+    if (error != nullptr) *error = "a cluster needs at least one shard";
+    return false;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error != nullptr) {
+      *error = "invalid bind address '" + options_.bind_address + "'";
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    return fail("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread(&ClusterRouter::AcceptLoop, this);
+  if (options_.probe_interval_ms > 0) {
+    probe_thread_ = std::thread(&ClusterRouter::ProbeLoop, this);
+  }
+  started_at_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    started_ = true;
+  }
+  return true;
+}
+
+void ClusterRouter::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listen socket shut down: stopping.
+    }
+    if (draining_.load()) {
+      ::close(fd);
+      continue;
+    }
+    ++connections_accepted_;
+    ++connections_active_;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    open_fds_.push_back(fd);
+    handler_threads_.emplace_back(&ClusterRouter::HandleConnection, this,
+                                  fd);
+  }
+}
+
+void ClusterRouter::HandleConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetNonBlocking(fd);
+
+  const auto send_response = [&](const std::string& bytes) {
+    return SendAllWithDeadline(fd, bytes, options_.io_timeout_ms,
+                               options_.fault_injector)
+        .ok();
+  };
+
+  FrameDecoder decoder;
+  Connection connection;
+  connection.fd = fd;
+  std::vector<char> buffer(1 << 16);
+  bool open = true;
+  while (open) {
+    size_t received = 0;
+    const IoResult got =
+        RecvSomeWithDeadline(fd, buffer.data(), buffer.size(),
+                             options_.idle_timeout_ms, &received);
+    if (!got.ok()) break;
+    decoder.Feed(buffer.data(), received);
+    Frame frame;
+    while (open) {
+      const FrameDecoder::Status status = decoder.Next(&frame);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        ++protocol_errors_;
+        send_response(ErrorFrame(decoder.error(), decoder.error_message()));
+        open = false;
+        break;
+      }
+      ++frames_received_;
+      ++connection.frames;
+      bool keep_open = true;
+      const std::string response = HandleFrame(frame, &connection,
+                                               &keep_open);
+      const bool sent = send_response(response);
+      if (connection.notify_shutdown) {
+        connection.notify_shutdown = false;
+        {
+          std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+          shutdown_requested_ = true;
+        }
+        lifecycle_cv_.notify_all();
+      }
+      if (!sent) {
+        open = false;
+        break;
+      }
+      if (connection.errors >= options_.max_connection_errors) {
+        send_response(ErrorFrame(WireError::kTooManyErrors,
+                                 "connection error budget exhausted"));
+        open = false;
+        break;
+      }
+      if (!keep_open) open = false;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    std::erase(open_fds_, fd);
+  }
+  ::close(fd);
+  --connections_active_;
+}
+
+std::string ClusterRouter::HandleFrame(const Frame& frame,
+                                       Connection* connection,
+                                       bool* keep_open) {
+  *keep_open = true;
+  switch (frame.opcode) {
+    case Opcode::kPing: {
+      HelloInfo hello;
+      if (DecodeHello(frame.payload, /*response=*/false, &hello)) {
+        HelloInfo mine;
+        mine.features = kFeatureSummaryPull;
+        mine.params = options_.params;
+        mine.copies = options_.copies;
+        mine.seed = options_.seed;
+        return EncodeFrame(Opcode::kPong,
+                           EncodeHello(mine, /*response=*/true));
+      }
+      return EncodeFrame(Opcode::kPong, frame.payload);
+    }
+    case Opcode::kPushUpdates:
+      return HandlePushUpdates(frame, connection);
+    case Opcode::kQuery:
+      return EncodeFrame(Opcode::kQueryResult,
+                         EncodeQueryResult(Answer(frame.payload)));
+    case Opcode::kStats:
+      return EncodeFrame(Opcode::kStatsResult, RenderStats());
+    case Opcode::kExplain:
+      return EncodeFrame(Opcode::kExplainResult,
+                         ExplainPlacement(frame.payload));
+    case Opcode::kShutdown: {
+      draining_.store(true);
+      // The lifecycle notify is deferred until the ACK below has been
+      // queued on the socket (HandleConnection checks notify_shutdown
+      // after the send): waking the Stop() thread first would let its
+      // shutdown(SHUT_RDWR) sweep race ahead of the ACK.
+      connection->notify_shutdown = true;
+      return EncodeFrame(Opcode::kAck, EncodeAck(AckInfo{}));
+    }
+    case Opcode::kPushSummary:
+    case Opcode::kPullSummary:
+      ++connection->errors;
+      ++protocol_errors_;
+      return ErrorFrame(WireError::kBadPayload,
+                        std::string(OpcodeName(frame.opcode)) +
+                            " is not routed; address a shard directly");
+    default:
+      ++connection->errors;
+      ++protocol_errors_;
+      return ErrorFrame(WireError::kUnknownOpcode,
+                        std::string("unexpected opcode ") +
+                            OpcodeName(frame.opcode));
+  }
+}
+
+bool ClusterRouter::EnsureClientLocked(ShardState* state) {
+  if (state->refused.load()) return false;
+  if (state->client == nullptr) {
+    SketchClient::Options client_options;
+    client_options.host = state->shard.host;
+    client_options.port = state->shard.port;
+    client_options.connect_timeout_ms = options_.shard_connect_timeout_ms;
+    client_options.io_timeout_ms = options_.shard_io_timeout_ms;
+    client_options.fault_injector = options_.shard_fault_injector;
+    std::string dial_error;
+    state->client = SketchClient::Connect(client_options, &dial_error);
+    if (state->client == nullptr) {
+      state->healthy.store(false);
+      ++state->failures;
+      return false;
+    }
+    // Handshake every fresh connection: the config gate must hold for
+    // the shard process currently answering, not one that once did.
+    HelloInfo mine;
+    mine.features = kFeatureSummaryPull;
+    mine.params = options_.params;
+    mine.copies = options_.copies;
+    mine.seed = options_.seed;
+    HelloInfo theirs;
+    const SketchClient::Status hello = state->client->Hello(mine, &theirs);
+    if (!hello.ok) {
+      // A transport failure is retryable; a peer that answered but could
+      // not be config-checked (or disagreed) is permanently refused.
+      if (state->client->connected()) state->refused.store(true);
+      state->client.reset();
+      state->healthy.store(false);
+      ++state->failures;
+      return false;
+    }
+    if (!mine.ConfigMatches(theirs) ||
+        (theirs.features & kFeatureSummaryPull) == 0) {
+      state->refused.store(true);
+      state->client.reset();
+      state->healthy.store(false);
+      ++state->failures;
+      return false;
+    }
+    state->healthy.store(true);
+  }
+  return true;
+}
+
+SketchClient::Status ClusterRouter::WithShard(
+    size_t shard_index,
+    const std::function<SketchClient::Status(SketchClient&)>& op) {
+  ShardState* state = shards_[shard_index].get();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  SketchClient::Status status;
+  // Two attempts: a stale connection (shard restarted between calls)
+  // fails once, redials, and succeeds — without declaring a live shard
+  // dead. A genuinely dead shard fails both and is marked unhealthy.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!EnsureClientLocked(state)) {
+      status.ok = false;
+      if (status.error.empty()) {
+        status.error = state->refused.load()
+                           ? "shard refused (CONFIG_MISMATCH)"
+                           : "shard unreachable";
+      }
+      continue;
+    }
+    status = op(*state->client);
+    if (status.ok || status.retry) {
+      state->healthy.store(true);
+      return status;
+    }
+    // Transport failures close the client's socket; drop it so the next
+    // attempt (or call) redials. Server-side typed errors keep it.
+    if (!state->client->connected()) state->client.reset();
+  }
+  state->healthy.store(false);
+  ++state->failures;
+  return status;
+}
+
+std::vector<size_t> ClusterRouter::TargetIndices(
+    const std::string& stream) const {
+  std::vector<size_t> indices;
+  const std::vector<std::string> names = placement_.Targets(
+      stream, static_cast<size_t>(options_.replicas) + 1);
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    indices.push_back(shard_index_by_name_.at(name));
+  }
+  return indices;
+}
+
+std::vector<std::string> ClusterRouter::WriteTargets(
+    const std::string& stream) const {
+  return placement_.Targets(stream,
+                            static_cast<size_t>(options_.replicas) + 1);
+}
+
+int ClusterRouter::ReadTargetIndex(const std::string& stream,
+                                   bool* failover) const {
+  if (failover != nullptr) *failover = false;
+  const std::vector<size_t> targets = TargetIndices(stream);
+  for (size_t k = 0; k < targets.size(); ++k) {
+    const ShardState& state = *shards_[targets[k]];
+    if (state.refused.load() || state.stale.load() ||
+        !state.healthy.load()) {
+      continue;
+    }
+    if (failover != nullptr && k > 0) *failover = true;
+    return static_cast<int>(targets[k]);
+  }
+  return -1;
+}
+
+std::string ClusterRouter::ReadTarget(const std::string& stream) const {
+  const int index = ReadTargetIndex(stream, nullptr);
+  return index < 0 ? std::string()
+                   : shards_[static_cast<size_t>(index)]->shard.name;
+}
+
+std::string ClusterRouter::HandlePushUpdates(const Frame& frame,
+                                             Connection* connection) {
+  UpdateBatch batch;
+  std::string decode_error;
+  if (!DecodePushUpdates(frame.payload, &batch, &decode_error)) {
+    ++connection->errors;
+    ++protocol_errors_;
+    return ErrorFrame(WireError::kBadPayload, decode_error);
+  }
+  if (draining_.load()) {
+    return ErrorFrame(WireError::kShuttingDown, "router is draining");
+  }
+
+  // Partition the batch by placed shard: every stream goes to its owner
+  // plus replicas, each sub-batch keeping the ORIGINAL (site, sequence)
+  // header so the shards' dedup windows see the client's identity.
+  struct SubBatch {
+    UpdateBatch batch;
+    std::unordered_map<std::string, uint64_t> local_index;
+  };
+  std::map<size_t, SubBatch> per_shard;
+  std::vector<std::vector<size_t>> shards_of_stream(
+      batch.stream_names.size());
+  for (size_t k = 0; k < batch.stream_names.size(); ++k) {
+    const std::string& name = batch.stream_names[k];
+    const std::vector<size_t> placed = TargetIndices(name);
+    for (const size_t shard_index : placed) {
+      ShardState& state = *shards_[shard_index];
+      if (state.refused.load()) continue;
+      if (!state.healthy.load()) {
+        // A placed copy is being skipped: that shard's view of this
+        // stream is now incomplete until recovery + re-push, so it must
+        // not serve reads.
+        state.stale.store(true);
+        continue;
+      }
+      shards_of_stream[k].push_back(shard_index);
+    }
+    if (shards_of_stream[k].empty()) {
+      return ErrorFrame(WireError::kNoHealthyShard,
+                        "stream '" + name + "' has no healthy shard");
+    }
+    for (const size_t shard_index : shards_of_stream[k]) {
+      SubBatch& sub = per_shard[shard_index];
+      if (sub.batch.stream_names.empty()) {
+        sub.batch.site_id = batch.site_id;
+        sub.batch.sequence = batch.sequence;
+      }
+      if (!sub.local_index.contains(name)) {
+        sub.local_index.emplace(name, sub.batch.stream_names.size());
+        sub.batch.stream_names.push_back(name);
+      }
+    }
+  }
+  for (const Update& u : batch.updates) {
+    const std::string& name = batch.stream_names[u.stream];
+    for (const size_t shard_index : shards_of_stream[u.stream]) {
+      SubBatch& sub = per_shard.at(shard_index);
+      sub.batch.updates.push_back(Update{
+          static_cast<StreamId>(sub.local_index.at(name)), u.element,
+          u.delta});
+    }
+  }
+
+  // Forward sequentially; all-or-RETRY. A partial fan-out is safe to
+  // retry: shards that already applied this (site, sequence) re-ACK as
+  // duplicates without re-applying.
+  bool all_duplicate = true;
+  for (auto& [shard_index, sub] : per_shard) {
+    const SketchClient::Status status = WithShard(
+        shard_index, [&sub](SketchClient& client) {
+          return client.ForwardUpdates(sub.batch);
+        });
+    if (status.retry) {
+      ++push_bounces_;
+      return EncodeFrame(Opcode::kRetryLater, "");
+    }
+    if (!status.ok) {
+      ++forward_failures_;
+      // The shard just died mid-fan-out: its placed copies missed this
+      // write. Surface as backpressure; the client's retry loop re-pushes
+      // the same sequence and the dedup window dedupes the survivors.
+      shards_[shard_index]->stale.store(true);
+      ++push_bounces_;
+      return EncodeFrame(Opcode::kRetryLater, "");
+    }
+    if (!status.duplicate) all_duplicate = false;
+    ++subbatches_forwarded_;
+    updates_forwarded_ += sub.batch.updates.size();
+  }
+  ++pushes_forwarded_;
+  return EncodeFrame(
+      Opcode::kAck,
+      EncodeAck(AckInfo{batch.updates.size(), false,
+                        all_duplicate && !per_shard.empty() &&
+                            !batch.site_id.empty()}));
+}
+
+QueryResultInfo ClusterRouter::Answer(const std::string& expression_text) {
+  ++queries_answered_;
+  QueryResultInfo result;
+  ParseResult parsed = ParseExpression(expression_text);
+  if (!parsed.ok()) {
+    result.error = parsed.error;
+    return result;
+  }
+  result.expression = parsed.expression->ToString();
+  if (ProvablyEmpty(*parsed.expression)) {
+    result.ok = true;  // Exactly zero for any data (single-node parity).
+    return result;
+  }
+  const std::vector<std::string> names = parsed.expression->StreamNames();
+
+  std::lock_guard<std::mutex> query_lock(query_mutex_);
+  // Route every stream to its current read target, then pull summaries
+  // shard by shard — sending the cached (bank_id, epoch) so unchanged
+  // streams come back as one state byte.
+  std::map<size_t, std::vector<std::string>> names_by_shard;
+  for (const std::string& name : names) {
+    bool failover = false;
+    const int target = ReadTargetIndex(name, &failover);
+    if (target < 0) {
+      result.error = "stream '" + name + "' has no healthy shard";
+      return result;
+    }
+    if (failover) ++failovers_;
+    names_by_shard[static_cast<size_t>(target)].push_back(name);
+  }
+  for (const auto& [shard_index, shard_names] : names_by_shard) {
+    SummaryPullRequest request;
+    request.streams.reserve(shard_names.size());
+    for (const std::string& name : shard_names) {
+      SummaryPullRequest::Key key;
+      key.name = name;
+      const auto it = summary_cache_.find(name);
+      if (it != summary_cache_.end() &&
+          it->second.shard_index == shard_index) {
+        key.bank_id = it->second.bank_id;
+        key.epoch = it->second.epoch;
+      }
+      request.streams.push_back(std::move(key));
+    }
+    SummaryResult pulled;
+    ++summary_pulls_;
+    const SketchClient::Status status = WithShard(
+        shard_index, [&request, &pulled](SketchClient& client) {
+          return client.PullSummaries(request, &pulled);
+        });
+    if (!status.ok) {
+      result.error = "shard '" +
+                     shards_[shard_index]->shard.name +
+                     "' summary pull failed: " + status.error;
+      return result;
+    }
+    for (SummaryResult::Entry& entry : pulled.streams) {
+      switch (entry.state) {
+        case SummaryState::kUnknown:
+          result.error = "unknown stream '" + entry.name + "'";
+          return result;
+        case SummaryState::kUnchanged: {
+          const auto it = summary_cache_.find(entry.name);
+          if (it == summary_cache_.end() ||
+              it->second.shard_index != shard_index) {
+            result.error = "shard '" + shards_[shard_index]->shard.name +
+                           "' reported an unchanged summary we never "
+                           "cached for stream '" +
+                           entry.name + "'";
+            return result;
+          }
+          ++summary_streams_unchanged_;
+          break;
+        }
+        case SummaryState::kFull: {
+          if (static_cast<int>(entry.sketches.size()) != options_.copies) {
+            result.error = "stream '" + entry.name + "' summary carries " +
+                           std::to_string(entry.sketches.size()) +
+                           " copies, expected " +
+                           std::to_string(options_.copies);
+            return result;
+          }
+          for (int i = 0; i < options_.copies; ++i) {
+            if (!(entry.sketches[static_cast<size_t>(i)].seed() ==
+                  *family_.seed(i))) {
+              result.error = "stream '" + entry.name +
+                             "' copy " + std::to_string(i) +
+                             " uses foreign hash functions";
+              return result;
+            }
+          }
+          CachedSummary& cached = summary_cache_[entry.name];
+          cached.shard_index = shard_index;
+          cached.bank_id = entry.bank_id;
+          cached.epoch = entry.epoch;
+          cached.sketches = std::move(entry.sketches);
+          ++summary_streams_full_;
+          break;
+        }
+      }
+    }
+  }
+
+  // One estimator kernel seam for the whole cluster: the federated view
+  // estimates exactly like a single-node summary query.
+  const size_t copies = static_cast<size_t>(options_.copies);
+  std::vector<SketchGroup> groups(copies);
+  for (size_t i = 0; i < copies; ++i) {
+    groups[i].reserve(names.size());
+    for (const std::string& name : names) {
+      groups[i].push_back(&summary_cache_.at(name).sketches[i]);
+    }
+  }
+  const PlanCache::Result direct =
+      plan_cache_.EstimateUncached(*parsed.expression, names, groups);
+  result.ok = direct.ok;
+  result.estimate = direct.estimate;
+  if (!direct.ok) {
+    result.error = "estimation failed (no valid witness observations)";
+    return result;
+  }
+  result.lo = direct.interval.lo;
+  result.hi = direct.interval.hi;
+  return result;
+}
+
+std::string ClusterRouter::ExplainPlacement(const std::string& text) const {
+  // An expression reports every stream it touches; anything that fails to
+  // parse is treated as one bare stream name (handy for scripts).
+  std::vector<std::string> names;
+  const ParseResult parsed = ParseExpression(text);
+  if (parsed.ok()) {
+    names = parsed.expression->StreamNames();
+  } else {
+    names.push_back(text);
+  }
+  std::ostringstream out;
+  out << "placement "
+      << (placement_.mode() == Placement::Mode::kRing ? "ring" : "static")
+      << " replicas " << options_.replicas << "\n";
+  for (const std::string& name : names) {
+    out << "stream " << name << " targets=";
+    const std::vector<std::string> targets = WriteTargets(name);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      if (k > 0) out << ",";
+      out << targets[k];
+    }
+    const std::string read = ReadTarget(name);
+    out << " read=" << (read.empty() ? "-" : read) << "\n";
+  }
+  return out.str();
+}
+
+size_t ClusterRouter::ProbeAll() {
+  size_t healthy = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ++probes_;
+    const SketchClient::Status status =
+        WithShard(i, [](SketchClient& client) { return client.Ping(); });
+    if (status.ok) ++healthy;
+  }
+  return healthy;
+}
+
+void ClusterRouter::ProbeLoop() {
+  std::unique_lock<std::mutex> lock(probe_mutex_);
+  while (!draining_.load()) {
+    probe_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.probe_interval_ms));
+    if (draining_.load()) break;
+    lock.unlock();
+    ProbeAll();
+    lock.lock();
+  }
+}
+
+std::string ClusterRouter::RenderStats() const {
+  const StatsSnapshot s = stats();
+  std::ostringstream out;
+  out << "shards " << s.shards << "\n"
+      << "healthy_shards " << s.healthy_shards << "\n"
+      << "refused_shards " << s.refused_shards << "\n"
+      << "stale_shards " << s.stale_shards << "\n"
+      << "replicas " << options_.replicas << "\n"
+      << "placement "
+      << (placement_.mode() == Placement::Mode::kRing ? "ring" : "static")
+      << "\n"
+      << "connections_accepted " << s.connections_accepted << "\n"
+      << "connections_active " << s.connections_active << "\n"
+      << "frames_received " << s.frames_received << "\n"
+      << "protocol_errors " << s.protocol_errors << "\n"
+      << "pushes_forwarded " << s.pushes_forwarded << "\n"
+      << "push_bounces " << s.push_bounces << "\n"
+      << "subbatches_forwarded " << s.subbatches_forwarded << "\n"
+      << "updates_forwarded " << s.updates_forwarded << "\n"
+      << "forward_failures " << s.forward_failures << "\n"
+      << "failovers " << s.failovers << "\n"
+      << "queries_answered " << s.queries_answered << "\n"
+      << "summary_pulls " << s.summary_pulls << "\n"
+      << "summary_streams_full " << s.summary_streams_full << "\n"
+      << "summary_streams_unchanged " << s.summary_streams_unchanged << "\n"
+      << "probes " << s.probes << "\n"
+      << "uptime_ms " << s.uptime_ms << "\n";
+  for (const auto& state : shards_) {
+    out << "shard " << state->shard.name << " host=" << state->shard.host
+        << " port=" << state->shard.port
+        << " healthy=" << (state->healthy.load() ? 1 : 0)
+        << " refused=" << (state->refused.load() ? 1 : 0)
+        << " stale=" << (state->stale.load() ? 1 : 0)
+        << " failures=" << state->failures.load() << "\n";
+  }
+  return out.str();
+}
+
+ClusterRouter::StatsSnapshot ClusterRouter::stats() const {
+  StatsSnapshot s;
+  s.shards = shards_.size();
+  for (const auto& state : shards_) {
+    if (state->refused.load()) {
+      ++s.refused_shards;
+    } else if (state->healthy.load()) {
+      ++s.healthy_shards;
+    }
+    if (state->stale.load()) ++s.stale_shards;
+  }
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_active = connections_active_.load();
+  s.frames_received = frames_received_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.pushes_forwarded = pushes_forwarded_.load();
+  s.push_bounces = push_bounces_.load();
+  s.subbatches_forwarded = subbatches_forwarded_.load();
+  s.updates_forwarded = updates_forwarded_.load();
+  s.forward_failures = forward_failures_.load();
+  s.failovers = failovers_.load();
+  s.queries_answered = queries_answered_.load();
+  s.summary_pulls = summary_pulls_.load();
+  s.summary_streams_full = summary_streams_full_.load();
+  s.summary_streams_unchanged = summary_streams_unchanged_.load();
+  s.probes = probes_.load();
+  s.uptime_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  return s;
+}
+
+void ClusterRouter::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    if (!started_ || stopped_) {
+      stopped_ = true;
+      return;
+    }
+    if (stop_started_) {
+      lifecycle_cv_.wait(lock, [this] { return stopped_; });
+      return;
+    }
+    stop_started_ = true;
+  }
+  draining_.store(true);
+  probe_cv_.notify_all();
+
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (probe_thread_.joinable()) probe_thread_.join();
+
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    handlers.swap(handler_threads_);
+  }
+  for (std::thread& handler : handlers) handler.join();
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void ClusterRouter::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    lifecycle_cv_.wait(lock,
+                       [this] { return shutdown_requested_ || stopped_; });
+  }
+  Stop();
+}
+
+}  // namespace setsketch

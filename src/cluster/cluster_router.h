@@ -1,0 +1,291 @@
+// ClusterRouter: a federating front-end over sharded SketchServers.
+//
+// The router speaks the existing wire protocol (server/protocol.h) on
+// both sides. Clients connect to it exactly as they would to a single
+// SketchServer; behind it, stream names are placed onto N shard servers
+// by a seeded consistent-hash ring (cluster/hash_ring.h), optionally with
+// replicas.
+//
+//   client ──PUSH_UPDATES──▶ router ──┬─▶ owner shard   (PUSH_UPDATES,
+//                                     └─▶ replica shard  original (site,
+//                                                        sequence) kept)
+//   client ──QUERY──────────▶ router ──▶ PULL_SUMMARY per owning shard,
+//                                        merged through one estimator
+//                                        kernel seam (EstimateUncached)
+//
+// Correctness story, in terms of the paper's model:
+//
+//   * Placement is by stream NAME, so one shard holds every update of a
+//     given stream — the router never has to merge one stream across
+//     shards, and each shard's sketch vector is bit-identical to what a
+//     single-node server would hold for that stream (same stored coins,
+//     enforced by the PING hello handshake; linearity does the rest).
+//   * Federated queries therefore reduce to the single-node summary
+//     path: pull each stream's sketch vector from its owning shard and
+//     run the shared estimator kernel. tests/cluster_test.cc asserts the
+//     federated answer equals the fault-free single-node answer exactly.
+//   * Fan-out forwards keep the ORIGINAL (site_id, sequence) idempotency
+//     header, so the shards' dedup windows keep exactly-once semantics
+//     end to end: a client re-pushing after failover is re-ACKed where
+//     already applied and applied where the recovering shard missed it.
+//   * Failover: shards that miss a placed write are marked stale and
+//     leave the read path; reads fail over to the next placed replica
+//     (which, having ACKed every batch, is complete). A recovered shard
+//     (WAL replay + client re-push) rejoins the write path after a
+//     successful probe; the read path re-admits it only on router
+//     restart, because the router cannot observe "caught up".
+//
+// Summary reads are cached per stream keyed by the shard bank's
+// (bank_id, epoch) — the plan cache's invalidation contract — so hot
+// queries over unchanged streams skip re-serialization entirely
+// (SummaryState::kUnchanged is one byte on the wire).
+
+#ifndef SETSKETCH_CLUSTER_CLUSTER_ROUTER_H_
+#define SETSKETCH_CLUSTER_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "core/set_difference_estimator.h"  // WitnessOptions
+#include "core/sketch_seed.h"
+#include "query/plan_cache.h"
+#include "server/protocol.h"
+#include "server/sketch_client.h"
+
+namespace setsketch {
+
+class FaultInjector;
+
+/// One shard server behind the router.
+struct ClusterShard {
+  std::string name;  ///< Placement identity (defaults to host:port).
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Federating router node. Start() binds and serves; Stop()/Wait() mirror
+/// SketchServer's lifecycle.
+class ClusterRouter {
+ public:
+  struct Options {
+    /// Shard membership (fixed for the router's lifetime).
+    std::vector<ClusterShard> shards;
+    /// Failover copies per stream beyond the owner (0 = no replication).
+    int replicas = 1;
+    /// Placement policy: consistent-hash ring unless static_placement.
+    bool static_placement = false;
+    int virtual_nodes = 64;
+    uint64_t placement_seed = 7;
+
+    /// The deployment's stored coins; every shard must present the same
+    /// triple in its hello or it is refused (CONFIG_MISMATCH).
+    SketchParams params;
+    int copies = 128;
+    uint64_t seed = 42;
+
+    /// Estimator tuning for federated QUERY answers (must match the
+    /// single-node configuration for bit-identical results).
+    WitnessOptions witness;
+
+    /// Client-facing TCP endpoint. Port 0 binds an ephemeral port.
+    std::string bind_address = "127.0.0.1";
+    int port = 0;
+    int listen_backlog = 64;
+    int max_connection_errors = 8;
+    /// Client-facing deadlines (same semantics as SketchServer).
+    int io_timeout_ms = 30000;
+    int idle_timeout_ms = 0;
+
+    /// Router -> shard deadlines.
+    int shard_connect_timeout_ms = 2000;
+    int shard_io_timeout_ms = 10000;
+
+    /// Background health-probe interval; 0 disables the thread (tests
+    /// and the CLI call ProbeAll() explicitly).
+    int probe_interval_ms = 0;
+
+    /// Test seams: client-facing response sends / shard-facing sends.
+    FaultInjector* fault_injector = nullptr;
+    FaultInjector* shard_fault_injector = nullptr;
+  };
+
+  explicit ClusterRouter(const Options& options);
+  ~ClusterRouter();
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  /// Binds and spawns the acceptor (and the probe thread if enabled).
+  /// Does NOT require shards to be up: connections are dialed lazily.
+  bool Start(std::string* error = nullptr);
+
+  int port() const { return port_; }
+
+  void Stop();
+  void Wait();
+
+  /// Synchronously probes every shard: dial + hello handshake. Marks
+  /// shards healthy/unhealthy and (permanently) refused on config
+  /// mismatch. Returns the number of healthy shards.
+  size_t ProbeAll();
+
+  /// Federated query (QUERY frames route here; public for tests).
+  QueryResultInfo Answer(const std::string& expression_text);
+
+  /// Placement order (owner first) for a stream, by shard name.
+  std::vector<std::string> WriteTargets(const std::string& stream) const;
+
+  /// The shard a QUERY for this stream would currently read from; empty
+  /// if none qualifies. Public for tests and the EXPLAIN rendering.
+  std::string ReadTarget(const std::string& stream) const;
+
+  /// Point-in-time counters.
+  struct StatsSnapshot {
+    size_t shards = 0;
+    size_t healthy_shards = 0;
+    size_t refused_shards = 0;
+    size_t stale_shards = 0;
+    uint64_t connections_accepted = 0;
+    uint64_t connections_active = 0;
+    uint64_t frames_received = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t pushes_forwarded = 0;   ///< Batches ACKed to the client.
+    uint64_t push_bounces = 0;       ///< RETRY_LATER answers to clients.
+    uint64_t subbatches_forwarded = 0;
+    uint64_t updates_forwarded = 0;  ///< Per placed copy.
+    uint64_t forward_failures = 0;
+    uint64_t failovers = 0;          ///< Reads served by a non-owner.
+    uint64_t queries_answered = 0;
+    uint64_t summary_pulls = 0;      ///< PULL_SUMMARY round trips issued.
+    uint64_t summary_streams_full = 0;
+    uint64_t summary_streams_unchanged = 0;
+    uint64_t probes = 0;
+    uint64_t uptime_ms = 0;
+  };
+  StatsSnapshot stats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Per-shard connection + health. The mutex serializes use of the
+  /// lazily-dialed client; health flags are atomics so the push/query
+  /// paths can skip known-dead shards without taking the lock.
+  struct ShardState {
+    ClusterShard shard;
+    std::mutex mutex;
+    std::unique_ptr<SketchClient> client;  // Guarded by mutex.
+    std::atomic<bool> healthy{true};
+    std::atomic<bool> refused{false};  ///< Config mismatch; permanent.
+    std::atomic<bool> stale{false};    ///< Missed >= 1 placed write.
+    std::atomic<uint64_t> failures{0};
+  };
+
+  struct Connection {
+    int fd = -1;
+    int errors = 0;
+    uint64_t frames = 0;
+    /// SHUTDOWN was handled on this connection: the lifecycle wait is
+    /// released only after the ACK is queued on the socket, so Stop()'s
+    /// shutdown(SHUT_RDWR) sweep can never cut the client off before
+    /// the ACK bytes are in flight.
+    bool notify_shutdown = false;
+  };
+
+  /// Per-stream cached summary, keyed by the owning shard's bank
+  /// identity. Guarded by query_mutex_.
+  struct CachedSummary {
+    size_t shard_index = 0;
+    uint64_t bank_id = 0;
+    uint64_t epoch = 0;
+    std::vector<TwoLevelHashSketch> sketches;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void ProbeLoop();
+
+  std::string HandleFrame(const Frame& frame, Connection* connection,
+                          bool* keep_open);
+  std::string HandlePushUpdates(const Frame& frame, Connection* connection);
+  std::string RenderStats() const;
+  /// Per-stream placement report for an expression (or a bare stream
+  /// name): "stream <name> targets=a,b read=r" lines.
+  std::string ExplainPlacement(const std::string& text) const;
+
+  /// Dials + handshakes the shard's client if needed. Requires
+  /// state->mutex held. False leaves the shard unhealthy or refused.
+  bool EnsureClientLocked(ShardState* state);
+  /// Runs `op` on the shard's connected client under its mutex; marks the
+  /// shard unhealthy on transport failure. One redial retry.
+  SketchClient::Status WithShard(
+      size_t shard_index,
+      const std::function<SketchClient::Status(SketchClient&)>& op);
+
+  /// Placement target indices (owner first) for a stream.
+  std::vector<size_t> TargetIndices(const std::string& stream) const;
+  /// First placed shard eligible for reads; -1 if none. Sets *failover
+  /// when the pick is not the owner.
+  int ReadTargetIndex(const std::string& stream, bool* failover) const;
+
+  Options options_;
+  SketchFamily family_;
+  Placement placement_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::unordered_map<std::string, size_t> shard_index_by_name_;
+
+  /// Serializes federated queries and guards the summary cache.
+  mutable std::mutex query_mutex_;
+  std::unordered_map<std::string, CachedSummary> summary_cache_;
+  PlanCache plan_cache_;  ///< EstimateUncached seam only (no bank here).
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> handler_threads_;
+  std::vector<int> open_fds_;
+
+  std::thread probe_thread_;
+  std::mutex probe_mutex_;
+  std::condition_variable probe_cv_;
+
+  std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
+  std::mutex lifecycle_mutex_;
+  std::condition_variable lifecycle_cv_;
+  bool started_ = false;
+  bool shutdown_requested_ = false;
+  bool stop_started_ = false;
+  bool stopped_ = false;
+  std::atomic<bool> draining_{false};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> pushes_forwarded_{0};
+  std::atomic<uint64_t> push_bounces_{0};
+  std::atomic<uint64_t> subbatches_forwarded_{0};
+  std::atomic<uint64_t> updates_forwarded_{0};
+  std::atomic<uint64_t> forward_failures_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> summary_pulls_{0};
+  std::atomic<uint64_t> summary_streams_full_{0};
+  std::atomic<uint64_t> summary_streams_unchanged_{0};
+  std::atomic<uint64_t> probes_{0};
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CLUSTER_CLUSTER_ROUTER_H_

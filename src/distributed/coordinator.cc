@@ -1,21 +1,9 @@
 #include "distributed/coordinator.h"
 
-#include <cstring>
-
+#include "distributed/summary_codec.h"
 #include "expr/parser.h"
 
 namespace setsketch {
-
-namespace {
-
-bool ReadU32(const std::string& data, size_t* offset, uint32_t* v) {
-  if (data.size() - *offset < sizeof(uint32_t)) return false;
-  std::memcpy(v, data.data() + *offset, sizeof(uint32_t));
-  *offset += sizeof(uint32_t);
-  return true;
-}
-
-}  // namespace
 
 Coordinator::Coordinator(const SketchParams& params, int copies,
                          uint64_t master_seed)
@@ -30,7 +18,7 @@ Coordinator::IngestResult Coordinator::AddSiteSummary(
   IngestResult result;
   size_t offset = 0;
   uint32_t site_name_length = 0;
-  if (!ReadU32(bytes, &offset, &site_name_length) ||
+  if (!SummaryReadU32(bytes, &offset, &site_name_length) ||
       bytes.size() - offset < site_name_length) {
     result.error = "truncated site name";
     return result;
@@ -38,7 +26,7 @@ Coordinator::IngestResult Coordinator::AddSiteSummary(
   result.site = bytes.substr(offset, site_name_length);
   offset += site_name_length;
   uint32_t num_streams = 0;
-  if (!ReadU32(bytes, &offset, &num_streams)) {
+  if (!SummaryReadU32(bytes, &offset, &num_streams)) {
     result.error = "truncated summary header";
     return result;
   }
@@ -47,40 +35,21 @@ Coordinator::IngestResult Coordinator::AddSiteSummary(
       staged;
   for (uint32_t s = 0; s < num_streams; ++s) {
     uint32_t name_len = 0;
-    if (!ReadU32(bytes, &offset, &name_len) ||
+    if (!SummaryReadU32(bytes, &offset, &name_len) ||
         bytes.size() - offset < name_len) {
       result.error = "truncated stream name";
       return result;
     }
     std::string name = bytes.substr(offset, name_len);
     offset += name_len;
-    uint32_t copies = 0;
-    if (!ReadU32(bytes, &offset, &copies)) {
-      result.error = "truncated copy count";
-      return result;
-    }
-    if (static_cast<int>(copies) != copies_) {
-      result.error = "stream '" + name + "' carries " +
-                     std::to_string(copies) + " copies, expected " +
-                     std::to_string(copies_);
-      return result;
-    }
+    // The shared codec verifies the agreed coins (same seed identity per
+    // copy as our expectation) while it decodes.
     std::vector<TwoLevelHashSketch> sketches;
-    sketches.reserve(copies);
-    for (uint32_t i = 0; i < copies; ++i) {
-      std::unique_ptr<TwoLevelHashSketch> sketch =
-          TwoLevelHashSketch::Deserialize(bytes, &offset);
-      if (!sketch) {
-        result.error = "malformed sketch for stream '" + name + "'";
-        return result;
-      }
-      // Verify the agreed coins: same seed identity as our expectation.
-      if (!(sketch->seed() == *expected_seeds_[i])) {
-        result.error = "stream '" + name + "' copy " + std::to_string(i) +
-                       " uses foreign hash functions";
-        return result;
-      }
-      sketches.push_back(std::move(*sketch));
+    std::string decode_error;
+    if (!DecodeSketchVector(bytes, &offset, copies_, &expected_seeds_,
+                            &sketches, &decode_error)) {
+      result.error = "stream '" + name + "' " + decode_error;
+      return result;
     }
     staged.emplace_back(std::move(name), std::move(sketches));
   }

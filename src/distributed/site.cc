@@ -1,16 +1,8 @@
 #include "distributed/site.h"
 
-#include <cstring>
+#include "distributed/summary_codec.h"
 
 namespace setsketch {
-
-namespace {
-
-void AppendU32(std::string* out, uint32_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-}  // namespace
 
 Site::Site(std::string site_name, const SketchParams& params, int copies,
            uint64_t master_seed)
@@ -30,26 +22,18 @@ bool Site::Ingest(const std::string& stream_name, uint64_t element,
 
 std::string Site::EncodeSummary(bool compact) const {
   // Layout: site name (u32 length + bytes), u32 stream count, then per
-  // stream: u32 name length, name bytes, u32 copy count, and each
-  // sketch's self-delimiting encoding. The site name lets the coordinator
+  // stream: u32 name length, name bytes, and the stream's sketch vector
+  // (distributed/summary_codec.h). The site name lets the coordinator
   // treat retransmissions as replacements (idempotent periodic
   // collection) instead of double-counting.
   std::string out;
-  AppendU32(&out, static_cast<uint32_t>(name_.size()));
+  SummaryAppendU32(&out, static_cast<uint32_t>(name_.size()));
   out.append(name_);
-  AppendU32(&out, static_cast<uint32_t>(streams_.size()));
+  SummaryAppendU32(&out, static_cast<uint32_t>(streams_.size()));
   for (const std::string& stream : streams_) {
-    AppendU32(&out, static_cast<uint32_t>(stream.size()));
+    SummaryAppendU32(&out, static_cast<uint32_t>(stream.size()));
     out.append(stream);
-    const auto& sketches = bank_.Sketches(stream);
-    AppendU32(&out, static_cast<uint32_t>(sketches.size()));
-    for (const TwoLevelHashSketch& sketch : sketches) {
-      if (compact) {
-        sketch.SerializeCompactTo(&out);
-      } else {
-        sketch.SerializeTo(&out);
-      }
-    }
+    EncodeSketchVector(bank_.Sketches(stream), compact, &out);
   }
   return out;
 }

@@ -1,0 +1,69 @@
+#include "distributed/summary_codec.h"
+
+#include <cstring>
+
+namespace setsketch {
+
+void SummaryAppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool SummaryReadU32(const std::string& data, size_t* offset, uint32_t* v) {
+  if (data.size() - *offset < sizeof(uint32_t)) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(uint32_t));
+  *offset += sizeof(uint32_t);
+  return true;
+}
+
+void EncodeSketchVector(const std::vector<TwoLevelHashSketch>& sketches,
+                        bool compact, std::string* out) {
+  SummaryAppendU32(out, static_cast<uint32_t>(sketches.size()));
+  for (const TwoLevelHashSketch& sketch : sketches) {
+    if (compact) {
+      sketch.SerializeCompactTo(out);
+    } else {
+      sketch.SerializeTo(out);
+    }
+  }
+}
+
+bool DecodeSketchVector(
+    const std::string& data, size_t* offset, int expected_copies,
+    const std::vector<std::shared_ptr<const SketchSeed>>* expected_seeds,
+    std::vector<TwoLevelHashSketch>* out, std::string* error) {
+  out->clear();
+  uint32_t copies = 0;
+  if (!SummaryReadU32(data, offset, &copies)) {
+    *error = "truncated copy count";
+    return false;
+  }
+  if (expected_copies >= 0 &&
+      copies != static_cast<uint32_t>(expected_copies)) {
+    *error = "carries " + std::to_string(copies) + " copies, expected " +
+             std::to_string(expected_copies);
+    return false;
+  }
+  if (expected_seeds != nullptr && copies != expected_seeds->size()) {
+    *error = "carries " + std::to_string(copies) + " copies, expected " +
+             std::to_string(expected_seeds->size());
+    return false;
+  }
+  out->reserve(copies);
+  for (uint32_t i = 0; i < copies; ++i) {
+    std::unique_ptr<TwoLevelHashSketch> sketch =
+        TwoLevelHashSketch::Deserialize(data, offset);
+    if (!sketch) {
+      *error = "malformed sketch copy " + std::to_string(i);
+      return false;
+    }
+    if (expected_seeds != nullptr &&
+        !(sketch->seed() == *(*expected_seeds)[i])) {
+      *error = "copy " + std::to_string(i) + " uses foreign hash functions";
+      return false;
+    }
+    out->push_back(std::move(*sketch));
+  }
+  return true;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,48 @@
+// Shared wire codec for per-stream sketch vectors ("summaries").
+//
+// Site::EncodeSummary, the coordinator's summary decoder and the cluster
+// router's PULL_SUMMARY path all move the same unit across the network: a
+// stream's r aligned sketch copies. This header owns that unit's byte
+// layout — u32 copy count followed by each sketch's self-delimiting
+// encoding — so every producer and consumer agrees on it by construction
+// (the stored-coins model only works when the bytes do).
+
+#ifndef SETSKETCH_DISTRIBUTED_SUMMARY_CODEC_H_
+#define SETSKETCH_DISTRIBUTED_SUMMARY_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/two_level_hash_sketch.h"
+
+namespace setsketch {
+
+/// Appends a little-endian u32 (the summary framing integer).
+void SummaryAppendU32(std::string* out, uint32_t v);
+
+/// Reads a little-endian u32 at *offset; false if truncated.
+bool SummaryReadU32(const std::string& data, size_t* offset, uint32_t* v);
+
+/// Appends `sketches` as u32 count + per-sketch self-delimiting encoding
+/// (compact varint/run-length form by default; see
+/// TwoLevelHashSketch::SerializeCompactTo).
+void EncodeSketchVector(const std::vector<TwoLevelHashSketch>& sketches,
+                        bool compact, std::string* out);
+
+/// Decodes a sketch vector written by EncodeSketchVector.
+///
+/// `expected_copies` < 0 accepts any count. `expected_seeds`, when
+/// non-null, must hold one seed per copy; each decoded sketch's coins are
+/// verified against it (the coordinator's "foreign hash functions" gate).
+/// On failure returns false with *error describing the problem and leaves
+/// *offset unspecified.
+bool DecodeSketchVector(
+    const std::string& data, size_t* offset, int expected_copies,
+    const std::vector<std::shared_ptr<const SketchSeed>>* expected_seeds,
+    std::vector<TwoLevelHashSketch>* out, std::string* error);
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_DISTRIBUTED_SUMMARY_CODEC_H_

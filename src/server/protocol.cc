@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "distributed/summary_codec.h"
 #include "util/check.h"
 #include "util/varint.h"
 
@@ -46,12 +47,14 @@ const char* OpcodeName(Opcode opcode) {
     case Opcode::kStats: return "STATS";
     case Opcode::kShutdown: return "SHUTDOWN";
     case Opcode::kExplain: return "EXPLAIN";
+    case Opcode::kPullSummary: return "PULL_SUMMARY";
     case Opcode::kPong: return "PONG";
     case Opcode::kAck: return "ACK";
     case Opcode::kRetryLater: return "RETRY_LATER";
     case Opcode::kQueryResult: return "QUERY_RESULT";
     case Opcode::kStatsResult: return "STATS_RESULT";
     case Opcode::kExplainResult: return "EXPLAIN_RESULT";
+    case Opcode::kSummaryResult: return "SUMMARY_RESULT";
     case Opcode::kError: return "ERROR";
   }
   return "?";
@@ -74,6 +77,8 @@ const char* WireErrorName(WireError error) {
     case WireError::kShuttingDown: return "SHUTTING_DOWN";
     case WireError::kTooManyErrors: return "TOO_MANY_ERRORS";
     case WireError::kWalFailure: return "WAL_FAILURE";
+    case WireError::kConfigMismatch: return "CONFIG_MISMATCH";
+    case WireError::kNoHealthyShard: return "NO_HEALTHY_SHARD";
   }
   return "?";
 }
@@ -315,6 +320,181 @@ bool DecodeQueryResult(const std::string& payload, QueryResultInfo* out) {
     return false;
   }
   out->expression = payload.substr(offset);
+  return true;
+}
+
+std::string EncodeHello(const HelloInfo& hello, bool response) {
+  std::string out;
+  AppendU32(&out, response ? kHelloResponseMagic : kHelloRequestMagic);
+  out.push_back(static_cast<char>(hello.hello_version));
+  out.push_back(static_cast<char>(hello.features));
+  AppendVarint(&out, static_cast<uint64_t>(hello.params.levels));
+  AppendVarint(&out, static_cast<uint64_t>(hello.params.num_second_level));
+  AppendVarint(&out, static_cast<uint64_t>(hello.params.first_level_kind));
+  AppendVarint(&out, static_cast<uint64_t>(hello.params.independence));
+  AppendVarint(&out, static_cast<uint64_t>(hello.copies));
+  AppendVarint(&out, hello.seed);
+  return out;
+}
+
+bool DecodeHello(const std::string& payload, bool response, HelloInfo* out) {
+  *out = HelloInfo{};
+  size_t offset = 0;
+  uint32_t magic = 0;
+  if (payload.size() < sizeof(uint32_t)) return false;
+  magic = ReadU32At(payload, 0);
+  offset = sizeof(uint32_t);
+  if (magic != (response ? kHelloResponseMagic : kHelloRequestMagic)) {
+    return false;
+  }
+  if (payload.size() - offset < 2) return false;
+  out->hello_version = static_cast<uint8_t>(payload[offset]);
+  out->features = static_cast<uint8_t>(payload[offset + 1]);
+  offset += 2;
+  uint64_t levels = 0, second = 0, kind = 0, independence = 0, copies = 0;
+  if (!ReadVarint(payload, &offset, &levels) ||
+      !ReadVarint(payload, &offset, &second) ||
+      !ReadVarint(payload, &offset, &kind) ||
+      !ReadVarint(payload, &offset, &independence) ||
+      !ReadVarint(payload, &offset, &copies) ||
+      !ReadVarint(payload, &offset, &out->seed)) {
+    return false;
+  }
+  if (offset != payload.size()) return false;
+  // Bound the fields to sane configuration space before narrowing.
+  if (levels > 4096 || second > 1u << 20 || kind > 1 || independence > 64 ||
+      copies > 1u << 16) {
+    return false;
+  }
+  out->params.levels = static_cast<int>(levels);
+  out->params.num_second_level = static_cast<int>(second);
+  out->params.first_level_kind = static_cast<FirstLevelKind>(kind);
+  out->params.independence = static_cast<int>(independence);
+  out->copies = static_cast<int>(copies);
+  return true;
+}
+
+std::string EncodeSummaryPull(const SummaryPullRequest& request) {
+  std::string out;
+  AppendVarint(&out, request.streams.size());
+  for (const SummaryPullRequest::Key& key : request.streams) {
+    SETSKETCH_CHECK(key.name.size() <= kMaxStreamNameBytes)
+        << "stream name of " << key.name.size()
+        << " bytes exceeds the wire bound";
+    AppendVarintString(&out, key.name);
+    AppendVarint(&out, key.bank_id);
+    AppendVarint(&out, key.epoch);
+  }
+  return out;
+}
+
+bool DecodeSummaryPull(const std::string& payload, SummaryPullRequest* out,
+                       std::string* error) {
+  out->streams.clear();
+  size_t offset = 0;
+  uint64_t num_streams = 0;
+  if (!ReadVarint(payload, &offset, &num_streams)) {
+    *error = "truncated stream count";
+    return false;
+  }
+  if (num_streams > payload.size() - offset) {
+    *error = "stream count exceeds payload";
+    return false;
+  }
+  out->streams.reserve(static_cast<size_t>(num_streams));
+  for (uint64_t i = 0; i < num_streams; ++i) {
+    SummaryPullRequest::Key key;
+    if (!ReadVarintString(payload, &offset, kMaxStreamNameBytes,
+                          &key.name)) {
+      *error = "malformed stream name " + std::to_string(i);
+      return false;
+    }
+    if (key.name.empty()) {
+      *error = "empty stream name";
+      return false;
+    }
+    if (!ReadVarint(payload, &offset, &key.bank_id) ||
+        !ReadVarint(payload, &offset, &key.epoch)) {
+      *error = "truncated cache key for stream '" + key.name + "'";
+      return false;
+    }
+    out->streams.push_back(std::move(key));
+  }
+  if (offset != payload.size()) {
+    *error = "trailing bytes after summary pull";
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeSummaryResult(const SummaryResult& result) {
+  std::string out;
+  AppendVarint(&out, result.streams.size());
+  for (const SummaryResult::Entry& entry : result.streams) {
+    AppendVarintString(&out, entry.name);
+    out.push_back(static_cast<char>(entry.state));
+    if (entry.state == SummaryState::kFull) {
+      AppendVarint(&out, entry.bank_id);
+      AppendVarint(&out, entry.epoch);
+      EncodeSketchVector(entry.sketches, /*compact=*/true, &out);
+    }
+  }
+  return out;
+}
+
+bool DecodeSummaryResult(const std::string& payload, SummaryResult* out,
+                         std::string* error) {
+  out->streams.clear();
+  size_t offset = 0;
+  uint64_t num_streams = 0;
+  if (!ReadVarint(payload, &offset, &num_streams)) {
+    *error = "truncated stream count";
+    return false;
+  }
+  if (num_streams > payload.size() - offset) {
+    *error = "stream count exceeds payload";
+    return false;
+  }
+  out->streams.reserve(static_cast<size_t>(num_streams));
+  for (uint64_t i = 0; i < num_streams; ++i) {
+    SummaryResult::Entry entry;
+    if (!ReadVarintString(payload, &offset, kMaxStreamNameBytes,
+                          &entry.name)) {
+      *error = "malformed stream name " + std::to_string(i);
+      return false;
+    }
+    if (offset >= payload.size()) {
+      *error = "truncated state for stream '" + entry.name + "'";
+      return false;
+    }
+    const uint8_t state = static_cast<uint8_t>(payload[offset++]);
+    if (state > static_cast<uint8_t>(SummaryState::kFull)) {
+      *error = "unknown summary state for stream '" + entry.name + "'";
+      return false;
+    }
+    entry.state = static_cast<SummaryState>(state);
+    if (entry.state == SummaryState::kFull) {
+      if (!ReadVarint(payload, &offset, &entry.bank_id) ||
+          !ReadVarint(payload, &offset, &entry.epoch)) {
+        *error = "truncated identity for stream '" + entry.name + "'";
+        return false;
+      }
+      std::string decode_error;
+      // The caller verifies copy count and coins against its own
+      // configuration; the codec only enforces well-formedness here.
+      if (!DecodeSketchVector(payload, &offset, /*expected_copies=*/-1,
+                              /*expected_seeds=*/nullptr, &entry.sketches,
+                              &decode_error)) {
+        *error = "stream '" + entry.name + "' " + decode_error;
+        return false;
+      }
+    }
+    out->streams.push_back(std::move(entry));
+  }
+  if (offset != payload.size()) {
+    *error = "trailing bytes after summary result";
+    return false;
+  }
   return true;
 }
 

@@ -36,6 +36,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/sketch_seed.h"
+#include "core/two_level_hash_sketch.h"
 #include "stream/update.h"
 
 namespace setsketch {
@@ -58,6 +60,7 @@ enum class Opcode : uint8_t {
   kStats = 5,
   kShutdown = 6,
   kExplain = 7,
+  kPullSummary = 8,  ///< Per-stream summary pull (the cluster router).
 
   kPong = 129,
   kAck = 130,
@@ -65,6 +68,7 @@ enum class Opcode : uint8_t {
   kQueryResult = 132,
   kStatsResult = 133,
   kExplainResult = 134,
+  kSummaryResult = 135,
   kError = 192,
 };
 
@@ -87,6 +91,9 @@ enum class WireError : uint8_t {
   kShuttingDown = 8,     ///< Server is draining; no new work accepted.
   kTooManyErrors = 9,    ///< Per-connection error budget exhausted.
   kWalFailure = 10,      ///< Write-ahead log append failed; batch refused.
+  kConfigMismatch = 11,  ///< Peer's (params, copies, seed) disagree; its
+                         ///< sketches are not combinable with ours.
+  kNoHealthyShard = 12,  ///< Router: no live shard can own the stream.
 };
 
 /// Human-readable error-code name ("BAD_PAYLOAD").
@@ -198,6 +205,88 @@ struct QueryResultInfo {
 };
 std::string EncodeQueryResult(const QueryResultInfo& result);
 bool DecodeQueryResult(const std::string& payload, QueryResultInfo* out);
+
+// ---------------------------------------------------------------------------
+// Cluster handshake. A hello rides inside PING/PONG payloads (version 1
+// servers that predate it simply echo the request, which a hello-aware
+// peer detects by the unchanged request magic), carrying the protocol
+// feature byte plus the sender's sketch configuration — the deployment's
+// "stored coins". A router refuses shards whose (params, copies, seed)
+// disagree with its own instead of silently merging incompatible coins.
+
+inline constexpr uint32_t kHelloRequestMagic = 0x534B4849u;   // "SKHI".
+inline constexpr uint32_t kHelloResponseMagic = 0x534B484Fu;  // "SKHO".
+inline constexpr uint8_t kHelloVersion = 1;
+/// Feature bit: the peer serves PULL_SUMMARY (cluster federation).
+inline constexpr uint8_t kFeatureSummaryPull = 0x01;
+
+struct HelloInfo {
+  uint8_t hello_version = kHelloVersion;
+  uint8_t features = 0;
+  SketchParams params;
+  int copies = 0;
+  uint64_t seed = 0;
+
+  /// True iff the peers' coins are interchangeable.
+  bool ConfigMatches(const HelloInfo& other) const {
+    return params == other.params && copies == other.copies &&
+           seed == other.seed;
+  }
+};
+/// Encodes a hello as a PING (request) or PONG (response) payload.
+std::string EncodeHello(const HelloInfo& hello, bool response);
+/// Decodes a hello payload of the given direction. Returns false for
+/// anything else (including a legacy server's verbatim echo of the
+/// request payload when `response` is set — the magics differ).
+bool DecodeHello(const std::string& payload, bool response, HelloInfo* out);
+
+// ---------------------------------------------------------------------------
+// Summary pull (cluster federation). The router asks an owning shard for
+// the compact per-stream sketch vectors it needs to answer a QUERY, and
+// caches them keyed by the shard bank's (bank_id, stream epoch) pair —
+// the same invalidation contract the plan cache uses. Each request key
+// carries the router's cached identity so an unchanged stream costs one
+// state byte, not a re-serialized summary.
+
+/// PULL_SUMMARY payload: varint #streams, then per stream the name
+/// (varint length + bytes), varint cached bank id, varint cached epoch
+/// (0/0 = nothing cached).
+struct SummaryPullRequest {
+  struct Key {
+    std::string name;
+    uint64_t bank_id = 0;
+    uint64_t epoch = 0;
+  };
+  std::vector<Key> streams;
+};
+std::string EncodeSummaryPull(const SummaryPullRequest& request);
+bool DecodeSummaryPull(const std::string& payload, SummaryPullRequest* out,
+                       std::string* error);
+
+/// Per-stream outcome of a summary pull.
+enum class SummaryState : uint8_t {
+  kUnknown = 0,    ///< The shard does not hold this stream.
+  kUnchanged = 1,  ///< Cached (bank_id, epoch) still current; no payload.
+  kFull = 2,       ///< Fresh identity + compact sketch vector follow.
+};
+
+/// SUMMARY_RESULT payload: varint #streams, then per stream the name
+/// (varint length + bytes) and a state byte; kFull entries append varint
+/// bank id, varint epoch and the stream's sketch vector
+/// (distributed/summary_codec.h, compact encoding).
+struct SummaryResult {
+  struct Entry {
+    std::string name;
+    SummaryState state = SummaryState::kUnknown;
+    uint64_t bank_id = 0;
+    uint64_t epoch = 0;
+    std::vector<TwoLevelHashSketch> sketches;  ///< kFull only.
+  };
+  std::vector<Entry> streams;
+};
+std::string EncodeSummaryResult(const SummaryResult& result);
+bool DecodeSummaryResult(const std::string& payload, SummaryResult* out,
+                         std::string* error);
 
 }  // namespace setsketch
 

@@ -209,6 +209,52 @@ SketchClient::Status SketchClient::Ping() {
   return status;
 }
 
+SketchClient::Status SketchClient::Hello(const HelloInfo& mine,
+                                         HelloInfo* theirs) {
+  Frame reply;
+  Status status =
+      RoundTrip(Opcode::kPing, EncodeHello(mine, /*response=*/false), &reply);
+  if (!status.ok) return status;
+  if (reply.opcode != Opcode::kPong) {
+    status.ok = false;
+    status.error = std::string("unexpected reply ") +
+                   OpcodeName(reply.opcode);
+    return status;
+  }
+  if (!DecodeHello(reply.payload, /*response=*/true, theirs)) {
+    status.ok = false;
+    status.error = "peer does not speak the cluster handshake";
+  }
+  return status;
+}
+
+SketchClient::Status SketchClient::PullSummaries(
+    const SummaryPullRequest& request, SummaryResult* result) {
+  Frame reply;
+  Status status =
+      RoundTrip(Opcode::kPullSummary, EncodeSummaryPull(request), &reply);
+  if (!status.ok) return status;
+  if (reply.opcode != Opcode::kSummaryResult) {
+    status.ok = false;
+    status.error = std::string("unexpected reply ") +
+                   OpcodeName(reply.opcode);
+    return status;
+  }
+  std::string decode_error;
+  if (!DecodeSummaryResult(reply.payload, result, &decode_error)) {
+    status.ok = false;
+    status.error = "malformed SUMMARY_RESULT: " + decode_error;
+  }
+  return status;
+}
+
+SketchClient::Status SketchClient::ForwardUpdates(const UpdateBatch& batch) {
+  Frame reply;
+  return DecodePushAck(
+      RoundTrip(Opcode::kPushUpdates, EncodePushUpdates(batch), &reply),
+      reply);
+}
+
 SketchClient::Status SketchClient::DecodePushAck(Status status,
                                                  const Frame& reply) {
   if (!status.ok) return status;

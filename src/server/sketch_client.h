@@ -99,6 +99,25 @@ class SketchClient {
   /// PING round trip (payload echoed through PONG).
   Status Ping();
 
+  /// Cluster handshake: sends `mine` as a hello-carrying PING and decodes
+  /// the peer's configuration into *theirs. Fails (ok = false) when the
+  /// peer does not speak the handshake (a legacy server echoes the request
+  /// payload, which deliberately fails response decoding) — callers treat
+  /// that the same as a refusal, since the peer cannot be config-checked.
+  Status Hello(const HelloInfo& mine, HelloInfo* theirs);
+
+  /// Pulls per-stream summaries (the router's federation read path). The
+  /// reply's sketch vectors are decoded but NOT config-checked here; the
+  /// caller validates copy counts and coins against its own family.
+  Status PullSummaries(const SummaryPullRequest& request,
+                       SummaryResult* result);
+
+  /// Forwards a batch verbatim under ITS OWN (site_id, sequence) header —
+  /// unlike PushUpdates*, which restamp with this client's identity. The
+  /// router uses this so the origin site's idempotency key survives the
+  /// hop and shard-side dedup still recognizes client-level re-pushes.
+  Status ForwardUpdates(const UpdateBatch& batch);
+
   /// Pushes one batch of updates; `batch.updates[i].stream` indexes
   /// `batch.stream_names`. Unknown streams are auto-registered by the
   /// server. Stamps (and consumes) the next sequence number. Check

@@ -94,6 +94,7 @@ bool SketchServer::Start(std::string* error) {
     workers_.emplace_back(&SketchServer::WorkerLoop, this, i);
   }
   acceptor_ = std::thread(&SketchServer::AcceptLoop, this);
+  started_at_ = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     started_ = true;
@@ -161,7 +162,16 @@ void SketchServer::HandleConnection(int fd) {
       bool keep_open = true;
       const std::string response = HandleFrame(frame, &connection,
                                                &keep_open);
-      if (!send_response(response)) {
+      const bool sent = send_response(response);
+      if (connection.notify_shutdown) {
+        connection.notify_shutdown = false;
+        {
+          std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+          shutdown_requested_ = true;
+        }
+        lifecycle_cv_.notify_all();
+      }
+      if (!sent) {
         open = false;
         break;
       }
@@ -188,12 +198,28 @@ std::string SketchServer::HandleFrame(const Frame& frame,
                                       bool* keep_open) {
   *keep_open = true;
   switch (frame.opcode) {
-    case Opcode::kPing:
+    case Opcode::kPing: {
+      // A hello-carrying ping gets this server's own configuration back
+      // (the cluster handshake); any other payload echoes as before, so
+      // plain liveness pings and legacy peers are unaffected.
+      HelloInfo hello;
+      if (DecodeHello(frame.payload, /*response=*/false, &hello)) {
+        HelloInfo mine;
+        mine.features = kFeatureSummaryPull;
+        mine.params = options_.params;
+        mine.copies = options_.copies;
+        mine.seed = options_.seed;
+        return EncodeFrame(Opcode::kPong,
+                           EncodeHello(mine, /*response=*/true));
+      }
       return EncodeFrame(Opcode::kPong, frame.payload);
+    }
     case Opcode::kPushUpdates:
       return HandlePushUpdates(frame, connection);
     case Opcode::kPushSummary:
       return HandlePushSummary(frame, connection);
+    case Opcode::kPullSummary:
+      return HandlePullSummary(frame, connection);
     case Opcode::kQuery:
       return EncodeFrame(Opcode::kQueryResult,
                          EncodeQueryResult(Answer(frame.payload)));
@@ -203,11 +229,11 @@ std::string SketchServer::HandleFrame(const Frame& frame,
       return EncodeFrame(Opcode::kExplainResult, Explain(frame.payload));
     case Opcode::kShutdown: {
       draining_.store(true);
-      {
-        std::lock_guard<std::mutex> lock(lifecycle_mutex_);
-        shutdown_requested_ = true;
-      }
-      lifecycle_cv_.notify_all();
+      // The lifecycle notify is deferred until the ACK below has been
+      // queued on the socket (HandleConnection checks notify_shutdown
+      // after the send): waking the Stop() thread first would let its
+      // shutdown(SHUT_RDWR) sweep race ahead of the ACK.
+      connection->notify_shutdown = true;
       return EncodeFrame(Opcode::kAck, EncodeAck(AckInfo{}));
     }
     default:
@@ -349,6 +375,48 @@ std::string SketchServer::HandlePushSummary(const Frame& frame,
       Opcode::kAck,
       EncodeAck(AckInfo{static_cast<uint64_t>(result.streams_merged),
                         result.replaced}));
+}
+
+std::string SketchServer::HandlePullSummary(const Frame& frame,
+                                            Connection* connection) {
+  SummaryPullRequest request;
+  std::string decode_error;
+  if (!DecodeSummaryPull(frame.payload, &request, &decode_error)) {
+    ++connection->errors;
+    ++protocol_errors_;
+    return ErrorFrame(WireError::kBadPayload, decode_error);
+  }
+  return EncodeFrame(Opcode::kSummaryResult,
+                     EncodeSummaryResult(PullSummaries(request)));
+}
+
+SummaryResult SketchServer::PullSummaries(const SummaryPullRequest& request) {
+  ++summary_pulls_;
+  SummaryResult result;
+  result.streams.reserve(request.streams.size());
+  // Same quiesce as Answer: with the queues drained under push_mutex_,
+  // the bank reflects exactly the ACKed batches, and the epochs read here
+  // cannot race an in-flight admission.
+  std::lock_guard<std::mutex> push_lock(push_mutex_);
+  for (const auto& queue : queues_) queue->WaitDrained();
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const SummaryPullRequest::Key& key : request.streams) {
+    SummaryResult::Entry entry;
+    entry.name = key.name;
+    if (!bank_.HasStream(key.name)) {
+      entry.state = SummaryState::kUnknown;
+    } else if (key.bank_id == bank_.bank_id() &&
+               key.epoch == bank_.StreamEpoch(key.name)) {
+      entry.state = SummaryState::kUnchanged;
+    } else {
+      entry.state = SummaryState::kFull;
+      entry.bank_id = bank_.bank_id();
+      entry.epoch = bank_.StreamEpoch(key.name);
+      entry.sketches = bank_.Sketches(key.name);
+    }
+    result.streams.push_back(std::move(entry));
+  }
+  return result;
 }
 
 std::string SketchServer::EncodeBankSnapshot() {
@@ -642,6 +710,7 @@ std::string SketchServer::RenderStats() const {
       << "duplicates_dropped " << s.duplicates_dropped << "\n"
       << "wal_records " << s.wal_records << "\n"
       << "wal_bytes " << s.wal_bytes << "\n"
+      << "wal_generation " << s.wal_generation << "\n"
       << "snapshots_written " << s.snapshots_written << "\n"
       << "recoveries " << s.recoveries << "\n"
       << "recovered_batches " << s.recovered_batches << "\n"
@@ -655,7 +724,11 @@ std::string SketchServer::RenderStats() const {
       << "plan_cache_merge_builds " << s.plan_cache_merge_builds << "\n"
       << "plan_cache_bypasses " << s.plan_cache_bypasses << "\n"
       << "plan_cache_entries " << s.plan_cache_entries << "\n"
-      << "plan_cache_memo_bytes " << s.plan_cache_memo_bytes << "\n";
+      << "plan_cache_memo_bytes " << s.plan_cache_memo_bytes << "\n"
+      << "dedup_sites " << s.dedup_sites << "\n"
+      << "dedup_window_bits " << s.dedup_window_bits << "\n"
+      << "summary_pulls " << s.summary_pulls << "\n"
+      << "uptime_ms " << s.uptime_ms << "\n";
   return out.str();
 }
 
@@ -680,14 +753,27 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
   s.recoveries = recoveries_.load();
   s.recovered_batches = recovered_batches_.load();
   s.recovered_updates = recovered_updates_.load();
+  s.summary_pulls = summary_pulls_.load();
   if (wal_ != nullptr) {
     s.wal_records = wal_->records_appended();
     s.wal_bytes = wal_->bytes_appended();
+    s.wal_generation = wal_->generation();
+  }
+  {
+    // push_mutex_ guards the dedup index (same order as Answer: push
+    // before registry).
+    std::lock_guard<std::mutex> push_lock(push_mutex_);
+    s.dedup_sites = dedup_.num_sites();
+    s.dedup_window_bits = dedup_.OccupiedBits();
   }
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     s.streams = names_by_id_.size();
   }
+  s.uptime_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
   s.shards = options_.shards;
   s.queue_capacity = options_.queue_capacity;
   const PlanCache::Stats plan = plan_cache_.stats();

@@ -51,6 +51,7 @@
 #define SETSKETCH_SERVER_SKETCH_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -162,6 +163,7 @@ class SketchServer {
     uint64_t duplicates_dropped = 0;  ///< Dedup re-ACKs (not re-applied).
     uint64_t wal_records = 0;         ///< Batches appended this run.
     uint64_t wal_bytes = 0;           ///< Bytes appended this run.
+    uint64_t wal_generation = 0;      ///< Current WAL generation (0 = off).
     uint64_t snapshots_written = 0;   ///< Checkpoint compactions.
     uint64_t recoveries = 0;          ///< 1 if Start() restored state.
     uint64_t recovered_batches = 0;   ///< WAL-tail batches replayed.
@@ -177,6 +179,11 @@ class SketchServer {
     uint64_t plan_cache_bypasses = 0;   ///< Coordinator-merged queries.
     uint64_t plan_cache_entries = 0;
     uint64_t plan_cache_memo_bytes = 0;
+    // Cluster-facing health/exactly-once exposure.
+    uint64_t dedup_sites = 0;        ///< Sites with a live dedup window.
+    uint64_t dedup_window_bits = 0;  ///< Occupied bits across all windows.
+    uint64_t summary_pulls = 0;      ///< PULL_SUMMARY requests served.
+    uint64_t uptime_ms = 0;          ///< Milliseconds since Start().
   };
   StatsSnapshot stats() const;
 
@@ -190,6 +197,15 @@ class SketchServer {
   /// EXPLAIN frames route here; parse failures yield an "error: ..." line.
   std::string Explain(const std::string& expression_text);
 
+  /// Serves a cluster summary pull over the direct-ingest bank: per
+  /// requested stream, kUnknown if the bank has no such stream, kUnchanged
+  /// when the caller's cached (bank_id, epoch) is still current, else a
+  /// kFull entry with fresh identity + a copy of the sketch vector taken
+  /// under the same quiesce as Answer (so it reflects every ACKed batch).
+  /// Coordinator-carried streams are not served — cluster shards ingest
+  /// via PUSH_UPDATES only. PULL_SUMMARY frames route here.
+  SummaryResult PullSummaries(const SummaryPullRequest& request);
+
   /// The direct-ingest bank. Only safe to inspect when ingest is quiesced
   /// (after Stop, or from tests that know no pushes are in flight).
   const SketchBank& bank() const { return bank_; }
@@ -201,6 +217,11 @@ class SketchServer {
     int fd = -1;
     int errors = 0;  ///< Recoverable protocol errors so far.
     uint64_t frames = 0;
+    /// SHUTDOWN was handled on this connection: the lifecycle wait is
+    /// released only after the ACK is queued on the socket, so Stop()'s
+    /// shutdown(SHUT_RDWR) sweep can never cut the client off before
+    /// the ACK bytes are in flight.
+    bool notify_shutdown = false;
   };
 
   void AcceptLoop();
@@ -214,6 +235,7 @@ class SketchServer {
 
   std::string HandlePushUpdates(const Frame& frame, Connection* connection);
   std::string HandlePushSummary(const Frame& frame, Connection* connection);
+  std::string HandlePullSummary(const Frame& frame, Connection* connection);
   std::string RenderStats() const;
 
   /// Restores checkpoint + WAL tail from options_.wal_dir and opens a
@@ -263,7 +285,8 @@ class SketchServer {
 
   // Ingest pipeline. push_mutex_ serializes the all-or-nothing enqueue
   // across shards and is held (with drained queues) during queries.
-  std::mutex push_mutex_;
+  // Mutable: const stats() reads the dedup index under it.
+  mutable std::mutex push_mutex_;
   std::vector<std::unique_ptr<ShardQueue>> queues_;
   std::vector<std::thread> workers_;
 
@@ -283,6 +306,8 @@ class SketchServer {
   std::vector<int> open_fds_;
 
   // Lifecycle.
+  std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();  // Reset by Start().
   std::mutex lifecycle_mutex_;
   std::condition_variable lifecycle_cv_;
   bool started_ = false;
@@ -306,6 +331,7 @@ class SketchServer {
   std::atomic<uint64_t> summaries_rejected_{0};
   std::atomic<uint64_t> queries_answered_{0};
   std::atomic<uint64_t> duplicates_dropped_{0};
+  std::atomic<uint64_t> summary_pulls_{0};
   std::atomic<uint64_t> snapshots_written_{0};
   std::atomic<uint64_t> recoveries_{0};
   std::atomic<uint64_t> recovered_batches_{0};

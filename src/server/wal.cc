@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -139,6 +140,14 @@ bool DedupIndex::Seen(const std::string& site_id, uint64_t sequence) const {
 
 void DedupIndex::Record(const std::string& site_id, uint64_t sequence) {
   windows_[site_id].Record(sequence);
+}
+
+uint64_t DedupIndex::OccupiedBits() const {
+  uint64_t total = 0;
+  for (const auto& [site, window] : windows_) {
+    total += static_cast<uint64_t>(std::popcount(window.bits()));
+  }
+  return total;
 }
 
 void DedupIndex::EncodeTo(std::string* out) const {

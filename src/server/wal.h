@@ -89,6 +89,10 @@ class DedupIndex {
 
   size_t num_sites() const { return windows_.size(); }
 
+  /// Total set bits across all per-site windows — how much of the sliding
+  /// dedup capacity is holding recently-seen sequences (STATS exposure).
+  uint64_t OccupiedBits() const;
+
   void EncodeTo(std::string* out) const;
   /// Decodes at (*data)[*offset], advancing it. False on malformed input.
   bool DecodeFrom(const std::string& data, size_t* offset);

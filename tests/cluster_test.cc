@@ -1,0 +1,500 @@
+// End-to-end tests for the cluster subsystem (src/cluster/): the hello
+// handshake and config-mismatch refusal, the PULL_SUMMARY epoch cache,
+// federated queries answering bit-identically to a fault-free single
+// node, and the chaos path — kill the owning shard mid-ingest, fail
+// reads over to the replica, restart on the WAL, re-push through the
+// dedup window, and verify the federated answer never drifts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_commands.h"
+#include "cluster/cluster_router.h"
+#include "server/fault_injector.h"
+#include "server/sketch_client.h"
+#include "server/sketch_server.h"
+#include "stream/update.h"
+
+namespace setsketch {
+namespace {
+
+constexpr uint64_t kMasterSeed = 20030609;
+constexpr int kCopies = 48;
+
+SketchParams TestParams() {
+  SketchParams params;
+  params.levels = 20;
+  params.num_second_level = 16;
+  return params;
+}
+
+SketchServer::Options ShardOptions(const std::string& wal_dir = "") {
+  SketchServer::Options options;
+  options.params = TestParams();
+  options.copies = kCopies;
+  options.seed = kMasterSeed;
+  options.shards = 2;
+  options.queue_capacity = 64;
+  options.witness.pool_all_levels = true;
+  options.wal_dir = wal_dir;
+  return options;
+}
+
+ClusterRouter::Options RouterOptions(
+    const std::vector<const SketchServer*>& shards) {
+  ClusterRouter::Options options;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    ClusterShard shard;
+    shard.name = "s" + std::to_string(i);
+    shard.host = "127.0.0.1";
+    shard.port = shards[i]->port();
+    options.shards.push_back(shard);
+  }
+  options.replicas = 1;
+  options.params = TestParams();
+  options.copies = kCopies;
+  options.seed = kMasterSeed;
+  options.witness.pool_all_levels = true;
+  options.shard_connect_timeout_ms = 1000;
+  options.shard_io_timeout_ms = 5000;
+  return options;
+}
+
+std::unique_ptr<SketchClient> MustConnect(int port,
+                                          const std::string& site = "") {
+  SketchClient::Options options;
+  options.port = port;
+  options.site_id = site;
+  std::string error;
+  auto client = SketchClient::Connect(options, &error);
+  EXPECT_NE(client, nullptr) << error;
+  return client;
+}
+
+std::filesystem::path FreshDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Deterministic three-stream batch with churn (some deletions).
+UpdateBatch MakeBatch(int index, int per_batch = 64) {
+  UpdateBatch batch;
+  batch.stream_names = {"A", "B", "C"};
+  batch.updates.reserve(static_cast<size_t>(per_batch));
+  for (int i = 0; i < per_batch; ++i) {
+    const uint64_t element =
+        static_cast<uint64_t>(index * per_batch + i) * 2654435761ULL + 11;
+    const StreamId stream = static_cast<StreamId>((index + i) % 3);
+    const int64_t delta = i % 9 == 8 ? -1 : 1;
+    batch.updates.push_back(Update{stream, element, delta});
+  }
+  return batch;
+}
+
+const char* const kExpressions[] = {
+    "(A - B) & C",
+    "A | (B & C)",
+    "(A | B | C) - (A & B)",
+};
+
+/// Asserts the router and the reference server answer every probe
+/// expression with EXACTLY the same estimate and interval — the
+/// bit-identity bar from the stored-coins model.
+void ExpectAnswersMatchReference(SketchClient& via_router,
+                                 SketchClient& via_reference) {
+  for (const char* expression : kExpressions) {
+    const QueryResultInfo fed = via_router.Query(expression);
+    const QueryResultInfo ref = via_reference.Query(expression);
+    ASSERT_TRUE(ref.ok) << expression << ": " << ref.error;
+    ASSERT_TRUE(fed.ok) << expression << ": " << fed.error;
+    EXPECT_EQ(fed.estimate, ref.estimate) << expression;
+    EXPECT_EQ(fed.lo, ref.lo) << expression;
+    EXPECT_EQ(fed.hi, ref.hi) << expression;
+  }
+}
+
+// --- Hello handshake ----------------------------------------------------
+
+TEST(ClusterHandshakeTest, HelloExchangesConfigAndFeatures) {
+  SketchServer server(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server.port());
+
+  HelloInfo mine;
+  mine.params = TestParams();
+  mine.copies = kCopies;
+  mine.seed = kMasterSeed;
+  HelloInfo theirs;
+  const SketchClient::Status status = client->Hello(mine, &theirs);
+  ASSERT_TRUE(status.ok) << status.error;
+  EXPECT_TRUE(theirs.params == TestParams());
+  EXPECT_EQ(theirs.copies, kCopies);
+  EXPECT_EQ(theirs.seed, kMasterSeed);
+  EXPECT_TRUE(theirs.ConfigMatches(mine));
+  EXPECT_NE(theirs.features & kFeatureSummaryPull, 0u);
+
+  // A plain PING (no hello payload) still echoes, so pre-cluster clients
+  // keep working against a hello-aware server.
+  EXPECT_TRUE(client->Ping().ok);
+  server.Stop();
+}
+
+TEST(ClusterHandshakeTest, RouterRefusesMismatchedShard) {
+  // One shard with the right coins, one seeded differently: the router
+  // must refuse the mismatched shard (merging its sketches would be
+  // silently wrong) and keep serving streams placed on the good one.
+  SketchServer good(ShardOptions());
+  SketchServer::Options bad_options = ShardOptions();
+  bad_options.seed = kMasterSeed + 1;
+  SketchServer bad(bad_options);
+  std::string error;
+  ASSERT_TRUE(good.Start(&error)) << error;
+  ASSERT_TRUE(bad.Start(&error)) << error;
+
+  ClusterRouter::Options options = RouterOptions({&good, &bad});
+  options.replicas = 0;  // Placement picks exactly one shard per stream.
+  ClusterRouter router(options);
+  ASSERT_TRUE(router.Start(&error)) << error;
+  EXPECT_EQ(router.ProbeAll(), 1u);
+  const ClusterRouter::StatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.refused_shards, 1u);
+  EXPECT_EQ(stats.healthy_shards, 1u);
+
+  // Pushes for streams placed on the refused shard bounce with a typed
+  // error; streams on the healthy shard are unaffected.
+  auto client = MustConnect(router.port(), "mismatch-test");
+  int refused = 0;
+  int accepted = 0;
+  for (int i = 0; i < 16; ++i) {
+    UpdateBatch batch;
+    batch.stream_names = {"probe-" + std::to_string(i)};
+    batch.updates.push_back(Update{0, static_cast<uint64_t>(i), 1});
+    const SketchClient::Status status = client->PushUpdates(batch);
+    if (status.ok) {
+      ++accepted;
+    } else {
+      EXPECT_NE(status.error.find("NO_HEALTHY_SHARD"), std::string::npos)
+          << status.error;
+      ++refused;
+    }
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(refused, 0);
+
+  router.Stop();
+  good.Stop();
+  bad.Stop();
+}
+
+// --- Summary pulls ------------------------------------------------------
+
+TEST(ClusterSummaryTest, PullHonorsEpochCache) {
+  SketchServer server(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server.port(), "summary-test");
+  ASSERT_TRUE(client->PushUpdates(MakeBatch(0)).ok);
+
+  SummaryPullRequest request;
+  SummaryPullRequest::Key key;
+  key.name = "A";
+  request.streams.push_back(key);
+  SummaryPullRequest::Key unknown;
+  unknown.name = "no-such-stream";
+  request.streams.push_back(unknown);
+
+  // Cold pull: the full sketch vector, plus the (bank_id, epoch) to cache.
+  SummaryResult cold;
+  ASSERT_TRUE(client->PullSummaries(request, &cold).ok);
+  ASSERT_EQ(cold.streams.size(), 2u);
+  EXPECT_EQ(cold.streams[0].state, SummaryState::kFull);
+  EXPECT_EQ(cold.streams[0].sketches.size(),
+            static_cast<size_t>(kCopies));
+  EXPECT_EQ(cold.streams[1].state, SummaryState::kUnknown);
+
+  // Re-pull with the cached identity: one state byte, no payload.
+  request.streams.resize(1);
+  request.streams[0].bank_id = cold.streams[0].bank_id;
+  request.streams[0].epoch = cold.streams[0].epoch;
+  SummaryResult warm;
+  ASSERT_TRUE(client->PullSummaries(request, &warm).ok);
+  ASSERT_EQ(warm.streams.size(), 1u);
+  EXPECT_EQ(warm.streams[0].state, SummaryState::kUnchanged);
+
+  // New writes bump the stream's epoch: the same cached identity now
+  // misses and the refreshed vector comes back full.
+  ASSERT_TRUE(client->PushUpdates(MakeBatch(1)).ok);
+  SummaryResult refreshed;
+  ASSERT_TRUE(client->PullSummaries(request, &refreshed).ok);
+  ASSERT_EQ(refreshed.streams.size(), 1u);
+  EXPECT_EQ(refreshed.streams[0].state, SummaryState::kFull);
+  EXPECT_GT(refreshed.streams[0].epoch, cold.streams[0].epoch);
+
+  server.Stop();
+}
+
+// --- Placement through the router --------------------------------------
+
+TEST(ClusterRouterTest, PlacementIsDeterministicAndReplicated) {
+  SketchServer a(ShardOptions());
+  SketchServer b(ShardOptions());
+  SketchServer c(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(a.Start(&error)) << error;
+  ASSERT_TRUE(b.Start(&error)) << error;
+  ASSERT_TRUE(c.Start(&error)) << error;
+
+  const ClusterRouter::Options options = RouterOptions({&a, &b, &c});
+  ClusterRouter first(options);
+  ClusterRouter second(options);
+  for (const std::string stream : {"A", "B", "C", "D", "E"}) {
+    const std::vector<std::string> targets = first.WriteTargets(stream);
+    ASSERT_EQ(targets.size(), 2u) << stream;  // Owner + one replica.
+    EXPECT_NE(targets[0], targets[1]) << stream;
+    EXPECT_EQ(targets, second.WriteTargets(stream)) << stream;
+    EXPECT_EQ(first.ReadTarget(stream), targets[0]) << stream;
+  }
+  a.Stop();
+  b.Stop();
+  c.Stop();
+}
+
+// --- Federation correctness --------------------------------------------
+
+TEST(ClusterRouterTest, FederatedAnswersMatchSingleNodeExactly) {
+  SketchServer s0(ShardOptions());
+  SketchServer s1(ShardOptions());
+  SketchServer s2(ShardOptions());
+  SketchServer reference(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(s0.Start(&error)) << error;
+  ASSERT_TRUE(s1.Start(&error)) << error;
+  ASSERT_TRUE(s2.Start(&error)) << error;
+  ASSERT_TRUE(reference.Start(&error)) << error;
+
+  ClusterRouter router(RouterOptions({&s0, &s1, &s2}));
+  ASSERT_TRUE(router.Start(&error)) << error;
+  EXPECT_EQ(router.ProbeAll(), 3u);
+
+  auto via_router = MustConnect(router.port(), "fed");
+  auto via_reference = MustConnect(reference.port(), "fed");
+  for (int i = 0; i < 6; ++i) {
+    const UpdateBatch batch = MakeBatch(i);
+    ASSERT_TRUE(via_router->PushUpdates(batch).ok);
+    ASSERT_TRUE(via_reference->PushUpdates(batch).ok);
+  }
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  // The same queries again: every summary is served from the router's
+  // epoch cache as a one-byte kUnchanged, and the answers still match.
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+  const ClusterRouter::StatsSnapshot stats = router.stats();
+  EXPECT_GT(stats.summary_streams_unchanged, 0u);
+  EXPECT_GT(stats.summary_streams_full, 0u);
+  EXPECT_EQ(stats.failovers, 0u);
+
+  // Duplicate client push: deduped on every shard, ACKed as duplicate.
+  auto replayer = MustConnect(router.port(), "fed");
+  const SketchClient::Status dup =
+      replayer->PushUpdatesAt(MakeBatch(0), /*sequence=*/1);
+  ASSERT_TRUE(dup.ok) << dup.error;
+  EXPECT_TRUE(dup.duplicate);
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  router.Stop();
+  s0.Stop();
+  s1.Stop();
+  s2.Stop();
+  reference.Stop();
+}
+
+// --- Chaos: owner death, failover, WAL recovery, re-push ---------------
+
+TEST(ClusterChaosTest, OwnerDeathFailoverAndWalRecoveryStayExact) {
+  const std::filesystem::path dir = FreshDir("cluster_chaos");
+  std::vector<std::unique_ptr<SketchServer>> shards;
+  for (int i = 0; i < 3; ++i) {
+    shards.push_back(std::make_unique<SketchServer>(
+        ShardOptions((dir / ("wal" + std::to_string(i))).string())));
+    std::string error;
+    ASSERT_TRUE(shards.back()->Start(&error)) << error;
+  }
+  SketchServer reference(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(reference.Start(&error)) << error;
+
+  std::vector<const SketchServer*> shard_ptrs;
+  for (const auto& shard : shards) shard_ptrs.push_back(shard.get());
+  ClusterRouter router(RouterOptions(shard_ptrs));
+  ASSERT_TRUE(router.Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 3u);
+
+  auto via_router = MustConnect(router.port(), "chaos");
+  auto via_reference = MustConnect(reference.port(), "chaos");
+  std::vector<UpdateBatch> history;
+  const auto push_both = [&](int index) {
+    history.push_back(MakeBatch(index));
+    const SketchClient::Status fed =
+        via_router->PushUpdatesWithRetry(history.back());
+    ASSERT_TRUE(fed.ok) << "batch " << index << ": " << fed.error;
+    ASSERT_TRUE(via_reference->PushUpdates(history.back()).ok);
+  };
+
+  for (int i = 0; i < 5; ++i) push_both(i);
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  // Kill the shard that owns stream "A" (owner-first target order).
+  const std::string owner = router.WriteTargets("A")[0];
+  size_t owner_index = 0;
+  for (size_t i = 0; i < router.options().shards.size(); ++i) {
+    if (router.options().shards[i].name == owner) owner_index = i;
+  }
+  const int owner_port = shards[owner_index]->port();
+  shards[owner_index]->Stop();
+
+  // Ingest continues: the first push eats a RETRY_LATER bounce while the
+  // router discovers the death, then lands on the surviving replica.
+  for (int i = 5; i < 10; ++i) push_both(i);
+  {
+    const ClusterRouter::StatsSnapshot stats = router.stats();
+    EXPECT_GE(stats.stale_shards, 1u);
+    EXPECT_GT(stats.push_bounces, 0u);
+  }
+
+  // Queries fail over to the replica, which ACKed every batch and is
+  // therefore complete — the answers still match the reference exactly.
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+  EXPECT_GT(router.stats().failovers, 0u);
+
+  // Restart the dead shard on its old port and WAL: replay restores the
+  // pre-kill prefix and the dedup window, so a full client re-push is
+  // exactly-once — already-applied sequences re-ACK, missed ones apply.
+  SketchServer::Options recovered_options =
+      ShardOptions((dir / ("wal" + std::to_string(owner_index))).string());
+  recovered_options.port = owner_port;
+  shards[owner_index] =
+      std::make_unique<SketchServer>(recovered_options);
+  ASSERT_TRUE(shards[owner_index]->Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 3u);
+
+  auto replayer = MustConnect(router.port(), "chaos");
+  for (size_t i = 0; i < history.size(); ++i) {
+    const SketchClient::Status status = replayer->PushUpdatesWithRetry(
+        history[i], /*max_attempts=*/1000, /*backoff_ms=*/1);
+    ASSERT_TRUE(status.ok) << "re-push " << i << ": " << status.error;
+  }
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  // A fresh router (no stale memory) reads from the recovered OWNER
+  // again; identical answers prove recovery + re-push made the owner
+  // bit-identical — applied exactly once, nothing double-counted.
+  shard_ptrs.clear();
+  for (const auto& shard : shards) shard_ptrs.push_back(shard.get());
+  ClusterRouter fresh(RouterOptions(shard_ptrs));
+  ASSERT_TRUE(fresh.Start(&error)) << error;
+  ASSERT_EQ(fresh.ProbeAll(), 3u);
+  auto via_fresh = MustConnect(fresh.port());
+  EXPECT_EQ(fresh.ReadTarget("A"), owner);
+  ExpectAnswersMatchReference(*via_fresh, *via_reference);
+
+  fresh.Stop();
+  router.Stop();
+  for (const auto& shard : shards) shard->Stop();
+  reference.Stop();
+}
+
+// --- Chaos: deterministic transport faults on the shard fan-out --------
+
+TEST(ClusterChaosTest, InjectedShardFaultsNeverDoubleApply) {
+  SketchServer s0(ShardOptions());
+  SketchServer s1(ShardOptions());
+  SketchServer reference(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(s0.Start(&error)) << error;
+  ASSERT_TRUE(s1.Start(&error)) << error;
+  ASSERT_TRUE(reference.Start(&error)) << error;
+
+  FaultInjector::Options faults;
+  faults.seed = 2003;
+  faults.reset_probability = 0.08;
+  faults.max_faults = 6;  // Bounded: retry loops always terminate.
+  FaultInjector injector(faults);
+
+  ClusterRouter::Options options = RouterOptions({&s0, &s1});
+  options.shard_fault_injector = &injector;
+  ClusterRouter router(options);
+  ASSERT_TRUE(router.Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 2u);
+
+  auto via_router = MustConnect(router.port(), "faulty");
+  auto via_reference = MustConnect(reference.port(), "faulty");
+  for (int i = 0; i < 24; ++i) {
+    const UpdateBatch batch = MakeBatch(i, /*per_batch=*/32);
+    const SketchClient::Status fed = via_router->PushUpdatesWithRetry(
+        batch, /*max_attempts=*/1000, /*backoff_ms=*/1);
+    ASSERT_TRUE(fed.ok) << "batch " << i << ": " << fed.error;
+    ASSERT_TRUE(via_reference->PushUpdates(batch).ok);
+  }
+  EXPECT_GT(injector.faults_injected(), 0u);
+
+  // Faulted forwards mark shards stale (conservatively out of the read
+  // path), so federate through a fresh fault-free router: every batch
+  // must have landed exactly once on every placed copy.
+  ClusterRouter fresh(RouterOptions({&s0, &s1}));
+  ASSERT_TRUE(fresh.Start(&error)) << error;
+  ASSERT_EQ(fresh.ProbeAll(), 2u);
+  auto via_fresh = MustConnect(fresh.port());
+  ExpectAnswersMatchReference(*via_fresh, *via_reference);
+
+  fresh.Stop();
+  router.Stop();
+  s0.Stop();
+  s1.Stop();
+  reference.Stop();
+}
+
+// --- CLI plumbing -------------------------------------------------------
+
+TEST(ClusterCommandsTest, ParseShardListValidatesInput) {
+  std::vector<ClusterShard> shards;
+  std::string error;
+  ASSERT_TRUE(
+      ParseShardList("127.0.0.1:7001,10.0.0.2:7002", &shards, &error));
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].host, "127.0.0.1");
+  EXPECT_EQ(shards[0].port, 7001);
+  EXPECT_EQ(shards[0].name, "127.0.0.1:7001");
+  EXPECT_EQ(shards[1].host, "10.0.0.2");
+  EXPECT_EQ(shards[1].port, 7002);
+
+  EXPECT_FALSE(ParseShardList("", &shards, &error));
+  EXPECT_FALSE(ParseShardList("nohost", &shards, &error));
+  EXPECT_FALSE(ParseShardList("host:", &shards, &error));
+  EXPECT_FALSE(ParseShardList(":7001", &shards, &error));
+  EXPECT_FALSE(ParseShardList("host:notaport", &shards, &error));
+  EXPECT_FALSE(ParseShardList("host:99999", &shards, &error));
+}
+
+TEST(ClusterCommandsTest, RunRouteRejectsBadOptions) {
+  ClusterRouter::Options options;
+  EXPECT_FALSE(RunRoute(options).ok);  // No shards.
+  ClusterShard shard;
+  shard.name = "s0";
+  shard.port = 1;
+  options.shards.push_back(shard);
+  options.replicas = 1;  // >= shard count.
+  EXPECT_FALSE(RunRoute(options).ok);
+}
+
+}  // namespace
+}  // namespace setsketch

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full pre-merge correctness gate, six stages:
+# Full pre-merge correctness gate, seven stages:
 #
 #   1. release   Release build + full test suite + bench smoke (the
 #                update-kernel and fault-tolerance JSON perf
@@ -14,7 +14,16 @@
 #                (seeded fault injection, WAL corruption, crash
 #                recovery), then a real kill -9 crash/recover/dedup
 #                cycle driven end-to-end through the sketchtool CLI.
-#   6. tidy      tools/lint.py source hygiene + validate_bench_json.py
+#   6. cluster   AddressSanitizer build + the cluster suite (hash-ring
+#                placement, hello handshake, federated queries, chaos
+#                failover), then a real 3-shard + router deployment
+#                through the sketchtool CLI: kill -9 the shard owning a
+#                stream mid-run, fail reads over to the replica, restart
+#                on the WAL, re-push through the dedup window, and
+#                require the federated answer to stay bit-identical to a
+#                fault-free single node; finally a bench_cluster JSON
+#                trajectory smoke.
+#   7. tidy      tools/lint.py source hygiene + validate_bench_json.py
 #                --schema-only + clang-tidy over the library (skipped
 #                with a notice when clang-tidy is not installed).
 #
@@ -33,13 +42,13 @@ cd "$(dirname "$0")/.."
 prefix="build-check"
 if [[ $# -gt 0 ]]; then
   case "$1" in
-    release|asan|tsan|ubsan|chaos|tidy) ;;  # First arg is a stage name.
+    release|asan|tsan|ubsan|chaos|cluster|tidy) ;;  # A stage name.
     *) prefix="$1"; shift ;;
   esac
 fi
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(release asan tsan ubsan chaos tidy)
+  stages=(release asan tsan ubsan chaos cluster tidy)
 fi
 jobs="${SETSKETCH_CHECK_JOBS:-$(nproc)}"
 
@@ -182,6 +191,189 @@ stage_chaos() {
   echo "=== chaos e2e passed ==="
 }
 
+stage_cluster() {
+  # Cluster suite under AddressSanitizer: placement, handshake, summary
+  # pulls, federated bit-identity and the in-process chaos tests.
+  build_and_test "${prefix}-cluster" \
+    "HashRingTest|PlacementTest|ClusterHandshakeTest|ClusterSummaryTest|ClusterRouterTest|ClusterChaosTest|ClusterCommandsTest" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSETSKETCH_SANITIZE=address
+
+  echo "=== cluster e2e (3 shards + router, kill -9 + failover) ==="
+  local tool="${prefix}-cluster/tools/sketchtool"
+  local dir
+  dir="$(mktemp -d)"
+  local i
+  for ((i = 0; i < 1500; ++i)); do
+    echo "0 $((i * 7919 + 1)) 1"
+    echo "1 $((i * 104729 + 3)) 1"
+    echo "2 $((i * 15485863 + 7)) 1"
+  done > "${dir}/phase1.txt"
+  for ((i = 1500; i < 2500; ++i)); do
+    echo "0 $((i * 7919 + 1)) 1"
+    echo "1 $((i * 104729 + 3)) 1"
+    echo "2 $((i * 15485863 + 7)) 1"
+  done > "${dir}/phase2.txt"
+
+  wait_for_announce() {
+    local log="$1"
+    local marker="$2"
+    local tries
+    for ((tries = 0; tries < 300; ++tries)); do
+      if grep -q "${marker}" "${log}"; then
+        sed -n "s/.*${marker} .*:\([0-9][0-9]*\) .*/\1/p;
+                s/.*${marker} .*:\([0-9][0-9]*\)\$/\1/p" "${log}" |
+          head -1
+        return 0
+      fi
+      sleep 0.1
+    done
+    echo "no '${marker}' announcement; log:" >&2
+    cat "${log}" >&2
+    return 1
+  }
+
+  # Three WAL-backed shards, one fault-free reference server.
+  local shard_pids=() shard_ports=()
+  for i in 0 1 2; do
+    "${tool}" serve --port 0 --copies 32 --wal-dir "${dir}/wal${i}" \
+      > "${dir}/shard${i}.log" &
+    shard_pids[i]=$!
+    shard_ports[i]="$(wait_for_announce "${dir}/shard${i}.log" \
+      'listening on')"
+  done
+  "${tool}" serve --port 0 --copies 32 > "${dir}/ref.log" &
+  local ref_pid=$!
+  local ref_port
+  ref_port="$(wait_for_announce "${dir}/ref.log" 'listening on')"
+
+  local shard_list
+  shard_list="127.0.0.1:${shard_ports[0]},127.0.0.1:${shard_ports[1]}"
+  shard_list+=",127.0.0.1:${shard_ports[2]}"
+  "${tool}" route --port 0 --shards "${shard_list}" --replicas 1 \
+    --copies 32 --probe-interval-ms 200 > "${dir}/route.log" &
+  local route_pid=$!
+  local route_port
+  route_port="$(wait_for_announce "${dir}/route.log" 'routing on')"
+
+  local expr="(A - B) & C"
+  "${tool}" push --port "${route_port}" --updates "${dir}/phase1.txt" \
+    --streams A,B,C --site cluster --batch 500 > "${dir}/push1.log"
+  "${tool}" push --port "${ref_port}" --updates "${dir}/phase1.txt" \
+    --streams A,B,C --site cluster --batch 500 >/dev/null
+  local want got
+  want="$("${tool}" query --port "${ref_port}" --expr "${expr}")"
+  got="$("${tool}" query --port "${route_port}" --expr "${expr}")"
+  if [[ "${got}" != "${want}" ]]; then
+    echo "cluster e2e: federated answer diverged pre-fault" >&2
+    echo "  reference: ${want}" >&2
+    echo "  federated: ${got}" >&2
+    exit 1
+  fi
+
+  # Kill -9 the shard that owns stream A (first write target in the
+  # router's EXPLAIN placement report).
+  "${tool}" explain --port "${route_port}" --expr "A" > "${dir}/place.log"
+  local owner_port
+  owner_port="$(sed -n \
+    's/^stream A targets=127\.0\.0\.1:\([0-9]*\),.*/\1/p' \
+    "${dir}/place.log")"
+  local owner_index=-1
+  for i in 0 1 2; do
+    if [[ "${shard_ports[i]}" == "${owner_port}" ]]; then
+      owner_index=$i
+    fi
+  done
+  if [[ ${owner_index} -lt 0 ]]; then
+    echo "cluster e2e: cannot find owner of stream A" >&2
+    cat "${dir}/place.log" >&2
+    exit 1
+  fi
+  kill -9 "${shard_pids[owner_index]}"
+  wait "${shard_pids[owner_index]}" 2>/dev/null || true
+
+  # Ingest continues through the surviving replica (the push CLI absorbs
+  # the RETRY_LATER bounce while the router discovers the death), and
+  # reads fail over — still bit-identical to the fault-free reference.
+  "${tool}" push --port "${route_port}" --updates "${dir}/phase2.txt" \
+    --streams A,B,C --site cluster --seq-start 10 --batch 500 \
+    > "${dir}/push2.log"
+  "${tool}" push --port "${ref_port}" --updates "${dir}/phase2.txt" \
+    --streams A,B,C --site cluster --seq-start 10 --batch 500 >/dev/null
+  want="$("${tool}" query --port "${ref_port}" --expr "${expr}")"
+  got="$("${tool}" query --port "${route_port}" --expr "${expr}")"
+  if [[ "${got}" != "${want}" ]]; then
+    echo "cluster e2e: federated answer diverged after owner death" >&2
+    echo "  reference: ${want}" >&2
+    echo "  federated: ${got}" >&2
+    exit 1
+  fi
+  "${tool}" stats --port "${route_port}" > "${dir}/stats1.log"
+  grep -q "stale_shards 1" "${dir}/stats1.log"
+  if grep -q "^failovers 0\$" "${dir}/stats1.log"; then
+    echo "cluster e2e: no failover recorded" >&2
+    exit 1
+  fi
+
+  # Restart the dead shard on its old port + WAL (replay restores the
+  # pre-kill batches and the dedup index), wait for a probe to re-admit
+  # it to the write path, then re-push the missed phase: the recovering
+  # shard applies it, the survivors re-ACK it as duplicates.
+  "${tool}" serve --port "${owner_port}" --copies 32 \
+    --wal-dir "${dir}/wal${owner_index}" > "${dir}/recovered.log" &
+  shard_pids[owner_index]=$!
+  wait_for_announce "${dir}/recovered.log" 'listening on' >/dev/null
+  "${tool}" stats --port "${owner_port}" > "${dir}/rstats.log"
+  grep -q "recoveries 1" "${dir}/rstats.log"
+  if grep -q "^recovered_batches 0\$" "${dir}/rstats.log"; then
+    echo "cluster e2e: restarted owner replayed no WAL batches" >&2
+    exit 1
+  fi
+  sleep 1  # > probe-interval-ms: the router re-marks the shard healthy.
+  "${tool}" push --port "${route_port}" --updates "${dir}/phase2.txt" \
+    --streams A,B,C --site cluster --seq-start 10 --batch 500 \
+    > "${dir}/push3.log"
+  # And a full replay is all duplicate ACKs — nothing double-counted.
+  "${tool}" push --port "${route_port}" --updates "${dir}/phase2.txt" \
+    --streams A,B,C --site cluster --seq-start 10 --batch 500 \
+    > "${dir}/push4.log"
+  grep -q "6 duplicate acks" "${dir}/push4.log"
+
+  # A fresh router (no stale memory) reads from the recovered owner
+  # again; its answer matching the reference proves recovery + re-push
+  # rebuilt the owner bit-identically, applied exactly once.
+  "${tool}" route --port 0 --shards "${shard_list}" --replicas 1 \
+    --copies 32 > "${dir}/route2.log" &
+  local route2_pid=$!
+  local route2_port
+  route2_port="$(wait_for_announce "${dir}/route2.log" 'routing on')"
+  got="$("${tool}" query --port "${route2_port}" --expr "${expr}")"
+  if [[ "${got}" != "${want}" ]]; then
+    echo "cluster e2e: recovered owner diverged from the reference" >&2
+    echo "  reference: ${want}" >&2
+    echo "  federated: ${got}" >&2
+    exit 1
+  fi
+
+  "${tool}" shutdown --port "${route2_port}"
+  "${tool}" shutdown --port "${route_port}"
+  wait "${route2_pid}" "${route_pid}"
+  for i in 0 1 2; do
+    "${tool}" shutdown --port "${shard_ports[i]}"
+  done
+  "${tool}" shutdown --port "${ref_port}"
+  wait "${shard_pids[@]}" "${ref_pid}"
+  # The recovered shard's exit summary confirms the WAL replay happened.
+  grep -q "batches recovered" "${dir}/recovered.log"
+  rm -rf "${dir}"
+  echo "=== cluster e2e passed ==="
+
+  echo "=== bench smoke (cluster JSON trajectory) ==="
+  local cl_json="${prefix}-cluster/BENCH_cluster.smoke.json"
+  SETSKETCH_BENCH_JSON="${cl_json}" SETSKETCH_BENCH_SCALE=0.05 \
+    "${prefix}-cluster/bench/bench_cluster" >/dev/null
+  python3 tools/validate_bench_json.py "${cl_json}"
+}
+
 stage_tidy() {
   echo "=== lint (tools/lint.py) ==="
   python3 tools/lint.py
@@ -192,7 +384,7 @@ stage_tidy() {
     cmake -B "${prefix}-tidy" -S . -DCMAKE_BUILD_TYPE=Release \
       -DSETSKETCH_TIDY=ON >/dev/null
     cmake --build "${prefix}-tidy" -j "${jobs}" \
-      --target setsketch setsketch_server
+      --target setsketch setsketch_server setsketch_cluster
   else
     echo "=== clang-tidy not installed; skipping the tidy build ==="
     echo "    (install clang-tidy and re-run tools/check.sh tidy)"

@@ -29,6 +29,20 @@
 //                       (--site makes the push idempotent: a retried or
 //                        re-run push with the same site and seq-start is
 //                        deduplicated, never double-counted)
+//   sketchtool route    --shards H:P[,H:P...] [--port 0] [--bind ...]
+//                       [--replicas 1] [--static-placement]
+//                       [--virtual-nodes 64] [--placement-seed 7]
+//                       [--copies 128] [--seed 42] [--levels 32]
+//                       [--second-level 32] [--probe-interval-ms 0]
+//                       [--io-timeout-ms 30000] [--idle-timeout-ms 0]
+//                       [--shard-io-timeout-ms 10000]
+//                       [--connect-timeout-ms 2000]
+//                       (federating router: clients push/query it like a
+//                        single server; streams are placed on shards by a
+//                        seeded consistent-hash ring, writes fan out to
+//                        owner + replicas, queries pull per-stream
+//                        summaries and merge through the shared
+//                        estimator kernel)
 //   sketchtool query    --port P --expr "(A - B) & C" [--host ...]
 //   sketchtool explain  --port P --expr "(A - B) & C" [--host ...]
 //                       (the planner's report: canonical plan, shared
@@ -44,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_commands.h"
 #include "server/server_commands.h"
 #include "tools/commands.h"
 #include "util/flags.h"
@@ -67,8 +82,8 @@ std::vector<std::string> SplitCommaList(const std::string& text) {
 
 int Usage() {
   std::cerr << "usage: sketchtool "
-               "<build|info|merge|estimate|serve|push|query|explain|stats|"
-               "shutdown> [flags]\n"
+               "<build|info|merge|estimate|serve|route|push|query|explain|"
+               "stats|shutdown> [flags]\n"
                "  build    --updates FILE --out FILE [--streams A,B,..]\n"
                "           [--copies N] [--seed N] [--levels N]\n"
                "           [--second-level N] [--kwise T]\n"
@@ -81,6 +96,14 @@ int Usage() {
                "           [--wal-shards N] [--no-wal-fsync]\n"
                "           [--snapshot-bytes N] [--io-timeout-ms N]\n"
                "           [--idle-timeout-ms N]\n"
+               "  route    --shards H:P[,H:P..] [--port N] [--bind ADDR]\n"
+               "           [--replicas N] [--static-placement]\n"
+               "           [--virtual-nodes N] [--placement-seed N]\n"
+               "           [--copies N] [--seed N] [--levels N]\n"
+               "           [--second-level N] [--probe-interval-ms N]\n"
+               "           [--io-timeout-ms N] [--idle-timeout-ms N]\n"
+               "           [--shard-io-timeout-ms N]\n"
+               "           [--connect-timeout-ms N]\n"
                "  push     --port N --updates FILE [--host ADDR]\n"
                "           [--streams A,B,..] [--batch N] [--site ID]\n"
                "           [--seq-start N] [--io-timeout-ms N]\n"
@@ -158,6 +181,39 @@ int main(int argc, char** argv) {
     options.idle_timeout_ms =
         static_cast<int>(flags.GetInt("idle-timeout-ms", 0));
     result = RunServe(options, &std::cout);
+  } else if (command == "route") {
+    ClusterRouter::Options options;
+    std::string parse_error;
+    if (!ParseShardList(flags.GetString("shards", ""), &options.shards,
+                        &parse_error)) {
+      std::cerr << "sketchtool route: " << parse_error << "\n";
+      return Usage();
+    }
+    options.port = static_cast<int>(flags.GetInt("port", 0));
+    options.bind_address = flags.GetString("bind", "127.0.0.1");
+    options.replicas = static_cast<int>(flags.GetInt("replicas", 1));
+    options.static_placement = flags.GetBool("static-placement", false);
+    options.virtual_nodes =
+        static_cast<int>(flags.GetInt("virtual-nodes", 64));
+    options.placement_seed =
+        static_cast<uint64_t>(flags.GetInt("placement-seed", 7));
+    options.copies = static_cast<int>(flags.GetInt("copies", 128));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    options.params.levels = static_cast<int>(flags.GetInt("levels", 32));
+    options.params.num_second_level =
+        static_cast<int>(flags.GetInt("second-level", 32));
+    options.witness.pool_all_levels = true;
+    options.probe_interval_ms =
+        static_cast<int>(flags.GetInt("probe-interval-ms", 0));
+    options.io_timeout_ms =
+        static_cast<int>(flags.GetInt("io-timeout-ms", 30000));
+    options.idle_timeout_ms =
+        static_cast<int>(flags.GetInt("idle-timeout-ms", 0));
+    options.shard_io_timeout_ms =
+        static_cast<int>(flags.GetInt("shard-io-timeout-ms", 10000));
+    options.shard_connect_timeout_ms =
+        static_cast<int>(flags.GetInt("connect-timeout-ms", 2000));
+    result = RunRoute(options, &std::cout);
   } else if (command == "push") {
     PushSpec spec;
     spec.host = flags.GetString("host", "127.0.0.1");

@@ -14,6 +14,9 @@ configured to emit. Benches are keyed by the marker:
   plan_cache        bench_plan_cache (repeated-query throughput: cold
                     direct/replan vs hot/equivalent cache hits, epoch
                     invalidation re-merge, served loopback QUERY path)
+  cluster           bench_cluster (single-node vs routed ingest with and
+                    without replication; federated query cost cold vs
+                    via the router's epoch-aware summary cache)
 
 tools/check.sh smoke-runs each bench and validates its trajectory here,
 so the perf reporting cannot silently rot.
@@ -52,6 +55,14 @@ EXPECTED_BY_BENCH = {
         "PlanCacheQuery/equivalent_hit",
         "PlanCacheQuery/invalidate_requery",
         "PlanCacheQuery/served_hot",
+    ],
+    "cluster": [
+        "ClusterIngest/single_node",
+        "ClusterIngest/router_fanout",
+        "ClusterIngest/router_replicated",
+        "ClusterQuery/single_node",
+        "ClusterQuery/federated_cold",
+        "ClusterQuery/federated_hot",
     ],
 }
 
