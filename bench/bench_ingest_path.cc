@@ -1,0 +1,243 @@
+// The ingest fast path versus the legacy serving stack: loopback
+// ingest of a churned two-stream workload into the full-size bank
+// (copies/levels/s match bench_fault_tolerance, so rows are comparable
+// across trajectories).
+//
+// Legacy rows reproduce the pre-fast-path system end to end: the
+// thread-per-connection backend, per-frame copy-and-allocate decode,
+// count-sliced 4096-update client batches, and the old default queue
+// capacity (16) whose backpressure bounces leave the shard workers
+// starved while the client sleeps in retry backoff. Fast rows are this
+// PR's path: the epoll backend (batched reads, zero-copy frame decode,
+// SIMD varint), a queue sized so admission never bounces, and the
+// client batch-width sweep — ingest keeps the update kernel fed, so
+// loopback cost approaches the kernel's apply floor instead of sitting
+// an order of magnitude above it.
+//
+// Exit status enforces the fast-path speedup floor: the best fast
+// wal-off row must beat the legacy wal-off baseline by at least
+// SETSKETCH_INGEST_FLOOR (default 3.0; 0 disables the check), so the
+// perf win cannot silently rot.
+//
+// Emits a JSON perf trajectory (BENCH_ingest_path.json, or the path in
+// SETSKETCH_BENCH_JSON) validated by tools/validate_bench_json.py.
+// Honors SETSKETCH_BENCH_SCALE (0 < scale <= 1, default 0.25).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/sketch_client.h"
+#include "server/sketch_server.h"
+#include "stream/stream_generator.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace setsketch;
+
+namespace {
+
+struct Mode {
+  std::string name;  // JSON row: "IngestPath/<name>".
+  IngestBackend backend = IngestBackend::kEpoll;
+  bool wal = false;
+  bool fsync = false;
+  size_t batch_size = 4096;
+  size_t queue_capacity = 8192;
+};
+
+struct ModeResult {
+  std::string name;
+  double seconds = 0.0;
+  double ns_per_update = 0.0;
+  uint64_t bytes_read = 0;
+  uint64_t read_calls = 0;
+  uint64_t max_frames_per_read = 0;
+};
+
+std::string FormatJsonDouble(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << value;
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvDouble("SETSKETCH_BENCH_SCALE", 0.25);
+  const double floor = EnvDouble("SETSKETCH_INGEST_FLOOR", 3.0);
+  const int64_t requested = static_cast<int64_t>(1200000 * scale);
+  const int64_t total_updates = std::max<int64_t>(200000, requested);
+
+  VennPartitionGenerator gen(2, BinaryIntersectionProbs(0.25));
+  const PartitionedDataset data = gen.Generate(total_updates / 8, 99);
+  std::vector<Update> updates = data.ToInsertUpdates(4);
+  ChurnOptions churn;
+  churn.seed = 7;
+  updates = InjectChurn(updates, churn);
+  const std::vector<std::string> names = {"A", "B"};
+
+  std::cout << "ingest-path bench: " << updates.size()
+            << " updates, 2 streams (scale=" << scale << ", floor=" << floor
+            << "x)\n\n";
+
+  // Legacy rows run the old system's configuration (thread-per-
+  // connection backend, queue capacity 16); fast rows run this PR's
+  // (epoll backend, queue sized so admission never bounces).
+  const std::vector<Mode> modes = {
+      {"legacy_wal_off", IngestBackend::kThreaded, false, false, 4096, 16},
+      {"fast_wal_off", IngestBackend::kEpoll, false, false, 4096, 8192},
+      {"legacy_wal_nofsync", IngestBackend::kThreaded, true, false, 4096,
+       16},
+      {"fast_wal_nofsync", IngestBackend::kEpoll, true, false, 4096, 8192},
+      {"legacy_wal_fsync", IngestBackend::kThreaded, true, true, 4096, 16},
+      {"fast_wal_fsync", IngestBackend::kEpoll, true, true, 4096, 8192},
+      {"fast_batch_16384", IngestBackend::kEpoll, false, false, 16384,
+       8192},
+      {"fast_batch_65536", IngestBackend::kEpoll, false, false, 65536,
+       8192},
+  };
+  std::vector<ModeResult> results;
+  double legacy_wal_off_ns = 0.0;
+  double best_fast_wal_off_ns = 0.0;
+  TablePrinter table({"mode", "secs", "updates/s", "ns/update",
+                      "frames/read", "bytes read"});
+  for (const Mode& mode : modes) {
+    const std::filesystem::path wal_dir =
+        std::filesystem::temp_directory_path() /
+        ("setsketch_bench_ingest_" + mode.name);
+    std::filesystem::remove_all(wal_dir);
+
+    SketchServer::Options options;
+    options.params.levels = 24;
+    options.params.num_second_level = 16;
+    options.copies = 128;
+    options.seed = 20030609;
+    options.shards = 2;
+    options.queue_capacity = mode.queue_capacity;
+    options.witness.pool_all_levels = true;
+    options.backend = mode.backend;
+    if (mode.wal) {
+      options.wal_dir = wal_dir.string();
+      options.wal_fsync = mode.fsync;
+    }
+    SketchServer server(options);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::cerr << "server start failed: " << error << "\n";
+      return 1;
+    }
+    SketchClient::Options client_options;
+    client_options.port = server.port();
+    client_options.site_id = "bench-site";
+    auto client = SketchClient::Connect(client_options, &error);
+    if (client == nullptr) {
+      std::cerr << "connect failed: " << error << "\n";
+      return 1;
+    }
+
+    Stopwatch watch;
+    for (size_t begin = 0; begin < updates.size();
+         begin += mode.batch_size) {
+      UpdateBatch batch;
+      batch.stream_names = names;
+      const size_t end = std::min(updates.size(), begin + mode.batch_size);
+      batch.updates.assign(updates.begin() + begin, updates.begin() + end);
+      const SketchClient::Status status =
+          client->PushUpdatesWithRetry(batch, 10000, 1);
+      if (!status.ok) {
+        std::cerr << "push failed: " << status.error << "\n";
+        return 1;
+      }
+    }
+    const double seconds = watch.Seconds();
+    client->Shutdown();
+    server.Wait();
+    const SketchServer::StatsSnapshot stats = server.stats();
+    std::filesystem::remove_all(wal_dir);
+    if (stats.updates_applied != updates.size()) {
+      std::cerr << mode.name << ": applied " << stats.updates_applied
+                << " of " << updates.size() << " updates\n";
+      return 1;
+    }
+
+    ModeResult result;
+    result.name = "IngestPath/" + mode.name;
+    result.seconds = seconds;
+    result.ns_per_update =
+        seconds * 1e9 / static_cast<double>(updates.size());
+    result.bytes_read = stats.ingest_bytes_read;
+    result.read_calls = stats.ingest_read_calls;
+    result.max_frames_per_read = stats.ingest_max_frames_per_read;
+    results.push_back(result);
+    if (mode.name == "legacy_wal_off") {
+      legacy_wal_off_ns = result.ns_per_update;
+    }
+    if (mode.backend == IngestBackend::kEpoll && !mode.wal &&
+        (best_fast_wal_off_ns == 0.0 ||
+         result.ns_per_update < best_fast_wal_off_ns)) {
+      best_fast_wal_off_ns = result.ns_per_update;
+    }
+    const double frames_per_read =
+        result.read_calls == 0
+            ? 0.0
+            : static_cast<double>(stats.frames_received) /
+                  static_cast<double>(result.read_calls);
+    table.AddRow(std::vector<std::string>{
+        mode.name, FormatDouble(seconds, 2),
+        FormatDouble(static_cast<double>(updates.size()) / seconds, 0),
+        FormatDouble(result.ns_per_update, 1),
+        FormatDouble(frames_per_read, 2),
+        std::to_string(result.bytes_read)});
+  }
+  table.Print(std::cout);
+
+  const double speedup = best_fast_wal_off_ns > 0.0
+                             ? legacy_wal_off_ns / best_fast_wal_off_ns
+                             : 0.0;
+  std::cout << "\nfast-path speedup (legacy_wal_off / best fast wal-off): "
+            << FormatDouble(speedup, 2) << "x\n";
+
+  const char* env = std::getenv("SETSKETCH_BENCH_JSON");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : "BENCH_ingest_path.json";
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"ingest_path\",\n";
+  out << "  \"scale\": " << FormatJsonDouble(scale) << ",\n";
+  out << "  \"updates\": " << updates.size() << ",\n";
+  out << "  \"speedup\": " << FormatJsonDouble(speedup) << ",\n";
+  out << "  \"floor\": " << FormatJsonDouble(floor) << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& result = results[i];
+    out << "    {\"name\": \"" << result.name << "\", \"ns_per_op\": "
+        << FormatJsonDouble(result.ns_per_update) << ", \"seconds\": "
+        << FormatJsonDouble(result.seconds) << ", \"bytes_read\": "
+        << result.bytes_read << ", \"read_calls\": " << result.read_calls
+        << ", \"max_frames_per_read\": " << result.max_frames_per_read
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+
+  if (floor > 0.0 && speedup < floor) {
+    std::cerr << "FAIL: fast-path speedup " << FormatDouble(speedup, 2)
+              << "x is below the " << FormatDouble(floor, 2)
+              << "x floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <map>
 #include <sstream>
+#include <string_view>
 
 #include "expr/analysis.h"
 #include "expr/parser.h"
@@ -654,7 +655,34 @@ void ClusterRouter::ProbeLoop() {
   }
 }
 
-std::string ClusterRouter::RenderStats() const {
+namespace {
+
+/// Pulls the "ingest_*" lines out of a shard's STATS text and reflows
+/// them as " key=value" pairs for the router's one-line-per-shard report.
+std::string ExtractIngestStats(const std::string& stats_text) {
+  std::string out;
+  size_t begin = 0;
+  while (begin < stats_text.size()) {
+    size_t end = stats_text.find('\n', begin);
+    if (end == std::string::npos) end = stats_text.size();
+    const std::string_view line(stats_text.data() + begin, end - begin);
+    if (line.substr(0, 7) == "ingest_") {
+      const size_t space = line.find(' ');
+      if (space != std::string_view::npos) {
+        out += ' ';
+        out += line.substr(0, space);
+        out += '=';
+        out += line.substr(space + 1);
+      }
+    }
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ClusterRouter::RenderStats() {
   const StatsSnapshot s = stats();
   std::ostringstream out;
   out << "shards " << s.shards << "\n"
@@ -681,13 +709,25 @@ std::string ClusterRouter::RenderStats() const {
       << "summary_streams_unchanged " << s.summary_streams_unchanged << "\n"
       << "probes " << s.probes << "\n"
       << "uptime_ms " << s.uptime_ms << "\n";
-  for (const auto& state : shards_) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const auto& state = shards_[i];
+    // Healthy shards also report their ingest-path counters (bytes per
+    // read batch, arena high-watermark), so one router STATS shows where
+    // ingest hot spots sit across the deployment. Dead or refused shards
+    // are skipped rather than dialed — STATS must not block on them.
+    std::string ingest;
+    if (state->healthy.load() && !state->refused.load()) {
+      std::string text;
+      const SketchClient::Status status = WithShard(
+          i, [&text](SketchClient& client) { return client.Stats(&text); });
+      if (status.ok) ingest = ExtractIngestStats(text);
+    }
     out << "shard " << state->shard.name << " host=" << state->shard.host
         << " port=" << state->shard.port
         << " healthy=" << (state->healthy.load() ? 1 : 0)
         << " refused=" << (state->refused.load() ? 1 : 0)
         << " stale=" << (state->stale.load() ? 1 : 0)
-        << " failures=" << state->failures.load() << "\n";
+        << " failures=" << state->failures.load() << ingest << "\n";
   }
   return out.str();
 }

@@ -217,7 +217,9 @@ class ClusterRouter {
   std::string HandleFrame(const Frame& frame, Connection* connection,
                           bool* keep_open);
   std::string HandlePushUpdates(const Frame& frame, Connection* connection);
-  std::string RenderStats() const;
+  /// Not const: fetches each healthy shard's STATS over its connection to
+  /// fold the per-shard ingest counters into the report.
+  std::string RenderStats();
   /// Per-stream placement report for an expression (or a bare stream
   /// name): "stream <name> targets=a,b read=r" lines.
   std::string ExplainPlacement(const std::string& text) const;

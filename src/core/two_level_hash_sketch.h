@@ -21,6 +21,7 @@
 
 #include "core/sketch_seed.h"
 #include "stream/update.h"
+#include "util/aligned_alloc.h"
 
 namespace setsketch {
 
@@ -136,7 +137,10 @@ class TwoLevelHashSketch {
   int num_second_level_;
   /// Cached seed_->slice(); nullptr iff s > 64 (scalar fallback).
   const SecondLevelSlice* slice_;
-  std::vector<int64_t> counters_;
+  /// Cache-line aligned: the server's shard workers partition adjacent
+  /// sketch copies, and alignment keeps the copy-range split from false
+  /// sharing a line across workers (util/aligned_alloc.h).
+  std::vector<int64_t, AlignedAllocator<int64_t>> counters_;
   int64_t nonzero_cells_ = 0;
 };
 

@@ -1,0 +1,123 @@
+// Per-connection read arena for the epoll ingest backend.
+//
+// One recv() lands a whole chunk of the byte stream here; frame parsing
+// (ScanFrame) then borrows string_views straight out of the arena, so a
+// read batch of N frames costs one syscall and zero payload copies. The
+// buffer is a flat byte range [begin_, end_) inside a 64-byte-aligned
+// allocation:
+//
+//   data_         begin_            end_          capacity_
+//     |  consumed   |   unparsed      |   free       |
+//
+// WritePtr() compacts (memmove of the unparsed tail to the front) before
+// growing, so a frame torn across reads settles at offset 0 and the
+// arena only ever grows to roughly the largest single frame plus one
+// read chunk. MaybeShrink() releases an oversized allocation once the
+// connection drains, so an idle connection that once carried a 64 MiB
+// frame does not pin that high-watermark forever.
+
+#ifndef SETSKETCH_SERVER_INGEST_ARENA_H_
+#define SETSKETCH_SERVER_INGEST_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <string_view>
+
+namespace setsketch {
+
+class IngestArena {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  IngestArena() = default;
+  ~IngestArena() { Free(); }
+
+  IngestArena(const IngestArena&) = delete;
+  IngestArena& operator=(const IngestArena&) = delete;
+
+  /// Returns a write cursor with at least `min_free` writable bytes,
+  /// compacting the unparsed tail to the front and growing (2x, at least
+  /// to fit) only if compaction is not enough. Invalidates views.
+  char* WritePtr(size_t min_free) {
+    if (capacity_ - end_ < min_free) {
+      const size_t unparsed = end_ - begin_;
+      if (begin_ > 0) {
+        std::memmove(data_, data_ + begin_, unparsed);
+        begin_ = 0;
+        end_ = unparsed;
+      }
+      if (capacity_ - end_ < min_free) {
+        Grow(std::max(capacity_ * 2, unparsed + min_free));
+      }
+    }
+    return data_ + end_;
+  }
+
+  /// Bytes writable at WritePtr() without another WritePtr call.
+  size_t write_capacity() const { return capacity_ - end_; }
+
+  /// Marks `n` bytes written at the cursor as received stream bytes.
+  void CommitRead(size_t n) {
+    end_ += n;
+    high_watermark_ = std::max(high_watermark_, end_ - begin_);
+  }
+
+  /// The received-but-unparsed byte range; frame views borrow from it.
+  std::string_view Unparsed() const {
+    return std::string_view(data_ + begin_, end_ - begin_);
+  }
+
+  /// Retires `n` parsed bytes from the front of Unparsed().
+  void Consume(size_t n) {
+    begin_ += n;
+    if (begin_ == end_) {
+      begin_ = 0;
+      end_ = 0;
+    }
+  }
+
+  /// Frees the allocation if the arena is drained and grew beyond
+  /// `max_idle_capacity` (a connection's steady-state read chunk): big
+  /// frames may transiently inflate the arena, idle connections may not
+  /// keep the inflated buffer.
+  void MaybeShrink(size_t max_idle_capacity) {
+    if (begin_ == end_ && capacity_ > max_idle_capacity) Free();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Largest number of buffered (unparsed) bytes ever held.
+  size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  void Grow(size_t new_capacity) {
+    char* grown = static_cast<char*>(
+        ::operator new(new_capacity, std::align_val_t{kAlignment}));
+    if (end_ > begin_) std::memcpy(grown, data_ + begin_, end_ - begin_);
+    end_ -= begin_;
+    begin_ = 0;
+    Free();
+    data_ = grown;
+    capacity_ = new_capacity;
+  }
+
+  void Free() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+    }
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+
+  char* data_ = nullptr;
+  size_t capacity_ = 0;
+  size_t begin_ = 0;  // First unparsed byte.
+  size_t end_ = 0;    // One past the last received byte.
+  size_t high_watermark_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_SERVER_INGEST_ARENA_H_

@@ -109,6 +109,29 @@ struct Frame {
 /// kMaxPayloadBytes.
 std::string EncodeFrame(Opcode opcode, std::string_view payload);
 
+/// Borrowed view of one frame: `payload` points into the caller's read
+/// buffer (the epoll backend's per-connection arena) and stays valid only
+/// until that buffer is consumed or compacted.
+struct FrameView {
+  Opcode opcode = Opcode::kPing;
+  std::string_view payload;
+};
+
+enum class FrameScanStatus {
+  kNeedMore,  ///< `data` holds no complete frame yet.
+  kFrame,     ///< *view was filled; *frame_bytes consumed from the front.
+  kError,     ///< Header-level corruption; the stream is poisoned.
+};
+
+/// Scans the frame at the front of `data` without copying its payload —
+/// the zero-copy counterpart of FrameDecoder::Next, applying the same
+/// header checks and producing the same error codes and messages (the
+/// equivalence is pinned by tests). On kFrame, *view borrows from `data`
+/// and *frame_bytes is the full frame length (header + payload).
+FrameScanStatus ScanFrame(std::string_view data, FrameView* view,
+                          size_t* frame_bytes, WireError* error,
+                          std::string* error_message);
+
 /// Incremental frame reassembler. Feed() raw socket bytes in any chunking;
 /// Next() yields complete frames. A header-level error is terminal: the
 /// decoder stays in the error state and the connection should be closed.
@@ -131,6 +154,12 @@ class FrameDecoder {
 
   /// Bytes buffered but not yet consumed as frames.
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// Releases an oversized reassembly buffer once it is fully drained,
+  /// so a connection that once carried a large frame does not pin its
+  /// high-watermark allocation while idle. No-op while bytes are
+  /// buffered.
+  void ShrinkIfDrained();
 
  private:
   Status Fail(WireError error, std::string message);
@@ -169,7 +198,25 @@ std::string EncodePushUpdates(const UpdateBatch& batch);
 /// header, so a retry loop can restamp without copying the batch.
 std::string EncodePushUpdates(const UpdateBatch& batch,
                               std::string_view site_id, uint64_t sequence);
-bool DecodePushUpdates(const std::string& payload, UpdateBatch* out,
+bool DecodePushUpdates(std::string_view payload, UpdateBatch* out,
+                       std::string* error);
+
+/// Borrowed-payload counterpart of UpdateBatch (the ingest fast path):
+/// `site_id` and `stream_names` point into the frame payload; `updates`
+/// storage is owned and its capacity reused across frames.
+struct UpdateBatchView {
+  std::string_view site_id;
+  uint64_t sequence = 0;
+  std::vector<std::string_view> stream_names;
+  std::vector<Update> updates;
+};
+/// Zero-copy, SIMD-assisted PUSH_UPDATES decoder. Accepts exactly the
+/// payloads the string-based DecodePushUpdates accepts and emits the same
+/// error strings — randomized fuzz tests pin the two decoders against
+/// each other. The update triples decode through DecodeVarintRun
+/// (util/varint_bulk.h), so hot batches skip the per-varint call
+/// overhead entirely.
+bool DecodePushUpdates(std::string_view payload, UpdateBatchView* out,
                        std::string* error);
 
 /// ERROR payload: varint code + message bytes (rest of payload).

@@ -8,6 +8,7 @@
 #include "server/sketch_client.h"
 #include "stream/stream_io.h"
 #include "util/stats.h"
+#include "util/varint.h"
 #include "util/table_printer.h"
 
 namespace setsketch {
@@ -114,10 +115,25 @@ CommandResult RunServerPush(const PushSpec& spec) {
   const size_t batch_size = spec.batch_size == 0 ? 4096 : spec.batch_size;
   uint64_t pushed = 0;
   size_t batches = 0;
-  for (size_t begin = 0; begin < parsed.updates.size();
-       begin += batch_size) {
-    const size_t end =
-        std::min(parsed.updates.size(), begin + batch_size);
+  size_t begin = 0;
+  while (begin < parsed.updates.size()) {
+    size_t end;
+    if (spec.batch_bytes > 0) {
+      // Slice by encoded triple size so each frame lands near the byte
+      // budget regardless of varint widths (header + names are a fixed
+      // prefix the budget simply absorbs).
+      end = begin;
+      size_t bytes = 0;
+      while (end < parsed.updates.size()) {
+        const Update& u = parsed.updates[end];
+        bytes += VarintLen(u.stream) + VarintLen(u.element) +
+                 VarintLen(ZigZagEncode(u.delta));
+        if (bytes > spec.batch_bytes && end > begin) break;
+        ++end;
+      }
+    } else {
+      end = std::min(parsed.updates.size(), begin + batch_size);
+    }
     UpdateBatch batch;
     batch.stream_names = names;
     batch.updates.assign(parsed.updates.begin() + begin,
@@ -131,6 +147,7 @@ CommandResult RunServerPush(const PushSpec& spec) {
     }
     pushed += status.accepted;
     ++batches;
+    begin = end;
   }
 
   const SketchClient::Counters& counters = client->counters();

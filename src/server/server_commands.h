@@ -32,6 +32,12 @@ struct PushSpec {
   std::string updates_path;
   std::vector<std::string> stream_names;
   size_t batch_size = 4096;
+  /// When nonzero, batches are sliced by *encoded payload size* instead
+  /// of update count: each PUSH_UPDATES frame carries as many updates as
+  /// fit in roughly this many wire bytes (always at least one). Wider
+  /// frames amortize the per-frame round trip and feed the server's
+  /// batched ingest path; batch_size is ignored when this is set.
+  size_t batch_bytes = 0;
   std::string site_id;          ///< Empty = anonymous (no dedup).
   uint64_t first_sequence = 1;  ///< Sequence stamped on the first batch.
   int io_timeout_ms = 30000;

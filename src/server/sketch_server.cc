@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <iomanip>
 #include <sstream>
 
 #include "core/confidence.h"
@@ -17,6 +18,7 @@
 #include "query/stream_engine.h"
 #include "server/fault_injector.h"
 #include "server/socket_io.h"
+#include "util/varint_bulk.h"
 
 namespace setsketch {
 
@@ -85,6 +87,29 @@ bool SketchServer::Start(std::string* error) {
   }
   port_ = ntohs(bound.sin_port);
 
+  if (options_.backend == IngestBackend::kEpoll) {
+    EpollServerBackend::Options backend_options;
+    backend_options.io_threads = options_.io_threads;
+    backend_options.read_chunk_bytes = options_.read_chunk_bytes;
+    backend_options.io_timeout_ms = options_.io_timeout_ms;
+    backend_options.idle_timeout_ms = options_.idle_timeout_ms;
+    backend_options.max_connection_errors = options_.max_connection_errors;
+    // io threads pin after the shard workers (worker t -> cpu t).
+    backend_options.pin_cpu_offset =
+        options_.pin_shards ? options_.shards : -1;
+    backend_options.fault_injector = options_.fault_injector;
+    epoll_backend_ = std::make_unique<EpollServerBackend>(
+        backend_options, static_cast<EpollServerBackend::Handler*>(this));
+    std::string backend_error;
+    if (!epoll_backend_->Start(&backend_error)) {
+      if (error != nullptr) *error = backend_error;
+      epoll_backend_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  }
+
   queues_.reserve(static_cast<size_t>(options_.shards));
   for (int i = 0; i < options_.shards; ++i) {
     queues_.push_back(std::make_unique<ShardQueue>(options_.queue_capacity));
@@ -115,6 +140,13 @@ void SketchServer::AcceptLoop() {
     }
     ++connections_accepted_;
     ++connections_active_;
+    if (epoll_backend_ != nullptr) {
+      if (!epoll_backend_->Adopt(fd)) {
+        ::close(fd);
+        --connections_active_;
+      }
+      continue;
+    }
     std::lock_guard<std::mutex> lock(connections_mutex_);
     open_fds_.push_back(fd);
     handler_threads_.emplace_back(&SketchServer::HandleConnection, this, fd);
@@ -146,6 +178,8 @@ void SketchServer::HandleConnection(int fd) {
                              options_.idle_timeout_ms, &received);
     if (!got.ok()) break;  // EOF, error, or idle deadline: drop the peer.
     decoder.Feed(buffer.data(), received);
+    const size_t buffered = decoder.buffered_bytes();
+    size_t frames_in_read = 0;
     Frame frame;
     while (open) {
       const FrameDecoder::Status status = decoder.Next(&frame);
@@ -159,18 +193,12 @@ void SketchServer::HandleConnection(int fd) {
       }
       ++frames_received_;
       ++connection.frames;
+      ++frames_in_read;
       bool keep_open = true;
-      const std::string response = HandleFrame(frame, &connection,
-                                               &keep_open);
+      const std::string response =
+          HandleFrame(frame.opcode, frame.payload, &connection, &keep_open);
       const bool sent = send_response(response);
-      if (connection.notify_shutdown) {
-        connection.notify_shutdown = false;
-        {
-          std::lock_guard<std::mutex> lock(lifecycle_mutex_);
-          shutdown_requested_ = true;
-        }
-        lifecycle_cv_.notify_all();
-      }
+      NotifyShutdownIfRequested(&connection);
       if (!sent) {
         open = false;
         break;
@@ -183,6 +211,10 @@ void SketchServer::HandleConnection(int fd) {
       }
       if (!keep_open) open = false;
     }
+    // A drained decoder releases a high-watermark reassembly buffer so an
+    // idle connection that once saw a huge frame holds nothing oversized.
+    decoder.ShrinkIfDrained();
+    CountReadBatch(received, frames_in_read, buffered);
   }
   {
     // Deregister before close so Stop() never shutdown()s a recycled fd.
@@ -193,17 +225,17 @@ void SketchServer::HandleConnection(int fd) {
   --connections_active_;
 }
 
-std::string SketchServer::HandleFrame(const Frame& frame,
+std::string SketchServer::HandleFrame(Opcode opcode, std::string_view payload,
                                       Connection* connection,
                                       bool* keep_open) {
   *keep_open = true;
-  switch (frame.opcode) {
+  switch (opcode) {
     case Opcode::kPing: {
       // A hello-carrying ping gets this server's own configuration back
       // (the cluster handshake); any other payload echoes as before, so
       // plain liveness pings and legacy peers are unaffected.
       HelloInfo hello;
-      if (DecodeHello(frame.payload, /*response=*/false, &hello)) {
+      if (DecodeHello(std::string(payload), /*response=*/false, &hello)) {
         HelloInfo mine;
         mine.features = kFeatureSummaryPull;
         mine.params = options_.params;
@@ -212,27 +244,28 @@ std::string SketchServer::HandleFrame(const Frame& frame,
         return EncodeFrame(Opcode::kPong,
                            EncodeHello(mine, /*response=*/true));
       }
-      return EncodeFrame(Opcode::kPong, frame.payload);
+      return EncodeFrame(Opcode::kPong, payload);
     }
     case Opcode::kPushUpdates:
-      return HandlePushUpdates(frame, connection);
+      return HandlePushUpdates(payload, connection);
     case Opcode::kPushSummary:
-      return HandlePushSummary(frame, connection);
+      return HandlePushSummary(payload, connection);
     case Opcode::kPullSummary:
-      return HandlePullSummary(frame, connection);
+      return HandlePullSummary(payload, connection);
     case Opcode::kQuery:
       return EncodeFrame(Opcode::kQueryResult,
-                         EncodeQueryResult(Answer(frame.payload)));
+                         EncodeQueryResult(Answer(std::string(payload))));
     case Opcode::kStats:
       return EncodeFrame(Opcode::kStatsResult, RenderStats());
     case Opcode::kExplain:
-      return EncodeFrame(Opcode::kExplainResult, Explain(frame.payload));
+      return EncodeFrame(Opcode::kExplainResult,
+                         Explain(std::string(payload)));
     case Opcode::kShutdown: {
       draining_.store(true);
       // The lifecycle notify is deferred until the ACK below has been
-      // queued on the socket (HandleConnection checks notify_shutdown
-      // after the send): waking the Stop() thread first would let its
-      // shutdown(SHUT_RDWR) sweep race ahead of the ACK.
+      // queued on the socket (both backends run the post-send
+      // NotifyShutdownIfRequested hook): waking the Stop() thread first
+      // would let its shutdown(SHUT_RDWR) sweep race ahead of the ACK.
       connection->notify_shutdown = true;
       return EncodeFrame(Opcode::kAck, EncodeAck(AckInfo{}));
     }
@@ -241,21 +274,83 @@ std::string SketchServer::HandleFrame(const Frame& frame,
       ++protocol_errors_;
       return ErrorFrame(WireError::kUnknownOpcode,
                         std::string("unexpected opcode ") +
-                            OpcodeName(frame.opcode));
+                            OpcodeName(opcode));
   }
 }
 
+void SketchServer::NotifyShutdownIfRequested(Connection* connection) {
+  if (!connection->notify_shutdown) return;
+  connection->notify_shutdown = false;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    shutdown_requested_ = true;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void SketchServer::CountReadBatch(size_t bytes, size_t frames,
+                                  size_t arena_high_watermark) {
+  ingest_bytes_read_ += bytes;
+  ++ingest_read_calls_;
+  uint64_t seen = ingest_max_frames_per_read_.load(std::memory_order_relaxed);
+  while (frames > seen &&
+         !ingest_max_frames_per_read_.compare_exchange_weak(seen, frames)) {
+  }
+  seen = ingest_arena_hwm_bytes_.load(std::memory_order_relaxed);
+  while (arena_high_watermark > seen &&
+         !ingest_arena_hwm_bytes_.compare_exchange_weak(
+             seen, arena_high_watermark)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EpollServerBackend::Handler — the epoll ingest backend calls back into
+// the same frame dispatch as the thread-per-connection loop, so both
+// backends produce identical responses, WAL bytes and bank state.
+
+void SketchServer::OnFrame(const FrameView& frame,
+                           ServerConnection* connection,
+                           std::string* responses, bool* keep_open) {
+  ++frames_received_;
+  responses->append(
+      HandleFrame(frame.opcode, frame.payload, connection, keep_open));
+}
+
+void SketchServer::OnStreamError(WireError error, const std::string& message,
+                                 ServerConnection* /*connection*/,
+                                 std::string* responses) {
+  ++protocol_errors_;
+  responses->append(ErrorFrame(error, message));
+}
+
+void SketchServer::OnResponsesSent(ServerConnection* connection) {
+  NotifyShutdownIfRequested(connection);
+}
+
+void SketchServer::OnReadBatch(size_t bytes, size_t frames,
+                               size_t arena_high_watermark) {
+  CountReadBatch(bytes, frames, arena_high_watermark);
+}
+
+void SketchServer::OnDisconnect(ServerConnection* /*connection*/) {
+  --connections_active_;
+}
+
 std::shared_ptr<IngestBatch> SketchServer::ResolveBatchLocked(
-    UpdateBatch&& batch) {
+    const std::vector<std::string_view>& stream_names,
+    const std::vector<Update>& updates) {
   std::vector<StreamId> global_ids;
-  global_ids.reserve(batch.stream_names.size());
-  for (std::string& name : batch.stream_names) {
+  global_ids.reserve(stream_names.size());
+  for (const std::string_view name : stream_names) {
     auto it = ids_.find(name);
     if (it == ids_.end()) {
+      // First sight of this stream: the only point where a name view is
+      // materialized into owned storage.
       const StreamId id = static_cast<StreamId>(names_by_id_.size());
-      bank_.AddStream(name);
-      names_by_id_.push_back(name);
-      it = ids_.emplace(std::move(name), id).first;
+      std::string owned(name);
+      bank_.AddStream(owned);
+      names_by_id_.push_back(owned);
+      it = ids_.emplace(std::move(owned), id).first;
     }
     global_ids.push_back(it->second);
   }
@@ -264,7 +359,7 @@ std::shared_ptr<IngestBatch> SketchServer::ResolveBatchLocked(
   // through the batched kernel without any per-update resolution.
   auto resolved = std::make_shared<IngestBatch>();
   std::vector<int> group_of(global_ids.size(), -1);
-  for (const Update& u : batch.updates) {
+  for (const Update& u : updates) {
     int& g = group_of[u.stream];
     if (g < 0) {
       g = static_cast<int>(resolved->groups.size());
@@ -274,25 +369,51 @@ std::shared_ptr<IngestBatch> SketchServer::ResolveBatchLocked(
     resolved->groups[static_cast<size_t>(g)].items.push_back(
         ElementDelta{u.element, u.delta});
   }
-  resolved->num_updates = batch.updates.size();
+  resolved->num_updates = updates.size();
   return resolved;
 }
 
-std::string SketchServer::HandlePushUpdates(const Frame& frame,
+std::string SketchServer::HandlePushUpdates(std::string_view payload,
                                             Connection* connection) {
+  if (options_.backend == IngestBackend::kEpoll) {
+    // Fast path: zero-copy decode — site id and stream names stay views
+    // into the connection arena, update triples decode through the SIMD
+    // varint runs. thread_local keeps the vectors' capacity warm across
+    // the io thread's frames.
+    thread_local UpdateBatchView batch;
+    std::string decode_error;
+    if (!DecodePushUpdates(payload, &batch, &decode_error)) {
+      ++connection->errors;
+      ++protocol_errors_;
+      return ErrorFrame(WireError::kBadPayload, decode_error);
+    }
+    return AdmitPush(batch.site_id, batch.sequence, batch.stream_names,
+                     batch.updates, payload);
+  }
+  // Legacy backend: the original owning decoder (per-frame string
+  // copies), kept as-was so the backend comparison measures the real
+  // historical path.
   UpdateBatch batch;
   std::string decode_error;
-  if (!DecodePushUpdates(frame.payload, &batch, &decode_error)) {
+  if (!DecodePushUpdates(payload, &batch, &decode_error)) {
     ++connection->errors;
     ++protocol_errors_;
     return ErrorFrame(WireError::kBadPayload, decode_error);
   }
+  const std::vector<std::string_view> names(batch.stream_names.begin(),
+                                            batch.stream_names.end());
+  return AdmitPush(batch.site_id, batch.sequence, names, batch.updates,
+                   payload);
+}
+
+std::string SketchServer::AdmitPush(
+    std::string_view site_id, uint64_t sequence,
+    const std::vector<std::string_view>& stream_names,
+    const std::vector<Update>& updates, std::string_view raw_payload) {
   if (draining_.load()) {
     return ErrorFrame(WireError::kShuttingDown, "server is draining");
   }
-  const std::string site_id = batch.site_id;
-  const uint64_t sequence = batch.sequence;
-  const uint64_t num_updates = batch.updates.size();
+  const uint64_t num_updates = updates.size();
   {
     std::lock_guard<std::mutex> lock(push_mutex_);
     if (draining_.load()) {
@@ -332,14 +453,13 @@ std::string SketchServer::HandlePushUpdates(const Frame& frame,
     std::shared_ptr<IngestBatch> resolved;
     {
       std::lock_guard<std::mutex> registry_lock(registry_mutex_);
-      resolved = ResolveBatchLocked(std::move(batch));
+      resolved = ResolveBatchLocked(stream_names, updates);
     }
     if (wal_ != nullptr) {
       // Durability before acknowledgment: the raw payload hits fsync'd
       // storage before the client can learn the batch was accepted.
       std::string wal_error;
-      if (!wal_->Append(WalRecord{site_id, sequence, frame.payload},
-                        &wal_error)) {
+      if (!wal_->Append(site_id, sequence, raw_payload, &wal_error)) {
         return ErrorFrame(WireError::kWalFailure, wal_error);
       }
     }
@@ -354,7 +474,7 @@ std::string SketchServer::HandlePushUpdates(const Frame& frame,
                      EncodeAck(AckInfo{num_updates, false, false}));
 }
 
-std::string SketchServer::HandlePushSummary(const Frame& frame,
+std::string SketchServer::HandlePushSummary(std::string_view payload,
                                             Connection* connection) {
   if (draining_.load()) {
     return ErrorFrame(WireError::kShuttingDown, "server is draining");
@@ -362,7 +482,7 @@ std::string SketchServer::HandlePushSummary(const Frame& frame,
   Coordinator::IngestResult result;
   {
     std::lock_guard<std::mutex> lock(coordinator_mutex_);
-    result = coordinator_.AddSiteSummary(frame.payload);
+    result = coordinator_.AddSiteSummary(std::string(payload));
   }
   if (!result.ok) {
     ++summaries_rejected_;
@@ -377,11 +497,11 @@ std::string SketchServer::HandlePushSummary(const Frame& frame,
                         result.replaced}));
 }
 
-std::string SketchServer::HandlePullSummary(const Frame& frame,
+std::string SketchServer::HandlePullSummary(std::string_view payload,
                                             Connection* connection) {
   SummaryPullRequest request;
   std::string decode_error;
-  if (!DecodeSummaryPull(frame.payload, &request, &decode_error)) {
+  if (!DecodeSummaryPull(std::string(payload), &request, &decode_error)) {
     ++connection->errors;
     ++protocol_errors_;
     return ErrorFrame(WireError::kBadPayload, decode_error);
@@ -551,6 +671,10 @@ void SketchServer::MaybeCompactLocked() {
 }
 
 void SketchServer::WorkerLoop(int shard_index) {
+  // Optional affinity: shard t on cpu t keeps each copy range's counter
+  // lines resident in one core's cache (and, via first-touch paging, on
+  // one NUMA node). Best-effort — a failed pin just runs unpinned.
+  if (options_.pin_shards) PinCurrentThreadToCpu(shard_index);
   const int copies = options_.copies;
   const int shards = options_.shards;
   const int begin = shard_index * copies / shards;
@@ -728,7 +852,22 @@ std::string SketchServer::RenderStats() const {
       << "dedup_sites " << s.dedup_sites << "\n"
       << "dedup_window_bits " << s.dedup_window_bits << "\n"
       << "summary_pulls " << s.summary_pulls << "\n"
-      << "uptime_ms " << s.uptime_ms << "\n";
+      << "uptime_ms " << s.uptime_ms << "\n"
+      << "ingest_backend " << IngestBackendName(options_.backend) << "\n"
+      << "ingest_io_threads " << options_.io_threads << "\n"
+      << "ingest_simd_varint " << s.ingest_simd_varint << "\n"
+      << "ingest_bytes_read " << s.ingest_bytes_read << "\n"
+      << "ingest_read_calls " << s.ingest_read_calls << "\n"
+      << "ingest_max_frames_per_read " << s.ingest_max_frames_per_read
+      << "\n"
+      << "ingest_arena_hwm_bytes " << s.ingest_arena_hwm_bytes << "\n";
+  // Average read-batch occupancy: how many frames one syscall carries.
+  out << "ingest_frames_per_read " << std::fixed << std::setprecision(2)
+      << (s.ingest_read_calls > 0
+              ? static_cast<double>(s.frames_received) /
+                    static_cast<double>(s.ingest_read_calls)
+              : 0.0)
+      << "\n";
   return out.str();
 }
 
@@ -754,6 +893,11 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
   s.recovered_batches = recovered_batches_.load();
   s.recovered_updates = recovered_updates_.load();
   s.summary_pulls = summary_pulls_.load();
+  s.ingest_bytes_read = ingest_bytes_read_.load();
+  s.ingest_read_calls = ingest_read_calls_.load();
+  s.ingest_max_frames_per_read = ingest_max_frames_per_read_.load();
+  s.ingest_arena_hwm_bytes = ingest_arena_hwm_bytes_.load();
+  s.ingest_simd_varint = VarintRunUsesSimd() ? 1 : 0;
   if (wal_ != nullptr) {
     s.wal_records = wal_->records_appended();
     s.wal_bytes = wal_->bytes_appended();
@@ -807,8 +951,11 @@ void SketchServer::Stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
 
-  // 2. Unblock and join connection handlers. handler_threads_ only grows
-  // from the (joined) acceptor, so swapping it out is safe.
+  // 2. Unblock and join the connection handlers: epoll io threads (which
+  // close their adopted connections), then any legacy per-connection
+  // threads. handler_threads_ only grows from the (joined) acceptor, so
+  // swapping it out is safe.
+  if (epoll_backend_ != nullptr) epoll_backend_->Shutdown();
   std::vector<std::thread> handlers;
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);

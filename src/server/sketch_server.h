@@ -65,6 +65,7 @@
 #include "core/sketch_bank.h"
 #include "distributed/coordinator.h"
 #include "query/plan_cache.h"
+#include "server/epoll_backend.h"
 #include "server/protocol.h"
 #include "server/shard_queue.h"
 #include "server/wal.h"
@@ -75,7 +76,7 @@ class FaultInjector;
 
 /// TCP sketch-serving endpoint. Start() spawns the threads; Stop() (or a
 /// SHUTDOWN frame followed by Wait()) drains and joins them.
-class SketchServer {
+class SketchServer : private EpollServerBackend::Handler {
  public:
   struct Options {
     /// Sketch configuration — the deployment-wide "stored coins". Clients
@@ -119,6 +120,23 @@ class SketchServer {
     /// Idle-connection deadline: a connection with no complete frame for
     /// this long is dropped. <= 0 = never.
     int idle_timeout_ms = 0;
+
+    /// Ingest I/O backend. kEpoll (the default, server/epoll_backend.h)
+    /// multiplexes all connections over a few io threads with batched
+    /// arena reads and zero-copy frame decode; kThreaded is the original
+    /// thread-per-connection loop (kept selectable for comparison — both
+    /// produce bit-identical bank and WAL state).
+    IngestBackend backend = IngestBackend::kEpoll;
+    /// Event-loop threads for the epoll backend.
+    int io_threads = 1;
+    /// Bytes drained from a socket per readable event (epoll backend);
+    /// also the steady-state per-connection arena capacity.
+    size_t read_chunk_bytes = 256u << 10;
+    /// Pin threads to CPUs: shard worker t -> cpu t, epoll io thread i ->
+    /// cpu shards + i (mod CPU count). Keeps each copy range's counters
+    /// hot in one core's cache; with first-touch allocation the arrays
+    /// also land on the owning worker's NUMA node.
+    bool pin_shards = false;
 
     /// Test seam: injects faults into this server's response sends.
     FaultInjector* fault_injector = nullptr;
@@ -184,6 +202,12 @@ class SketchServer {
     uint64_t dedup_window_bits = 0;  ///< Occupied bits across all windows.
     uint64_t summary_pulls = 0;      ///< PULL_SUMMARY requests served.
     uint64_t uptime_ms = 0;          ///< Milliseconds since Start().
+    // Ingest fast-path counters (both backends report them).
+    uint64_t ingest_bytes_read = 0;  ///< Socket bytes drained by reads.
+    uint64_t ingest_read_calls = 0;  ///< recv() calls that returned data.
+    uint64_t ingest_max_frames_per_read = 0;  ///< Peak read-batch occupancy.
+    uint64_t ingest_arena_hwm_bytes = 0;  ///< Peak buffered unparsed bytes.
+    uint64_t ingest_simd_varint = 0;  ///< 1 iff bulk decode runs SIMD.
   };
   StatsSnapshot stats() const;
 
@@ -213,30 +237,58 @@ class SketchServer {
   const Options& options() const { return options_; }
 
  private:
-  struct Connection {
-    int fd = -1;
-    int errors = 0;  ///< Recoverable protocol errors so far.
-    uint64_t frames = 0;
-    /// SHUTDOWN was handled on this connection: the lifecycle wait is
-    /// released only after the ACK is queued on the socket, so Stop()'s
-    /// shutdown(SHUT_RDWR) sweep can never cut the client off before
-    /// the ACK bytes are in flight.
-    bool notify_shutdown = false;
-  };
+  /// Per-connection protocol state — shared with the epoll backend so
+  /// frame handlers are backend-agnostic.
+  using Connection = ServerConnection;
 
   void AcceptLoop();
   void HandleConnection(int fd);
   void WorkerLoop(int shard_index);
 
-  /// Dispatches one decoded frame; returns the response frame and whether
-  /// the connection should stay open.
-  std::string HandleFrame(const Frame& frame, Connection* connection,
-                          bool* keep_open);
+  // EpollServerBackend::Handler — the epoll backend's protocol hooks.
+  // All run on io threads; per-connection calls are serialized by the
+  // owning event loop.
+  void OnFrame(const FrameView& frame, ServerConnection* connection,
+               std::string* responses, bool* keep_open) override;
+  void OnStreamError(WireError error, const std::string& message,
+                     ServerConnection* connection,
+                     std::string* responses) override;
+  void OnResponsesSent(ServerConnection* connection) override;
+  void OnReadBatch(size_t bytes, size_t frames,
+                   size_t arena_high_watermark) override;
+  void OnDisconnect(ServerConnection* connection) override;
 
-  std::string HandlePushUpdates(const Frame& frame, Connection* connection);
-  std::string HandlePushSummary(const Frame& frame, Connection* connection);
-  std::string HandlePullSummary(const Frame& frame, Connection* connection);
+  /// Dispatches one decoded frame (payload may borrow from a read
+  /// buffer — it is only guaranteed alive for this call); returns the
+  /// response frame and whether the connection should stay open.
+  std::string HandleFrame(Opcode opcode, std::string_view payload,
+                          Connection* connection, bool* keep_open);
+
+  std::string HandlePushUpdates(std::string_view payload,
+                                Connection* connection);
+  std::string HandlePushSummary(std::string_view payload,
+                                Connection* connection);
+  std::string HandlePullSummary(std::string_view payload,
+                                Connection* connection);
   std::string RenderStats() const;
+
+  /// The one exactly-once admission path both backends funnel into:
+  /// draining gate, dedup seen-check, all-or-nothing queue admission,
+  /// epoch-bumping resolve, WAL append (fsync before ACK), dedup record,
+  /// enqueue — all under push_mutex_. Views may borrow from the caller's
+  /// read buffer; everything enqueued or logged is owned.
+  std::string AdmitPush(std::string_view site_id, uint64_t sequence,
+                        const std::vector<std::string_view>& stream_names,
+                        const std::vector<Update>& updates,
+                        std::string_view raw_payload);
+
+  /// Releases the lifecycle waiters after a SHUTDOWN ACK was handed to
+  /// the socket (both backends call this post-send).
+  void NotifyShutdownIfRequested(Connection* connection);
+
+  /// Folds one read batch into the ingest I/O counters.
+  void CountReadBatch(size_t bytes, size_t frames,
+                      size_t arena_high_watermark);
 
   /// Restores checkpoint + WAL tail from options_.wal_dir and opens a
   /// fresh WAL generation. Called by Start() before listening. False +
@@ -261,9 +313,21 @@ class SketchServer {
   /// epochs + counters under push_mutex_ with drained queues), or a
   /// query in the gap would memoize pre-batch counters under the
   /// post-batch epoch.
-  std::shared_ptr<IngestBatch> ResolveBatchLocked(UpdateBatch&& batch);
+  std::shared_ptr<IngestBatch> ResolveBatchLocked(
+      const std::vector<std::string_view>& stream_names,
+      const std::vector<Update>& updates);
 
   Options options_;
+
+  /// Heterogeneous string hash: ids_ probes with string_views straight
+  /// out of frame payloads, materializing a key only on first sight of a
+  /// stream.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
   // Stream registry + direct-ingest bank. registry_mutex_ guards the
   // name/id maps and stream registration; the counter cells themselves
@@ -271,7 +335,8 @@ class SketchServer {
   mutable std::mutex registry_mutex_;
   SketchBank bank_;
   std::vector<std::string> names_by_id_;
-  std::unordered_map<std::string, StreamId> ids_;
+  std::unordered_map<std::string, StreamId, StringHash, std::equal_to<>>
+      ids_;
 
   // Site summaries, merged idempotently.
   mutable std::mutex coordinator_mutex_;
@@ -297,13 +362,16 @@ class SketchServer {
   int64_t persisted_updates_ = 0;       // Lifetime total, survives crashes.
   uint64_t bytes_at_last_checkpoint_ = 0;
 
-  // Sockets and connection handlers.
+  // Sockets and connection handlers. The epoll backend (when selected)
+  // owns adopted connections; handler_threads_/open_fds_ serve the
+  // legacy thread-per-connection backend.
   int listen_fd_ = -1;
   int port_ = -1;
   std::thread acceptor_;
   std::mutex connections_mutex_;
   std::vector<std::thread> handler_threads_;
   std::vector<int> open_fds_;
+  std::unique_ptr<EpollServerBackend> epoll_backend_;
 
   // Lifecycle.
   std::chrono::steady_clock::time_point started_at_ =
@@ -336,6 +404,11 @@ class SketchServer {
   std::atomic<uint64_t> recoveries_{0};
   std::atomic<uint64_t> recovered_batches_{0};
   std::atomic<uint64_t> recovered_updates_{0};
+  // Ingest I/O fast-path counters (CountReadBatch).
+  std::atomic<uint64_t> ingest_bytes_read_{0};
+  std::atomic<uint64_t> ingest_read_calls_{0};
+  std::atomic<uint64_t> ingest_max_frames_per_read_{0};
+  std::atomic<uint64_t> ingest_arena_hwm_bytes_{0};
 };
 
 }  // namespace setsketch

@@ -89,12 +89,13 @@ bool FsyncDir(const std::string& dir, std::string* error) {
   return ok;
 }
 
-std::string EncodeRecordBody(const WalRecord& record) {
+std::string EncodeRecordBody(std::string_view site_id, uint64_t sequence,
+                             std::string_view payload) {
   std::string body;
-  body.reserve(record.site_id.size() + record.payload.size() + 16);
-  AppendVarintString(&body, record.site_id);
-  AppendVarint(&body, record.sequence);
-  body.append(record.payload);
+  body.reserve(site_id.size() + payload.size() + 16);
+  AppendVarintString(&body, site_id);
+  AppendVarint(&body, sequence);
+  body.append(payload);
   return body;
 }
 
@@ -133,13 +134,17 @@ void DedupWindow::Record(uint64_t sequence) {
   // Below the window: Seen() already reports true; nothing to record.
 }
 
-bool DedupIndex::Seen(const std::string& site_id, uint64_t sequence) const {
+bool DedupIndex::Seen(std::string_view site_id, uint64_t sequence) const {
   const auto it = windows_.find(site_id);
   return it != windows_.end() && it->second.Seen(sequence);
 }
 
-void DedupIndex::Record(const std::string& site_id, uint64_t sequence) {
-  windows_[site_id].Record(sequence);
+void DedupIndex::Record(std::string_view site_id, uint64_t sequence) {
+  auto it = windows_.find(site_id);
+  if (it == windows_.end()) {
+    it = windows_.emplace(std::string(site_id), DedupWindow{}).first;
+  }
+  it->second.Record(sequence);
 }
 
 uint64_t DedupIndex::OccupiedBits() const {
@@ -261,7 +266,12 @@ std::unique_ptr<Wal> Wal::Open(const Options& options,
 }
 
 bool Wal::Append(const WalRecord& record, std::string* error) {
-  const std::string body = EncodeRecordBody(record);
+  return Append(record.site_id, record.sequence, record.payload, error);
+}
+
+bool Wal::Append(std::string_view site_id, uint64_t sequence,
+                 std::string_view payload, std::string* error) {
+  const std::string body = EncodeRecordBody(site_id, sequence, payload);
   SETSKETCH_CHECK(body.size() <= kMaxRecordBodyBytes)
       << "wal record body of " << body.size() << " bytes";
   std::string framed;

@@ -47,6 +47,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace setsketch {
@@ -84,8 +85,10 @@ class DedupWindow {
 /// seen-check and the apply decision are one atomic step.
 class DedupIndex {
  public:
-  bool Seen(const std::string& site_id, uint64_t sequence) const;
-  void Record(const std::string& site_id, uint64_t sequence);
+  /// string_view keys: the ingest fast path checks/records straight from
+  /// frame payload views without materializing the site id.
+  bool Seen(std::string_view site_id, uint64_t sequence) const;
+  void Record(std::string_view site_id, uint64_t sequence);
 
   size_t num_sites() const { return windows_.size(); }
 
@@ -98,7 +101,8 @@ class DedupIndex {
   bool DecodeFrom(const std::string& data, size_t* offset);
 
  private:
-  std::map<std::string, DedupWindow> windows_;
+  // std::less<> enables lookups by string_view without a key copy.
+  std::map<std::string, DedupWindow, std::less<>> windows_;
 };
 
 /// One durable batch: the idempotency key and the raw wire payload.
@@ -141,6 +145,12 @@ class Wal {
   /// fsync before returning when Options::fsync). False + *error on
   /// failure; a failed append refuses the batch upstream.
   bool Append(const WalRecord& record, std::string* error);
+
+  /// Same, from borrowed key + payload bytes (the ingest fast path
+  /// appends straight from a frame view without building a WalRecord).
+  /// Byte-identical log output to the WalRecord overload.
+  bool Append(std::string_view site_id, uint64_t sequence,
+              std::string_view payload, std::string* error);
 
   /// Starts a new generation (fresh segment files); returns the previous
   /// generation, which a checkpoint taken *after* the rotation covers.

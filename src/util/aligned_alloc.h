@@ -1,0 +1,61 @@
+// Cache-line-aligned allocation for hot counter arrays.
+//
+// The server's shard workers partition each stream's sketch copies by
+// copy range, so two workers write counters of *adjacent* sketches. With
+// the default allocator a counter array can start mid cache line and
+// false-share its first line with whatever the allocator placed before
+// it. Aligning every counter array to 64 bytes makes the copy-range
+// partition also a cache-line partition, and gives the batched update
+// kernel aligned starting addresses for free.
+//
+// NUMA note: allocation is deliberately plain ::operator new — pages are
+// bound by first touch, and the shard worker that owns a copy range is
+// the thread that first writes its counters, so on a NUMA machine the
+// hot arrays land on the worker's node without a libnuma dependency.
+
+#ifndef SETSKETCH_UTIL_ALIGNED_ALLOC_H_
+#define SETSKETCH_UTIL_ALIGNED_ALLOC_H_
+
+#include <cstddef>
+#include <new>
+
+namespace setsketch {
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Minimal std::allocator replacement with a fixed alignment. Stateless:
+/// all instances compare equal, so containers swap/move freely.
+template <typename T, size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  /// Explicit rebind: the default allocator_traits rebind only rewrites
+  /// the first *type* argument and chokes on the non-type Alignment.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's natural alignment");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_ALIGNED_ALLOC_H_

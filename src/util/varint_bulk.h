@@ -1,0 +1,46 @@
+// Bulk LEB128 decoding for the server's ingest fast path.
+//
+// PUSH_UPDATES payloads are long runs of varints (three per update), so
+// the per-call overhead of ReadVarint — bounds re-checks, byte-at-a-time
+// accumulation — dominates decode time. DecodeVarintRun amortizes it: an
+// SSE movemask turns 16 bytes of input into a continuation bitmap at
+// once, tzcnt finds each varint's length, and a BMI2 pext gathers the
+// 7-bit groups of up to 8 bytes in a single instruction. Falls back to a
+// pointer-based scalar loop on CPUs without BMI2 (and for the tail of
+// every buffer).
+//
+// Accept/reject semantics are bit-for-bit those of ReadVarint
+// (util/varint.h): at most 10 bytes, the 10th byte contributes only bit
+// 63 (its upper payload bits are silently dropped) and must not carry a
+// continuation bit; truncated or longer encodings fail. The equivalence
+// is pinned by randomized fuzz tests against ReadVarint.
+
+#ifndef SETSKETCH_UTIL_VARINT_BULK_H_
+#define SETSKETCH_UTIL_VARINT_BULK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace setsketch {
+
+/// Decodes one LEB128 varint from [p, end). Returns the bytes consumed,
+/// or 0 on truncation / overlong encoding — exactly when ReadVarint
+/// returns false.
+size_t DecodeVarint(const uint8_t* p, const uint8_t* end, uint64_t* value);
+
+/// Decodes up to `count` consecutive varints from [p, end) into
+/// out[0..count). Returns the number decoded — `count` unless the input
+/// ran out or a varint was malformed — and sets *consumed to the byte
+/// length of the decoded prefix. A short return leaves p + *consumed
+/// pointing at the offending varint, where DecodeVarint reproduces the
+/// exact failure.
+size_t DecodeVarintRun(const uint8_t* p, const uint8_t* end, size_t count,
+                       uint64_t* out, size_t* consumed);
+
+/// True iff DecodeVarintRun dispatches to the SSE/BMI2 lane-scan path on
+/// this CPU (stats/bench exposure; the result is the same either way).
+bool VarintRunUsesSimd();
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_VARINT_BULK_H_

@@ -18,14 +18,25 @@
 //                       [--wal-dir DIR] [--wal-shards 2] [--no-wal-fsync]
 //                       [--snapshot-bytes N] [--io-timeout-ms 30000]
 //                       [--idle-timeout-ms 0]
+//                       [--backend epoll|threads] [--io-threads 1]
+//                       [--read-chunk-bytes 262144] [--pin-shards]
+//                       (epoll is the batched-read fast path: one io
+//                        thread multiplexes all connections and decodes
+//                        frames zero-copy; threads is the legacy
+//                        thread-per-connection loop. --pin-shards pins
+//                        shard workers and io threads to cpus)
 //                       (prints "listening on <addr>:<port>", runs until
 //                        `sketchtool shutdown`; with --wal-dir, accepted
 //                        batches are crash-safe and a restart pointing at
 //                        the same directory recovers them)
 //   sketchtool push     --port P --updates u.txt [--host 127.0.0.1]
-//                       [--streams A,B,C] [--batch 4096] [--site ID]
+//                       [--streams A,B,C] [--batch 4096]
+//                       [--batch-bytes 0] [--site ID]
 //                       [--seq-start 1] [--io-timeout-ms 30000]
 //                       [--connect-timeout-ms 5000]
+//                       (--batch-bytes slices frames by encoded payload
+//                        size instead of update count — wider frames
+//                        feed the server's batched ingest path)
 //                       (--site makes the push idempotent: a retried or
 //                        re-run push with the same site and seq-start is
 //                        deduplicated, never double-counted)
@@ -96,6 +107,8 @@ int Usage() {
                "           [--wal-shards N] [--no-wal-fsync]\n"
                "           [--snapshot-bytes N] [--io-timeout-ms N]\n"
                "           [--idle-timeout-ms N]\n"
+               "           [--backend epoll|threads] [--io-threads N]\n"
+               "           [--read-chunk-bytes N] [--pin-shards]\n"
                "  route    --shards H:P[,H:P..] [--port N] [--bind ADDR]\n"
                "           [--replicas N] [--static-placement]\n"
                "           [--virtual-nodes N] [--placement-seed N]\n"
@@ -105,7 +118,8 @@ int Usage() {
                "           [--shard-io-timeout-ms N]\n"
                "           [--connect-timeout-ms N]\n"
                "  push     --port N --updates FILE [--host ADDR]\n"
-               "           [--streams A,B,..] [--batch N] [--site ID]\n"
+               "           [--streams A,B,..] [--batch N]\n"
+               "           [--batch-bytes N] [--site ID]\n"
                "           [--seq-start N] [--io-timeout-ms N]\n"
                "           [--connect-timeout-ms N]\n"
                "  query    --port N --expr EXPRESSION [--host ADDR]\n"
@@ -180,6 +194,16 @@ int main(int argc, char** argv) {
         static_cast<int>(flags.GetInt("io-timeout-ms", 30000));
     options.idle_timeout_ms =
         static_cast<int>(flags.GetInt("idle-timeout-ms", 0));
+    const std::string backend = flags.GetString("backend", "epoll");
+    if (!ParseIngestBackend(backend, &options.backend)) {
+      std::cerr << "sketchtool serve: unknown --backend '" << backend
+                << "' (expected epoll or threads)\n";
+      return Usage();
+    }
+    options.io_threads = static_cast<int>(flags.GetInt("io-threads", 1));
+    options.read_chunk_bytes =
+        static_cast<size_t>(flags.GetInt("read-chunk-bytes", 256 << 10));
+    options.pin_shards = flags.GetBool("pin-shards", false);
     result = RunServe(options, &std::cout);
   } else if (command == "route") {
     ClusterRouter::Options options;
@@ -222,6 +246,8 @@ int main(int argc, char** argv) {
     if (spec.port == 0 || spec.updates_path.empty()) return Usage();
     spec.stream_names = SplitCommaList(flags.GetString("streams", ""));
     spec.batch_size = static_cast<size_t>(flags.GetInt("batch", 4096));
+    spec.batch_bytes =
+        static_cast<size_t>(flags.GetInt("batch-bytes", 0));
     spec.site_id = flags.GetString("site", "");
     spec.first_sequence =
         static_cast<uint64_t>(flags.GetInt("seq-start", 1));
