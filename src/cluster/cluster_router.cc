@@ -114,7 +114,7 @@ bool ClusterRouter::Start(std::string* error) {
   }
   started_at_ = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     started_ = true;
   }
   return true;
@@ -133,7 +133,7 @@ void ClusterRouter::AcceptLoop() {
     }
     ++connections_accepted_;
     ++connections_active_;
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     open_fds_.push_back(fd);
     handler_threads_.emplace_back(&ClusterRouter::HandleConnection, this,
                                   fd);
@@ -182,7 +182,7 @@ void ClusterRouter::HandleConnection(int fd) {
       if (connection.notify_shutdown) {
         connection.notify_shutdown = false;
         {
-          std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+          MutexLock lock(&lifecycle_mutex_);
           shutdown_requested_ = true;
         }
         lifecycle_cv_.notify_all();
@@ -201,7 +201,7 @@ void ClusterRouter::HandleConnection(int fd) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     std::erase(open_fds_, fd);
   }
   ::close(fd);
@@ -312,7 +312,7 @@ SketchClient::Status ClusterRouter::WithShard(
     size_t shard_index,
     const std::function<SketchClient::Status(SketchClient&)>& op) {
   ShardState* state = shards_[shard_index].get();
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(&state->mutex);
   SketchClient::Status status;
   // Two attempts: a stale connection (shard restarted between calls)
   // fails once, redials, and succeeds — without declaring a live shard
@@ -494,7 +494,7 @@ QueryResultInfo ClusterRouter::Answer(const std::string& expression_text) {
   }
   const std::vector<std::string> names = parsed.expression->StreamNames();
 
-  std::lock_guard<std::mutex> query_lock(query_mutex_);
+  MutexLock query_lock(&query_mutex_);
   // Route every stream to its current read target, then pull summaries
   // shard by shard — sending the cached (bank_id, epoch) so unchanged
   // streams come back as one state byte.
@@ -644,14 +644,22 @@ size_t ClusterRouter::ProbeAll() {
 }
 
 void ClusterRouter::ProbeLoop() {
-  std::unique_lock<std::mutex> lock(probe_mutex_);
+  // The lock is taken per iteration (instead of held across the loop with
+  // unlock/lock around ProbeAll) so the thread-safety analysis can see
+  // every acquire/release pair. Stop() notifies without the lock held;
+  // since the wait is timed, a missed notify only delays exit by one
+  // probe interval — the same bound as the original shape.
   while (!draining_.load()) {
-    probe_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.probe_interval_ms));
+    {
+      MutexLock lock(&probe_mutex_);
+      if (!draining_.load()) {
+        probe_cv_.wait_for(
+            probe_mutex_,
+            std::chrono::milliseconds(options_.probe_interval_ms));
+      }
+    }
     if (draining_.load()) break;
-    lock.unlock();
     ProbeAll();
-    lock.lock();
   }
 }
 
@@ -767,13 +775,13 @@ ClusterRouter::StatsSnapshot ClusterRouter::stats() const {
 
 void ClusterRouter::Stop() {
   {
-    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     if (!started_ || stopped_) {
       stopped_ = true;
       return;
     }
     if (stop_started_) {
-      lifecycle_cv_.wait(lock, [this] { return stopped_; });
+      while (!stopped_) lifecycle_cv_.wait(lifecycle_mutex_);
       return;
     }
     stop_started_ = true;
@@ -787,7 +795,7 @@ void ClusterRouter::Stop() {
 
   std::vector<std::thread> handlers;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
     handlers.swap(handler_threads_);
   }
@@ -796,7 +804,7 @@ void ClusterRouter::Stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     stopped_ = true;
     shutdown_requested_ = true;
   }
@@ -805,9 +813,12 @@ void ClusterRouter::Stop() {
 
 void ClusterRouter::Wait() {
   {
-    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
-    lifecycle_cv_.wait(lock,
-                       [this] { return shutdown_requested_ || stopped_; });
+    MutexLock lock(&lifecycle_mutex_);
+    // Explicit loop (not a predicate lambda): the analysis treats lambda
+    // bodies as separate, unlocked functions.
+    while (!shutdown_requested_ && !stopped_) {
+      lifecycle_cv_.wait(lifecycle_mutex_);
+    }
   }
   Stop();
 }

@@ -45,11 +45,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -61,6 +59,7 @@
 #include "query/plan_cache.h"
 #include "server/protocol.h"
 #include "server/sketch_client.h"
+#include "util/thread_annotations.h"
 
 namespace setsketch {
 
@@ -182,8 +181,8 @@ class ClusterRouter {
   /// paths can skip known-dead shards without taking the lock.
   struct ShardState {
     ClusterShard shard;
-    std::mutex mutex;
-    std::unique_ptr<SketchClient> client;  // Guarded by mutex.
+    Mutex mutex;
+    std::unique_ptr<SketchClient> client SETSKETCH_GUARDED_BY(mutex);
     std::atomic<bool> healthy{true};
     std::atomic<bool> refused{false};  ///< Config mismatch; permanent.
     std::atomic<bool> stale{false};    ///< Missed >= 1 placed write.
@@ -226,7 +225,8 @@ class ClusterRouter {
 
   /// Dials + handshakes the shard's client if needed. Requires
   /// state->mutex held. False leaves the shard unhealthy or refused.
-  bool EnsureClientLocked(ShardState* state);
+  bool EnsureClientLocked(ShardState* state)
+      SETSKETCH_REQUIRES(state->mutex);
   /// Runs `op` on the shard's connected client under its mutex; marks the
   /// shard unhealthy on transport failure. One redial retry.
   SketchClient::Status WithShard(
@@ -246,29 +246,33 @@ class ClusterRouter {
   std::unordered_map<std::string, size_t> shard_index_by_name_;
 
   /// Serializes federated queries and guards the summary cache.
-  mutable std::mutex query_mutex_;
-  std::unordered_map<std::string, CachedSummary> summary_cache_;
+  /// Lock order: query_mutex_ before any ShardState::mutex (Answer pulls
+  /// summaries through WithShard while serializing the query).
+  mutable Mutex query_mutex_;
+  std::unordered_map<std::string, CachedSummary> summary_cache_
+      SETSKETCH_GUARDED_BY(query_mutex_);
   PlanCache plan_cache_;  ///< EstimateUncached seam only (no bank here).
 
   int listen_fd_ = -1;
   int port_ = -1;
   std::thread acceptor_;
-  std::mutex connections_mutex_;
-  std::vector<std::thread> handler_threads_;
-  std::vector<int> open_fds_;
+  Mutex connections_mutex_;
+  std::vector<std::thread> handler_threads_
+      SETSKETCH_GUARDED_BY(connections_mutex_);
+  std::vector<int> open_fds_ SETSKETCH_GUARDED_BY(connections_mutex_);
 
   std::thread probe_thread_;
-  std::mutex probe_mutex_;
-  std::condition_variable probe_cv_;
+  Mutex probe_mutex_;  // Guards only the probe thread's timed wait.
+  CondVar probe_cv_;
 
   std::chrono::steady_clock::time_point started_at_ =
       std::chrono::steady_clock::now();
-  std::mutex lifecycle_mutex_;
-  std::condition_variable lifecycle_cv_;
-  bool started_ = false;
-  bool shutdown_requested_ = false;
-  bool stop_started_ = false;
-  bool stopped_ = false;
+  Mutex lifecycle_mutex_;
+  CondVar lifecycle_cv_;
+  bool started_ SETSKETCH_GUARDED_BY(lifecycle_mutex_) = false;
+  bool shutdown_requested_ SETSKETCH_GUARDED_BY(lifecycle_mutex_) = false;
+  bool stop_started_ SETSKETCH_GUARDED_BY(lifecycle_mutex_) = false;
+  bool stopped_ SETSKETCH_GUARDED_BY(lifecycle_mutex_) = false;
   std::atomic<bool> draining_{false};
 
   std::atomic<uint64_t> connections_accepted_{0};

@@ -81,7 +81,7 @@ PlanCache::Result PlanCache::Query(const Expression& expr,
   std::string canonical = plan.ToString();
   if (ProvablyEmpty(expr)) return ExactEmptyResult(std::move(canonical));
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Entry* entry = FindOrCompileLocked(plan, canonical);
   Entry scratch_entry;
   if (entry == nullptr) {
@@ -131,7 +131,7 @@ bool PlanCache::BeginQuery(const Expression& expr, const SketchBank& bank,
     return true;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Entry* entry = FindOrCompileLocked(plan, canonical);
   if (entry != nullptr) {
     if (FreshLocked(*entry, bank)) {
@@ -177,7 +177,7 @@ PlanCache::Result PlanCache::FinishQuery(
     }
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // The entry may have been evicted (or evaluated by a concurrent
   // FinishQuery) between the two phases; re-resolve it.
   Entry* entry = FindOrCompileLocked(plan, canonical);
@@ -406,7 +406,7 @@ PlanCache::Result PlanCache::EstimateUncached(
     const Expression& expr, const std::vector<std::string>& stream_names,
     const std::vector<SketchGroup>& groups) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++stats_.bypasses;
   }
   Result result;
@@ -477,7 +477,7 @@ std::string PlanCache::Explain(const Expression& expr,
   if (sub_tasks > 0) out << " + " << sub_tasks << " memoized sub-union(s)";
   out << "\n";
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(plan.hash());
   if (it == entries_.end() || it->second.canonical != canonical) {
     out << "cache: MISS (not compiled yet)\n";
@@ -509,7 +509,7 @@ std::string PlanCache::Explain(const Expression& expr,
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Stats stats = stats_;
   stats.entries = entries_.size();
   stats.memo_bytes = 0;
@@ -527,7 +527,7 @@ PlanCache::Stats PlanCache::stats() const {
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   entries_.clear();
 }
 

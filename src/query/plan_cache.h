@@ -36,7 +36,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +45,7 @@
 #include "core/sketch_bank.h"
 #include "expr/canonical.h"
 #include "expr/expression.h"
+#include "util/thread_annotations.h"
 
 namespace setsketch {
 
@@ -173,22 +173,25 @@ class PlanCache {
   };
 
   Entry* FindOrCompileLocked(const CanonicalPlan& plan,
-                             const std::string& canonical);
+                             const std::string& canonical)
+      SETSKETCH_REQUIRES(mutex_);
   /// True iff the entry's memoized result is valid for `bank`'s current
   /// (bank_id, epochs).
-  bool FreshLocked(const Entry& entry, const SketchBank& bank) const;
+  bool FreshLocked(const Entry& entry, const SketchBank& bank) const
+      SETSKETCH_REQUIRES(mutex_);
   /// Evaluates the entry's plan over `groups` (per-copy columns aligned
   /// with entry->streams) and installs the memoized result keyed by
   /// (bank_id, epochs).
   Result EvaluateLocked(Entry* entry, const std::vector<SketchGroup>& groups,
-                        uint64_t bank_id, std::vector<uint64_t> epochs);
-  void EvictIfNeededLocked();
+                        uint64_t bank_id, std::vector<uint64_t> epochs)
+      SETSKETCH_REQUIRES(mutex_);
+  void EvictIfNeededLocked() SETSKETCH_REQUIRES(mutex_);
 
   const Options options_;
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, Entry> entries_;
-  Stats stats_;
-  uint64_t tick_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<uint64_t, Entry> entries_ SETSKETCH_GUARDED_BY(mutex_);
+  Stats stats_ SETSKETCH_GUARDED_BY(mutex_);
+  uint64_t tick_ SETSKETCH_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace setsketch

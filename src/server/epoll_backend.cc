@@ -100,14 +100,14 @@ bool EpollServerBackend::Adopt(int fd) {
   state->last_activity = std::chrono::steady_clock::now();
   ConnState* raw = state.get();
   {
-    std::lock_guard<std::mutex> lock(loop->mutex);
+    MutexLock lock(&loop->mutex);
     loop->connections.emplace(fd, std::move(state));
   }
   epoll_event ev{};
   ev.events = EPOLLIN;  // Level-triggered: re-fires while bytes remain.
   ev.data.ptr = raw;
   if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-    std::lock_guard<std::mutex> lock(loop->mutex);
+    MutexLock lock(&loop->mutex);
     loop->connections.erase(fd);
     return false;
   }
@@ -224,7 +224,7 @@ void EpollServerBackend::CloseConnection(Loop* loop, ConnState* state) {
   handler_->OnDisconnect(&state->connection);
   std::unique_ptr<ConnState> retired;
   {
-    std::lock_guard<std::mutex> lock(loop->mutex);
+    MutexLock lock(&loop->mutex);
     const auto it = loop->connections.find(fd);
     retired = std::move(it->second);
     loop->connections.erase(it);
@@ -237,7 +237,7 @@ void EpollServerBackend::SweepIdle(Loop* loop) {
   const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
   std::vector<ConnState*> expired;
   {
-    std::lock_guard<std::mutex> lock(loop->mutex);
+    MutexLock lock(&loop->mutex);
     for (const auto& [fd, state] : loop->connections) {
       if (now - state->last_activity > limit) expired.push_back(state.get());
     }
@@ -246,12 +246,12 @@ void EpollServerBackend::SweepIdle(Loop* loop) {
 }
 
 void EpollServerBackend::Shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  MutexLock shutdown_lock(&shutdown_mutex_);
   if (!running_.load()) return;
   stopping_.store(true);
   for (const auto& loop : loops_) {
     {
-      std::lock_guard<std::mutex> lock(loop->mutex);
+      MutexLock lock(&loop->mutex);
       for (const auto& [fd, state] : loop->connections) {
         ::shutdown(fd, SHUT_RDWR);
       }
@@ -264,13 +264,18 @@ void EpollServerBackend::Shutdown() {
     if (loop->thread.joinable()) loop->thread.join();
   }
   // io threads are gone: close whatever connections they had not already
-  // retired, reporting each disconnect exactly once.
+  // retired, reporting each disconnect exactly once. The per-loop lock is
+  // uncontended now but keeps the guarded map access inside the checked
+  // discipline.
   for (const auto& loop : loops_) {
-    for (const auto& [fd, state] : loop->connections) {
-      handler_->OnDisconnect(&state->connection);
-      ::close(fd);
+    {
+      MutexLock lock(&loop->mutex);
+      for (const auto& [fd, state] : loop->connections) {
+        handler_->OnDisconnect(&state->connection);
+        ::close(fd);
+      }
+      loop->connections.clear();
     }
-    loop->connections.clear();
     ::close(loop->epoll_fd);
     ::close(loop->wake_fd);
   }

@@ -33,7 +33,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -41,6 +40,7 @@
 
 #include "server/ingest_arena.h"
 #include "server/protocol.h"
+#include "util/thread_annotations.h"
 
 namespace setsketch {
 
@@ -163,8 +163,9 @@ class EpollServerBackend {
     int epoll_fd = -1;
     int wake_fd = -1;  // eventfd: Adopt/Shutdown wakeups.
     std::thread thread;
-    std::mutex mutex;  // Guards `connections` (Adopt vs loop thread).
-    std::unordered_map<int, std::unique_ptr<ConnState>> connections;
+    Mutex mutex;  // Guards `connections` (Adopt vs loop thread).
+    std::unordered_map<int, std::unique_ptr<ConnState>> connections
+        SETSKETCH_GUARDED_BY(mutex);
   };
 
   void LoopRun(Loop* loop, int loop_index);
@@ -179,7 +180,7 @@ class EpollServerBackend {
   std::atomic<size_t> next_loop_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::mutex shutdown_mutex_;  // Serializes (idempotent) Shutdown calls.
+  Mutex shutdown_mutex_;  // Serializes (idempotent) Shutdown calls.
 };
 
 }  // namespace setsketch

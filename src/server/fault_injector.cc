@@ -8,7 +8,7 @@ FaultInjector::FaultInjector(const Options& options)
     : options_(options), rng_(options.seed) {}
 
 SendPlan FaultInjector::PlanSend(size_t num_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ++sends_planned_;
 
   // Fixed draw count per call keeps the schedule a function of the call
@@ -48,12 +48,12 @@ SendPlan FaultInjector::PlanSend(size_t num_bytes) {
 }
 
 uint64_t FaultInjector::sends_planned() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return sends_planned_;
 }
 
 uint64_t FaultInjector::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return faults_injected_;
 }
 

@@ -20,9 +20,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
 #include "hash/prng.h"
+#include "util/thread_annotations.h"
 
 namespace setsketch {
 
@@ -67,17 +67,17 @@ class FaultInjector {
   /// Plans the fate of one send of `num_bytes`. Always advances the PRNG by
   /// a fixed number of draws per call so the schedule depends only on the
   /// call index, not on which faults fired earlier.
-  SendPlan PlanSend(size_t num_bytes);
+  SendPlan PlanSend(size_t num_bytes) SETSKETCH_EXCLUDES(mutex_);
 
-  uint64_t sends_planned() const;
-  uint64_t faults_injected() const;
+  uint64_t sends_planned() const SETSKETCH_EXCLUDES(mutex_);
+  uint64_t faults_injected() const SETSKETCH_EXCLUDES(mutex_);
 
  private:
   Options options_;
-  mutable std::mutex mutex_;
-  Xoshiro256StarStar rng_;
-  uint64_t sends_planned_ = 0;
-  uint64_t faults_injected_ = 0;
+  mutable Mutex mutex_;
+  Xoshiro256StarStar rng_ SETSKETCH_GUARDED_BY(mutex_);
+  uint64_t sends_planned_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+  uint64_t faults_injected_ SETSKETCH_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace setsketch

@@ -39,6 +39,7 @@
 #include "core/sketch_seed.h"
 #include "core/two_level_hash_sketch.h"
 #include "stream/update.h"
+#include "util/thread_annotations.h"
 
 namespace setsketch {
 
@@ -130,7 +131,7 @@ enum class FrameScanStatus {
 /// and *frame_bytes is the full frame length (header + payload).
 FrameScanStatus ScanFrame(std::string_view data, FrameView* view,
                           size_t* frame_bytes, WireError* error,
-                          std::string* error_message);
+                          std::string* error_message) SETSKETCH_HOT_PATH;
 
 /// Incremental frame reassembler. Feed() raw socket bytes in any chunking;
 /// Next() yields complete frames. A header-level error is terminal: the

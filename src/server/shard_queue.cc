@@ -8,13 +8,13 @@ ShardQueue::ShardQueue(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 bool ShardQueue::CanAccept() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return !stopped_ && in_flight_ < capacity_;
 }
 
 bool ShardQueue::Push(std::shared_ptr<const IngestBatch> batch) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopped_) return false;
     // Producers admit batches only after CanAccept() under their own
     // mutex, so exceeding capacity means that protocol was broken and
@@ -30,8 +30,10 @@ bool ShardQueue::Push(std::shared_ptr<const IngestBatch> batch) {
 }
 
 std::shared_ptr<const IngestBatch> ShardQueue::PopOrWait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  pop_cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+  MutexLock lock(&mu_);
+  // Explicit wait loop (no predicate lambda): the analysis then sees the
+  // guarded reads under the held capability, which a lambda body would not.
+  while (!stopped_ && queue_.empty()) pop_cv_.wait(mu_);
   if (queue_.empty()) return nullptr;  // Stopped and drained.
   std::shared_ptr<const IngestBatch> batch = std::move(queue_.front());
   queue_.pop_front();
@@ -40,7 +42,7 @@ std::shared_ptr<const IngestBatch> ShardQueue::PopOrWait() {
 
 void ShardQueue::TaskDone() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // An unmatched TaskDone would free a capacity slot that was never
     // held, silently unbounding the queue — and underflowing the size_t.
     SETSKETCH_CHECK(in_flight_ > 0) << "TaskDone without a popped batch";
@@ -51,13 +53,13 @@ void ShardQueue::TaskDone() {
 }
 
 void ShardQueue::WaitDrained() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) drain_cv_.wait(mu_);
 }
 
 void ShardQueue::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopped_ = true;
   }
   pop_cv_.notify_all();
@@ -65,12 +67,12 @@ void ShardQueue::Stop() {
 }
 
 ShardQueue::Stats ShardQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return Stats{pushed_, rejected_, in_flight_, capacity_};
 }
 
 void ShardQueue::CountRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++rejected_;
 }
 

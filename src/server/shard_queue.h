@@ -16,15 +16,14 @@
 #ifndef SETSKETCH_SERVER_SHARD_QUEUE_H_
 #define SETSKETCH_SERVER_SHARD_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/two_level_hash_sketch.h"
 #include "stream/update.h"
+#include "util/thread_annotations.h"
 
 namespace setsketch {
 
@@ -52,28 +51,28 @@ class ShardQueue {
   /// True iff a Push would currently be admitted. The server checks all
   /// shards under one producer-side mutex before pushing to any, so a
   /// batch is enqueued to every shard or to none.
-  bool CanAccept() const;
+  bool CanAccept() const SETSKETCH_EXCLUDES(mu_);
 
   /// Enqueues unconditionally (caller checked CanAccept under its producer
   /// mutex). Returns false only after Stop().
-  bool Push(std::shared_ptr<const IngestBatch> batch);
+  bool Push(std::shared_ptr<const IngestBatch> batch) SETSKETCH_EXCLUDES(mu_);
 
   /// Blocks for the next batch. Returns nullptr once the queue was
   /// Stop()ped AND fully drained — pending batches are always delivered,
   /// which is what makes shutdown lose nothing that was acknowledged.
-  std::shared_ptr<const IngestBatch> PopOrWait();
+  std::shared_ptr<const IngestBatch> PopOrWait() SETSKETCH_EXCLUDES(mu_);
 
   /// Worker signals that the batch from the last PopOrWait is fully
   /// applied; releases its capacity slot.
-  void TaskDone();
+  void TaskDone() SETSKETCH_EXCLUDES(mu_);
 
   /// Blocks until no batch is queued or being applied. Producers must be
   /// quiesced by the caller (the server holds its push mutex), otherwise
   /// this is only a momentary truth.
-  void WaitDrained();
+  void WaitDrained() SETSKETCH_EXCLUDES(mu_);
 
   /// No further pushes; wakes the worker so it can drain and exit.
-  void Stop();
+  void Stop() SETSKETCH_EXCLUDES(mu_);
 
   struct Stats {
     uint64_t pushed = 0;    ///< Batches admitted.
@@ -81,21 +80,22 @@ class ShardQueue {
     size_t depth = 0;       ///< Batches in flight right now.
     size_t capacity = 0;
   };
-  Stats stats() const;
+  Stats stats() const SETSKETCH_EXCLUDES(mu_);
 
   /// Server-side accounting hook for a batch bounced with RETRY_LATER.
-  void CountRejected();
+  void CountRejected() SETSKETCH_EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable pop_cv_;
-  std::condition_variable drain_cv_;
-  std::deque<std::shared_ptr<const IngestBatch>> queue_;
-  size_t in_flight_ = 0;  // Queued + popped-but-not-TaskDone.
-  bool stopped_ = false;
-  uint64_t pushed_ = 0;
-  uint64_t rejected_ = 0;
+  mutable Mutex mu_;
+  CondVar pop_cv_;
+  CondVar drain_cv_;
+  std::deque<std::shared_ptr<const IngestBatch>> queue_
+      SETSKETCH_GUARDED_BY(mu_);
+  size_t in_flight_ SETSKETCH_GUARDED_BY(mu_) = 0;  // Queued + not-TaskDone.
+  bool stopped_ SETSKETCH_GUARDED_BY(mu_) = false;
+  uint64_t pushed_ SETSKETCH_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ SETSKETCH_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace setsketch

@@ -121,7 +121,7 @@ bool SketchServer::Start(std::string* error) {
   acceptor_ = std::thread(&SketchServer::AcceptLoop, this);
   started_at_ = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     started_ = true;
   }
   return true;
@@ -147,7 +147,7 @@ void SketchServer::AcceptLoop() {
       }
       continue;
     }
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     open_fds_.push_back(fd);
     handler_threads_.emplace_back(&SketchServer::HandleConnection, this, fd);
   }
@@ -218,7 +218,7 @@ void SketchServer::HandleConnection(int fd) {
   }
   {
     // Deregister before close so Stop() never shutdown()s a recycled fd.
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     std::erase(open_fds_, fd);
   }
   ::close(fd);
@@ -282,7 +282,7 @@ void SketchServer::NotifyShutdownIfRequested(Connection* connection) {
   if (!connection->notify_shutdown) return;
   connection->notify_shutdown = false;
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     shutdown_requested_ = true;
   }
   lifecycle_cv_.notify_all();
@@ -380,6 +380,8 @@ std::string SketchServer::HandlePushUpdates(std::string_view payload,
     // into the connection arena, update triples decode through the SIMD
     // varint runs. thread_local keeps the vectors' capacity warm across
     // the io thread's frames.
+    // Per-frame scratch: the stale views are fully overwritten by
+    // DecodePushUpdates before any read. analyze-ok: arena-escape
     thread_local UpdateBatchView batch;
     std::string decode_error;
     if (!DecodePushUpdates(payload, &batch, &decode_error)) {
@@ -415,7 +417,7 @@ std::string SketchServer::AdmitPush(
   }
   const uint64_t num_updates = updates.size();
   {
-    std::lock_guard<std::mutex> lock(push_mutex_);
+    MutexLock lock(&push_mutex_);
     if (draining_.load()) {
       return ErrorFrame(WireError::kShuttingDown, "server is draining");
     }
@@ -452,7 +454,7 @@ std::string SketchServer::AdmitPush(
     // epochs or registering streams.
     std::shared_ptr<IngestBatch> resolved;
     {
-      std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+      MutexLock registry_lock(&registry_mutex_);
       resolved = ResolveBatchLocked(stream_names, updates);
     }
     if (wal_ != nullptr) {
@@ -481,7 +483,7 @@ std::string SketchServer::HandlePushSummary(std::string_view payload,
   }
   Coordinator::IngestResult result;
   {
-    std::lock_guard<std::mutex> lock(coordinator_mutex_);
+    MutexLock lock(&coordinator_mutex_);
     result = coordinator_.AddSiteSummary(std::string(payload));
   }
   if (!result.ok) {
@@ -517,9 +519,9 @@ SummaryResult SketchServer::PullSummaries(const SummaryPullRequest& request) {
   // Same quiesce as Answer: with the queues drained under push_mutex_,
   // the bank reflects exactly the ACKed batches, and the epochs read here
   // cannot race an in-flight admission.
-  std::lock_guard<std::mutex> push_lock(push_mutex_);
+  MutexLock push_lock(&push_mutex_);
   for (const auto& queue : queues_) queue->WaitDrained();
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(&registry_mutex_);
   for (const SummaryPullRequest::Key& key : request.streams) {
     SummaryResult::Entry entry;
     entry.name = key.name;
@@ -545,7 +547,7 @@ std::string SketchServer::EncodeBankSnapshot() {
   engine_options.copies = options_.copies;
   engine_options.seed = options_.seed;
   engine_options.witness = options_.witness;
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(&registry_mutex_);
   return EncodeEngineSnapshot(engine_options, persisted_updates_,
                               names_by_id_, bank_, {});
 }
@@ -732,10 +734,10 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
   std::vector<std::vector<TwoLevelHashSketch>> combined;
   combined.reserve(names.size());
   {
-    std::lock_guard<std::mutex> push_lock(push_mutex_);
+    MutexLock push_lock(&push_mutex_);
     for (const auto& queue : queues_) queue->WaitDrained();
-    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
-    std::lock_guard<std::mutex> coordinator_lock(coordinator_mutex_);
+    MutexLock registry_lock(&registry_mutex_);
+    MutexLock coordinator_lock(&coordinator_mutex_);
     bool any_summaries = false;
     for (const std::string& name : names) {
       const bool in_bank = bank_.HasStream(name);
@@ -811,9 +813,9 @@ std::string SketchServer::Explain(const std::string& expression_text) {
   const ParseResult parsed = ParseExpression(expression_text);
   if (!parsed.ok()) return "error: " + parsed.error + "\n";
   // Same quiesce as Answer: the report reads bank membership and epochs.
-  std::lock_guard<std::mutex> push_lock(push_mutex_);
+  MutexLock push_lock(&push_mutex_);
   for (const auto& queue : queues_) queue->WaitDrained();
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(&registry_mutex_);
   return plan_cache_.Explain(*parsed.expression, bank_);
 }
 
@@ -906,12 +908,12 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
   {
     // push_mutex_ guards the dedup index (same order as Answer: push
     // before registry).
-    std::lock_guard<std::mutex> push_lock(push_mutex_);
+    MutexLock push_lock(&push_mutex_);
     s.dedup_sites = dedup_.num_sites();
     s.dedup_window_bits = dedup_.OccupiedBits();
   }
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(&registry_mutex_);
     s.streams = names_by_id_.size();
   }
   s.uptime_ms = static_cast<uint64_t>(
@@ -933,14 +935,14 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
 
 void SketchServer::Stop() {
   {
-    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     if (!started_ || stopped_) {
       stopped_ = true;
       return;
     }
     if (stop_started_) {
       // Another thread is stopping; wait for it to finish.
-      lifecycle_cv_.wait(lock, [this] { return stopped_; });
+      while (!stopped_) lifecycle_cv_.wait(lifecycle_mutex_);
       return;
     }
     stop_started_ = true;
@@ -958,7 +960,7 @@ void SketchServer::Stop() {
   if (epoll_backend_ != nullptr) epoll_backend_->Shutdown();
   std::vector<std::thread> handlers;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
     handlers.swap(handler_threads_);
   }
@@ -971,7 +973,11 @@ void SketchServer::Stop() {
 
   // 4. Fold the whole log into a final checkpoint: restarts after a
   // graceful stop recover from the snapshot alone, replaying nothing.
+  // Producers and workers are joined, so push_mutex_ is uncontended —
+  // taken anyway so the guarded dedup_/snapshot reads stay inside the
+  // checked discipline.
   if (wal_ != nullptr) {
+    MutexLock push_lock(&push_mutex_);
     Checkpoint checkpoint;
     checkpoint.covered_generation = wal_->generation();
     checkpoint.dedup = dedup_;
@@ -989,7 +995,7 @@ void SketchServer::Stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(&lifecycle_mutex_);
     stopped_ = true;
     shutdown_requested_ = true;
   }
@@ -998,9 +1004,10 @@ void SketchServer::Stop() {
 
 void SketchServer::Wait() {
   {
-    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
-    lifecycle_cv_.wait(lock,
-                       [this] { return shutdown_requested_ || stopped_; });
+    MutexLock lock(&lifecycle_mutex_);
+    while (!shutdown_requested_ && !stopped_) {
+      lifecycle_cv_.wait(lifecycle_mutex_);
+    }
   }
   Stop();
 }

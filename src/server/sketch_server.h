@@ -52,10 +52,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -69,6 +67,7 @@
 #include "server/protocol.h"
 #include "server/shard_queue.h"
 #include "server/wal.h"
+#include "util/thread_annotations.h"
 
 namespace setsketch {
 
@@ -209,17 +208,20 @@ class SketchServer : private EpollServerBackend::Handler {
     uint64_t ingest_arena_hwm_bytes = 0;  ///< Peak buffered unparsed bytes.
     uint64_t ingest_simd_varint = 0;  ///< 1 iff bulk decode runs SIMD.
   };
-  StatsSnapshot stats() const;
+  StatsSnapshot stats() const
+      SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_);
 
   /// Answers a set-expression query over everything the server holds
   /// (pushed updates + merged site summaries). Public for in-process use
   /// and tests; QUERY frames route here.
-  QueryResultInfo Answer(const std::string& expression_text);
+  QueryResultInfo Answer(const std::string& expression_text)
+      SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_, coordinator_mutex_);
 
   /// Renders the query planner's EXPLAIN report for a text expression:
   /// canonical plan, CSE sharing, merge tasks and plan-cache state.
   /// EXPLAIN frames route here; parse failures yield an "error: ..." line.
-  std::string Explain(const std::string& expression_text);
+  std::string Explain(const std::string& expression_text)
+      SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_);
 
   /// Serves a cluster summary pull over the direct-ingest bank: per
   /// requested stream, kUnknown if the bank has no such stream, kUnchanged
@@ -228,11 +230,15 @@ class SketchServer : private EpollServerBackend::Handler {
   /// under the same quiesce as Answer (so it reflects every ACKed batch).
   /// Coordinator-carried streams are not served — cluster shards ingest
   /// via PUSH_UPDATES only. PULL_SUMMARY frames route here.
-  SummaryResult PullSummaries(const SummaryPullRequest& request);
+  SummaryResult PullSummaries(const SummaryPullRequest& request)
+      SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_);
 
   /// The direct-ingest bank. Only safe to inspect when ingest is quiesced
-  /// (after Stop, or from tests that know no pushes are in flight).
-  const SketchBank& bank() const { return bank_; }
+  /// (after Stop, or from tests that know no pushes are in flight) —
+  /// which is exactly why the guarded-member read is out of the analysis.
+  const SketchBank& bank() const SETSKETCH_NO_THREAD_SAFETY_ANALYSIS {
+    return bank_;
+  }
 
   const Options& options() const { return options_; }
 
@@ -280,7 +286,8 @@ class SketchServer : private EpollServerBackend::Handler {
   std::string AdmitPush(std::string_view site_id, uint64_t sequence,
                         const std::vector<std::string_view>& stream_names,
                         const std::vector<Update>& updates,
-                        std::string_view raw_payload);
+                        std::string_view raw_payload)
+      SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_);
 
   /// Releases the lifecycle waiters after a SHUTDOWN ACK was handed to
   /// the socket (both backends call this post-send).
@@ -294,16 +301,22 @@ class SketchServer : private EpollServerBackend::Handler {
   /// fresh WAL generation. Called by Start() before listening. False +
   /// *error if persisted state is unusable (mismatched configuration,
   /// corrupt checkpoint) — refusing to serve beats silently diverging.
-  bool RecoverAndOpenWal(std::string* error);
+  /// Out of the analysis: it runs before any worker or io thread exists,
+  /// so the guarded members it rebuilds (bank_, ids_, dedup_, wal_) have
+  /// no concurrent readers yet — including inside the replay lambda,
+  /// which the analysis would otherwise treat as an unlocked function.
+  bool RecoverAndOpenWal(std::string* error)
+      SETSKETCH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Checkpoint + compact when enough WAL bytes accumulated. Requires
   /// push_mutex_ held; drains the shard queues for a consistent bank.
-  void MaybeCompactLocked();
+  void MaybeCompactLocked() SETSKETCH_REQUIRES(push_mutex_);
 
   /// Builds the engine-snapshot bytes for a checkpoint. Requires a
   /// quiesced bank (push_mutex_ held + queues drained, or threads
   /// joined); takes registry_mutex_ itself.
-  std::string EncodeBankSnapshot();
+  std::string EncodeBankSnapshot() SETSKETCH_REQUIRES(push_mutex_)
+      SETSKETCH_EXCLUDES(registry_mutex_);
 
   /// Registers unseen names and resolves the batch to per-stream groups
   /// of column pointer + element/delta items (the shard workers' batched
@@ -315,7 +328,8 @@ class SketchServer : private EpollServerBackend::Handler {
   /// post-batch epoch.
   std::shared_ptr<IngestBatch> ResolveBatchLocked(
       const std::vector<std::string_view>& stream_names,
-      const std::vector<Update>& updates);
+      const std::vector<Update>& updates)
+      SETSKETCH_REQUIRES(push_mutex_, registry_mutex_);
 
   Options options_;
 
@@ -332,15 +346,16 @@ class SketchServer : private EpollServerBackend::Handler {
   // Stream registry + direct-ingest bank. registry_mutex_ guards the
   // name/id maps and stream registration; the counter cells themselves
   // are written only by shard workers (copy-range ownership).
-  mutable std::mutex registry_mutex_;
-  SketchBank bank_;
-  std::vector<std::string> names_by_id_;
+  // Lock order: push_mutex_ -> registry_mutex_ -> coordinator_mutex_.
+  mutable Mutex registry_mutex_;
+  SketchBank bank_ SETSKETCH_GUARDED_BY(registry_mutex_);
+  std::vector<std::string> names_by_id_ SETSKETCH_GUARDED_BY(registry_mutex_);
   std::unordered_map<std::string, StreamId, StringHash, std::equal_to<>>
-      ids_;
+      ids_ SETSKETCH_GUARDED_BY(registry_mutex_);
 
   // Site summaries, merged idempotently.
-  mutable std::mutex coordinator_mutex_;
-  Coordinator coordinator_;
+  mutable Mutex coordinator_mutex_;
+  Coordinator coordinator_ SETSKETCH_GUARDED_BY(coordinator_mutex_);
 
   // Query planner: QUERY frames whose streams live wholly in bank_
   // compile into cached, epoch-invalidated plans here; queries touching
@@ -350,17 +365,24 @@ class SketchServer : private EpollServerBackend::Handler {
 
   // Ingest pipeline. push_mutex_ serializes the all-or-nothing enqueue
   // across shards and is held (with drained queues) during queries.
-  // Mutable: const stats() reads the dedup index under it.
-  mutable std::mutex push_mutex_;
+  // Mutable: const stats() reads the dedup index under it. queues_ and
+  // workers_ are sized by Start() before any producer exists and never
+  // resized; the queues are internally synchronized.
+  mutable Mutex push_mutex_;
   std::vector<std::unique_ptr<ShardQueue>> queues_;
   std::vector<std::thread> workers_;
 
   // Durability + exactly-once state, guarded by push_mutex_ (the dedup
   // decision, WAL append and enqueue must be one atomic admission step).
+  // The wal_ pointer itself is set by RecoverAndOpenWal before the
+  // threads start and never reassigned; Wal appends are internally
+  // locked. Holding push_mutex_ across the append is what orders the
+  // fsync before the dedup record + ACK.
   std::unique_ptr<Wal> wal_;
-  DedupIndex dedup_;
-  int64_t persisted_updates_ = 0;       // Lifetime total, survives crashes.
-  uint64_t bytes_at_last_checkpoint_ = 0;
+  DedupIndex dedup_ SETSKETCH_GUARDED_BY(push_mutex_);
+  int64_t persisted_updates_ SETSKETCH_GUARDED_BY(push_mutex_) =
+      0;  // Lifetime total, survives crashes.
+  uint64_t bytes_at_last_checkpoint_ SETSKETCH_GUARDED_BY(push_mutex_) = 0;
 
   // Sockets and connection handlers. The epoll backend (when selected)
   // owns adopted connections; handler_threads_/open_fds_ serve the
@@ -368,20 +390,21 @@ class SketchServer : private EpollServerBackend::Handler {
   int listen_fd_ = -1;
   int port_ = -1;
   std::thread acceptor_;
-  std::mutex connections_mutex_;
-  std::vector<std::thread> handler_threads_;
-  std::vector<int> open_fds_;
+  Mutex connections_mutex_;
+  std::vector<std::thread> handler_threads_
+      SETSKETCH_GUARDED_BY(connections_mutex_);
+  std::vector<int> open_fds_ SETSKETCH_GUARDED_BY(connections_mutex_);
   std::unique_ptr<EpollServerBackend> epoll_backend_;
 
   // Lifecycle.
   std::chrono::steady_clock::time_point started_at_ =
       std::chrono::steady_clock::now();  // Reset by Start().
-  std::mutex lifecycle_mutex_;
-  std::condition_variable lifecycle_cv_;
-  bool started_ = false;
-  bool shutdown_requested_ = false;
-  bool stop_started_ = false;
-  bool stopped_ = false;
+  Mutex lifecycle_mutex_;
+  CondVar lifecycle_cv_;
+  bool started_ SETSKETCH_GUARDED_BY(lifecycle_mutex_) = false;
+  bool shutdown_requested_ SETSKETCH_GUARDED_BY(lifecycle_mutex_) = false;
+  bool stop_started_ SETSKETCH_GUARDED_BY(lifecycle_mutex_) = false;
+  bool stopped_ SETSKETCH_GUARDED_BY(lifecycle_mutex_) = false;
   /// Set on SHUTDOWN: new batches/summaries are refused while the
   /// already-acknowledged ones drain.
   std::atomic<bool> draining_{false};

@@ -45,10 +45,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace setsketch {
 
@@ -61,10 +62,10 @@ namespace setsketch {
 class DedupWindow {
  public:
   /// True iff `sequence` was recorded before (or fell below the window).
-  bool Seen(uint64_t sequence) const;
+  SETSKETCH_HOT_PATH bool Seen(uint64_t sequence) const;
 
   /// Marks `sequence` as applied.
-  void Record(uint64_t sequence);
+  SETSKETCH_HOT_PATH void Record(uint64_t sequence);
 
   uint64_t high() const { return high_; }
   uint64_t bits() const { return bits_; }
@@ -87,7 +88,8 @@ class DedupIndex {
  public:
   /// string_view keys: the ingest fast path checks/records straight from
   /// frame payload views without materializing the site id.
-  bool Seen(std::string_view site_id, uint64_t sequence) const;
+  SETSKETCH_HOT_PATH bool Seen(std::string_view site_id,
+                               uint64_t sequence) const;
   void Record(std::string_view site_id, uint64_t sequence);
 
   size_t num_sites() const { return windows_.size(); }
@@ -144,25 +146,28 @@ class Wal {
   /// Durably appends one record (round-robin across shard segments,
   /// fsync before returning when Options::fsync). False + *error on
   /// failure; a failed append refuses the batch upstream.
-  bool Append(const WalRecord& record, std::string* error);
+  bool Append(const WalRecord& record, std::string* error)
+      SETSKETCH_EXCLUDES(mutex_);
 
   /// Same, from borrowed key + payload bytes (the ingest fast path
   /// appends straight from a frame view without building a WalRecord).
   /// Byte-identical log output to the WalRecord overload.
   bool Append(std::string_view site_id, uint64_t sequence,
-              std::string_view payload, std::string* error);
+              std::string_view payload, std::string* error)
+      SETSKETCH_EXCLUDES(mutex_);
 
   /// Starts a new generation (fresh segment files); returns the previous
   /// generation, which a checkpoint taken *after* the rotation covers.
   /// False + *error on I/O failure (the old generation stays current).
-  bool Rotate(uint64_t* previous_generation, std::string* error);
+  bool Rotate(uint64_t* previous_generation, std::string* error)
+      SETSKETCH_EXCLUDES(mutex_);
 
   /// Deletes every segment with generation <= covered_generation.
   void Compact(uint64_t covered_generation);
 
-  uint64_t generation() const;
-  uint64_t records_appended() const;
-  uint64_t bytes_appended() const;
+  uint64_t generation() const SETSKETCH_EXCLUDES(mutex_);
+  uint64_t records_appended() const SETSKETCH_EXCLUDES(mutex_);
+  uint64_t bytes_appended() const SETSKETCH_EXCLUDES(mutex_);
 
   /// Replays all segments with generation > checkpoint_generation in
   /// (generation, shard) order, invoking `apply` per valid record. Stops
@@ -177,15 +182,23 @@ class Wal {
 
   Wal(const Options& options, uint64_t generation);
 
-  bool OpenShardFiles(std::string* error);
-  void CloseShardFiles();
+  // Both touch every Shard::fd. Sound without the analysis: they run
+  // either before the Wal is published (constructor / Open) or from
+  // Rotate / the destructor with every shard lock held — a lock set of
+  // dynamic cardinality the analysis cannot express.
+  bool OpenShardFiles(std::string* error) SETSKETCH_NO_THREAD_SAFETY_ANALYSIS;
+  void CloseShardFiles() SETSKETCH_NO_THREAD_SAFETY_ANALYSIS;
 
   Options options_;
-  mutable std::mutex mutex_;  // generation_ + counters + rotation.
-  uint64_t generation_ = 0;
-  uint64_t next_shard_ = 0;
-  uint64_t records_appended_ = 0;
-  uint64_t bytes_appended_ = 0;
+  mutable Mutex mutex_;  // generation_ + counters + rotation.
+  uint64_t generation_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+  uint64_t next_shard_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+  uint64_t records_appended_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+  uint64_t bytes_appended_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+  // Sized in the constructor and never resized after; each Shard's own
+  // mutex guards its file descriptor. Lock order: mutex_ before any
+  // Shard::mutex (Append picks the shard under mutex_, then writes under
+  // the shard's mutex).
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

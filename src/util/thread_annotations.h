@@ -1,0 +1,153 @@
+// Clang Thread Safety Analysis annotations and the annotated lock
+// vocabulary the concurrent subsystems use (server, plan cache, cluster
+// router).
+//
+// Why annotations and not just TSan: the sanitizer gate (check.sh tsan
+// stage) only catches the interleavings a run happens to exercise. The
+// annotations below make the lock discipline a compile-time contract —
+// every `SETSKETCH_GUARDED_BY` member access outside its mutex and every
+// call to a `SETSKETCH_REQUIRES` function without the capability held is
+// a hard error under clang with
+//
+//   cmake -DSETSKETCH_THREAD_SAFETY=ON   (adds -Werror=thread-safety)
+//
+// Under gcc (and clang without the option) every macro expands to
+// nothing, so the annotations cost nothing and the tree builds exactly
+// as before. tools/analyze.py additionally parses these annotations
+// textually to extract the cross-TU lock-order graph (see DESIGN.md
+// §3.6).
+//
+// Conventions:
+//   * Mutex-protected members carry SETSKETCH_GUARDED_BY(mutex_).
+//   * Private helpers named *Locked carry SETSKETCH_REQUIRES(mutex_).
+//   * Public entry points that take a lock internally carry
+//     SETSKETCH_EXCLUDES(mutex_) where re-entry would self-deadlock.
+//   * Scoped locking uses MutexLock (below), never bare lock()/unlock().
+//   * Condition waits use CondVar (std::condition_variable_any) waiting
+//     on the Mutex directly inside a MutexLock scope with an explicit
+//     while loop — the analysis then sees the capability held across
+//     the wait, and the guarded predicate reads check out.
+//   * Quiesced paths (constructor-phase recovery, post-join teardown)
+//     that legitimately touch guarded state without the lock carry
+//     SETSKETCH_NO_THREAD_SAFETY_ANALYSIS with a comment saying why.
+
+#ifndef SETSKETCH_UTIL_THREAD_ANNOTATIONS_H_
+#define SETSKETCH_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define SETSKETCH_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SETSKETCH_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// A type that models a capability (a lockable resource).
+#define SETSKETCH_CAPABILITY(x) SETSKETCH_THREAD_ANNOTATION_(capability(x))
+
+/// An RAII type whose lifetime equals a critical section.
+#define SETSKETCH_SCOPED_CAPABILITY \
+  SETSKETCH_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member data protected by the given capability.
+#define SETSKETCH_GUARDED_BY(x) SETSKETCH_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose pointee is protected by the given capability.
+#define SETSKETCH_PT_GUARDED_BY(x) \
+  SETSKETCH_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capabilities held on entry (and keeps them).
+#define SETSKETCH_REQUIRES(...) \
+  SETSKETCH_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capabilities held (it acquires
+/// them itself; re-entry would self-deadlock on a non-recursive mutex).
+#define SETSKETCH_EXCLUDES(...) \
+  SETSKETCH_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define SETSKETCH_ACQUIRE(...) \
+  SETSKETCH_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define SETSKETCH_RELEASE(...) \
+  SETSKETCH_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; the first argument is the success value.
+#define SETSKETCH_TRY_ACQUIRE(...) \
+  SETSKETCH_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Asserts (at runtime) that the calling thread holds the capability.
+#define SETSKETCH_ASSERT_CAPABILITY(x) \
+  SETSKETCH_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define SETSKETCH_RETURN_CAPABILITY(x) \
+  SETSKETCH_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis. Every use must carry a comment
+/// explaining why the unchecked access is sound (quiesced state, lock
+/// sets of dynamic cardinality, ...).
+#define SETSKETCH_NO_THREAD_SAFETY_ANALYSIS \
+  SETSKETCH_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Marks a function as being on the hot ingest path: tools/analyze.py's
+/// `hotpath-alloc` check audits its body for heap allocation and
+/// syscalls (none allowed — the fast path must stay alloc- and
+/// syscall-free per readiness event). Under clang the marker also lands
+/// in the AST as an annotate attribute so libclang-based tooling can
+/// find it without text matching.
+#if defined(__clang__)
+#define SETSKETCH_HOT_PATH __attribute__((annotate("setsketch::hot_path")))
+#else
+#define SETSKETCH_HOT_PATH
+#endif
+
+namespace setsketch {
+
+/// std::mutex with the capability annotation attached. The standard
+/// library's mutex carries no annotations, so guarded members must name
+/// one of these instead. Satisfies Lockable, so std::condition_variable_any
+/// can wait on it directly and std::unique_lock<Mutex> still works where
+/// scoped locking genuinely cannot (document such sites).
+class SETSKETCH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SETSKETCH_ACQUIRE() { mu_.lock(); }
+  void unlock() SETSKETCH_RELEASE() { mu_.unlock(); }
+  bool try_lock() SETSKETCH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock holder, the project's std::lock_guard. Declared as a
+/// scoped capability so the analysis knows the mutex is held exactly for
+/// this object's lifetime.
+class SETSKETCH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SETSKETCH_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~MutexLock() SETSKETCH_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. condition_variable_any waits on
+/// the Mutex itself (not a unique_lock), so a wait inside a MutexLock
+/// scope type-checks: the analysis treats the capability as held
+/// throughout, which matches the lock state on both sides of the wait.
+using CondVar = std::condition_variable_any;
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_THREAD_ANNOTATIONS_H_

@@ -21,12 +21,15 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/thread_annotations.h"
+
 namespace setsketch {
 
 /// Decodes one LEB128 varint from [p, end). Returns the bytes consumed,
 /// or 0 on truncation / overlong encoding — exactly when ReadVarint
 /// returns false.
-size_t DecodeVarint(const uint8_t* p, const uint8_t* end, uint64_t* value);
+size_t DecodeVarint(const uint8_t* p, const uint8_t* end,
+                    uint64_t* value) SETSKETCH_HOT_PATH;
 
 /// Decodes up to `count` consecutive varints from [p, end) into
 /// out[0..count). Returns the number decoded — `count` unless the input
@@ -35,7 +38,7 @@ size_t DecodeVarint(const uint8_t* p, const uint8_t* end, uint64_t* value);
 /// pointing at the offending varint, where DecodeVarint reproduces the
 /// exact failure.
 size_t DecodeVarintRun(const uint8_t* p, const uint8_t* end, size_t count,
-                       uint64_t* out, size_t* consumed);
+                       uint64_t* out, size_t* consumed) SETSKETCH_HOT_PATH;
 
 /// True iff DecodeVarintRun dispatches to the SSE/BMI2 lane-scan path on
 /// this CPU (stats/bench exposure; the result is the same either way).

@@ -1,0 +1,22 @@
+// Bad: class members of arena-view type. FrameView / UpdateBatchView
+// borrow from a connection's IngestArena and are valid only for the
+// readiness-event callback; a member copy dangles on the next recv().
+// analyze-as: src/server/bad_arena_escape_member.cc
+// expect: arena-escape
+
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace setsketch {
+
+class PendingFrameQueue {
+ public:
+  size_t size() const { return frames_.size(); }
+
+ private:
+  FrameView last_;
+  std::vector<FrameView> frames_;
+};
+
+}  // namespace setsketch

@@ -1,0 +1,22 @@
+// Bad: a handler stores a field of its borrowed view into longer-lived
+// state. batch.site_id is a string_view into the connection arena; the
+// stash outlives the callback and dangles once the arena is reused.
+// analyze-as: src/server/bad_arena_escape_store.cc
+// expect: arena-escape
+
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace setsketch {
+
+std::string_view g_last_site_;
+
+void StashSite(std::string_view payload) {
+  UpdateBatchView batch;
+  std::string decode_error;
+  if (!DecodePushUpdates(payload, &batch, &decode_error)) return;
+  g_last_site_ = batch.site_id;
+}
+
+}  // namespace setsketch

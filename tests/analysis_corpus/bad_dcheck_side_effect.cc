@@ -1,0 +1,18 @@
+// Bad: the DCHECK condition mutates state. SETSKETCH_DCHECK compiles
+// out of release builds, so the increment silently disappears and
+// debug/release behavior diverges.
+// analyze-as: src/server/bad_dcheck_side_effect.cc
+// expect: dcheck-side-effect
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace setsketch {
+
+void RecordApplied(uint64_t* applied, uint64_t expected) {
+  SETSKETCH_DCHECK(++*applied <= expected)
+      << "applied " << *applied << " past " << expected;
+}
+
+}  // namespace setsketch

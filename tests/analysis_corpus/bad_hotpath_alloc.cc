@@ -1,0 +1,29 @@
+// Bad: a SETSKETCH_HOT_PATH function growing a container per element.
+// The per-update ingest kernel runs once per decoded update; allocation
+// inside it turns the zero-copy fast path back into malloc traffic.
+// analyze-as: src/server/bad_hotpath_alloc.cc
+// expect: hotpath-alloc
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+SETSKETCH_HOT_PATH size_t DecodeRunLengths(const uint8_t* p,
+                                           const uint8_t* end,
+                                           std::vector<uint64_t>* out);
+
+size_t DecodeRunLengths(const uint8_t* p, const uint8_t* end,
+                        std::vector<uint64_t>* out) {
+  size_t decoded = 0;
+  while (p < end) {
+    out->push_back(*p++);
+    ++decoded;
+  }
+  return decoded;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,18 @@
+// Bad (half 1 of a seeded cross-TU deadlock): this TU acquires
+// index_mutex_ while holding flush_mutex_; bad_lock_order_cycle_b.cc
+// acquires them in the opposite order. Neither file alone is wrong —
+// only the cross-TU graph shows the cycle.
+// analyze-as: src/server/bad_lock_order_cycle_a.cc
+// expect: lock-order
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+void WalPair::FlushThenIndex() {
+  MutexLock flush_lock(&flush_mutex_);
+  MutexLock index_lock(&index_mutex_);
+  ++flushes_;
+}
+
+}  // namespace setsketch

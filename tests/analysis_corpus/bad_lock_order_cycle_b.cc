@@ -1,0 +1,18 @@
+// Bad (half 2 of a seeded cross-TU deadlock): the opposite acquisition
+// order from bad_lock_order_cycle_a.cc. Running both threads
+// concurrently deadlocks; the analyzer's cross-TU lock graph reports
+// the cycle on both edges.
+// analyze-as: src/server/bad_lock_order_cycle_b.cc
+// expect: lock-order
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+void WalPair::IndexThenFlush() {
+  MutexLock index_lock(&index_mutex_);
+  MutexLock flush_lock(&flush_mutex_);
+  ++indexed_;
+}
+
+}  // namespace setsketch

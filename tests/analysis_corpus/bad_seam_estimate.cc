@@ -1,0 +1,17 @@
+// Bad: a query path calling the estimator kernel directly instead of
+// going through the planner, losing canonicalization, memoization, and
+// the epoch-invalidation contract.
+// analyze-as: src/server/bad_seam_estimate.cc
+// expect: seam-estimate
+
+#include "core/set_expression_estimator.h"
+
+namespace setsketch {
+
+double AnswerDirectly(const SetExpression& expression,
+                      const SketchBank& bank,
+                      const WitnessOptions& witness) {
+  return EstimateSetExpression(expression, bank, witness);
+}
+
+}  // namespace setsketch

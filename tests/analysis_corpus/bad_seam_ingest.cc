@@ -1,0 +1,17 @@
+// Bad: server code mutating the sketch bank directly. Bypassing
+// SketchServer::AdmitPush skips the WAL append, the dedup record, and
+// the ingest-epoch bump that invalidates cached plans.
+// analyze-as: src/server/bad_seam_ingest.cc
+// expect: seam-ingest
+
+#include <vector>
+
+#include "core/sketch_bank.h"
+
+namespace setsketch {
+
+void ReplayDirectly(SketchBank* bank, const std::vector<Update>& updates) {
+  bank->ApplyBatch(updates);
+}
+
+}  // namespace setsketch

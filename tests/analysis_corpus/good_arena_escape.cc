@@ -1,0 +1,26 @@
+// Good: the borrowed view stays inside the readiness-event callback;
+// anything that must outlive the call is copied into owning storage.
+// analyze-as: src/server/good_arena_escape.cc
+// expect-clean
+
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace setsketch {
+
+bool CopyFirstPayload(std::string_view data, std::string* copied_out) {
+  FrameView view;
+  size_t frame_bytes = 0;
+  WireError error = WireError::kNone;
+  std::string error_message;
+  if (ScanFrame(data, &view, &frame_bytes, &error, &error_message) !=
+      FrameScanStatus::kFrame) {
+    return false;
+  }
+  copied_out->assign(view.payload.data(), view.payload.size());
+  return true;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,19 @@
+// Good: pure-read DCHECK conditions; comparison operators (==, <=, >=)
+// must not be mistaken for assignments.
+// analyze-as: src/server/good_dcheck.cc
+// expect-clean
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace setsketch {
+
+void CheckApplied(uint64_t applied, uint64_t expected) {
+  SETSKETCH_DCHECK(applied == expected)
+      << "applied " << applied << " != " << expected;
+  SETSKETCH_DCHECK(applied <= expected + 1);
+  SETSKETCH_DCHECK(expected >= applied);
+}
+
+}  // namespace setsketch

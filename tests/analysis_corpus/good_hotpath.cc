@@ -1,0 +1,32 @@
+// Good: the hot function is pure pointer math over a caller-provided
+// buffer; the allocating helper below it is NOT marked hot, so its
+// push_back is outside the audit.
+// analyze-as: src/server/good_hotpath.cc
+// expect-clean
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+SETSKETCH_HOT_PATH size_t SumBytes(const uint8_t* p, const uint8_t* end,
+                                   uint64_t* total);
+
+size_t SumBytes(const uint8_t* p, const uint8_t* end, uint64_t* total) {
+  size_t consumed = 0;
+  while (p < end) {
+    *total += *p++;
+    ++consumed;
+  }
+  return consumed;
+}
+
+void CollectBytes(const uint8_t* p, const uint8_t* end,
+                  std::vector<uint8_t>* out) {
+  while (p < end) out->push_back(*p++);
+}
+
+}  // namespace setsketch

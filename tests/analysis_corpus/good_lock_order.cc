@@ -1,0 +1,22 @@
+// Good: both paths honor the same partial order (journal mutex before
+// segment mutex). The cross-TU graph has an edge but no cycle.
+// analyze-as: src/server/good_lock_order.cc
+// expect-clean
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+void Journal::Append() {
+  MutexLock journal_lock(&journal_mutex_);
+  MutexLock segment_lock(&segment_mutex_);
+  ++appended_;
+}
+
+void Journal::Rotate() {
+  MutexLock journal_lock(&journal_mutex_);
+  MutexLock segment_lock(&segment_mutex_);
+  ++rotations_;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,16 @@
+// Good: the planner itself is exempt — its uncached strategy wraps the
+// direct estimator call, which is the whole point of the seam.
+// analyze-as: src/query/plan_cache.cc
+// expect-clean
+
+#include "core/set_expression_estimator.h"
+
+namespace setsketch {
+
+double EstimateUncachedForTest(const SetExpression& expression,
+                               const SketchBank& bank,
+                               const WitnessOptions& witness) {
+  return EstimateSetExpression(expression, bank, witness);
+}
+
+}  // namespace setsketch

@@ -1,0 +1,18 @@
+// Good: the banned mutator names appear only in a comment and a string
+// literal. The old lint.py regex pass had no string awareness and
+// matched cases like the log text below; the analyzer must not.
+// analyze-as: src/server/good_seam_ingest.cc
+// expect-clean
+
+#include <string>
+
+namespace setsketch {
+
+// Recovery used to call ApplyBatch(updates) here before the AdmitPush
+// seam existed; see the WAL replay path for the current flow.
+std::string IngestSeamNote() {
+  return "ingest mutations like ApplyBatch(...) and MutableSketches() "
+         "must flow through AdmitPush";
+}
+
+}  // namespace setsketch

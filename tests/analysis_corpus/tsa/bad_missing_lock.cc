@@ -1,0 +1,27 @@
+// Must FAIL to compile under -Wthread-safety -Werror=thread-safety:
+// good_mutex_guards.cc with the MutexLock acquisition in Add() removed,
+// so the guarded write happens without the capability.
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+class Counter {
+ public:
+  void Add(uint64_t delta) SETSKETCH_EXCLUDES(mutex_) {
+    total_ += delta;  // error: writing total_ requires holding mutex_
+  }
+
+  uint64_t total() const SETSKETCH_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return total_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  uint64_t total_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace setsketch

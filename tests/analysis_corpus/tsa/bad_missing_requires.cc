@@ -1,0 +1,30 @@
+// Must FAIL to compile under -Wthread-safety -Werror=thread-safety:
+// good_requires_helper.cc with the SETSKETCH_REQUIRES annotation
+// removed from InsertLocked — its guarded accesses then run in a
+// function that, to the analysis, holds nothing.
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+class Registry {
+ public:
+  void Insert(uint64_t id) SETSKETCH_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    InsertLocked(id);
+  }
+
+ private:
+  void InsertLocked(uint64_t id) {
+    last_id_ = id;  // error: writing last_id_ requires holding mutex_
+    ++count_;
+  }
+
+  Mutex mutex_;
+  uint64_t last_id_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+  uint64_t count_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace setsketch

@@ -1,0 +1,30 @@
+// Must compile CLEAN under:
+//   clang++ -std=c++20 -fsyntax-only -Wthread-safety
+//           -Werror=thread-safety -I <repo>/src
+// bad_missing_lock.cc is this file minus the MutexLock acquisition in
+// Add(); the tsa corpus driver requires that deletion to diagnose.
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+class Counter {
+ public:
+  void Add(uint64_t delta) SETSKETCH_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    total_ += delta;
+  }
+
+  uint64_t total() const SETSKETCH_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return total_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  uint64_t total_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace setsketch

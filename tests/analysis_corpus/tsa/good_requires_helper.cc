@@ -1,0 +1,30 @@
+// Must compile CLEAN under -Wthread-safety -Werror=thread-safety: the
+// *Locked helper declares its precondition with SETSKETCH_REQUIRES and
+// every caller holds the mutex. bad_missing_requires.cc is this file
+// minus that one annotation.
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace setsketch {
+
+class Registry {
+ public:
+  void Insert(uint64_t id) SETSKETCH_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    InsertLocked(id);
+  }
+
+ private:
+  void InsertLocked(uint64_t id) SETSKETCH_REQUIRES(mutex_) {
+    last_id_ = id;
+    ++count_;
+  }
+
+  Mutex mutex_;
+  uint64_t last_id_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+  uint64_t count_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace setsketch

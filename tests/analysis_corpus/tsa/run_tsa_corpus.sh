@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Compile-tests the Clang Thread Safety annotation corpus:
+#
+#   good_*.cc  must compile clean under -Wthread-safety
+#              -Werror=thread-safety (the annotated Mutex/MutexLock
+#              vocabulary in src/util/thread_annotations.h works);
+#   bad_*.cc   each is a good snippet minus exactly one annotation or
+#              lock acquisition, and must produce a diagnostic — proving
+#              the analysis actually fires, not just that the macros
+#              expand.
+#
+# Requires clang++ (override with SETSKETCH_CLANGXX). Exits 77 when no
+# clang is available so ctest reports the test as SKIPPED (the
+# SKIP_RETURN_CODE registered in tests/CMakeLists.txt), keeping the
+# suite green on gcc-only boxes while CI's clang job still enforces it.
+#
+# Usage: run_tsa_corpus.sh [src-include-dir]
+
+set -euo pipefail
+
+here="$(cd "$(dirname "$0")" && pwd)"
+src="${1:-${here}/../../../src}"
+clangxx="${SETSKETCH_CLANGXX:-clang++}"
+
+if ! command -v "${clangxx}" >/dev/null 2>&1; then
+  echo "tsa corpus: ${clangxx} not found; skipping (exit 77)"
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only -Wall -Wextra -Werror
+       -Wthread-safety -Werror=thread-safety -I "${src}")
+fail=0
+
+for f in "${here}"/good_*.cc; do
+  if ! "${clangxx}" "${flags[@]}" "${f}"; then
+    echo "tsa corpus FAIL: $(basename "${f}") must compile clean" >&2
+    fail=1
+  else
+    echo "tsa corpus ok: $(basename "${f}") (clean)"
+  fi
+done
+
+for f in "${here}"/bad_*.cc; do
+  if "${clangxx}" "${flags[@]}" "${f}" 2>/dev/null; then
+    echo "tsa corpus FAIL: $(basename "${f}") must produce a" \
+         "thread-safety diagnostic" >&2
+    fail=1
+  else
+    echo "tsa corpus ok: $(basename "${f}") (diagnosed)"
+  fi
+done
+
+if [[ ${fail} -ne 0 ]]; then
+  exit 1
+fi
+echo "tsa corpus: ok"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full pre-merge correctness gate, seven stages:
+# Full pre-merge correctness gate, eight stages:
 #
 #   1. release   Release build + full test suite + bench smoke (the
 #                update-kernel, fault-tolerance, ingest-path and
@@ -30,6 +30,14 @@
 #   7. tidy      tools/lint.py source hygiene + validate_bench_json.py
 #                --schema-only + clang-tidy over the library (skipped
 #                with a notice when clang-tidy is not installed).
+#   8. analysis  compile-time concurrency contracts: a clang build under
+#                -Wthread-safety -Werror=thread-safety
+#                (SETSKETCH_THREAD_SAFETY=ON) plus the annotation corpus
+#                (skipped with a notice when clang++ is not installed),
+#                then tools/analyze.py over the tree (arena-view
+#                escapes, ingest/estimator seam routing, DCHECK side
+#                effects, cross-TU lock-order cycles, hot-path
+#                allocation audit) and its good/bad snippet corpus.
 #
 # The whole tree builds with -Wall -Wextra -Werror in every stage.
 #
@@ -46,13 +54,13 @@ cd "$(dirname "$0")/.."
 prefix="build-check"
 if [[ $# -gt 0 ]]; then
   case "$1" in
-    release|asan|tsan|ubsan|chaos|cluster|tidy) ;;  # A stage name.
+    release|asan|tsan|ubsan|chaos|cluster|tidy|analysis) ;;  # A stage name.
     *) prefix="$1"; shift ;;
   esac
 fi
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(release asan tsan ubsan chaos cluster tidy)
+  stages=(release asan tsan ubsan chaos cluster tidy analysis)
 fi
 jobs="${SETSKETCH_CHECK_JOBS:-$(nproc)}"
 
@@ -408,6 +416,32 @@ stage_tidy() {
     echo "=== clang-tidy not installed; skipping the tidy build ==="
     echo "    (install clang-tidy and re-run tools/check.sh tidy)"
   fi
+}
+
+stage_analysis() {
+  # Thread-safety contracts need clang; the analyzer itself does not.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== thread-safety build (SETSKETCH_THREAD_SAFETY=ON) ==="
+    cmake -B "${prefix}-analysis" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_COMPILER=clang++ -DSETSKETCH_THREAD_SAFETY=ON \
+      >/dev/null
+    cmake --build "${prefix}-analysis" -j "${jobs}"
+    echo "=== thread-safety annotation corpus ==="
+    tests/analysis_corpus/tsa/run_tsa_corpus.sh src
+  else
+    echo "=== clang++ not installed; skipping the thread-safety build ==="
+    echo "    (install clang and re-run tools/check.sh analysis)"
+  fi
+  echo "=== analyzer corpus (tools/analyze.py --corpus) ==="
+  python3 tools/analyze.py --corpus tests/analysis_corpus
+  echo "=== analyzer over the production tree ==="
+  # Prefer a build tree that has compile_commands.json for the libclang
+  # frontend; the lexer frontend covers boxes without one.
+  local analyze_build="${prefix}-analysis"
+  if [[ ! -f "${analyze_build}/compile_commands.json" ]]; then
+    analyze_build="${prefix}-release"
+  fi
+  python3 tools/analyze.py --build-dir "${analyze_build}"
 }
 
 for stage in "${stages[@]}"; do

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Source-hygiene lint for the setsketch tree (stage 5 of tools/check.sh).
+"""Source-hygiene lint for the setsketch tree (tidy stage of check.sh).
 
 Checks, over src/ (and where noted, the whole C++ tree):
 
@@ -15,9 +15,12 @@ Checks, over src/ (and where noted, the whole C++ tree):
   * include hygiene: no quoted-relative ("../foo.h" or "./foo.h")
     includes — all project includes are root-relative like
     "core/sketch_seed.h"; and no <assert.h>/<cassert> includes in src/.
-  * planner routing: no direct EstimateSetExpression calls in src/
-    outside the estimator itself, the plan cache, and the distributed
-    coordinator — query paths must go through query/plan_cache.h.
+
+Architectural seam checks (planner routing, ingest mutation routing,
+arena-borrow lifetimes, lock order, hot-path allocation) live in
+tools/analyze.py — a token/AST-aware pass that, unlike this per-line
+regex lint, cannot be fooled by comments or string literals. This file
+stays regex-simple on purpose: non-C++-semantic hygiene only.
 
 Exit status: 0 clean, 1 findings (each printed as path:line: message),
 2 usage error. Pure stdlib; safe for CI stages with no build tree.
@@ -50,22 +53,6 @@ BANNED_IN_SRC = [
     ),
 ]
 
-# Every query path must run through the planner (query/plan_cache.h) so
-# canonicalization, memoization, and the epoch-invalidation contract hold
-# tree-wide. Direct EstimateSetExpression calls in src/ are banned outside
-#   * the estimator's own definition,
-#   * the planner (its uncached strategy wraps the direct call), and
-#   * the distributed coordinator, whose site-merged groups are not a
-#     SketchBank view and therefore have no epochs to cache against.
-# Tests and benches may call it freely (they prove planner equivalence).
-DIRECT_ESTIMATOR = re.compile(r"(?<![\w:.])EstimateSetExpression\s*\(")
-DIRECT_ESTIMATOR_EXEMPT = {
-    "src/core/set_expression_estimator.h",
-    "src/core/set_expression_estimator.cc",
-    "src/query/plan_cache.cc",
-    "src/distributed/coordinator.cc",
-}
-
 RELATIVE_INCLUDE = re.compile(r'#\s*include\s*"\.\.?/')
 GUARD_IFNDEF = re.compile(r"#ifndef\s+(SETSKETCH_[A-Z0-9_]+_H_)")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -79,21 +66,15 @@ def strip_comment(line: str) -> str:
 def lint_file(
     path: Path, in_src: bool, findings: list, rel: str = ""
 ) -> None:
+    del rel  # Path-scoped seam exemptions moved to tools/analyze.py.
     text = path.read_text(encoding="utf-8")
     lines = text.split("\n")
-    estimator_banned = in_src and rel not in DIRECT_ESTIMATOR_EXEMPT
     for lineno, raw in enumerate(lines, start=1):
         line = strip_comment(raw)
         if in_src:
             for pattern, message in BANNED_IN_SRC:
                 if pattern.search(line):
                     findings.append(f"{path}:{lineno}: {message}")
-        if estimator_banned and DIRECT_ESTIMATOR.search(line):
-            findings.append(
-                f"{path}:{lineno}: direct EstimateSetExpression call: "
-                "route queries through query/plan_cache.h (PlanCache::"
-                "Query / EstimateUncached)"
-            )
         if RELATIVE_INCLUDE.search(line):
             findings.append(
                 f"{path}:{lineno}: relative include: use a root-relative "
