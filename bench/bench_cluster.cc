@@ -1,5 +1,6 @@
 // Cluster-mode overhead: what routing costs on top of a single node, and
-// what the router's epoch-aware summary cache buys back. Six sweeps:
+// what the router's epoch-aware summary cache buys back — plus the
+// self-healing turnaround. Seven sweeps:
 //   ClusterIngest/single_node        loopback pushes straight to one server,
 //   ClusterIngest/router_fanout      the same pushes through the router
 //                                    (3 shards, no replication),
@@ -10,7 +11,12 @@
 //                                    each (every summary re-pulled in full),
 //   ClusterQuery/federated_hot       federated repeated queries (summaries
 //                                    answered kUnchanged from the router's
-//                                    epoch cache).
+//                                    epoch cache),
+//   ClusterRepair/time_to_readmit    kill a shard mid-ingest, restart it
+//                                    empty, and time one RepairShard call:
+//                                    anti-entropy transfer from healthy
+//                                    replicas through verified
+//                                    re-admission (1 op = 1 readmission).
 //
 // Emits a JSON perf trajectory (BENCH_cluster.json, or the path in
 // SETSKETCH_BENCH_JSON) validated by tools/validate_bench_json.py.
@@ -252,6 +258,72 @@ int main() {
                 << " summary_streams_unchanged="
                 << stats.summary_streams_unchanged << "\n\n";
     }
+    router.Stop();
+  }
+
+  // --- self-healing: time from "the crashed shard answers again" to its
+  // verified re-admission. The shard restarts EMPTY (no WAL), so the
+  // repair is a full anti-entropy transfer of every stream it owns from
+  // the healthy replicas, dedup watermarks included.
+  {
+    ClusterRouter router(route(/*replicas=*/1));
+    if (!router.Start(&error) || router.ProbeAll() != shards.size()) {
+      std::cerr << "repair-bench router start failed: " << error << "\n";
+      return 1;
+    }
+    SketchClient::Options client_options;
+    client_options.port = router.port();
+    client_options.site_id = "bench-heal";
+    auto client = SketchClient::Connect(client_options, &error);
+    if (client == nullptr) {
+      std::cerr << "repair-bench connect failed: " << error << "\n";
+      return 1;
+    }
+    const int64_t heal_batches = std::max<int64_t>(8, batches / 4);
+    for (int64_t i = 0; i < heal_batches; ++i) {
+      if (!client->PushUpdatesWithRetry(
+                     MakeBatch(static_cast<int>(i), per_batch))
+               .ok) {
+        std::cerr << "repair-bench push failed\n";
+        return 1;
+      }
+    }
+    const std::string owner = router.WriteTargets("A")[0];
+    size_t owner_index = 0;
+    for (size_t i = 0; i < router.options().shards.size(); ++i) {
+      if (router.options().shards[i].name == owner) owner_index = i;
+    }
+    const int owner_port = shards[owner_index]->port();
+    shards[owner_index]->Stop();
+    for (int64_t i = heal_batches; i < 2 * heal_batches; ++i) {
+      if (!client->PushUpdatesWithRetry(
+                     MakeBatch(static_cast<int>(i), per_batch))
+               .ok) {
+        std::cerr << "repair-bench push (degraded) failed\n";
+        return 1;
+      }
+    }
+    SketchServer::Options reborn = ShardOptions();
+    reborn.port = owner_port;
+    shards[owner_index] = std::make_unique<SketchServer>(reborn);
+    if (!shards[owner_index]->Start(&error)) {
+      std::cerr << "repair-bench shard restart failed: " << error << "\n";
+      return 1;
+    }
+    Stopwatch heal_watch;
+    if (!router.RepairShard(owner, &error)) {
+      std::cerr << "repair-bench repair failed: " << error << "\n";
+      return 1;
+    }
+    record("ClusterRepair/time_to_readmit", heal_watch.Seconds(), 1);
+    const ClusterRouter::StatsSnapshot stats = router.stats();
+    if (stats.stale_shards != 0 || stats.readmissions < 1) {
+      std::cerr << "repair-bench did not re-admit the shard\n";
+      return 1;
+    }
+    std::cout << "self-healing counters: repairs=" << stats.repairs
+              << " readmissions=" << stats.readmissions
+              << " degraded_answers=" << stats.degraded_answers << "\n\n";
     router.Stop();
   }
 

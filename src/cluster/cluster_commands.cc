@@ -1,6 +1,9 @@
 #include "cluster/cluster_commands.h"
 
+#include <memory>
 #include <sstream>
+
+#include "server/sketch_client.h"
 
 namespace setsketch {
 
@@ -49,6 +52,49 @@ bool ParseShardList(const std::string& text,
   return true;
 }
 
+CommandResult RunRouteAdmin(const RouteAdminSpec& spec) {
+  const bool add = spec.action == "add-shard";
+  const bool drain = spec.action == "drain-shard";
+  if (!add && !drain) {
+    return Fail("unknown admin action '" + spec.action +
+                "' (expected add-shard or drain-shard)");
+  }
+  if (spec.router_port <= 0) return Fail("--router-port is required");
+  if (spec.shard.name.empty()) return Fail("shard name is required");
+  if (add && (spec.shard.host.empty() || spec.shard.port <= 0)) {
+    return Fail("add-shard needs the joining server's host:port");
+  }
+
+  SketchClient::Options client_options;
+  client_options.host = spec.router_host;
+  client_options.port = spec.router_port;
+  client_options.io_timeout_ms = spec.io_timeout_ms;
+  client_options.connect_timeout_ms = spec.connect_timeout_ms;
+  std::string error;
+  std::unique_ptr<SketchClient> client =
+      SketchClient::Connect(client_options, &error);
+  if (client == nullptr) {
+    return Fail("cannot reach router at " + spec.router_host + ":" +
+                std::to_string(spec.router_port) + ": " + error);
+  }
+
+  ShardAdminRequest request;
+  request.name = spec.shard.name;
+  request.host = spec.shard.host;
+  request.port = spec.shard.port;
+  const SketchClient::Status status =
+      add ? client->AddShard(request) : client->DrainShard(request);
+  if (!status.ok) return Fail(status.error);
+
+  CommandResult result;
+  result.ok = true;
+  std::ostringstream out;
+  out << (add ? "added" : "drained") << " shard '" << spec.shard.name
+      << "' (" << status.accepted << " streams migrated)\n";
+  result.output = out.str();
+  return result;
+}
+
 CommandResult RunRoute(const ClusterRouter::Options& options,
                        std::ostream* announce) {
   if (!options.params.Valid()) return Fail("invalid sketch parameters");
@@ -78,8 +124,10 @@ CommandResult RunRoute(const ClusterRouter::Options& options,
       << stats.updates_forwarded << " forwarded updates, "
       << stats.push_bounces << " bounces, " << stats.forward_failures
       << " forward failures), " << stats.queries_answered << " queries ("
-      << stats.failovers << " failovers) across " << stats.shards
-      << " shards\n";
+      << stats.failovers << " failovers, " << stats.degraded_answers
+      << " degraded) across " << stats.shards << " shards ("
+      << stats.repairs << " repairs, " << stats.readmissions
+      << " readmissions)\n";
   result.output = out.str();
   return result;
 }

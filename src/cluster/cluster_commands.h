@@ -25,6 +25,21 @@ bool ParseShardList(const std::string& text,
 CommandResult RunRoute(const ClusterRouter::Options& options,
                        std::ostream* announce = nullptr);
 
+/// `sketchtool route add-shard|drain-shard`: dials a RUNNING router at
+/// router_host:router_port and asks it to change membership online.
+/// For "add-shard", `shard` names the joining server (host:port
+/// required); for "drain-shard" only `shard.name` matters. Reports the
+/// number of streams migrated on success.
+struct RouteAdminSpec {
+  std::string action;  ///< "add-shard" or "drain-shard".
+  std::string router_host = "127.0.0.1";
+  int router_port = 0;
+  ClusterShard shard;
+  int io_timeout_ms = 30000;
+  int connect_timeout_ms = 5000;
+};
+CommandResult RunRouteAdmin(const RouteAdminSpec& spec);
+
 }  // namespace setsketch
 
 #endif  // SETSKETCH_CLUSTER_CLUSTER_COMMANDS_H_

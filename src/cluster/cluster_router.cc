@@ -22,11 +22,93 @@ namespace setsketch {
 
 namespace {
 
+constexpr uint64_t kProbeBackoffSalt = 0x726F757470726F62ULL;  // "routprob"
+
 std::string ErrorFrame(WireError code, std::string_view message) {
   return EncodeFrame(Opcode::kError, EncodeError(code, message));
 }
 
+/// RAII shared hold on the write gate for the push fan-out path.
+class SharedGate {
+ public:
+  explicit SharedGate(RwGate* gate) : gate_(gate) { gate_->LockShared(); }
+  ~SharedGate() { gate_->UnlockShared(); }
+  SharedGate(const SharedGate&) = delete;
+  SharedGate& operator=(const SharedGate&) = delete;
+
+ private:
+  RwGate* gate_;
+};
+
+/// RAII exclusive hold on the write gate for transfers.
+class ExclusiveGate {
+ public:
+  explicit ExclusiveGate(RwGate* gate) : gate_(gate) {
+    gate_->LockExclusive();
+  }
+  ~ExclusiveGate() { gate_->UnlockExclusive(); }
+  ExclusiveGate(const ExclusiveGate&) = delete;
+  ExclusiveGate& operator=(const ExclusiveGate&) = delete;
+
+ private:
+  RwGate* gate_;
+};
+
+/// Router-side view of a per-site dedup window (mirrors DedupWindow in
+/// server/wal.h: bit i of `bits` marks sequence (high - i) as recorded;
+/// older bits age by shifting left).
+struct Window {
+  uint64_t high = 0;
+  uint64_t bits = 0;
+};
+
+void MergeWindowInto(Window* w, uint64_t high, uint64_t bits) {
+  if (high == 0) return;
+  if (w->high == 0) {
+    w->high = high;
+    w->bits = bits;
+    return;
+  }
+  if (high > w->high) {
+    const uint64_t shift = high - w->high;
+    w->bits = (shift >= 64 ? 0 : w->bits << shift) | bits;
+    w->high = high;
+  } else {
+    const uint64_t shift = w->high - high;
+    w->bits |= shift >= 64 ? 0 : bits << shift;
+  }
+}
+
+/// True when `have` already records every sequence `want` records.
+/// Sequences older than have.high - 63 are conservatively treated as
+/// seen, matching DedupWindow::Seen.
+bool WindowCovers(const Window& have, const Window& want) {
+  if (want.high == 0) return true;
+  if (have.high < want.high) return false;
+  for (int i = 0; i < 64; ++i) {
+    if (((want.bits >> i) & 1) == 0) continue;
+    const uint64_t sequence = want.high - static_cast<uint64_t>(i);
+    if (sequence == 0) continue;
+    const uint64_t age = have.high - sequence;
+    if (age >= 64) continue;
+    if (((have.bits >> age) & 1) == 0) return false;
+  }
+  return true;
+}
+
+std::string InDoubtKey(const std::string& site, uint64_t sequence) {
+  return site + '#' + std::to_string(sequence);
+}
+
 }  // namespace
+
+ClusterRouter::ShardState::ShardState(const ClusterShard& shard_in,
+                                      int backoff_initial_ms,
+                                      int backoff_cap_ms)
+    : shard(shard_in),
+      probe_backoff(backoff_initial_ms, backoff_cap_ms,
+                    Backoff::DeriveSeed(kProbeBackoffSalt, shard_in.name,
+                                        shard_in.port)) {}
 
 ClusterRouter::ClusterRouter(const Options& options)
     : options_(options),
@@ -47,17 +129,22 @@ ClusterRouter::ClusterRouter(const Options& options)
                  options.placement_seed, options.virtual_nodes),
       plan_cache_(PlanCache::Options{options.witness, /*max_entries=*/1}) {
   if (options_.replicas < 0) options_.replicas = 0;
-  shards_.reserve(options_.shards.size());
+  // Capacity for the initial membership plus every future ADD_SHARD is
+  // reserved up front so shards_ never reallocates: lock-free readers
+  // index it up to num_shards_ while ADD_SHARD appends.
+  shards_.reserve(options_.shards.size() + options_.max_dynamic_shards);
   for (const ClusterShard& shard : options_.shards) {
-    auto state = std::make_unique<ShardState>();
-    state->shard = shard;
-    if (state->shard.name.empty()) {
-      state->shard.name =
-          state->shard.host + ":" + std::to_string(state->shard.port);
+    ClusterShard named = shard;
+    if (named.name.empty()) {
+      named.name = named.host + ":" + std::to_string(named.port);
     }
-    shard_index_by_name_.emplace(state->shard.name, shards_.size());
+    auto state = std::make_unique<ShardState>(
+        named, options_.probe_backoff_initial_ms,
+        options_.probe_backoff_cap_ms);
+    shard_index_by_name_.emplace(named.name, shards_.size());
     shards_.push_back(std::move(state));
   }
+  num_shards_.store(shards_.size());
 }
 
 ClusterRouter::~ClusterRouter() { Stop(); }
@@ -236,6 +323,44 @@ std::string ClusterRouter::HandleFrame(const Frame& frame,
     case Opcode::kExplain:
       return EncodeFrame(Opcode::kExplainResult,
                          ExplainPlacement(frame.payload));
+    case Opcode::kAddShard: {
+      ShardAdminRequest request;
+      std::string decode_error;
+      if (!DecodeShardAdmin(frame.payload, &request, &decode_error)) {
+        ++connection->errors;
+        ++protocol_errors_;
+        return ErrorFrame(WireError::kBadPayload, decode_error);
+      }
+      ClusterShard shard;
+      shard.name = request.name;
+      shard.host = request.host;
+      shard.port = request.port;
+      uint64_t moved = 0;
+      std::string admin_error;
+      if (!AddShard(shard, &moved, &admin_error)) {
+        return ErrorFrame(WireError::kBadMembership, admin_error);
+      }
+      AckInfo ack;
+      ack.accepted = moved;
+      return EncodeFrame(Opcode::kAck, EncodeAck(ack));
+    }
+    case Opcode::kDrainShard: {
+      ShardAdminRequest request;
+      std::string decode_error;
+      if (!DecodeShardAdmin(frame.payload, &request, &decode_error)) {
+        ++connection->errors;
+        ++protocol_errors_;
+        return ErrorFrame(WireError::kBadPayload, decode_error);
+      }
+      uint64_t moved = 0;
+      std::string admin_error;
+      if (!DrainShard(request.name, &moved, &admin_error)) {
+        return ErrorFrame(WireError::kBadMembership, admin_error);
+      }
+      AckInfo ack;
+      ack.accepted = moved;
+      return EncodeFrame(Opcode::kAck, EncodeAck(ack));
+    }
     case Opcode::kShutdown: {
       draining_.store(true);
       // The lifecycle notify is deferred until the ACK below has been
@@ -247,6 +372,8 @@ std::string ClusterRouter::HandleFrame(const Frame& frame,
     }
     case Opcode::kPushSummary:
     case Opcode::kPullSummary:
+    case Opcode::kPullRepair:
+    case Opcode::kPushRepair:
       ++connection->errors;
       ++protocol_errors_;
       return ErrorFrame(WireError::kBadPayload,
@@ -262,7 +389,7 @@ std::string ClusterRouter::HandleFrame(const Frame& frame,
 }
 
 bool ClusterRouter::EnsureClientLocked(ShardState* state) {
-  if (state->refused.load()) return false;
+  if (state->Has(kShardRefused) || state->Has(kShardRemoved)) return false;
   if (state->client == nullptr) {
     SketchClient::Options client_options;
     client_options.host = state->shard.host;
@@ -272,11 +399,7 @@ bool ClusterRouter::EnsureClientLocked(ShardState* state) {
     client_options.fault_injector = options_.shard_fault_injector;
     std::string dial_error;
     state->client = SketchClient::Connect(client_options, &dial_error);
-    if (state->client == nullptr) {
-      state->healthy.store(false);
-      ++state->failures;
-      return false;
-    }
+    if (state->client == nullptr) return false;
     // Handshake every fresh connection: the config gate must hold for
     // the shard process currently answering, not one that once did.
     HelloInfo mine;
@@ -289,21 +412,16 @@ bool ClusterRouter::EnsureClientLocked(ShardState* state) {
     if (!hello.ok) {
       // A transport failure is retryable; a peer that answered but could
       // not be config-checked (or disagreed) is permanently refused.
-      if (state->client->connected()) state->refused.store(true);
+      if (state->client->connected()) state->Set(kShardRefused);
       state->client.reset();
-      state->healthy.store(false);
-      ++state->failures;
       return false;
     }
     if (!mine.ConfigMatches(theirs) ||
         (theirs.features & kFeatureSummaryPull) == 0) {
-      state->refused.store(true);
+      state->Set(kShardRefused);
       state->client.reset();
-      state->healthy.store(false);
-      ++state->failures;
       return false;
     }
-    state->healthy.store(true);
   }
   return true;
 }
@@ -321,31 +439,59 @@ SketchClient::Status ClusterRouter::WithShard(
     if (!EnsureClientLocked(state)) {
       status.ok = false;
       if (status.error.empty()) {
-        status.error = state->refused.load()
+        status.error = state->Has(kShardRefused)
                            ? "shard refused (CONFIG_MISMATCH)"
+                       : state->Has(kShardRemoved)
+                           ? "shard removed from membership"
                            : "shard unreachable";
       }
       continue;
     }
     status = op(*state->client);
     if (status.ok || status.retry) {
-      state->healthy.store(true);
+      state->Set(kShardHealthy);
       return status;
     }
     // Transport failures close the client's socket; drop it so the next
     // attempt (or call) redials. Server-side typed errors keep it.
     if (!state->client->connected()) state->client.reset();
   }
-  state->healthy.store(false);
+  // Real forward-op failures flip health immediately — flap damping
+  // applies only to background probes (ProbeLoop).
+  state->ClearBit(kShardHealthy);
   ++state->failures;
   return status;
 }
 
-std::vector<size_t> ClusterRouter::TargetIndices(
-    const std::string& stream) const {
-  std::vector<size_t> indices;
+bool ClusterRouter::ProbeLocked(ShardState* state) {
+  // Like WithShard's retry shape, but with no health-bit writes: the
+  // probe loop owns the healthy transition so it can apply flap damping.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!EnsureClientLocked(state)) {
+      if (state->Has(kShardRefused) || state->Has(kShardRemoved)) {
+        return false;
+      }
+      continue;
+    }
+    const SketchClient::Status status = state->client->Ping();
+    if (status.ok) return true;
+    if (!state->client->connected()) state->client.reset();
+  }
+  return false;
+}
+
+std::vector<size_t> ClusterRouter::TargetIndices(const std::string& stream,
+                                                 bool for_write) const {
+  MutexLock lock(&placement_mutex_);
+  if (for_write) {
+    // An active migration dual-writes the moved streams to the union of
+    // old and new targets until the ring flips.
+    const auto it = write_overlay_.find(stream);
+    if (it != write_overlay_.end()) return it->second;
+  }
   const std::vector<std::string> names = placement_.Targets(
       stream, static_cast<size_t>(options_.replicas) + 1);
+  std::vector<size_t> indices;
   indices.reserve(names.size());
   for (const std::string& name : names) {
     indices.push_back(shard_index_by_name_.at(name));
@@ -355,30 +501,85 @@ std::vector<size_t> ClusterRouter::TargetIndices(
 
 std::vector<std::string> ClusterRouter::WriteTargets(
     const std::string& stream) const {
+  MutexLock lock(&placement_mutex_);
   return placement_.Targets(stream,
                             static_cast<size_t>(options_.replicas) + 1);
 }
 
 int ClusterRouter::ReadTargetIndex(const std::string& stream,
-                                   bool* failover) const {
+                                   bool* failover, bool* degraded) const {
   if (failover != nullptr) *failover = false;
-  const std::vector<size_t> targets = TargetIndices(stream);
+  if (degraded != nullptr) *degraded = false;
+  const std::vector<size_t> targets =
+      TargetIndices(stream, /*for_write=*/false);
   for (size_t k = 0; k < targets.size(); ++k) {
-    const ShardState& state = *shards_[targets[k]];
-    if (state.refused.load() || state.stale.load() ||
-        !state.healthy.load()) {
+    const uint32_t health = shards_[targets[k]]->health.load();
+    if ((health & (kShardRefused | kShardRemoved | kShardStale)) != 0) {
       continue;
     }
+    if ((health & kShardHealthy) == 0) continue;
     if (failover != nullptr && k > 0) *failover = true;
     return static_cast<int>(targets[k]);
+  }
+  if (options_.read_policy == ReadPolicy::kAvailable) {
+    // Every complete copy is gone; answer from the best reachable
+    // replica (stale but alive) and flag the result degraded.
+    for (size_t k = 0; k < targets.size(); ++k) {
+      const uint32_t health = shards_[targets[k]]->health.load();
+      if ((health & (kShardRefused | kShardRemoved)) != 0) continue;
+      if ((health & kShardHealthy) == 0) continue;
+      if (failover != nullptr && k > 0) *failover = true;
+      if (degraded != nullptr) *degraded = true;
+      return static_cast<int>(targets[k]);
+    }
   }
   return -1;
 }
 
 std::string ClusterRouter::ReadTarget(const std::string& stream) const {
-  const int index = ReadTargetIndex(stream, nullptr);
+  const int index = ReadTargetIndex(stream, nullptr, nullptr);
   return index < 0 ? std::string()
                    : shards_[static_cast<size_t>(index)]->shard.name;
+}
+
+void ClusterRouter::RecordInDoubt(const std::string& site,
+                                  uint64_t sequence) {
+  MutexLock lock(&in_doubt_mutex_);
+  in_doubt_.insert(InDoubtKey(site, sequence));
+}
+
+void ClusterRouter::ClearInDoubt(const std::string& site,
+                                 uint64_t sequence) {
+  bool drained = false;
+  {
+    MutexLock lock(&in_doubt_mutex_);
+    if (in_doubt_.erase(InDoubtKey(site, sequence)) > 0) {
+      drained = in_doubt_.empty();
+    }
+  }
+  if (drained) in_doubt_cv_.notify_all();
+}
+
+bool ClusterRouter::WaitInDoubtDrained(std::string* error) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.transfer_quiesce_timeout_ms);
+  MutexLock lock(&in_doubt_mutex_);
+  while (!in_doubt_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      if (error != nullptr) {
+        *error = std::to_string(in_doubt_.size()) +
+                 " in-doubt write(s) still awaiting client retry";
+      }
+      return false;
+    }
+    in_doubt_cv_.wait_for(
+        in_doubt_mutex_,
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              now));
+  }
+  return true;
 }
 
 std::string ClusterRouter::HandlePushUpdates(const Frame& frame,
@@ -394,6 +595,10 @@ std::string ClusterRouter::HandlePushUpdates(const Frame& frame,
     return ErrorFrame(WireError::kShuttingDown, "router is draining");
   }
 
+  // Shared hold on the write gate: repair/migration transfers take it
+  // exclusive, so their snapshots never interleave with a fan-out.
+  SharedGate gate(&write_gate_);
+
   // Partition the batch by placed shard: every stream goes to its owner
   // plus replicas, each sub-batch keeping the ORIGINAL (site, sequence)
   // header so the shards' dedup windows see the client's identity.
@@ -406,15 +611,17 @@ std::string ClusterRouter::HandlePushUpdates(const Frame& frame,
       batch.stream_names.size());
   for (size_t k = 0; k < batch.stream_names.size(); ++k) {
     const std::string& name = batch.stream_names[k];
-    const std::vector<size_t> placed = TargetIndices(name);
+    const std::vector<size_t> placed =
+        TargetIndices(name, /*for_write=*/true);
     for (const size_t shard_index : placed) {
       ShardState& state = *shards_[shard_index];
-      if (state.refused.load()) continue;
-      if (!state.healthy.load()) {
+      const uint32_t health = state.health.load();
+      if ((health & (kShardRefused | kShardRemoved)) != 0) continue;
+      if ((health & kShardHealthy) == 0) {
         // A placed copy is being skipped: that shard's view of this
-        // stream is now incomplete until recovery + re-push, so it must
+        // stream is now incomplete until anti-entropy repair, so it must
         // not serve reads.
-        state.stale.store(true);
+        state.Set(kShardStale);
         continue;
       }
       shards_of_stream[k].push_back(shard_index);
@@ -447,31 +654,37 @@ std::string ClusterRouter::HandlePushUpdates(const Frame& frame,
 
   // Forward sequentially; all-or-RETRY. A partial fan-out is safe to
   // retry: shards that already applied this (site, sequence) re-ACK as
-  // duplicates without re-applying.
+  // duplicates without re-applying. Partially-applied identities are
+  // recorded in-doubt so transfers wait for the retry to land.
   bool all_duplicate = true;
+  bool any_applied = false;
   for (auto& [shard_index, sub] : per_shard) {
     const SketchClient::Status status = WithShard(
         shard_index, [&sub](SketchClient& client) {
           return client.ForwardUpdates(sub.batch);
         });
-    if (status.retry) {
+    if (status.retry || !status.ok) {
+      if (!status.retry) {
+        ++forward_failures_;
+        // The shard just died mid-fan-out: its placed copies missed this
+        // write. Surface as backpressure; the client's retry loop
+        // re-pushes the same sequence and the dedup window dedupes the
+        // survivors.
+        shards_[shard_index]->Set(kShardStale);
+      }
       ++push_bounces_;
+      if (any_applied && !batch.site_id.empty()) {
+        RecordInDoubt(batch.site_id, batch.sequence);
+      }
       return EncodeFrame(Opcode::kRetryLater, "");
     }
-    if (!status.ok) {
-      ++forward_failures_;
-      // The shard just died mid-fan-out: its placed copies missed this
-      // write. Surface as backpressure; the client's retry loop re-pushes
-      // the same sequence and the dedup window dedupes the survivors.
-      shards_[shard_index]->stale.store(true);
-      ++push_bounces_;
-      return EncodeFrame(Opcode::kRetryLater, "");
-    }
+    any_applied = true;
     if (!status.duplicate) all_duplicate = false;
     ++subbatches_forwarded_;
     updates_forwarded_ += sub.batch.updates.size();
   }
   ++pushes_forwarded_;
+  if (!batch.site_id.empty()) ClearInDoubt(batch.site_id, batch.sequence);
   return EncodeFrame(
       Opcode::kAck,
       EncodeAck(AckInfo{batch.updates.size(), false,
@@ -498,15 +711,18 @@ QueryResultInfo ClusterRouter::Answer(const std::string& expression_text) {
   // Route every stream to its current read target, then pull summaries
   // shard by shard — sending the cached (bank_id, epoch) so unchanged
   // streams come back as one state byte.
+  bool degraded_any = false;
   std::map<size_t, std::vector<std::string>> names_by_shard;
   for (const std::string& name : names) {
     bool failover = false;
-    const int target = ReadTargetIndex(name, &failover);
+    bool degraded = false;
+    const int target = ReadTargetIndex(name, &failover, &degraded);
     if (target < 0) {
       result.error = "stream '" + name + "' has no healthy shard";
       return result;
     }
     if (failover) ++failovers_;
+    if (degraded) degraded_any = true;
     names_by_shard[static_cast<size_t>(target)].push_back(name);
   }
   for (const auto& [shard_index, shard_names] : names_by_shard) {
@@ -600,6 +816,10 @@ QueryResultInfo ClusterRouter::Answer(const std::string& expression_text) {
     result.error = "estimation failed (no valid witness observations)";
     return result;
   }
+  if (degraded_any) {
+    result.degraded = true;
+    ++degraded_answers_;
+  }
   result.lo = direct.interval.lo;
   result.hi = direct.interval.hi;
   return result;
@@ -616,9 +836,13 @@ std::string ClusterRouter::ExplainPlacement(const std::string& text) const {
     names.push_back(text);
   }
   std::ostringstream out;
-  out << "placement "
-      << (placement_.mode() == Placement::Mode::kRing ? "ring" : "static")
-      << " replicas " << options_.replicas << "\n";
+  {
+    MutexLock lock(&placement_mutex_);
+    out << "placement "
+        << (placement_.mode() == Placement::Mode::kRing ? "ring"
+                                                        : "static")
+        << " replicas " << options_.replicas << "\n";
+  }
   for (const std::string& name : names) {
     out << "stream " << name << " targets=";
     const std::vector<std::string> targets = WriteTargets(name);
@@ -634,21 +858,36 @@ std::string ClusterRouter::ExplainPlacement(const std::string& text) const {
 
 size_t ClusterRouter::ProbeAll() {
   size_t healthy = 0;
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  const size_t n = num_shards_.load();
+  std::vector<size_t> to_repair;
+  for (size_t i = 0; i < n; ++i) {
+    ShardState* state = shards_[i].get();
+    if (state->Has(kShardRemoved)) continue;
     ++probes_;
     const SketchClient::Status status =
         WithShard(i, [](SketchClient& client) { return client.Ping(); });
-    if (status.ok) ++healthy;
+    if (status.ok) {
+      ++healthy;
+      if (state->Has(kShardStale) && options_.auto_repair) {
+        to_repair.push_back(i);
+      }
+    }
+  }
+  // A stale shard that answers again is repaired and re-admitted in
+  // place — no router restart.
+  for (const size_t i : to_repair) {
+    MutexLock admin(&membership_mutex_);
+    RepairShardLocked(i, nullptr);
   }
   return healthy;
 }
 
 void ClusterRouter::ProbeLoop() {
   // The lock is taken per iteration (instead of held across the loop with
-  // unlock/lock around ProbeAll) so the thread-safety analysis can see
-  // every acquire/release pair. Stop() notifies without the lock held;
-  // since the wait is timed, a missed notify only delays exit by one
-  // probe interval — the same bound as the original shape.
+  // unlock/lock around the probe sweep) so the thread-safety analysis can
+  // see every acquire/release pair. Stop() notifies without the lock
+  // held; since the wait is timed, a missed notify only delays exit by
+  // one probe interval.
   while (!draining_.load()) {
     {
       MutexLock lock(&probe_mutex_);
@@ -659,8 +898,689 @@ void ClusterRouter::ProbeLoop() {
       }
     }
     if (draining_.load()) break;
-    ProbeAll();
+    const auto now = std::chrono::steady_clock::now();
+    const size_t n = num_shards_.load();
+    std::vector<size_t> to_repair;
+    for (size_t i = 0; i < n; ++i) {
+      ShardState* state = shards_[i].get();
+      if (state->Has(kShardRefused) || state->Has(kShardRemoved)) continue;
+      // Capped-exponential backoff per failing shard: a dead shard is
+      // redialed at widening intervals instead of every tick.
+      if (now < state->next_probe_at) continue;
+      ++probes_;
+      bool up;
+      {
+        MutexLock lock(&state->mutex);
+        up = ProbeLocked(state);
+      }
+      if (up) {
+        // Success heals immediately; only failures are damped.
+        state->probe_failures = 0;
+        state->next_probe_at = now;
+        state->Set(kShardHealthy);
+        if (state->Has(kShardStale) && options_.auto_repair) {
+          to_repair.push_back(i);
+        }
+      } else {
+        ++state->failures;
+        ++state->probe_failures;
+        // Flap damping: N consecutive probe failures before the healthy
+        // bit drops, so one lost ping cannot evict a loaded shard.
+        if (state->probe_failures >= static_cast<uint64_t>(std::max(
+                                         options_.probe_flap_threshold,
+                                         1))) {
+          state->ClearBit(kShardHealthy);
+        }
+        state->next_probe_at =
+            now + std::chrono::microseconds(
+                      state->probe_backoff.NextDelayMicros(
+                          static_cast<int>(std::min<uint64_t>(
+                              state->probe_failures, 21))));
+      }
+    }
+    for (const size_t i : to_repair) {
+      if (draining_.load()) break;
+      MutexLock admin(&membership_mutex_);
+      RepairShardLocked(i, nullptr);
+    }
   }
+}
+
+bool ClusterRouter::RepairShard(const std::string& name,
+                                std::string* error) {
+  size_t index = SIZE_MAX;
+  {
+    MutexLock lock(&placement_mutex_);
+    const auto it = shard_index_by_name_.find(name);
+    if (it != shard_index_by_name_.end()) index = it->second;
+  }
+  if (index == SIZE_MAX) {
+    if (error != nullptr) *error = "unknown shard '" + name + "'";
+    return false;
+  }
+  MutexLock admin(&membership_mutex_);
+  return RepairShardLocked(index, error);
+}
+
+bool ClusterRouter::PullAllManifests(
+    size_t optional_index, std::unordered_map<size_t, RepairManifest>* out,
+    std::string* error) {
+  const size_t n = num_shards_.load();
+  for (size_t i = 0; i < n; ++i) {
+    ShardState* state = shards_[i].get();
+    if (state->Has(kShardRemoved) || state->Has(kShardRefused)) continue;
+    RepairManifest manifest;
+    const SketchClient::Status status = WithShard(
+        i, [&manifest](SketchClient& client) {
+          return client.PullRepair(&manifest);
+        });
+    if (!status.ok) {
+      if (i == optional_index) continue;  // A drain target may be dead.
+      if (error != nullptr) {
+        *error = "shard '" + state->shard.name +
+                 "' manifest pull failed: " + status.error;
+      }
+      return false;
+    }
+    out->emplace(i, std::move(manifest));
+  }
+  return true;
+}
+
+bool ClusterRouter::PullStreamsFrom(size_t source_index,
+                                    const std::vector<std::string>& streams,
+                                    RepairInstall* install,
+                                    std::string* error) {
+  if (streams.empty()) return true;
+  SummaryPullRequest request;
+  request.streams.reserve(streams.size());
+  for (const std::string& name : streams) {
+    SummaryPullRequest::Key key;
+    key.name = name;  // No cached epoch: force a full summary.
+    request.streams.push_back(std::move(key));
+  }
+  SummaryResult pulled;
+  ++summary_pulls_;
+  const SketchClient::Status status = WithShard(
+      source_index, [&request, &pulled](SketchClient& client) {
+        return client.PullSummaries(request, &pulled);
+      });
+  if (!status.ok) {
+    if (error != nullptr) {
+      *error = "shard '" + shards_[source_index]->shard.name +
+               "' transfer pull failed: " + status.error;
+    }
+    return false;
+  }
+  for (SummaryResult::Entry& entry : pulled.streams) {
+    if (entry.state != SummaryState::kFull) {
+      if (error != nullptr) {
+        *error = "shard '" + shards_[source_index]->shard.name +
+                 "' no longer holds stream '" + entry.name + "'";
+      }
+      return false;
+    }
+    ++summary_streams_full_;
+    RepairInstall::StreamState stream_state;
+    stream_state.name = entry.name;
+    stream_state.sketches = std::move(entry.sketches);
+    install->streams.push_back(std::move(stream_state));
+  }
+  return true;
+}
+
+bool ClusterRouter::RepairShardLocked(size_t target_index,
+                                      std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "repair of shard '" + shards_[target_index]->shard.name +
+               "' failed: " + what;
+    }
+    return false;
+  };
+  ShardState* state = shards_[target_index].get();
+  if (state->Has(kShardRefused)) return fail("refused (CONFIG_MISMATCH)");
+  if (state->Has(kShardRemoved)) return fail("removed from membership");
+
+  // Probe first (immediate semantics): repair only runs against a shard
+  // that is answering again.
+  ++probes_;
+  const SketchClient::Status ping = WithShard(
+      target_index, [](SketchClient& client) { return client.Ping(); });
+  if (!ping.ok) return fail("unreachable: " + ping.error);
+  if (!state->Has(kShardStale)) return true;  // Nothing to repair.
+
+  // Diff: the target's manifest against every healthy replica's.
+  RepairManifest target_manifest;
+  {
+    const SketchClient::Status status = WithShard(
+        target_index, [&target_manifest](SketchClient& client) {
+          return client.PullRepair(&target_manifest);
+        });
+    if (!status.ok) return fail("PULL_REPAIR failed: " + status.error);
+  }
+  std::unordered_set<std::string> target_has;
+  for (const RepairManifest::StreamInfo& info : target_manifest.streams) {
+    target_has.insert(info.name);
+  }
+  std::map<std::string, Window> target_windows;
+  for (const RepairManifest::SiteWindow& sw : target_manifest.sites) {
+    MergeWindowInto(&target_windows[sw.site_id], sw.high, sw.bits);
+  }
+
+  // Sources: every healthy, complete (non-stale) peer.
+  const size_t n = num_shards_.load();
+  std::unordered_map<size_t, RepairManifest> sources;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == target_index) continue;
+    const uint32_t health = shards_[i]->health.load();
+    if ((health & (kShardRefused | kShardRemoved | kShardStale)) != 0) {
+      continue;
+    }
+    if ((health & kShardHealthy) == 0) continue;
+    RepairManifest manifest;
+    const SketchClient::Status status = WithShard(
+        i, [&manifest](SketchClient& client) {
+          return client.PullRepair(&manifest);
+        });
+    if (!status.ok) continue;  // WithShard already marked it unhealthy.
+    sources.emplace(i, std::move(manifest));
+  }
+
+  std::map<std::string, Window> source_windows;
+  for (const auto& [index, manifest] : sources) {
+    for (const RepairManifest::SiteWindow& sw : manifest.sites) {
+      MergeWindowInto(&source_windows[sw.site_id], sw.high, sw.bits);
+    }
+  }
+  bool dedup_behind = false;
+  for (const auto& [site, window] : source_windows) {
+    if (!WindowCovers(target_windows[site], window)) {
+      dedup_behind = true;
+      break;
+    }
+  }
+
+  // Divergent streams placed on the target. When the dedup watermarks
+  // are behind, every placed stream is suspect (the missed batches could
+  // have touched any of them); otherwise only streams the target does
+  // not hold at all.
+  std::map<size_t, std::vector<std::string>> moves_by_source;
+  std::vector<std::string> moved_streams;
+  std::unordered_set<std::string> seen;
+  for (const auto& [source_index, manifest] : sources) {
+    for (const RepairManifest::StreamInfo& info : manifest.streams) {
+      if (!seen.insert(info.name).second) continue;
+      const std::vector<size_t> placed =
+          TargetIndices(info.name, /*for_write=*/false);
+      if (std::find(placed.begin(), placed.end(), target_index) ==
+          placed.end()) {
+        continue;
+      }
+      if (!dedup_behind && target_has.contains(info.name)) continue;
+      moves_by_source[source_index].push_back(info.name);
+      moved_streams.push_back(info.name);
+    }
+  }
+
+  if (moved_streams.empty() && !dedup_behind) {
+    // Already converged (WAL replay + client retries caught it up, or
+    // nothing was ever placed here).
+    state->ClearBit(kShardStale);
+    ++readmissions_;
+    return true;
+  }
+
+  // Quiesce: drain in-doubt retries, then take the write gate so the
+  // snapshot cannot interleave with a fan-out.
+  if (!WaitInDoubtDrained(error)) return false;
+  {
+    ExclusiveGate gate(&write_gate_);
+    RepairInstall install;
+    // Crash repair REPLACES the target's dedup index: its own windows
+    // may cover batches the snapshot install clobbers, and keeping them
+    // would drop a client retry forever.
+    install.replace_dedup = true;
+    for (const auto& [site, window] : source_windows) {
+      RepairManifest::SiteWindow sw;
+      sw.site_id = site;
+      sw.high = window.high;
+      sw.bits = window.bits;
+      install.sites.push_back(std::move(sw));
+    }
+    for (const auto& [source_index, streams] : moves_by_source) {
+      std::string pull_error;
+      if (!PullStreamsFrom(source_index, streams, &install, &pull_error)) {
+        return fail(pull_error);
+      }
+    }
+    const SketchClient::Status pushed = WithShard(
+        target_index, [&install](SketchClient& client) {
+          return client.PushRepair(install);
+        });
+    if (!pushed.ok) return fail("PUSH_REPAIR failed: " + pushed.error);
+
+    // Verify convergence against a re-pulled manifest before letting the
+    // shard back into the read path.
+    RepairManifest after;
+    const SketchClient::Status verify = WithShard(
+        target_index, [&after](SketchClient& client) {
+          return client.PullRepair(&after);
+        });
+    if (!verify.ok) return fail("verification pull failed: " + verify.error);
+    std::unordered_set<std::string> after_has;
+    for (const RepairManifest::StreamInfo& info : after.streams) {
+      after_has.insert(info.name);
+    }
+    for (const std::string& name : moved_streams) {
+      if (!after_has.contains(name)) {
+        return fail("stream '" + name + "' missing after install");
+      }
+    }
+    std::map<std::string, Window> after_windows;
+    for (const RepairManifest::SiteWindow& sw : after.sites) {
+      MergeWindowInto(&after_windows[sw.site_id], sw.high, sw.bits);
+    }
+    for (const auto& [site, window] : source_windows) {
+      if (!WindowCovers(after_windows[site], window)) {
+        return fail("site '" + site + "' watermark did not converge");
+      }
+    }
+  }
+
+  ++repairs_;
+  state->ClearBit(kShardStale);
+  ++readmissions_;
+  return true;
+}
+
+bool ClusterRouter::AddShard(const ClusterShard& shard_in,
+                             uint64_t* streams_moved, std::string* error) {
+  if (streams_moved != nullptr) *streams_moved = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  MutexLock admin(&membership_mutex_);
+
+  ClusterShard shard = shard_in;
+  if (shard.name.empty()) {
+    shard.name = shard.host + ":" + std::to_string(shard.port);
+  }
+  std::unique_ptr<Placement> snapshot;
+  {
+    MutexLock lock(&placement_mutex_);
+    if (placement_.mode() != Placement::Mode::kRing) {
+      return fail(
+          "static placement is fixed; membership changes need ring "
+          "placement");
+    }
+    if (shard_index_by_name_.contains(shard.name)) {
+      return fail("shard '" + shard.name + "' is already a member");
+    }
+    snapshot = std::make_unique<Placement>(placement_);
+  }
+  if (num_shards_.load() >= shards_.capacity()) {
+    return fail("shard capacity exhausted (raise max_dynamic_shards)");
+  }
+
+  // Vet the candidate BEFORE announcing it: dial, handshake, config
+  // gate, and the repair feature bit the migration install needs.
+  SketchClient::Options client_options;
+  client_options.host = shard.host;
+  client_options.port = shard.port;
+  client_options.connect_timeout_ms = options_.shard_connect_timeout_ms;
+  client_options.io_timeout_ms = options_.shard_io_timeout_ms;
+  client_options.fault_injector = options_.shard_fault_injector;
+  std::string dial_error;
+  std::unique_ptr<SketchClient> candidate =
+      SketchClient::Connect(client_options, &dial_error);
+  if (candidate == nullptr) {
+    return fail("shard '" + shard.name + "' unreachable: " + dial_error);
+  }
+  HelloInfo mine;
+  mine.features = kFeatureSummaryPull;
+  mine.params = options_.params;
+  mine.copies = options_.copies;
+  mine.seed = options_.seed;
+  HelloInfo theirs;
+  const SketchClient::Status hello = candidate->Hello(mine, &theirs);
+  if (!hello.ok) {
+    return fail("shard '" + shard.name +
+                "' handshake failed: " + hello.error);
+  }
+  if (!mine.ConfigMatches(theirs) ||
+      (theirs.features & kFeatureSummaryPull) == 0) {
+    return fail("shard '" + shard.name +
+                "' refused: CONFIG_MISMATCH against the deployment's "
+                "stored coins");
+  }
+  if ((theirs.features & kFeatureRepair) == 0) {
+    return fail("shard '" + shard.name +
+                "' does not support PUSH_REPAIR (migration install)");
+  }
+
+  // Discover every known stream so the moved ring segment is explicit.
+  std::unordered_map<size_t, RepairManifest> manifests;
+  if (!PullAllManifests(SIZE_MAX, &manifests, error)) return false;
+
+  // Simulate the post-add ring: only streams whose target set gains the
+  // new shard move; everything else stays put (consistent hashing).
+  Placement next = *snapshot;
+  next.AddNode(shard.name);
+  const size_t want = static_cast<size_t>(options_.replicas) + 1;
+  const size_t new_index = num_shards_.load();
+
+  struct Move {
+    std::string stream;
+    size_t source;
+  };
+  std::vector<Move> moves;
+  std::unordered_map<std::string, std::vector<size_t>> overlay;
+  std::unordered_set<std::string> seen;
+  std::unordered_map<std::string, size_t> index_by_name;
+  {
+    MutexLock lock(&placement_mutex_);
+    index_by_name = shard_index_by_name_;
+  }
+  index_by_name.emplace(shard.name, new_index);
+  for (const auto& [manifest_index, manifest] : manifests) {
+    for (const RepairManifest::StreamInfo& info : manifest.streams) {
+      if (!seen.insert(info.name).second) continue;
+      const std::vector<std::string> new_names =
+          next.Targets(info.name, want);
+      if (std::find(new_names.begin(), new_names.end(), shard.name) ==
+          new_names.end()) {
+        continue;
+      }
+      const std::vector<std::string> old_names =
+          snapshot->Targets(info.name, want);
+      size_t source = SIZE_MAX;
+      for (const std::string& name : old_names) {
+        const size_t index = index_by_name.at(name);
+        const uint32_t health = shards_[index]->health.load();
+        if ((health & kShardHealthy) != 0 &&
+            (health & (kShardStale | kShardRefused | kShardRemoved)) ==
+                0) {
+          source = index;
+          break;
+        }
+      }
+      if (source == SIZE_MAX) {
+        return fail("stream '" + info.name +
+                    "' has no healthy source replica to migrate from");
+      }
+      moves.push_back(Move{info.name, source});
+      std::vector<size_t> union_targets;
+      for (const std::string& name : old_names) {
+        union_targets.push_back(index_by_name.at(name));
+      }
+      for (const std::string& name : new_names) {
+        const size_t index = index_by_name.at(name);
+        if (std::find(union_targets.begin(), union_targets.end(), index) ==
+            union_targets.end()) {
+          union_targets.push_back(index);
+        }
+      }
+      overlay.emplace(info.name, std::move(union_targets));
+    }
+  }
+
+  // Announce the shard (routable by index, but not yet on the ring).
+  auto state = std::make_unique<ShardState>(
+      shard, options_.probe_backoff_initial_ms,
+      options_.probe_backoff_cap_ms);
+  {
+    MutexLock lock(&state->mutex);
+    state->client = std::move(candidate);
+  }
+  shards_.push_back(std::move(state));
+  {
+    MutexLock lock(&placement_mutex_);
+    shard_index_by_name_.emplace(shard.name, new_index);
+    for (const auto& [stream, targets] : overlay) {
+      write_overlay_[stream] = targets;
+    }
+  }
+  num_shards_.store(new_index + 1);
+
+  auto abort_admission = [&](const std::string& what) {
+    {
+      MutexLock lock(&placement_mutex_);
+      for (const auto& [stream, targets] : overlay) {
+        write_overlay_.erase(stream);
+      }
+      shard_index_by_name_.erase(shard.name);
+    }
+    shards_[new_index]->Set(kShardRemoved);
+    return fail("migration to shard '" + shard.name + "' failed: " + what);
+  };
+
+  // Snapshot transfer under the exclusive gate; dual-write (overlay)
+  // keeps old and new targets in lockstep from gate release until the
+  // ring flips.
+  if (!moves.empty()) {
+    std::string quiesce_error;
+    if (!WaitInDoubtDrained(&quiesce_error)) {
+      return abort_admission(quiesce_error);
+    }
+    ExclusiveGate gate(&write_gate_);
+    std::map<size_t, std::vector<std::string>> by_source;
+    for (const Move& move : moves) {
+      by_source[move.source].push_back(move.stream);
+    }
+    RepairInstall install;
+    install.replace_dedup = false;  // Migration MERGES dedup watermarks.
+    std::map<std::string, Window> merged;
+    for (const auto& [source, streams] : by_source) {
+      std::string pull_error;
+      if (!PullStreamsFrom(source, streams, &install, &pull_error)) {
+        return abort_admission(pull_error);
+      }
+      const auto it = manifests.find(source);
+      if (it != manifests.end()) {
+        for (const RepairManifest::SiteWindow& sw : it->second.sites) {
+          MergeWindowInto(&merged[sw.site_id], sw.high, sw.bits);
+        }
+      }
+    }
+    for (const auto& [site, window] : merged) {
+      RepairManifest::SiteWindow sw;
+      sw.site_id = site;
+      sw.high = window.high;
+      sw.bits = window.bits;
+      install.sites.push_back(std::move(sw));
+    }
+    const SketchClient::Status pushed = WithShard(
+        new_index, [&install](SketchClient& client) {
+          return client.PushRepair(install);
+        });
+    if (!pushed.ok) {
+      return abort_admission("PUSH_REPAIR failed: " + pushed.error);
+    }
+    ++repairs_;
+  }
+
+  // Flip the ring and retire the overlay. Anything pushed between the
+  // gate release above and this flip went to BOTH old and new targets.
+  {
+    MutexLock lock(&placement_mutex_);
+    placement_.AddNode(shard.name);
+    for (const auto& [stream, targets] : overlay) {
+      write_overlay_.erase(stream);
+    }
+  }
+  if (streams_moved != nullptr) *streams_moved = moves.size();
+  return true;
+}
+
+bool ClusterRouter::DrainShard(const std::string& name_in,
+                               uint64_t* streams_moved, std::string* error) {
+  if (streams_moved != nullptr) *streams_moved = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  MutexLock admin(&membership_mutex_);
+
+  size_t drain_index = SIZE_MAX;
+  std::unique_ptr<Placement> snapshot;
+  std::unordered_map<std::string, size_t> index_by_name;
+  {
+    MutexLock lock(&placement_mutex_);
+    if (placement_.mode() != Placement::Mode::kRing) {
+      return fail(
+          "static placement is fixed; membership changes need ring "
+          "placement");
+    }
+    const auto it = shard_index_by_name_.find(name_in);
+    if (it == shard_index_by_name_.end()) {
+      return fail("unknown shard '" + name_in + "'");
+    }
+    drain_index = it->second;
+    if (placement_.nodes().size() < 2) {
+      return fail("cannot drain the last shard");
+    }
+    snapshot = std::make_unique<Placement>(placement_);
+    index_by_name = shard_index_by_name_;
+  }
+  if (shards_[drain_index]->Has(kShardRemoved)) {
+    return fail("shard '" + name_in + "' is already removed");
+  }
+
+  // Discover every known stream. The drain target itself may be dead —
+  // its streams still live on replicas; every OTHER shard must answer.
+  std::unordered_map<size_t, RepairManifest> manifests;
+  if (!PullAllManifests(drain_index, &manifests, error)) return false;
+
+  Placement next = *snapshot;
+  next.RemoveNode(name_in);
+  const size_t want = static_cast<size_t>(options_.replicas) + 1;
+
+  // gains: destination shard -> (source shard -> streams to copy).
+  std::map<size_t, std::map<size_t, std::vector<std::string>>> gains;
+  std::unordered_map<std::string, std::vector<size_t>> overlay;
+  std::unordered_set<std::string> seen;
+  size_t moved_count = 0;
+  for (const auto& [manifest_index, manifest] : manifests) {
+    for (const RepairManifest::StreamInfo& info : manifest.streams) {
+      if (!seen.insert(info.name).second) continue;
+      const std::vector<std::string> old_names =
+          snapshot->Targets(info.name, want);
+      if (std::find(old_names.begin(), old_names.end(), name_in) ==
+          old_names.end()) {
+        continue;  // Removing a ring node only moves its own segment.
+      }
+      const std::vector<std::string> new_names =
+          next.Targets(info.name, want);
+      size_t source = SIZE_MAX;
+      for (const std::string& name : old_names) {
+        const size_t index = index_by_name.at(name);
+        const uint32_t health = shards_[index]->health.load();
+        if ((health & kShardHealthy) != 0 &&
+            (health & (kShardStale | kShardRefused | kShardRemoved)) ==
+                0) {
+          source = index;
+          break;
+        }
+      }
+      if (source == SIZE_MAX) {
+        return fail("stream '" + info.name +
+                    "' has no healthy source replica to migrate from");
+      }
+      bool gained_any = false;
+      for (const std::string& name : new_names) {
+        if (std::find(old_names.begin(), old_names.end(), name) !=
+            old_names.end()) {
+          continue;
+        }
+        gains[index_by_name.at(name)][source].push_back(info.name);
+        gained_any = true;
+      }
+      if (gained_any) ++moved_count;
+      std::vector<size_t> union_targets;
+      for (const std::string& name : old_names) {
+        union_targets.push_back(index_by_name.at(name));
+      }
+      for (const std::string& name : new_names) {
+        const size_t index = index_by_name.at(name);
+        if (std::find(union_targets.begin(), union_targets.end(), index) ==
+            union_targets.end()) {
+          union_targets.push_back(index);
+        }
+      }
+      overlay.emplace(info.name, std::move(union_targets));
+    }
+  }
+
+  {
+    MutexLock lock(&placement_mutex_);
+    for (const auto& [stream, targets] : overlay) {
+      write_overlay_[stream] = targets;
+    }
+  }
+  auto abort_drain = [&](const std::string& what) {
+    MutexLock lock(&placement_mutex_);
+    for (const auto& [stream, targets] : overlay) {
+      write_overlay_.erase(stream);
+    }
+    return fail("drain of shard '" + name_in + "' failed: " + what);
+  };
+
+  if (!gains.empty()) {
+    std::string quiesce_error;
+    if (!WaitInDoubtDrained(&quiesce_error)) {
+      return abort_drain(quiesce_error);
+    }
+    ExclusiveGate gate(&write_gate_);
+    for (const auto& [destination, by_source] : gains) {
+      RepairInstall install;
+      install.replace_dedup = false;  // Migration MERGES dedup watermarks.
+      std::map<std::string, Window> merged;
+      for (const auto& [source, streams] : by_source) {
+        std::string pull_error;
+        if (!PullStreamsFrom(source, streams, &install, &pull_error)) {
+          return abort_drain(pull_error);
+        }
+        const auto it = manifests.find(source);
+        if (it != manifests.end()) {
+          for (const RepairManifest::SiteWindow& sw : it->second.sites) {
+            MergeWindowInto(&merged[sw.site_id], sw.high, sw.bits);
+          }
+        }
+      }
+      for (const auto& [site, window] : merged) {
+        RepairManifest::SiteWindow sw;
+        sw.site_id = site;
+        sw.high = window.high;
+        sw.bits = window.bits;
+        install.sites.push_back(std::move(sw));
+      }
+      const SketchClient::Status pushed = WithShard(
+          destination, [&install](SketchClient& client) {
+            return client.PushRepair(install);
+          });
+      if (!pushed.ok) {
+        return abort_drain("PUSH_REPAIR to shard '" +
+                           shards_[destination]->shard.name +
+                           "' failed: " + pushed.error);
+      }
+      ++repairs_;
+    }
+  }
+
+  // Flip the ring, retire the overlay, tombstone the drained slot.
+  {
+    MutexLock lock(&placement_mutex_);
+    placement_.RemoveNode(name_in);
+    for (const auto& [stream, targets] : overlay) {
+      write_overlay_.erase(stream);
+    }
+    shard_index_by_name_.erase(name_in);
+  }
+  shards_[drain_index]->Set(kShardRemoved);
+  if (streams_moved != nullptr) *streams_moved = moved_count;
+  return true;
 }
 
 namespace {
@@ -697,9 +1617,18 @@ std::string ClusterRouter::RenderStats() {
       << "healthy_shards " << s.healthy_shards << "\n"
       << "refused_shards " << s.refused_shards << "\n"
       << "stale_shards " << s.stale_shards << "\n"
-      << "replicas " << options_.replicas << "\n"
-      << "placement "
-      << (placement_.mode() == Placement::Mode::kRing ? "ring" : "static")
+      << "removed_shards " << s.removed_shards << "\n"
+      << "replicas " << options_.replicas << "\n";
+  {
+    MutexLock lock(&placement_mutex_);
+    out << "placement "
+        << (placement_.mode() == Placement::Mode::kRing ? "ring"
+                                                        : "static")
+        << "\n";
+  }
+  out << "read_policy "
+      << (options_.read_policy == ReadPolicy::kAvailable ? "available"
+                                                         : "strict")
       << "\n"
       << "connections_accepted " << s.connections_accepted << "\n"
       << "connections_active " << s.connections_active << "\n"
@@ -712,19 +1641,26 @@ std::string ClusterRouter::RenderStats() {
       << "forward_failures " << s.forward_failures << "\n"
       << "failovers " << s.failovers << "\n"
       << "queries_answered " << s.queries_answered << "\n"
+      << "degraded_answers " << s.degraded_answers << "\n"
       << "summary_pulls " << s.summary_pulls << "\n"
       << "summary_streams_full " << s.summary_streams_full << "\n"
       << "summary_streams_unchanged " << s.summary_streams_unchanged << "\n"
       << "probes " << s.probes << "\n"
+      << "repairs " << s.repairs << "\n"
+      << "readmissions " << s.readmissions << "\n"
       << "uptime_ms " << s.uptime_ms << "\n";
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    const auto& state = shards_[i];
+  const size_t n = num_shards_.load();
+  for (size_t i = 0; i < n; ++i) {
+    ShardState* state = shards_[i].get();
+    const uint32_t health = state->health.load();
     // Healthy shards also report their ingest-path counters (bytes per
     // read batch, arena high-watermark), so one router STATS shows where
-    // ingest hot spots sit across the deployment. Dead or refused shards
-    // are skipped rather than dialed — STATS must not block on them.
+    // ingest hot spots sit across the deployment. Dead, refused or
+    // removed shards are skipped rather than dialed — STATS must not
+    // block on them.
     std::string ingest;
-    if (state->healthy.load() && !state->refused.load()) {
+    if ((health & kShardHealthy) != 0 &&
+        (health & (kShardRefused | kShardRemoved)) == 0) {
       std::string text;
       const SketchClient::Status status = WithShard(
           i, [&text](SketchClient& client) { return client.Stats(&text); });
@@ -732,9 +1668,10 @@ std::string ClusterRouter::RenderStats() {
     }
     out << "shard " << state->shard.name << " host=" << state->shard.host
         << " port=" << state->shard.port
-        << " healthy=" << (state->healthy.load() ? 1 : 0)
-        << " refused=" << (state->refused.load() ? 1 : 0)
-        << " stale=" << (state->stale.load() ? 1 : 0)
+        << " healthy=" << ((health & kShardHealthy) != 0 ? 1 : 0)
+        << " refused=" << ((health & kShardRefused) != 0 ? 1 : 0)
+        << " stale=" << ((health & kShardStale) != 0 ? 1 : 0)
+        << " removed=" << ((health & kShardRemoved) != 0 ? 1 : 0)
         << " failures=" << state->failures.load() << ingest << "\n";
   }
   return out.str();
@@ -742,14 +1679,20 @@ std::string ClusterRouter::RenderStats() {
 
 ClusterRouter::StatsSnapshot ClusterRouter::stats() const {
   StatsSnapshot s;
-  s.shards = shards_.size();
-  for (const auto& state : shards_) {
-    if (state->refused.load()) {
+  const size_t n = num_shards_.load();
+  s.shards = n;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t health = shards_[i]->health.load();
+    if ((health & kShardRemoved) != 0) {
+      ++s.removed_shards;
+      continue;
+    }
+    if ((health & kShardRefused) != 0) {
       ++s.refused_shards;
-    } else if (state->healthy.load()) {
+    } else if ((health & kShardHealthy) != 0) {
       ++s.healthy_shards;
     }
-    if (state->stale.load()) ++s.stale_shards;
+    if ((health & kShardStale) != 0) ++s.stale_shards;
   }
   s.connections_accepted = connections_accepted_.load();
   s.connections_active = connections_active_.load();
@@ -762,10 +1705,13 @@ ClusterRouter::StatsSnapshot ClusterRouter::stats() const {
   s.forward_failures = forward_failures_.load();
   s.failovers = failovers_.load();
   s.queries_answered = queries_answered_.load();
+  s.degraded_answers = degraded_answers_.load();
   s.summary_pulls = summary_pulls_.load();
   s.summary_streams_full = summary_streams_full_.load();
   s.summary_streams_unchanged = summary_streams_unchanged_.load();
   s.probes = probes_.load();
+  s.repairs = repairs_.load();
+  s.readmissions = readmissions_.load();
   s.uptime_ms = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - started_at_)

@@ -30,10 +30,30 @@
 //     already applied and applied where the recovering shard missed it.
 //   * Failover: shards that miss a placed write are marked stale and
 //     leave the read path; reads fail over to the next placed replica
-//     (which, having ACKed every batch, is complete). A recovered shard
-//     (WAL replay + client re-push) rejoins the write path after a
-//     successful probe; the read path re-admits it only on router
-//     restart, because the router cannot observe "caught up".
+//     (which, having ACKed every batch, is complete).
+//
+// Self-healing (anti-entropy catch-up): a stale shard that answers a
+// probe again is repaired IN PLACE, with no router restart. The repair
+// worker pulls repair manifests (stream identities + per-site dedup
+// watermarks) from the target and from every healthy replica, transfers
+// the divergent streams' sketch vectors over the PULL_SUMMARY path,
+// installs them with PUSH_REPAIR (replacing the target's dedup index with
+// the sources' merged watermarks so client retries stay exactly-once),
+// verifies convergence against a re-pulled manifest, and only then clears
+// the stale bit. Transfers run under an exclusive write gate so the
+// snapshot is consistent; in-doubt (site, sequence) pairs from partial
+// fan-outs are drained first.
+//
+// Online membership: ADD_SHARD / DRAIN_SHARD mutate the consistent-hash
+// ring live. Only the moved ring segment's streams migrate; while a
+// migration is in flight the router dual-writes moved streams to the
+// union of old and new targets, then flips the ring and drops the
+// overlay, so no window exists where either side misses a write.
+//
+// Degraded reads: with `--read-policy available` the router answers from
+// the best reachable replica even when every placed copy is stale, and
+// flags the answer degraded (QUERY_RESULT status bit 0x02) instead of
+// failing. The default `strict` policy preserves exactness.
 //
 // Summary reads are cached per stream keyed by the shard bank's
 // (bank_id, epoch) — the plan cache's invalidation contract — so hot
@@ -51,6 +71,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/hash_ring.h"
@@ -59,6 +80,7 @@
 #include "query/plan_cache.h"
 #include "server/protocol.h"
 #include "server/sketch_client.h"
+#include "util/backoff.h"
 #include "util/thread_annotations.h"
 
 namespace setsketch {
@@ -72,16 +94,59 @@ struct ClusterShard {
   int port = 0;
 };
 
+/// Shared/exclusive gate for write fan-out vs. state transfers. Push
+/// fan-outs hold it shared; repair and migration transfers hold it
+/// exclusive so their snapshots cannot interleave with applies. Writer
+/// preference: a waiting exclusive blocks new shared acquires.
+class RwGate {
+ public:
+  void LockShared() {
+    MutexLock lock(&mutex_);
+    while (exclusive_) cv_.wait(mutex_);
+    ++shared_;
+  }
+  void UnlockShared() {
+    MutexLock lock(&mutex_);
+    if (--shared_ == 0) cv_.notify_all();
+  }
+  void LockExclusive() {
+    MutexLock lock(&mutex_);
+    while (exclusive_) cv_.wait(mutex_);
+    exclusive_ = true;
+    while (shared_ > 0) cv_.wait(mutex_);
+  }
+  void UnlockExclusive() {
+    MutexLock lock(&mutex_);
+    exclusive_ = false;
+    cv_.notify_all();
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar cv_;
+  int shared_ SETSKETCH_GUARDED_BY(mutex_) = 0;
+  bool exclusive_ SETSKETCH_GUARDED_BY(mutex_) = false;
+};
+
 /// Federating router node. Start() binds and serves; Stop()/Wait() mirror
 /// SketchServer's lifecycle.
 class ClusterRouter {
  public:
+  /// What a QUERY may read when every placed copy of a stream is stale.
+  enum class ReadPolicy {
+    kStrict,     ///< Fail the query (exactness preserved).
+    kAvailable,  ///< Answer from the best reachable replica, flagged
+                 ///< degraded in the result status byte.
+  };
+
   struct Options {
-    /// Shard membership (fixed for the router's lifetime).
+    /// Initial shard membership; ADD_SHARD / DRAIN_SHARD mutate it live
+    /// (ring placement only).
     std::vector<ClusterShard> shards;
     /// Failover copies per stream beyond the owner (0 = no replication).
     int replicas = 1;
     /// Placement policy: consistent-hash ring unless static_placement.
+    /// Static placement refuses online membership changes.
     bool static_placement = false;
     int virtual_nodes = 64;
     uint64_t placement_seed = 7;
@@ -113,6 +178,25 @@ class ClusterRouter {
     /// and the CLI call ProbeAll() explicitly).
     int probe_interval_ms = 0;
 
+    /// Per-shard probe backoff (util/backoff.h): a failing shard is
+    /// reprobed at capped-exponential intervals instead of every tick,
+    /// which is also the router's redial pacing for dead shards.
+    int probe_backoff_initial_ms = 100;
+    int probe_backoff_cap_ms = 5000;
+    /// Flap damping: consecutive PROBE failures required before the
+    /// probe loop clears the healthy bit. 1 = immediate (ProbeAll and
+    /// real forward-op failures are always immediate regardless).
+    int probe_flap_threshold = 1;
+    /// Probe success on a stale shard triggers anti-entropy repair.
+    bool auto_repair = true;
+    /// Bound on waiting for in-doubt (site, sequence) pairs to drain
+    /// before a repair/migration snapshot.
+    int transfer_quiesce_timeout_ms = 5000;
+    /// Online ADD_SHARD capacity beyond the initial membership.
+    size_t max_dynamic_shards = 16;
+
+    ReadPolicy read_policy = ReadPolicy::kStrict;
+
     /// Test seams: client-facing response sends / shard-facing sends.
     FaultInjector* fault_injector = nullptr;
     FaultInjector* shard_fault_injector = nullptr;
@@ -134,9 +218,31 @@ class ClusterRouter {
   void Wait();
 
   /// Synchronously probes every shard: dial + hello handshake. Marks
-  /// shards healthy/unhealthy and (permanently) refused on config
-  /// mismatch. Returns the number of healthy shards.
+  /// shards healthy/unhealthy (immediately — no flap damping) and
+  /// (permanently) refused on config mismatch. A stale shard that
+  /// answers is repaired when Options::auto_repair is set. Returns the
+  /// number of healthy shards.
   size_t ProbeAll();
+
+  /// Anti-entropy catch-up for one shard (by placement name): diff its
+  /// repair manifest against the healthy replicas, transfer divergent
+  /// streams, verify convergence, clear the stale bit. Returns false
+  /// (with *error) when the shard is unreachable, refused, removed, a
+  /// transfer fails, or convergence cannot be verified — the shard then
+  /// stays stale and out of the read path.
+  bool RepairShard(const std::string& name, std::string* error = nullptr);
+
+  /// Online membership: joins `shard` to the hash ring, migrating only
+  /// the streams whose placement now includes it (dual-write during the
+  /// transition). *streams_moved receives the migrated stream count.
+  bool AddShard(const ClusterShard& shard, uint64_t* streams_moved,
+                std::string* error = nullptr);
+
+  /// Online membership: migrates the named shard's ring segment to the
+  /// shards that inherit it, then removes the shard from the ring and
+  /// marks it removed (its slot is retired, not reused).
+  bool DrainShard(const std::string& name, uint64_t* streams_moved,
+                  std::string* error = nullptr);
 
   /// Federated query (QUERY frames route here; public for tests).
   QueryResultInfo Answer(const std::string& expression_text);
@@ -154,6 +260,7 @@ class ClusterRouter {
     size_t healthy_shards = 0;
     size_t refused_shards = 0;
     size_t stale_shards = 0;
+    size_t removed_shards = 0;
     uint64_t connections_accepted = 0;
     uint64_t connections_active = 0;
     uint64_t frames_received = 0;
@@ -165,10 +272,14 @@ class ClusterRouter {
     uint64_t forward_failures = 0;
     uint64_t failovers = 0;          ///< Reads served by a non-owner.
     uint64_t queries_answered = 0;
+    uint64_t degraded_answers = 0;   ///< Answers served under kAvailable
+                                     ///< from stale replicas.
     uint64_t summary_pulls = 0;      ///< PULL_SUMMARY round trips issued.
     uint64_t summary_streams_full = 0;
     uint64_t summary_streams_unchanged = 0;
     uint64_t probes = 0;
+    uint64_t repairs = 0;            ///< Anti-entropy transfers applied.
+    uint64_t readmissions = 0;       ///< Stale bits cleared after repair.
     uint64_t uptime_ms = 0;
   };
   StatsSnapshot stats() const;
@@ -176,17 +287,37 @@ class ClusterRouter {
   const Options& options() const { return options_; }
 
  private:
+  /// Packed per-shard health word: one atomic load tells the push/query
+  /// paths everything they may not do with a shard.
+  static constexpr uint32_t kShardHealthy = 1u << 0;
+  static constexpr uint32_t kShardRefused = 1u << 1;  ///< Config mismatch;
+                                                      ///< permanent.
+  static constexpr uint32_t kShardStale = 1u << 2;    ///< Missed >= 1
+                                                      ///< placed write.
+  static constexpr uint32_t kShardRemoved = 1u << 3;  ///< Drained; slot
+                                                      ///< retired.
+
   /// Per-shard connection + health. The mutex serializes use of the
-  /// lazily-dialed client; health flags are atomics so the push/query
+  /// lazily-dialed client; the health word is atomic so the push/query
   /// paths can skip known-dead shards without taking the lock.
   struct ShardState {
+    ShardState(const ClusterShard& shard_in, int backoff_initial_ms,
+               int backoff_cap_ms);
+
+    bool Has(uint32_t bit) const { return (health.load() & bit) != 0; }
+    void Set(uint32_t bit) { health.fetch_or(bit); }
+    void ClearBit(uint32_t bit) { health.fetch_and(~bit); }
+
     ClusterShard shard;
     Mutex mutex;
     std::unique_ptr<SketchClient> client SETSKETCH_GUARDED_BY(mutex);
-    std::atomic<bool> healthy{true};
-    std::atomic<bool> refused{false};  ///< Config mismatch; permanent.
-    std::atomic<bool> stale{false};    ///< Missed >= 1 placed write.
+    std::atomic<uint32_t> health{kShardHealthy};
     std::atomic<uint64_t> failures{0};
+
+    /// Probe-loop scheduling state; touched only by the probe thread.
+    uint64_t probe_failures = 0;  ///< Consecutive (for flap damping).
+    std::chrono::steady_clock::time_point next_probe_at{};
+    Backoff probe_backoff;
   };
 
   struct Connection {
@@ -223,8 +354,9 @@ class ClusterRouter {
   /// name): "stream <name> targets=a,b read=r" lines.
   std::string ExplainPlacement(const std::string& text) const;
 
-  /// Dials + handshakes the shard's client if needed. Requires
-  /// state->mutex held. False leaves the shard unhealthy or refused.
+  /// Dials + handshakes the shard's client if needed. Sets the refused
+  /// bit on config mismatch; leaves healthy-bit transitions to callers
+  /// (WithShard is immediate, the probe loop applies flap damping).
   bool EnsureClientLocked(ShardState* state)
       SETSKETCH_REQUIRES(state->mutex);
   /// Runs `op` on the shard's connected client under its mutex; marks the
@@ -232,18 +364,82 @@ class ClusterRouter {
   SketchClient::Status WithShard(
       size_t shard_index,
       const std::function<SketchClient::Status(SketchClient&)>& op);
+  /// Probe-loop dial + ping that does NOT flip the healthy bit (the
+  /// caller applies flap damping).
+  bool ProbeLocked(ShardState* state) SETSKETCH_REQUIRES(state->mutex);
 
-  /// Placement target indices (owner first) for a stream.
-  std::vector<size_t> TargetIndices(const std::string& stream) const;
+  /// Placement target indices (owner first) for a stream. When
+  /// `for_write`, an active dual-write overlay entry overrides the ring.
+  std::vector<size_t> TargetIndices(const std::string& stream,
+                                    bool for_write) const
+      SETSKETCH_EXCLUDES(placement_mutex_);
   /// First placed shard eligible for reads; -1 if none. Sets *failover
-  /// when the pick is not the owner.
-  int ReadTargetIndex(const std::string& stream, bool* failover) const;
+  /// when the pick is not the owner, *degraded when kAvailable fell
+  /// back to a stale replica.
+  int ReadTargetIndex(const std::string& stream, bool* failover,
+                      bool* degraded) const
+      SETSKETCH_EXCLUDES(placement_mutex_);
+
+  /// Repair/membership internals. membership_mutex_ serializes every
+  /// repair and membership change end to end.
+  bool RepairShardLocked(size_t target_index, std::string* error)
+      SETSKETCH_REQUIRES(membership_mutex_);
+  /// Pulls the repair manifest of every non-removed shard (optionally
+  /// skipping `skip_index`); fails if any is unreachable. Returns
+  /// manifests by shard index.
+  bool PullAllManifests(size_t skip_index,
+                        std::unordered_map<size_t, RepairManifest>* out,
+                        std::string* error)
+      SETSKETCH_REQUIRES(membership_mutex_);
+  /// Pulls full sketch vectors for `streams` from `source_index` and
+  /// appends them to install->streams.
+  bool PullStreamsFrom(size_t source_index,
+                       const std::vector<std::string>& streams,
+                       RepairInstall* install, std::string* error);
+  /// Waits (bounded) for the in-doubt (site, sequence) set to drain.
+  bool WaitInDoubtDrained(std::string* error)
+      SETSKETCH_EXCLUDES(in_doubt_mutex_);
+  void RecordInDoubt(const std::string& site, uint64_t sequence);
+  void ClearInDoubt(const std::string& site, uint64_t sequence);
 
   Options options_;
   SketchFamily family_;
-  Placement placement_;
+
+  /// Guards the mutable placement: ring membership, the name -> index
+  /// map, and the dual-write overlay. Lock order: query_mutex_ or
+  /// membership_mutex_ before placement_mutex_; placement_mutex_ before
+  /// nothing (leaf).
+  mutable Mutex placement_mutex_;
+  Placement placement_ SETSKETCH_GUARDED_BY(placement_mutex_);
+  std::unordered_map<std::string, size_t> shard_index_by_name_
+      SETSKETCH_GUARDED_BY(placement_mutex_);
+  /// Dual-write overlay: stream -> union of old + new target indices,
+  /// active while a migration is between snapshot and ring flip.
+  std::unordered_map<std::string, std::vector<size_t>> write_overlay_
+      SETSKETCH_GUARDED_BY(placement_mutex_);
+
+  /// shards_ only grows (ADD_SHARD) and its capacity is reserved up
+  /// front, so readers may index `i < num_shards_.load()` without a
+  /// lock; the unique_ptrs pin each ShardState's address. Mutation is
+  /// serialized by membership_mutex_.
   std::vector<std::unique_ptr<ShardState>> shards_;
-  std::unordered_map<std::string, size_t> shard_index_by_name_;
+  std::atomic<size_t> num_shards_{0};
+
+  /// Serializes repair and membership changes (outermost admin lock;
+  /// taken before the write gate and placement_mutex_).
+  Mutex membership_mutex_;
+
+  /// Push fan-outs shared, transfers exclusive (see RwGate).
+  RwGate write_gate_;
+
+  /// In-doubt idempotency keys: (site, sequence) pairs that were
+  /// partially fanned out (some shard applied, then RETRY_LATER went
+  /// back to the client). Transfers wait for these to drain so their
+  /// snapshots never race a retry.
+  mutable Mutex in_doubt_mutex_;
+  CondVar in_doubt_cv_;
+  std::unordered_set<std::string> in_doubt_
+      SETSKETCH_GUARDED_BY(in_doubt_mutex_);
 
   /// Serializes federated queries and guards the summary cache.
   /// Lock order: query_mutex_ before any ShardState::mutex (Answer pulls
@@ -286,10 +482,13 @@ class ClusterRouter {
   std::atomic<uint64_t> forward_failures_{0};
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> degraded_answers_{0};
   std::atomic<uint64_t> summary_pulls_{0};
   std::atomic<uint64_t> summary_streams_full_{0};
   std::atomic<uint64_t> summary_streams_unchanged_{0};
   std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> repairs_{0};
+  std::atomic<uint64_t> readmissions_{0};
 };
 
 }  // namespace setsketch

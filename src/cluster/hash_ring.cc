@@ -85,6 +85,24 @@ Placement::Placement(Mode mode, const std::vector<std::string>& nodes,
   }
 }
 
+bool Placement::AddNode(const std::string& name) {
+  if (mode_ != Mode::kRing) return false;
+  if (std::find(nodes_.begin(), nodes_.end(), name) != nodes_.end()) {
+    return false;
+  }
+  nodes_.push_back(name);
+  ring_.AddNode(name);
+  return true;
+}
+
+bool Placement::RemoveNode(const std::string& name) {
+  if (mode_ != Mode::kRing) return false;
+  const auto it = std::find(nodes_.begin(), nodes_.end(), name);
+  if (it == nodes_.end()) return false;
+  nodes_.erase(it);
+  return ring_.RemoveNode(name);
+}
+
 std::vector<std::string> Placement::Targets(std::string_view key,
                                             size_t count) const {
   if (mode_ == Mode::kRing) return ring_.Targets(key, count);

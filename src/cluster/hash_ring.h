@@ -31,7 +31,8 @@ namespace setsketch {
 
 /// Seeded consistent-hash ring over named nodes. Not thread-safe;
 /// membership changes and lookups are the owner's job to serialize (the
-/// router mutates membership only at startup).
+/// router holds its placement mutex across ADD_SHARD/DRAIN_SHARD ring
+/// mutations and every lookup).
 class HashRing {
  public:
   /// `virtual_nodes` points per node (>= 1) smooth the load split; the
@@ -85,9 +86,20 @@ class Placement {
 
   Mode mode() const { return mode_; }
 
+  const std::vector<std::string>& nodes() const { return nodes_; }
+
   /// Owner followed by `count - 1` distinct replica candidates.
   std::vector<std::string> Targets(std::string_view key,
                                    size_t count) const;
+
+  /// Joins a node (online membership). Returns false — and changes
+  /// nothing — for a duplicate name or in static mode, whose hash-modulo
+  /// scheme would reshuffle almost every key on any membership change.
+  bool AddNode(const std::string& name);
+
+  /// Removes a node (online membership). Returns false for an unknown
+  /// name or in static mode.
+  bool RemoveNode(const std::string& name);
 
  private:
   Mode mode_;

@@ -156,6 +156,19 @@ bool SketchBank::AddStreamFromSketches(
   return true;
 }
 
+bool SketchBank::ReplaceStreamSketches(
+    const std::string& name, std::vector<TwoLevelHashSketch> sketches) {
+  if (static_cast<int>(sketches.size()) != family_.size()) return false;
+  for (int i = 0; i < family_.size(); ++i) {
+    if (!(sketches[static_cast<size_t>(i)].seed() == *family_.seed(i))) {
+      return false;
+    }
+  }
+  streams_[name] = std::move(sketches);
+  ++epochs_[name];
+  return true;
+}
+
 uint64_t SketchBank::StreamEpoch(const std::string& name) const {
   auto it = epochs_.find(name);
   return it == epochs_.end() ? 0 : it->second;

@@ -104,6 +104,13 @@ class SketchBank {
   bool AddStreamFromSketches(const std::string& name,
                              std::vector<TwoLevelHashSketch> sketches);
 
+  /// Installs externally produced sketches over a stream that may already
+  /// exist (anti-entropy repair), registering it if not. Validates like
+  /// AddStreamFromSketches; bumps the stream's epoch so every cache keyed
+  /// on (bank_id, epoch) notices the replacement.
+  bool ReplaceStreamSketches(const std::string& name,
+                             std::vector<TwoLevelHashSketch> sketches);
+
   int num_copies() const { return family_.size(); }
   const SketchFamily& family() const { return family_; }
 

@@ -50,6 +50,10 @@ const char* OpcodeName(Opcode opcode) {
     case Opcode::kShutdown: return "SHUTDOWN";
     case Opcode::kExplain: return "EXPLAIN";
     case Opcode::kPullSummary: return "PULL_SUMMARY";
+    case Opcode::kAddShard: return "ADD_SHARD";
+    case Opcode::kDrainShard: return "DRAIN_SHARD";
+    case Opcode::kPullRepair: return "PULL_REPAIR";
+    case Opcode::kPushRepair: return "PUSH_REPAIR";
     case Opcode::kPong: return "PONG";
     case Opcode::kAck: return "ACK";
     case Opcode::kRetryLater: return "RETRY_LATER";
@@ -57,6 +61,7 @@ const char* OpcodeName(Opcode opcode) {
     case Opcode::kStatsResult: return "STATS_RESULT";
     case Opcode::kExplainResult: return "EXPLAIN_RESULT";
     case Opcode::kSummaryResult: return "SUMMARY_RESULT";
+    case Opcode::kRepairState: return "REPAIR_STATE";
     case Opcode::kError: return "ERROR";
   }
   return "?";
@@ -81,6 +86,7 @@ const char* WireErrorName(WireError error) {
     case WireError::kWalFailure: return "WAL_FAILURE";
     case WireError::kConfigMismatch: return "CONFIG_MISMATCH";
     case WireError::kNoHealthyShard: return "NO_HEALTHY_SHARD";
+    case WireError::kBadMembership: return "BAD_MEMBERSHIP";
   }
   return "?";
 }
@@ -487,7 +493,10 @@ bool DecodeAck(const std::string& payload, AckInfo* out) {
 
 std::string EncodeQueryResult(const QueryResultInfo& result) {
   std::string out;
-  out.push_back(result.ok ? 1 : 0);
+  // Bit 0x01 = ok, bit 0x02 = degraded. A plain `byte != 0` truthiness
+  // test (all pre-repair decoders) still reads a degraded success as ok.
+  out.push_back(result.ok ? static_cast<char>(result.degraded ? 3 : 1)
+                          : 0);
   if (result.ok) {
     AppendF64(&out, result.estimate);
     AppendF64(&out, result.lo);
@@ -503,6 +512,7 @@ bool DecodeQueryResult(const std::string& payload, QueryResultInfo* out) {
   *out = QueryResultInfo{};
   if (payload.empty()) return false;
   out->ok = payload[0] != 0;
+  out->degraded = (static_cast<uint8_t>(payload[0]) & 0x02) != 0;
   size_t offset = 1;
   if (!out->ok) {
     out->error = payload.substr(offset);
@@ -687,6 +697,226 @@ bool DecodeSummaryResult(const std::string& payload, SummaryResult* out,
   }
   if (offset != payload.size()) {
     *error = "trailing bytes after summary result";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+void AppendSiteWindows(
+    const std::vector<RepairManifest::SiteWindow>& sites, std::string* out) {
+  AppendVarint(out, sites.size());
+  for (const RepairManifest::SiteWindow& site : sites) {
+    SETSKETCH_CHECK(site.site_id.size() <= kMaxSiteIdBytes)
+        << "site id of " << site.site_id.size()
+        << " bytes exceeds the wire bound";
+    AppendVarintString(out, site.site_id);
+    AppendVarint(out, site.high);
+    AppendVarint(out, site.bits);
+  }
+}
+
+bool ReadSiteWindows(const std::string& payload, size_t* offset,
+                     std::vector<RepairManifest::SiteWindow>* out,
+                     std::string* error) {
+  out->clear();
+  uint64_t num_sites = 0;
+  if (!ReadVarint(payload, offset, &num_sites)) {
+    *error = "truncated site count";
+    return false;
+  }
+  if (num_sites > payload.size() - *offset) {
+    *error = "site count exceeds payload";
+    return false;
+  }
+  out->reserve(static_cast<size_t>(num_sites));
+  for (uint64_t i = 0; i < num_sites; ++i) {
+    RepairManifest::SiteWindow site;
+    if (!ReadVarintString(payload, offset, kMaxSiteIdBytes,
+                          &site.site_id)) {
+      *error = "malformed site id " + std::to_string(i);
+      return false;
+    }
+    if (site.site_id.empty()) {
+      *error = "empty site id";
+      return false;
+    }
+    if (!ReadVarint(payload, offset, &site.high) ||
+        !ReadVarint(payload, offset, &site.bits)) {
+      *error = "truncated dedup window for site '" + site.site_id + "'";
+      return false;
+    }
+    out->push_back(std::move(site));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeRepairManifest(const RepairManifest& manifest) {
+  std::string out;
+  AppendVarint(&out, manifest.streams.size());
+  for (const RepairManifest::StreamInfo& stream : manifest.streams) {
+    SETSKETCH_CHECK(stream.name.size() <= kMaxStreamNameBytes)
+        << "stream name of " << stream.name.size()
+        << " bytes exceeds the wire bound";
+    AppendVarintString(&out, stream.name);
+    AppendVarint(&out, stream.bank_id);
+    AppendVarint(&out, stream.epoch);
+  }
+  AppendSiteWindows(manifest.sites, &out);
+  return out;
+}
+
+bool DecodeRepairManifest(const std::string& payload, RepairManifest* out,
+                          std::string* error) {
+  out->streams.clear();
+  out->sites.clear();
+  size_t offset = 0;
+  uint64_t num_streams = 0;
+  if (!ReadVarint(payload, &offset, &num_streams)) {
+    *error = "truncated stream count";
+    return false;
+  }
+  if (num_streams > payload.size() - offset) {
+    *error = "stream count exceeds payload";
+    return false;
+  }
+  out->streams.reserve(static_cast<size_t>(num_streams));
+  for (uint64_t i = 0; i < num_streams; ++i) {
+    RepairManifest::StreamInfo stream;
+    if (!ReadVarintString(payload, &offset, kMaxStreamNameBytes,
+                          &stream.name)) {
+      *error = "malformed stream name " + std::to_string(i);
+      return false;
+    }
+    if (stream.name.empty()) {
+      *error = "empty stream name";
+      return false;
+    }
+    if (!ReadVarint(payload, &offset, &stream.bank_id) ||
+        !ReadVarint(payload, &offset, &stream.epoch)) {
+      *error = "truncated identity for stream '" + stream.name + "'";
+      return false;
+    }
+    out->streams.push_back(std::move(stream));
+  }
+  if (!ReadSiteWindows(payload, &offset, &out->sites, error)) return false;
+  if (offset != payload.size()) {
+    *error = "trailing bytes after repair manifest";
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeRepairInstall(const RepairInstall& install) {
+  std::string out;
+  out.push_back(install.replace_dedup ? 1 : 0);
+  AppendSiteWindows(install.sites, &out);
+  AppendVarint(&out, install.streams.size());
+  for (const RepairInstall::StreamState& stream : install.streams) {
+    SETSKETCH_CHECK(stream.name.size() <= kMaxStreamNameBytes)
+        << "stream name of " << stream.name.size()
+        << " bytes exceeds the wire bound";
+    AppendVarintString(&out, stream.name);
+    EncodeSketchVector(stream.sketches, /*compact=*/true, &out);
+  }
+  return out;
+}
+
+bool DecodeRepairInstall(const std::string& payload, RepairInstall* out,
+                         std::string* error) {
+  out->sites.clear();
+  out->streams.clear();
+  size_t offset = 0;
+  if (payload.empty()) {
+    *error = "truncated repair mode";
+    return false;
+  }
+  const uint8_t mode = static_cast<uint8_t>(payload[offset++]);
+  if (mode > 1) {
+    *error = "unknown repair mode " + std::to_string(mode);
+    return false;
+  }
+  out->replace_dedup = mode == 1;
+  if (!ReadSiteWindows(payload, &offset, &out->sites, error)) return false;
+  uint64_t num_streams = 0;
+  if (!ReadVarint(payload, &offset, &num_streams)) {
+    *error = "truncated stream count";
+    return false;
+  }
+  if (num_streams > payload.size() - offset) {
+    *error = "stream count exceeds payload";
+    return false;
+  }
+  out->streams.reserve(static_cast<size_t>(num_streams));
+  for (uint64_t i = 0; i < num_streams; ++i) {
+    RepairInstall::StreamState stream;
+    if (!ReadVarintString(payload, &offset, kMaxStreamNameBytes,
+                          &stream.name)) {
+      *error = "malformed stream name " + std::to_string(i);
+      return false;
+    }
+    if (stream.name.empty()) {
+      *error = "empty stream name";
+      return false;
+    }
+    std::string decode_error;
+    // The receiving server verifies copy count and coins against its own
+    // configuration; the codec only enforces well-formedness here.
+    if (!DecodeSketchVector(payload, &offset, /*expected_copies=*/-1,
+                            /*expected_seeds=*/nullptr, &stream.sketches,
+                            &decode_error)) {
+      *error = "stream '" + stream.name + "' " + decode_error;
+      return false;
+    }
+    out->streams.push_back(std::move(stream));
+  }
+  if (offset != payload.size()) {
+    *error = "trailing bytes after repair install";
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeShardAdmin(const ShardAdminRequest& request) {
+  std::string out;
+  SETSKETCH_CHECK(request.name.size() <= kMaxStreamNameBytes)
+      << "shard name of " << request.name.size()
+      << " bytes exceeds the wire bound";
+  AppendVarintString(&out, request.name);
+  AppendVarintString(&out, request.host);
+  AppendVarint(&out, static_cast<uint64_t>(request.port));
+  return out;
+}
+
+bool DecodeShardAdmin(const std::string& payload, ShardAdminRequest* out,
+                      std::string* error) {
+  size_t offset = 0;
+  if (!ReadVarintString(payload, &offset, kMaxStreamNameBytes,
+                        &out->name)) {
+    *error = "malformed shard name";
+    return false;
+  }
+  if (out->name.empty()) {
+    *error = "empty shard name";
+    return false;
+  }
+  // Hosts are IPv4 dotted quads or "localhost"; the site-id bound is
+  // generous enough and keeps hostile payloads cheap.
+  if (!ReadVarintString(payload, &offset, kMaxSiteIdBytes, &out->host)) {
+    *error = "malformed shard host";
+    return false;
+  }
+  uint64_t port = 0;
+  if (!ReadVarint(payload, &offset, &port) || port > 65535) {
+    *error = "malformed shard port";
+    return false;
+  }
+  out->port = static_cast<int>(port);
+  if (offset != payload.size()) {
+    *error = "trailing bytes after shard admin request";
     return false;
   }
   return true;

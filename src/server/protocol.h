@@ -61,7 +61,11 @@ enum class Opcode : uint8_t {
   kStats = 5,
   kShutdown = 6,
   kExplain = 7,
-  kPullSummary = 8,  ///< Per-stream summary pull (the cluster router).
+  kPullSummary = 8,   ///< Per-stream summary pull (the cluster router).
+  kAddShard = 9,      ///< Router admin: join a shard to the hash ring.
+  kDrainShard = 10,   ///< Router admin: migrate a shard out of the ring.
+  kPullRepair = 11,   ///< Repair manifest pull (streams + dedup marks).
+  kPushRepair = 12,   ///< Repair install (streams + dedup marks).
 
   kPong = 129,
   kAck = 130,
@@ -70,6 +74,7 @@ enum class Opcode : uint8_t {
   kStatsResult = 133,
   kExplainResult = 134,
   kSummaryResult = 135,
+  kRepairState = 136,  ///< Reply to PULL_REPAIR.
   kError = 192,
 };
 
@@ -95,6 +100,8 @@ enum class WireError : uint8_t {
   kConfigMismatch = 11,  ///< Peer's (params, copies, seed) disagree; its
                          ///< sketches are not combinable with ours.
   kNoHealthyShard = 12,  ///< Router: no live shard can own the stream.
+  kBadMembership = 13,   ///< Router: add/drain request refused (duplicate
+                         ///< name, unknown shard, static placement, ...).
 };
 
 /// Human-readable error-code name ("BAD_PAYLOAD").
@@ -240,11 +247,14 @@ struct AckInfo {
 std::string EncodeAck(const AckInfo& ack);
 bool DecodeAck(const std::string& payload, AckInfo* out);
 
-/// QUERY_RESULT payload: u8 ok; if ok, three 8-byte doubles (estimate,
-/// interval lo, interval hi) + rendered expression text; else the error
-/// message text.
+/// QUERY_RESULT payload: u8 status; if ok (bit 0x01), three 8-byte
+/// doubles (estimate, interval lo, interval hi) + rendered expression
+/// text; else the error message text. Bit 0x02 marks a degraded answer
+/// (the router's `--read-policy available` served it from a partial
+/// replica set); legacy decoders read the byte as a plain truthy ok.
 struct QueryResultInfo {
   bool ok = false;
+  bool degraded = false;   ///< Answer may not reflect all shards.
   std::string expression;  ///< Rendered form when ok.
   std::string error;       ///< Failure description when !ok.
   double estimate = 0.0;
@@ -267,6 +277,9 @@ inline constexpr uint32_t kHelloResponseMagic = 0x534B484Fu;  // "SKHO".
 inline constexpr uint8_t kHelloVersion = 1;
 /// Feature bit: the peer serves PULL_SUMMARY (cluster federation).
 inline constexpr uint8_t kFeatureSummaryPull = 0x01;
+/// Feature bit: the peer serves PULL_REPAIR/PUSH_REPAIR (anti-entropy
+/// catch-up and membership migration).
+inline constexpr uint8_t kFeatureRepair = 0x02;
 
 struct HelloInfo {
   uint8_t hello_version = kHelloVersion;
@@ -335,6 +348,79 @@ struct SummaryResult {
 std::string EncodeSummaryResult(const SummaryResult& result);
 bool DecodeSummaryResult(const std::string& payload, SummaryResult* out,
                          std::string* error);
+
+// ---------------------------------------------------------------------------
+// Anti-entropy repair (cluster self-healing). The router diffs a stale
+// shard against a healthy replica by pulling both sides' repair
+// manifests (stream identities + per-site dedup high-watermarks), pulls
+// the divergent streams' sketch vectors through the ordinary
+// PULL_SUMMARY path, and installs them on the lagging shard with
+// PUSH_REPAIR. The transferred dedup watermarks preserve the (site,
+// sequence) exactly-once contract: a client retry that races the repair
+// still dedupes on the repaired shard.
+
+/// REPAIR_STATE payload (reply to an empty-payload PULL_REPAIR): varint
+/// #streams, then per stream name + varint bank id + varint epoch; then
+/// varint #sites, then per site the site id (varint length + bytes),
+/// varint dedup high-watermark and varint recent-window bitmap.
+struct RepairManifest {
+  struct StreamInfo {
+    std::string name;
+    uint64_t bank_id = 0;
+    uint64_t epoch = 0;
+  };
+  struct SiteWindow {
+    std::string site_id;
+    uint64_t high = 0;  ///< Highest sequence ever recorded for the site.
+    uint64_t bits = 0;  ///< Bit i set => sequence (high - i) recorded.
+  };
+  std::vector<StreamInfo> streams;
+  std::vector<SiteWindow> sites;
+};
+std::string EncodeRepairManifest(const RepairManifest& manifest);
+bool DecodeRepairManifest(const std::string& payload, RepairManifest* out,
+                          std::string* error);
+
+/// PUSH_REPAIR payload: u8 mode (0 = merge, 1 = replace), varint #sites
+/// + site windows as in REPAIR_STATE, varint #streams, then per stream
+/// the name and its compact sketch vector (distributed/summary_codec.h).
+/// Answered with an ACK whose `accepted` counts installed streams.
+///
+/// `replace_dedup` distinguishes the two users: crash repair REPLACES
+/// the target's dedup index with the healthy sources' merged watermarks
+/// (the target's own windows may cover batches the snapshot install just
+/// clobbered, so keeping them would drop a client retry forever), while
+/// membership migration MERGES (the destination's own windows cover
+/// batches it really holds).
+struct RepairInstall {
+  bool replace_dedup = false;
+  std::vector<RepairManifest::SiteWindow> sites;
+  struct StreamState {
+    std::string name;
+    std::vector<TwoLevelHashSketch> sketches;
+  };
+  std::vector<StreamState> streams;
+};
+std::string EncodeRepairInstall(const RepairInstall& install);
+bool DecodeRepairInstall(const std::string& payload, RepairInstall* out,
+                         std::string* error);
+
+// ---------------------------------------------------------------------------
+// Online membership (router admin). ADD_SHARD joins a new shard to the
+// consistent-hash ring; DRAIN_SHARD migrates a shard's ring segment away
+// and removes it. Both are answered with an ACK whose `accepted` counts
+// the streams migrated, or an ERROR (kBadMembership) when refused.
+
+/// ADD_SHARD / DRAIN_SHARD payload: shard name (varint length + bytes),
+/// host (same), varint port. DRAIN_SHARD ignores host/port.
+struct ShardAdminRequest {
+  std::string name;
+  std::string host;
+  int port = 0;
+};
+std::string EncodeShardAdmin(const ShardAdminRequest& request);
+bool DecodeShardAdmin(const std::string& payload, ShardAdminRequest* out,
+                      std::string* error);
 
 }  // namespace setsketch
 

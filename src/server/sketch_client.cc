@@ -19,25 +19,18 @@ namespace setsketch {
 
 namespace {
 
-/// Deterministic jitter seed: distinct (site, port) pairs sleep on
-/// distinct schedules, and a fixed pair reproduces its schedule exactly.
-uint64_t DeriveBackoffSeed(const std::string& site_id, int port) {
-  SplitMix64 mix(0x736B636C69656E74ULL);  // "skclient"
-  uint64_t seed = mix.Next() ^ static_cast<uint64_t>(port);
-  for (const char c : site_id) {
-    seed = (seed ^ static_cast<uint8_t>(c)) * 0x100000001B3ULL;
-  }
-  return seed;
-}
+constexpr uint64_t kBackoffSalt = 0x736B636C69656E74ULL;  // "skclient"
 
 }  // namespace
 
 SketchClient::SketchClient(const Options& options)
     : options_(options),
       next_sequence_(options.first_sequence),
-      backoff_rng_(options.backoff_seed != 0
-                       ? options.backoff_seed
-                       : DeriveBackoffSeed(options.site_id, options.port)) {}
+      backoff_(options.backoff_initial_ms, options.backoff_cap_ms,
+               options.backoff_seed != 0
+                   ? options.backoff_seed
+                   : Backoff::DeriveSeed(kBackoffSalt, options.site_id,
+                                         options.port)) {}
 
 SketchClient::~SketchClient() {
   if (fd_ >= 0) ::close(fd_);
@@ -290,20 +283,6 @@ SketchClient::Status SketchClient::PushUpdatesAt(const UpdateBatch& batch,
                        reply);
 }
 
-void SketchClient::BackoffSleep(int consecutive_failures) {
-  // initial * 2^(failures-1), capped, then jittered by [0.5, 1.5).
-  long long base_ms = options_.backoff_initial_ms > 0
-                          ? options_.backoff_initial_ms
-                          : 1;
-  const int doublings = std::min(consecutive_failures - 1, 20);
-  base_ms = std::min<long long>(base_ms << doublings,
-                                std::max(options_.backoff_cap_ms, 1));
-  const double jitter = 0.5 + backoff_rng_.NextDouble();
-  const auto sleep_us = static_cast<long long>(
-      static_cast<double>(base_ms) * 1000.0 * jitter);
-  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
-}
-
 SketchClient::Status SketchClient::PushUpdatesWithRetry(
     const UpdateBatch& batch, int max_attempts, int backoff_ms,
     uint64_t* retries_out, uint64_t* reconnects_out) {
@@ -314,8 +293,8 @@ SketchClient::Status SketchClient::PushUpdatesWithRetry(
 
   // Callers pick the backoff floor per call (legacy signature); cap and
   // jitter come from Options.
-  const int saved_initial = options_.backoff_initial_ms;
-  options_.backoff_initial_ms = backoff_ms;
+  const int saved_initial = backoff_.initial_ms();
+  backoff_.set_initial_ms(backoff_ms);
 
   const uint64_t reconnects_before = counters_.reconnects;
   Status status;
@@ -328,9 +307,9 @@ SketchClient::Status SketchClient::PushUpdatesWithRetry(
     if (status.retry) ++retries;
     // Transport failures closed the socket; the next attempt redials
     // after the same capped backoff.
-    if (attempt + 1 < max_attempts) BackoffSleep(consecutive_failures);
+    if (attempt + 1 < max_attempts) backoff_.Sleep(consecutive_failures);
   }
-  options_.backoff_initial_ms = saved_initial;
+  backoff_.set_initial_ms(saved_initial);
   if (retries_out != nullptr) *retries_out = retries;
   if (reconnects_out != nullptr) {
     *reconnects_out = counters_.reconnects - reconnects_before;
@@ -344,6 +323,47 @@ SketchClient::Status SketchClient::PushSummary(
   Frame reply;
   return DecodePushAck(
       RoundTrip(Opcode::kPushSummary, summary_bytes, &reply), reply);
+}
+
+SketchClient::Status SketchClient::PullRepair(RepairManifest* manifest) {
+  Frame reply;
+  Status status = RoundTrip(Opcode::kPullRepair, "", &reply);
+  if (!status.ok) return status;
+  if (reply.opcode != Opcode::kRepairState) {
+    status.ok = false;
+    status.error = std::string("unexpected reply ") +
+                   OpcodeName(reply.opcode);
+    return status;
+  }
+  std::string decode_error;
+  if (!DecodeRepairManifest(reply.payload, manifest, &decode_error)) {
+    status.ok = false;
+    status.error = "malformed REPAIR_STATE: " + decode_error;
+  }
+  return status;
+}
+
+SketchClient::Status SketchClient::PushRepair(const RepairInstall& install) {
+  Frame reply;
+  return DecodePushAck(
+      RoundTrip(Opcode::kPushRepair, EncodeRepairInstall(install), &reply),
+      reply);
+}
+
+SketchClient::Status SketchClient::AddShard(
+    const ShardAdminRequest& request) {
+  Frame reply;
+  return DecodePushAck(
+      RoundTrip(Opcode::kAddShard, EncodeShardAdmin(request), &reply),
+      reply);
+}
+
+SketchClient::Status SketchClient::DrainShard(
+    const ShardAdminRequest& request) {
+  Frame reply;
+  return DecodePushAck(
+      RoundTrip(Opcode::kDrainShard, EncodeShardAdmin(request), &reply),
+      reply);
 }
 
 QueryResultInfo SketchClient::Query(const std::string& expression_text) {

@@ -27,9 +27,9 @@
 #include <string>
 #include <vector>
 
-#include "hash/prng.h"
 #include "server/protocol.h"
 #include "stream/update.h"
+#include "util/backoff.h"
 
 namespace setsketch {
 
@@ -146,6 +146,22 @@ class SketchClient {
   /// Coordinator (idempotent per site).
   Status PushSummary(const std::string& summary_bytes);
 
+  /// Pulls a shard's repair manifest (stream identities + per-site dedup
+  /// watermarks) — the diff side of anti-entropy catch-up.
+  Status PullRepair(RepairManifest* manifest);
+
+  /// Installs transferred repair state on a shard. `.accepted` counts the
+  /// streams installed.
+  Status PushRepair(const RepairInstall& install);
+
+  /// Router admin: joins the named shard to a running router's hash ring
+  /// (ADD_SHARD). `.accepted` counts the streams migrated onto it.
+  Status AddShard(const ShardAdminRequest& request);
+
+  /// Router admin: migrates the named shard's ring segment away and
+  /// removes it (DRAIN_SHARD). `.accepted` counts the streams moved.
+  Status DrainShard(const ShardAdminRequest& request);
+
   /// Evaluates a text set expression server-side.
   QueryResultInfo Query(const std::string& expression_text);
 
@@ -185,15 +201,12 @@ class SketchClient {
 
   Status DecodePushAck(Status status, const Frame& reply);
 
-  /// Sleeps the backoff for `consecutive_failures` (1-based), jittered.
-  void BackoffSleep(int consecutive_failures);
-
   Options options_;
   int fd_ = -1;
   FrameDecoder decoder_;
   uint64_t next_sequence_;
   Counters counters_;
-  Xoshiro256StarStar backoff_rng_;
+  Backoff backoff_;
 };
 
 }  // namespace setsketch

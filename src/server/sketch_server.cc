@@ -18,6 +18,7 @@
 #include "query/stream_engine.h"
 #include "server/fault_injector.h"
 #include "server/socket_io.h"
+#include "util/check.h"
 #include "util/varint_bulk.h"
 
 namespace setsketch {
@@ -237,7 +238,7 @@ std::string SketchServer::HandleFrame(Opcode opcode, std::string_view payload,
       HelloInfo hello;
       if (DecodeHello(std::string(payload), /*response=*/false, &hello)) {
         HelloInfo mine;
-        mine.features = kFeatureSummaryPull;
+        mine.features = kFeatureSummaryPull | kFeatureRepair;
         mine.params = options_.params;
         mine.copies = options_.copies;
         mine.seed = options_.seed;
@@ -252,6 +253,11 @@ std::string SketchServer::HandleFrame(Opcode opcode, std::string_view payload,
       return HandlePushSummary(payload, connection);
     case Opcode::kPullSummary:
       return HandlePullSummary(payload, connection);
+    case Opcode::kPullRepair:
+      return EncodeFrame(Opcode::kRepairState,
+                         EncodeRepairManifest(PullRepairManifest()));
+    case Opcode::kPushRepair:
+      return HandlePushRepair(payload, connection);
     case Opcode::kQuery:
       return EncodeFrame(Opcode::kQueryResult,
                          EncodeQueryResult(Answer(std::string(payload))));
@@ -541,6 +547,115 @@ SummaryResult SketchServer::PullSummaries(const SummaryPullRequest& request) {
   return result;
 }
 
+RepairManifest SketchServer::PullRepairManifest() {
+  ++repair_pulls_;
+  RepairManifest manifest;
+  // Same quiesce as PullSummaries, so the stream identities and the dedup
+  // watermarks describe one consistent post-ACK state.
+  MutexLock push_lock(&push_mutex_);
+  for (const auto& queue : queues_) queue->WaitDrained();
+  {
+    MutexLock registry_lock(&registry_mutex_);
+    manifest.streams.reserve(names_by_id_.size());
+    for (const std::string& name : names_by_id_) {
+      manifest.streams.push_back(RepairManifest::StreamInfo{
+          name, bank_.bank_id(), bank_.StreamEpoch(name)});
+    }
+  }
+  dedup_.ForEachWindow(
+      [&manifest](std::string_view site_id, uint64_t high, uint64_t bits) {
+        manifest.sites.push_back(
+            RepairManifest::SiteWindow{std::string(site_id), high, bits});
+      });
+  return manifest;
+}
+
+bool SketchServer::InstallRepair(const RepairInstall& install,
+                                 uint64_t* installed, WireError* code,
+                                 std::string* error) {
+  *installed = 0;
+  MutexLock push_lock(&push_mutex_);
+  for (const auto& queue : queues_) queue->WaitDrained();
+  {
+    MutexLock registry_lock(&registry_mutex_);
+    // Validate every carried vector before touching the bank: the
+    // install must be all-or-nothing, or a half-applied repair could be
+    // re-admitted as converged.
+    const SketchFamily& family = bank_.family();
+    for (const RepairInstall::StreamState& stream : install.streams) {
+      if (static_cast<int>(stream.sketches.size()) != family.size()) {
+        *code = WireError::kConfigMismatch;
+        *error = "stream '" + stream.name + "' carries " +
+                 std::to_string(stream.sketches.size()) +
+                 " sketch copies, expected " + std::to_string(family.size());
+        return false;
+      }
+      for (int i = 0; i < family.size(); ++i) {
+        if (!(stream.sketches[static_cast<size_t>(i)].seed() ==
+              *family.seed(i))) {
+          *code = WireError::kConfigMismatch;
+          *error = "stream '" + stream.name +
+                   "' sketches disagree with this server's seeds";
+          return false;
+        }
+      }
+    }
+    for (const RepairInstall::StreamState& stream : install.streams) {
+      SETSKETCH_CHECK(bank_.ReplaceStreamSketches(stream.name,
+                                                  stream.sketches))
+          << "validated repair sketches failed to install for stream"
+          << stream.name;
+      if (!ids_.contains(stream.name)) {
+        ids_.emplace(stream.name,
+                     static_cast<StreamId>(names_by_id_.size()));
+        names_by_id_.push_back(stream.name);
+      }
+    }
+  }
+  // Crash repair replaces the dedup index wholesale: this server's own
+  // windows may cover batches the snapshot install just clobbered, and
+  // keeping them would drop a client retry of such a batch forever.
+  // Migration merges instead — the destination's windows cover batches
+  // it really holds.
+  if (install.replace_dedup) dedup_.Clear();
+  for (const RepairManifest::SiteWindow& site : install.sites) {
+    dedup_.MergeWindow(site.site_id, site.high, site.bits);
+  }
+  if (wal_ != nullptr && !CheckpointNowLocked()) {
+    // Without a covering checkpoint a post-repair crash would recover the
+    // pre-repair WAL tail; refuse so the router keeps the shard stale.
+    *code = WireError::kWalFailure;
+    *error = "repair installed but checkpointing it failed";
+    return false;
+  }
+  ++repair_installs_;
+  *installed = install.streams.size();
+  return true;
+}
+
+std::string SketchServer::HandlePushRepair(std::string_view payload,
+                                           Connection* connection) {
+  RepairInstall install;
+  std::string error;
+  if (!DecodeRepairInstall(std::string(payload), &install, &error)) {
+    ++connection->errors;
+    ++protocol_errors_;
+    return ErrorFrame(WireError::kBadPayload, error);
+  }
+  if (draining_.load()) {
+    return ErrorFrame(WireError::kShuttingDown,
+                      "server is draining; repair refused");
+  }
+  uint64_t installed = 0;
+  WireError code = WireError::kNone;
+  if (!InstallRepair(install, &installed, &code, &error)) {
+    ++connection->errors;
+    ++protocol_errors_;
+    return ErrorFrame(code, error);
+  }
+  return EncodeFrame(Opcode::kAck, EncodeAck(AckInfo{installed}));
+}
+
 std::string SketchServer::EncodeBankSnapshot() {
   StreamEngine::Options engine_options;
   engine_options.params = options_.params;
@@ -652,24 +767,31 @@ void SketchServer::MaybeCompactLocked() {
   // queues gives a bank that exactly reflects every WAL record up to the
   // rotation point.
   for (const auto& queue : queues_) queue->WaitDrained();
+  CheckpointNowLocked();  // Failure keeps the old segments replayable.
+}
+
+bool SketchServer::CheckpointNowLocked() {
   uint64_t covered_generation = 0;
   std::string wal_error;
   if (!wal_->Rotate(&covered_generation, &wal_error)) {
-    return;  // Keep serving on the old generation; retry next threshold.
+    return false;  // Keep serving on the old generation; retry later.
   }
   Checkpoint checkpoint;
   checkpoint.covered_generation = covered_generation;
   checkpoint.dedup = dedup_;
   checkpoint.engine_snapshot = EncodeBankSnapshot();
+  bool written = false;
   if (WriteCheckpoint(options_.wal_dir, checkpoint, options_.wal_fsync,
                       &wal_error)) {
     wal_->Compact(covered_generation);
     ++snapshots_written_;
+    written = true;
   }
   // On write failure the old segments stay; recovery replays them plus
   // the new generation (dedup makes the overlap harmless: the checkpoint
   // that failed was never relied upon).
   bytes_at_last_checkpoint_ = wal_->bytes_appended();
+  return written;
 }
 
 void SketchServer::WorkerLoop(int shard_index) {
@@ -854,6 +976,8 @@ std::string SketchServer::RenderStats() const {
       << "dedup_sites " << s.dedup_sites << "\n"
       << "dedup_window_bits " << s.dedup_window_bits << "\n"
       << "summary_pulls " << s.summary_pulls << "\n"
+      << "repair_pulls " << s.repair_pulls << "\n"
+      << "repair_installs " << s.repair_installs << "\n"
       << "uptime_ms " << s.uptime_ms << "\n"
       << "ingest_backend " << IngestBackendName(options_.backend) << "\n"
       << "ingest_io_threads " << options_.io_threads << "\n"
@@ -895,6 +1019,8 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
   s.recovered_batches = recovered_batches_.load();
   s.recovered_updates = recovered_updates_.load();
   s.summary_pulls = summary_pulls_.load();
+  s.repair_pulls = repair_pulls_.load();
+  s.repair_installs = repair_installs_.load();
   s.ingest_bytes_read = ingest_bytes_read_.load();
   s.ingest_read_calls = ingest_read_calls_.load();
   s.ingest_max_frames_per_read = ingest_max_frames_per_read_.load();

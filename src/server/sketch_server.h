@@ -200,6 +200,8 @@ class SketchServer : private EpollServerBackend::Handler {
     uint64_t dedup_sites = 0;        ///< Sites with a live dedup window.
     uint64_t dedup_window_bits = 0;  ///< Occupied bits across all windows.
     uint64_t summary_pulls = 0;      ///< PULL_SUMMARY requests served.
+    uint64_t repair_pulls = 0;       ///< PULL_REPAIR manifests served.
+    uint64_t repair_installs = 0;    ///< PUSH_REPAIR installs applied.
     uint64_t uptime_ms = 0;          ///< Milliseconds since Start().
     // Ingest fast-path counters (both backends report them).
     uint64_t ingest_bytes_read = 0;  ///< Socket bytes drained by reads.
@@ -231,6 +233,25 @@ class SketchServer : private EpollServerBackend::Handler {
   /// Coordinator-carried streams are not served — cluster shards ingest
   /// via PUSH_UPDATES only. PULL_SUMMARY frames route here.
   SummaryResult PullSummaries(const SummaryPullRequest& request)
+      SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_);
+
+  /// Serves an anti-entropy repair manifest: every direct-ingest stream's
+  /// (bank_id, epoch) identity plus every site's dedup window, captured
+  /// under the same quiesce as Answer so the pair is mutually consistent.
+  /// PULL_REPAIR frames route here.
+  RepairManifest PullRepairManifest()
+      SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_);
+
+  /// Installs transferred repair state: replaces (or registers) each
+  /// carried stream's sketch vector, then replaces or merges the dedup
+  /// windows per `install.replace_dedup`, all under one ingest quiesce so
+  /// no admitted batch interleaves with the install. With a WAL open, a
+  /// checkpoint is forced before returning — a post-repair crash must
+  /// recover the repaired state, not the pre-repair WAL tail. The install
+  /// is all-or-nothing: validation failures install nothing. PUSH_REPAIR
+  /// frames route here.
+  bool InstallRepair(const RepairInstall& install, uint64_t* installed,
+                     WireError* code, std::string* error)
       SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_);
 
   /// The direct-ingest bank. Only safe to inspect when ingest is quiesced
@@ -276,6 +297,8 @@ class SketchServer : private EpollServerBackend::Handler {
                                 Connection* connection);
   std::string HandlePullSummary(std::string_view payload,
                                 Connection* connection);
+  std::string HandlePushRepair(std::string_view payload,
+                               Connection* connection);
   std::string RenderStats() const;
 
   /// The one exactly-once admission path both backends funnel into:
@@ -311,6 +334,12 @@ class SketchServer : private EpollServerBackend::Handler {
   /// Checkpoint + compact when enough WAL bytes accumulated. Requires
   /// push_mutex_ held; drains the shard queues for a consistent bank.
   void MaybeCompactLocked() SETSKETCH_REQUIRES(push_mutex_);
+
+  /// Rotates the WAL and checkpoints the current bank + dedup state
+  /// unconditionally. Requires push_mutex_ held AND the shard queues
+  /// drained (the bank must be quiesced). False when the rotation or the
+  /// checkpoint write failed; the old segments then stay replayable.
+  bool CheckpointNowLocked() SETSKETCH_REQUIRES(push_mutex_);
 
   /// Builds the engine-snapshot bytes for a checkpoint. Requires a
   /// quiesced bank (push_mutex_ held + queues drained, or threads
@@ -423,6 +452,8 @@ class SketchServer : private EpollServerBackend::Handler {
   std::atomic<uint64_t> queries_answered_{0};
   std::atomic<uint64_t> duplicates_dropped_{0};
   std::atomic<uint64_t> summary_pulls_{0};
+  std::atomic<uint64_t> repair_pulls_{0};
+  std::atomic<uint64_t> repair_installs_{0};
   std::atomic<uint64_t> snapshots_written_{0};
   std::atomic<uint64_t> recoveries_{0};
   std::atomic<uint64_t> recovered_batches_{0};

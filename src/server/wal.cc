@@ -134,6 +134,27 @@ void DedupWindow::Record(uint64_t sequence) {
   // Below the window: Seen() already reports true; nothing to record.
 }
 
+void DedupWindow::Merge(uint64_t high, uint64_t bits) {
+  if (high_ == 0) {
+    high_ = high;
+    bits_ = bits;
+    return;
+  }
+  if (high == 0) return;
+  // Align both bitmaps on the larger high-water mark (bit i tracks
+  // high - i, so the older side's bits age by shifting LEFT); bits that
+  // fall off the 64-entry window are covered by the below-window
+  // conservatism.
+  if (high > high_) {
+    const uint64_t shift = high - high_;
+    bits_ = (shift >= 64 ? 0 : bits_ << shift) | bits;
+    high_ = high;
+  } else {
+    const uint64_t shift = high_ - high;
+    bits_ |= shift >= 64 ? 0 : bits << shift;
+  }
+}
+
 bool DedupIndex::Seen(std::string_view site_id, uint64_t sequence) const {
   const auto it = windows_.find(site_id);
   return it != windows_.end() && it->second.Seen(sequence);
@@ -162,6 +183,23 @@ void DedupIndex::EncodeTo(std::string* out) const {
     AppendVarint(out, window.high());
     AppendVarint(out, window.bits());
   }
+}
+
+void DedupIndex::ForEachWindow(
+    const std::function<void(std::string_view site_id, uint64_t high,
+                             uint64_t bits)>& fn) const {
+  for (const auto& [site, window] : windows_) {
+    fn(site, window.high(), window.bits());
+  }
+}
+
+void DedupIndex::MergeWindow(std::string_view site_id, uint64_t high,
+                             uint64_t bits) {
+  auto it = windows_.find(site_id);
+  if (it == windows_.end()) {
+    it = windows_.emplace(std::string(site_id), DedupWindow{}).first;
+  }
+  it->second.Merge(high, bits);
 }
 
 bool DedupIndex::DecodeFrom(const std::string& data, size_t* offset) {

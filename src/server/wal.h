@@ -76,6 +76,11 @@ class DedupWindow {
     bits_ = bits;
   }
 
+  /// Folds another window's state in: afterwards Seen() holds for every
+  /// sequence either side had recorded (modulo the shared below-window
+  /// conservatism). Used by repair/migration watermark transfer.
+  void Merge(uint64_t high, uint64_t bits);
+
  private:
   uint64_t high_ = 0;  // Highest recorded sequence; 0 = none yet.
   uint64_t bits_ = 0;  // Bit i set => sequence high_ - i recorded.
@@ -101,6 +106,20 @@ class DedupIndex {
   void EncodeTo(std::string* out) const;
   /// Decodes at (*data)[*offset], advancing it. False on malformed input.
   bool DecodeFrom(const std::string& data, size_t* offset);
+
+  /// Visits every site window in key order (repair manifest export).
+  void ForEachWindow(
+      const std::function<void(std::string_view site_id, uint64_t high,
+                               uint64_t bits)>& fn) const;
+
+  /// Folds one site's transferred window in, creating it if absent
+  /// (repair/migration watermark install).
+  void MergeWindow(std::string_view site_id, uint64_t high, uint64_t bits);
+
+  /// Drops every window. Crash repair installs a replacement set: the
+  /// stale shard's own windows may cover batches the snapshot install
+  /// just clobbered, so keeping them would drop a client retry forever.
+  void Clear() { windows_.clear(); }
 
  private:
   // std::less<> enables lookups by string_view without a key copy.

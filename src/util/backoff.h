@@ -1,0 +1,87 @@
+// Capped exponential backoff with deterministic jitter — the single
+// retry-pacing policy shared by SketchClient's push/reconnect loop, the
+// router's redial path, and the router's probe scheduler.
+//
+// The schedule for consecutive failure k (1-based) is
+//
+//     delay = min(initial * 2^(k-1), cap) * jitter,  jitter ~ U[0.5, 1.5)
+//
+// with the doubling exponent clamped at 20 so the shift never overflows.
+// Jitter comes from a caller-seeded Xoshiro256**, so a fixed seed
+// reproduces its sleep schedule exactly (tests pin seeds; production
+// derives one from a site/port identity via DeriveSeed so distinct
+// clients never back off in lockstep).
+//
+// Backoff is NOT thread-safe: each retry loop owns its own instance
+// (the jitter RNG mutates per draw). Guard shared instances externally.
+
+#ifndef SETSKETCH_UTIL_BACKOFF_H_
+#define SETSKETCH_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "hash/prng.h"
+
+namespace setsketch {
+
+class Backoff {
+ public:
+  /// `initial_ms` is the floor delay (values < 1 are treated as 1 ms),
+  /// `cap_ms` the pre-jitter ceiling, `seed` the jitter PRNG seed.
+  Backoff(int initial_ms, int cap_ms, uint64_t seed)
+      : initial_ms_(initial_ms), cap_ms_(cap_ms), rng_(seed) {}
+
+  /// Deterministic jitter seed: distinct (identity, port) pairs sleep on
+  /// distinct schedules, and a fixed pair reproduces its schedule
+  /// exactly. `salt` namespaces unrelated users (client vs probe) so
+  /// they do not share a schedule even for the same identity.
+  static uint64_t DeriveSeed(uint64_t salt, const std::string& identity,
+                             int port) {
+    SplitMix64 mix(salt);
+    uint64_t seed = mix.Next() ^ static_cast<uint64_t>(port);
+    for (const char c : identity) {
+      seed = (seed ^ static_cast<uint8_t>(c)) * 0x100000001B3ULL;
+    }
+    return seed;
+  }
+
+  /// Delay in microseconds for `consecutive_failures` (1-based),
+  /// jittered. Consumes one jitter draw.
+  int64_t NextDelayMicros(int consecutive_failures) {
+    // initial * 2^(failures-1), capped, then jittered by [0.5, 1.5).
+    long long base_ms = initial_ms_ > 0 ? initial_ms_ : 1;
+    const int doublings = std::min(consecutive_failures - 1, 20);
+    base_ms = std::min<long long>(base_ms << doublings,
+                                  std::max(cap_ms_, 1));
+    const double jitter = 0.5 + rng_.NextDouble();
+    return static_cast<int64_t>(static_cast<double>(base_ms) * 1000.0 *
+                                jitter);
+  }
+
+  /// Sleeps the delay for `consecutive_failures` (1-based).
+  void Sleep(int consecutive_failures) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(NextDelayMicros(consecutive_failures)));
+  }
+
+  int initial_ms() const { return initial_ms_; }
+  int cap_ms() const { return cap_ms_; }
+
+  /// Retry loops that take a per-call floor (SketchClient's legacy
+  /// PushUpdatesWithRetry signature) override it here; cap and jitter
+  /// state are preserved.
+  void set_initial_ms(int initial_ms) { initial_ms_ = initial_ms; }
+
+ private:
+  int initial_ms_;
+  int cap_ms_;
+  Xoshiro256StarStar rng_;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_UTIL_BACKOFF_H_

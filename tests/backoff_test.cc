@@ -1,0 +1,111 @@
+// Tests for the shared retry-pacing policy (util/backoff.h): exact
+// doubling/cap numerics, jitter bounds, seed-reproducible schedules, and
+// DeriveSeed's identity separation. The schedule is load-bearing for
+// three users (client retries, router redial, probe scheduler), so the
+// numerics are pinned here rather than re-derived per call site.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/backoff.h"
+
+namespace setsketch {
+namespace {
+
+// Strips the jitter factor back out of a delay: the pre-jitter base in
+// milliseconds, recovered by re-running the same seeded RNG alongside.
+class BaseRecoverer {
+ public:
+  explicit BaseRecoverer(uint64_t seed) : rng_(seed) {}
+
+  double BaseMs(int64_t delay_micros) {
+    const double jitter = 0.5 + rng_.NextDouble();
+    return static_cast<double>(delay_micros) / 1000.0 / jitter;
+  }
+
+ private:
+  Xoshiro256StarStar rng_;
+};
+
+TEST(BackoffTest, DelayDoublesUpToCap) {
+  const uint64_t seed = 42;
+  Backoff backoff(/*initial_ms=*/10, /*cap_ms=*/80, seed);
+  BaseRecoverer recover(seed);
+  const std::vector<double> expected = {10, 20, 40, 80, 80, 80};
+  for (size_t k = 0; k < expected.size(); ++k) {
+    const int64_t delay =
+        backoff.NextDelayMicros(static_cast<int>(k) + 1);
+    EXPECT_NEAR(recover.BaseMs(delay), expected[k], 0.01)
+        << "failure count " << (k + 1);
+  }
+}
+
+TEST(BackoffTest, JitterStaysWithinHalfToThreeHalves) {
+  Backoff backoff(/*initial_ms=*/16, /*cap_ms=*/16, /*seed=*/7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t delay = backoff.NextDelayMicros(1);
+    EXPECT_GE(delay, 8000);    // 16 ms * 0.5
+    EXPECT_LT(delay, 24000);   // 16 ms * 1.5 (exclusive)
+  }
+}
+
+TEST(BackoffTest, NonPositiveInitialAndCapClampToOneMs) {
+  const uint64_t seed = 99;
+  Backoff backoff(/*initial_ms=*/0, /*cap_ms=*/0, seed);
+  BaseRecoverer recover(seed);
+  // initial <= 0 floors at 1 ms; cap <= 0 floors at 1 ms, so the
+  // schedule is pinned flat at 1 ms regardless of the failure count.
+  EXPECT_NEAR(recover.BaseMs(backoff.NextDelayMicros(1)), 1.0, 0.01);
+  EXPECT_NEAR(recover.BaseMs(backoff.NextDelayMicros(10)), 1.0, 0.01);
+}
+
+TEST(BackoffTest, DoublingExponentClampsAtTwenty) {
+  const uint64_t seed = 1;
+  // A huge cap would overflow if the shift were unbounded; the exponent
+  // clamp keeps the base at initial * 2^20 from failure 21 onward.
+  Backoff backoff(/*initial_ms=*/1, /*cap_ms=*/(1 << 30), seed);
+  BaseRecoverer recover(seed);
+  const double at_21 = recover.BaseMs(backoff.NextDelayMicros(21));
+  const double at_1000 = recover.BaseMs(backoff.NextDelayMicros(1000));
+  EXPECT_NEAR(at_21, static_cast<double>(1 << 20), 0.01);
+  EXPECT_NEAR(at_1000, static_cast<double>(1 << 20), 0.01);
+}
+
+TEST(BackoffTest, FixedSeedReproducesSchedule) {
+  Backoff a(5, 1000, /*seed=*/1234);
+  Backoff b(5, 1000, /*seed=*/1234);
+  for (int k = 1; k <= 32; ++k) {
+    EXPECT_EQ(a.NextDelayMicros(k), b.NextDelayMicros(k));
+  }
+}
+
+TEST(BackoffTest, SetInitialPreservesJitterState) {
+  const uint64_t seed = 77;
+  Backoff backoff(/*initial_ms=*/1, /*cap_ms=*/64, seed);
+  BaseRecoverer recover(seed);
+  recover.BaseMs(backoff.NextDelayMicros(1));  // Consume one draw each.
+  backoff.set_initial_ms(8);
+  EXPECT_EQ(backoff.initial_ms(), 8);
+  // The next draw continues the same RNG stream with the new floor.
+  EXPECT_NEAR(recover.BaseMs(backoff.NextDelayMicros(1)), 8.0, 0.01);
+  EXPECT_NEAR(recover.BaseMs(backoff.NextDelayMicros(2)), 16.0, 0.01);
+}
+
+TEST(BackoffTest, DeriveSeedIsDeterministic) {
+  const uint64_t a = Backoff::DeriveSeed(0x1234, "site-a", 9001);
+  const uint64_t b = Backoff::DeriveSeed(0x1234, "site-a", 9001);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BackoffTest, DeriveSeedSeparatesIdentities) {
+  const uint64_t salt = 0x726F757470726F62ULL;
+  const uint64_t base = Backoff::DeriveSeed(salt, "site-a", 9001);
+  EXPECT_NE(base, Backoff::DeriveSeed(salt, "site-b", 9001));
+  EXPECT_NE(base, Backoff::DeriveSeed(salt, "site-a", 9002));
+  EXPECT_NE(base, Backoff::DeriveSeed(salt + 1, "site-a", 9001));
+}
+
+}  // namespace
+}  // namespace setsketch

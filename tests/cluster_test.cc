@@ -463,6 +463,307 @@ TEST(ClusterChaosTest, InjectedShardFaultsNeverDoubleApply) {
   reference.Stop();
 }
 
+// --- Self-healing: repair + re-admission on the SAME router -------------
+
+TEST(ClusterSelfHealingTest, SameRouterRepairsAndReadmitsCrashedShard) {
+  const std::filesystem::path dir = FreshDir("cluster_self_heal");
+  std::vector<std::unique_ptr<SketchServer>> shards;
+  for (int i = 0; i < 3; ++i) {
+    shards.push_back(std::make_unique<SketchServer>(
+        ShardOptions((dir / ("wal" + std::to_string(i))).string())));
+    std::string error;
+    ASSERT_TRUE(shards.back()->Start(&error)) << error;
+  }
+  SketchServer reference(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(reference.Start(&error)) << error;
+
+  std::vector<const SketchServer*> shard_ptrs;
+  for (const auto& shard : shards) shard_ptrs.push_back(shard.get());
+  ClusterRouter router(RouterOptions(shard_ptrs));
+  ASSERT_TRUE(router.Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 3u);
+
+  auto via_router = MustConnect(router.port(), "heal");
+  auto via_reference = MustConnect(reference.port(), "heal");
+  std::vector<UpdateBatch> history;
+  const auto push_both = [&](int index) {
+    history.push_back(MakeBatch(index));
+    const SketchClient::Status fed =
+        via_router->PushUpdatesWithRetry(history.back());
+    ASSERT_TRUE(fed.ok) << "batch " << index << ": " << fed.error;
+    ASSERT_TRUE(via_reference->PushUpdates(history.back()).ok);
+  };
+  for (int i = 0; i < 5; ++i) push_both(i);
+
+  // Kill the shard owning "A"; ingest rides the replicas while the dead
+  // shard accumulates missed placed writes (-> stale).
+  const std::string owner = router.WriteTargets("A")[0];
+  size_t owner_index = 0;
+  for (size_t i = 0; i < router.options().shards.size(); ++i) {
+    if (router.options().shards[i].name == owner) owner_index = i;
+  }
+  const int owner_port = shards[owner_index]->port();
+  shards[owner_index]->Stop();
+  for (int i = 5; i < 10; ++i) push_both(i);
+  ASSERT_GE(router.stats().stale_shards, 1u);
+
+  // Restart on the old port + WAL. The NEXT probe sweep of the SAME
+  // router repairs the gap from healthy replicas (anti-entropy transfer)
+  // and atomically re-admits the shard — no router restart, no client
+  // re-push.
+  SketchServer::Options recovered_options =
+      ShardOptions((dir / ("wal" + std::to_string(owner_index))).string());
+  recovered_options.port = owner_port;
+  shards[owner_index] = std::make_unique<SketchServer>(recovered_options);
+  ASSERT_TRUE(shards[owner_index]->Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 3u);
+
+  const ClusterRouter::StatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.stale_shards, 0u);
+  EXPECT_GE(stats.repairs, 1u);
+  EXPECT_GE(stats.readmissions, 1u);
+  // Re-admitted into the read path: "A" reads from its owner again.
+  EXPECT_EQ(router.ReadTarget("A"), owner);
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  // The transfer carried the sources' dedup watermarks, so a full client
+  // re-push is recognized as pure duplicates everywhere — exactly-once
+  // survives repair.
+  auto replayer = MustConnect(router.port(), "heal");
+  for (size_t i = 0; i < history.size(); ++i) {
+    const SketchClient::Status status =
+        replayer->PushUpdatesAt(history[i], static_cast<uint64_t>(i) + 1);
+    ASSERT_TRUE(status.ok) << "re-push " << i << ": " << status.error;
+    EXPECT_TRUE(status.duplicate) << "re-push " << i;
+  }
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  router.Stop();
+  for (const auto& shard : shards) shard->Stop();
+  reference.Stop();
+}
+
+// --- Read policies over a healthy-but-stale shard -----------------------
+
+/// Starts two WAL-backed shards + a replicas=0 router, pushes three
+/// batches, kills the owner of "A", provokes one bounced push (marking
+/// the owner stale), restarts it on the WAL, and re-probes. With
+/// auto_repair off the shard comes back HEALTHY but STALE — the state
+/// the two read policies disagree about.
+class StaleShardFixture {
+ public:
+  explicit StaleShardFixture(const std::string& dir_name,
+                             ClusterRouter::ReadPolicy policy)
+      : dir_(FreshDir(dir_name)) {
+    for (int i = 0; i < 2; ++i) {
+      shards_.push_back(std::make_unique<SketchServer>(
+          ShardOptions((dir_ / ("wal" + std::to_string(i))).string())));
+      std::string error;
+      EXPECT_TRUE(shards_.back()->Start(&error)) << error;
+    }
+    std::vector<const SketchServer*> ptrs;
+    for (const auto& shard : shards_) ptrs.push_back(shard.get());
+    ClusterRouter::Options options = RouterOptions(ptrs);
+    options.replicas = 0;  // Single placed copy: no failover candidate.
+    options.auto_repair = false;
+    options.read_policy = policy;
+    router_ = std::make_unique<ClusterRouter>(options);
+    std::string error;
+    EXPECT_TRUE(router_->Start(&error)) << error;
+    EXPECT_EQ(router_->ProbeAll(), 2u);
+
+    auto client = MustConnect(router_->port());
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(client->PushUpdates(MakeBatch(i)).ok);
+    }
+
+    owner_ = router_->WriteTargets("A")[0];
+    for (size_t i = 0; i < router_->options().shards.size(); ++i) {
+      if (router_->options().shards[i].name == owner_) owner_index_ = i;
+    }
+    const int owner_port = shards_[owner_index_]->port();
+    shards_[owner_index_]->Stop();
+
+    // One anonymous push to "A" only: the forward fails, the owner is
+    // marked stale, nothing lands anywhere (no partial fan-out).
+    UpdateBatch probe;
+    probe.stream_names = {"A"};
+    probe.updates.push_back(Update{0, 0xA11CEULL, 1});
+    EXPECT_FALSE(client->PushUpdates(probe).ok);
+
+    SketchServer::Options recovered = ShardOptions(
+        (dir_ / ("wal" + std::to_string(owner_index_))).string());
+    recovered.port = owner_port;
+    shards_[owner_index_] = std::make_unique<SketchServer>(recovered);
+    std::string restart_error;
+    EXPECT_TRUE(shards_[owner_index_]->Start(&restart_error))
+        << restart_error;
+    EXPECT_EQ(router_->ProbeAll(), 2u);
+    EXPECT_GE(router_->stats().stale_shards, 1u);
+  }
+
+  ~StaleShardFixture() {
+    router_->Stop();
+    for (const auto& shard : shards_) shard->Stop();
+  }
+
+  ClusterRouter& router() { return *router_; }
+  const std::string& owner() const { return owner_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::vector<std::unique_ptr<SketchServer>> shards_;
+  std::unique_ptr<ClusterRouter> router_;
+  std::string owner_;
+  size_t owner_index_ = 0;
+};
+
+TEST(ClusterReadPolicyTest, StrictRefusesStreamsWithOnlyStaleCopies) {
+  StaleShardFixture fixture("cluster_strict_policy",
+                            ClusterRouter::ReadPolicy::kStrict);
+  auto client = MustConnect(fixture.router().port());
+
+  // Strict: the only copy of "A" is stale, so the read is refused rather
+  // than served from a shard that missed a placed write.
+  const QueryResultInfo refused = client->Query("A");
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("no healthy shard"), std::string::npos)
+      << refused.error;
+
+  // Explicit repair (the admin path) re-admits it; with WAL replay
+  // having already restored everything, the repair converges trivially.
+  std::string error;
+  ASSERT_TRUE(fixture.router().RepairShard(fixture.owner(), &error))
+      << error;
+  const ClusterRouter::StatsSnapshot stats = fixture.router().stats();
+  EXPECT_EQ(stats.stale_shards, 0u);
+  EXPECT_GE(stats.readmissions, 1u);
+  const QueryResultInfo healed = client->Query("A");
+  EXPECT_TRUE(healed.ok) << healed.error;
+  EXPECT_FALSE(healed.degraded);
+}
+
+TEST(ClusterReadPolicyTest, AvailableServesStaleCopiesAsDegraded) {
+  StaleShardFixture fixture("cluster_available_policy",
+                            ClusterRouter::ReadPolicy::kAvailable);
+  auto client = MustConnect(fixture.router().port());
+
+  // Available: the stale-but-reachable copy answers, flagged degraded on
+  // the wire and counted in STATS.
+  const QueryResultInfo degraded = client->Query("A");
+  ASSERT_TRUE(degraded.ok) << degraded.error;
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_GE(fixture.router().stats().degraded_answers, 1u);
+
+  std::string error;
+  ASSERT_TRUE(fixture.router().RepairShard(fixture.owner(), &error))
+      << error;
+  const QueryResultInfo healed = client->Query("A");
+  ASSERT_TRUE(healed.ok) << healed.error;
+  EXPECT_FALSE(healed.degraded);
+  // WAL replay had restored the full prefix, so the degraded answer was
+  // in fact complete here — healing must not change it.
+  EXPECT_EQ(healed.estimate, degraded.estimate);
+}
+
+// --- Online membership: add + drain move only the affected segment ------
+
+TEST(ClusterMembershipTest, AddAndDrainMoveOnlyTheAffectedSegment) {
+  SketchServer s0(ShardOptions());
+  SketchServer s1(ShardOptions());
+  SketchServer s2(ShardOptions());
+  SketchServer reference(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(s0.Start(&error)) << error;
+  ASSERT_TRUE(s1.Start(&error)) << error;
+  ASSERT_TRUE(s2.Start(&error)) << error;
+  ASSERT_TRUE(reference.Start(&error)) << error;
+
+  ClusterRouter router(RouterOptions({&s0, &s1, &s2}));
+  ASSERT_TRUE(router.Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 3u);
+
+  auto via_router = MustConnect(router.port(), "member");
+  auto via_reference = MustConnect(reference.port(), "member");
+  for (int i = 0; i < 6; ++i) {
+    const UpdateBatch batch = MakeBatch(i);
+    ASSERT_TRUE(via_router->PushUpdatesWithRetry(batch).ok);
+    ASSERT_TRUE(via_reference->PushUpdates(batch).ok);
+  }
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  const std::vector<std::string> streams = {"A", "B", "C"};
+  std::map<std::string, std::vector<std::string>> before;
+  for (const std::string& stream : streams) {
+    before[stream] = router.WriteTargets(stream);
+  }
+
+  // Join a vetted fourth shard online. Only streams whose new placement
+  // includes it migrate; every other stream keeps its exact targets.
+  SketchServer s3(ShardOptions());
+  ASSERT_TRUE(s3.Start(&error)) << error;
+  ClusterShard joining;
+  joining.name = "s3";
+  joining.host = "127.0.0.1";
+  joining.port = s3.port();
+  uint64_t moved = 0;
+  ASSERT_TRUE(router.AddShard(joining, &moved, &error)) << error;
+  EXPECT_EQ(router.stats().shards, 4u);
+
+  uint64_t expected_moved = 0;
+  for (const std::string& stream : streams) {
+    const std::vector<std::string> after = router.WriteTargets(stream);
+    bool on_new = false;
+    for (const std::string& target : after) on_new |= target == "s3";
+    if (on_new) {
+      ++expected_moved;
+    } else {
+      EXPECT_EQ(after, before[stream]) << stream << " moved needlessly";
+    }
+  }
+  EXPECT_EQ(moved, expected_moved);
+  // Reads may now land on the new shard; answers must not drift.
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  // Keep ingesting through the enlarged ring.
+  for (int i = 6; i < 9; ++i) {
+    const UpdateBatch batch = MakeBatch(i);
+    ASSERT_TRUE(via_router->PushUpdatesWithRetry(batch).ok);
+    ASSERT_TRUE(via_reference->PushUpdates(batch).ok);
+  }
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  // Drain it back out: its segment slides to the ring successors and the
+  // original three-shard placement is restored exactly (the ring is a
+  // pure function of the member set).
+  uint64_t drained = 0;
+  ASSERT_TRUE(router.DrainShard("s3", &drained, &error)) << error;
+  EXPECT_EQ(router.stats().removed_shards, 1u);
+  for (const std::string& stream : streams) {
+    EXPECT_EQ(router.WriteTargets(stream), before[stream]) << stream;
+  }
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  for (int i = 9; i < 11; ++i) {
+    const UpdateBatch batch = MakeBatch(i);
+    ASSERT_TRUE(via_router->PushUpdatesWithRetry(batch).ok);
+    ASSERT_TRUE(via_reference->PushUpdates(batch).ok);
+  }
+  ExpectAnswersMatchReference(*via_router, *via_reference);
+
+  // Draining the drained shard again is refused, as is draining down to
+  // zero members eventually — membership errors are typed, not crashes.
+  EXPECT_FALSE(router.DrainShard("s3", &drained, &error));
+
+  router.Stop();
+  s0.Stop();
+  s1.Stop();
+  s2.Stop();
+  s3.Stop();
+  reference.Stop();
+}
+
 // --- CLI plumbing -------------------------------------------------------
 
 TEST(ClusterCommandsTest, ParseShardListValidatesInput) {

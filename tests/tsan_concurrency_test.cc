@@ -14,7 +14,11 @@
 //   * ParallelIngest fanning one update batch over a shared SketchBank;
 //   * SketchServer serving PUSH/QUERY/STATS from concurrent clients;
 //   * Wal appends from many threads racing a rotation (the shard-mutex
-//     seam the fault-tolerance PR introduced).
+//     seam the fault-tolerance PR introduced);
+//   * the cluster router's probe loop, repair sweeps, and online
+//     membership changes racing forwarded pushes and federated queries
+//     (the write gate / placement / in-doubt seams of the self-healing
+//     PR).
 
 #include <gtest/gtest.h>
 
@@ -27,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_router.h"
 #include "core/sketch_bank.h"
 #include "core/sketch_seed.h"
 #include "query/parallel_ingest.h"
@@ -507,6 +512,170 @@ TEST(TsanConcurrencyTest, ServerPlanCacheConcurrentQueryVsPush) {
   EXPECT_GT(stats.plan_cache_hits + stats.plan_cache_misses +
                 stats.plan_cache_invalidations,
             0u);
+}
+
+// --- Cluster router: probe/repair/membership racing PUSH + QUERY --------
+
+TEST(TsanConcurrencyTest, RouterRepairMembershipPushQueryStress) {
+  // The self-healing router's shared-state seams all at once: the
+  // background probe loop, explicit RepairShard sweeps, online
+  // add-shard/drain-shard (write-gate exclusive transfers + dual-write
+  // overlay + ring flips) — all racing client pushes and federated
+  // queries. Functional bar: every acknowledged batch lands exactly once,
+  // so the final federated answers match a fault-free reference server
+  // bit-for-bit.
+  SketchServer::Options shard_options;
+  shard_options.params = SmallParams();
+  shard_options.copies = 32;
+  shard_options.seed = 20030609;
+  shard_options.shards = 2;
+  shard_options.queue_capacity = 16;
+  shard_options.witness.pool_all_levels = true;
+  SketchServer s0(shard_options);
+  SketchServer s1(shard_options);
+  SketchServer extra(shard_options);
+  SketchServer reference(shard_options);
+  std::string error;
+  ASSERT_TRUE(s0.Start(&error)) << error;
+  ASSERT_TRUE(s1.Start(&error)) << error;
+  ASSERT_TRUE(extra.Start(&error)) << error;
+  ASSERT_TRUE(reference.Start(&error)) << error;
+
+  ClusterRouter::Options options;
+  {
+    ClusterShard shard;
+    shard.name = "s0";
+    shard.host = "127.0.0.1";
+    shard.port = s0.port();
+    options.shards.push_back(shard);
+    shard.name = "s1";
+    shard.port = s1.port();
+    options.shards.push_back(shard);
+  }
+  options.replicas = 1;
+  options.params = SmallParams();
+  options.copies = 32;
+  options.seed = 20030609;
+  options.witness.pool_all_levels = true;
+  options.probe_interval_ms = 10;  // Background probe loop is live.
+  options.shard_connect_timeout_ms = 1000;
+  options.shard_io_timeout_ms = 5000;
+  ClusterRouter router(options);
+  ASSERT_TRUE(router.Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 2u);
+
+  constexpr int kPushers = 2;
+  constexpr int kBatches = 20;
+  constexpr int kPerBatch = 60;
+  SpinBarrier barrier(kPushers + 3);
+
+  std::vector<std::thread> pushers;
+  pushers.reserve(kPushers);
+  for (int p = 0; p < kPushers; ++p) {
+    pushers.emplace_back([&router, &reference, &barrier, p] {
+      SketchClient::Options client_options;
+      client_options.port = router.port();
+      client_options.site_id = "stress-" + std::to_string(p);
+      std::string connect_error;
+      auto via_router =
+          SketchClient::Connect(client_options, &connect_error);
+      ASSERT_NE(via_router, nullptr) << connect_error;
+      client_options.port = reference.port();
+      auto via_reference =
+          SketchClient::Connect(client_options, &connect_error);
+      ASSERT_NE(via_reference, nullptr) << connect_error;
+      barrier.ArriveAndWait();
+      for (int b = 0; b < kBatches; ++b) {
+        UpdateBatch batch;
+        batch.stream_names = {"A", "B", "C"};
+        batch.updates.reserve(kPerBatch);
+        for (int i = 0; i < kPerBatch; ++i) {
+          const uint64_t element = static_cast<uint64_t>(
+              (p * kBatches + b) * kPerBatch + i) * 2654435761ULL + 3;
+          batch.updates.push_back(
+              Update{static_cast<StreamId>(i % 3), element, 1});
+        }
+        ASSERT_TRUE(via_router->PushUpdatesWithRetry(batch).ok);
+        ASSERT_TRUE(via_reference->PushUpdatesWithRetry(batch).ok);
+      }
+    });
+  }
+
+  std::atomic<bool> done{false};
+  std::thread querier([&router, &barrier, &done] {
+    std::string connect_error;
+    auto client =
+        SketchClient::Connect("127.0.0.1", router.port(), &connect_error);
+    ASSERT_NE(client, nullptr) << connect_error;
+    barrier.ArriveAndWait();
+    while (!done.load()) {
+      const QueryResultInfo answer = client->Query("(A | B) & C");
+      // Unknown streams before the first push lands are legal; once
+      // answers come they must be sane.
+      if (answer.ok) {
+        EXPECT_GE(answer.estimate, 0.0);
+      }
+    }
+  });
+  std::thread repairer([&router, &barrier, &done] {
+    barrier.ArriveAndWait();
+    while (!done.load()) {
+      // Healthy, non-stale shards converge trivially — the point is the
+      // lock interleaving with pushes, probes, and transfers.
+      router.RepairShard("s0");
+      router.RepairShard("s1");
+      router.ProbeAll();
+    }
+  });
+  std::thread membership([&router, &extra, &barrier] {
+    barrier.ArriveAndWait();
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      ClusterShard joining;
+      joining.name = "extra";
+      joining.host = "127.0.0.1";
+      joining.port = extra.port();
+      uint64_t moved = 0;
+      std::string member_error;
+      ASSERT_TRUE(router.AddShard(joining, &moved, &member_error))
+          << "cycle " << cycle << ": " << member_error;
+      ASSERT_TRUE(router.DrainShard("extra", &moved, &member_error))
+          << "cycle " << cycle << ": " << member_error;
+    }
+  });
+
+  for (std::thread& pusher : pushers) pusher.join();
+  membership.join();
+  done.store(true);
+  querier.join();
+  repairer.join();
+
+  // Quiescent: the federated view must equal the fault-free reference
+  // exactly — no batch lost or double-applied across all the transfers.
+  {
+    std::string connect_error;
+    auto via_router =
+        SketchClient::Connect("127.0.0.1", router.port(), &connect_error);
+    ASSERT_NE(via_router, nullptr) << connect_error;
+    auto via_reference = SketchClient::Connect(
+        "127.0.0.1", reference.port(), &connect_error);
+    ASSERT_NE(via_reference, nullptr) << connect_error;
+    for (const char* expression :
+         {"A", "B", "C", "(A | B) & C", "A - (B & C)"}) {
+      const QueryResultInfo fed = via_router->Query(expression);
+      const QueryResultInfo ref = via_reference->Query(expression);
+      ASSERT_TRUE(ref.ok) << expression << ": " << ref.error;
+      ASSERT_TRUE(fed.ok) << expression << ": " << fed.error;
+      EXPECT_EQ(fed.estimate, ref.estimate) << expression;
+      EXPECT_EQ(fed.lo, ref.lo) << expression;
+      EXPECT_EQ(fed.hi, ref.hi) << expression;
+    }
+  }
+
+  router.Stop();
+  s0.Stop();
+  s1.Stop();
+  extra.Stop();
+  reference.Stop();
 }
 
 }  // namespace

@@ -20,13 +20,18 @@
 #                cycle driven end-to-end through the sketchtool CLI.
 #   6. cluster   AddressSanitizer build + the cluster suite (hash-ring
 #                placement, hello handshake, federated queries, chaos
-#                failover), then a real 3-shard + router deployment
-#                through the sketchtool CLI: kill -9 the shard owning a
-#                stream mid-run, fail reads over to the replica, restart
-#                on the WAL, re-push through the dedup window, and
-#                require the federated answer to stay bit-identical to a
-#                fault-free single node; finally a bench_cluster JSON
-#                trajectory smoke.
+#                failover, self-healing repair, read policies, online
+#                membership, backoff numerics), then a real 3-shard +
+#                router deployment through the sketchtool CLI: kill -9
+#                the shard owning a stream mid-run, fail reads over to
+#                the replica, restart on the WAL, verify the SAME router
+#                repairs and re-admits the shard via anti-entropy (no
+#                router restart), re-push through the dedup window, then
+#                an online membership chaos pass (route add-shard /
+#                drain-shard against the live router) — every federated
+#                answer must stay bit-identical to a fault-free single
+#                node; finally a bench_cluster JSON trajectory smoke
+#                (including the kill/restart time-to-readmit sweep).
 #   7. tidy      tools/lint.py source hygiene + validate_bench_json.py
 #                --schema-only + clang-tidy over the library (skipped
 #                with a notice when clang-tidy is not installed).
@@ -217,9 +222,11 @@ stage_chaos() {
 
 stage_cluster() {
   # Cluster suite under AddressSanitizer: placement, handshake, summary
-  # pulls, federated bit-identity and the in-process chaos tests.
+  # pulls, federated bit-identity, the in-process chaos tests, the
+  # self-healing repair/read-policy/membership tests and the shared
+  # backoff policy numerics.
   build_and_test "${prefix}-cluster" \
-    "HashRingTest|PlacementTest|ClusterHandshakeTest|ClusterSummaryTest|ClusterRouterTest|ClusterChaosTest|ClusterCommandsTest" \
+    "HashRingTest|PlacementTest|ClusterHandshakeTest|ClusterSummaryTest|ClusterRouterTest|ClusterChaosTest|ClusterSelfHealingTest|ClusterReadPolicyTest|ClusterMembershipTest|ClusterCommandsTest|BackoffTest" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSETSKETCH_SANITIZE=address
 
   echo "=== cluster e2e (3 shards + router, kill -9 + failover) ==="
@@ -342,9 +349,10 @@ stage_cluster() {
   fi
 
   # Restart the dead shard on its old port + WAL (replay restores the
-  # pre-kill batches and the dedup index), wait for a probe to re-admit
-  # it to the write path, then re-push the missed phase: the recovering
-  # shard applies it, the survivors re-ACK it as duplicates.
+  # pre-kill batches and the dedup index). The SAME router's probe loop
+  # must then detect the restart, pull the crash gap from the surviving
+  # replica via anti-entropy repair, and re-admit the shard — no router
+  # restart. Poll STATS until the healing counters confirm it.
   "${tool}" serve --port "${owner_port}" --copies 32 \
     --wal-dir "${dir}/wal${owner_index}" > "${dir}/recovered.log" &
   shard_pids[owner_index]=$!
@@ -355,11 +363,31 @@ stage_cluster() {
     echo "cluster e2e: restarted owner replayed no WAL batches" >&2
     exit 1
   fi
-  sleep 1  # > probe-interval-ms: the router re-marks the shard healthy.
+  local healed=0
+  for ((i = 0; i < 100; ++i)); do
+    "${tool}" stats --port "${route_port}" > "${dir}/stats2.log"
+    if grep -q "^stale_shards 0\$" "${dir}/stats2.log" &&
+        ! grep -q "^repairs 0\$" "${dir}/stats2.log" &&
+        ! grep -q "^readmissions 0\$" "${dir}/stats2.log"; then
+      healed=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [[ ${healed} -ne 1 ]]; then
+    echo "cluster e2e: router never repaired/re-admitted the shard" >&2
+    cat "${dir}/stats2.log" >&2
+    exit 1
+  fi
+  # The repair carried the dedup watermarks with the data, so a client
+  # re-push of the missed phase is ALL duplicate ACKs on every copy —
+  # the recovered owner needs nothing from the client.
   "${tool}" push --port "${route_port}" --updates "${dir}/phase2.txt" \
     --streams A,B,C --site cluster --seq-start 10 --batch 500 \
     > "${dir}/push3.log"
-  # And a full replay is all duplicate ACKs — nothing double-counted.
+  grep -q "6 duplicate acks" "${dir}/push3.log"
+  # And a second full replay stays all-duplicate — nothing
+  # double-counted.
   "${tool}" push --port "${route_port}" --updates "${dir}/phase2.txt" \
     --streams A,B,C --site cluster --seq-start 10 --batch 500 \
     > "${dir}/push4.log"
@@ -382,8 +410,65 @@ stage_cluster() {
   fi
 
   "${tool}" shutdown --port "${route2_port}"
+  wait "${route2_pid}"
+
+  echo "=== cluster e2e (online membership: add-shard / drain-shard) ==="
+  # A vetted fourth shard joins the RUNNING router: only its ring
+  # segment migrates (dual-write covers the transition), and the
+  # federated answer never drifts from the fault-free reference —
+  # before, during, and after the membership change.
+  "${tool}" serve --port 0 --copies 32 --wal-dir "${dir}/wal3" \
+    --backend epoll > "${dir}/shard3.log" &
+  local shard3_pid=$!
+  local shard3_port
+  shard3_port="$(wait_for_announce "${dir}/shard3.log" 'listening on')"
+  "${tool}" route add-shard --router "127.0.0.1:${route_port}" \
+    --shard "127.0.0.1:${shard3_port}" > "${dir}/admin1.log"
+  grep -q "added shard '127.0.0.1:${shard3_port}'" "${dir}/admin1.log"
+  got="$("${tool}" query --port "${route_port}" --expr "${expr}")"
+  if [[ "${got}" != "${want}" ]]; then
+    echo "cluster e2e: answer diverged after add-shard" >&2
+    echo "  reference: ${want}" >&2
+    echo "  federated: ${got}" >&2
+    exit 1
+  fi
+  # Push a third phase through the grown ring, mirrored to the
+  # reference, then drain the new shard back out of the live router.
+  for ((i = 2500; i < 3000; ++i)); do
+    echo "0 $((i * 7919 + 1)) 1"
+    echo "1 $((i * 104729 + 3)) 1"
+    echo "2 $((i * 15485863 + 7)) 1"
+  done > "${dir}/phase3.txt"
+  "${tool}" push --port "${route_port}" --updates "${dir}/phase3.txt" \
+    --streams A,B,C --site cluster --seq-start 20 --batch 500 \
+    > "${dir}/push5.log"
+  "${tool}" push --port "${ref_port}" --updates "${dir}/phase3.txt" \
+    --streams A,B,C --site cluster --seq-start 20 --batch 500 >/dev/null
+  want="$("${tool}" query --port "${ref_port}" --expr "${expr}")"
+  got="$("${tool}" query --port "${route_port}" --expr "${expr}")"
+  if [[ "${got}" != "${want}" ]]; then
+    echo "cluster e2e: answer diverged on the grown ring" >&2
+    echo "  reference: ${want}" >&2
+    echo "  federated: ${got}" >&2
+    exit 1
+  fi
+  "${tool}" route drain-shard --router "127.0.0.1:${route_port}" \
+    --name "127.0.0.1:${shard3_port}" > "${dir}/admin2.log"
+  grep -q "drained shard '127.0.0.1:${shard3_port}'" "${dir}/admin2.log"
+  got="$("${tool}" query --port "${route_port}" --expr "${expr}")"
+  if [[ "${got}" != "${want}" ]]; then
+    echo "cluster e2e: answer diverged after drain-shard" >&2
+    echo "  reference: ${want}" >&2
+    echo "  federated: ${got}" >&2
+    exit 1
+  fi
+  "${tool}" stats --port "${route_port}" > "${dir}/stats3.log"
+  grep -q "^removed_shards 1\$" "${dir}/stats3.log"
+  "${tool}" shutdown --port "${shard3_port}"
+  wait "${shard3_pid}"
+
   "${tool}" shutdown --port "${route_port}"
-  wait "${route2_pid}" "${route_pid}"
+  wait "${route_pid}"
   for i in 0 1 2; do
     "${tool}" shutdown --port "${shard_ports[i]}"
   done

@@ -48,12 +48,27 @@
 //                       [--io-timeout-ms 30000] [--idle-timeout-ms 0]
 //                       [--shard-io-timeout-ms 10000]
 //                       [--connect-timeout-ms 2000]
+//                       [--read-policy strict|available]
+//                       [--probe-backoff-initial-ms 100]
+//                       [--probe-backoff-cap-ms 5000]
+//                       [--flap-threshold 1] [--no-auto-repair]
+//                       [--max-dynamic-shards 16]
 //                       (federating router: clients push/query it like a
 //                        single server; streams are placed on shards by a
 //                        seeded consistent-hash ring, writes fan out to
 //                        owner + replicas, queries pull per-stream
 //                        summaries and merge through the shared
-//                        estimator kernel)
+//                        estimator kernel; a crashed-and-restarted shard
+//                        is repaired from healthy replicas and re-admitted
+//                        live — no router restart)
+//   sketchtool route add-shard   --router H:P --shard H:P [--name NAME]
+//                       (online membership: vets the joining server,
+//                        migrates only the ring segment it takes over,
+//                        then flips placement — dual-writes cover the
+//                        transfer window)
+//   sketchtool route drain-shard --router H:P --name NAME
+//                       (migrates the named shard's segment to its ring
+//                        successors, then removes it from placement)
 //   sketchtool query    --port P --expr "(A - B) & C" [--host ...]
 //   sketchtool explain  --port P --expr "(A - B) & C" [--host ...]
 //                       (the planner's report: canonical plan, shared
@@ -117,6 +132,13 @@ int Usage() {
                "           [--io-timeout-ms N] [--idle-timeout-ms N]\n"
                "           [--shard-io-timeout-ms N]\n"
                "           [--connect-timeout-ms N]\n"
+               "           [--read-policy strict|available]\n"
+               "           [--probe-backoff-initial-ms N]\n"
+               "           [--probe-backoff-cap-ms N]\n"
+               "           [--flap-threshold N] [--no-auto-repair]\n"
+               "           [--max-dynamic-shards N]\n"
+               "  route add-shard   --router H:P --shard H:P [--name S]\n"
+               "  route drain-shard --router H:P --name S\n"
                "  push     --port N --updates FILE [--host ADDR]\n"
                "           [--streams A,B,..] [--batch N]\n"
                "           [--batch-bytes N] [--site ID]\n"
@@ -205,6 +227,52 @@ int main(int argc, char** argv) {
         static_cast<size_t>(flags.GetInt("read-chunk-bytes", 256 << 10));
     options.pin_shards = flags.GetBool("pin-shards", false);
     result = RunServe(options, &std::cout);
+  } else if (command == "route" && argc >= 3 &&
+             (std::string(argv[2]) == "add-shard" ||
+              std::string(argv[2]) == "drain-shard")) {
+    // Admin subcommands dial a RUNNING router; re-parse flags past the
+    // positional action word (the top-level parse would flag it as an
+    // unrecognized positional).
+    const std::string action = argv[2];
+    const Flags admin = Flags::Parse(argc - 2, argv + 2);
+    RouteAdminSpec spec;
+    spec.action = action;
+    std::vector<ClusterShard> router_addr;
+    std::string parse_error;
+    if (!ParseShardList(admin.GetString("router", ""), &router_addr,
+                        &parse_error) ||
+        router_addr.size() != 1) {
+      std::cerr << "sketchtool route " << action
+                << ": --router HOST:PORT is required\n";
+      return Usage();
+    }
+    spec.router_host = router_addr[0].host;
+    spec.router_port = router_addr[0].port;
+    if (action == "add-shard") {
+      std::vector<ClusterShard> joining;
+      if (!ParseShardList(admin.GetString("shard", ""), &joining,
+                          &parse_error) ||
+          joining.size() != 1) {
+        std::cerr << "sketchtool route add-shard: --shard HOST:PORT "
+                     "(the joining server) is required\n";
+        return Usage();
+      }
+      spec.shard = joining[0];
+    } else {
+      spec.shard.name = admin.GetString("name", "");
+    }
+    const std::string name = admin.GetString("name", "");
+    if (!name.empty()) spec.shard.name = name;
+    if (spec.shard.name.empty()) {
+      std::cerr << "sketchtool route drain-shard: --name SHARD is "
+                   "required\n";
+      return Usage();
+    }
+    spec.io_timeout_ms =
+        static_cast<int>(admin.GetInt("io-timeout-ms", 30000));
+    spec.connect_timeout_ms =
+        static_cast<int>(admin.GetInt("connect-timeout-ms", 5000));
+    result = RunRouteAdmin(spec);
   } else if (command == "route") {
     ClusterRouter::Options options;
     std::string parse_error;
@@ -237,6 +305,26 @@ int main(int argc, char** argv) {
         static_cast<int>(flags.GetInt("shard-io-timeout-ms", 10000));
     options.shard_connect_timeout_ms =
         static_cast<int>(flags.GetInt("connect-timeout-ms", 2000));
+    const std::string read_policy =
+        flags.GetString("read-policy", "strict");
+    if (read_policy == "strict") {
+      options.read_policy = ClusterRouter::ReadPolicy::kStrict;
+    } else if (read_policy == "available") {
+      options.read_policy = ClusterRouter::ReadPolicy::kAvailable;
+    } else {
+      std::cerr << "sketchtool route: unknown --read-policy '"
+                << read_policy << "' (expected strict or available)\n";
+      return Usage();
+    }
+    options.probe_backoff_initial_ms =
+        static_cast<int>(flags.GetInt("probe-backoff-initial-ms", 100));
+    options.probe_backoff_cap_ms =
+        static_cast<int>(flags.GetInt("probe-backoff-cap-ms", 5000));
+    options.probe_flap_threshold =
+        static_cast<int>(flags.GetInt("flap-threshold", 1));
+    options.auto_repair = !flags.GetBool("no-auto-repair", false);
+    options.max_dynamic_shards =
+        static_cast<int>(flags.GetInt("max-dynamic-shards", 16));
     result = RunRoute(options, &std::cout);
   } else if (command == "push") {
     PushSpec spec;

@@ -19,7 +19,8 @@ configured to emit. Benches are keyed by the marker:
                     invalidation re-merge, served loopback QUERY path)
   cluster           bench_cluster (single-node vs routed ingest with and
                     without replication; federated query cost cold vs
-                    via the router's epoch-aware summary cache)
+                    via the router's epoch-aware summary cache; the
+                    kill/restart/repair time-to-readmit turnaround)
 
 tools/check.sh smoke-runs each bench and validates its trajectory here,
 so the perf reporting cannot silently rot.
@@ -76,6 +77,7 @@ EXPECTED_BY_BENCH = {
         "ClusterQuery/single_node",
         "ClusterQuery/federated_cold",
         "ClusterQuery/federated_hot",
+        "ClusterRepair/time_to_readmit",
     ],
 }
 
