@@ -1,0 +1,328 @@
+// Backend shootout: accuracy vs space vs speed for every pluggable
+// distinct-sketch backend behind the EstimatorKernel seam, plus a
+// deletion-storm scenario that shows WHY the repo's synopses are all
+// deletion-transparent.
+//
+// Rows (one JSON result each, BENCH_backends.json):
+//
+//   BackendIngest/<b>    ns per update while ingesting u distinct
+//                        inserts into one stream of backend <b>.
+//   BackendEstimate/<b>  ns per single-stream estimate on the loaded
+//                        synopsis; rel_error against the exact count and
+//                        the synopsis' resident bytes ride along.
+//   DeletionStorm/<b>    insert u, then delete 90% of it; rel_error is
+//                        measured against the surviving 10%. The
+//                        kmv_baseline row is a classic insert-only KMV
+//                        sample: it cannot observe deletions, so its
+//                        estimate stays pinned near the pre-storm peak
+//                        and diverges — exactly the failure mode the
+//                        paper's deletion-transparent synopses avoid.
+//
+// Backends: two_level (the bank-native 2-level hash sketch, estimated
+// through the default union path), theta_kmv and set_sketch (through
+// EstimateWithBackend — the seam's only sanctioned entry), and
+// kmv_baseline (bench-local sampling strawman).
+//
+// Exit status enforces the storm contract: each NEW backend (theta_kmv,
+// set_sketch) must stay within 3x its TargetRelativeError while the
+// baseline must be off by at least 50%, so the deletion-robustness claim
+// cannot silently rot. The two_level row is reported but not gated — the
+// paper's own estimator trades constants for generality and its error at
+// smoke scales exceeds the asymptotic 1/sqrt(r) target.
+//
+// Emits BENCH_backends.json (or SETSKETCH_BENCH_JSON) validated by
+// tools/validate_bench_json.py. Honors SETSKETCH_BENCH_SCALE (0 < scale
+// <= 1, default 0.25).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/set_union_estimator.h"
+#include "core/sketch_backend.h"
+#include "core/sketch_bank.h"
+#include "expr/parser.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace setsketch;
+
+namespace {
+
+constexpr uint32_t kBackendSize = 4096;
+constexpr uint64_t kSeed = 42;
+constexpr int kBankCopies = 128;
+constexpr double kStormSurvivorFraction = 0.10;
+
+struct RowResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  double seconds = 0.0;
+  double rel_error = 0.0;
+  double eps_target = 0.0;
+  uint64_t bytes = 0;
+};
+
+std::string FormatJsonDouble(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << value;
+  return out.str();
+}
+
+double EnvScale() {
+  const char* env = std::getenv("SETSKETCH_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') return 0.25;
+  const double value = std::atof(env);
+  return (value > 0.0 && value <= 1.0) ? value : 0.25;
+}
+
+/// Insert-only KMV sample of the k smallest element hashes — the
+/// sampling strawman. A deletion cannot be applied: the sample has no
+/// way to know whether the deleted element's hash was ever admitted
+/// after evictions, so deletes are dropped on the floor (as any
+/// reservoir/KMV sample over a delete-capable stream must be).
+class InsertOnlyKmvBaseline {
+ public:
+  void Insert(uint64_t element) {
+    const uint64_t h = BackendHash64(element, kSeed);
+    if (sample_.size() < kBackendSize) {
+      sample_.insert(h);
+    } else if (h < *sample_.rbegin()) {
+      sample_.insert(h);
+      sample_.erase(std::prev(sample_.end()));
+    }
+  }
+
+  double Cardinality() const {
+    if (sample_.size() < kBackendSize) {
+      return static_cast<double>(sample_.size());
+    }
+    const double kth =
+        static_cast<double>(*sample_.rbegin()) / 18446744073709551616.0;
+    return kth > 0.0 ? (kBackendSize - 1) / kth : 0.0;
+  }
+
+  size_t MemoryBytes() const { return sample_.size() * sizeof(uint64_t); }
+
+ private:
+  std::set<uint64_t> sample_;
+};
+
+/// Estimates the single stream "S" of `bank` through the sanctioned
+/// path for its backend: the default union estimator for two_level,
+/// EstimateWithBackend for everything else.
+double EstimateStream(const SketchBank& bank, const Expression& expr) {
+  if (bank.StreamBackend("S") == SketchBackendId::kTwoLevelHash) {
+    return EstimateSetUnion(bank.Groups({"S"}), 0.5).estimate;
+  }
+  const BackendEstimate est = EstimateWithBackend(
+      expr, [&bank](const std::string& name) -> const DistinctSketch* {
+        return bank.BackendSketch(name);
+      });
+  return est.ok ? est.estimate : -1.0;
+}
+
+double RelError(double estimate, double exact) {
+  return exact > 0.0 ? std::abs(estimate - exact) / exact : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvScale();
+  const int64_t u =
+      std::max<int64_t>(1 << 14, static_cast<int64_t>(scale * (1 << 18)));
+  const int64_t survivors =
+      static_cast<int64_t>(static_cast<double>(u) * kStormSurvivorFraction);
+  const SketchParams params;  // Bank default shape (levels x s).
+
+  const ParseResult parsed = ParseExpression("S");
+  if (parsed.expression == nullptr) {
+    std::cerr << "internal: cannot parse the probe expression\n";
+    return 1;
+  }
+
+  struct BackendSpec {
+    std::string tag;  // JSON row suffix.
+    SketchBackendId id = SketchBackendId::kTwoLevelHash;
+    bool baseline = false;
+  };
+  const std::vector<BackendSpec> specs = {
+      {"two_level", SketchBackendId::kTwoLevelHash, false},
+      {"theta_kmv", SketchBackendId::kThetaKmv, false},
+      {"set_sketch", SketchBackendId::kSetSketch, false},
+      {"kmv_baseline", SketchBackendId::kTwoLevelHash, true},
+  };
+
+  std::cout << "=== BACKENDS: accuracy vs space vs speed ===\n"
+            << "u = " << u << " distinct inserts, storm deletes "
+            << (u - survivors) << ", backend size = " << kBackendSize
+            << ", bank copies = " << kBankCopies << "\n\n";
+
+  std::vector<RowResult> results;
+  TablePrinter table({"row", "ns/op", "rel error", "eps target", "bytes"});
+  bool storm_ok = true;
+  std::string storm_failure;
+
+  for (const BackendSpec& spec : specs) {
+    // Shared ingest workload: elements [0, u) inserted once; the storm
+    // then deletes [survivors, u), leaving [0, survivors) live.
+    std::vector<ElementDelta> inserts;
+    inserts.reserve(static_cast<size_t>(u));
+    for (int64_t e = 0; e < u; ++e) {
+      inserts.push_back({static_cast<uint64_t>(e) * 0x9E3779B9u + 1, 1});
+    }
+
+    SketchBank bank(SketchFamily(params, kBankCopies, kSeed), kBackendSize);
+    InsertOnlyKmvBaseline baseline;
+    if (spec.baseline) {
+      // Baseline ingest: sample admission only.
+    } else if (spec.id == SketchBackendId::kTwoLevelHash) {
+      bank.AddStream("S");
+    } else {
+      bank.AddStreamWithBackend("S", spec.id, bank.backend_options());
+    }
+
+    Stopwatch ingest_watch;
+    if (spec.baseline) {
+      for (const ElementDelta& item : inserts) baseline.Insert(item.element);
+    } else if (spec.id == SketchBackendId::kTwoLevelHash) {
+      bank.ApplyBatch("S", inserts);
+    } else {
+      bank.MutableBackendSketch("S")->UpdateBatch(inserts);
+    }
+    const double ingest_seconds = ingest_watch.Seconds();
+
+    RowResult ingest_row;
+    ingest_row.name = "BackendIngest/" + spec.tag;
+    ingest_row.seconds = ingest_seconds;
+    ingest_row.ns_per_op =
+        ingest_seconds * 1e9 / static_cast<double>(inserts.size());
+
+    // Steady-state estimate cost + accuracy on the fully-loaded synopsis.
+    const int kEstimateCalls = 50;
+    double estimate = 0.0;
+    Stopwatch estimate_watch;
+    for (int call = 0; call < kEstimateCalls; ++call) {
+      estimate = spec.baseline ? baseline.Cardinality()
+                               : EstimateStream(bank, *parsed.expression);
+    }
+    const double estimate_seconds = estimate_watch.Seconds();
+
+    const double eps =
+        spec.baseline
+            ? 1.0 / std::sqrt(static_cast<double>(kBackendSize))
+        : spec.id == SketchBackendId::kTwoLevelHash
+            ? 1.0 / std::sqrt(static_cast<double>(kBankCopies))
+            : bank.BackendSketch("S")->TargetRelativeError();
+    const uint64_t bytes =
+        spec.baseline ? baseline.MemoryBytes()
+        : spec.id == SketchBackendId::kTwoLevelHash
+            ? bank.CounterBytes()
+            : bank.BackendSketch("S")->MemoryBytes();
+
+    RowResult estimate_row;
+    estimate_row.name = "BackendEstimate/" + spec.tag;
+    estimate_row.seconds = estimate_seconds;
+    estimate_row.ns_per_op = estimate_seconds * 1e9 / kEstimateCalls;
+    estimate_row.rel_error = RelError(estimate, static_cast<double>(u));
+    estimate_row.eps_target = eps;
+    estimate_row.bytes = bytes;
+
+    // Deletion storm: net-delete 90% of the inserts, then re-estimate.
+    std::vector<ElementDelta> deletes;
+    deletes.reserve(static_cast<size_t>(u - survivors));
+    for (int64_t e = survivors; e < u; ++e) {
+      deletes.push_back({static_cast<uint64_t>(e) * 0x9E3779B9u + 1, -1});
+    }
+    Stopwatch storm_watch;
+    if (spec.baseline) {
+      // An insert-only sample HAS no deletion path; the storm is a no-op.
+    } else if (spec.id == SketchBackendId::kTwoLevelHash) {
+      bank.ApplyBatch("S", deletes);
+    } else {
+      bank.MutableBackendSketch("S")->UpdateBatch(deletes);
+    }
+    const double storm_seconds = storm_watch.Seconds();
+    const double post_storm = spec.baseline
+                                  ? baseline.Cardinality()
+                                  : EstimateStream(bank, *parsed.expression);
+
+    RowResult storm_row;
+    storm_row.name = "DeletionStorm/" + spec.tag;
+    storm_row.seconds = storm_seconds;
+    storm_row.ns_per_op =
+        std::max(storm_seconds, 1e-9) * 1e9 /
+        static_cast<double>(std::max<int64_t>(1, u - survivors));
+    storm_row.rel_error =
+        RelError(post_storm, static_cast<double>(survivors));
+    storm_row.eps_target = eps;
+    storm_row.bytes = bytes;
+
+    if (spec.baseline) {
+      if (storm_row.rel_error < 0.5) {
+        storm_ok = false;
+        storm_failure = "kmv_baseline rel_error " +
+                        FormatJsonDouble(storm_row.rel_error) +
+                        " did not diverge (expected >= 0.5)";
+      }
+    } else if (spec.id != SketchBackendId::kTwoLevelHash &&
+               storm_row.rel_error > 3.0 * eps) {
+      storm_ok = false;
+      storm_failure = spec.tag + " post-storm rel_error " +
+                      FormatJsonDouble(storm_row.rel_error) +
+                      " exceeds 3x its target " + FormatJsonDouble(eps);
+    }
+
+    for (const RowResult& row : {ingest_row, estimate_row, storm_row}) {
+      results.push_back(row);
+      table.AddRow(std::vector<std::string>{
+          row.name, FormatJsonDouble(row.ns_per_op),
+          FormatJsonDouble(row.rel_error), FormatJsonDouble(row.eps_target),
+          std::to_string(row.bytes)});
+    }
+  }
+  table.Print(std::cout);
+
+  const char* env = std::getenv("SETSKETCH_BENCH_JSON");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : "BENCH_backends.json";
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"backends\",\n";
+  out << "  \"scale\": " << FormatJsonDouble(scale) << ",\n";
+  out << "  \"inserts\": " << u << ",\n";
+  out << "  \"storm_deletes\": " << (u - survivors) << ",\n";
+  out << "  \"backend_size\": " << kBackendSize << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RowResult& row = results[i];
+    out << "    {\"name\": \"" << row.name << "\", \"ns_per_op\": "
+        << FormatJsonDouble(row.ns_per_op) << ", \"seconds\": "
+        << FormatJsonDouble(row.seconds) << ", \"rel_error\": "
+        << FormatJsonDouble(row.rel_error) << ", \"eps_target\": "
+        << FormatJsonDouble(row.eps_target) << ", \"bytes\": " << row.bytes
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << path << "\n";
+
+  if (!storm_ok) {
+    std::cerr << "FAIL: deletion-storm contract: " << storm_failure << "\n";
+    return 1;
+  }
+  std::cout << "deletion-storm contract holds: backends within 3x target, "
+               "sampling baseline diverged\n";
+  return 0;
+}

@@ -308,6 +308,8 @@ std::string ClusterRouter::HandleFrame(const Frame& frame,
         mine.params = options_.params;
         mine.copies = options_.copies;
         mine.seed = options_.seed;
+        mine.backend = static_cast<uint8_t>(options_.default_backend);
+        mine.backend_size = options_.backend_size;
         return EncodeFrame(Opcode::kPong,
                            EncodeHello(mine, /*response=*/true));
       }
@@ -407,6 +409,8 @@ bool ClusterRouter::EnsureClientLocked(ShardState* state) {
     mine.params = options_.params;
     mine.copies = options_.copies;
     mine.seed = options_.seed;
+    mine.backend = static_cast<uint8_t>(options_.default_backend);
+    mine.backend_size = options_.backend_size;
     HelloInfo theirs;
     const SketchClient::Status hello = state->client->Hello(mine, &theirs);
     if (!hello.ok) {
@@ -639,6 +643,10 @@ std::string ClusterRouter::HandlePushUpdates(const Frame& frame,
       if (!sub.local_index.contains(name)) {
         sub.local_index.emplace(name, sub.batch.stream_names.size());
         sub.batch.stream_names.push_back(name);
+        // Backend tags travel with the stream entry so a fan-out never
+        // silently strips the client's backend selection.
+        sub.batch.stream_backends.push_back(
+            k < batch.stream_backends.size() ? batch.stream_backends[k] : 0);
       }
     }
   }
@@ -664,6 +672,20 @@ std::string ClusterRouter::HandlePushUpdates(const Frame& frame,
           return client.ForwardUpdates(sub.batch);
         });
     if (status.retry || !status.ok) {
+      if (!status.retry && status.code == WireError::kConfigMismatch) {
+        // A typed refusal (e.g. a backend retag on an existing stream)
+        // is permanent: bouncing it as backpressure would have the
+        // client retry forever. The shard itself is healthy — relay its
+        // refusal verbatim instead of marking it stale.
+        if (any_applied && !batch.site_id.empty()) {
+          RecordInDoubt(batch.site_id, batch.sequence);
+        }
+        std::string detail = status.error;
+        const std::string prefix =
+            std::string(WireErrorName(WireError::kConfigMismatch)) + ": ";
+        if (detail.rfind(prefix, 0) == 0) detail.erase(0, prefix.size());
+        return ErrorFrame(WireError::kConfigMismatch, detail);
+      }
       if (!status.retry) {
         ++forward_failures_;
         // The shard just died mid-fan-out: its placed copies missed this
@@ -770,6 +792,30 @@ QueryResultInfo ClusterRouter::Answer(const std::string& expression_text) {
           break;
         }
         case SummaryState::kFull: {
+          if (entry.backend != 0) {
+            // Backend-tagged summary: one DistinctSketch instead of the
+            // r-copy vector. The options gate is the backend analog of
+            // the foreign-hash-functions check (the bank derives its
+            // backend seed from the family master seed).
+            const BackendOptions expected{options_.backend_size,
+                                          options_.seed};
+            if (entry.backend_sketch == nullptr ||
+                !(entry.backend_sketch->options() == expected)) {
+              result.error = "stream '" + entry.name +
+                             "' summary uses a foreign backend "
+                             "configuration (size/seed)";
+              return result;
+            }
+            CachedSummary& cached = summary_cache_[entry.name];
+            cached.shard_index = shard_index;
+            cached.bank_id = entry.bank_id;
+            cached.epoch = entry.epoch;
+            cached.backend = entry.backend;
+            cached.sketches.clear();
+            cached.backend_sketch = entry.backend_sketch;
+            ++summary_streams_full_;
+            break;
+          }
           if (static_cast<int>(entry.sketches.size()) != options_.copies) {
             result.error = "stream '" + entry.name + "' summary carries " +
                            std::to_string(entry.sketches.size()) +
@@ -790,12 +836,63 @@ QueryResultInfo ClusterRouter::Answer(const std::string& expression_text) {
           cached.shard_index = shard_index;
           cached.bank_id = entry.bank_id;
           cached.epoch = entry.epoch;
+          cached.backend = 0;
+          cached.backend_sketch.reset();
           cached.sketches = std::move(entry.sketches);
           ++summary_streams_full_;
           break;
         }
       }
     }
+  }
+
+  // Backend routing mirrors the single-node PlanCache: an expression
+  // whose streams all use one alternative backend merges the pulled
+  // synopses through the backend's own algebra; mixing backends (or a
+  // backend stream with default streams) has no sound merge and is
+  // refused.
+  bool any_backend = false;
+  bool any_default = false;
+  for (const std::string& name : names) {
+    if (summary_cache_.at(name).backend != 0) {
+      any_backend = true;
+    } else {
+      any_default = true;
+    }
+  }
+  if (any_backend) {
+    if (any_default) {
+      result.error =
+          "mixed sketch backends in one expression; no cross-backend "
+          "merge exists";
+      return result;
+    }
+    const BackendEstimate estimate = EstimateWithBackend(
+        *parsed.expression,
+        [this](const std::string& name) -> const DistinctSketch* {
+          const auto it = summary_cache_.find(name);
+          return it == summary_cache_.end() ? nullptr
+                                            : it->second.backend_sketch.get();
+        });
+    if (!estimate.ok) {
+      result.error = estimate.error;
+      return result;
+    }
+    result.ok = true;
+    result.estimate = estimate.estimate;
+    // Same interval convention as PlanCache::BackendQuery: +/- 2 sigma of
+    // the backend's design-point relative standard error.
+    const double sigma =
+        summary_cache_.at(names.front())
+            .backend_sketch->TargetRelativeError() /
+        3.0 * estimate.estimate;
+    result.lo = std::max(0.0, estimate.estimate - 2.0 * sigma);
+    result.hi = estimate.estimate + 2.0 * sigma;
+    if (degraded_any) {
+      result.degraded = true;
+      ++degraded_answers_;
+    }
+    return result;
   }
 
   // One estimator kernel seam for the whole cluster: the federated view
@@ -1023,6 +1120,8 @@ bool ClusterRouter::PullStreamsFrom(size_t source_index,
     ++summary_streams_full_;
     RepairInstall::StreamState stream_state;
     stream_state.name = entry.name;
+    stream_state.backend = entry.backend;
+    stream_state.backend_sketch = std::move(entry.backend_sketch);
     stream_state.sketches = std::move(entry.sketches);
     install->streams.push_back(std::move(stream_state));
   }
@@ -1220,7 +1319,18 @@ bool ClusterRouter::AddShard(const ClusterShard& shard_in,
     }
     snapshot = std::make_unique<Placement>(placement_);
   }
-  if (num_shards_.load() >= shards_.capacity()) {
+  // Tombstone reuse: a drained slot is revived in place (same ShardState
+  // object, so lock-free readers keep a valid pointer) instead of
+  // appending, so repeated add/drain cycles never grow the shard index
+  // vector or exhaust the reserved capacity.
+  size_t reuse_index = SIZE_MAX;
+  for (size_t i = 0; i < num_shards_.load(); ++i) {
+    if (shards_[i]->Has(kShardRemoved)) {
+      reuse_index = i;
+      break;
+    }
+  }
+  if (reuse_index == SIZE_MAX && num_shards_.load() >= shards_.capacity()) {
     return fail("shard capacity exhausted (raise max_dynamic_shards)");
   }
 
@@ -1243,6 +1353,8 @@ bool ClusterRouter::AddShard(const ClusterShard& shard_in,
   mine.params = options_.params;
   mine.copies = options_.copies;
   mine.seed = options_.seed;
+  mine.backend = static_cast<uint8_t>(options_.default_backend);
+  mine.backend_size = options_.backend_size;
   HelloInfo theirs;
   const SketchClient::Status hello = candidate->Hello(mine, &theirs);
   if (!hello.ok) {
@@ -1269,7 +1381,8 @@ bool ClusterRouter::AddShard(const ClusterShard& shard_in,
   Placement next = *snapshot;
   next.AddNode(shard.name);
   const size_t want = static_cast<size_t>(options_.replicas) + 1;
-  const size_t new_index = num_shards_.load();
+  const size_t new_index =
+      reuse_index != SIZE_MAX ? reuse_index : num_shards_.load();
 
   struct Move {
     std::string stream;
@@ -1327,14 +1440,36 @@ bool ClusterRouter::AddShard(const ClusterShard& shard_in,
   }
 
   // Announce the shard (routable by index, but not yet on the ring).
-  auto state = std::make_unique<ShardState>(
-      shard, options_.probe_backoff_initial_ms,
-      options_.probe_backoff_cap_ms);
-  {
-    MutexLock lock(&state->mutex);
-    state->client = std::move(candidate);
+  if (reuse_index != SIZE_MAX) {
+    // Revive the tombstoned slot in place. The slot has been removed
+    // since its drain, so no push/query path is using its client; probe
+    // scheduling state resets with it. The health word flips last, after
+    // the new identity is fully installed.
+    ShardState* revived = shards_[new_index].get();
+    {
+      MutexLock lock(&revived->mutex);
+      revived->shard = shard;
+      revived->client = std::move(candidate);
+    }
+    revived->failures.store(0);
+    revived->probe_failures = 0;
+    revived->next_probe_at = {};
+    revived->probe_backoff =
+        Backoff(options_.probe_backoff_initial_ms,
+                options_.probe_backoff_cap_ms,
+                Backoff::DeriveSeed(kProbeBackoffSalt, shard.name,
+                                    shard.port));
+    revived->health.store(kShardHealthy);
+  } else {
+    auto state = std::make_unique<ShardState>(
+        shard, options_.probe_backoff_initial_ms,
+        options_.probe_backoff_cap_ms);
+    {
+      MutexLock lock(&state->mutex);
+      state->client = std::move(candidate);
+    }
+    shards_.push_back(std::move(state));
   }
-  shards_.push_back(std::move(state));
   {
     MutexLock lock(&placement_mutex_);
     shard_index_by_name_.emplace(shard.name, new_index);
@@ -1342,7 +1477,7 @@ bool ClusterRouter::AddShard(const ClusterShard& shard_in,
       write_overlay_[stream] = targets;
     }
   }
-  num_shards_.store(new_index + 1);
+  if (reuse_index == SIZE_MAX) num_shards_.store(new_index + 1);
 
   auto abort_admission = [&](const std::string& what) {
     {
@@ -1352,7 +1487,7 @@ bool ClusterRouter::AddShard(const ClusterShard& shard_in,
       }
       shard_index_by_name_.erase(shard.name);
     }
-    shards_[new_index]->Set(kShardRemoved);
+    shards_[new_index]->health.store(kShardRemoved);
     return fail("migration to shard '" + shard.name + "' failed: " + what);
   };
 

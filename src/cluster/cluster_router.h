@@ -157,6 +157,13 @@ class ClusterRouter {
     int copies = 128;
     uint64_t seed = 42;
 
+    /// Deployment-wide sketch-backend configuration (DESIGN.md §3.8).
+    /// Carried in the hello handshake next to the stored-coins triple; a
+    /// shard presenting a different backend/size pair is refused exactly
+    /// like foreign coins.
+    SketchBackendId default_backend = SketchBackendId::kTwoLevelHash;
+    uint32_t backend_size = 4096;
+
     /// Estimator tuning for federated QUERY answers (must match the
     /// single-node configuration for bit-identical results).
     WitnessOptions witness;
@@ -235,12 +242,15 @@ class ClusterRouter {
   /// Online membership: joins `shard` to the hash ring, migrating only
   /// the streams whose placement now includes it (dual-write during the
   /// transition). *streams_moved receives the migrated stream count.
+  /// Reuses a tombstoned (drained) slot when one exists, so repeated
+  /// add/drain cycles never grow the shard index vector.
   bool AddShard(const ClusterShard& shard, uint64_t* streams_moved,
                 std::string* error = nullptr);
 
   /// Online membership: migrates the named shard's ring segment to the
   /// shards that inherit it, then removes the shard from the ring and
-  /// marks it removed (its slot is retired, not reused).
+  /// marks it removed (its tombstoned slot is reused by a later
+  /// AddShard).
   bool DrainShard(const std::string& name, uint64_t* streams_moved,
                   std::string* error = nullptr);
 
@@ -332,12 +342,16 @@ class ClusterRouter {
   };
 
   /// Per-stream cached summary, keyed by the owning shard's bank
-  /// identity. Guarded by query_mutex_.
+  /// identity plus the stream's backend tag. Guarded by query_mutex_.
+  /// Default-backend streams cache the r-copy vector; backend streams
+  /// cache the shared DistinctSketch the codec decoded.
   struct CachedSummary {
     size_t shard_index = 0;
     uint64_t bank_id = 0;
     uint64_t epoch = 0;
+    uint8_t backend = 0;
     std::vector<TwoLevelHashSketch> sketches;
+    std::shared_ptr<const DistinctSketch> backend_sketch;
   };
 
   void AcceptLoop();
@@ -418,10 +432,11 @@ class ClusterRouter {
   std::unordered_map<std::string, std::vector<size_t>> write_overlay_
       SETSKETCH_GUARDED_BY(placement_mutex_);
 
-  /// shards_ only grows (ADD_SHARD) and its capacity is reserved up
-  /// front, so readers may index `i < num_shards_.load()` without a
-  /// lock; the unique_ptrs pin each ShardState's address. Mutation is
-  /// serialized by membership_mutex_.
+  /// shards_ only grows (ADD_SHARD appends or revives a tombstoned slot
+  /// in place — the unique_ptr is never replaced) and its capacity is
+  /// reserved up front, so readers may index `i < num_shards_.load()`
+  /// without a lock; the unique_ptrs pin each ShardState's address.
+  /// Mutation is serialized by membership_mutex_.
   std::vector<std::unique_ptr<ShardState>> shards_;
   std::atomic<size_t> num_shards_{0};
 

@@ -1,0 +1,270 @@
+#include "core/set_sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/varint.h"
+
+namespace setsketch {
+
+namespace {
+
+/// HLL bias-correction constant for K registers.
+double Alpha(uint32_t k) {
+  if (k >= 128) return 0.7213 / (1.0 + 1.079 / static_cast<double>(k));
+  if (k >= 64) return 0.709;
+  if (k >= 32) return 0.697;
+  return 0.673;
+}
+
+/// Register index: multiply-high range reduction of a full-width hash.
+uint32_t RegisterOf(uint64_t element, const BackendOptions& options) {
+  const uint64_t hash = BackendHash64(element, options.seed);
+  return static_cast<uint32_t>(
+      (static_cast<unsigned __int128>(hash) * options.size) >> 64);
+}
+
+/// Geometric rank in [1, kLevels]: 1 + trailing zeros of an independent
+/// hash (p = 1/2 per level), capped so an all-zero hash stays in range.
+int RankOf(uint64_t element, const BackendOptions& options) {
+  const uint64_t hash =
+      BackendHash64(element, options.seed ^ 0x9e3779b97f4a7c15ULL);
+  return std::min(SetSketchBackend::kLevels, std::countr_zero(hash) + 1);
+}
+
+}  // namespace
+
+SetSketchBackend::SetSketchBackend(const BackendOptions& options)
+    : options_(options),
+      counts_(static_cast<size_t>(options.size) * kLevels, 0),
+      registers_(options.size, 0) {
+  SETSKETCH_CHECK(options.size >= kMinBackendSize &&
+                  options.size <= kMaxBackendSize);
+}
+
+void SetSketchBackend::Update(uint64_t element, int64_t delta) {
+  if (delta == 0) return;
+  const uint32_t reg = RegisterOf(element, options_);
+  const int rank = RankOf(element, options_);
+  int32_t& cell = counts_[CellIndex(reg, rank)];
+  const int32_t old = cell;
+  cell = static_cast<int32_t>(static_cast<int64_t>(old) + delta);
+  if (old == 0 && cell != 0) {
+    ++nonzero_cells_;
+    if (rank > registers_[reg]) registers_[reg] = static_cast<uint8_t>(rank);
+  } else if (old != 0 && cell == 0) {
+    --nonzero_cells_;
+    if (rank == registers_[reg]) RecomputeRegister(reg);
+  }
+}
+
+void SetSketchBackend::RecomputeRegister(uint32_t reg) {
+  const int32_t* column = counts_.data() + static_cast<size_t>(reg) * kLevels;
+  for (int rank = kLevels; rank >= 1; --rank) {
+    if (column[rank - 1] != 0) {
+      registers_[reg] = static_cast<uint8_t>(rank);
+      return;
+    }
+  }
+  registers_[reg] = 0;
+}
+
+void SetSketchBackend::RecomputeAll() {
+  nonzero_cells_ = 0;
+  for (const int32_t cell : counts_) {
+    if (cell != 0) ++nonzero_cells_;
+  }
+  for (uint32_t reg = 0; reg < options_.size; ++reg) {
+    RecomputeRegister(reg);
+  }
+}
+
+bool SetSketchBackend::Merge(const DistinctSketch& other) {
+  if (other.backend() != backend() || !(other.options() == options_)) {
+    return false;
+  }
+  const auto& rhs = static_cast<const SetSketchBackend&>(other);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += rhs.counts_[i];
+  }
+  RecomputeAll();
+  return true;
+}
+
+double SetSketchBackend::EstimateDistinct() const {
+  const uint32_t k = options_.size;
+  double inverse_sum = 0.0;
+  uint32_t zero_registers = 0;
+  for (uint32_t reg = 0; reg < k; ++reg) {
+    const int rank = registers_[reg];
+    inverse_sum += std::ldexp(1.0, -rank);
+    if (rank == 0) ++zero_registers;
+  }
+  double estimate =
+      Alpha(k) * static_cast<double>(k) * static_cast<double>(k) /
+      inverse_sum;
+  if (estimate <= 2.5 * static_cast<double>(k) && zero_registers > 0) {
+    estimate = static_cast<double>(k) *
+               std::log(static_cast<double>(k) /
+                        static_cast<double>(zero_registers));
+  }
+  return estimate;
+}
+
+double SetSketchBackend::TargetRelativeError() const {
+  // HLL's relative standard error is ~1.04/sqrt(K); three sigma again.
+  return 3.0 * 1.04 / std::sqrt(static_cast<double>(options_.size));
+}
+
+size_t SetSketchBackend::MemoryBytes() const {
+  return sizeof(*this) + counts_.size() * sizeof(int32_t) +
+         registers_.size();
+}
+
+void SetSketchBackend::SerializeTo(std::string* out) const {
+  out->push_back(static_cast<char>(backend()));
+  AppendVarint(out, options_.size);
+  AppendVarint(out, options_.seed);
+  // Zero-run-length coded counters (same trick as the 2-level compact
+  // encoding: the array is dominated by zeros): a zigzag-0 token is
+  // followed by the run length of zero cells.
+  const size_t cells = counts_.size();
+  size_t i = 0;
+  while (i < cells) {
+    if (counts_[i] == 0) {
+      size_t run = 1;
+      while (i + run < cells && counts_[i + run] == 0) ++run;
+      AppendVarint(out, 0);
+      AppendVarint(out, run);
+      i += run;
+    } else {
+      AppendVarint(out, ZigZagEncode(counts_[i]));
+      ++i;
+    }
+  }
+}
+
+std::unique_ptr<SetSketchBackend> SetSketchBackend::DeserializePayload(
+    const std::string& data, size_t* offset, const BackendOptions& options,
+    std::string* error) {
+  auto sketch = std::make_unique<SetSketchBackend>(options);
+  const size_t cells = sketch->counts_.size();
+  size_t i = 0;
+  while (i < cells) {
+    uint64_t zigzag = 0;
+    if (!ReadVarint(data, offset, &zigzag)) {
+      *error = "truncated set sketch counters";
+      return nullptr;
+    }
+    if (zigzag == 0) {
+      uint64_t run = 0;
+      if (!ReadVarint(data, offset, &run)) {
+        *error = "truncated set sketch zero run";
+        return nullptr;
+      }
+      if (run == 0 || run > cells - i) {
+        *error = "set sketch zero run out of bounds";
+        return nullptr;
+      }
+      i += run;
+    } else {
+      const int64_t count = ZigZagDecode(zigzag);
+      if (count < INT32_MIN || count > INT32_MAX) {
+        *error = "set sketch counter out of range";
+        return nullptr;
+      }
+      sketch->counts_[i] = static_cast<int32_t>(count);
+      ++i;
+    }
+  }
+  sketch->RecomputeAll();
+  return sketch;
+}
+
+std::unique_ptr<DistinctSketch> SetSketchBackend::Clone() const {
+  return std::make_unique<SetSketchBackend>(*this);
+}
+
+bool SetSketchBackend::Equals(const DistinctSketch& other) const {
+  if (other.backend() != backend() || !(other.options() == options_)) {
+    return false;
+  }
+  const auto& rhs = static_cast<const SetSketchBackend&>(other);
+  return counts_ == rhs.counts_;
+}
+
+// ---------------------------------------------------------------------------
+// Expression algebra: exact unions + one level of inclusion-exclusion.
+
+namespace {
+
+bool UnionOnly(const Expression& expr) {
+  switch (expr.kind()) {
+    case Expression::Kind::kStream:
+      return true;
+    case Expression::Kind::kUnion:
+      return UnionOnly(*expr.left()) && UnionOnly(*expr.right());
+    case Expression::Kind::kIntersect:
+    case Expression::Kind::kDifference:
+      return false;
+  }
+  return false;
+}
+
+/// Builds the merged sketch of a union-only subtree (leaves resolved and
+/// pre-validated by EstimateWithBackend).
+std::unique_ptr<DistinctSketch> BuildUnion(
+    const Expression& expr,
+    const std::function<const DistinctSketch*(const std::string&)>& leaf) {
+  if (expr.kind() == Expression::Kind::kStream) {
+    const DistinctSketch* sketch = leaf(expr.name());
+    SETSKETCH_CHECK(sketch != nullptr);
+    return sketch->Clone();
+  }
+  std::unique_ptr<DistinctSketch> merged = BuildUnion(*expr.left(), leaf);
+  std::unique_ptr<DistinctSketch> right = BuildUnion(*expr.right(), leaf);
+  SETSKETCH_CHECK(merged->Merge(*right));
+  return merged;
+}
+
+constexpr char kShapeError[] =
+    "set_sketch expressions support unions plus one top-level "
+    "intersection/difference (register state is max-only); use the "
+    "theta_kmv backend for nested intersections";
+
+}  // namespace
+
+bool SetSketchBackend::EstimateExpression(
+    const Expression& expr,
+    const std::function<const DistinctSketch*(const std::string&)>& leaf,
+    double* out, std::string* error) const {
+  if (UnionOnly(expr)) {
+    *out = BuildUnion(expr, leaf)->EstimateDistinct();
+    return true;
+  }
+  const Expression& left = *expr.left();
+  const Expression& right = *expr.right();
+  if (!UnionOnly(left) || !UnionOnly(right)) {
+    *error = kShapeError;
+    return false;
+  }
+  std::unique_ptr<DistinctSketch> left_sketch = BuildUnion(left, leaf);
+  std::unique_ptr<DistinctSketch> right_sketch = BuildUnion(right, leaf);
+  const double right_estimate = right_sketch->EstimateDistinct();
+  std::unique_ptr<DistinctSketch> both = std::move(left_sketch);
+  const double left_estimate = both->EstimateDistinct();
+  SETSKETCH_CHECK(both->Merge(*right_sketch));
+  const double union_estimate = both->EstimateDistinct();
+  if (expr.kind() == Expression::Kind::kIntersect) {
+    // |A n B| = |A| + |B| - |A u B|, clamped to the feasible range.
+    *out = std::max(0.0, left_estimate + right_estimate - union_estimate);
+  } else {
+    // |A - B| = |A u B| - |B|, clamped.
+    *out = std::max(0.0, union_estimate - right_estimate);
+  }
+  return true;
+}
+
+}  // namespace setsketch

@@ -1,0 +1,104 @@
+// SetSketch (Ertl 2021) with counter-backed registers (backend id 2).
+//
+// A SetSketch with base b = 2 keeps, per register i of K, the maximum
+// "rank" (geometric level, p = 1/2) of any element routed to i — exactly
+// an HLL register. The plain register form is insert-only; to serve the
+// continuous update-stream model this engine stores, per (register,
+// level), the *net count* of elements occupying that cell (the same
+// counter-ization trick the paper's 2-level sketch applies to Flajolet-
+// Martin levels, and the reason its synopsis survives deletions). The
+// register value is then derived: the highest level with a nonzero net
+// count. That makes the whole structure linear in the update stream —
+// deletions leave no trace, and merge is plain counter addition — while
+// the estimator remains the register estimator of the insert-only sketch.
+//
+// Estimation: the standard HLL harmonic-mean estimator with linear-
+// counting small-range correction (reference implementation idioms:
+// /root/related/dnbaker__hll/include/sketch/).
+//
+// Expression algebra: unions are exact (merge = counter addition), and
+// one top-level intersection/difference is served by inclusion-exclusion
+// over union estimates. Nested intersections are *not* expressible over
+// max-register state — EstimateExpression reports a clean error and
+// points at the theta_kmv backend, whose sample algebra is closed under
+// all connectives.
+
+#ifndef SETSKETCH_CORE_SET_SKETCH_H_
+#define SETSKETCH_CORE_SET_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sketch_backend.h"
+
+namespace setsketch {
+
+/// Counter-backed SetSketch. options().size is the register count K;
+/// resident state is K x 64 int32 net counters plus the derived
+/// register array.
+class SetSketchBackend final : public DistinctSketch {
+ public:
+  explicit SetSketchBackend(const BackendOptions& options);
+
+  SketchBackendId backend() const override {
+    return SketchBackendId::kSetSketch;
+  }
+  const BackendOptions& options() const override { return options_; }
+
+  void Update(uint64_t element, int64_t delta) override;
+  bool Merge(const DistinctSketch& other) override;
+  double EstimateDistinct() const override;
+  double TargetRelativeError() const override;
+  bool EstimateExpression(
+      const Expression& expr,
+      const std::function<const DistinctSketch*(const std::string&)>& leaf,
+      double* out, std::string* error) const override;
+  bool Empty() const override { return nonzero_cells_ == 0; }
+  size_t MemoryBytes() const override;
+  void SerializeTo(std::string* out) const override;
+  std::unique_ptr<DistinctSketch> Clone() const override;
+  bool Equals(const DistinctSketch& other) const override;
+
+  /// Levels tracked per register: a 64-bit hash's geometric rank is in
+  /// [1, 64], so 64 count cells cover every possible rank.
+  static constexpr int kLevels = 64;
+
+  /// Derived register value: highest level (1-based rank) of `reg` with a
+  /// nonzero net count; 0 when the register is empty.
+  int Register(uint32_t reg) const { return registers_[reg]; }
+
+  /// Net count of cell (reg, rank) — exposed for tests.
+  int32_t CellCount(uint32_t reg, int rank) const {
+    return counts_[static_cast<size_t>(reg) * kLevels +
+                   static_cast<size_t>(rank - 1)];
+  }
+
+  /// Decodes the backend-specific payload (after the registry consumed the
+  /// tagged header). Returns nullptr with *error on malformed input.
+  static std::unique_ptr<SetSketchBackend> DeserializePayload(
+      const std::string& data, size_t* offset, const BackendOptions& options,
+      std::string* error);
+
+ private:
+  size_t CellIndex(uint32_t reg, int rank) const {
+    return static_cast<size_t>(reg) * kLevels + static_cast<size_t>(rank - 1);
+  }
+  /// Recomputes registers_[reg] by scanning its count column downward.
+  void RecomputeRegister(uint32_t reg);
+  /// Recomputes every derived register and the nonzero-cell total (after
+  /// bulk counter surgery: Merge, payload decode).
+  void RecomputeAll();
+
+  BackendOptions options_;
+  /// Net counts, register-major: counts_[reg * kLevels + (rank - 1)].
+  std::vector<int32_t> counts_;
+  /// Derived register values (max occupied rank; 0 = empty).
+  std::vector<uint8_t> registers_;
+  int64_t nonzero_cells_ = 0;
+};
+
+}  // namespace setsketch
+
+#endif  // SETSKETCH_CORE_SET_SKETCH_H_

@@ -18,11 +18,14 @@ uint64_t NextBankId() {
 
 }  // namespace
 
-SketchBank::SketchBank(SketchFamily family)
-    : family_(std::move(family)), bank_id_(NextBankId()) {}
+SketchBank::SketchBank(SketchFamily family, uint32_t backend_size)
+    : family_(std::move(family)), bank_id_(NextBankId()) {
+  backend_options_.size = backend_size;
+  backend_options_.seed = family_.master_seed();
+}
 
 bool SketchBank::AddStream(const std::string& name) {
-  if (streams_.contains(name)) return false;
+  if (HasStream(name)) return false;
   std::vector<TwoLevelHashSketch> copies;
   copies.reserve(static_cast<size_t>(family_.size()));
   for (int i = 0; i < family_.size(); ++i) {
@@ -33,17 +36,76 @@ bool SketchBank::AddStream(const std::string& name) {
   return true;
 }
 
+bool SketchBank::AddStreamWithBackend(const std::string& name,
+                                      SketchBackendId backend,
+                                      const BackendOptions& options) {
+  if (backend == SketchBackendId::kTwoLevelHash) return AddStream(name);
+  if (HasStream(name)) return false;
+  std::unique_ptr<DistinctSketch> sketch =
+      CreateDistinctSketch(backend, options);
+  if (sketch == nullptr) return false;
+  backend_streams_.emplace(name, std::move(sketch));
+  epochs_[name] = 1;
+  return true;
+}
+
+SketchBackendId SketchBank::StreamBackend(const std::string& name) const {
+  auto it = backend_streams_.find(name);
+  if (it == backend_streams_.end()) return SketchBackendId::kTwoLevelHash;
+  return it->second->backend();
+}
+
+const DistinctSketch* SketchBank::BackendSketch(
+    const std::string& name) const {
+  auto it = backend_streams_.find(name);
+  return it == backend_streams_.end() ? nullptr : it->second.get();
+}
+
+DistinctSketch* SketchBank::MutableBackendSketch(const std::string& name) {
+  auto it = backend_streams_.find(name);
+  if (it == backend_streams_.end()) return nullptr;
+  // Same conservative contract as MutableSketches: every hand-out may
+  // write, so bump the epoch up front.
+  ++epochs_[name];
+  return it->second.get();
+}
+
+bool SketchBank::InstallBackendSketch(const std::string& name,
+                                      std::unique_ptr<DistinctSketch> sketch) {
+  if (sketch == nullptr || streams_.contains(name)) return false;
+  if (!(sketch->options() == backend_options_)) return false;
+  backend_streams_[name] = std::move(sketch);
+  ++epochs_[name];
+  return true;
+}
+
+size_t SketchBank::BackendStreamCount(SketchBackendId backend) const {
+  if (backend == SketchBackendId::kTwoLevelHash) return streams_.size();
+  size_t count = 0;
+  for (const auto& [name, sketch] : backend_streams_) {
+    if (sketch->backend() == backend) ++count;
+  }
+  return count;
+}
+
 std::vector<std::string> SketchBank::StreamNames() const {
   std::vector<std::string> names;
-  names.reserve(streams_.size());
+  names.reserve(streams_.size() + backend_streams_.size());
   for (const auto& [name, sketches] : streams_) names.push_back(name);
+  for (const auto& [name, sketch] : backend_streams_) names.push_back(name);
   return names;
 }
 
 bool SketchBank::Apply(const std::string& name, uint64_t element,
                        int64_t delta) {
   auto it = streams_.find(name);
-  if (it == streams_.end()) return false;
+  if (it == streams_.end()) {
+    auto bit = backend_streams_.find(name);
+    if (bit == backend_streams_.end()) return false;
+    ++epochs_[name];
+    bit->second->Update(element, delta);
+    return true;
+  }
   ++epochs_[name];
   for (TwoLevelHashSketch& sketch : it->second) {
     sketch.Update(element, delta);
@@ -54,7 +116,13 @@ bool SketchBank::Apply(const std::string& name, uint64_t element,
 bool SketchBank::ApplyBatch(const std::string& name,
                             std::span<const ElementDelta> items) {
   auto it = streams_.find(name);
-  if (it == streams_.end()) return false;
+  if (it == streams_.end()) {
+    auto bit = backend_streams_.find(name);
+    if (bit == backend_streams_.end()) return false;
+    ++epochs_[name];
+    bit->second->UpdateBatch(items);
+    return true;
+  }
   ++epochs_[name];
   for (TwoLevelHashSketch& sketch : it->second) {
     sketch.UpdateBatch(items);
@@ -67,21 +135,26 @@ std::vector<StreamBatch> SketchBank::GroupUpdates(
     const std::vector<Update>& updates, size_t* applied) {
   // Resolve stream columns once; per-update hash lookups would dominate.
   std::vector<std::vector<TwoLevelHashSketch>*> columns;
+  std::vector<DistinctSketch*> backends;
   columns.reserve(names_by_id.size());
+  backends.reserve(names_by_id.size());
   for (const std::string& name : names_by_id) {
     columns.push_back(MutableSketches(name));
+    backends.push_back(columns.back() == nullptr ? MutableBackendSketch(name)
+                                                 : nullptr);
   }
   std::vector<int> group_of(names_by_id.size(), -1);
   std::vector<StreamBatch> groups;
   size_t count = 0;
   for (const Update& u : updates) {
-    if (u.stream >= columns.size() || columns[u.stream] == nullptr) {
+    if (u.stream >= columns.size() ||
+        (columns[u.stream] == nullptr && backends[u.stream] == nullptr)) {
       continue;
     }
     int& g = group_of[u.stream];
     if (g < 0) {
       g = static_cast<int>(groups.size());
-      groups.push_back(StreamBatch{columns[u.stream], {}});
+      groups.push_back(StreamBatch{columns[u.stream], backends[u.stream], {}});
     }
     groups[static_cast<size_t>(g)].items.push_back(
         ElementDelta{u.element, u.delta});
@@ -96,6 +169,10 @@ size_t SketchBank::ApplyBatch(const std::vector<std::string>& names_by_id,
   size_t applied = 0;
   for (const StreamBatch& group : GroupUpdates(names_by_id, updates,
                                                &applied)) {
+    if (group.column == nullptr) {
+      group.backend_sketch->UpdateBatch(group.items);
+      continue;
+    }
     for (TwoLevelHashSketch& sketch : *group.column) {
       sketch.UpdateBatch(group.items);
     }
@@ -144,7 +221,7 @@ std::vector<TwoLevelHashSketch>* SketchBank::MutableSketches(
 
 bool SketchBank::AddStreamFromSketches(
     const std::string& name, std::vector<TwoLevelHashSketch> sketches) {
-  if (streams_.contains(name)) return false;
+  if (HasStream(name)) return false;
   if (static_cast<int>(sketches.size()) != family_.size()) return false;
   for (int i = 0; i < family_.size(); ++i) {
     if (!(sketches[static_cast<size_t>(i)].seed() == *family_.seed(i))) {
@@ -158,6 +235,7 @@ bool SketchBank::AddStreamFromSketches(
 
 bool SketchBank::ReplaceStreamSketches(
     const std::string& name, std::vector<TwoLevelHashSketch> sketches) {
+  if (backend_streams_.contains(name)) return false;
   if (static_cast<int>(sketches.size()) != family_.size()) return false;
   for (int i = 0; i < family_.size(); ++i) {
     if (!(sketches[static_cast<size_t>(i)].seed() == *family_.seed(i))) {
@@ -180,6 +258,9 @@ size_t SketchBank::CounterBytes() const {
     for (const TwoLevelHashSketch& sketch : sketches) {
       total += sketch.CounterBytes();
     }
+  }
+  for (const auto& [name, sketch] : backend_streams_) {
+    total += sketch->MemoryBytes();
   }
   return total;
 }

@@ -15,19 +15,24 @@
 #include <vector>
 
 #include "core/property_checks.h"
+#include "core/sketch_backend.h"
 #include "core/sketch_seed.h"
 #include "core/two_level_hash_sketch.h"
 #include "stream/update.h"
 
 namespace setsketch {
 
-/// One stream's share of a mixed update batch: the bank's sketch-copy
-/// column for the stream plus the element/delta items addressed to it, in
-/// arrival order. Produced by SketchBank::GroupUpdates; consumed by the
-/// batched ingest paths (ApplyBatch, ParallelIngest, the server's shard
-/// workers).
+/// One stream's share of a mixed update batch: the bank's sketch storage
+/// for the stream plus the element/delta items addressed to it, in
+/// arrival order. Default-backend streams carry their r-copy column;
+/// alternative-backend streams carry the single DistinctSketch (exactly
+/// one of the two pointers is set). Produced by SketchBank::GroupUpdates;
+/// consumed by the batched ingest paths (ApplyBatch, ParallelIngest, the
+/// server's shard workers — which apply backend groups on one worker
+/// only, since a DistinctSketch has no independent copy ranges).
 struct StreamBatch {
   std::vector<TwoLevelHashSketch>* column = nullptr;
+  DistinctSketch* backend_sketch = nullptr;
   std::vector<ElementDelta> items;
 };
 
@@ -42,15 +47,56 @@ struct StreamBatch {
 class SketchBank {
  public:
   /// Creates a bank whose copies draw hash functions from `family`.
-  explicit SketchBank(SketchFamily family);
+  /// `backend_size` dials any alternative-backend streams (theta sample
+  /// size / SetSketch registers); their hash seed derives from the
+  /// family's master seed so distributed banks agree on coins.
+  explicit SketchBank(SketchFamily family, uint32_t backend_size = 4096);
 
   /// Registers a stream (no-op if already present). Returns true if newly
   /// added.
   bool AddStream(const std::string& name);
 
+  /// Registers a stream under an alternative sketch backend (DESIGN.md
+  /// §3.8). kTwoLevelHash delegates to AddStream — the default path is
+  /// untouched by construction. Returns true if newly added; false if the
+  /// name exists under *any* backend (a stream's backend is fixed at
+  /// creation).
+  bool AddStreamWithBackend(const std::string& name, SketchBackendId backend,
+                            const BackendOptions& options);
+
   bool HasStream(const std::string& name) const {
-    return streams_.contains(name);
+    return streams_.contains(name) || backend_streams_.contains(name);
   }
+
+  /// Backend tag of `name`; kTwoLevelHash for default and unknown streams.
+  SketchBackendId StreamBackend(const std::string& name) const;
+
+  /// The DistinctSketch of an alternative-backend stream; nullptr for
+  /// default-backend and unknown streams.
+  const DistinctSketch* BackendSketch(const std::string& name) const;
+
+  /// Mutable access for ingest; bumps the stream's epoch like
+  /// MutableSketches. nullptr for default-backend and unknown streams.
+  DistinctSketch* MutableBackendSketch(const std::string& name);
+
+  /// Installs (add-or-replace) an alternative-backend stream from a
+  /// deserialized sketch (snapshot restore, anti-entropy repair). Refuses
+  /// null sketches, default-backend names, and options that disagree with
+  /// this bank's backend_options(). Bumps the epoch.
+  bool InstallBackendSketch(const std::string& name,
+                            std::unique_ptr<DistinctSketch> sketch);
+
+  /// True iff any stream uses an alternative backend (snapshot writers
+  /// key the format version off this).
+  bool HasBackendStreams() const { return !backend_streams_.empty(); }
+
+  /// Number of streams tagged `backend` (STATS reporting).
+  size_t BackendStreamCount(SketchBackendId backend) const;
+
+  /// The BackendOptions every alternative-backend stream of this bank
+  /// shares (size from construction, seed derived from the family master
+  /// seed — the stored-coins contract).
+  const BackendOptions& backend_options() const { return backend_options_; }
 
   std::vector<std::string> StreamNames() const;
 
@@ -130,8 +176,13 @@ class SketchBank {
 
  private:
   SketchFamily family_;
+  BackendOptions backend_options_;
   uint64_t bank_id_;
   std::unordered_map<std::string, std::vector<TwoLevelHashSketch>> streams_;
+  /// Streams under alternative backends: one DistinctSketch each (no r
+  /// copies — those backends carry their accuracy in BackendOptions).
+  std::unordered_map<std::string, std::unique_ptr<DistinctSketch>>
+      backend_streams_;
   std::unordered_map<std::string, uint64_t> epochs_;
 };
 

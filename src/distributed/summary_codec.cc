@@ -66,4 +66,59 @@ bool DecodeSketchVector(
   return true;
 }
 
+void EncodeStreamSummary(const StreamSummary& summary, bool compact,
+                         std::string* out) {
+  if (summary.backend == 0) {
+    EncodeSketchVector(summary.sketches, compact, out);
+    return;
+  }
+  SummaryAppendU32(out, kSummaryBackendMagic);
+  out->push_back(static_cast<char>(summary.backend));
+  summary.backend_sketch->SerializeTo(out);
+}
+
+bool DecodeStreamSummary(
+    const std::string& data, size_t* offset, int expected_copies,
+    const std::vector<std::shared_ptr<const SketchSeed>>* expected_seeds,
+    const BackendOptions* expected_options, StreamSummary* out,
+    std::string* error) {
+  *out = StreamSummary{};
+  uint32_t head = 0;
+  size_t peek = *offset;
+  if (!SummaryReadU32(data, &peek, &head)) {
+    *error = "truncated summary";
+    return false;
+  }
+  if (head != kSummaryBackendMagic) {
+    return DecodeSketchVector(data, offset, expected_copies, expected_seeds,
+                              &out->sketches, error);
+  }
+  *offset = peek;
+  if (*offset >= data.size()) {
+    *error = "truncated backend tag";
+    return false;
+  }
+  const uint8_t backend = static_cast<uint8_t>(data[*offset]);
+  ++*offset;
+  if (!KnownSketchBackend(backend) || backend == 0) {
+    *error = "unknown sketch backend " + std::to_string(backend);
+    return false;
+  }
+  std::unique_ptr<DistinctSketch> sketch =
+      DeserializeDistinctSketch(data, offset, error);
+  if (sketch == nullptr) return false;
+  if (sketch->backend() != static_cast<SketchBackendId>(backend)) {
+    *error = "summary backend tag disagrees with its payload";
+    return false;
+  }
+  if (expected_options != nullptr &&
+      !(sketch->options() == *expected_options)) {
+    *error = "summary uses a foreign backend configuration (size/seed)";
+    return false;
+  }
+  out->backend = backend;
+  out->backend_sketch = std::move(sketch);
+  return true;
+}
+
 }  // namespace setsketch

@@ -19,6 +19,10 @@ size_t ParallelIngest(SketchBank* bank,
   int copies = bank->num_copies();
   if (threads <= 1 || copies == 1) {
     for (const StreamBatch& group : groups) {
+      if (group.column == nullptr) {
+        group.backend_sketch->UpdateBatch(group.items);
+        continue;
+      }
       for (TwoLevelHashSketch& sketch : *group.column) {
         sketch.UpdateBatch(group.items);
       }
@@ -32,8 +36,18 @@ size_t ParallelIngest(SketchBank* bank,
   for (int t = 0; t < threads; ++t) {
     const int begin = t * copies / threads;
     const int end = (t + 1) * copies / threads;
-    workers.emplace_back([&groups, begin, end] {
+    // A DistinctSketch has no independent copy ranges — worker 0 owns
+    // backend groups whole; the copy-range math below only ever touches
+    // default-backend columns.
+    const bool owns_backend_groups = t == 0;
+    workers.emplace_back([&groups, begin, end, owns_backend_groups] {
       for (const StreamBatch& group : groups) {
+        if (group.column == nullptr) {
+          if (owns_backend_groups) {
+            group.backend_sketch->UpdateBatch(group.items);
+          }
+          continue;
+        }
         std::vector<TwoLevelHashSketch>& column = *group.column;
         for (int i = begin; i < end; ++i) {
           column[static_cast<size_t>(i)].UpdateBatch(group.items);

@@ -75,8 +75,63 @@ PlanCache::Result ExactEmptyResult(std::string canonical) {
 
 }  // namespace
 
+bool PlanCache::UsesBackendStreams(const Expression& expr,
+                                   const SketchBank& bank) {
+  for (const std::string& name : expr.StreamNames()) {
+    if (bank.StreamBackend(name) != SketchBackendId::kTwoLevelHash) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PlanCache::Result PlanCache::BackendQuery(const Expression& expr,
+                                          const SketchBank& bank) {
+  Result result;
+  result.canonical = Canonicalize(expr).ToString();
+  // Homogeneity first, so a two-level stream mixed into a backend query
+  // reports "mixed backends" rather than a confusing lookup miss.
+  for (const std::string& name : expr.StreamNames()) {
+    if (!bank.HasStream(name)) {
+      result.error = "unknown stream in expression";
+      return result;
+    }
+    if (bank.StreamBackend(name) == SketchBackendId::kTwoLevelHash) {
+      result.error = "mixed sketch backends in one expression ('" + name +
+                     "' is two_level_hash)";
+      return result;
+    }
+  }
+  const BackendEstimate estimate = EstimateWithBackend(
+      expr, [&bank](const std::string& name) -> const DistinctSketch* {
+        return bank.BackendSketch(name);
+      });
+  {
+    MutexLock lock(&mutex_);
+    ++stats_.backend_queries;
+  }
+  if (!estimate.ok) {
+    result.error = estimate.error;
+    return result;
+  }
+  result.ok = true;
+  result.estimate = estimate.estimate;
+  // The backends carry a design-point relative standard error rather than
+  // a witness-count interval; report +/- 2 sigma around the estimate.
+  const DistinctSketch* representative =
+      bank.BackendSketch(expr.StreamNames().front());
+  const double sigma =
+      representative->TargetRelativeError() / 3.0 * estimate.estimate;
+  result.interval.lo = std::max(0.0, estimate.estimate - 2.0 * sigma);
+  result.interval.hi = estimate.estimate + 2.0 * sigma;
+  result.detail.ok = true;
+  result.detail.expression.ok = true;
+  return result;
+}
+
 PlanCache::Result PlanCache::Query(const Expression& expr,
                                    const SketchBank& bank) {
+  if (UsesBackendStreams(expr, bank)) return BackendQuery(expr, bank);
   CanonicalPlan plan = Canonicalize(expr);
   std::string canonical = plan.ToString();
   if (ProvablyEmpty(expr)) return ExactEmptyResult(std::move(canonical));
@@ -124,6 +179,13 @@ PlanCache::Result PlanCache::Query(const Expression& expr,
 
 bool PlanCache::BeginQuery(const Expression& expr, const SketchBank& bank,
                            Result* hit, SnapshotRequest* request) {
+  if (UsesBackendStreams(expr, bank)) {
+    // Backend-routed queries evaluate inline: the synopsis is a few KB
+    // and the algebra is O(sample), so there is no cold merge worth
+    // moving outside the caller's ingest locks.
+    *hit = BackendQuery(expr, bank);
+    return true;
+  }
   CanonicalPlan plan = Canonicalize(expr);
   std::string canonical = plan.ToString();
   if (ProvablyEmpty(expr)) {
@@ -453,6 +515,19 @@ std::string PlanCache::Explain(const Expression& expr,
     if (bank.StreamEpoch(name) == 0) out << " [unknown]";
   }
   out << "\n";
+  if (UsesBackendStreams(expr, bank)) {
+    SketchBackendId backend = SketchBackendId::kTwoLevelHash;
+    for (const std::string& name : plan.streams) {
+      if (bank.StreamBackend(name) != SketchBackendId::kTwoLevelHash) {
+        backend = bank.StreamBackend(name);
+        break;
+      }
+    }
+    out << "backend: " << SketchBackendName(backend)
+        << " — routed to the backend's expression algebra "
+           "(no plan memoization; synopses are merged inline)\n";
+    return out.str();
+  }
   out << "plan nodes: " << plan.nodes.size() << ", shared sub-expressions: "
       << plan.SharedNodeCount() << "\n";
   for (size_t id = 0; id < plan.nodes.size(); ++id) {

@@ -68,6 +68,7 @@ class PlanCache {
     uint64_t evictions = 0;      ///< LRU evictions.
     uint64_t merge_builds = 0;   ///< Union-merge memos (re)built.
     uint64_t bypasses = 0;       ///< EstimateUncached calls.
+    uint64_t backend_queries = 0;  ///< Routed to an alternative backend.
     uint64_t entries = 0;        ///< Current cached plans.
     uint64_t memo_bytes = 0;     ///< Bytes held by memoized merges.
   };
@@ -171,6 +172,16 @@ class PlanCache {
     std::vector<unsigned char> scratch;  ///< Witness-DAG eval arena.
     uint64_t last_used = 0;           ///< LRU tick.
   };
+
+  /// True iff any stream of `expr` is registered under an alternative
+  /// sketch backend in `bank` — such queries route around the memo
+  /// machinery (DistinctSketch synopses are tiny; there is no r-copy
+  /// merge worth memoizing) straight to the backend's expression algebra.
+  static bool UsesBackendStreams(const Expression& expr,
+                                 const SketchBank& bank);
+  /// Evaluates a backend-routed query (see UsesBackendStreams).
+  Result BackendQuery(const Expression& expr, const SketchBank& bank)
+      SETSKETCH_EXCLUDES(mutex_);
 
   Entry* FindOrCompileLocked(const CanonicalPlan& plan,
                              const std::string& canonical)

@@ -12,7 +12,8 @@ namespace setsketch {
 
 namespace {
 
-constexpr uint32_t kSnapshotMagic = 0x53534E31;  // "SSN1"
+constexpr uint32_t kSnapshotMagic = 0x53534E31;    // "SSN1" (all-default)
+constexpr uint32_t kSnapshotMagicV2 = 0x53534E32;  // "SSN2" (backend-tagged)
 
 template <typename T>
 void AppendPod(std::string* out, T value) {
@@ -45,7 +46,8 @@ bool ReadString(const std::string& data, size_t* offset, std::string* s) {
 
 StreamEngine::StreamEngine(const Options& options)
     : options_(options),
-      bank_(SketchFamily(options.params, options.copies, options.seed)),
+      bank_(SketchFamily(options.params, options.copies, options.seed),
+            options.backend_size),
       plan_cache_(std::make_unique<PlanCache>(
           PlanCache::Options{options.witness, /*max_entries=*/128})) {
   if (options_.track_exact) {
@@ -54,12 +56,17 @@ StreamEngine::StreamEngine(const Options& options)
 }
 
 StreamId StreamEngine::RegisterStream(const std::string& name) {
+  return RegisterStreamWithBackend(name, options_.default_backend);
+}
+
+StreamId StreamEngine::RegisterStreamWithBackend(const std::string& name,
+                                                 SketchBackendId backend) {
   auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   const StreamId id = static_cast<StreamId>(names_.size());
   names_.push_back(name);
   ids_.emplace(name, id);
-  bank_.AddStream(name);
+  bank_.AddStreamWithBackend(name, backend, bank_.backend_options());
   if (exact_) exact_->AddStream();
   return id;
 }
@@ -135,8 +142,19 @@ std::string EncodeEngineSnapshot(const StreamEngine::Options& options,
                                  const std::vector<std::string>& names,
                                  const SketchBank& bank,
                                  const std::vector<std::string>& query_texts) {
+  // A fully default configuration keeps the legacy SSN1 bytes (bit
+  // stability for existing checkpoints and the equivalence invariant);
+  // any backend involvement upgrades the header to SSN2.
+  const bool tagged =
+      options.default_backend != SketchBackendId::kTwoLevelHash ||
+      options.backend_size != BackendOptions{}.size ||
+      bank.HasBackendStreams();
   std::string out;
-  AppendPod(&out, kSnapshotMagic);
+  AppendPod(&out, tagged ? kSnapshotMagicV2 : kSnapshotMagic);
+  if (tagged) {
+    AppendPod(&out, static_cast<uint8_t>(options.default_backend));
+    AppendPod(&out, options.backend_size);
+  }
   const SketchParams& p = options.params;
   AppendPod(&out, static_cast<int32_t>(p.levels));
   AppendPod(&out, static_cast<int32_t>(p.num_second_level));
@@ -151,6 +169,14 @@ std::string EncodeEngineSnapshot(const StreamEngine::Options& options,
   AppendPod(&out, static_cast<uint32_t>(names.size()));
   for (const std::string& name : names) {
     AppendString(&out, name);
+    const DistinctSketch* backend_sketch = bank.BackendSketch(name);
+    if (tagged) {
+      AppendPod(&out, static_cast<uint8_t>(bank.StreamBackend(name)));
+    }
+    if (backend_sketch != nullptr) {
+      backend_sketch->SerializeTo(&out);
+      continue;
+    }
     for (const TwoLevelHashSketch& sketch : bank.Sketches(name)) {
       sketch.SerializeCompactTo(&out);
     }
@@ -166,10 +192,23 @@ bool DecodeEngineSnapshot(const std::string& bytes, EngineSnapshotData* out) {
   *out = EngineSnapshotData{};
   size_t offset = 0;
   uint32_t magic = 0;
-  if (!ReadPod(bytes, &offset, &magic) || magic != kSnapshotMagic) {
+  if (!ReadPod(bytes, &offset, &magic) ||
+      (magic != kSnapshotMagic && magic != kSnapshotMagicV2)) {
     return false;
   }
+  const bool tagged = magic == kSnapshotMagicV2;
   StreamEngine::Options& options = out->options;
+  if (tagged) {
+    uint8_t default_backend = 0;
+    if (!ReadPod(bytes, &offset, &default_backend) ||
+        !ReadPod(bytes, &offset, &options.backend_size) ||
+        !KnownSketchBackend(default_backend) ||
+        options.backend_size < kMinBackendSize ||
+        options.backend_size > kMaxBackendSize) {
+      return false;
+    }
+    options.default_backend = static_cast<SketchBackendId>(default_backend);
+  }
   int32_t levels = 0, s = 0, independence = 0, copies = 0;
   uint8_t kind = 0, pooled = 0;
   if (!ReadPod(bytes, &offset, &levels) || !ReadPod(bytes, &offset, &s) ||
@@ -199,16 +238,35 @@ bool DecodeEngineSnapshot(const std::string& bytes, EngineSnapshotData* out) {
   for (uint32_t i = 0; i < num_streams; ++i) {
     std::string name;
     if (!ReadString(bytes, &offset, &name)) return false;
+    uint8_t backend = 0;
+    if (tagged) {
+      if (!ReadPod(bytes, &offset, &backend) ||
+          !KnownSketchBackend(backend)) {
+        return false;
+      }
+    }
     std::vector<TwoLevelHashSketch> sketches;
-    sketches.reserve(static_cast<size_t>(copies));
-    for (int c = 0; c < copies; ++c) {
-      std::unique_ptr<TwoLevelHashSketch> sketch =
-          TwoLevelHashSketch::Deserialize(bytes, &offset);
-      if (!sketch) return false;
-      sketches.push_back(std::move(*sketch));
+    std::unique_ptr<DistinctSketch> backend_sketch;
+    if (backend != 0) {
+      std::string error;
+      backend_sketch = DeserializeDistinctSketch(bytes, &offset, &error);
+      if (backend_sketch == nullptr ||
+          backend_sketch->backend() != static_cast<SketchBackendId>(backend)) {
+        return false;
+      }
+    } else {
+      sketches.reserve(static_cast<size_t>(copies));
+      for (int c = 0; c < copies; ++c) {
+        std::unique_ptr<TwoLevelHashSketch> sketch =
+            TwoLevelHashSketch::Deserialize(bytes, &offset);
+        if (!sketch) return false;
+        sketches.push_back(std::move(*sketch));
+      }
     }
     out->stream_names.push_back(std::move(name));
     out->sketches.push_back(std::move(sketches));
+    out->stream_backends.push_back(backend);
+    out->backend_sketches.push_back(std::move(backend_sketch));
   }
   uint32_t num_queries = 0;
   if (!ReadPod(bytes, &offset, &num_queries)) return false;
@@ -239,9 +297,23 @@ std::unique_ptr<StreamEngine> StreamEngine::LoadSnapshot(
   for (size_t i = 0; i < data.stream_names.size(); ++i) {
     const std::string& name = data.stream_names[i];
     std::vector<TwoLevelHashSketch>& sketches = data.sketches[i];
-    // Register the name first (assigns the id), then swap the restored
-    // counters in over the empty sketches.
-    engine->RegisterStream(name);
+    if (data.stream_backends[i] != 0) {
+      // Alternative backend: register the name under its tag, then swap
+      // the restored DistinctSketch in. InstallBackendSketch refuses
+      // options that disagree with this engine's derived coins.
+      engine->RegisterStreamWithBackend(
+          name, static_cast<SketchBackendId>(data.stream_backends[i]));
+      if (!engine->bank_.InstallBackendSketch(
+              name, std::move(data.backend_sketches[i]))) {
+        return nullptr;
+      }
+      continue;
+    }
+    // Register the name first (assigns the id) — explicitly under the
+    // default 2-level backend, since the engine's default_backend may
+    // differ from this stream's tag — then swap the restored counters in
+    // over the empty sketches.
+    engine->RegisterStreamWithBackend(name, SketchBackendId::kTwoLevelHash);
     std::vector<TwoLevelHashSketch>* column =
         engine->bank_.MutableSketches(name);
     if (column == nullptr) return nullptr;

@@ -36,6 +36,12 @@ class StreamEngine {
     int copies = 128;
     /// Master seed; fixes all hash functions ("stored coins").
     uint64_t seed = 42;
+    /// Sketch backend for newly registered streams (DESIGN.md §3.8). The
+    /// default keeps the paper's 2-level hash sketch bit-identical.
+    SketchBackendId default_backend = SketchBackendId::kTwoLevelHash;
+    /// Size knob for alternative-backend streams (theta sample size k /
+    /// SetSketch registers K). Ignored by the default backend.
+    uint32_t backend_size = 4096;
     /// Also keep exact stream state so answers can report ground truth.
     /// Costs O(distinct elements) memory — for tests/demos only.
     bool track_exact = false;
@@ -45,9 +51,21 @@ class StreamEngine {
 
   explicit StreamEngine(const Options& options);
 
-  /// Registers a stream; returns its dense id (idempotent — re-registering
-  /// returns the existing id).
+  /// Registers a stream under Options::default_backend; returns its dense
+  /// id (idempotent — re-registering returns the existing id).
   StreamId RegisterStream(const std::string& name);
+
+  /// Registers a stream under an explicit sketch backend (the server's
+  /// per-stream PUSH tags resolve through this). Idempotent like
+  /// RegisterStream; an existing stream keeps its original backend — the
+  /// caller checks StreamBackend when a conflict must be refused.
+  StreamId RegisterStreamWithBackend(const std::string& name,
+                                     SketchBackendId backend);
+
+  /// Backend tag of a registered stream (kTwoLevelHash for unknown names).
+  SketchBackendId StreamBackend(const std::string& name) const {
+    return bank_.StreamBackend(name);
+  }
 
   /// Id of a registered stream, if any.
   std::optional<StreamId> IdOf(const std::string& name) const;
@@ -178,14 +196,25 @@ struct EngineSnapshotData {
   StreamEngine::Options options;  // track_exact always false.
   int64_t updates_processed = 0;
   std::vector<std::string> stream_names;  // Id order.
-  /// Per stream (parallel to stream_names), the r restored sketch copies.
+  /// Per stream (parallel to stream_names), the r restored sketch copies
+  /// (empty for alternative-backend streams).
   std::vector<std::vector<TwoLevelHashSketch>> sketches;
+  /// Per stream, its SketchBackendId tag (0 = default 2-level hash).
+  std::vector<uint8_t> stream_backends;
+  /// Per stream, the restored DistinctSketch for alternative backends
+  /// (nullptr for default-backend streams).
+  std::vector<std::unique_ptr<DistinctSketch>> backend_sketches;
   std::vector<std::string> query_texts;
 };
 
 /// Serializes a synopsis: configuration, seed, every stream's sketches in
 /// `names` order (each name must exist in `bank`), and query texts. The
-/// byte format is StreamEngine::SaveSnapshot's.
+/// byte format is StreamEngine::SaveSnapshot's. A fully default
+/// configuration (2-level hash backend everywhere, default backend size)
+/// emits the legacy "SSN1" layout byte for byte; any backend use switches
+/// the header to "SSN2", which carries the default backend id + size and
+/// a per-stream backend tag — restorers refuse a mismatching backend
+/// configuration exactly like mismatching stored coins.
 std::string EncodeEngineSnapshot(const StreamEngine::Options& options,
                                  int64_t updates_processed,
                                  const std::vector<std::string>& names,

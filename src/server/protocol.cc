@@ -232,6 +232,17 @@ std::string EncodePushUpdates(const UpdateBatch& batch,
     size += VarintLen(u.stream) + VarintLen(u.element) +
             VarintLen(ZigZagEncode(u.delta));
   }
+  // Backend-tags section only when some tag is nonzero: an all-default
+  // batch keeps the legacy bytes (equivalence invariant + old peers).
+  bool tagged = false;
+  for (uint8_t tag : batch.stream_backends) tagged |= tag != 0;
+  if (tagged) {
+    SETSKETCH_CHECK(batch.stream_backends.size() ==
+                    batch.stream_names.size())
+        << "stream_backends must parallel stream_names when tagged";
+    size += VarintLen(batch.stream_names.size()) +
+            batch.stream_names.size();
+  }
   std::string out;
   out.resize(size);
   char* p = out.data();
@@ -253,15 +264,58 @@ std::string EncodePushUpdates(const UpdateBatch& batch,
     p = WriteVarint(p, u.element);
     p = WriteVarint(p, ZigZagEncode(u.delta));
   }
+  if (tagged) {
+    p = WriteVarint(p, batch.stream_backends.size());
+    for (uint8_t tag : batch.stream_backends) {
+      *p++ = static_cast<char>(tag);
+    }
+  }
   SETSKETCH_DCHECK(p == out.data() + size)
       << "encoded size mismatch:" << (p - out.data()) << "vs" << size;
   return out;
 }
 
+namespace {
+
+/// Decodes the optional PUSH_UPDATES backend-tags section starting at
+/// *offset (shared by the string and zero-copy decoders so both accept
+/// and reject identically). `tags` was pre-sized to the name count.
+template <typename Names>
+bool DecodeBackendTags(std::string_view payload, size_t* offset,
+                       const Names& names, std::vector<uint8_t>* tags,
+                       std::string* error) {
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(payload.data());
+  uint64_t tag_count = 0;
+  const size_t n =
+      DecodeVarint(base + *offset, base + payload.size(), &tag_count);
+  if (n == 0 || tag_count != names.size()) {
+    *error = "malformed backend-tag count";
+    return false;
+  }
+  *offset += n;
+  if (payload.size() - *offset < tag_count) {
+    *error = "truncated backend tags";
+    return false;
+  }
+  for (uint64_t i = 0; i < tag_count; ++i) {
+    const uint8_t tag = static_cast<uint8_t>(payload[(*offset)++]);
+    if (!KnownSketchBackend(tag)) {
+      *error = "unknown backend tag for stream '" +
+               std::string(names[static_cast<size_t>(i)]) + "'";
+      return false;
+    }
+    (*tags)[static_cast<size_t>(i)] = tag;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool DecodePushUpdates(std::string_view payload, UpdateBatch* out,
                        std::string* error) {
   out->stream_names.clear();
   out->updates.clear();
+  out->stream_backends.clear();
   size_t offset = 0;
   if (!ReadVarintString(payload, &offset, kMaxSiteIdBytes, &out->site_id)) {
     *error = "malformed site id";
@@ -331,9 +385,16 @@ bool DecodePushUpdates(std::string_view payload, UpdateBatch* out,
     out->updates.push_back(Update{static_cast<StreamId>(stream), element,
                                   ZigZagDecode(zigzag_delta)});
   }
+  out->stream_backends.assign(static_cast<size_t>(num_names), 0);
   if (offset != payload.size()) {
-    *error = "trailing bytes after update batch";
-    return false;
+    if (!DecodeBackendTags(payload, &offset, out->stream_names,
+                           &out->stream_backends, error)) {
+      return false;
+    }
+    if (offset != payload.size()) {
+      *error = "trailing bytes after update batch";
+      return false;
+    }
   }
   return true;
 }
@@ -368,6 +429,7 @@ bool DecodePushUpdates(std::string_view payload, UpdateBatchView* out,
                        std::string* error) {
   out->stream_names.clear();
   out->updates.clear();
+  out->stream_backends.clear();
   size_t offset = 0;
   if (!ReadVarintStringView(payload, &offset, kMaxSiteIdBytes,
                             &out->site_id)) {
@@ -451,9 +513,17 @@ bool DecodePushUpdates(std::string_view payload, UpdateBatchView* out,
     q += used;
     decoded += full;
   }
+  out->stream_backends.assign(static_cast<size_t>(num_names), 0);
   if (q != end) {
-    *error = "trailing bytes after update batch";
-    return false;
+    size_t tail = static_cast<size_t>(q - base);
+    if (!DecodeBackendTags(payload, &tail, out->stream_names,
+                           &out->stream_backends, error)) {
+      return false;
+    }
+    if (tail != payload.size()) {
+      *error = "trailing bytes after update batch";
+      return false;
+    }
   }
   return true;
 }
@@ -528,9 +598,14 @@ bool DecodeQueryResult(const std::string& payload, QueryResultInfo* out) {
 }
 
 std::string EncodeHello(const HelloInfo& hello, bool response) {
+  // A default backend configuration stays on the version-1 layout so the
+  // bytes (and cross-version interop) are unchanged; any backend use
+  // upgrades the hello to version 2 with two extra varints.
+  const bool tagged = hello.backend != 0 || hello.backend_size != 4096;
   std::string out;
   AppendU32(&out, response ? kHelloResponseMagic : kHelloRequestMagic);
-  out.push_back(static_cast<char>(hello.hello_version));
+  out.push_back(
+      static_cast<char>(tagged ? kHelloVersionBackend : kHelloVersion));
   out.push_back(static_cast<char>(hello.features));
   AppendVarint(&out, static_cast<uint64_t>(hello.params.levels));
   AppendVarint(&out, static_cast<uint64_t>(hello.params.num_second_level));
@@ -538,6 +613,10 @@ std::string EncodeHello(const HelloInfo& hello, bool response) {
   AppendVarint(&out, static_cast<uint64_t>(hello.params.independence));
   AppendVarint(&out, static_cast<uint64_t>(hello.copies));
   AppendVarint(&out, hello.seed);
+  if (tagged) {
+    AppendVarint(&out, static_cast<uint64_t>(hello.backend));
+    AppendVarint(&out, static_cast<uint64_t>(hello.backend_size));
+  }
   return out;
 }
 
@@ -563,6 +642,19 @@ bool DecodeHello(const std::string& payload, bool response, HelloInfo* out) {
       !ReadVarint(payload, &offset, &copies) ||
       !ReadVarint(payload, &offset, &out->seed)) {
     return false;
+  }
+  if (out->hello_version >= kHelloVersionBackend) {
+    uint64_t backend = 0, backend_size = 0;
+    if (!ReadVarint(payload, &offset, &backend) ||
+        !ReadVarint(payload, &offset, &backend_size)) {
+      return false;
+    }
+    if (backend > 255 || !KnownSketchBackend(static_cast<uint8_t>(backend)) ||
+        backend_size < kMinBackendSize || backend_size > kMaxBackendSize) {
+      return false;
+    }
+    out->backend = static_cast<uint8_t>(backend);
+    out->backend_size = static_cast<uint32_t>(backend_size);
   }
   if (offset != payload.size()) return false;
   // Bound the fields to sane configuration space before narrowing.
@@ -640,7 +732,13 @@ std::string EncodeSummaryResult(const SummaryResult& result) {
     if (entry.state == SummaryState::kFull) {
       AppendVarint(&out, entry.bank_id);
       AppendVarint(&out, entry.epoch);
-      EncodeSketchVector(entry.sketches, /*compact=*/true, &out);
+      if (entry.backend != 0) {
+        SummaryAppendU32(&out, kSummaryBackendMagic);
+        out.push_back(static_cast<char>(entry.backend));
+        entry.backend_sketch->SerializeTo(&out);
+      } else {
+        EncodeSketchVector(entry.sketches, /*compact=*/true, &out);
+      }
     }
   }
   return out;
@@ -684,14 +782,20 @@ bool DecodeSummaryResult(const std::string& payload, SummaryResult* out,
         return false;
       }
       std::string decode_error;
-      // The caller verifies copy count and coins against its own
-      // configuration; the codec only enforces well-formedness here.
-      if (!DecodeSketchVector(payload, &offset, /*expected_copies=*/-1,
-                              /*expected_seeds=*/nullptr, &entry.sketches,
-                              &decode_error)) {
+      StreamSummary summary;
+      // The caller verifies copy count, coins, and backend options
+      // against its own configuration; the codec only enforces
+      // well-formedness here.
+      if (!DecodeStreamSummary(payload, &offset, /*expected_copies=*/-1,
+                               /*expected_seeds=*/nullptr,
+                               /*expected_options=*/nullptr, &summary,
+                               &decode_error)) {
         *error = "stream '" + entry.name + "' " + decode_error;
         return false;
       }
+      entry.backend = summary.backend;
+      entry.sketches = std::move(summary.sketches);
+      entry.backend_sketch = std::move(summary.backend_sketch);
     }
     out->streams.push_back(std::move(entry));
   }
@@ -820,7 +924,13 @@ std::string EncodeRepairInstall(const RepairInstall& install) {
         << "stream name of " << stream.name.size()
         << " bytes exceeds the wire bound";
     AppendVarintString(&out, stream.name);
-    EncodeSketchVector(stream.sketches, /*compact=*/true, &out);
+    if (stream.backend != 0) {
+      SummaryAppendU32(&out, kSummaryBackendMagic);
+      out.push_back(static_cast<char>(stream.backend));
+      stream.backend_sketch->SerializeTo(&out);
+    } else {
+      EncodeSketchVector(stream.sketches, /*compact=*/true, &out);
+    }
   }
   return out;
 }
@@ -863,14 +973,20 @@ bool DecodeRepairInstall(const std::string& payload, RepairInstall* out,
       return false;
     }
     std::string decode_error;
-    // The receiving server verifies copy count and coins against its own
-    // configuration; the codec only enforces well-formedness here.
-    if (!DecodeSketchVector(payload, &offset, /*expected_copies=*/-1,
-                            /*expected_seeds=*/nullptr, &stream.sketches,
-                            &decode_error)) {
+    StreamSummary summary;
+    // The receiving server verifies copy count, coins, and backend
+    // options against its own configuration; the codec only enforces
+    // well-formedness here.
+    if (!DecodeStreamSummary(payload, &offset, /*expected_copies=*/-1,
+                             /*expected_seeds=*/nullptr,
+                             /*expected_options=*/nullptr, &summary,
+                             &decode_error)) {
       *error = "stream '" + stream.name + "' " + decode_error;
       return false;
     }
+    stream.backend = summary.backend;
+    stream.sketches = std::move(summary.sketches);
+    stream.backend_sketch = std::move(summary.backend_sketch);
     out->streams.push_back(std::move(stream));
   }
   if (offset != payload.size()) {

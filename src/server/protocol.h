@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/sketch_backend.h"
 #include "core/sketch_seed.h"
 #include "core/two_level_hash_sketch.h"
 #include "stream/update.h"
@@ -188,7 +189,12 @@ class FrameDecoder {
 /// own dense ids). Layout: idempotency header (site id as varint length +
 /// bytes, varint sequence), then varint #names, then each name as varint
 /// length + bytes; varint #updates, then each update as varint local
-/// stream index, varint element, varint zigzag(delta).
+/// stream index, varint element, varint zigzag(delta); then an OPTIONAL
+/// backend-tags section — varint tag count (must equal #names) followed
+/// by one SketchBackendId byte per name. The section is emitted only
+/// when some tag is nonzero, so default-backend batches are byte-
+/// identical to the legacy layout (and legacy WAL records decode as
+/// all-default).
 ///
 /// The (site_id, sequence) pair is the exactly-once key: a client stamps
 /// every batch with its site id and a per-site monotone sequence, and the
@@ -200,6 +206,10 @@ struct UpdateBatch {
   uint64_t sequence = 0;
   std::vector<std::string> stream_names;
   std::vector<Update> updates;
+  /// Requested backend per name (parallel to stream_names; decoders
+  /// always fill it, 0 = default). Encoders accept an empty vector as
+  /// "all default".
+  std::vector<uint8_t> stream_backends;
 };
 std::string EncodePushUpdates(const UpdateBatch& batch);
 /// Encodes `batch`'s streams/updates under a caller-supplied idempotency
@@ -217,6 +227,7 @@ struct UpdateBatchView {
   uint64_t sequence = 0;
   std::vector<std::string_view> stream_names;
   std::vector<Update> updates;
+  std::vector<uint8_t> stream_backends;  ///< Parallel to stream_names.
 };
 /// Zero-copy, SIMD-assisted PUSH_UPDATES decoder. Accepts exactly the
 /// payloads the string-based DecodePushUpdates accepts and emits the same
@@ -274,7 +285,14 @@ bool DecodeQueryResult(const std::string& payload, QueryResultInfo* out);
 
 inline constexpr uint32_t kHelloRequestMagic = 0x534B4849u;   // "SKHI".
 inline constexpr uint32_t kHelloResponseMagic = 0x534B484Fu;  // "SKHO".
+/// Hello layout versions. Version 1 carries six configuration varints
+/// (levels, second-level count, kind, independence, copies, seed);
+/// version 2 appends the sketch backend id and backend size. Encoders
+/// emit version 1 whenever the backend fields are at their defaults, so
+/// default-configuration peers interoperate with pre-backend builds
+/// byte for byte; decoders accept both layouts.
 inline constexpr uint8_t kHelloVersion = 1;
+inline constexpr uint8_t kHelloVersionBackend = 2;
 /// Feature bit: the peer serves PULL_SUMMARY (cluster federation).
 inline constexpr uint8_t kFeatureSummaryPull = 0x01;
 /// Feature bit: the peer serves PULL_REPAIR/PUSH_REPAIR (anti-entropy
@@ -287,11 +305,19 @@ struct HelloInfo {
   SketchParams params;
   int copies = 0;
   uint64_t seed = 0;
+  /// Default sketch backend id (SketchBackendId; 0 = 2-level hash) and
+  /// its size knob. Version-1 hellos imply the defaults.
+  uint8_t backend = 0;
+  uint32_t backend_size = 4096;
 
-  /// True iff the peers' coins are interchangeable.
+  /// True iff the peers' coins are interchangeable. Backend configuration
+  /// is part of the coins: a backend-tagged router must not merge
+  /// synopses from a shard that builds a different (or no) backend, so a
+  /// mismatch is refused exactly like mismatched seeds.
   bool ConfigMatches(const HelloInfo& other) const {
     return params == other.params && copies == other.copies &&
-           seed == other.seed;
+           seed == other.seed && backend == other.backend &&
+           backend_size == other.backend_size;
   }
 };
 /// Encodes a hello as a PING (request) or PONG (response) payload.
@@ -333,15 +359,19 @@ enum class SummaryState : uint8_t {
 
 /// SUMMARY_RESULT payload: varint #streams, then per stream the name
 /// (varint length + bytes) and a state byte; kFull entries append varint
-/// bank id, varint epoch and the stream's sketch vector
-/// (distributed/summary_codec.h, compact encoding).
+/// bank id, varint epoch and the stream's summary — the legacy compact
+/// sketch vector for default-backend streams, the tagged "SKSM" layout
+/// for alternative backends (distributed/summary_codec.h owns both).
 struct SummaryResult {
   struct Entry {
     std::string name;
     SummaryState state = SummaryState::kUnknown;
     uint64_t bank_id = 0;
     uint64_t epoch = 0;
-    std::vector<TwoLevelHashSketch> sketches;  ///< kFull only.
+    std::vector<TwoLevelHashSketch> sketches;  ///< kFull, default backend.
+    uint8_t backend = 0;                       ///< SketchBackendId tag.
+    /// kFull, alternative backends only.
+    std::shared_ptr<const DistinctSketch> backend_sketch;
   };
   std::vector<Entry> streams;
 };
@@ -397,7 +427,11 @@ struct RepairInstall {
   std::vector<RepairManifest::SiteWindow> sites;
   struct StreamState {
     std::string name;
-    std::vector<TwoLevelHashSketch> sketches;
+    std::vector<TwoLevelHashSketch> sketches;  ///< Default backend.
+    uint8_t backend = 0;                       ///< SketchBackendId tag.
+    /// Alternative backends only (the summary layouts are shared with
+    /// SUMMARY_RESULT; see distributed/summary_codec.h).
+    std::shared_ptr<const DistinctSketch> backend_sketch;
   };
   std::vector<StreamState> streams;
 };

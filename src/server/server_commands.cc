@@ -136,6 +136,10 @@ CommandResult RunServerPush(const PushSpec& spec) {
     }
     UpdateBatch batch;
     batch.stream_names = names;
+    if (spec.backend != SketchBackendId::kTwoLevelHash) {
+      batch.stream_backends.assign(names.size(),
+                                   static_cast<uint8_t>(spec.backend));
+    }
     batch.updates.assign(parsed.updates.begin() + begin,
                          parsed.updates.begin() + end);
     const SketchClient::Status status =

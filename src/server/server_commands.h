@@ -42,6 +42,12 @@ struct PushSpec {
   uint64_t first_sequence = 1;  ///< Sequence stamped on the first batch.
   int io_timeout_ms = 30000;
   int connect_timeout_ms = 5000;
+  /// Backend tag stamped on every stream in the push. kTwoLevelHash (0)
+  /// means "no preference": the server registers unseen streams under
+  /// its own default. A nonzero tag pins the synopsis type; the server
+  /// refuses the batch (CONFIG_MISMATCH) if a stream already exists
+  /// under a different backend.
+  SketchBackendId backend = SketchBackendId::kTwoLevelHash;
 };
 CommandResult RunServerPush(const PushSpec& spec);
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/sketch_backend.h"
 #include "core/two_level_hash_sketch.h"
 #include "stream/update.h"
 #include "util/thread_annotations.h"
@@ -33,10 +34,14 @@ namespace setsketch {
 /// so later stream registrations never move it) with the batch's updates
 /// addressed to it, in arrival order. Grouping happens once at resolve
 /// time; every shard worker then streams each group through the batched
-/// kernel over its copy range.
+/// kernel over its copy range. Alternative-backend streams carry their
+/// single DistinctSketch instead of a copy column (exactly one pointer is
+/// set); those groups are applied by shard worker 0 only — a
+/// DistinctSketch has no independent copy ranges to shard over.
 struct IngestBatch {
   struct Group {
     std::vector<TwoLevelHashSketch>* column = nullptr;
+    DistinctSketch* backend_sketch = nullptr;
     std::vector<ElementDelta> items;
   };
   std::vector<Group> groups;

@@ -175,6 +175,7 @@ SketchClient::Status SketchClient::RoundTrip(Opcode opcode,
   if (reply->opcode == Opcode::kError) {
     ErrorInfo info;
     if (DecodeError(reply->payload, &info)) {
+      status.code = info.code;
       status.error = std::string(WireErrorName(info.code)) + ": " +
                      info.message;
     } else {
@@ -303,6 +304,10 @@ SketchClient::Status SketchClient::PushUpdatesWithRetry(
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     status = PushUpdatesAt(batch, sequence);
     if (status.ok) break;
+    // A config refusal (e.g. a backend retag) is permanent: every
+    // resend is byte-identical and will be refused identically, so
+    // fail fast instead of burning the retry budget.
+    if (status.code == WireError::kConfigMismatch) break;
     ++consecutive_failures;
     if (status.retry) ++retries;
     // Transport failures closed the socket; the next attempt redials

@@ -69,6 +69,9 @@ class SketchClient {
     bool duplicate = false;  ///< ACK says this (site, sequence) was
                              ///< already applied; nothing re-applied.
     std::string error;       ///< Transport or server error when !ok.
+    WireError code = WireError::kNone;  ///< Typed code from an ERROR
+                                        ///< frame (kNone for transport
+                                        ///< failures and successes).
     uint64_t accepted = 0;   ///< ACK payload: updates/streams accepted.
     bool replaced = false;   ///< ACK payload: summary superseded an
                              ///< earlier one from the same site.

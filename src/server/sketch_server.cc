@@ -33,7 +33,8 @@ std::string ErrorFrame(WireError code, std::string_view message) {
 
 SketchServer::SketchServer(const Options& options)
     : options_(options),
-      bank_(SketchFamily(options.params, options.copies, options.seed)),
+      bank_(SketchFamily(options.params, options.copies, options.seed),
+            options.backend_size),
       coordinator_(options.params, options.copies, options.seed),
       plan_cache_(PlanCache::Options{options.witness, /*max_entries=*/128}) {
   if (options_.shards < 1) options_.shards = 1;
@@ -242,6 +243,8 @@ std::string SketchServer::HandleFrame(Opcode opcode, std::string_view payload,
         mine.params = options_.params;
         mine.copies = options_.copies;
         mine.seed = options_.seed;
+        mine.backend = static_cast<uint8_t>(options_.default_backend);
+        mine.backend_size = options_.backend_size;
         return EncodeFrame(Opcode::kPong,
                            EncodeHello(mine, /*response=*/true));
       }
@@ -344,17 +347,49 @@ void SketchServer::OnDisconnect(ServerConnection* /*connection*/) {
 
 std::shared_ptr<IngestBatch> SketchServer::ResolveBatchLocked(
     const std::vector<std::string_view>& stream_names,
-    const std::vector<Update>& updates) {
+    const std::vector<uint8_t>& stream_backends,
+    const std::vector<Update>& updates, std::string* conflict) {
   std::vector<StreamId> global_ids;
   global_ids.reserve(stream_names.size());
-  for (const std::string_view name : stream_names) {
+  // Backend conflicts are detected for EVERY named stream before any
+  // stream is registered or any epoch bumped: a refused batch must leave
+  // no trace (it is never WAL-logged, so recovery must not need it).
+  for (size_t i = 0; i < stream_names.size(); ++i) {
+    const std::string_view name = stream_names[i];
+    const uint8_t tag =
+        i < stream_backends.size() ? stream_backends[i] : uint8_t{0};
+    if (tag == 0) continue;
+    auto it = ids_.find(name);
+    if (it == ids_.end()) continue;
+    const SketchBackendId actual = bank_.StreamBackend(it->first);
+    if (actual != static_cast<SketchBackendId>(tag)) {
+      *conflict =
+          "stream '" + std::string(name) + "' already uses the " +
+          std::string(SketchBackendName(actual)) + " backend; refusing " +
+          std::string(SketchBackendName(static_cast<SketchBackendId>(tag))) +
+          " updates";
+      return nullptr;
+    }
+  }
+  for (size_t i = 0; i < stream_names.size(); ++i) {
+    const std::string_view name = stream_names[i];
     auto it = ids_.find(name);
     if (it == ids_.end()) {
       // First sight of this stream: the only point where a name view is
-      // materialized into owned storage.
+      // materialized into owned storage. A nonzero backend tag selects
+      // the stream's synopsis type here, once, forever.
+      const uint8_t tag =
+          i < stream_backends.size() ? stream_backends[i] : uint8_t{0};
+      const SketchBackendId backend =
+          tag != 0 ? static_cast<SketchBackendId>(tag)
+                   : options_.default_backend;
       const StreamId id = static_cast<StreamId>(names_by_id_.size());
       std::string owned(name);
-      bank_.AddStream(owned);
+      if (backend == SketchBackendId::kTwoLevelHash) {
+        bank_.AddStream(owned);
+      } else {
+        bank_.AddStreamWithBackend(owned, backend, bank_.backend_options());
+      }
       names_by_id_.push_back(owned);
       it = ids_.emplace(std::move(owned), id).first;
     }
@@ -362,15 +397,23 @@ std::shared_ptr<IngestBatch> SketchServer::ResolveBatchLocked(
   }
   // Group by (batch-local) stream id once; the decoder guarantees
   // u.stream < stream_names.size(). Shard workers then apply each group
-  // through the batched kernel without any per-update resolution.
+  // through the batched kernel without any per-update resolution; backend
+  // groups carry the single DistinctSketch instead of a copy column and
+  // are applied whole by shard worker 0.
   auto resolved = std::make_shared<IngestBatch>();
   std::vector<int> group_of(global_ids.size(), -1);
   for (const Update& u : updates) {
     int& g = group_of[u.stream];
     if (g < 0) {
       g = static_cast<int>(resolved->groups.size());
-      resolved->groups.push_back(IngestBatch::Group{
-          bank_.MutableSketches(names_by_id_[global_ids[u.stream]]), {}});
+      const std::string& name = names_by_id_[global_ids[u.stream]];
+      IngestBatch::Group group;
+      if (bank_.StreamBackend(name) == SketchBackendId::kTwoLevelHash) {
+        group.column = bank_.MutableSketches(name);
+      } else {
+        group.backend_sketch = bank_.MutableBackendSketch(name);
+      }
+      resolved->groups.push_back(std::move(group));
     }
     resolved->groups[static_cast<size_t>(g)].items.push_back(
         ElementDelta{u.element, u.delta});
@@ -396,7 +439,7 @@ std::string SketchServer::HandlePushUpdates(std::string_view payload,
       return ErrorFrame(WireError::kBadPayload, decode_error);
     }
     return AdmitPush(batch.site_id, batch.sequence, batch.stream_names,
-                     batch.updates, payload);
+                     batch.stream_backends, batch.updates, payload);
   }
   // Legacy backend: the original owning decoder (per-frame string
   // copies), kept as-was so the backend comparison measures the real
@@ -410,13 +453,14 @@ std::string SketchServer::HandlePushUpdates(std::string_view payload,
   }
   const std::vector<std::string_view> names(batch.stream_names.begin(),
                                             batch.stream_names.end());
-  return AdmitPush(batch.site_id, batch.sequence, names, batch.updates,
-                   payload);
+  return AdmitPush(batch.site_id, batch.sequence, names,
+                   batch.stream_backends, batch.updates, payload);
 }
 
 std::string SketchServer::AdmitPush(
     std::string_view site_id, uint64_t sequence,
     const std::vector<std::string_view>& stream_names,
+    const std::vector<uint8_t>& stream_backends,
     const std::vector<Update>& updates, std::string_view raw_payload) {
   if (draining_.load()) {
     return ErrorFrame(WireError::kShuttingDown, "server is draining");
@@ -459,9 +503,18 @@ std::string SketchServer::AdmitPush(
     // dedup/backpressure gates also keeps rejected batches from bumping
     // epochs or registering streams.
     std::shared_ptr<IngestBatch> resolved;
+    std::string conflict;
     {
       MutexLock registry_lock(&registry_mutex_);
-      resolved = ResolveBatchLocked(stream_names, updates);
+      resolved =
+          ResolveBatchLocked(stream_names, stream_backends, updates, &conflict);
+    }
+    if (resolved == nullptr) {
+      // Backend-tag conflict: refused before the WAL append and before
+      // any stream registration, exactly like a stored-coins mismatch —
+      // mixed-backend counters must never merge.
+      ++batches_rejected_;
+      return ErrorFrame(WireError::kConfigMismatch, conflict);
     }
     if (wal_ != nullptr) {
       // Durability before acknowledgment: the raw payload hits fsync'd
@@ -540,7 +593,17 @@ SummaryResult SketchServer::PullSummaries(const SummaryPullRequest& request) {
       entry.state = SummaryState::kFull;
       entry.bank_id = bank_.bank_id();
       entry.epoch = bank_.StreamEpoch(key.name);
-      entry.sketches = bank_.Sketches(key.name);
+      const SketchBackendId backend = bank_.StreamBackend(key.name);
+      if (backend == SketchBackendId::kTwoLevelHash) {
+        entry.sketches = bank_.Sketches(key.name);
+      } else {
+        // Backend streams move as one tagged DistinctSketch clone: the
+        // quiesce makes the clone a consistent post-ACK snapshot, and the
+        // clone keeps it immutable once the locks drop.
+        entry.backend = static_cast<uint8_t>(backend);
+        entry.backend_sketch = std::shared_ptr<const DistinctSketch>(
+            bank_.BackendSketch(key.name)->Clone());
+      }
     }
     result.streams.push_back(std::move(entry));
   }
@@ -583,6 +646,39 @@ bool SketchServer::InstallRepair(const RepairInstall& install,
     // re-admitted as converged.
     const SketchFamily& family = bank_.family();
     for (const RepairInstall::StreamState& stream : install.streams) {
+      if (stream.backend != 0) {
+        // Backend streams repair as one tagged DistinctSketch; it must
+        // match this server's backend configuration, and must not collide
+        // with an existing stream of a different synopsis type.
+        if (stream.backend_sketch == nullptr) {
+          *code = WireError::kBadPayload;
+          *error = "stream '" + stream.name +
+                   "' is backend-tagged but carries no synopsis";
+          return false;
+        }
+        if (!(stream.backend_sketch->options() == bank_.backend_options())) {
+          *code = WireError::kConfigMismatch;
+          *error = "stream '" + stream.name +
+                   "' uses a foreign backend configuration (size/seed)";
+          return false;
+        }
+        if (bank_.HasStream(stream.name) &&
+            bank_.StreamBackend(stream.name) !=
+                static_cast<SketchBackendId>(stream.backend)) {
+          *code = WireError::kConfigMismatch;
+          *error = "stream '" + stream.name +
+                   "' already uses a different sketch backend";
+          return false;
+        }
+        continue;
+      }
+      if (bank_.HasStream(stream.name) &&
+          bank_.StreamBackend(stream.name) != SketchBackendId::kTwoLevelHash) {
+        *code = WireError::kConfigMismatch;
+        *error = "stream '" + stream.name +
+                 "' already uses a different sketch backend";
+        return false;
+      }
       if (static_cast<int>(stream.sketches.size()) != family.size()) {
         *code = WireError::kConfigMismatch;
         *error = "stream '" + stream.name + "' carries " +
@@ -601,10 +697,17 @@ bool SketchServer::InstallRepair(const RepairInstall& install,
       }
     }
     for (const RepairInstall::StreamState& stream : install.streams) {
-      SETSKETCH_CHECK(bank_.ReplaceStreamSketches(stream.name,
-                                                  stream.sketches))
-          << "validated repair sketches failed to install for stream"
-          << stream.name;
+      if (stream.backend != 0) {
+        SETSKETCH_CHECK(bank_.InstallBackendSketch(
+            stream.name, stream.backend_sketch->Clone()))
+            << "validated repair synopsis failed to install for stream "
+            << stream.name;
+      } else {
+        SETSKETCH_CHECK(bank_.ReplaceStreamSketches(stream.name,
+                                                    stream.sketches))
+            << "validated repair sketches failed to install for stream"
+            << stream.name;
+      }
       if (!ids_.contains(stream.name)) {
         ids_.emplace(stream.name,
                      static_cast<StreamId>(names_by_id_.size()));
@@ -662,6 +765,8 @@ std::string SketchServer::EncodeBankSnapshot() {
   engine_options.copies = options_.copies;
   engine_options.seed = options_.seed;
   engine_options.witness = options_.witness;
+  engine_options.default_backend = options_.default_backend;
+  engine_options.backend_size = options_.backend_size;
   MutexLock lock(&registry_mutex_);
   return EncodeEngineSnapshot(engine_options, persisted_updates_,
                               names_by_id_, bank_, {});
@@ -698,9 +803,27 @@ bool SketchServer::RecoverAndOpenWal(std::string* error) {
           "checkpoint was written with a different sketch configuration "
           "(params/copies/seed); refusing to mix incompatible synopses");
     }
+    if (data.options.default_backend != options_.default_backend ||
+        data.options.backend_size != options_.backend_size) {
+      return fail(
+          "checkpoint was written under a different sketch backend "
+          "configuration (backend/size); refusing to mix incompatible "
+          "synopses");
+    }
     for (size_t i = 0; i < data.stream_names.size(); ++i) {
       const std::string& name = data.stream_names[i];
-      if (!bank_.AddStreamFromSketches(name, std::move(data.sketches[i]))) {
+      const uint8_t tag =
+          i < data.stream_backends.size() ? data.stream_backends[i]
+                                          : uint8_t{0};
+      if (tag != 0) {
+        if (data.backend_sketches[i] == nullptr ||
+            !bank_.InstallBackendSketch(
+                name, std::move(data.backend_sketches[i]))) {
+          return fail("checkpoint synopsis for backend stream '" + name +
+                      "' is incompatible with this server's configuration");
+        }
+      } else if (!bank_.AddStreamFromSketches(name,
+                                              std::move(data.sketches[i]))) {
         return fail("checkpoint sketches for stream '" + name +
                     "' are incompatible with this server's seeds");
       }
@@ -724,9 +847,23 @@ bool SketchServer::RecoverAndOpenWal(std::string* error) {
         if (!DecodePushUpdates(record.payload, &batch, &decode_error)) {
           return;  // CRC-valid but undecodable: skip, keep replaying.
         }
-        for (const std::string& name : batch.stream_names) {
+        for (size_t i = 0; i < batch.stream_names.size(); ++i) {
+          const std::string& name = batch.stream_names[i];
           if (!ids_.contains(name)) {
-            bank_.AddStream(name);
+            // The raw payload preserves backend tags, so replay recreates
+            // each stream under the same backend admission chose.
+            const uint8_t tag = i < batch.stream_backends.size()
+                                    ? batch.stream_backends[i]
+                                    : uint8_t{0};
+            const SketchBackendId backend =
+                tag != 0 ? static_cast<SketchBackendId>(tag)
+                         : options_.default_backend;
+            if (backend == SketchBackendId::kTwoLevelHash) {
+              bank_.AddStream(name);
+            } else {
+              bank_.AddStreamWithBackend(name, backend,
+                                         bank_.backend_options());
+            }
             ids_.emplace(name, static_cast<StreamId>(names_by_id_.size()));
             names_by_id_.push_back(name);
           }
@@ -806,6 +943,14 @@ void SketchServer::WorkerLoop(int shard_index) {
   ShardQueue& queue = *queues_[static_cast<size_t>(shard_index)];
   while (std::shared_ptr<const IngestBatch> batch = queue.PopOrWait()) {
     for (const IngestBatch::Group& group : batch->groups) {
+      if (group.column == nullptr) {
+        // Backend group: a single DistinctSketch has no copy ranges to
+        // shard, so shard 0 applies it whole — still single-writer, since
+        // every queue sees every batch in the same order and only this
+        // shard touches the synopsis.
+        if (shard_index == 0) group.backend_sketch->UpdateBatch(group.items);
+        continue;
+      }
       std::vector<TwoLevelHashSketch>& column = *group.column;
       for (int i = begin; i < end; ++i) {
         column[static_cast<size_t>(i)].UpdateBatch(group.items);
@@ -861,6 +1006,7 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
     MutexLock registry_lock(&registry_mutex_);
     MutexLock coordinator_lock(&coordinator_mutex_);
     bool any_summaries = false;
+    bool any_backend = false;
     for (const std::string& name : names) {
       const bool in_bank = bank_.HasStream(name);
       const std::vector<TwoLevelHashSketch>* from_sites =
@@ -870,6 +1016,19 @@ QueryResultInfo SketchServer::Answer(const std::string& expression_text) {
         return result;
       }
       if (from_sites != nullptr) any_summaries = true;
+      if (in_bank &&
+          bank_.StreamBackend(name) != SketchBackendId::kTwoLevelHash) {
+        any_backend = true;
+      }
+    }
+    if (any_backend && any_summaries) {
+      // Site summaries carry 2-level-hash copy vectors; there is no sound
+      // cross-backend merge, so the combination is refused rather than
+      // silently estimated over mismatched synopses.
+      result.error =
+          "expression mixes backend-sketch streams with site-summary "
+          "streams; no cross-backend merge exists";
+      return result;
     }
     if (!any_summaries) {
       PlanCache::Result hit;
@@ -971,8 +1130,15 @@ std::string SketchServer::RenderStats() const {
       << "plan_cache_invalidations " << s.plan_cache_invalidations << "\n"
       << "plan_cache_merge_builds " << s.plan_cache_merge_builds << "\n"
       << "plan_cache_bypasses " << s.plan_cache_bypasses << "\n"
+      << "plan_cache_backend_queries " << s.plan_cache_backend_queries
+      << "\n"
       << "plan_cache_entries " << s.plan_cache_entries << "\n"
       << "plan_cache_memo_bytes " << s.plan_cache_memo_bytes << "\n"
+      << "backend_default "
+      << SketchBackendName(
+             static_cast<SketchBackendId>(s.backend_default))
+      << "\n"
+      << "backend_streams " << s.backend_streams << "\n"
       << "dedup_sites " << s.dedup_sites << "\n"
       << "dedup_window_bits " << s.dedup_window_bits << "\n"
       << "summary_pulls " << s.summary_pulls << "\n"
@@ -1041,7 +1207,11 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
   {
     MutexLock lock(&registry_mutex_);
     s.streams = names_by_id_.size();
+    s.backend_streams =
+        bank_.BackendStreamCount(SketchBackendId::kThetaKmv) +
+        bank_.BackendStreamCount(SketchBackendId::kSetSketch);
   }
+  s.backend_default = static_cast<uint8_t>(options_.default_backend);
   s.uptime_ms = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - started_at_)
@@ -1054,6 +1224,7 @@ SketchServer::StatsSnapshot SketchServer::stats() const {
   s.plan_cache_invalidations = plan.invalidations;
   s.plan_cache_merge_builds = plan.merge_builds;
   s.plan_cache_bypasses = plan.bypasses;
+  s.plan_cache_backend_queries = plan.backend_queries;
   s.plan_cache_entries = plan.entries;
   s.plan_cache_memo_bytes = plan.memo_bytes;
   return s;

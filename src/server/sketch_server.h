@@ -84,6 +84,15 @@ class SketchServer : private EpollServerBackend::Handler {
     int copies = 128;
     uint64_t seed = 42;
 
+    /// Distinct-sketch backend for newly created streams (DESIGN.md §3.8).
+    /// PUSH_UPDATES backend tags override it per stream at first sight;
+    /// mismatched tags on existing streams are refused (CONFIG_MISMATCH),
+    /// exactly like foreign stored coins. The default keeps every answer
+    /// bit-identical to the pre-backend server.
+    SketchBackendId default_backend = SketchBackendId::kTwoLevelHash;
+    /// Size knob for alternative backends (registers / sample capacity).
+    uint32_t backend_size = 4096;
+
     /// Ingest shards (worker threads); each owns a copy range.
     int shards = 2;
     /// Max batches in flight per shard before RETRY_LATER.
@@ -194,8 +203,12 @@ class SketchServer : private EpollServerBackend::Handler {
     uint64_t plan_cache_invalidations = 0;
     uint64_t plan_cache_merge_builds = 0;
     uint64_t plan_cache_bypasses = 0;   ///< Coordinator-merged queries.
+    uint64_t plan_cache_backend_queries = 0;  ///< Backend-routed queries.
     uint64_t plan_cache_entries = 0;
     uint64_t plan_cache_memo_bytes = 0;
+    // Backend-seam exposure (DESIGN.md §3.8).
+    uint8_t backend_default = 0;        ///< Options::default_backend id.
+    uint64_t backend_streams = 0;       ///< Streams on a non-default backend.
     // Cluster-facing health/exactly-once exposure.
     uint64_t dedup_sites = 0;        ///< Sites with a live dedup window.
     uint64_t dedup_window_bits = 0;  ///< Occupied bits across all windows.
@@ -306,8 +319,13 @@ class SketchServer : private EpollServerBackend::Handler {
   /// epoch-bumping resolve, WAL append (fsync before ACK), dedup record,
   /// enqueue — all under push_mutex_. Views may borrow from the caller's
   /// read buffer; everything enqueued or logged is owned.
+  /// `stream_backends` carries one backend tag per stream name (0 = the
+  /// server's default); a tag that contradicts an existing stream's
+  /// backend refuses the whole batch with CONFIG_MISMATCH before any WAL
+  /// append or enqueue.
   std::string AdmitPush(std::string_view site_id, uint64_t sequence,
                         const std::vector<std::string_view>& stream_names,
+                        const std::vector<uint8_t>& stream_backends,
                         const std::vector<Update>& updates,
                         std::string_view raw_payload)
       SETSKETCH_EXCLUDES(push_mutex_, registry_mutex_);
@@ -354,10 +372,14 @@ class SketchServer : private EpollServerBackend::Handler {
   /// bump must be atomic with the enqueue w.r.t. queries (which read
   /// epochs + counters under push_mutex_ with drained queues), or a
   /// query in the gap would memoize pre-batch counters under the
-  /// post-batch epoch.
+  /// post-batch epoch. A nonzero backend tag selects the stream's backend
+  /// at first sight (0 falls back to Options::default_backend); a tag
+  /// that contradicts an existing stream's backend resolves to nullptr
+  /// with *conflict naming the stream — the caller refuses the batch.
   std::shared_ptr<IngestBatch> ResolveBatchLocked(
       const std::vector<std::string_view>& stream_names,
-      const std::vector<Update>& updates)
+      const std::vector<uint8_t>& stream_backends,
+      const std::vector<Update>& updates, std::string* conflict)
       SETSKETCH_REQUIRES(push_mutex_, registry_mutex_);
 
   Options options_;

@@ -31,6 +31,12 @@ size_t DecodeVarintRunScalar(const uint8_t* p, const uint8_t* end,
   const uint8_t* q = p;
   size_t i = 0;
   for (; i < count; ++i) {
+    // Single-byte values dominate PUSH payloads (stream ids, ±1 deltas,
+    // small elements); a clear top bit means the byte IS the value.
+    if (q < end && *q < 0x80) {
+      out[i] = *q++;
+      continue;
+    }
     uint64_t value = 0;
     const size_t n = DecodeVarint(q, end, &value);
     if (n == 0) break;
@@ -61,6 +67,14 @@ size_t DecodeVarintRunBmi2(const uint8_t* p, const uint8_t* end,
         static_cast<uint32_t>(_mm_movemask_epi8(window));
     uint32_t offset = 0;
     while (i < count && offset <= 6) {
+      // 1-byte fast path: a clear continuation bit at `offset` means the
+      // byte is the whole value — skip the tzcnt/pext machinery. This is
+      // the common case by far (stream ids, ±1 deltas, small elements).
+      if (((cont >> offset) & 1u) == 0) {
+        out[i++] = q[offset];
+        ++offset;
+        continue;
+      }
       // Bits >= 16 of ~cont are set, so tzcnt is always defined; with
       // offset <= 6 at least 10 continuation bits are visible, enough to
       // classify any legal varint.

@@ -5,9 +5,12 @@
 // accumulation — dominates decode time. DecodeVarintRun amortizes it: an
 // SSE movemask turns 16 bytes of input into a continuation bitmap at
 // once, tzcnt finds each varint's length, and a BMI2 pext gathers the
-// 7-bit groups of up to 8 bytes in a single instruction. Falls back to a
-// pointer-based scalar loop on CPUs without BMI2 (and for the tail of
-// every buffer).
+// 7-bit groups of up to 8 bytes in a single instruction. Single-byte
+// varints — the overwhelmingly common case in update triples — skip the
+// tzcnt/pext machinery entirely: a clear continuation bit means the byte
+// IS the value. Falls back to a pointer-based scalar loop on CPUs
+// without BMI2 (and for the tail of every buffer), with the same 1-byte
+// short-circuit.
 //
 // Accept/reject semantics are bit-for-bit those of ReadVarint
 // (util/varint.h): at most 10 bytes, the 10th byte contributes only bit

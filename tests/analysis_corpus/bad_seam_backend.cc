@@ -1,0 +1,15 @@
+// Bad: server code estimating a backend synopsis by poking the
+// DistinctSketch directly, skipping EstimateWithBackend's leaf-presence
+// and options/homogeneity validation.
+// analyze-as: src/server/bad_seam_backend.cc
+// expect: seam-backend
+
+#include "core/sketch_backend.h"
+
+namespace setsketch {
+
+double AnswerFromBackend(const DistinctSketch& sketch) {
+  return sketch.EstimateDistinct();
+}
+
+}  // namespace setsketch

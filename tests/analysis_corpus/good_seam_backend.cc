@@ -1,0 +1,21 @@
+// Good: backend estimation routed through the kernel's sanctioned entry
+// point — EstimateWithBackend resolves the leaves, validates that they
+// share one backend + options, and dispatches to that backend's
+// expression algebra.
+// analyze-as: src/server/good_seam_backend.cc
+// expect-clean
+
+#include "core/sketch_backend.h"
+
+namespace setsketch {
+
+double AnswerViaKernel(const Expression& expression,
+                       const SketchBank& bank) {
+  const BackendEstimate estimate = EstimateWithBackend(
+      expression, [&bank](const std::string& name) -> const DistinctSketch* {
+        return bank.BackendSketch(name);
+      });
+  return estimate.ok ? estimate.estimate : -1.0;
+}
+
+}  // namespace setsketch

@@ -16,6 +16,7 @@
 
 #include "cluster/cluster_commands.h"
 #include "cluster/cluster_router.h"
+#include "core/sketch_backend.h"
 #include "server/fault_injector.h"
 #include "server/sketch_client.h"
 #include "server/sketch_server.h"
@@ -762,6 +763,190 @@ TEST(ClusterMembershipTest, AddAndDrainMoveOnlyTheAffectedSegment) {
   s2.Stop();
   s3.Stop();
   reference.Stop();
+}
+
+TEST(ClusterMembershipTest, DrainAddCyclesReuseTombstonedSlots) {
+  // Repeated join/drain churn must not grow the placement index: a
+  // drained slot is a tombstone the next admission revives in place.
+  SketchServer s0(ShardOptions());
+  SketchServer s1(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(s0.Start(&error)) << error;
+  ASSERT_TRUE(s1.Start(&error)) << error;
+  ClusterRouter router(RouterOptions({&s0, &s1}));
+  ASSERT_TRUE(router.Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 2u);
+
+  auto client = MustConnect(router.port(), "cycler");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client->PushUpdatesWithRetry(MakeBatch(i)).ok);
+  }
+
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    SketchServer extra(ShardOptions());
+    ASSERT_TRUE(extra.Start(&error)) << error;
+    ClusterShard joining;
+    joining.name = "extra";
+    joining.host = "127.0.0.1";
+    joining.port = extra.port();
+    uint64_t moved = 0;
+    ASSERT_TRUE(router.AddShard(joining, &moved, &error))
+        << "cycle " << cycle << ": " << error;
+    // Slot count is bounded: the first cycle appends once, every later
+    // cycle revives that same slot instead of growing the vector.
+    EXPECT_EQ(router.stats().shards, 3u) << "cycle " << cycle;
+    EXPECT_EQ(router.stats().removed_shards, 0u) << "cycle " << cycle;
+
+    ASSERT_TRUE(router.DrainShard("extra", &moved, &error))
+        << "cycle " << cycle << ": " << error;
+    EXPECT_EQ(router.stats().shards, 3u) << "cycle " << cycle;
+    EXPECT_EQ(router.stats().removed_shards, 1u) << "cycle " << cycle;
+    extra.Stop();
+
+    // The ring still serves between cycles.
+    const QueryResultInfo answer = client->Query("A");
+    ASSERT_TRUE(answer.ok) << "cycle " << cycle << ": " << answer.error;
+  }
+
+  router.Stop();
+  s0.Stop();
+  s1.Stop();
+}
+
+// --- Backend streams through the cluster --------------------------------
+
+/// Mixed-backend batch: T on theta/KMV, S on SetSketch, A on the
+/// default two-level synopsis, with insert-then-delete churn.
+UpdateBatch MakeTaggedBatch(int index, int per_batch = 300) {
+  UpdateBatch batch;
+  batch.stream_names = {"T", "S", "A"};
+  batch.stream_backends = {
+      static_cast<uint8_t>(SketchBackendId::kThetaKmv),
+      static_cast<uint8_t>(SketchBackendId::kSetSketch), 0};
+  for (int i = 0; i < per_batch; ++i) {
+    const uint64_t element =
+        static_cast<uint64_t>(index * per_batch + i) * 0x9E3779B9ULL + 7;
+    const StreamId stream = static_cast<StreamId>(i % 3);
+    batch.updates.push_back(Update{stream, element, 1});
+    if (i % 9 == 8) {
+      batch.updates.push_back(Update{stream, element, -1});
+    }
+  }
+  return batch;
+}
+
+TEST(ClusterRouterTest, BackendStreamsFederateThroughTheRouter) {
+  // Backend tags ride the fan-out, the shards build the tagged
+  // synopses, and the router's federated answers are bit-identical to a
+  // single node that ingested the same frames.
+  SketchServer s0(ShardOptions());
+  SketchServer s1(ShardOptions());
+  SketchServer reference(ShardOptions());
+  std::string error;
+  ASSERT_TRUE(s0.Start(&error)) << error;
+  ASSERT_TRUE(s1.Start(&error)) << error;
+  ASSERT_TRUE(reference.Start(&error)) << error;
+  ClusterRouter router(RouterOptions({&s0, &s1}));
+  ASSERT_TRUE(router.Start(&error)) << error;
+  ASSERT_EQ(router.ProbeAll(), 2u);
+
+  auto via_router = MustConnect(router.port(), "backend");
+  auto via_reference = MustConnect(reference.port(), "backend");
+  for (int b = 0; b < 4; ++b) {
+    const UpdateBatch batch = MakeTaggedBatch(b);
+    ASSERT_TRUE(via_router->PushUpdatesWithRetry(batch).ok);
+    ASSERT_TRUE(via_reference->PushUpdates(batch).ok);
+  }
+
+  for (const char* probe : {"T", "S", "A"}) {
+    const QueryResultInfo fed = via_router->Query(probe);
+    const QueryResultInfo ref = via_reference->Query(probe);
+    ASSERT_TRUE(ref.ok) << probe << ": " << ref.error;
+    ASSERT_TRUE(fed.ok) << probe << ": " << fed.error;
+    EXPECT_EQ(fed.estimate, ref.estimate) << probe;
+    EXPECT_EQ(fed.lo, ref.lo) << probe;
+    EXPECT_EQ(fed.hi, ref.hi) << probe;
+  }
+
+  // Mixing synopsis types in one expression is refused at the router
+  // with the same typed error a single node gives.
+  const QueryResultInfo mixed = via_router->Query("T | S");
+  EXPECT_FALSE(mixed.ok);
+  EXPECT_NE(mixed.error.find("mixed sketch backends"), std::string::npos)
+      << mixed.error;
+
+  // A retag through the router bounces with CONFIG_MISMATCH, exactly as
+  // it would against the shard directly.
+  UpdateBatch retag;
+  retag.stream_names = {"T"};
+  retag.stream_backends = {
+      static_cast<uint8_t>(SketchBackendId::kSetSketch)};
+  retag.updates = {Update{0, 99, 1}};
+  const SketchClient::Status refused = via_router->PushUpdates(retag);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("CONFIG_MISMATCH"), std::string::npos)
+      << refused.error;
+
+  router.Stop();
+  s0.Stop();
+  s1.Stop();
+  reference.Stop();
+}
+
+TEST(ClusterHandshakeTest, BackendTaggedRouterRefusesLegacyShard) {
+  // A deployment configured for a non-default backend must refuse a
+  // shard still running the pre-backend defaults: that shard's hello is
+  // a version-1 frame (no backend fields), and admission fails exactly
+  // like a stored-coins mismatch — both at startup probe and online.
+  SketchServer legacy(ShardOptions());
+  SketchServer::Options tagged_options = ShardOptions();
+  tagged_options.default_backend = SketchBackendId::kSetSketch;
+  tagged_options.backend_size = 512;
+  SketchServer tagged(tagged_options);
+  std::string error;
+  ASSERT_TRUE(legacy.Start(&error)) << error;
+  ASSERT_TRUE(tagged.Start(&error)) << error;
+
+  ClusterRouter::Options options = RouterOptions({&tagged, &legacy});
+  options.replicas = 0;
+  options.default_backend = SketchBackendId::kSetSketch;
+  options.backend_size = 512;
+  ClusterRouter router(options);
+  ASSERT_TRUE(router.Start(&error)) << error;
+  EXPECT_EQ(router.ProbeAll(), 1u);
+  const ClusterRouter::StatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.refused_shards, 1u);
+  EXPECT_EQ(stats.healthy_shards, 1u);
+
+  // Joining another legacy shard online is refused with the typed
+  // admission error, and membership does not change.
+  SketchServer another_legacy(ShardOptions());
+  ASSERT_TRUE(another_legacy.Start(&error)) << error;
+  ClusterShard joining;
+  joining.name = "legacy2";
+  joining.host = "127.0.0.1";
+  joining.port = another_legacy.port();
+  uint64_t moved = 0;
+  EXPECT_FALSE(router.AddShard(joining, &moved, &error));
+  EXPECT_NE(error.find("CONFIG_MISMATCH"), std::string::npos) << error;
+  EXPECT_EQ(router.stats().shards, 2u);
+
+  // A shard with the matching backend config is admitted.
+  SketchServer::Options matching = ShardOptions();
+  matching.default_backend = SketchBackendId::kSetSketch;
+  matching.backend_size = 512;
+  SketchServer good(matching);
+  ASSERT_TRUE(good.Start(&error)) << error;
+  joining.name = "good";
+  joining.port = good.port();
+  ASSERT_TRUE(router.AddShard(joining, &moved, &error)) << error;
+  EXPECT_EQ(router.stats().healthy_shards, 2u);
+
+  router.Stop();
+  legacy.Stop();
+  tagged.Stop();
+  another_legacy.Stop();
+  good.Stop();
 }
 
 // --- CLI plumbing -------------------------------------------------------

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/sketch_backend.h"
 #include "core/sketch_bank.h"
 #include "server/fault_injector.h"
 #include "server/sketch_client.h"
@@ -910,6 +911,147 @@ TEST(FaultToleranceTest, RecoveredServerNeverServesStaleCachedPlans) {
 
   ASSERT_TRUE(client->Shutdown().ok);
   recovered.Wait();
+}
+
+// --- Backend streams across crash recovery and checkpoints ---------------
+
+/// Two backend-tagged streams (T on theta/KMV, S on SetSketch) with some
+/// insert-then-delete churn — the WAL must replay the tags, not just the
+/// updates.
+UpdateBatch MakeBackendBatch(int index, int per_batch) {
+  UpdateBatch batch;
+  batch.stream_names = {"T", "S"};
+  batch.stream_backends = {
+      static_cast<uint8_t>(SketchBackendId::kThetaKmv),
+      static_cast<uint8_t>(SketchBackendId::kSetSketch)};
+  for (int i = 0; i < per_batch; ++i) {
+    const uint64_t element =
+        static_cast<uint64_t>(index * per_batch + i) * 2654435761ULL + 29;
+    const StreamId stream = i % 2;
+    batch.updates.push_back(Update{stream, element, 1});
+    if (i % 8 == 7) {  // Net-zero churn: insert immediately retracted.
+      batch.updates.push_back(Update{stream, element, -1});
+    }
+  }
+  return batch;
+}
+
+TEST(FaultToleranceTest, BackendStreamsRecoverFromWalTail) {
+  const std::filesystem::path live = FreshDir("ft_backend_live");
+  const std::filesystem::path image =
+      std::filesystem::path(::testing::TempDir()) / "ft_backend_image";
+  std::filesystem::remove_all(image);
+
+  SketchServer::Options options = WalServerOptions(live.string());
+  constexpr int kBatches = 5;
+  constexpr int kPerBatch = 600;
+  double live_t = 0, live_s = 0;
+  {
+    SketchServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    SketchClient::Options client_options;
+    client_options.port = server.port();
+    client_options.site_id = "pusher";
+    std::unique_ptr<SketchClient> client =
+        SketchClient::Connect(client_options, &error);
+    ASSERT_NE(client, nullptr) << error;
+    for (int b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE(
+          client->PushUpdatesWithRetry(MakeBackendBatch(b, kPerBatch)).ok);
+    }
+    const QueryResultInfo t = client->Query("T");
+    const QueryResultInfo s = client->Query("S");
+    ASSERT_TRUE(t.ok) << t.error;
+    ASSERT_TRUE(s.ok) << s.error;
+    live_t = t.estimate;
+    live_s = s.estimate;
+    // Crash image: every ACKed batch is fsync'd, no checkpoint yet.
+    std::filesystem::copy(live, image,
+                          std::filesystem::copy_options::recursive);
+  }
+
+  options.wal_dir = image.string();
+  SketchServer recovered(options);
+  std::string error;
+  ASSERT_TRUE(recovered.Start(&error)) << error;
+  const SketchServer::StatsSnapshot stats = recovered.stats();
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.recovered_batches, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(stats.backend_streams, 2u);
+
+  // Replay restores the exact synopsis state: estimates are bit-equal to
+  // the pre-crash answers, and a foreign re-tag is still refused.
+  SketchClient::Options client_options;
+  client_options.port = recovered.port();
+  client_options.site_id = "pusher";
+  std::unique_ptr<SketchClient> client =
+      SketchClient::Connect(client_options, &error);
+  ASSERT_NE(client, nullptr) << error;
+  const QueryResultInfo t = client->Query("T");
+  const QueryResultInfo s = client->Query("S");
+  ASSERT_TRUE(t.ok) << t.error;
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_DOUBLE_EQ(t.estimate, live_t);
+  EXPECT_DOUBLE_EQ(s.estimate, live_s);
+
+  UpdateBatch retag;
+  retag.stream_names = {"T"};
+  retag.stream_backends = {
+      static_cast<uint8_t>(SketchBackendId::kSetSketch)};
+  retag.updates = {Update{0, 42, 1}};
+  const SketchClient::Status refused = client->PushUpdatesAt(retag, 999);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("CONFIG_MISMATCH"), std::string::npos)
+      << refused.error;
+  ASSERT_TRUE(client->Shutdown().ok);
+  recovered.Wait();
+}
+
+TEST(FaultToleranceTest, BackendConfigMismatchRefusesCheckpoint) {
+  const std::filesystem::path dir = FreshDir("ft_backend_checkpoint");
+  SketchServer::Options options = WalServerOptions(dir.string());
+  options.default_backend = SketchBackendId::kSetSketch;
+  options.backend_size = 512;
+  {
+    SketchServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    SketchClient::Options client_options;
+    client_options.port = server.port();
+    client_options.site_id = "pusher";
+    std::unique_ptr<SketchClient> client =
+        SketchClient::Connect(client_options, &error);
+    ASSERT_NE(client, nullptr) << error;
+    ASSERT_TRUE(client->PushUpdatesWithRetry(MakeBatch(0, 300)).ok);
+    server.Stop();  // Graceful: compacts into an SSN2 checkpoint.
+    EXPECT_GE(server.stats().snapshots_written, 1u);
+  }
+
+  // Identical backend configuration restores cleanly.
+  {
+    SketchServer same(options);
+    std::string error;
+    ASSERT_TRUE(same.Start(&error)) << error;
+    EXPECT_EQ(same.stats().recoveries, 1u);
+    same.Stop();
+  }
+
+  // A different default backend — or the same backend at a different
+  // size — must refuse the directory, exactly like a coin mismatch.
+  SketchServer::Options other_backend = options;
+  other_backend.default_backend = SketchBackendId::kThetaKmv;
+  SketchServer refused_backend(other_backend);
+  std::string error;
+  EXPECT_FALSE(refused_backend.Start(&error));
+  EXPECT_NE(error.find("backend"), std::string::npos) << error;
+
+  SketchServer::Options other_size = options;
+  other_size.backend_size = 1024;
+  SketchServer refused_size(other_size);
+  error.clear();
+  EXPECT_FALSE(refused_size.Start(&error));
+  EXPECT_NE(error.find("backend"), std::string::npos) << error;
 }
 
 }  // namespace

@@ -200,6 +200,14 @@ UpdateBatch SampleBatch(Xoshiro256StarStar* rng) {
     batch.site_id.append(1 + rng->NextBelow(kMaxSiteIdBytes - 5), 's');
     batch.sequence = rng->Next();
   }
+  // A third of the corpus carries backend tags (the optional trailing
+  // PUSH section), so both decoders fuzz the tagged layout too.
+  if (rng->NextBelow(3) == 0) {
+    for (size_t i = 0; i < num_names; ++i) {
+      batch.stream_backends.push_back(
+          static_cast<uint8_t>(rng->NextBelow(3)));
+    }
+  }
   return batch;
 }
 
@@ -231,6 +239,9 @@ void ExpectDecodersAgree(const std::string& payload) {
     EXPECT_EQ(view.updates[i].element, legacy.updates[i].element);
     EXPECT_EQ(view.updates[i].delta, legacy.updates[i].delta);
   }
+  // Both decoders normalize tags to one per stream (0 = default).
+  EXPECT_EQ(view.stream_backends, legacy.stream_backends);
+  EXPECT_EQ(legacy.stream_backends.size(), legacy.stream_names.size());
 }
 
 TEST(ZeroCopyDecodeTest, AgreesWithLegacyOnRandomBatches) {

@@ -529,5 +529,91 @@ TEST(PlanCacheTest, RestoredEngineStartsWithAFreshPlanCache) {
   EXPECT_FALSE(restored->plan_cache_stats().hits > 0);
 }
 
+TEST(PlanCacheTest, BackendQueriesRouteAroundTheMemoAndCountStats) {
+  SketchBank bank(SketchFamily(TestParams(), 32, 99), /*backend_size=*/512);
+  ASSERT_TRUE(bank.AddStreamWithBackend("T", SketchBackendId::kThetaKmv,
+                                        bank.backend_options()));
+  ASSERT_TRUE(bank.AddStreamWithBackend("U", SketchBackendId::kThetaKmv,
+                                        bank.backend_options()));
+  ASSERT_TRUE(bank.AddStream("D"));
+  for (uint64_t e = 0; e < 3000; ++e) {
+    bank.MutableBackendSketch("T")->Update(e, 1);
+    if (e < 1000) bank.MutableBackendSketch("U")->Update(e, 1);
+    bank.Apply("D", e, 1);
+  }
+
+  PlanCache cache(PlanCache::Options{});
+  const ExprPtr expr = Parse("T | U");
+  const PlanCache::Result first = cache.Query(*expr, bank);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  // |T u U| = 3000 (U is a subset); theta at k=512 targets ~4.4% RSE.
+  EXPECT_NEAR(first.estimate, 3000.0, 3000.0 * 0.2);
+  EXPECT_LE(first.interval.lo, first.estimate);
+  EXPECT_GE(first.interval.hi, first.estimate);
+  EXPECT_EQ(cache.stats().backend_queries, 1u);
+
+  // No memoization: a repeat re-evaluates inline (the synopsis is tiny),
+  // so the backend counter keeps climbing and hits never do.
+  const PlanCache::Result second = cache.Query(*expr, bank);
+  ASSERT_TRUE(second.ok);
+  EXPECT_DOUBLE_EQ(second.estimate, first.estimate);
+  EXPECT_EQ(cache.stats().backend_queries, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // The two-phase protocol answers backend queries entirely in phase 1.
+  PlanCache::Result hit;
+  PlanCache::SnapshotRequest request;
+  EXPECT_TRUE(cache.BeginQuery(*expr, bank, &hit, &request));
+  ASSERT_TRUE(hit.ok);
+  EXPECT_DOUBLE_EQ(hit.estimate, first.estimate);
+  EXPECT_EQ(cache.stats().backend_queries, 3u);
+
+  // Mixing a default-backend stream into a backend expression is a typed
+  // refusal, not a crash or a silent wrong answer.
+  const PlanCache::Result mixed = cache.Query(*Parse("T | D"), bank);
+  EXPECT_FALSE(mixed.ok);
+  EXPECT_NE(mixed.error.find("mixed sketch backends"), std::string::npos);
+
+  // Unknown streams stay a typed error on the backend path too.
+  const PlanCache::Result unknown = cache.Query(*Parse("T | Zz"), bank);
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("unknown stream"), std::string::npos);
+
+  // Default-backend queries are untouched by any of this: D still goes
+  // through the memo and lands a cache entry.
+  const PlanCache::Result d1 = cache.Query(*Parse("D"), bank);
+  ASSERT_TRUE(d1.ok) << d1.error;
+  const PlanCache::Result d2 = cache.Query(*Parse("D"), bank);
+  ASSERT_TRUE(d2.ok);
+  EXPECT_TRUE(d2.cache_hit);
+  EXPECT_EQ(d2.estimate, d1.estimate);
+}
+
+TEST(PlanCacheTest, BackendQueryInvalidatesNothingAndFollowsEpochs) {
+  SketchBank bank(SketchFamily(TestParams(), 32, 7), /*backend_size=*/256);
+  ASSERT_TRUE(bank.AddStreamWithBackend("S", SketchBackendId::kSetSketch,
+                                        bank.backend_options()));
+  for (uint64_t e = 0; e < 2000; ++e) {
+    bank.MutableBackendSketch("S")->Update(e, 1);
+  }
+  PlanCache cache(PlanCache::Options{});
+  const ExprPtr expr = Parse("S");
+  const PlanCache::Result before = cache.Query(*expr, bank);
+  ASSERT_TRUE(before.ok) << before.error;
+
+  // Deletions flow straight through: the next query sees the shrunken
+  // stream with no epoch/invalidiation machinery in between.
+  for (uint64_t e = 1000; e < 2000; ++e) {
+    bank.MutableBackendSketch("S")->Update(e, -1);
+  }
+  const PlanCache::Result after = cache.Query(*expr, bank);
+  ASSERT_TRUE(after.ok);
+  EXPECT_NEAR(after.estimate, 1000.0, 1000.0 * 0.2);
+  EXPECT_LT(after.estimate, before.estimate);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
 }  // namespace
 }  // namespace setsketch

@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "core/sketch_backend.h"
 #include "core/sketch_bank.h"
+#include "distributed/summary_codec.h"
 #include "expr/canonical.h"
 #include "expr/parser.h"
 #include "hash/prng.h"
@@ -543,6 +545,245 @@ TEST(ProtocolFuzzTest, HostileQueryPayloadsNeverCrashThePlanner) {
               : alphabet[rng.NextBelow(alphabet.size())];
     }
     ExerciseHostileQuery(soup, &cache, bank);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hello versioning: v1 (pre-backend) and v2 (backend-tagged) layouts.
+
+TEST(HelloCodecTest, DefaultBackendConfigStaysOnVersion1Bytes) {
+  HelloInfo mine;
+  mine.params.levels = 32;
+  mine.params.num_second_level = 32;
+  mine.copies = 128;
+  mine.seed = 42;
+  const std::string payload = EncodeHello(mine, /*response=*/false);
+  // Byte 4 is the hello version: a default backend configuration must
+  // keep emitting the pre-backend layout, so old and new builds remain
+  // wire-identical for default deployments.
+  ASSERT_GT(payload.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(payload[4]), kHelloVersion);
+  HelloInfo decoded;
+  ASSERT_TRUE(DecodeHello(payload, /*response=*/false, &decoded));
+  EXPECT_EQ(decoded.hello_version, kHelloVersion);
+  EXPECT_EQ(decoded.backend, 0);
+  EXPECT_EQ(decoded.backend_size, 4096u);
+  EXPECT_TRUE(decoded.ConfigMatches(mine));
+}
+
+TEST(HelloCodecTest, HandCraftedVersion1BytesDecodeToDefaultBackend) {
+  // A v1 hello exactly as a pre-backend build writes it: magic, version,
+  // features, then six configuration varints — no backend fields.
+  std::string payload;
+  const uint32_t magic = kHelloRequestMagic;
+  payload.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  payload.push_back(static_cast<char>(kHelloVersion));
+  payload.push_back('\0');                       // features
+  AppendVarint(&payload, 32);                    // levels
+  AppendVarint(&payload, 32);                    // num_second_level
+  AppendVarint(&payload, 0);                     // first_level_kind
+  AppendVarint(&payload, 0);                     // independence
+  AppendVarint(&payload, 128);                   // copies
+  AppendVarint(&payload, 42);                    // seed
+  HelloInfo decoded;
+  ASSERT_TRUE(DecodeHello(payload, /*response=*/false, &decoded));
+  EXPECT_EQ(decoded.hello_version, kHelloVersion);
+  EXPECT_EQ(decoded.copies, 128);
+  EXPECT_EQ(decoded.seed, 42u);
+  EXPECT_EQ(decoded.backend, 0);
+  EXPECT_EQ(decoded.backend_size, 4096u);
+
+  // The same v1 peer against a backend-tagged config: decodes fine, but
+  // ConfigMatches refuses — the refusal path cross-version tests pin.
+  HelloInfo tagged;
+  tagged.params.levels = 32;
+  tagged.params.num_second_level = 32;
+  tagged.copies = 128;
+  tagged.seed = 42;
+  tagged.backend = static_cast<uint8_t>(SketchBackendId::kSetSketch);
+  EXPECT_FALSE(decoded.ConfigMatches(tagged));
+}
+
+TEST(HelloCodecTest, BackendConfigUpgradesToVersion2AndRoundTrips) {
+  HelloInfo mine;
+  mine.params.levels = 16;
+  mine.params.num_second_level = 32;
+  mine.copies = 64;
+  mine.seed = 7;
+  mine.backend = static_cast<uint8_t>(SketchBackendId::kThetaKmv);
+  mine.backend_size = 8192;
+  for (const bool response : {false, true}) {
+    const std::string payload = EncodeHello(mine, response);
+    ASSERT_GT(payload.size(), 4u);
+    EXPECT_EQ(static_cast<uint8_t>(payload[4]), kHelloVersionBackend);
+    HelloInfo decoded;
+    ASSERT_TRUE(DecodeHello(payload, response, &decoded));
+    EXPECT_EQ(decoded.backend, mine.backend);
+    EXPECT_EQ(decoded.backend_size, mine.backend_size);
+    EXPECT_TRUE(decoded.ConfigMatches(mine));
+    HelloInfo defaults = mine;
+    defaults.backend = 0;
+    defaults.backend_size = 4096;
+    EXPECT_FALSE(decoded.ConfigMatches(defaults));
+  }
+}
+
+TEST(HelloCodecTest, RejectsHostileBackendFieldsAndEveryTruncation) {
+  HelloInfo mine;
+  mine.params.levels = 32;
+  mine.params.num_second_level = 32;
+  mine.copies = 128;
+  mine.seed = 42;
+  mine.backend = static_cast<uint8_t>(SketchBackendId::kSetSketch);
+  mine.backend_size = 1024;
+  const std::string payload = EncodeHello(mine, /*response=*/false);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    HelloInfo decoded;
+    EXPECT_FALSE(
+        DecodeHello(payload.substr(0, cut), /*response=*/false, &decoded))
+        << "cut " << cut;
+  }
+
+  // Unknown backend ids and out-of-range sizes are refused before any
+  // narrowing — a hostile peer cannot plant an unconstructible config.
+  const auto craft = [&](uint64_t backend, uint64_t size) {
+    std::string bytes;
+    const uint32_t magic = kHelloRequestMagic;
+    bytes.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    bytes.push_back(static_cast<char>(kHelloVersionBackend));
+    bytes.push_back('\0');
+    AppendVarint(&bytes, 32);
+    AppendVarint(&bytes, 32);
+    AppendVarint(&bytes, 0);
+    AppendVarint(&bytes, 0);
+    AppendVarint(&bytes, 128);
+    AppendVarint(&bytes, 42);
+    AppendVarint(&bytes, backend);
+    AppendVarint(&bytes, size);
+    return bytes;
+  };
+  HelloInfo decoded;
+  EXPECT_FALSE(DecodeHello(craft(9, 4096), false, &decoded));
+  EXPECT_FALSE(DecodeHello(craft(1, kMinBackendSize - 1), false, &decoded));
+  EXPECT_FALSE(
+      DecodeHello(craft(1, uint64_t{kMaxBackendSize} + 1), false, &decoded));
+  EXPECT_TRUE(DecodeHello(craft(1, 4096), false, &decoded));
+}
+
+// ---------------------------------------------------------------------------
+// PUSH backend tags: the optional trailing section.
+
+TEST(ProtocolFuzzTest, PushUpdatesTagsRoundTripAndDefaultWhenAbsent) {
+  Xoshiro256StarStar rng(0x7A65);
+  for (int round = 0; round < 100; ++round) {
+    UpdateBatch batch = SampleBatch(&rng);
+    for (size_t i = 0; i < batch.stream_names.size(); ++i) {
+      batch.stream_backends.push_back(
+          static_cast<uint8_t>(rng.NextBelow(3)));
+    }
+    const std::string payload = EncodePushUpdates(batch);
+    UpdateBatch decoded;
+    std::string error;
+    ASSERT_TRUE(DecodePushUpdates(payload, &decoded, &error)) << error;
+    ASSERT_EQ(decoded.stream_backends.size(), batch.stream_names.size());
+    EXPECT_EQ(decoded.stream_backends, batch.stream_backends);
+
+    // An all-default tag vector must not change the bytes: pre-backend
+    // and backend builds emit identical untagged payloads.
+    UpdateBatch untagged = batch;
+    untagged.stream_backends.assign(batch.stream_names.size(), 0);
+    UpdateBatch bare = batch;
+    bare.stream_backends.clear();
+    EXPECT_EQ(EncodePushUpdates(untagged), EncodePushUpdates(bare));
+    UpdateBatch bare_decoded;
+    ASSERT_TRUE(
+        DecodePushUpdates(EncodePushUpdates(bare), &bare_decoded, &error))
+        << error;
+    EXPECT_EQ(bare_decoded.stream_backends,
+              std::vector<uint8_t>(batch.stream_names.size(), 0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tagged stream summaries (the SKSM layout).
+
+TEST(SummaryCodecFuzzTest, TaggedSummariesRoundTripAcrossBackends) {
+  Xoshiro256StarStar rng(0x5C5C);
+  const BackendOptions options{512, 42};
+  for (const SketchBackendId backend :
+       {SketchBackendId::kThetaKmv, SketchBackendId::kSetSketch}) {
+    for (int round = 0; round < 25; ++round) {
+      std::unique_ptr<DistinctSketch> sketch =
+          CreateDistinctSketch(backend, options);
+      ASSERT_NE(sketch, nullptr);
+      const size_t items = rng.NextBelow(2000);
+      for (size_t i = 0; i < items; ++i) {
+        sketch->Update(rng.Next(), rng.NextBelow(2) == 0 ? 1 : -1);
+      }
+      StreamSummary summary;
+      summary.backend = static_cast<uint8_t>(backend);
+      summary.backend_sketch =
+          std::shared_ptr<const DistinctSketch>(sketch->Clone());
+      std::string encoded;
+      EncodeStreamSummary(summary, /*compact=*/true, &encoded);
+
+      size_t offset = 0;
+      StreamSummary decoded;
+      std::string error;
+      ASSERT_TRUE(DecodeStreamSummary(encoded, &offset, /*copies=*/0,
+                                      /*seeds=*/nullptr, &options, &decoded,
+                                      &error))
+          << error;
+      EXPECT_EQ(offset, encoded.size());
+      ASSERT_EQ(decoded.backend, summary.backend);
+      ASSERT_NE(decoded.backend_sketch, nullptr);
+      // Decode must be lossless: re-encoding reproduces the exact bytes
+      // (theta's Equals is admission-history-dependent, so byte identity
+      // is the stronger and backend-agnostic check).
+      std::string re_encoded;
+      EncodeStreamSummary(decoded, /*compact=*/true, &re_encoded);
+      EXPECT_EQ(re_encoded, encoded);
+      EXPECT_TRUE(decoded.backend_sketch->Equals(*summary.backend_sketch));
+
+      // Foreign backend options are refused like foreign stored coins.
+      const BackendOptions foreign{512, 43};
+      offset = 0;
+      StreamSummary refused;
+      EXPECT_FALSE(DecodeStreamSummary(encoded, &offset, 0, nullptr,
+                                       &foreign, &refused, &error));
+      EXPECT_NE(error.find("foreign backend configuration"),
+                std::string::npos);
+
+      // Every truncation fails cleanly (the layout is self-delimiting).
+      for (size_t cut = 0; cut < encoded.size(); cut += 1 + cut / 16) {
+        offset = 0;
+        StreamSummary trunc;
+        EXPECT_FALSE(DecodeStreamSummary(encoded.substr(0, cut), &offset, 0,
+                                         nullptr, &options, &trunc, &error));
+      }
+    }
+  }
+}
+
+TEST(SummaryCodecFuzzTest, TaggedSummarySurvivesRandomByteSoup) {
+  Xoshiro256StarStar rng(0x50C5);
+  const BackendOptions options{512, 42};
+  for (int round = 0; round < 500; ++round) {
+    // Lead with the SKSM magic so the soup exercises the tagged branch.
+    std::string data;
+    const uint32_t magic = 0x534B534Du;
+    data.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    const size_t len = rng.NextBelow(256);
+    for (size_t i = 0; i < len; ++i) {
+      data.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+    size_t offset = 0;
+    StreamSummary decoded;
+    std::string error;
+    if (!DecodeStreamSummary(data, &offset, 0, nullptr, &options, &decoded,
+                             &error)) {
+      EXPECT_FALSE(error.empty());
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <thread>
 
+#include "core/sketch_backend.h"
 #include "distributed/site.h"
 #include "expr/exact_evaluator.h"
 #include "expr/parser.h"
@@ -507,6 +508,114 @@ TEST(SketchServerTest, ConcurrentClientsMergeIntoOneView) {
   const QueryResultInfo answer = client->Query("A");
   ASSERT_TRUE(answer.ok) << answer.error;
   EXPECT_LT(RelativeError(answer.estimate, kClients * kPerClient), 0.5);
+  server.Stop();
+}
+
+// --- Backend-tagged ingest -----------------------------------------------
+
+TEST(SketchServerTest, BackendTaggedPushServesEstimatesAndStats) {
+  SketchServer server(ServerOptions(/*copies=*/64));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+
+  // One batch names a default stream D plus two backend-tagged streams:
+  // T on theta/KMV and S on SetSketch. The tags ride the PUSH frame.
+  UpdateBatch batch;
+  batch.stream_names = {"D", "T", "S"};
+  batch.stream_backends = {
+      0, static_cast<uint8_t>(SketchBackendId::kThetaKmv),
+      static_cast<uint8_t>(SketchBackendId::kSetSketch)};
+  constexpr int kD = 6000, kT = 4000, kS = 2000;
+  for (int e = 0; e < kD; ++e) {
+    const uint64_t element = static_cast<uint64_t>(e) * 0x9E3779B9ULL + 1;
+    batch.updates.push_back(Insert(0, element));
+    if (e < kT) batch.updates.push_back(Insert(1, element));
+    if (e < kS) batch.updates.push_back(Insert(2, element));
+  }
+  const SketchClient::Status status = client->PushUpdatesWithRetry(batch);
+  ASSERT_TRUE(status.ok) << status.error;
+  EXPECT_EQ(status.accepted, batch.updates.size());
+
+  // Every stream answers through its own synopsis within a loose
+  // envelope (backend size 4096 => eps well under 10%).
+  const std::pair<const char*, double> probes[] = {
+      {"D", kD}, {"T", kT}, {"S", kS}};
+  for (const auto& [name, truth] : probes) {
+    const QueryResultInfo answer = client->Query(name);
+    ASSERT_TRUE(answer.ok) << name << ": " << answer.error;
+    EXPECT_LT(RelativeError(answer.estimate, truth), 0.2)
+        << name << ": estimate " << answer.estimate << " vs " << truth;
+    EXPECT_LE(answer.lo, answer.hi) << name;
+  }
+
+  // Expressions cannot mix synopsis types; the refusal is typed, not a
+  // crash or a silently wrong number.
+  const QueryResultInfo mixed = client->Query("T | S");
+  EXPECT_FALSE(mixed.ok);
+  EXPECT_NE(mixed.error.find("mixed sketch backends"), std::string::npos)
+      << mixed.error;
+
+  // STATS surfaces the backend wiring for operators.
+  std::string stats_text;
+  ASSERT_TRUE(client->Stats(&stats_text).ok);
+  EXPECT_NE(stats_text.find("backend_default two_level_hash"),
+            std::string::npos)
+      << stats_text;
+  EXPECT_NE(stats_text.find("backend_streams 2"), std::string::npos)
+      << stats_text;
+  EXPECT_NE(stats_text.find("plan_cache_backend_queries"),
+            std::string::npos)
+      << stats_text;
+  server.Stop();
+}
+
+TEST(SketchServerTest, BackendConflictRefusedWithoutSideEffects) {
+  SketchServer server(ServerOptions(/*copies=*/64));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+
+  // X is born on theta/KMV.
+  UpdateBatch first;
+  first.stream_names = {"X"};
+  first.stream_backends = {static_cast<uint8_t>(SketchBackendId::kThetaKmv)};
+  for (int e = 0; e < 1000; ++e) {
+    first.updates.push_back(Insert(0, static_cast<uint64_t>(e) * 7919 + 3));
+  }
+  ASSERT_TRUE(client->PushUpdatesWithRetry(first).ok);
+  const uint64_t applied_before = server.stats().updates_applied;
+
+  // A batch re-tagging X as set_sketch is refused wholesale — including
+  // the brand-new stream Y riding in the same frame.
+  UpdateBatch conflicting;
+  conflicting.stream_names = {"X", "Y"};
+  conflicting.stream_backends = {
+      static_cast<uint8_t>(SketchBackendId::kSetSketch),
+      static_cast<uint8_t>(SketchBackendId::kSetSketch)};
+  conflicting.updates = {Insert(0, 1), Insert(1, 2)};
+  const SketchClient::Status refused = client->PushUpdates(conflicting);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("CONFIG_MISMATCH"), std::string::npos)
+      << refused.error;
+  EXPECT_NE(refused.error.find("already uses the theta_kmv backend"),
+            std::string::npos)
+      << refused.error;
+
+  // No trace: nothing applied, Y never registered, X still queryable.
+  EXPECT_EQ(server.stats().updates_applied, applied_before);
+  EXPECT_FALSE(client->Query("Y").ok);
+  const QueryResultInfo x = client->Query("X");
+  ASSERT_TRUE(x.ok) << x.error;
+  EXPECT_LT(RelativeError(x.estimate, 1000.0), 0.2);
+
+  // Tag 0 means "no preference": untagged updates to X are welcome.
+  UpdateBatch untagged;
+  untagged.stream_names = {"X"};
+  untagged.updates = {Insert(0, 0xFEEDu)};
+  EXPECT_TRUE(client->PushUpdatesWithRetry(untagged).ok);
   server.Stop();
 }
 

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
+
 #include "query/stream_engine.h"
 #include "stream/stream_generator.h"
 #include "test_helpers.h"
@@ -49,6 +52,58 @@ TEST(SnapshotTest, RoundTripPreservesEverything) {
     ASSERT_TRUE(b.ok);
     EXPECT_DOUBLE_EQ(a.estimate, b.estimate) << a.expression;
   }
+}
+
+TEST(SnapshotTest, DefaultConfigKeepsLegacySsn1BytesExactly) {
+  // Backend-aware builds must emit the pre-backend layout bit for bit
+  // when every stream is default: same magic, same deterministic bytes.
+  StreamEngine original = BuildPopulatedEngine();
+  const std::string bytes = original.SaveSnapshot();
+  ASSERT_GE(bytes.size(), 4u);
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  EXPECT_EQ(magic, 0x53534E31u) << "default snapshot must stay SSN1";
+
+  // Save → load → save is a fixed point: the restored engine's snapshot
+  // reproduces the original bytes exactly.
+  const std::unique_ptr<StreamEngine> restored =
+      StreamEngine::LoadSnapshot(bytes);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->SaveSnapshot(), bytes);
+}
+
+TEST(SnapshotTest, BackendStreamsRoundTripThroughSsn2) {
+  StreamEngine::Options options = SnapshotOptions();
+  options.default_backend = SketchBackendId::kSetSketch;
+  options.backend_size = 256;
+  StreamEngine engine(options);
+  engine.RegisterStream("A");
+  engine.RegisterStreamWithBackend("B", SketchBackendId::kTwoLevelHash);
+  engine.RegisterStreamWithBackend("C", SketchBackendId::kThetaKmv);
+  VennPartitionGenerator gen(3, {0.2, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.2});
+  const PartitionedDataset data = gen.Generate(4096, 11);
+  engine.IngestAll(data.ToInsertUpdates(5));
+
+  const std::string bytes = engine.SaveSnapshot();
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  EXPECT_EQ(magic, 0x53534E32u) << "backend streams must upgrade to SSN2";
+
+  const std::unique_ptr<StreamEngine> restored =
+      StreamEngine::LoadSnapshot(bytes);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->stream_names(), engine.stream_names());
+  // Each stream's backend survives: identical estimates per stream
+  // (expressions cannot mix backends, so probe one at a time).
+  for (const char* expr : {"A", "B", "C"}) {
+    const auto before = engine.EstimateNow(expr);
+    const auto after = restored->EstimateNow(expr);
+    ASSERT_TRUE(before.ok) << expr;
+    ASSERT_TRUE(after.ok) << expr;
+    EXPECT_DOUBLE_EQ(before.estimate, after.estimate) << expr;
+  }
+  // And the round trip is a fixed point at the byte level too.
+  EXPECT_EQ(restored->SaveSnapshot(), bytes);
 }
 
 TEST(SnapshotTest, RestoredEngineKeepsIngesting) {

@@ -87,6 +87,7 @@ CHECK_IDS = (
     "arena-escape",
     "seam-ingest",
     "seam-estimate",
+    "seam-backend",
     "dcheck-side-effect",
     "lock-order",
     "hotpath-alloc",
@@ -111,6 +112,21 @@ ESTIMATOR_EXEMPT = {
     "src/core/set_expression_estimator.cc",
     "src/query/plan_cache.cc",
     "src/distributed/coordinator.cc",
+}
+
+# seam-backend: DistinctSketch estimation must flow through the kernel's
+# one sanctioned entry (EstimateWithBackend in core/sketch_backend.*);
+# only the registry and the backend implementations themselves may touch
+# a backend's EstimateDistinct/EstimateExpression directly. Everything
+# else calling them skips leaf-presence/options validation and the
+# single-backend homogeneity contract.
+BACKEND_EXEMPT = {
+    "src/core/sketch_backend.h",
+    "src/core/sketch_backend.cc",
+    "src/core/theta_sketch.h",
+    "src/core/theta_sketch.cc",
+    "src/core/set_sketch.h",
+    "src/core/set_sketch.cc",
 }
 
 # hotpath-alloc signals: unconditional allocation / blocking calls. Cold
@@ -152,6 +168,8 @@ SIDE_EFFECT_RE = re.compile(
     r"(?<![=!<>+\-*/%&|^])=(?![=])"
 )
 ESTIMATE_CALL_RE = re.compile(r"(?<![\w:.])EstimateSetExpression\s*\(")
+BACKEND_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(EstimateDistinct|EstimateExpression)\s*\(")
 INGEST_CALL_RE = re.compile(
     r"(?<![\w:])(?:\.|->)?\s*(" + "|".join(INGEST_MUTATORS) + r")\s*\("
 )
@@ -331,7 +349,8 @@ class Analysis:
         ingest_scoped = (sf.virtual.startswith(INGEST_SCOPE)
                          and sf.virtual not in INGEST_EXEMPT)
         estimate_scoped = in_src and sf.virtual not in ESTIMATOR_EXEMPT
-        if not (ingest_scoped or estimate_scoped):
+        backend_scoped = in_src and sf.virtual not in BACKEND_EXEMPT
+        if not (ingest_scoped or estimate_scoped or backend_scoped):
             return
         for lineno, line in enumerate(sf.lines, start=1):
             if estimate_scoped and ESTIMATE_CALL_RE.search(line):
@@ -340,6 +359,16 @@ class Analysis:
                     "direct EstimateSetExpression call: route queries "
                     "through query/plan_cache.h (PlanCache::Query / "
                     "EstimateUncached)")
+            if backend_scoped:
+                m = BACKEND_CALL_RE.search(line)
+                if m:
+                    self.add(
+                        sf, lineno, "seam-backend",
+                        f"direct DistinctSketch::{m.group(1)} call: "
+                        "backend estimation must flow through "
+                        "EstimateWithBackend (core/sketch_backend.h), "
+                        "which validates leaves, options, and backend "
+                        "homogeneity")
             if ingest_scoped:
                 m = INGEST_CALL_RE.search(line)
                 if m:

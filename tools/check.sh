@@ -120,6 +120,15 @@ stage_release() {
   SETSKETCH_BENCH_JSON="${pc_json}" SETSKETCH_BENCH_SCALE=0.05 \
     "${prefix}-release/bench/bench_plan_cache" >/dev/null
   python3 tools/validate_bench_json.py "${pc_json}"
+
+  # Backend-shootout smoke: also enforces the deletion-storm contract
+  # (real backends within 3x their target error, the insert-only
+  # sampling baseline diverging; the bench exits nonzero otherwise).
+  echo "=== bench smoke (backends JSON trajectory) ==="
+  local bk_json="${prefix}-release/BENCH_backends.smoke.json"
+  SETSKETCH_BENCH_JSON="${bk_json}" SETSKETCH_BENCH_SCALE=0.1 \
+    "${prefix}-release/bench/bench_backends" >/dev/null
+  python3 tools/validate_bench_json.py "${bk_json}"
 }
 
 stage_asan() {

@@ -20,6 +20,15 @@
 //                       [--idle-timeout-ms 0]
 //                       [--backend epoll|threads] [--io-threads 1]
 //                       [--read-chunk-bytes 262144] [--pin-shards]
+//                       [--backend-sketch two_level_hash|theta_kmv|
+//                        set_sketch] [--backend-size 4096]
+//                       (--backend-sketch picks the synopsis registered
+//                        for streams first seen WITHOUT an explicit
+//                        client tag; --backend-size sizes the
+//                        alternative backends. Both are part of the
+//                        server's config fingerprint: peers with a
+//                        different backend config are refused at hello,
+//                        exactly like mismatched stored coins.)
 //                       (epoll is the batched-read fast path: one io
 //                        thread multiplexes all connections and decodes
 //                        frames zero-copy; threads is the legacy
@@ -34,6 +43,12 @@
 //                       [--batch-bytes 0] [--site ID]
 //                       [--seq-start 1] [--io-timeout-ms 30000]
 //                       [--connect-timeout-ms 5000]
+//                       [--backend-sketch two_level_hash|theta_kmv|
+//                        set_sketch]
+//                       (--backend-sketch tags every stream in the push
+//                        so unseen streams are registered under that
+//                        synopsis; the server refuses the push if a
+//                        stream already lives under a different one)
 //                       (--batch-bytes slices frames by encoded payload
 //                        size instead of update count — wider frames
 //                        feed the server's batched ingest path)
@@ -53,6 +68,8 @@
 //                       [--probe-backoff-cap-ms 5000]
 //                       [--flap-threshold 1] [--no-auto-repair]
 //                       [--max-dynamic-shards 16]
+//                       [--backend-sketch two_level_hash|theta_kmv|
+//                        set_sketch] [--backend-size 4096]
 //                       (federating router: clients push/query it like a
 //                        single server; streams are placed on shards by a
 //                        seeded consistent-hash ring, writes fan out to
@@ -85,6 +102,7 @@
 #include <vector>
 
 #include "cluster/cluster_commands.h"
+#include "core/sketch_backend.h"
 #include "server/server_commands.h"
 #include "tools/commands.h"
 #include "util/flags.h"
@@ -124,6 +142,7 @@ int Usage() {
                "           [--idle-timeout-ms N]\n"
                "           [--backend epoll|threads] [--io-threads N]\n"
                "           [--read-chunk-bytes N] [--pin-shards]\n"
+               "           [--backend-sketch NAME] [--backend-size N]\n"
                "  route    --shards H:P[,H:P..] [--port N] [--bind ADDR]\n"
                "           [--replicas N] [--static-placement]\n"
                "           [--virtual-nodes N] [--placement-seed N]\n"
@@ -137,6 +156,7 @@ int Usage() {
                "           [--probe-backoff-cap-ms N]\n"
                "           [--flap-threshold N] [--no-auto-repair]\n"
                "           [--max-dynamic-shards N]\n"
+               "           [--backend-sketch NAME] [--backend-size N]\n"
                "  route add-shard   --router H:P --shard H:P [--name S]\n"
                "  route drain-shard --router H:P --name S\n"
                "  push     --port N --updates FILE [--host ADDR]\n"
@@ -144,6 +164,7 @@ int Usage() {
                "           [--batch-bytes N] [--site ID]\n"
                "           [--seq-start N] [--io-timeout-ms N]\n"
                "           [--connect-timeout-ms N]\n"
+               "           [--backend-sketch NAME]\n"
                "  query    --port N --expr EXPRESSION [--host ADDR]\n"
                "  explain  --port N --expr EXPRESSION [--host ADDR]\n"
                "  stats    --port N [--host ADDR]\n"
@@ -226,6 +247,17 @@ int main(int argc, char** argv) {
     options.read_chunk_bytes =
         static_cast<size_t>(flags.GetInt("read-chunk-bytes", 256 << 10));
     options.pin_shards = flags.GetBool("pin-shards", false);
+    const std::string backend_sketch =
+        flags.GetString("backend-sketch", "two_level_hash");
+    if (!ParseSketchBackendName(backend_sketch,
+                                &options.default_backend)) {
+      std::cerr << "sketchtool serve: unknown --backend-sketch '"
+                << backend_sketch
+                << "' (expected two_level_hash, theta_kmv or set_sketch)\n";
+      return Usage();
+    }
+    options.backend_size =
+        static_cast<uint32_t>(flags.GetInt("backend-size", 4096));
     result = RunServe(options, &std::cout);
   } else if (command == "route" && argc >= 3 &&
              (std::string(argv[2]) == "add-shard" ||
@@ -325,6 +357,17 @@ int main(int argc, char** argv) {
     options.auto_repair = !flags.GetBool("no-auto-repair", false);
     options.max_dynamic_shards =
         static_cast<int>(flags.GetInt("max-dynamic-shards", 16));
+    const std::string backend_sketch =
+        flags.GetString("backend-sketch", "two_level_hash");
+    if (!ParseSketchBackendName(backend_sketch,
+                                &options.default_backend)) {
+      std::cerr << "sketchtool route: unknown --backend-sketch '"
+                << backend_sketch
+                << "' (expected two_level_hash, theta_kmv or set_sketch)\n";
+      return Usage();
+    }
+    options.backend_size =
+        static_cast<uint32_t>(flags.GetInt("backend-size", 4096));
     result = RunRoute(options, &std::cout);
   } else if (command == "push") {
     PushSpec spec;
@@ -343,6 +386,14 @@ int main(int argc, char** argv) {
         static_cast<int>(flags.GetInt("io-timeout-ms", 30000));
     spec.connect_timeout_ms =
         static_cast<int>(flags.GetInt("connect-timeout-ms", 5000));
+    const std::string backend_sketch =
+        flags.GetString("backend-sketch", "two_level_hash");
+    if (!ParseSketchBackendName(backend_sketch, &spec.backend)) {
+      std::cerr << "sketchtool push: unknown --backend-sketch '"
+                << backend_sketch
+                << "' (expected two_level_hash, theta_kmv or set_sketch)\n";
+      return Usage();
+    }
     result = RunServerPush(spec);
   } else if (command == "query") {
     const std::string host = flags.GetString("host", "127.0.0.1");

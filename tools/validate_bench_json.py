@@ -21,6 +21,10 @@ configured to emit. Benches are keyed by the marker:
                     without replication; federated query cost cold vs
                     via the router's epoch-aware summary cache; the
                     kill/restart/repair time-to-readmit turnaround)
+  backends          bench_backends (pluggable distinct-sketch backend
+                    shootout: ingest/estimate cost, accuracy and bytes
+                    per backend, plus the deletion-storm scenario where
+                    an insert-only sampling baseline diverges)
 
 tools/check.sh smoke-runs each bench and validates its trajectory here,
 so the perf reporting cannot silently rot.
@@ -78,6 +82,12 @@ EXPECTED_BY_BENCH = {
         "ClusterQuery/federated_cold",
         "ClusterQuery/federated_hot",
         "ClusterRepair/time_to_readmit",
+    ],
+    "backends": [
+        f"{stage}/{backend}"
+        for stage in ("BackendIngest", "BackendEstimate", "DeletionStorm")
+        for backend in ("two_level", "theta_kmv", "set_sketch",
+                        "kmv_baseline")
     ],
 }
 
